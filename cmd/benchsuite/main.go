@@ -1,0 +1,70 @@
+// Command benchsuite regenerates every table and figure of the paper's
+// evaluation (Fig. 1a, 1b, 8, 9, 10, plus the footprint table and the
+// ablation studies) on the simulated platform.
+//
+// Usage:
+//
+//	benchsuite            # all figures
+//	benchsuite -fig 8     # one figure: 1a, 1b, 8, 9, 10, footprint, ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raptrack/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 8, 9, 10, footprint, ablation, all")
+	flag.Parse()
+
+	if err := run(*fig); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string) error {
+	needMeasure := fig != "ablation"
+	var ms []*report.Measurement
+	if needMeasure {
+		var err error
+		ms, err = report.MeasureAll()
+		if err != nil {
+			return err
+		}
+	}
+	switch fig {
+	case "1a":
+		fmt.Print(report.Fig1a(ms))
+	case "1b":
+		fmt.Print(report.Fig1b(ms))
+	case "8":
+		fmt.Print(report.Fig8(ms))
+	case "9":
+		fmt.Print(report.Fig9(ms))
+	case "10":
+		fmt.Print(report.Fig10(ms))
+	case "footprint":
+		fmt.Print(report.Footprint(ms))
+	case "ablation":
+		s, err := report.Ablations()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	case "all":
+		fmt.Print(report.All(ms))
+		fmt.Println()
+		s, err := report.Ablations()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

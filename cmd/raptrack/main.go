@@ -1,0 +1,376 @@
+// Command raptrack is the developer CLI for the RAP-Track reproduction:
+// it runs the offline phase, executes workloads under any of the four
+// systems, performs full attestation round trips, and disassembles
+// images.
+//
+// Usage:
+//
+//	raptrack list
+//	raptrack link   -app <name> | -file prog.s  [-nopad N] [-noloopopt] [-disasm]
+//	raptrack run    -app <name> | -file prog.s  [-mode plain|naive|rap|traces]
+//	raptrack attest -app <name> | -file prog.s  [-watermark N] [-path N]
+//	                [-out evidence.bin] [-keyout key.bin]
+//	raptrack verify -app <name> | -file prog.s  -in evidence.bin -key key.bin [-nonce hex]
+//	raptrack disasm -app <name> | -file prog.s  [-linked]
+//
+// -file loads textual assembly (see internal/asm: Parse) with the full
+// synthetic peripheral set mapped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/baseline/naive"
+	"raptrack/internal/baseline/traces"
+	"raptrack/internal/cfg"
+	"raptrack/internal/core"
+	"raptrack/internal/mem"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "link":
+		err = cmdLink(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "attest":
+		err = cmdAttest(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raptrack:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: raptrack <list|link|run|attest|verify|disasm> [flags]`)
+}
+
+// loadTarget resolves -app or -file into a runnable workload.
+func loadTarget(app, file string) (apps.App, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return apps.App{}, err
+		}
+		return apps.FromSource(file, string(src))
+	}
+	return apps.Get(app)
+}
+
+func cmdList() error {
+	for _, a := range apps.All() {
+		fmt.Printf("%-12s %s\n", a.Name, a.Description)
+	}
+	return nil
+}
+
+func cmdLink(args []string) error {
+	fs := flag.NewFlagSet("link", flag.ExitOnError)
+	app := fs.String("app", "", "workload name (see 'raptrack list')")
+	file := fs.String("file", "", "assembly source file")
+	nopad := fs.Int("nopad", 2, "NOPs per MTBAR stub")
+	noLoopOpt := fs.Bool("noloopopt", false, "disable the simple-loop optimization")
+	disasm := fs.Bool("disasm", false, "dump the linked image")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := loadTarget(*app, *file)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultLinkOptions()
+	opts.NopPad = *nopad
+	if *noLoopOpt {
+		opts.LoopOpt = false
+	}
+	out, err := core.LinkForCFA(a.Build(), opts)
+	if err != nil {
+		return err
+	}
+	st := out.Stats
+	fmt.Printf("app:            %s\n", a.Name)
+	fmt.Printf("code size:      %d -> %d bytes (+%d)\n", st.CodeBefore, st.CodeAfter, st.CodeAfter-st.CodeBefore)
+	fmt.Printf("MTBAR:          [%#x, %#x) (%d bytes)\n", out.MTBAR.Base, out.MTBAR.Limit, out.MTBAR.Limit-out.MTBAR.Base)
+	fmt.Printf("MTBDR:          [%#x, %#x)\n", out.MTBDR.Base, out.MTBDR.Limit)
+	fmt.Printf("stubs:          %d total\n", st.Stubs)
+	for _, c := range []cfg.Class{cfg.ClassIndirectCall, cfg.ClassIndirectJump, cfg.ClassReturn,
+		cfg.ClassCondNonLoop, cfg.ClassCondLoopBack, cfg.ClassCondLoopFwd} {
+		if n := st.StubsByClass[c]; n > 0 {
+			fmt.Printf("  %-13s %d\n", c.String()+":", n)
+		}
+	}
+	fmt.Printf("logged loops:   %d\n", st.OptimizedLoops)
+	fmt.Printf("static loops:   %d\n", st.StaticLoops)
+	fmt.Printf("H_MEM:          %x\n", out.Image.Hash())
+	if *disasm {
+		fmt.Println()
+		fmt.Print(out.Image.Dump())
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	app := fs.String("app", "", "workload name")
+	file := fs.String("file", "", "assembly source file")
+	mode := fs.String("mode", "plain", "plain, naive, rap or traces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := loadTarget(*app, *file)
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "plain":
+		c, dev, err := apps.RunPlain(a)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cycles: %d, instructions: %d, transfers: %d\n", c.Cycles, c.Steps, c.TotalBranches())
+		printHost(dev)
+	case "naive":
+		res, err := naive.Run(a.Build(), naive.Config{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cycles: %d, transfers: %d, CFLog: %d bytes, partials: %d\n",
+			res.Cycles, res.Transfers, res.CFLogBytes, res.Partials)
+	case "rap":
+		out, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+		if err != nil {
+			return err
+		}
+		key, err := attest.GenerateHMACKey()
+		if err != nil {
+			return err
+		}
+		var dev *apps.Devices
+		prover, err := core.NewProver(out, key, core.ProverConfig{
+			SetupMem: func(m *mem.Memory) {
+				if a.Setup != nil {
+					dev = a.Setup(m)
+				}
+			},
+			MaxSteps: a.MaxSteps,
+		})
+		if err != nil {
+			return err
+		}
+		chal, err := attest.NewChallenge(a.Name)
+		if err != nil {
+			return err
+		}
+		_, stats, err := prover.Attest(chal)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cycles: %d, CFLog: %d bytes, packets: %d, secalls: %d, partials: %d\n",
+			stats.Cycles, stats.CFLogBytes, stats.Packets, stats.SecureCalls, stats.Partials)
+		printHost(dev)
+	case "traces":
+		out, err := traces.Instrument(a.Build(), traces.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		res, err := traces.Run(out, traces.Config{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cycles: %d, CFLog: %d bytes, entries: %d, secalls: %d, partials: %d\n",
+			res.Cycles, res.CFLogBytes, res.Entries, res.SecureCalls, res.Partials)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}
+
+func printHost(dev *apps.Devices) {
+	if dev != nil && dev.Host != nil && len(dev.Host.Words) > 0 {
+		fmt.Printf("host output: %v\n", dev.Host.Words)
+	}
+}
+
+func cmdAttest(args []string) error {
+	fs := flag.NewFlagSet("attest", flag.ExitOnError)
+	app := fs.String("app", "", "workload name")
+	file := fs.String("file", "", "assembly source file")
+	watermark := fs.Int("watermark", 0, "MTB_FLOW watermark in bytes (0: buffer size)")
+	pathN := fs.Int("path", 8, "reconstructed path edges to print")
+	outFile := fs.String("out", "", "write the evidence file (challenge + report chain)")
+	keyout := fs.String("keyout", "", "write the HMAC key for later 'raptrack verify'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := loadTarget(*app, *file)
+	if err != nil {
+		return err
+	}
+	out, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		return err
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		return err
+	}
+	prover, err := core.NewProver(out, key, core.ProverConfig{
+		SetupMem:  a.SetupMem(),
+		MaxSteps:  a.MaxSteps,
+		Watermark: *watermark,
+	})
+	if err != nil {
+		return err
+	}
+	chal, err := attest.NewChallenge(a.Name)
+	if err != nil {
+		return err
+	}
+	reports, stats, err := prover.Attest(chal)
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, attest.EncodeEvidence(chal, reports), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("evidence written:  %s\n", *outFile)
+	}
+	if *keyout != "" {
+		if err := os.WriteFile(*keyout, key.Key(), 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("key written:       %s\n", *keyout)
+	}
+	fmt.Printf("challenge nonce: %x\n", chal.Nonce)
+	fmt.Printf("reports:         %d (%d partial)\n", len(reports), stats.Partials)
+	fmt.Printf("evidence:        %d bytes, %d packets\n", stats.CFLogBytes, stats.Packets)
+	fmt.Printf("app cycles:      %d (+%d engine setup, +%d report pauses)\n",
+		stats.Cycles, stats.SetupCycles, stats.PauseCycles)
+
+	verdict, err := core.NewVerifier(out, key).Verify(chal, reports)
+	if err != nil {
+		return err
+	}
+	if verdict.OK {
+		fmt.Printf("verdict:         ACCEPTED (%d transfers reconstructed, %d loops replayed)\n",
+			verdict.Transfers, verdict.LoopsReplayed)
+	} else {
+		fmt.Printf("verdict:         REJECTED: %s (pc=%#x)\n", verdict.Reason, verdict.FailPC)
+	}
+	for i, e := range verdict.Path {
+		if i >= *pathN {
+			fmt.Printf("  ... %d more transfers\n", verdict.Transfers-uint64(i))
+			break
+		}
+		fmt.Printf("  %#08x -> %#08x (%s)\n", e.Src, e.Dst, e.Kind)
+	}
+	return nil
+}
+
+// cmdVerify performs offline verification of a persisted evidence file:
+// the golden artifact is rebuilt deterministically from the same program.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	app := fs.String("app", "", "workload name")
+	file := fs.String("file", "", "assembly source file")
+	in := fs.String("in", "", "evidence file from 'raptrack attest -out'")
+	keyFile := fs.String("key", "", "HMAC key file from 'raptrack attest -keyout'")
+	pathN := fs.Int("path", 8, "reconstructed path edges to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *keyFile == "" {
+		return fmt.Errorf("verify needs -in and -key")
+	}
+	a, err := loadTarget(*app, *file)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	chal, reports, err := attest.DecodeEvidence(raw)
+	if err != nil {
+		return err
+	}
+	keyRaw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		return err
+	}
+	key := attest.NewHMACKey(keyRaw)
+
+	out, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		return err
+	}
+	verdict, err := core.NewVerifier(out, key).Verify(chal, reports)
+	if err != nil {
+		return fmt.Errorf("malformed or inauthentic evidence: %w", err)
+	}
+	fmt.Printf("challenge nonce: %x\n", chal.Nonce)
+	fmt.Printf("reports:         %d\n", len(reports))
+	if verdict.OK {
+		fmt.Printf("verdict:         ACCEPTED (%d transfers, %d loops replayed, %d packets)\n",
+			verdict.Transfers, verdict.LoopsReplayed, verdict.Packets)
+	} else {
+		fmt.Printf("verdict:         REJECTED: %s (pc=%#x)\n", verdict.Reason, verdict.FailPC)
+	}
+	for i, e := range verdict.Path {
+		if i >= *pathN {
+			fmt.Printf("  ... %d more transfers\n", verdict.Transfers-uint64(i))
+			break
+		}
+		fmt.Printf("  %#08x -> %#08x (%s)\n", e.Src, e.Dst, e.Kind)
+	}
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	app := fs.String("app", "", "workload name")
+	file := fs.String("file", "", "assembly source file")
+	linked := fs.Bool("linked", false, "disassemble the RAP-Track-linked image instead of the original")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := loadTarget(*app, *file)
+	if err != nil {
+		return err
+	}
+	if *linked {
+		out, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Print(out.Image.Dump())
+		return nil
+	}
+	img, err := asm.Layout(a.Build(), mem.NSCodeBase)
+	if err != nil {
+		return err
+	}
+	fmt.Print(img.Dump())
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package raptrack is a full-system reproduction of "RAP-Track: Efficient
+// Control Flow Attestation via Parallel Tracking in Commodity MCUs" (DAC
+// 2025) on a simulated ARMv8-M platform.
+//
+// The public surface lives under internal/core (linking, attestation,
+// verification), with the substrates in internal/{isa,asm,mem,tz,trace,
+// cpu,cfg,linker,cfa,verify,attest,periph} and the evaluation machinery in
+// internal/{apps,baseline,report}. See README.md for a tour, DESIGN.md for
+// the architecture and hardware-substitution rationale, and EXPERIMENTS.md
+// for the paper-versus-measured results.
+//
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation; `go run ./cmd/benchsuite` prints them as labelled tables.
+package raptrack

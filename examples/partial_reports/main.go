@@ -1,0 +1,87 @@
+// Partial reports: constrained CFLog memory forces the Prover to stream
+// evidence in authenticated chunks (paper §IV-E).
+//
+// The GPS parser generates more trace packets than a small MTB watermark
+// allows, so the engine emits partial reports whenever MTB_FLOW fires,
+// rewinds the buffer, and resumes the application. The verifier
+// authenticates the whole chain (nonce, sequence numbers, final flag),
+// concatenates the windows, and reconstructs the full path — and any
+// dropped or reordered chunk is rejected.
+//
+//	go run ./examples/partial_reports
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+)
+
+func main() {
+	app, err := apps.Get("gps")
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := core.LinkForCFA(app.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 512-byte watermark: the engine must pause the parser and transmit
+	// whenever 64 packets accumulate.
+	prover, err := core.NewProver(link, key, core.ProverConfig{
+		SetupMem:  app.SetupMem(),
+		Watermark: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chal, err := attest.NewChallenge(app.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, stats, err := prover.Attest(chal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evidence: %d bytes across %d reports (%d partial + 1 final)\n",
+		stats.CFLogBytes, len(reports), stats.Partials)
+	fmt.Printf("application stalled %d cycles for report emission\n\n", stats.PauseCycles)
+	for _, r := range reports {
+		fmt.Printf("  report seq=%d final=%-5v window=%4d bytes auth=%x...\n",
+			r.Seq, r.Final, len(r.CFLog), r.Auth[:8])
+	}
+
+	verifier := core.NewVerifier(link, key)
+	verdict, err := verifier.Verify(chal, reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull chain: accepted=%v (%d transfers reconstructed)\n", verdict.OK, verdict.Transfers)
+
+	// Tampering with the chain must be caught by the Verifier.
+	fmt.Println("\nadversarial chain manipulations:")
+	drop := append(append([]*attest.Report{}, reports[:1]...), reports[2:]...)
+	if _, err := verifier.Verify(chal, drop); err != nil {
+		fmt.Printf("  dropping a window:   rejected (%v)\n", err)
+	}
+	swapped := append([]*attest.Report{}, reports...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := verifier.Verify(chal, swapped); err != nil {
+		fmt.Printf("  reordering windows:  rejected (%v)\n", err)
+	}
+	stale, err := attest.NewChallenge(app.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := verifier.Verify(stale, reports); err != nil {
+		fmt.Printf("  replaying the chain: rejected (%v)\n", err)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: the complete RAP-Track flow on one kernel — offline linking,
+// attested execution, and verifier-side path reconstruction.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+)
+
+func main() {
+	// 1. The workload: BEEBs `prime` (any asm.Program works here).
+	app, err := apps.Get("prime")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Offline phase: partition the program into MTBAR/MTBDR and insert
+	//    trampolines so the MTB logs exactly the non-deterministic
+	//    transfers.
+	link, err := core.LinkForCFA(app.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linked %q: %d->%d bytes, %d stubs, %d logged + %d static loops\n",
+		app.Name, link.Stats.CodeBefore, link.Stats.CodeAfter,
+		link.Stats.Stubs, link.Stats.OptimizedLoops, link.Stats.StaticLoops)
+
+	// 3. Provision the shared attestation key (symmetric setting).
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Prover side: the Verifier's challenge starts a CFA session; the
+	//    application runs on the simulated Cortex-M33 while the MTB traces
+	//    it in parallel.
+	prover, err := core.NewProver(link, key, core.ProverConfig{SetupMem: app.SetupMem()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chal, err := attest.NewChallenge(app.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, stats, err := prover.Attest(chal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attested run: %d cycles, %d instructions, CFLog %d bytes in %d report(s)\n",
+		stats.Cycles, stats.Steps, stats.CFLogBytes, len(reports))
+
+	// 5. Verifier side: authenticate the report chain, check H_MEM, and
+	//    reconstruct the complete control-flow path from the evidence.
+	verdict, err := core.NewVerifier(link, key).Verify(chal, reports)
+	if err != nil {
+		log.Fatalf("malformed evidence: %v", err)
+	}
+	if !verdict.OK {
+		log.Fatalf("attestation REJECTED: %s", verdict.Reason)
+	}
+	fmt.Printf("attestation ACCEPTED: %d transfers reconstructed losslessly (%d packets consumed)\n",
+		verdict.Transfers, verdict.PacketsUsed)
+	fmt.Println("first reconstructed transfers:")
+	for i, e := range verdict.Path {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %#08x -> %#08x  %s\n", e.Src, e.Dst, e.Kind)
+	}
+}

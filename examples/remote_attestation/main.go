@@ -1,0 +1,92 @@
+// Remote attestation: the paper's §II-C challenge-response protocol over
+// an actual TCP connection. A Prover endpoint (the deployed MCU) listens;
+// the Verifier connects, sends a fresh challenge, and receives the signed
+// report stream while the application is still executing — partial
+// reports arrive live as the MTB watermark fires (§IV-E).
+//
+//	go run ./examples/remote_attestation
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/remote"
+)
+
+func main() {
+	app, err := apps.Get("geiger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Provisioning: device and verifier share the linked image and key.
+	link, err := core.LinkForCFA(app.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The deployed Prover.
+	endpoint := remote.NewProverEndpoint()
+	endpoint.Provision(app.Name, func() (*core.Prover, error) {
+		return core.NewProver(link, key, core.ProverConfig{
+			SetupMem:  app.SetupMem(),
+			Watermark: 1024, // stream evidence in 1 KB windows
+		})
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if err := endpoint.ServeOne(conn); err != nil {
+					log.Printf("prover: %v", err)
+				}
+			}()
+		}
+	}()
+	fmt.Printf("prover listening on %s\n", l.Addr())
+
+	// The remote Verifier.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	verifier := core.NewVerifier(link, key)
+	res, err := remote.RequestAttestation(conn, app.Name, verifier)
+	if err != nil {
+		log.Fatalf("attestation failed: %v", err)
+	}
+
+	fmt.Printf("received %d report(s):\n", len(res.Reports))
+	for _, r := range res.Reports {
+		kind := "partial"
+		if r.Final {
+			kind = "final"
+		}
+		fmt.Printf("  seq=%d %-7s %4d evidence bytes\n", r.Seq, kind, len(r.CFLog))
+	}
+	v := res.Verdict
+	if v.OK {
+		fmt.Printf("verdict: ACCEPTED — %d transfers reconstructed from %d packets\n",
+			v.Transfers, v.Packets)
+	} else {
+		fmt.Printf("verdict: REJECTED — %s\n", v.Reason)
+	}
+}

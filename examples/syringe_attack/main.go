@@ -1,0 +1,167 @@
+// Syringe attack: a return-oriented hijack of a safety interlock, invisible
+// to static attestation but caught by RAP-Track's control-flow evidence.
+//
+// The firmware is a syringe pump with a bolus limit: the requested dose is
+// checked by check_limit, and over-limit requests take the deny path. The
+// adversary (who controls Non-Secure RAM, per the §III model) corrupts the
+// saved return address of check_limit on the stack, so the denied request
+// returns straight into the dispense call — the motor runs even though the
+// check said no. The program code is untouched: H_MEM verifies clean.
+// The MTB, however, logged the impossible return, and the verifier's
+// shadow-stack policy flags it.
+//
+//	go run ./examples/syringe_attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/cfa"
+	"raptrack/internal/core"
+	"raptrack/internal/cpu"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// buildPump constructs the interlocked pump firmware. The requested dose
+// arrives over the UART; doses above 10 units must be denied.
+func buildPump(dose int32) (*asm.Program, func(*mem.Memory) *periph.GPIO) {
+	p := asm.NewProgram("pump")
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.MOV32(isa.R8, periph.UARTBase)
+	main.MOV32(isa.R9, periph.GPIOBase)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+	main.LDRi(isa.R0, isa.R8, periph.UARTData) // requested dose
+	main.BL("check_limit")
+	main.CMPi(isa.R0, 1)
+	main.BNE("deny")
+	main.Label("do_dispense")
+	main.BL("dispense")
+	main.B("end")
+	main.Label("deny")
+	main.MOV32(isa.R0, 0xDEAD) // report "denied"
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.Label("end")
+	main.POP(isa.PC)
+
+	cl := p.AddFunc(asm.NewFunction("check_limit"))
+	cl.PUSH(isa.R4, isa.LR)
+	cl.MOVr(isa.R4, isa.R0)
+	cl.Label("decide")
+	cl.CMPi(isa.R4, 10)
+	cl.BGT("too_much")
+	cl.MOVi(isa.R0, 1)
+	cl.POP(isa.R4, isa.PC)
+	cl.Label("too_much")
+	cl.MOVi(isa.R0, 0)
+	cl.POP(isa.R4, isa.PC)
+
+	disp := p.AddFunc(asm.NewFunction("dispense"))
+	disp.MOVi(isa.R1, 1)
+	disp.STRi(isa.R1, isa.R9, periph.GPIOOut) // motor on
+	disp.MOVi(isa.R2, 8)
+	disp.Label("dly")
+	disp.SUBi(isa.R2, isa.R2, 1)
+	disp.CMPi(isa.R2, 0)
+	disp.BNE("dly")
+	disp.MOVi(isa.R1, 0)
+	disp.STRi(isa.R1, isa.R9, periph.GPIOOut) // motor off
+	disp.RET()
+
+	setup := func(m *mem.Memory) *periph.GPIO {
+		gpio := &periph.GPIO{}
+		m.Map(periph.UARTBase, periph.DeviceWindow, periph.NewUART([]byte{byte(dose)}))
+		m.Map(periph.GPIOBase, periph.DeviceWindow, gpio)
+		m.Map(periph.HostLinkBase, periph.DeviceWindow, &periph.HostLink{})
+		return gpio
+	}
+	return p, setup
+}
+
+// attestPump runs one CFA session; when attack is set, the saved return
+// address of check_limit is overwritten mid-execution.
+func attestPump(attack bool) (verOK bool, reason string, hmemOK bool, motorRan bool) {
+	prog, setup := buildPump(55) // 55 units: over the limit, must be denied
+	link, err := core.LinkForCFA(prog, core.DefaultLinkOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := mem.New()
+	gpio := setup(m)
+	engine, err := cfa.New(cfa.Config{Link: link, Mem: m, Signer: key})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chal, err := attest.NewChallenge("pump")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Begin(chal); err != nil {
+		log.Fatal(err)
+	}
+	c, err := cpu.New(engine.CPUConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The adversary waits for check_limit to establish its frame, then
+	// rewrites the saved LR slot so the "deny" verdict returns into the
+	// dispense call. Writing NS RAM is within the §III adversary model —
+	// no code is modified.
+	decideAddr := link.Image.Symbols["check_limit.decide"]
+	hijackTo := link.Image.Symbols["main.do_dispense"]
+	// main pushed LR (1 slot); check_limit pushed R4+LR: the saved LR
+	// lives one word above SP.
+	lrSlot := mem.NSStackTop - 4 - 4 // below main's saved LR
+
+	for {
+		if attack && c.R[isa.PC] == decideAddr {
+			if err := m.Write32(lrSlot, hijackTo); err != nil {
+				log.Fatal(err)
+			}
+		}
+		halted, err := c.Step()
+		if err != nil {
+			log.Fatalf("execution fault: %v", err)
+		}
+		if halted {
+			break
+		}
+	}
+	reports, err := engine.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	verifier := core.NewVerifier(link, key)
+	verdict, err := verifier.Verify(chal, reports)
+	if err != nil {
+		log.Fatalf("malformed evidence: %v", err)
+	}
+	hmemOK = reports[0].HMem == verifier.ExpectedHMem()
+	return verdict.OK, verdict.Reason, hmemOK, gpio.Writes > 0
+}
+
+func main() {
+	fmt.Println("=== benign session: dose 55 is over the limit, pump denies ===")
+	ok, reason, hmem, motor := attestPump(false)
+	fmt.Printf("motor ran: %v, H_MEM valid: %v, CFA verdict: accepted=%v\n\n", motor, hmem, ok)
+
+	fmt.Println("=== attacked session: saved return address redirected to the dispense call ===")
+	ok, reason, hmem, motor = attestPump(true)
+	fmt.Printf("motor ran: %v  <- the interlock was bypassed on the device\n", motor)
+	fmt.Printf("H_MEM valid: %v  <- static attestation alone would have accepted this\n", hmem)
+	fmt.Printf("CFA verdict: accepted=%v\n", ok)
+	fmt.Printf("reason: %s\n", reason)
+}

@@ -1,0 +1,3 @@
+module raptrack
+
+go 1.22

@@ -1,0 +1,344 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// BEEBs-style kernels. Each leaves its primary result in R0 at halt and
+// reports it over the host link, so both plain runs and attested runs can
+// be checked for functional correctness.
+
+func setupHostOnly(m *mem.Memory) *Devices {
+	d := &Devices{Host: &periph.HostLink{}}
+	m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+	return d
+}
+
+// emitReportR0 stores R0 to the host link (clobbers R12).
+func emitReportR0(f *asm.Function) {
+	f.MOV32(isa.R12, periph.HostLinkBase)
+	f.STRi(isa.R0, isa.R12, periph.HostData)
+}
+
+func init() {
+	register(App{
+		Name:        "prime",
+		Description: "BEEBs prime: count primes below 400 by trial division (conditional-branch heavy, variable inner loops)",
+		Build:       buildPrime,
+		Setup:       setupHostOnly,
+	})
+	register(App{
+		Name:        "crc32",
+		Description: "BEEBs crc32: bitwise CRC-32 over a 192-byte message (data-dependent conditionals inside fixed loops)",
+		Build:       buildCRC32,
+		Setup:       setupHostOnly,
+	})
+	register(App{
+		Name:        "bubblesort",
+		Description: "BEEBs bubblesort: sort 48 pseudo-random words (nested loops, data-dependent swaps)",
+		Build:       buildBubblesort,
+		Setup:       setupHostOnly,
+	})
+	register(App{
+		Name:        "fibcall",
+		Description: "BEEBs fibcall: recursive fib(15) (call/return heavy; monitored POP-to-PC returns)",
+		Build:       buildFibcall,
+		Setup:       setupHostOnly,
+	})
+	register(App{
+		Name:        "matmult",
+		Description: "BEEBs matmult: 10x10 integer matrix product (deeply nested simple loops; loop-optimization showcase)",
+		Build:       buildMatmult,
+		Setup:       setupHostOnly,
+	})
+}
+
+// buildPrime counts primes below 400.
+func buildPrime() *asm.Program {
+	p := asm.NewProgram("prime")
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R7, isa.LR)
+	main.MOVi(isa.R7, 0) // prime count
+	main.MOVi(isa.R4, 2) // candidate
+	main.Label("outer")
+	main.MOVr(isa.R0, isa.R4)
+	main.BL("is_prime")
+	main.CMPi(isa.R0, 0)
+	main.BEQ("not_prime")
+	main.ADDi(isa.R7, isa.R7, 1)
+	main.Label("not_prime")
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, 400)
+	main.BLT("outer") // body contains a call: not a simple loop
+	main.MOVr(isa.R0, isa.R7)
+	emitReportR0(main)
+	main.POP(isa.R4, isa.R7, isa.PC)
+
+	// is_prime(R0=n) -> R0 in {0,1}. Leaf: deterministic BX LR returns.
+	f := p.AddFunc(asm.NewFunction("is_prime"))
+	f.CMPi(isa.R0, 2)
+	f.BLT("no")
+	f.MOVi(isa.R1, 2) // trial divisor
+	f.Label("check")
+	f.MUL(isa.R2, isa.R1, isa.R1)
+	f.CMPr(isa.R2, isa.R0)
+	f.BGT("yes") // divisor^2 > n: prime (forward loop exit)
+	f.UDIV(isa.R2, isa.R0, isa.R1)
+	f.MUL(isa.R3, isa.R2, isa.R1)
+	f.CMPr(isa.R3, isa.R0)
+	f.BEQ("no") // divisible: composite (second forward exit)
+	f.ADDi(isa.R1, isa.R1, 1)
+	f.B("check")
+	f.Label("yes")
+	f.MOVi(isa.R0, 1)
+	f.RET()
+	f.Label("no")
+	f.MOVi(isa.R0, 0)
+	f.RET()
+
+	return p
+}
+
+// buildCRC32 computes a bitwise CRC-32 (poly 0xEDB88320) over a constant
+// message stored in rodata.
+func buildCRC32() *asm.Program {
+	p := asm.NewProgram("crc32")
+
+	msg := make([]byte, 192)
+	for i := range msg {
+		msg[i] = byte(i*7 + 13)
+	}
+	p.AddData(&asm.DataSegment{Name: "message", Bytes: msg})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.LA(isa.R0, "message")
+	main.MOVi(isa.R1, int32(len(msg)))
+	main.BL("crc32")
+	emitReportR0(main)
+	main.POP(isa.PC)
+
+	f := p.AddFunc(asm.NewFunction("crc32"))
+	// R0 ptr, R1 len -> R0 crc. Saves R4/R5 (no LR push: leaf).
+	f.PUSH(isa.R4, isa.R5)
+	f.MOV32(isa.R2, 0xffffffff) // crc
+	f.MOV32(isa.R4, 0xEDB88320) // poly
+	f.Label("byte_loop")
+	f.CMPi(isa.R1, 0)
+	f.BEQ("done") // forward loop exit
+	f.LDRBi(isa.R3, isa.R0, 0)
+	f.ADDi(isa.R0, isa.R0, 1)
+	f.SUBi(isa.R1, isa.R1, 1)
+	f.EORr(isa.R2, isa.R2, isa.R3)
+	f.MOVi(isa.R5, 8)
+	f.Label("bit_loop")
+	f.MOVi(isa.R3, 1)
+	f.ANDr(isa.R3, isa.R2, isa.R3)
+	f.CMPi(isa.R3, 0)
+	f.LSRi(isa.R2, isa.R2, 1)
+	f.BEQ("no_xor") // data-dependent: bit loop is not simple
+	f.EORr(isa.R2, isa.R2, isa.R4)
+	f.Label("no_xor")
+	f.SUBi(isa.R5, isa.R5, 1)
+	f.CMPi(isa.R5, 0)
+	f.BNE("bit_loop")
+	f.B("byte_loop")
+	f.Label("done")
+	f.MVN(isa.R0, isa.R2)
+	f.POP(isa.R4, isa.R5)
+	f.RET()
+
+	return p
+}
+
+// buildBubblesort fills a 48-word array with an LCG sequence and sorts it.
+// The result word is (min<<16)|max xor'd with a checksum of the sorted
+// array, cheap to recompute in the test.
+func buildBubblesort() *asm.Program {
+	p := asm.NewProgram("bubblesort")
+	const n = 48
+	arrBase := mem.NSDataBase
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+
+	// Fill: x = x*1664525 + 1013904223 (mod 2^32), keep 16 bits.
+	main.MOV32(isa.R4, arrBase)
+	main.MOVi(isa.R5, 0)          // i
+	main.MOV32(isa.R6, 0x2545F49) // x seed
+	main.Label("fill")
+	main.MOV32(isa.R0, 1664525)
+	main.MUL(isa.R6, isa.R6, isa.R0)
+	main.MOV32(isa.R0, 1013904223)
+	main.ADDr(isa.R6, isa.R6, isa.R0)
+	main.LSRi(isa.R1, isa.R6, 16)
+	main.LSLi(isa.R2, isa.R5, 2)
+	main.STRr(isa.R1, isa.R4, isa.R2)
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, n)
+	main.BLT("fill") // simple loop: constant bound, single ADDi update
+
+	// Bubble sort: for i in 0..n-2 { for j in 0..n-2-i { cmp/swap } }
+	main.MOVi(isa.R5, 0) // i
+	main.Label("oloop")
+	main.MOVi(isa.R6, 0) // j
+	main.Label("iloop")
+	main.LSLi(isa.R2, isa.R6, 2)
+	main.LDRr(isa.R0, isa.R4, isa.R2) // a[j]
+	main.ADDi(isa.R3, isa.R2, 4)
+	main.LDRr(isa.R1, isa.R4, isa.R3) // a[j+1]
+	main.CMPr(isa.R0, isa.R1)
+	main.BLS("noswap") // data-dependent conditional
+	main.STRr(isa.R1, isa.R4, isa.R2)
+	main.STRr(isa.R0, isa.R4, isa.R3)
+	main.Label("noswap")
+	main.ADDi(isa.R6, isa.R6, 1)
+	main.MOVi(isa.R0, n-1)
+	main.SUBr(isa.R0, isa.R0, isa.R5)
+	main.CMPr(isa.R6, isa.R0)
+	main.BLT("iloop") // CMP reg,reg: not simple (variable bound)
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, n-1)
+	main.BLT("oloop") // body has non-deterministic branches: not simple
+
+	// Checksum: sum of a[k]*k over the sorted array.
+	main.MOVi(isa.R5, 0)
+	main.MOVi(isa.R7, 0)
+	main.Label("sum")
+	main.LSLi(isa.R2, isa.R5, 2)
+	main.LDRr(isa.R0, isa.R4, isa.R2)
+	main.MUL(isa.R0, isa.R0, isa.R5)
+	main.ADDr(isa.R7, isa.R7, isa.R0)
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, n)
+	main.BLT("sum") // simple loop
+
+	main.MOVr(isa.R0, isa.R7)
+	emitReportR0(main)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+	return p
+}
+
+// buildFibcall computes fib(15) by naive recursion.
+func buildFibcall() *asm.Program {
+	p := asm.NewProgram("fibcall")
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.MOVi(isa.R0, 15)
+	main.BL("fib")
+	emitReportR0(main)
+	main.POP(isa.PC)
+
+	f := p.AddFunc(asm.NewFunction("fib"))
+	f.CMPi(isa.R0, 2)
+	f.BLT("base")
+	f.PUSH(isa.R4, isa.LR)
+	f.MOVr(isa.R4, isa.R0)
+	f.SUBi(isa.R0, isa.R4, 1)
+	f.BL("fib")
+	f.MOVr(isa.R1, isa.R0)
+	f.SUBi(isa.R0, isa.R4, 2)
+	f.MOVr(isa.R4, isa.R1) // keep fib(n-1) in callee-saved R4
+	f.BL("fib")
+	f.ADDr(isa.R0, isa.R4, isa.R0)
+	f.POP(isa.R4, isa.PC) // monitored return
+	f.Label("base")
+	f.RET() // fib(0)=0, fib(1)=1: R0 already holds n
+
+	return p
+}
+
+// buildMatmult multiplies two 10x10 integer matrices (A[i][j]=i+j+1,
+// B[i][j]=i*j+1) and reports the checksum of C.
+func buildMatmult() *asm.Program {
+	p := asm.NewProgram("matmult")
+	const n = 10
+	baseA := mem.NSDataBase
+	baseB := baseA + 4*n*n
+	baseC := baseB + 4*n*n
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R8, baseA)
+	main.MOV32(isa.R9, baseB)
+	main.MOV32(isa.R10, baseC)
+
+	// Fill A and B (nested simple loops).
+	main.MOVi(isa.R4, 0) // i
+	main.Label("fa_i")
+	main.MOVi(isa.R5, 0) // j
+	main.Label("fa_j")
+	main.MOVi(isa.R0, n)
+	main.MUL(isa.R0, isa.R4, isa.R0)
+	main.ADDr(isa.R0, isa.R0, isa.R5)
+	main.LSLi(isa.R0, isa.R0, 2) // offset
+	main.ADDr(isa.R1, isa.R4, isa.R5)
+	main.ADDi(isa.R1, isa.R1, 1)
+	main.STRr(isa.R1, isa.R8, isa.R0) // A[i][j] = i+j+1
+	main.MUL(isa.R1, isa.R4, isa.R5)
+	main.ADDi(isa.R1, isa.R1, 1)
+	main.STRr(isa.R1, isa.R9, isa.R0) // B[i][j] = i*j+1
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, n)
+	main.BLT("fa_j") // inner simple loop
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, n)
+	main.BLT("fa_i") // outer: simple once inner is optimized (nested opt)
+
+	// C = A x B.
+	main.MOVi(isa.R4, 0) // i
+	main.Label("mm_i")
+	main.MOVi(isa.R5, 0) // j
+	main.Label("mm_j")
+	main.MOVi(isa.R7, 0) // acc
+	main.MOVi(isa.R6, 0) // k
+	main.Label("mm_k")
+	main.MOVi(isa.R0, n)
+	main.MUL(isa.R0, isa.R4, isa.R0)
+	main.ADDr(isa.R0, isa.R0, isa.R6)
+	main.LSLi(isa.R0, isa.R0, 2)
+	main.LDRr(isa.R1, isa.R8, isa.R0) // A[i][k]
+	main.MOVi(isa.R0, n)
+	main.MUL(isa.R0, isa.R6, isa.R0)
+	main.ADDr(isa.R0, isa.R0, isa.R5)
+	main.LSLi(isa.R0, isa.R0, 2)
+	main.LDRr(isa.R2, isa.R9, isa.R0) // B[k][j]
+	main.MUL(isa.R1, isa.R1, isa.R2)
+	main.ADDr(isa.R7, isa.R7, isa.R1)
+	main.ADDi(isa.R6, isa.R6, 1)
+	main.CMPi(isa.R6, n)
+	main.BLT("mm_k")
+	main.MOVi(isa.R0, n)
+	main.MUL(isa.R0, isa.R4, isa.R0)
+	main.ADDr(isa.R0, isa.R0, isa.R5)
+	main.LSLi(isa.R0, isa.R0, 2)
+	main.STRr(isa.R7, isa.R10, isa.R0) // C[i][j]
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, n)
+	main.BLT("mm_j")
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, n)
+	main.BLT("mm_i")
+
+	// Checksum C.
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R7, 0)
+	main.Label("cs")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.LDRr(isa.R1, isa.R10, isa.R0)
+	main.EORr(isa.R7, isa.R7, isa.R1)
+	main.ADDr(isa.R7, isa.R7, isa.R1)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, n*n)
+	main.BLT("cs")
+
+	main.MOVr(isa.R0, isa.R7)
+	emitReportR0(main)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+	return p
+}

@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"hash/crc32"
+	"sort"
+	"testing"
+)
+
+// The kernels are checked against independent Go reference computations.
+
+func runAndGetResult(t *testing.T, name string) uint32 {
+	t.Helper()
+	a, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if dev == nil || dev.Host == nil {
+		t.Fatalf("%s has no host link", name)
+	}
+	if len(dev.Host.Words) == 0 {
+		t.Fatalf("%s reported no result words", name)
+	}
+	if c.Steps == 0 {
+		t.Fatalf("%s retired no instructions", name)
+	}
+	return dev.Host.Words[len(dev.Host.Words)-1]
+}
+
+func TestPrime(t *testing.T) {
+	got := runAndGetResult(t, "prime")
+	want := uint32(0)
+	for n := 2; n < 400; n++ {
+		prime := true
+		for d := 2; d*d <= n; d++ {
+			if n%d == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("prime count = %d, want %d", got, want)
+	}
+}
+
+func TestCRC32(t *testing.T) {
+	got := runAndGetResult(t, "crc32")
+	msg := make([]byte, 192)
+	for i := range msg {
+		msg[i] = byte(i*7 + 13)
+	}
+	want := crc32.ChecksumIEEE(msg)
+	if got != want {
+		t.Errorf("crc32 = %#x, want %#x", got, want)
+	}
+}
+
+func TestBubblesort(t *testing.T) {
+	got := runAndGetResult(t, "bubblesort")
+	// Reference: same LCG fill, sort, checksum sum(a[k]*k).
+	const n = 48
+	x := uint32(0x2545F49)
+	vals := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		x = x*1664525 + 1013904223
+		vals[i] = x >> 16
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var want uint32
+	for i, v := range vals {
+		want += v * uint32(i)
+	}
+	if got != want {
+		t.Errorf("bubblesort checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestFibcall(t *testing.T) {
+	got := runAndGetResult(t, "fibcall")
+	fib := func(n int) uint32 {
+		a, b := uint32(0), uint32(1)
+		for i := 0; i < n; i++ {
+			a, b = b, a+b
+		}
+		return a
+	}
+	if want := fib(15); got != want {
+		t.Errorf("fib(15) = %d, want %d", got, want)
+	}
+}
+
+func TestMatmult(t *testing.T) {
+	got := runAndGetResult(t, "matmult")
+	const n = 10
+	var a, b, c [n][n]uint32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] = uint32(i + j + 1)
+			b[i][j] = uint32(i*j + 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc uint32
+			for k := 0; k < n; k++ {
+				acc += a[i][k] * b[k][j]
+			}
+			c[i][j] = acc
+		}
+	}
+	var want uint32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := c[i][j]
+			want = (want ^ v) + v
+		}
+	}
+	if got != want {
+		t.Errorf("matmult checksum = %#x, want %#x", got, want)
+	}
+}

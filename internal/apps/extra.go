@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+)
+
+// Extra workloads beyond the paper's evaluation set: a recursive
+// quicksort (heavy exercise for the verifier's pushdown reconstruction)
+// and a binary search over a constant table. They participate in the
+// test suite but not in the paper-figure tables (apps.EvalOrder).
+
+func init() {
+	register(App{
+		Name: "quicksort",
+		Description: "recursive quicksort of 32 pseudo-random words " +
+			"(data-dependent recursion depth; verifier stress test)",
+		Build: buildQuicksort,
+		Setup: setupHostOnly,
+	})
+	register(App{
+		Name: "binsearch",
+		Description: "binary search of 24 keys over a sorted 32-word table " +
+			"(logarithmic loops with three-way conditionals)",
+		Build: buildBinsearch,
+		Setup: setupHostOnly,
+	})
+}
+
+// QuicksortSeed and QuicksortN parameterize the workload (shared with the
+// reference test).
+const (
+	QuicksortSeed = 0x1D2C3B4A
+	QuicksortN    = 32
+)
+
+// buildQuicksort fills NSDataBase with LCG values and sorts in place via
+// textbook Lomuto-partition recursion. R9 holds the array base globally.
+func buildQuicksort() *asm.Program {
+	p := asm.NewProgram("quicksort")
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.LR)
+	main.MOV32(isa.R9, mem.NSDataBase)
+
+	// Fill (simple static loop).
+	main.MOVi(isa.R4, 0)
+	main.MOV32(isa.R5, QuicksortSeed)
+	main.Label("fill")
+	main.MOV32(isa.R0, 1664525)
+	main.MUL(isa.R5, isa.R5, isa.R0)
+	main.MOV32(isa.R0, 1013904223)
+	main.ADDr(isa.R5, isa.R5, isa.R0)
+	main.LSRi(isa.R1, isa.R5, 16)
+	main.LSLi(isa.R2, isa.R4, 2)
+	main.STRr(isa.R1, isa.R9, isa.R2)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, QuicksortN)
+	main.BLT("fill")
+
+	main.MOVi(isa.R0, 0)
+	main.MOVi(isa.R1, QuicksortN-1)
+	main.BL("qsort")
+
+	// Checksum sum(a[k]*k) (simple static loop).
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R5, 0)
+	main.Label("sum")
+	main.LSLi(isa.R2, isa.R4, 2)
+	main.LDRr(isa.R0, isa.R9, isa.R2)
+	main.MUL(isa.R0, isa.R0, isa.R4)
+	main.ADDr(isa.R5, isa.R5, isa.R0)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, QuicksortN)
+	main.BLT("sum")
+
+	main.MOVr(isa.R0, isa.R5)
+	emitReportR0(main)
+	main.POP(isa.R4, isa.R5, isa.PC)
+
+	// qsort(R0=lo, R1=hi), signed bounds. Early-out return is on the
+	// clean-LR path (deterministic); the recursive exit is monitored.
+	q := p.AddFunc(asm.NewFunction("qsort"))
+	q.CMPr(isa.R0, isa.R1)
+	q.BGE("done")
+	q.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	q.MOVr(isa.R4, isa.R0) // lo
+	q.MOVr(isa.R5, isa.R1) // hi
+	// Lomuto partition with pivot a[hi] (kept in R12: no calls inside).
+	q.LSLi(isa.R2, isa.R5, 2)
+	q.LDRr(isa.R12, isa.R9, isa.R2)
+	q.SUBi(isa.R6, isa.R4, 1) // i = lo-1
+	q.MOVr(isa.R7, isa.R4)    // j = lo
+	q.Label("part")
+	q.CMPr(isa.R7, isa.R5)
+	q.BGE("placed")
+	q.LSLi(isa.R2, isa.R7, 2)
+	q.LDRr(isa.R3, isa.R9, isa.R2)
+	q.CMPr(isa.R3, isa.R12)
+	q.BGT("noswap")
+	q.ADDi(isa.R6, isa.R6, 1)
+	q.LSLi(isa.R0, isa.R6, 2)
+	q.LDRr(isa.R1, isa.R9, isa.R0)
+	q.STRr(isa.R1, isa.R9, isa.R2) // a[j] = a[i]
+	q.STRr(isa.R3, isa.R9, isa.R0) // a[i] = old a[j]
+	q.Label("noswap")
+	q.ADDi(isa.R7, isa.R7, 1)
+	q.B("part")
+	q.Label("placed")
+	// Pivot into place: swap a[i+1], a[hi].
+	q.ADDi(isa.R6, isa.R6, 1)
+	q.LSLi(isa.R0, isa.R6, 2)
+	q.LDRr(isa.R1, isa.R9, isa.R0)
+	q.LSLi(isa.R2, isa.R5, 2)
+	q.LDRr(isa.R3, isa.R9, isa.R2)
+	q.STRr(isa.R3, isa.R9, isa.R0)
+	q.STRr(isa.R1, isa.R9, isa.R2)
+	// Recurse left and right (R4-R6 survive the calls).
+	q.MOVr(isa.R0, isa.R4)
+	q.SUBi(isa.R1, isa.R6, 1)
+	q.BL("qsort")
+	q.ADDi(isa.R0, isa.R6, 1)
+	q.MOVr(isa.R1, isa.R5)
+	q.BL("qsort")
+	q.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+	q.Label("done")
+	q.RET()
+
+	return p
+}
+
+// Binsearch parameters (shared with the reference test).
+const (
+	BinsearchKeys = 24
+	BinsearchN    = 32
+)
+
+// BinsearchTable returns the sorted lookup table.
+func BinsearchTable() []uint32 {
+	t := make([]uint32, BinsearchN)
+	v := uint32(3)
+	for i := range t {
+		t[i] = v
+		v += 1 + (v*2654435761)%13
+	}
+	return t
+}
+
+// BinsearchKey returns the i-th probe key: every third probe is a known
+// miss (value+1 falls between table entries by construction).
+func BinsearchKey(i int) uint32 {
+	t := BinsearchTable()
+	k := t[(i*7)%BinsearchN]
+	if i%3 == 2 {
+		k++
+	}
+	return k
+}
+
+func buildBinsearch() *asm.Program {
+	p := asm.NewProgram("binsearch")
+	tbl := BinsearchTable()
+	raw := make([]byte, 0, 4*len(tbl))
+	for _, v := range tbl {
+		raw = binary.LittleEndian.AppendUint32(raw, v)
+	}
+	p.AddData(&asm.DataSegment{Name: "table", Bytes: raw})
+
+	keys := make([]byte, 0, 4*BinsearchKeys)
+	for i := 0; i < BinsearchKeys; i++ {
+		keys = binary.LittleEndian.AppendUint32(keys, BinsearchKey(i))
+	}
+	p.AddData(&asm.DataSegment{Name: "keys", Bytes: keys})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.LA(isa.R9, "table")
+	main.LA(isa.R10, "keys")
+	main.MOVi(isa.R4, 0) // key index
+	main.MOVi(isa.R6, 0) // found count
+	main.MOVi(isa.R7, 0) // found-position sum
+	main.Label("keys_loop")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.LDRr(isa.R0, isa.R10, isa.R0)
+	main.BL("bsearch") // R0 = key -> R0 = index or 0xffffffff
+	main.CMPi(isa.R0, 0)
+	main.BLT("miss") // signed: -1 means not found
+	main.ADDi(isa.R6, isa.R6, 1)
+	main.ADDr(isa.R7, isa.R7, isa.R0)
+	main.Label("miss")
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, BinsearchKeys)
+	main.BLT("keys_loop") // contains a call: not simple
+
+	main.MOV32(isa.R12, 0) // report found<<16 | possum (possum < 2^9 here)
+	main.LSLi(isa.R0, isa.R6, 16)
+	main.ORRr(isa.R0, isa.R0, isa.R7)
+	emitReportR0(main)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+
+	// bsearch(R0 = key) -> R0 = index or -1. Leaf.
+	b := p.AddFunc(asm.NewFunction("bsearch"))
+	b.MOVi(isa.R1, 0)            // lo
+	b.MOVi(isa.R2, BinsearchN-1) // hi
+	b.Label("loop")
+	b.CMPr(isa.R1, isa.R2)
+	b.BGT("notfound") // lo > hi (signed)
+	b.ADDr(isa.R3, isa.R1, isa.R2)
+	b.LSRi(isa.R3, isa.R3, 1) // mid
+	b.LSLi(isa.R12, isa.R3, 2)
+	b.LDRr(isa.R12, isa.R9, isa.R12) // table[mid]
+	b.CMPr(isa.R12, isa.R0)
+	b.BEQ("hit")
+	b.BCC("go_right") // table[mid] < key (unsigned)
+	b.SUBi(isa.R2, isa.R3, 1)
+	b.B("loop")
+	b.Label("go_right")
+	b.ADDi(isa.R1, isa.R3, 1)
+	b.B("loop")
+	b.Label("hit")
+	b.MOVr(isa.R0, isa.R3)
+	b.RET()
+	b.Label("notfound")
+	b.MOVi(isa.R0, 0)
+	b.SUBi(isa.R0, isa.R0, 1) // -1
+	b.RET()
+
+	return p
+}

@@ -1,0 +1,47 @@
+package apps
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestQuicksort(t *testing.T) {
+	got := runAndGetResult(t, "quicksort")
+	x := uint32(QuicksortSeed)
+	vals := make([]uint32, QuicksortN)
+	for i := range vals {
+		x = x*1664525 + 1013904223
+		vals[i] = x >> 16
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var want uint32
+	for i, v := range vals {
+		want += v * uint32(i)
+	}
+	if got != want {
+		t.Errorf("quicksort checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestBinsearch(t *testing.T) {
+	got := runAndGetResult(t, "binsearch")
+	tbl := BinsearchTable()
+	idx := make(map[uint32]uint32, len(tbl))
+	for i, v := range tbl {
+		idx[v] = uint32(i)
+	}
+	var found, possum uint32
+	for i := 0; i < BinsearchKeys; i++ {
+		if pos, ok := idx[BinsearchKey(i)]; ok {
+			found++
+			possum += pos
+		}
+	}
+	if found == 0 || found == BinsearchKeys {
+		t.Fatalf("degenerate key mix: %d/%d found", found, BinsearchKeys)
+	}
+	want := found<<16 | possum
+	if got != want {
+		t.Errorf("binsearch = %#x, want %#x (found=%d possum=%d)", got, want, found, possum)
+	}
+}

@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+func init() {
+	register(App{
+		Name: "geiger",
+		Description: "ArduinoPocketGeiger-style counter: 400 sampling slots with " +
+			"event-driven conditionals, a ring history and periodic CPM reports",
+		Build: buildGeiger,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				Geig: periph.NewGeiger(0xBEE5, 12),
+				Host: &periph.HostLink{},
+			}
+			m.Map(periph.GeigerBase, periph.DeviceWindow, d.Geig)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+func buildGeiger() *asm.Program {
+	p := asm.NewProgram("geiger")
+	const slots = 400
+	ring := mem.NSDataBase // 16-entry event-time ring
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R8, periph.GeigerBase)
+	main.MOV32(isa.R9, ring)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+
+	main.MOVi(isa.R4, 0)   // slot
+	main.MOVi(isa.R5, 0)   // event count
+	main.MOVi(isa.R6, 100) // report countdown
+	main.Label("slot")
+	main.MOVi(isa.R0, 1)
+	main.STRi(isa.R0, isa.R8, periph.GeigerTick)
+	main.LDRi(isa.R0, isa.R8, periph.GeigerPulse)
+	main.CMPi(isa.R0, 0)
+	main.BEQ("no_event") // data-dependent conditional
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.MOVi(isa.R1, 15)
+	main.ANDr(isa.R1, isa.R5, isa.R1)
+	main.LSLi(isa.R1, isa.R1, 2)
+	main.STRr(isa.R4, isa.R9, isa.R1) // ring[count & 15] = slot
+	main.Label("no_event")
+	main.SUBi(isa.R6, isa.R6, 1)
+	main.CMPi(isa.R6, 0)
+	main.BNE("no_report")
+	main.MOVi(isa.R6, 100)
+	// Report CPM estimate: events-per-100-slots scaled by 6.
+	main.MOVi(isa.R0, 6)
+	main.MUL(isa.R0, isa.R5, isa.R0)
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.Label("no_report")
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, slots)
+	main.BLT("slot") // non-deterministic body: not simple
+
+	// Drain the ring into a spread metric (simple loop).
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R7, 0)
+	main.Label("drain")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.LDRr(isa.R1, isa.R9, isa.R0)
+	main.ADDr(isa.R7, isa.R7, isa.R1)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, 16)
+	main.BLT("drain")
+
+	main.STRi(isa.R5, isa.R10, periph.HostData) // total events
+	main.STRi(isa.R7, isa.R10, periph.HostData) // ring sum
+	main.MOVr(isa.R0, isa.R5)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+	return p
+}

@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// nmea wraps a sentence body with "$...*CS\r\n" framing.
+func nmea(body string) string {
+	cs := byte(0)
+	for i := 0; i < len(body); i++ {
+		cs ^= body[i]
+	}
+	return fmt.Sprintf("$%s*%02X\r\n", body, cs)
+}
+
+// GPSStream is the UART input: a TinyGPS++-style mix of GGA/RMC sentences,
+// inter-sentence noise, and one corrupted checksum. Exported so tests can
+// compute the reference parse.
+func GPSStream() []byte {
+	var b strings.Builder
+	bodies := []string{
+		"GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,",
+		"GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W",
+		"GPGGA,123520,4807.040,N,01131.004,E,1,08,0.9,545.9,M,46.9,M,,",
+		"GPRMC,123520,A,4807.040,N,01131.004,E,022.6,084.5,230394,003.1,W",
+		"GPGGA,123521,4807.043,N,01131.009,E,1,07,1.1,546.3,M,46.9,M,,",
+		"GPRMC,123521,A,4807.043,N,01131.009,E,022.9,084.7,230394,003.1,W",
+		"GPGGA,123522,4807.047,N,01131.015,E,1,07,1.1,546.8,M,46.9,M,,",
+		"GPRMC,123522,A,4807.047,N,01131.015,E,023.1,084.8,230394,003.1,W",
+		"GPGGA,123523,4807.052,N,01131.022,E,1,08,0.9,547.1,M,46.9,M,,",
+		"GPRMC,123523,A,4807.052,N,01131.022,E,023.4,085.0,230394,003.1,W",
+	}
+	b.WriteString("@@noise@@") // pre-sentence garbage
+	for i, body := range bodies {
+		s := nmea(body)
+		if i == 6 {
+			// Corrupt one checksum nibble: the parser must count it bad.
+			s = strings.Replace(s, "*", "*0", 1)
+			s = s[:len(s)-3] + "\r\n"
+		}
+		b.WriteString(s)
+	}
+	return []byte(b.String())
+}
+
+func init() {
+	register(App{
+		Name: "gps",
+		Description: "TinyGPS++-style NMEA parser: per-character state machine with " +
+			"jump-table dispatch and checksum validation (indirect-jump heavy)",
+		Build: buildGPS,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				UART: periph.NewUART(GPSStream()),
+				Host: &periph.HostLink{},
+			}
+			m.Map(periph.UARTBase, periph.DeviceWindow, d.UART)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// Parser register allocation:
+//
+//	R4 state (0 wait-$, 1 body, 2 checksum-hi, 3 checksum-lo)
+//	R5 running XOR checksum   R6 current field value
+//	R7 field-value sum        R8 expected checksum
+//	R9 UART base              R10 good count   R11 bad count
+func buildGPS() *asm.Program {
+	p := asm.NewProgram("gps")
+	p.AddData(&asm.DataSegment{
+		Name: "gps_states",
+		Syms: []string{"main.st_wait", "main.st_body", "main.st_cs_hi", "main.st_cs_lo"},
+	})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R9, periph.UARTBase)
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R5, 0)
+	main.MOVi(isa.R6, 0)
+	main.MOVi(isa.R7, 0)
+	main.MOVi(isa.R10, 0)
+	main.MOVi(isa.R11, 0)
+
+	main.Label("next_char")
+	main.LDRi(isa.R0, isa.R9, periph.UARTStatus)
+	main.MOVi(isa.R1, 1)
+	main.ANDr(isa.R1, isa.R0, isa.R1)
+	main.CMPi(isa.R1, 0)
+	main.BEQ("parse_done") // stream exhausted (forward loop exit)
+	main.LDRi(isa.R0, isa.R9, periph.UARTData)
+	main.LA(isa.R2, "gps_states")
+	main.LDRPC(isa.R2, isa.R4) // jump-table dispatch on parser state
+
+	main.Label("st_wait")
+	main.CMPi(isa.R0, '$')
+	main.BNE("next_char")
+	main.MOVi(isa.R4, 1)
+	main.MOVi(isa.R5, 0)
+	main.MOVi(isa.R6, 0)
+	main.B("next_char")
+
+	main.Label("st_body")
+	main.CMPi(isa.R0, '*')
+	main.BEQ("to_cs")
+	main.EORr(isa.R5, isa.R5, isa.R0)
+	main.CMPi(isa.R0, ',')
+	main.BEQ("field_end")
+	main.SUBi(isa.R1, isa.R0, '0')
+	main.CMPi(isa.R1, 10)
+	main.BCS("next_char") // not a digit
+	main.MOVi(isa.R2, 10)
+	main.MUL(isa.R6, isa.R6, isa.R2)
+	main.ADDr(isa.R6, isa.R6, isa.R1)
+	main.B("next_char")
+	main.Label("field_end")
+	main.ADDr(isa.R7, isa.R7, isa.R6)
+	main.MOVi(isa.R6, 0)
+	main.B("next_char")
+	main.Label("to_cs")
+	main.ADDr(isa.R7, isa.R7, isa.R6)
+	main.MOVi(isa.R6, 0)
+	main.MOVi(isa.R4, 2)
+	main.B("next_char")
+
+	main.Label("st_cs_hi")
+	main.BL("hexval")
+	main.LSLi(isa.R8, isa.R0, 4)
+	main.MOVi(isa.R4, 3)
+	main.B("next_char")
+
+	main.Label("st_cs_lo")
+	main.BL("hexval")
+	main.ADDr(isa.R8, isa.R8, isa.R0)
+	main.CMPr(isa.R8, isa.R5)
+	main.BNE("cs_bad")
+	main.ADDi(isa.R10, isa.R10, 1)
+	main.B("cs_done")
+	main.Label("cs_bad")
+	main.ADDi(isa.R11, isa.R11, 1)
+	main.Label("cs_done")
+	main.MOVi(isa.R4, 0)
+	main.B("next_char")
+
+	main.Label("parse_done")
+	main.MOV32(isa.R12, periph.HostLinkBase)
+	main.STRi(isa.R10, isa.R12, periph.HostData) // good sentences
+	main.STRi(isa.R11, isa.R12, periph.HostData) // bad sentences
+	main.STRi(isa.R7, isa.R12, periph.HostData)  // field-value sum
+	main.MOVr(isa.R0, isa.R10)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+
+	// hexval(R0 = ASCII hex char) -> R0 in [0,15]. Leaf.
+	hx := p.AddFunc(asm.NewFunction("hexval"))
+	hx.SUBi(isa.R1, isa.R0, '0')
+	hx.CMPi(isa.R1, 10)
+	hx.BCS("alpha")
+	hx.MOVr(isa.R0, isa.R1)
+	hx.RET()
+	hx.Label("alpha")
+	hx.SUBi(isa.R0, isa.R0, 'A'-10)
+	hx.RET()
+
+	return p
+}

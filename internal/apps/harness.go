@@ -1,0 +1,32 @@
+package apps
+
+import (
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/cpu"
+	"raptrack/internal/mem"
+)
+
+// RunPlain executes the app without any CFA machinery (the paper's
+// "Baseline" configuration) and returns the halted CPU and the peripheral
+// handles.
+func RunPlain(a App) (*cpu.CPU, *Devices, error) {
+	img, err := asm.Layout(a.Build(), mem.NSCodeBase)
+	if err != nil {
+		return nil, nil, fmt.Errorf("apps: laying out %s: %w", a.Name, err)
+	}
+	m := mem.New()
+	var dev *Devices
+	if a.Setup != nil {
+		dev = a.Setup(m)
+	}
+	c, err := cpu.New(cpu.Config{Image: img, Mem: m})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.Run(a.MaxSteps); err != nil {
+		return nil, dev, fmt.Errorf("apps: running %s: %w", a.Name, err)
+	}
+	return c, dev, nil
+}

@@ -1,0 +1,219 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// monitor is a composite firmware in the style of real deployed MCU
+// applications: a main sensing loop that filters an ADC channel, counts
+// radiation events, periodically ranges with the ultrasonic sensor,
+// dispatches host commands through a function-pointer table, and raises an
+// alarm line when the filtered value crosses a threshold. It is the
+// longest-running workload and exercises every evidence kind at once.
+
+// monitorScript is the host command stream: (0, v) sets the alarm
+// threshold, (1) queries the alarm count.
+var monitorScript = []byte{
+	1,
+	0, 200,
+	1,
+	0, 90,
+	1,
+}
+
+// Monitor RAM globals (offsets from mem.NSDataBase).
+const (
+	monThreshold = 0  // alarm threshold for the filtered value
+	monAlarms    = 4  // alarm counter
+	monDistRing  = 8  // 8-word distance ring
+	monCmds      = 40 // commands handled
+)
+
+const monIterations = 200
+
+func init() {
+	register(App{
+		Name: "monitor",
+		Description: "composite firmware: sensing main loop with EWMA filter, Geiger events, " +
+			"periodic ranging, command dispatch and an alarm interlock (longest workload)",
+		Build: buildMonitor,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				UART:  periph.NewUART(append([]byte(nil), monitorScript...)),
+				Ultra: periph.NewUltrasonic(0x5EED, 10, 40),
+				Geig:  periph.NewGeiger(0xCAFE, 20),
+				Temp:  periph.NewTemp(0xFACE),
+				GPIO:  &periph.GPIO{},
+				Host:  &periph.HostLink{},
+			}
+			m.Map(periph.UARTBase, periph.DeviceWindow, d.UART)
+			m.Map(periph.UltrasonicBase, periph.DeviceWindow, d.Ultra)
+			m.Map(periph.GeigerBase, periph.DeviceWindow, d.Geig)
+			m.Map(periph.TempBase, periph.DeviceWindow, d.Temp)
+			m.Map(periph.GPIOBase, periph.DeviceWindow, d.GPIO)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// Register plan (main): R4 loop counter, R5 EWMA, R6 geiger count,
+// R7 ranging countdown, R11 RAM base. Helpers use R0-R3 (+saved R4/R5).
+func buildMonitor() *asm.Program {
+	p := asm.NewProgram("monitor")
+	p.AddData(&asm.DataSegment{
+		Name: "mon_handlers",
+		Syms: []string{"h_set_threshold", "h_query"},
+	})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R11, mem.NSDataBase)
+	main.MOVi(isa.R0, 150)
+	main.STRi(isa.R0, isa.R11, monThreshold) // default threshold
+	main.MOVi(isa.R0, 0)
+	main.STRi(isa.R0, isa.R11, monAlarms)
+	main.STRi(isa.R0, isa.R11, monCmds)
+	main.MOVi(isa.R4, 0)   // i
+	main.MOVi(isa.R5, 512) // ewma
+	main.MOVi(isa.R6, 0)   // geiger events
+	main.MOVi(isa.R7, 10)  // ranging countdown
+
+	main.Label("tick")
+	// 1. Filtered temperature channel: ewma = (7*ewma + raw) / 8.
+	main.BL("read_temp") // leaf -> raw in R0
+	main.MOVi(isa.R1, 7)
+	main.MUL(isa.R5, isa.R5, isa.R1)
+	main.ADDr(isa.R5, isa.R5, isa.R0)
+	main.LSRi(isa.R5, isa.R5, 3)
+
+	// 2. Radiation events.
+	main.BL("geiger_tick") // leaf -> 1/0 in R0
+	main.ADDr(isa.R6, isa.R6, isa.R0)
+
+	// 3. Periodic ranging (every 10 ticks).
+	main.SUBi(isa.R7, isa.R7, 1)
+	main.CMPi(isa.R7, 0)
+	main.BNE("no_range")
+	main.MOVi(isa.R7, 10)
+	main.BL("measure_dist") // distance in R0
+	// ring[(i/10) & 7] = distance
+	main.MOVi(isa.R1, 10)
+	main.UDIV(isa.R1, isa.R4, isa.R1)
+	main.MOVi(isa.R2, 7)
+	main.ANDr(isa.R1, isa.R1, isa.R2)
+	main.LSLi(isa.R1, isa.R1, 2)
+	main.ADDi(isa.R1, isa.R1, monDistRing)
+	main.STRr(isa.R0, isa.R11, isa.R1)
+	main.Label("no_range")
+
+	// 4. Host commands (drains at most one per tick).
+	main.BL("handle_uart")
+
+	// 5. Alarm interlock: filtered value above threshold?
+	main.LDRi(isa.R0, isa.R11, monThreshold)
+	main.CMPr(isa.R5, isa.R0)
+	main.BLS("no_alarm")
+	main.LDRi(isa.R0, isa.R11, monAlarms)
+	main.ADDi(isa.R0, isa.R0, 1)
+	main.STRi(isa.R0, isa.R11, monAlarms)
+	main.MOV32(isa.R1, periph.GPIOBase)
+	main.MOVi(isa.R2, 1)
+	main.STRi(isa.R2, isa.R1, periph.GPIOOut)
+	main.Label("no_alarm")
+
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, monIterations)
+	main.BLT("tick") // body is non-deterministic: trampolined per tick
+
+	// Summary: events, alarms, commands, ring sum.
+	main.MOV32(isa.R10, periph.HostLinkBase)
+	main.STRi(isa.R6, isa.R10, periph.HostData)
+	main.LDRi(isa.R0, isa.R11, monAlarms)
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.LDRi(isa.R0, isa.R11, monCmds)
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.MOVi(isa.R0, 0)
+	main.MOVi(isa.R1, 0)
+	main.Label("ringsum")
+	main.LSLi(isa.R2, isa.R1, 2)
+	main.ADDi(isa.R2, isa.R2, monDistRing)
+	main.LDRr(isa.R3, isa.R11, isa.R2)
+	main.ADDr(isa.R0, isa.R0, isa.R3)
+	main.ADDi(isa.R1, isa.R1, 1)
+	main.CMPi(isa.R1, 8)
+	main.BLT("ringsum") // static simple loop
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+
+	// read_temp() -> R0 raw sample. Leaf.
+	rt := p.AddFunc(asm.NewFunction("read_temp"))
+	rt.MOV32(isa.R1, periph.TempBase)
+	rt.LDRi(isa.R0, isa.R1, periph.TempSample)
+	rt.RET()
+
+	// geiger_tick() -> R0 in {0,1}. Leaf.
+	gt := p.AddFunc(asm.NewFunction("geiger_tick"))
+	gt.MOV32(isa.R1, periph.GeigerBase)
+	gt.MOVi(isa.R0, 1)
+	gt.STRi(isa.R0, isa.R1, periph.GeigerTick)
+	gt.LDRi(isa.R0, isa.R1, periph.GeigerPulse)
+	gt.RET()
+
+	// measure_dist() -> R0 distance (poll count). Leaf with a variable
+	// polling loop.
+	md := p.AddFunc(asm.NewFunction("measure_dist"))
+	md.MOV32(isa.R1, periph.UltrasonicBase)
+	md.MOVi(isa.R2, 1)
+	md.STRi(isa.R2, isa.R1, periph.UltraTrigger)
+	md.MOVi(isa.R0, 0)
+	md.Label("poll")
+	md.LDRi(isa.R2, isa.R1, periph.UltraEcho)
+	md.CMPi(isa.R2, 0)
+	md.BEQ("done")
+	md.ADDi(isa.R0, isa.R0, 1)
+	md.B("poll")
+	md.Label("done")
+	md.RET()
+
+	// handle_uart(): dispatch at most one pending command. Non-leaf.
+	hu := p.AddFunc(asm.NewFunction("handle_uart"))
+	hu.PUSH(isa.R4, isa.LR)
+	hu.MOV32(isa.R4, periph.UARTBase)
+	hu.LDRi(isa.R0, isa.R4, periph.UARTStatus)
+	hu.MOVi(isa.R1, 1)
+	hu.ANDr(isa.R1, isa.R0, isa.R1)
+	hu.CMPi(isa.R1, 0)
+	hu.BEQ("idle")
+	hu.LDRi(isa.R0, isa.R4, periph.UARTData) // opcode
+	hu.CMPi(isa.R0, 2)
+	hu.BCS("idle") // unknown opcode
+	hu.LA(isa.R2, "mon_handlers")
+	hu.LSLi(isa.R1, isa.R0, 2)
+	hu.LDRr(isa.R3, isa.R2, isa.R1)
+	hu.BLX(isa.R3) // indirect call
+	hu.LDRi(isa.R0, isa.R11, monCmds)
+	hu.ADDi(isa.R0, isa.R0, 1)
+	hu.STRi(isa.R0, isa.R11, monCmds)
+	hu.Label("idle")
+	hu.POP(isa.R4, isa.PC)
+
+	// h_set_threshold: next UART byte becomes the threshold. Leaf.
+	hs := p.AddFunc(asm.NewFunction("h_set_threshold"))
+	hs.MOV32(isa.R1, periph.UARTBase)
+	hs.LDRi(isa.R0, isa.R1, periph.UARTData)
+	hs.STRi(isa.R0, isa.R11, monThreshold)
+	hs.RET()
+
+	// h_query: report the alarm count so far. Leaf.
+	hq := p.AddFunc(asm.NewFunction("h_query"))
+	hq.MOV32(isa.R1, periph.HostLinkBase)
+	hq.LDRi(isa.R0, isa.R11, monAlarms)
+	hq.STRi(isa.R0, isa.R1, periph.HostData)
+	hq.RET()
+
+	return p
+}

@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"testing"
+
+	"raptrack/internal/periph"
+)
+
+// refMonitor mirrors the monitor firmware tick-for-tick against the same
+// deterministic peripheral models.
+func refMonitor() (hostWords []uint32, gpioWrites int) {
+	tempRng := periph.NewRand(0xFACE)
+	tempRaw := uint32(512)
+	readTemp := func() uint32 {
+		delta := int32(tempRng.Intn(9)) - 4
+		v := int32(tempRaw) + delta
+		if v < 0 {
+			v = 0
+		}
+		if v > 1023 {
+			v = 1023
+		}
+		tempRaw = uint32(v)
+		return tempRaw
+	}
+	geigRng := periph.NewRand(0xCAFE)
+	geigerTick := func() uint32 {
+		if geigRng.Intn(100) < 20 {
+			return 1
+		}
+		return 0
+	}
+	ultraRng := periph.NewRand(0x5EED)
+	measure := func() uint32 { return 10 + ultraRng.Intn(40-10+1) }
+
+	script := append([]byte(nil), monitorScript...)
+	pos := 0
+
+	threshold := uint32(150)
+	var alarms, events, cmds uint32
+	var ring [8]uint32
+	ewma := uint32(512)
+	countdown := 10
+
+	for i := 0; i < monIterations; i++ {
+		raw := readTemp()
+		ewma = (7*ewma + raw) >> 3
+		events += geigerTick()
+		countdown--
+		if countdown == 0 {
+			countdown = 10
+			d := measure()
+			ring[(uint32(i)/10)&7] = d
+		}
+		// handle_uart: one command per tick.
+		if pos < len(script) {
+			op := script[pos]
+			pos++
+			if op < 2 {
+				switch op {
+				case 0:
+					threshold = uint32(script[pos])
+					pos++
+				case 1:
+					hostWords = append(hostWords, alarms)
+				}
+				cmds++
+			}
+		}
+		if ewma > threshold {
+			alarms++
+			gpioWrites++
+		}
+	}
+	var ringSum uint32
+	for _, v := range ring {
+		ringSum += v
+	}
+	hostWords = append(hostWords, events, alarms, cmds, ringSum)
+	return hostWords, gpioWrites
+}
+
+func TestMonitorReference(t *testing.T) {
+	a, err := Get("monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, gpio := refMonitor()
+	if len(dev.Host.Words) != len(want) {
+		t.Fatalf("host words: got %v, want %v", dev.Host.Words, want)
+	}
+	for i := range want {
+		if dev.Host.Words[i] != want[i] {
+			t.Errorf("word %d = %d, want %d", i, dev.Host.Words[i], want[i])
+		}
+	}
+	if dev.GPIO.Writes != gpio {
+		t.Errorf("gpio writes = %d, want %d", dev.GPIO.Writes, gpio)
+	}
+	if c.Steps < 10_000 {
+		t.Errorf("monitor should be the longest workload, got %d instructions", c.Steps)
+	}
+}

@@ -1,0 +1,278 @@
+package apps
+
+import (
+	"testing"
+
+	"raptrack/internal/periph"
+)
+
+// Reference models mirror the peripheral PRNGs and the assembly logic.
+
+func TestUltrasonicReference(t *testing.T) {
+	a, err := Get("ultrasonic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := periph.NewRand(0xA11CE)
+	const min, max, n = 20, 90, 16
+	samples := make([]uint32, n)
+	var sum uint32
+	for i := range samples {
+		samples[i] = min + rng.Intn(max-min+1)
+		sum += samples[i]
+	}
+	avg := sum >> 4
+	mm := avg * 343 / 200
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	want := []uint32{mm, lo, hi}
+	if len(dev.Host.Words) != len(want) {
+		t.Fatalf("host words = %v, want %v", dev.Host.Words, want)
+	}
+	for i, w := range want {
+		if dev.Host.Words[i] != w {
+			t.Errorf("word %d = %d, want %d", i, dev.Host.Words[i], w)
+		}
+	}
+	if dev.Ultra.Triggers != n {
+		t.Errorf("triggers = %d, want %d", dev.Ultra.Triggers, n)
+	}
+}
+
+func TestGeigerReference(t *testing.T) {
+	a, err := Get("geiger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := periph.NewRand(0xBEE5)
+	var ring [16]uint32
+	var count uint32
+	var want []uint32
+	countdown := 100
+	for slot := uint32(0); slot < 400; slot++ {
+		if rng.Intn(100) < 12 {
+			count++
+			ring[count&15] = slot
+		}
+		countdown--
+		if countdown == 0 {
+			countdown = 100
+			want = append(want, count*6)
+		}
+	}
+	var ringSum uint32
+	for _, v := range ring {
+		ringSum += v
+	}
+	want = append(want, count, ringSum)
+
+	if len(dev.Host.Words) != len(want) {
+		t.Fatalf("host words = %v, want %v", dev.Host.Words, want)
+	}
+	for i, w := range want {
+		if dev.Host.Words[i] != w {
+			t.Errorf("word %d = %d, want %d", i, dev.Host.Words[i], w)
+		}
+	}
+}
+
+func TestTemperatureReference(t *testing.T) {
+	a, err := Get("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := periph.NewRand(0x7E3A)
+	raw := uint32(512)
+	sample := func() uint32 {
+		delta := int32(rng.Intn(9)) - 4
+		v := int32(raw) + delta
+		if v < 0 {
+			v = 0
+		}
+		if v > 1023 {
+			v = 1023
+		}
+		raw = uint32(v)
+		return raw
+	}
+	thresholds := []uint32{64, 128, 192, 256, 320, 384, 448, 512,
+		576, 640, 704, 768, 832, 896, 960, 0xffff}
+	ewma := uint32(512)
+	var want []uint32
+	var bucketSum uint32
+	countdown := 8
+	for i := 0; i < 64; i++ {
+		r := sample()
+		ewma = (ewma*7 + r) >> 3
+		bucket := uint32(0)
+		for thresholds[bucket] <= ewma {
+			bucket++
+		}
+		bucketSum += bucket
+		countdown--
+		if countdown == 0 {
+			countdown = 8
+			want = append(want, bucket)
+		}
+	}
+	want = append(want, bucketSum>>6)
+
+	if len(dev.Host.Words) != len(want) {
+		t.Fatalf("host words = %v, want %v", dev.Host.Words, want)
+	}
+	for i, w := range want {
+		if dev.Host.Words[i] != w {
+			t.Errorf("word %d = %d, want %d", i, dev.Host.Words[i], w)
+		}
+	}
+}
+
+func TestSyringeReference(t *testing.T) {
+	a, err := Get("syringe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror the command semantics.
+	rate, total := uint32(2), uint32(0)
+	var want []uint32
+	gpioWrites := 0
+	script := syringeScript
+	for i := 0; i < len(script); {
+		switch script[i] {
+		case cmdSetRate:
+			rate = uint32(script[i+1])
+			i += 2
+		case cmdDispense:
+			vol := uint32(script[i+1])
+			total += vol
+			gpioWrites += int(vol*rate) * 2
+			i += 2
+		case cmdWithdraw:
+			vol := uint32(script[i+1])
+			if vol > total {
+				vol = total
+			}
+			total -= vol
+			gpioWrites += int(vol*rate) * 2
+			i += 2
+		case cmdStatus:
+			want = append(want, rate, total)
+			i++
+		}
+	}
+	want = append(want, total)
+
+	if len(dev.Host.Words) != len(want) {
+		t.Fatalf("host words = %v, want %v", dev.Host.Words, want)
+	}
+	for i, w := range want {
+		if dev.Host.Words[i] != w {
+			t.Errorf("word %d = %d, want %d", i, dev.Host.Words[i], w)
+		}
+	}
+	if dev.GPIO.Writes != gpioWrites {
+		t.Errorf("gpio writes = %d, want %d", dev.GPIO.Writes, gpioWrites)
+	}
+}
+
+// refGPSParse mirrors the assembly state machine character by character.
+func refGPSParse(stream []byte) (good, bad, sum uint32) {
+	state := 0
+	var cs, val, expect uint32
+	hex := func(c byte) uint32 {
+		if c >= '0' && c <= '9' {
+			return uint32(c - '0')
+		}
+		return uint32(c-'A') + 10
+	}
+	for _, c := range stream {
+		switch state {
+		case 0:
+			if c == '$' {
+				state, cs, val = 1, 0, 0
+			}
+		case 1:
+			if c == '*' {
+				sum += val
+				val = 0
+				state = 2
+				continue
+			}
+			cs ^= uint32(c)
+			if c == ',' {
+				sum += val
+				val = 0
+				continue
+			}
+			if d := uint32(c) - '0'; d < 10 {
+				val = val*10 + d
+			}
+		case 2:
+			expect = hex(c) << 4
+			state = 3
+		case 3:
+			expect += hex(c)
+			if expect == cs {
+				good++
+			} else {
+				bad++
+			}
+			state = 0
+		}
+	}
+	return good, bad, sum
+}
+
+func TestGPSReference(t *testing.T) {
+	a, err := Get("gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad, sum := refGPSParse(GPSStream())
+	if good < 8 {
+		t.Fatalf("reference stream should contain >=8 good sentences, got %d", good)
+	}
+	if bad == 0 {
+		t.Fatalf("reference stream should contain a corrupted sentence")
+	}
+	want := []uint32{good, bad, sum}
+	if len(dev.Host.Words) != len(want) {
+		t.Fatalf("host words = %v, want %v", dev.Host.Words, want)
+	}
+	for i, w := range want {
+		if dev.Host.Words[i] != w {
+			t.Errorf("word %d = %d, want %d", i, dev.Host.Words[i], w)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// Syringe pump command opcodes (first byte of each command).
+const (
+	cmdSetRate  = 0
+	cmdDispense = 1
+	cmdWithdraw = 2
+	cmdStatus   = 3
+)
+
+// syringeScript is the host command stream the pump executes.
+var syringeScript = []byte{
+	cmdSetRate, 3,
+	cmdStatus,
+	cmdDispense, 8,
+	cmdDispense, 5,
+	cmdStatus,
+	cmdWithdraw, 4,
+	cmdSetRate, 2,
+	cmdDispense, 12,
+	cmdWithdraw, 30, // over-withdraw: exercises the clamp branch
+	cmdStatus,
+}
+
+func init() {
+	register(App{
+		Name: "syringe",
+		Description: "OpenSyringePump: UART command dispatch through function pointers, " +
+			"stepper pulse loops with nested delays (loop-optimization beneficiary)",
+		Build: buildSyringe,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				UART: periph.NewUART(append([]byte(nil), syringeScript...)),
+				GPIO: &periph.GPIO{},
+				Host: &periph.HostLink{},
+			}
+			m.Map(periph.UARTBase, periph.DeviceWindow, d.UART)
+			m.Map(periph.GPIOBase, periph.DeviceWindow, d.GPIO)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// Pump state in RAM: rate @ +0, dispensed-total @ +4.
+func buildSyringe() *asm.Program {
+	p := asm.NewProgram("syringe")
+	state := mem.NSDataBase
+	p.AddData(&asm.DataSegment{
+		Name: "cmd_handlers",
+		Syms: []string{"h_rate", "h_dispense", "h_withdraw", "h_status"},
+	})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.MOV32(isa.R8, periph.UARTBase)
+	main.MOV32(isa.R9, periph.GPIOBase)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+	main.MOV32(isa.R11, state)
+	main.MOVi(isa.R0, 2)
+	main.STRi(isa.R0, isa.R11, 0) // rate = 2
+	main.MOVi(isa.R0, 0)
+	main.STRi(isa.R0, isa.R11, 4) // total = 0
+
+	main.Label("cmd_loop")
+	main.LDRi(isa.R0, isa.R8, periph.UARTStatus)
+	main.MOVi(isa.R1, 1)
+	main.ANDr(isa.R1, isa.R0, isa.R1)
+	main.CMPi(isa.R1, 0)
+	main.BEQ("done") // stream exhausted
+	main.LDRi(isa.R0, isa.R8, periph.UARTData)
+	main.CMPi(isa.R0, 4)
+	main.BCS("next") // unknown opcode: ignore
+	main.LA(isa.R2, "cmd_handlers")
+	main.LSLi(isa.R1, isa.R0, 2)
+	main.LDRr(isa.R3, isa.R2, isa.R1)
+	main.BLX(isa.R3) // indirect call through the handler table
+	main.Label("next")
+	main.B("cmd_loop")
+	main.Label("done")
+	main.LDRi(isa.R0, isa.R11, 4)
+	main.STRi(isa.R0, isa.R10, periph.HostData) // final total
+	main.POP(isa.PC)
+
+	// h_rate: rate = next UART byte. Leaf.
+	hr := p.AddFunc(asm.NewFunction("h_rate"))
+	hr.LDRi(isa.R0, isa.R8, periph.UARTData)
+	hr.STRi(isa.R0, isa.R11, 0)
+	hr.RET()
+
+	// h_dispense: steps = volume*rate stepper pulses; total += volume.
+	hd := p.AddFunc(asm.NewFunction("h_dispense"))
+	hd.PUSH(isa.R4, isa.R5)
+	hd.LDRi(isa.R0, isa.R8, periph.UARTData) // volume
+	hd.LDRi(isa.R1, isa.R11, 0)              // rate
+	hd.MUL(isa.R4, isa.R0, isa.R1)           // steps
+	hd.LDRi(isa.R2, isa.R11, 4)
+	hd.ADDr(isa.R2, isa.R2, isa.R0)
+	hd.STRi(isa.R2, isa.R11, 4)
+	emitStepLoop(hd, 1)
+	hd.POP(isa.R4, isa.R5)
+	hd.RET()
+
+	// h_withdraw: clamp to the dispensed total, reverse direction.
+	hw := p.AddFunc(asm.NewFunction("h_withdraw"))
+	hw.PUSH(isa.R4, isa.R5)
+	hw.LDRi(isa.R0, isa.R8, periph.UARTData) // volume
+	hw.LDRi(isa.R2, isa.R11, 4)              // total
+	hw.CMPr(isa.R2, isa.R0)
+	hw.BCS("enough")
+	hw.MOVr(isa.R0, isa.R2) // clamp to what was dispensed
+	hw.Label("enough")
+	hw.SUBr(isa.R2, isa.R2, isa.R0)
+	hw.STRi(isa.R2, isa.R11, 4)
+	hw.LDRi(isa.R1, isa.R11, 0)
+	hw.MUL(isa.R4, isa.R0, isa.R1) // steps
+	emitStepLoop(hw, 2)
+	hw.POP(isa.R4, isa.R5)
+	hw.RET()
+
+	// h_status: report rate and total. Leaf.
+	hs := p.AddFunc(asm.NewFunction("h_status"))
+	hs.LDRi(isa.R0, isa.R11, 0)
+	hs.STRi(isa.R0, isa.R10, periph.HostData)
+	hs.LDRi(isa.R0, isa.R11, 4)
+	hs.STRi(isa.R0, isa.R10, periph.HostData)
+	hs.RET()
+
+	return p
+}
+
+// emitStepLoop emits the stepper pulse loop: R4 holds the (runtime) step
+// count; each step toggles the GPIO latch with fixed delay loops between
+// edges. The outer loop is a forward simple loop with a register-valued
+// entry count; the delays are constant-bound simple loops — all eligible
+// for the §IV-D loop optimization.
+func emitStepLoop(f *asm.Function, level int32) {
+	f.Label("step_loop")
+	f.CMPi(isa.R4, 0)
+	f.BEQ("step_done")
+	f.MOVi(isa.R0, level)
+	f.STRi(isa.R0, isa.R9, periph.GPIOOut)
+	f.MOVi(isa.R5, 12)
+	f.Label("dly_hi")
+	f.SUBi(isa.R5, isa.R5, 1)
+	f.CMPi(isa.R5, 0)
+	f.BNE("dly_hi")
+	f.MOVi(isa.R0, 0)
+	f.STRi(isa.R0, isa.R9, periph.GPIOOut)
+	f.MOVi(isa.R5, 12)
+	f.Label("dly_lo")
+	f.SUBi(isa.R5, isa.R5, 1)
+	f.CMPi(isa.R5, 0)
+	f.BNE("dly_lo")
+	f.SUBi(isa.R4, isa.R4, 1)
+	f.B("step_loop")
+	f.Label("step_done")
+}

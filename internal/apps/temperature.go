@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+func init() {
+	register(App{
+		Name: "temperature",
+		Description: "Grove temperature sensor: 64 ADC samples, EWMA filter, " +
+			"threshold-table conversion and periodic reports",
+		Build: buildTemperature,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				Temp: periph.NewTemp(0x7E3A),
+				Host: &periph.HostLink{},
+			}
+			m.Map(periph.TempBase, periph.DeviceWindow, d.Temp)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// tempThresholds is the ADC-to-temperature conversion table: the index of
+// the first threshold above the filtered reading is the reported
+// temperature bucket. The final entry is a sentinel guaranteeing exit.
+func tempThresholds() []byte {
+	vals := []uint32{64, 128, 192, 256, 320, 384, 448, 512,
+		576, 640, 704, 768, 832, 896, 960, 0xffff}
+	out := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint32(out, v)
+	}
+	return out
+}
+
+func buildTemperature() *asm.Program {
+	p := asm.NewProgram("temperature")
+	const samples = 64
+	p.AddData(&asm.DataSegment{Name: "thresholds", Bytes: tempThresholds()})
+	buckets := mem.NSDataBase // per-sample bucket history
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R8, periph.TempBase)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+	main.LA(isa.R9, "thresholds")
+	main.MOV32(isa.R11, buckets)
+
+	main.MOVi(isa.R4, 0)   // sample index
+	main.MOVi(isa.R5, 512) // EWMA state
+	main.MOVi(isa.R6, 8)   // report countdown
+	main.Label("sample")
+	main.LDRi(isa.R0, isa.R8, periph.TempSample)
+	// ewma = (ewma*7 + raw) / 8
+	main.MOVi(isa.R1, 7)
+	main.MUL(isa.R5, isa.R5, isa.R1)
+	main.ADDr(isa.R5, isa.R5, isa.R0)
+	main.LSRi(isa.R5, isa.R5, 3)
+
+	// Threshold-table scan (variable forward loop, trampolined).
+	main.MOVi(isa.R2, 0) // bucket index
+	main.Label("scan")
+	main.LSLi(isa.R0, isa.R2, 2)
+	main.LDRr(isa.R1, isa.R9, isa.R0)
+	main.CMPr(isa.R5, isa.R1)
+	main.BLT("found") // first threshold above the EWMA
+	main.ADDi(isa.R2, isa.R2, 1)
+	main.B("scan")
+	main.Label("found")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.STRr(isa.R2, isa.R11, isa.R0) // buckets[i]
+
+	main.SUBi(isa.R6, isa.R6, 1)
+	main.CMPi(isa.R6, 0)
+	main.BNE("no_report")
+	main.MOVi(isa.R6, 8)
+	main.STRi(isa.R2, isa.R10, periph.HostData) // periodic bucket report
+	main.Label("no_report")
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, samples)
+	main.BLT("sample") // not simple: data-dependent body
+
+	// Average bucket over the run (simple loop).
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R7, 0)
+	main.Label("avg")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.LDRr(isa.R1, isa.R11, isa.R0)
+	main.ADDr(isa.R7, isa.R7, isa.R1)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, samples)
+	main.BLT("avg")
+	main.LSRi(isa.R7, isa.R7, 6)
+
+	main.STRi(isa.R7, isa.R10, periph.HostData)
+	main.MOVr(isa.R0, isa.R7)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+	return p
+}

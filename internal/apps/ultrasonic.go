@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+func init() {
+	register(App{
+		Name: "ultrasonic",
+		Description: "Seeed ultrasonic ranger: 16 echo measurements (variable polling loops) " +
+			"plus fixed-window statistics (loop-optimization beneficiary)",
+		Build: buildUltrasonic,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				Ultra: periph.NewUltrasonic(0xA11CE, 20, 90),
+				Host:  &periph.HostLink{},
+			}
+			m.Map(periph.UltrasonicBase, periph.DeviceWindow, d.Ultra)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+func buildUltrasonic() *asm.Program {
+	p := asm.NewProgram("ultrasonic")
+	const samples = 16
+	arr := mem.NSDataBase
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R8, periph.UltrasonicBase)
+	main.MOV32(isa.R9, arr)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+
+	// Measurement phase: trigger, then count polls while the echo is high
+	// (variable-duration loop, trampolined per iteration).
+	main.MOVi(isa.R4, 0) // sample index
+	main.Label("meas")
+	main.MOVi(isa.R0, 1)
+	main.STRi(isa.R0, isa.R8, periph.UltraTrigger)
+	main.MOVi(isa.R5, 0) // poll count
+	main.Label("poll")
+	main.LDRi(isa.R0, isa.R8, periph.UltraEcho)
+	main.CMPi(isa.R0, 0)
+	main.BEQ("poll_done") // forward exit, data dependent
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.B("poll")
+	main.Label("poll_done")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.STRr(isa.R5, isa.R9, isa.R0)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, samples)
+	main.BLT("meas") // contains non-deterministic polling: not simple
+
+	// Statistics phase. Sum (simple loop, optimized).
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R5, 0) // sum
+	main.Label("sum")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.LDRr(isa.R1, isa.R9, isa.R0)
+	main.ADDr(isa.R5, isa.R5, isa.R1)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, samples)
+	main.BLT("sum")
+	main.LSRi(isa.R5, isa.R5, 4) // avg polls
+
+	// Convert average to millimetres: mm = polls * 343 / 200 (sound speed
+	// scaling at the synthetic poll rate).
+	main.MOV32(isa.R0, 343)
+	main.MUL(isa.R5, isa.R5, isa.R0)
+	main.MOVi(isa.R0, 200)
+	main.UDIV(isa.R5, isa.R5, isa.R0)
+
+	// Min/max scan (data-dependent conditionals: not simple).
+	main.LDRi(isa.R6, isa.R9, 0) // min
+	main.MOVr(isa.R7, isa.R6)    // max
+	main.MOVi(isa.R4, 1)
+	main.Label("mm")
+	main.LSLi(isa.R0, isa.R4, 2)
+	main.LDRr(isa.R1, isa.R9, isa.R0)
+	main.CMPr(isa.R1, isa.R6)
+	main.BCS("not_min")
+	main.MOVr(isa.R6, isa.R1)
+	main.Label("not_min")
+	main.CMPr(isa.R1, isa.R7)
+	main.BLS("not_max")
+	main.MOVr(isa.R7, isa.R1)
+	main.Label("not_max")
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, samples)
+	main.BLT("mm")
+
+	// Report avg_mm, min, max.
+	main.STRi(isa.R5, isa.R10, periph.HostData)
+	main.STRi(isa.R6, isa.R10, periph.HostData)
+	main.STRi(isa.R7, isa.R10, periph.HostData)
+	main.MOVr(isa.R0, isa.R5)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+	return p
+}

@@ -1,0 +1,249 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"raptrack/internal/isa"
+)
+
+func twoFuncProgram() *Program {
+	p := NewProgram("t")
+	f := p.NewFunc("main")
+	f.MOVi(isa.R0, 1) // 2B @ base
+	f.Label("mid")    //    @ base+2
+	f.BL("helper")    // 4B @ base+2
+	f.B("mid")        // 2B @ base+6
+	f.HLT()           // 2B @ base+8
+
+	h := p.AddFunc(NewFunction("helper"))
+	h.ADDi(isa.R0, isa.R0, 1) // 2B @ base+10
+	h.RET()                   // 2B @ base+12
+	return p
+}
+
+func TestLayoutAddressesAndSymbols(t *testing.T) {
+	p := twoFuncProgram()
+	img, err := Layout(p, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Symbols["main"] != 0x1000 {
+		t.Errorf("main @ %#x", img.Symbols["main"])
+	}
+	if img.Symbols["main.mid"] != 0x1002 {
+		t.Errorf("main.mid @ %#x", img.Symbols["main.mid"])
+	}
+	if img.Symbols["helper"] != 0x100a {
+		t.Errorf("helper @ %#x", img.Symbols["helper"])
+	}
+	// BL resolves cross-function; B resolves to local label.
+	bl, _ := img.InstrAt(0x1002)
+	if bl.Target != 0x100a {
+		t.Errorf("BL target %#x", bl.Target)
+	}
+	b, _ := img.InstrAt(0x1006)
+	if b.Target != 0x1002 {
+		t.Errorf("B target %#x", b.Target)
+	}
+	if img.CodeSize != 14 {
+		t.Errorf("CodeSize = %d", img.CodeSize)
+	}
+	if got, err := img.EntryAddr(); err != nil || got != 0x1000 {
+		t.Errorf("EntryAddr = %#x, %v", got, err)
+	}
+	if img.FuncOf(0x100b) != "helper" {
+		t.Errorf("FuncOf = %q", img.FuncOf(0x100b))
+	}
+}
+
+func TestLayoutUndefinedSymbol(t *testing.T) {
+	p := NewProgram("t")
+	f := p.NewFunc("main")
+	f.B("nowhere")
+	if _, err := Layout(p, 0x1000); err == nil {
+		t.Fatal("undefined symbol must fail layout")
+	} else if le, ok := err.(*LayoutError); !ok || le.Sym != "nowhere" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLayoutDuplicateFunc(t *testing.T) {
+	p := NewProgram("t")
+	p.NewFunc("f")
+	p.AddFunc(NewFunction("f"))
+	if _, err := Layout(p, 0x1000); err == nil {
+		t.Fatal("duplicate function must fail layout")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	f := NewFunction("f")
+	f.Label("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label should panic")
+		}
+	}()
+	f.Label("x")
+}
+
+func TestMOVWMOVTSymbolResolution(t *testing.T) {
+	p := NewProgram("t")
+	f := p.NewFunc("main")
+	f.LA(isa.R0, "tab")
+	f.HLT()
+	p.AddData(&DataSegment{Name: "tab", Bytes: []byte{1, 2, 3, 4}})
+	img, err := Layout(p, 0x20_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := img.Symbols["tab"]
+	movw, _ := img.InstrAt(0x20_0000)
+	movt, _ := img.InstrAt(0x20_0004)
+	if uint32(movw.Imm) != tab&0xffff {
+		t.Errorf("MOVW imm %#x, want %#x", movw.Imm, tab&0xffff)
+	}
+	if uint32(movt.Imm) != tab>>16 {
+		t.Errorf("MOVT imm %#x, want %#x", movt.Imm, tab>>16)
+	}
+}
+
+func TestDataSegmentSymbolTable(t *testing.T) {
+	p := NewProgram("t")
+	f := p.NewFunc("main")
+	f.Label("a")
+	f.NOP()
+	f.Label("b")
+	f.HLT()
+	p.AddData(&DataSegment{Name: "jump", Syms: []string{"main.b", "main.a"}})
+	img, err := Layout(p, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.DataBytes) != 8 {
+		t.Fatalf("data bytes = %d", len(img.DataBytes))
+	}
+	// Words hold the label addresses, little endian.
+	w0 := uint32(img.DataBytes[0]) | uint32(img.DataBytes[1])<<8
+	if w0 != uint32(img.Symbols["main.b"])&0xffff {
+		t.Errorf("word0 = %#x", w0)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := twoFuncProgram()
+	q := p.Clone()
+	q.Funcs[0].Instrs[0].Imm = 99
+	q.Funcs[0].Label("added")
+	if p.Funcs[0].Instrs[0].Imm == 99 {
+		t.Error("clone shares instruction storage")
+	}
+	if _, ok := p.Funcs[0].Labels()["added"]; ok {
+		t.Error("clone shares label table")
+	}
+}
+
+func TestCanonicalBytesTamperSensitivity(t *testing.T) {
+	p := twoFuncProgram()
+	img, err := Layout(p, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := img.Hash()
+	// Tamper with one instruction in the image.
+	ins := img.Code[0x1000]
+	ins.Imm = 2
+	img.Code[0x1000] = ins
+	if img.Hash() == h1 {
+		t.Error("instruction tamper did not change H_MEM")
+	}
+	img.Code[0x1000] = func() isa.Instr { i := img.Code[0x1000]; i.Imm = 1; return i }()
+	if img.Hash() != h1 {
+		t.Error("hash not restored after undo")
+	}
+	// Data tampering.
+	p2 := twoFuncProgram()
+	p2.AddData(&DataSegment{Name: "d", Bytes: []byte{1}})
+	img2, _ := Layout(p2, 0x1000)
+	h2 := img2.Hash()
+	img2.DataBytes[0] ^= 0xff
+	if img2.Hash() == h2 {
+		t.Error("data tamper did not change H_MEM")
+	}
+}
+
+func TestLayoutDeterminism(t *testing.T) {
+	a, err := Layout(twoFuncProgram(), 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Layout(twoFuncProgram(), 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("layout is not deterministic")
+	}
+}
+
+func TestDump(t *testing.T) {
+	img, err := Layout(twoFuncProgram(), 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := img.Dump()
+	for _, want := range []string{"main", "helper", "bl ", "hlt", "0x00001000"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestRewriteFunc(t *testing.T) {
+	f := NewFunction("f")
+	f.MOVi(isa.R0, 1) // 0
+	f.Label("l1")
+	f.MOVi(isa.R1, 2) // 1
+	f.B("l1")         // 2
+	f.HLT()           // 3
+
+	edits := map[int]Edit{
+		1: {
+			Seq: []isa.Instr{
+				{Op: isa.OpNOP},
+				{Op: isa.OpMOVi, Rd: isa.R1, Imm: 2},
+			},
+			Labels: map[string]int{"body": 1},
+		},
+		2: {Seq: []isa.Instr{{Op: isa.OpB, Cond: isa.AL, Sym: "body"}}},
+	}
+	newIndex := RewriteFunc(f, edits)
+	if len(f.Instrs) != 5 {
+		t.Fatalf("instrs = %d", len(f.Instrs))
+	}
+	labels := f.Labels()
+	if labels["l1"] != 1 {
+		t.Errorf("l1 -> %d, want 1 (start of replacement)", labels["l1"])
+	}
+	if labels["body"] != 2 {
+		t.Errorf("body -> %d, want 2", labels["body"])
+	}
+	if newIndex[0] != 0 || newIndex[1] != 1 || newIndex[2] != 3 || newIndex[3] != 4 || newIndex[4] != 5 {
+		t.Errorf("newIndex = %v", newIndex)
+	}
+	if f.Instrs[3].Sym != "body" {
+		t.Errorf("retargeted branch Sym = %q", f.Instrs[3].Sym)
+	}
+}
+
+func TestRewriteFuncEndLabel(t *testing.T) {
+	f := NewFunction("f")
+	f.NOP()
+	f.Label("end") // index 1 == len
+	edits := map[int]Edit{0: {Seq: []isa.Instr{{Op: isa.OpNOP}, {Op: isa.OpNOP}}}}
+	RewriteFunc(f, edits)
+	if f.Labels()["end"] != 2 {
+		t.Errorf("end label -> %d, want 2", f.Labels()["end"])
+	}
+}

@@ -1,0 +1,243 @@
+package asm
+
+import "raptrack/internal/isa"
+
+// Builder helpers: one emit method per instruction form, so workloads in
+// internal/apps read like assembly listings.
+
+// MOVi emits MOV rd, #imm.
+func (f *Function) MOVi(rd isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpMOVi, Rd: rd, Imm: imm})
+}
+
+// MOVr emits MOV rd, rm.
+func (f *Function) MOVr(rd, rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpMOVr, Rd: rd, Rm: rm}) }
+
+// MOVW emits MOVW rd, #imm16 (lower halfword, upper cleared).
+func (f *Function) MOVW(rd isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpMOVW, Rd: rd, Imm: imm})
+}
+
+// MOVT emits MOVT rd, #imm16 (upper halfword).
+func (f *Function) MOVT(rd isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpMOVT, Rd: rd, Imm: imm})
+}
+
+// MOV32 emits a MOVW/MOVT pair materializing a full 32-bit constant.
+func (f *Function) MOV32(rd isa.Reg, v uint32) {
+	f.MOVW(rd, int32(v&0xffff))
+	f.MOVT(rd, int32(v>>16))
+}
+
+// LA emits a MOVW/MOVT pair materializing a symbol's address
+// (:lower16:/:upper16: relocations).
+func (f *Function) LA(rd isa.Reg, sym string) {
+	f.Emit(isa.Instr{Op: isa.OpMOVW, Rd: rd, Sym: sym})
+	f.Emit(isa.Instr{Op: isa.OpMOVT, Rd: rd, Sym: sym})
+}
+
+// ADR emits ADR rd, sym.
+func (f *Function) ADR(rd isa.Reg, sym string) { f.Emit(isa.Instr{Op: isa.OpADR, Rd: rd, Sym: sym}) }
+
+// MVN emits MVN rd, rm.
+func (f *Function) MVN(rd, rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpMVN, Rd: rd, Rm: rm}) }
+
+// ADDi emits ADD rd, rn, #imm.
+func (f *Function) ADDi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpADDi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// ADDr emits ADD rd, rn, rm.
+func (f *Function) ADDr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpADDr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// SUBi emits SUB rd, rn, #imm.
+func (f *Function) SUBi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpSUBi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// SUBr emits SUB rd, rn, rm.
+func (f *Function) SUBr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpSUBr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// RSBi emits RSB rd, rn, #imm (rd = imm - rn).
+func (f *Function) RSBi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpRSBi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// MUL emits MUL rd, rn, rm.
+func (f *Function) MUL(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpMUL, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// UDIV emits UDIV rd, rn, rm.
+func (f *Function) UDIV(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpUDIV, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// SDIV emits SDIV rd, rn, rm.
+func (f *Function) SDIV(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpSDIV, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// ANDr emits AND rd, rn, rm.
+func (f *Function) ANDr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpANDr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// ORRr emits ORR rd, rn, rm.
+func (f *Function) ORRr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpORRr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// EORr emits EOR rd, rn, rm.
+func (f *Function) EORr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpEORr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// BICr emits BIC rd, rn, rm.
+func (f *Function) BICr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpBICr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// LSLi emits LSL rd, rn, #imm.
+func (f *Function) LSLi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpLSLi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// LSLr emits LSL rd, rn, rm.
+func (f *Function) LSLr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpLSLr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// LSRi emits LSR rd, rn, #imm.
+func (f *Function) LSRi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpLSRi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// LSRr emits LSR rd, rn, rm.
+func (f *Function) LSRr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpLSRr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// ASRi emits ASR rd, rn, #imm.
+func (f *Function) ASRi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpASRi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// CMPi emits CMP rn, #imm.
+func (f *Function) CMPi(rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpCMPi, Rn: rn, Imm: imm})
+}
+
+// CMPr emits CMP rn, rm.
+func (f *Function) CMPr(rn, rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpCMPr, Rn: rn, Rm: rm}) }
+
+// TST emits TST rn, rm.
+func (f *Function) TST(rn, rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpTST, Rn: rn, Rm: rm}) }
+
+// LDRi emits LDR rd, [rn, #imm].
+func (f *Function) LDRi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpLDRi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// LDRr emits LDR rd, [rn, rm].
+func (f *Function) LDRr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpLDRr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// LDRBi emits LDRB rd, [rn, #imm].
+func (f *Function) LDRBi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpLDRBi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// LDRBr emits LDRB rd, [rn, rm].
+func (f *Function) LDRBr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpLDRBr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// LDRHi emits LDRH rd, [rn, #imm].
+func (f *Function) LDRHi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpLDRHi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// STRi emits STR rd, [rn, #imm].
+func (f *Function) STRi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpSTRi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// STRr emits STR rd, [rn, rm].
+func (f *Function) STRr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpSTRr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// STRBi emits STRB rd, [rn, #imm].
+func (f *Function) STRBi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpSTRBi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// STRBr emits STRB rd, [rn, rm].
+func (f *Function) STRBr(rd, rn, rm isa.Reg) {
+	f.Emit(isa.Instr{Op: isa.OpSTRBr, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// STRHi emits STRH rd, [rn, #imm].
+func (f *Function) STRHi(rd, rn isa.Reg, imm int32) {
+	f.Emit(isa.Instr{Op: isa.OpSTRHi, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// PUSH emits PUSH {regs}.
+func (f *Function) PUSH(regs ...isa.Reg) { f.Emit(isa.Instr{Op: isa.OpPUSH, List: isa.Regs(regs...)}) }
+
+// POP emits POP {regs}. Including PC makes it a return.
+func (f *Function) POP(regs ...isa.Reg) { f.Emit(isa.Instr{Op: isa.OpPOP, List: isa.Regs(regs...)}) }
+
+// LDRPC emits LDR pc, [rn, rm, LSL #2] — a computed jump through a table.
+func (f *Function) LDRPC(rn, rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpLDRPC, Rn: rn, Rm: rm}) }
+
+// B emits an unconditional direct branch to a label or function.
+func (f *Function) B(sym string) { f.Emit(isa.Instr{Op: isa.OpB, Cond: isa.AL, Sym: sym}) }
+
+// Bcc emits a conditional branch.
+func (f *Function) Bcc(c isa.Cond, sym string) { f.Emit(isa.Instr{Op: isa.OpB, Cond: c, Sym: sym}) }
+
+// BEQ, BNE, BLT, BGE, BGT, BLE, BHI, BLS, BCS, BCC, BMI, BPL emit the common
+// conditional branches.
+func (f *Function) BEQ(sym string) { f.Bcc(isa.EQ, sym) }
+func (f *Function) BNE(sym string) { f.Bcc(isa.NE, sym) }
+func (f *Function) BLT(sym string) { f.Bcc(isa.LT, sym) }
+func (f *Function) BGE(sym string) { f.Bcc(isa.GE, sym) }
+func (f *Function) BGT(sym string) { f.Bcc(isa.GT, sym) }
+func (f *Function) BLE(sym string) { f.Bcc(isa.LE, sym) }
+func (f *Function) BHI(sym string) { f.Bcc(isa.HI, sym) }
+func (f *Function) BLS(sym string) { f.Bcc(isa.LS, sym) }
+func (f *Function) BCS(sym string) { f.Bcc(isa.CS, sym) }
+func (f *Function) BCC(sym string) { f.Bcc(isa.CC, sym) }
+func (f *Function) BMI(sym string) { f.Bcc(isa.MI, sym) }
+func (f *Function) BPL(sym string) { f.Bcc(isa.PL, sym) }
+
+// BL emits a direct call.
+func (f *Function) BL(sym string) { f.Emit(isa.Instr{Op: isa.OpBL, Sym: sym}) }
+
+// BLX emits an indirect call through rm.
+func (f *Function) BLX(rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpBLX, Rm: rm}) }
+
+// BX emits an indirect branch through rm; BX(LR) is a leaf return.
+func (f *Function) BX(rm isa.Reg) { f.Emit(isa.Instr{Op: isa.OpBX, Rm: rm}) }
+
+// RET emits BX lr.
+func (f *Function) RET() { f.BX(isa.LR) }
+
+// NOP emits a no-op.
+func (f *Function) NOP() { f.Emit(isa.Instr{Op: isa.OpNOP}) }
+
+// SECALL emits a secure-gateway call to service id.
+func (f *Function) SECALL(id int32) { f.Emit(isa.Instr{Op: isa.OpSECALL, Imm: id}) }
+
+// HLT emits the halt sentinel.
+func (f *Function) HLT() { f.Emit(isa.Instr{Op: isa.OpHLT}) }
+
+// BKPT emits a breakpoint (faults).
+func (f *Function) BKPT() { f.Emit(isa.Instr{Op: isa.OpBKPT}) }

@@ -1,0 +1,373 @@
+// Package asm provides the program representation used across the
+// repository: functions of instructions with symbolic labels, read-only
+// data segments (jump tables, string constants), a builder API for writing
+// workloads, and a two-pass layout engine that assigns addresses and
+// resolves symbols into an executable Image.
+package asm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"raptrack/internal/isa"
+)
+
+// Function is a unit of code: a named sequence of instructions with
+// function-local labels. A label defined at index i names the address of
+// the i-th instruction (or the end of the function if i == len(Instrs)).
+type Function struct {
+	Name   string
+	Instrs []isa.Instr
+	labels map[string]int
+}
+
+// NewFunction creates an empty function.
+func NewFunction(name string) *Function {
+	return &Function{Name: name, labels: make(map[string]int)}
+}
+
+// Label defines a local label at the current position. Defining the same
+// label twice panics: programs are constructed by code, so this is a bug,
+// not input.
+func (f *Function) Label(name string) {
+	if _, dup := f.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q in %q", name, f.Name))
+	}
+	f.labels[name] = len(f.Instrs)
+}
+
+// Labels returns a copy of the function's label table (label -> instruction
+// index).
+func (f *Function) Labels() map[string]int {
+	out := make(map[string]int, len(f.labels))
+	for k, v := range f.labels {
+		out[k] = v
+	}
+	return out
+}
+
+// SetLabels replaces the label table; used by the linker when rewriting
+// instruction sequences.
+func (f *Function) SetLabels(l map[string]int) { f.labels = l }
+
+// Emit appends an instruction and returns its index.
+func (f *Function) Emit(i isa.Instr) int {
+	f.Instrs = append(f.Instrs, i)
+	return len(f.Instrs) - 1
+}
+
+// Size returns the function's code footprint in bytes.
+func (f *Function) Size() uint32 {
+	var n uint32
+	for _, i := range f.Instrs {
+		n += i.Size()
+	}
+	return n
+}
+
+// DataSegment is read-only data placed after the code (jump tables,
+// lookup tables, constant strings). Either Bytes or Syms is used: Syms
+// emits one 32-bit word per entry holding the named symbol's address.
+type DataSegment struct {
+	Name  string
+	Bytes []byte
+	Syms  []string
+}
+
+// Size returns the segment's footprint in bytes.
+func (d *DataSegment) Size() uint32 {
+	if len(d.Syms) > 0 {
+		return uint32(4 * len(d.Syms))
+	}
+	return uint32(len(d.Bytes))
+}
+
+// Program is a complete application: functions in layout order, data
+// segments, and the entry function name.
+type Program struct {
+	Name  string
+	Funcs []*Function
+	Data  []*DataSegment
+	Entry string
+}
+
+// NewProgram creates an empty program.
+func NewProgram(name string) *Program { return &Program{Name: name} }
+
+// AddFunc appends fn to the program and returns it.
+func (p *Program) AddFunc(fn *Function) *Function {
+	p.Funcs = append(p.Funcs, fn)
+	return fn
+}
+
+// NewFunc creates, appends and returns a new function. The first function
+// added becomes the entry point unless Entry is set explicitly.
+func (p *Program) NewFunc(name string) *Function {
+	fn := NewFunction(name)
+	if p.Entry == "" {
+		p.Entry = name
+	}
+	return p.AddFunc(fn)
+}
+
+// Func returns the named function, or nil.
+func (p *Program) Func(name string) *Function {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AddData appends a data segment.
+func (p *Program) AddData(d *DataSegment) { p.Data = append(p.Data, d) }
+
+// Clone returns a deep copy of the program. The linker transforms a clone,
+// leaving the original (the Verifier's reference copy) untouched.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Entry: p.Entry}
+	for _, f := range p.Funcs {
+		nf := NewFunction(f.Name)
+		nf.Instrs = append([]isa.Instr(nil), f.Instrs...)
+		for k, v := range f.labels {
+			nf.labels[k] = v
+		}
+		q.Funcs = append(q.Funcs, nf)
+	}
+	for _, d := range p.Data {
+		nd := &DataSegment{Name: d.Name}
+		nd.Bytes = append([]byte(nil), d.Bytes...)
+		nd.Syms = append([]string(nil), d.Syms...)
+		q.Data = append(q.Data, nd)
+	}
+	return q
+}
+
+// Range is a half-open address interval.
+type Range struct{ Base, Limit uint32 }
+
+// Contains reports whether addr falls inside the range.
+func (r Range) Contains(addr uint32) bool { return addr >= r.Base && addr < r.Limit }
+
+// Image is a laid-out program: every instruction has an address, every
+// symbolic reference is resolved, and data segments have concrete bytes.
+type Image struct {
+	Prog *Program
+	Base uint32
+
+	// Code maps instruction address -> instruction (Addr/Target resolved).
+	Code map[uint32]isa.Instr
+	// Order lists instruction addresses in ascending order.
+	Order []uint32
+
+	// Symbols maps function names, qualified labels ("func.label") and
+	// data segment names to addresses.
+	Symbols map[string]uint32
+	// FuncRanges maps each function name to its address range.
+	FuncRanges map[string]Range
+	// DataBase is the address of the first data segment; DataBytes the
+	// concatenated segment contents (4-byte aligned start).
+	DataBase  uint32
+	DataBytes []byte
+
+	// CodeSize is the code-only footprint; TotalSize includes data.
+	CodeSize  uint32
+	TotalSize uint32
+}
+
+// LayoutError reports a symbol resolution or layout failure.
+type LayoutError struct {
+	Func string
+	Sym  string
+	Msg  string
+}
+
+func (e *LayoutError) Error() string {
+	if e.Sym != "" {
+		return fmt.Sprintf("asm: layout of %q: symbol %q: %s", e.Func, e.Sym, e.Msg)
+	}
+	return fmt.Sprintf("asm: layout of %q: %s", e.Func, e.Msg)
+}
+
+// Layout assigns addresses starting at base, resolves all symbols, and
+// returns the executable image. Functions are placed in Program order,
+// then data segments (4-byte aligned).
+func Layout(p *Program, base uint32) (*Image, error) {
+	img := &Image{
+		Prog:       p,
+		Base:       base,
+		Code:       make(map[uint32]isa.Instr),
+		Symbols:    make(map[string]uint32),
+		FuncRanges: make(map[string]Range),
+	}
+
+	// Pass 1: assign addresses and build the symbol table.
+	addr := base
+	type placed struct {
+		fn    *Function
+		addrs []uint32 // address of each instruction
+		end   uint32
+	}
+	var placements []placed
+	for _, fn := range p.Funcs {
+		if _, dup := img.Symbols[fn.Name]; dup {
+			return nil, &LayoutError{Func: fn.Name, Msg: "duplicate function name"}
+		}
+		img.Symbols[fn.Name] = addr
+		pl := placed{fn: fn, addrs: make([]uint32, len(fn.Instrs))}
+		start := addr
+		for i, ins := range fn.Instrs {
+			pl.addrs[i] = addr
+			addr += ins.Size()
+		}
+		pl.end = addr
+		img.FuncRanges[fn.Name] = Range{start, addr}
+		for name, idx := range fn.labels {
+			var la uint32
+			if idx < len(pl.addrs) {
+				la = pl.addrs[idx]
+			} else {
+				la = pl.end
+			}
+			img.Symbols[fn.Name+"."+name] = la
+		}
+		placements = append(placements, pl)
+	}
+	img.CodeSize = addr - base
+
+	// Data segments, 4-byte aligned.
+	addr = (addr + 3) &^ 3
+	img.DataBase = addr
+	for _, d := range p.Data {
+		if _, dup := img.Symbols[d.Name]; dup {
+			return nil, &LayoutError{Func: d.Name, Msg: "duplicate data segment name"}
+		}
+		img.Symbols[d.Name] = addr
+		addr += d.Size()
+	}
+	img.TotalSize = addr - base
+
+	// Pass 2: resolve symbols in instructions.
+	resolve := func(fn *Function, sym string) (uint32, error) {
+		if a, ok := img.Symbols[fn.Name+"."+sym]; ok {
+			return a, nil
+		}
+		if a, ok := img.Symbols[sym]; ok {
+			return a, nil
+		}
+		return 0, &LayoutError{Func: fn.Name, Sym: sym, Msg: "undefined"}
+	}
+	for _, pl := range placements {
+		for i := range pl.fn.Instrs {
+			ins := &pl.fn.Instrs[i]
+			ins.Addr = pl.addrs[i]
+			if ins.Sym == "" {
+				img.Code[ins.Addr] = *ins
+				continue
+			}
+			t, err := resolve(pl.fn, ins.Sym)
+			if err != nil {
+				return nil, err
+			}
+			ins.Target = t
+			switch ins.Op {
+			case isa.OpMOVW:
+				ins.Imm = int32(t & 0xffff)
+			case isa.OpMOVT:
+				ins.Imm = int32(t >> 16)
+			}
+			img.Code[ins.Addr] = *ins
+		}
+	}
+
+	// Materialize data bytes.
+	for _, d := range p.Data {
+		if len(d.Syms) > 0 {
+			for _, s := range d.Syms {
+				a, ok := img.Symbols[s]
+				if !ok {
+					return nil, &LayoutError{Func: d.Name, Sym: s, Msg: "undefined in data segment"}
+				}
+				img.DataBytes = binary.LittleEndian.AppendUint32(img.DataBytes, a)
+			}
+		} else {
+			img.DataBytes = append(img.DataBytes, d.Bytes...)
+		}
+	}
+
+	img.Order = make([]uint32, 0, len(img.Code))
+	for a := range img.Code {
+		img.Order = append(img.Order, a)
+	}
+	sort.Slice(img.Order, func(i, j int) bool { return img.Order[i] < img.Order[j] })
+	return img, nil
+}
+
+// EntryAddr returns the address of the program's entry function.
+func (img *Image) EntryAddr() (uint32, error) {
+	a, ok := img.Symbols[img.Prog.Entry]
+	if !ok {
+		return 0, fmt.Errorf("asm: entry function %q not in image", img.Prog.Entry)
+	}
+	return a, nil
+}
+
+// InstrAt returns the instruction at addr.
+func (img *Image) InstrAt(addr uint32) (isa.Instr, bool) {
+	i, ok := img.Code[addr]
+	return i, ok
+}
+
+// FuncOf returns the name of the function containing addr, or "".
+func (img *Image) FuncOf(addr uint32) string {
+	for name, r := range img.FuncRanges {
+		if r.Contains(addr) {
+			return name
+		}
+	}
+	return ""
+}
+
+// CanonicalBytes serializes the image's current contents — every
+// instruction in address order (canonical encoding) followed by the data
+// bytes. This is the byte stream H_MEM is computed over; it changes if any
+// instruction or table byte is tampered with.
+func (img *Image) CanonicalBytes() []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, img.Base)
+	for _, a := range img.Order {
+		ins := img.Code[a]
+		out = binary.LittleEndian.AppendUint32(out, a)
+		out = ins.Encode(out)
+	}
+	out = append(out, img.DataBytes...)
+	return out
+}
+
+// Hash returns SHA-256 over CanonicalBytes — the H_MEM measurement.
+func (img *Image) Hash() [32]byte { return sha256.Sum256(img.CanonicalBytes()) }
+
+// Dump disassembles the image (test/debug aid).
+func (img *Image) Dump() string {
+	// Invert symbols for annotation.
+	names := make(map[uint32][]string)
+	for s, a := range img.Symbols {
+		names[a] = append(names[a], s)
+	}
+	var b strings.Builder
+	for _, a := range img.Order {
+		if ns := names[a]; len(ns) > 0 {
+			sort.Strings(ns)
+			fmt.Fprintf(&b, "%s:\n", strings.Join(ns, ", "))
+		}
+		fmt.Fprintf(&b, "  %#08x: %s\n", a, img.Code[a])
+	}
+	if len(img.DataBytes) > 0 {
+		fmt.Fprintf(&b, "  %#08x: .data (%d bytes)\n", img.DataBase, len(img.DataBytes))
+	}
+	return b.String()
+}

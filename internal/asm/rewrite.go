@@ -1,0 +1,48 @@
+package asm
+
+import "raptrack/internal/isa"
+
+// Edit replaces the instruction at one index with a sequence during
+// RewriteFunc. Labels maps inner label names to offsets within Seq; an
+// offset equal to len(Seq) names the position immediately after the
+// replacement (i.e., the next original instruction).
+type Edit struct {
+	Seq    []isa.Instr
+	Labels map[string]int
+}
+
+// RewriteFunc applies edits to fn in place, adjusting the label table, and
+// returns the mapping from original instruction index to new index. The
+// returned slice has len(old)+1 entries; the final entry maps the
+// end-of-function position. Labels previously pointing at an edited index
+// point at the start of its replacement.
+func RewriteFunc(fn *Function, edits map[int]Edit) []int {
+	old := fn.Instrs
+	byIdx := make(map[int][]string)
+	for name, idx := range fn.Labels() {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	var instrs []isa.Instr
+	labels := make(map[string]int)
+	newIndex := make([]int, len(old)+1)
+	for i := 0; i <= len(old); i++ {
+		newIndex[i] = len(instrs)
+		for _, name := range byIdx[i] {
+			labels[name] = len(instrs)
+		}
+		if i == len(old) {
+			break
+		}
+		if e, ok := edits[i]; ok {
+			for name, off := range e.Labels {
+				labels[name] = len(instrs) + off
+			}
+			instrs = append(instrs, e.Seq...)
+		} else {
+			instrs = append(instrs, old[i])
+		}
+	}
+	fn.Instrs = instrs
+	fn.SetLabels(labels)
+	return newIndex
+}

@@ -1,0 +1,38 @@
+package asm_test
+
+import (
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/asm"
+	"raptrack/internal/mem"
+)
+
+// TestAppsSurviveTextRoundTrip formats every registered workload as
+// assembly text, re-parses it, and checks the laid-out images are
+// identical (H_MEM equality) — the strongest whole-surface test of the
+// text assembler.
+func TestAppsSurviveTextRoundTrip(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			orig := a.Build()
+			text := asm.Format(orig)
+			reparsed, err := asm.Parse(a.Name, text)
+			if err != nil {
+				t.Fatalf("parse formatted %s: %v", a.Name, err)
+			}
+			imgA, err := asm.Layout(orig, mem.NSCodeBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgB, err := asm.Layout(reparsed, mem.NSCodeBase)
+			if err != nil {
+				t.Fatalf("layout reparsed: %v", err)
+			}
+			if imgA.Hash() != imgB.Hash() {
+				t.Errorf("%s: text round trip changed the image", a.Name)
+			}
+		})
+	}
+}

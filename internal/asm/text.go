@@ -1,0 +1,626 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"raptrack/internal/isa"
+)
+
+// Textual assembly. The syntax mirrors the disassembler output:
+//
+//	; line comment
+//	.func main              ; first function is the entry point
+//	    push {r4, lr}
+//	    mov r0, #5
+//	    movw r1, :lower16:table
+//	    movt r1, :upper16:table
+//	loop:
+//	    ldr r2, [r1, #4]
+//	    str r2, [r1, r3]
+//	    add r0, r0, #1
+//	    cmp r0, #10
+//	    blt loop
+//	    ldrpc [r1, r0]
+//	    bl helper
+//	    pop {r4, pc}
+//	.data table
+//	    .word main.loop, helper ; symbol table (jump tables)
+//	.bytes blob 01 02 ff        ; raw bytes
+//
+// Parse builds a Program; Format renders one back to parseable text
+// (Parse∘Format is identity up to layout).
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	prog *Program
+	fn   *Function
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse assembles source text into a Program.
+func Parse(name, src string) (*Program, error) {
+	p := &parser{prog: NewProgram(name)}
+	for i, raw := range strings.Split(src, "\n") {
+		p.line = i + 1
+		line := raw
+		if idx := strings.IndexByte(line, ';'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.parseLine(line); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.prog.Funcs) == 0 {
+		return nil, &ParseError{Line: 0, Msg: "no .func defined"}
+	}
+	return p.prog, nil
+}
+
+func (p *parser) parseLine(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".func "):
+		name := strings.TrimSpace(line[len(".func "):])
+		if name == "" {
+			return p.errf(".func needs a name")
+		}
+		p.fn = p.prog.NewFunc(name)
+		return nil
+	case strings.HasPrefix(line, ".entry "):
+		p.prog.Entry = strings.TrimSpace(line[len(".entry "):])
+		return nil
+	case strings.HasPrefix(line, ".data "):
+		return p.parseData(line[len(".data "):])
+	case strings.HasPrefix(line, ".bytes "):
+		return p.parseBytes(line[len(".bytes "):])
+	}
+	if strings.HasSuffix(line, ":") {
+		if p.fn == nil {
+			return p.errf("label outside a function")
+		}
+		label := strings.TrimSuffix(line, ":")
+		if !validIdent(label) {
+			return p.errf("bad label %q", label)
+		}
+		if _, dup := p.fn.Labels()[label]; dup {
+			return p.errf("duplicate label %q", label)
+		}
+		p.fn.Label(label)
+		return nil
+	}
+	if p.fn == nil {
+		return p.errf("instruction outside a function")
+	}
+	return p.parseInstr(line)
+}
+
+func (p *parser) parseData(rest string) error {
+	// ".data name" on its own line followed by ".word" is also allowed,
+	// but the common form is ".data name" then a ".word" list inline:
+	// .data name
+	//     .word a, b
+	// For simplicity: ".data name .word a, b" single-line or use .bytes.
+	fields := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+	name := fields[0]
+	if !validIdent(name) && !strings.Contains(name, ".") {
+		return p.errf("bad data segment name %q", name)
+	}
+	seg := &DataSegment{Name: name}
+	if len(fields) == 2 {
+		body := strings.TrimSpace(fields[1])
+		if !strings.HasPrefix(body, ".word ") {
+			return p.errf(".data %s: expected .word list", name)
+		}
+		for _, s := range strings.Split(body[len(".word "):], ",") {
+			sym := strings.TrimSpace(s)
+			if sym == "" {
+				return p.errf(".data %s: empty symbol", name)
+			}
+			seg.Syms = append(seg.Syms, sym)
+		}
+	}
+	p.prog.AddData(seg)
+	return nil
+}
+
+func (p *parser) parseBytes(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return p.errf(".bytes needs a name")
+	}
+	seg := &DataSegment{Name: fields[0]}
+	for _, h := range fields[1:] {
+		v, err := strconv.ParseUint(h, 16, 8)
+		if err != nil {
+			return p.errf(".bytes %s: bad hex byte %q", seg.Name, h)
+		}
+		seg.Bytes = append(seg.Bytes, byte(v))
+	}
+	p.prog.AddData(seg)
+	return nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	switch s {
+	case "sp":
+		return isa.SP, true
+	case "lr":
+		return isa.LR, true
+	case "pc":
+		return isa.PC, true
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 12 {
+			return isa.Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseImm(s string) (int32, bool) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimPrefix(s[1:], "+"), 0, 64)
+	if err != nil || v < -1<<31 || v > 1<<32-1 {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// condSuffixes maps branch mnemonic suffixes to conditions.
+var condSuffixes = map[string]isa.Cond{
+	"eq": isa.EQ, "ne": isa.NE, "cs": isa.CS, "cc": isa.CC,
+	"mi": isa.MI, "pl": isa.PL, "vs": isa.VS, "vc": isa.VC,
+	"hi": isa.HI, "ls": isa.LS, "ge": isa.GE, "lt": isa.LT,
+	"gt": isa.GT, "le": isa.LE,
+}
+
+// splitOperands splits on commas not inside {...} or [...].
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func (p *parser) parseRegList(s string) (isa.RegList, error) {
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, p.errf("expected register list, got %q", s)
+	}
+	var l isa.RegList
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, ok := parseReg(part)
+		if !ok {
+			return 0, p.errf("bad register %q in list", part)
+		}
+		l |= isa.Regs(r)
+	}
+	return l, nil
+}
+
+// parseMem parses "[rn, #imm]" or "[rn, rm]" -> (rn, rm, imm, isReg).
+func (p *parser) parseMem(s string) (rn, rm isa.Reg, imm int32, isReg bool, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, p.errf("expected memory operand, got %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	rn, ok := parseReg(strings.TrimSpace(parts[0]))
+	if !ok {
+		return 0, 0, 0, false, p.errf("bad base register in %q", s)
+	}
+	if len(parts) == 1 {
+		return rn, 0, 0, false, nil
+	}
+	second := strings.TrimSpace(parts[1])
+	if v, ok := parseImm(second); ok {
+		return rn, 0, v, false, nil
+	}
+	if r, ok := parseReg(second); ok {
+		return rn, r, 0, true, nil
+	}
+	return 0, 0, 0, false, p.errf("bad offset %q", second)
+}
+
+func (p *parser) parseInstr(line string) error {
+	sp := strings.IndexAny(line, " \t")
+	mnem := line
+	rest := ""
+	if sp >= 0 {
+		mnem = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	ops := splitOperands(rest)
+	f := p.fn
+
+	emit3r := func(op isa.Op) error {
+		if len(ops) != 3 {
+			return p.errf("%s needs 3 operands", mnem)
+		}
+		rd, ok1 := parseReg(ops[0])
+		rn, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return p.errf("%s: bad registers", mnem)
+		}
+		if imm, ok := parseImm(ops[2]); ok {
+			switch op {
+			case isa.OpADDr:
+				f.ADDi(rd, rn, imm)
+			case isa.OpSUBr:
+				f.SUBi(rd, rn, imm)
+			case isa.OpLSLr:
+				f.LSLi(rd, rn, imm)
+			case isa.OpLSRr:
+				f.LSRi(rd, rn, imm)
+			default:
+				if op == isa.OpANDr || op == isa.OpORRr || op == isa.OpEORr ||
+					op == isa.OpBICr || op == isa.OpMUL || op == isa.OpUDIV || op == isa.OpSDIV {
+					return p.errf("%s: immediate form not supported", mnem)
+				}
+				f.Emit(isa.Instr{Op: op, Rd: rd, Rn: rn, Imm: imm})
+			}
+			return nil
+		}
+		rm, ok := parseReg(ops[2])
+		if !ok {
+			return p.errf("%s: bad third operand %q", mnem, ops[2])
+		}
+		f.Emit(isa.Instr{Op: op, Rd: rd, Rn: rn, Rm: rm})
+		return nil
+	}
+
+	memOp := func(opImm, opReg isa.Op) error {
+		if len(ops) != 2 {
+			return p.errf("%s needs 2 operands", mnem)
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("%s: bad register %q", mnem, ops[0])
+		}
+		rn, rm, imm, isReg, err := p.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		if isReg {
+			if opReg == isa.OpInvalid {
+				return p.errf("%s: register offset not supported", mnem)
+			}
+			f.Emit(isa.Instr{Op: opReg, Rd: rd, Rn: rn, Rm: rm})
+		} else {
+			f.Emit(isa.Instr{Op: opImm, Rd: rd, Rn: rn, Imm: imm})
+		}
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		f.NOP()
+	case "hlt":
+		f.HLT()
+	case "bkpt":
+		f.BKPT()
+	case "ret":
+		f.RET()
+	case "mov":
+		if len(ops) != 2 {
+			return p.errf("mov needs 2 operands")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("mov: bad register %q", ops[0])
+		}
+		if imm, ok := parseImm(ops[1]); ok {
+			f.MOVi(rd, imm)
+		} else if rm, ok := parseReg(ops[1]); ok {
+			f.MOVr(rd, rm)
+		} else {
+			return p.errf("mov: bad operand %q", ops[1])
+		}
+	case "mvn":
+		if len(ops) != 2 {
+			return p.errf("mvn needs 2 operands")
+		}
+		rd, ok1 := parseReg(ops[0])
+		rm, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return p.errf("mvn: bad registers")
+		}
+		f.MVN(rd, rm)
+	case "movw", "movt":
+		if len(ops) != 2 {
+			return p.errf("%s needs 2 operands", mnem)
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("%s: bad register", mnem)
+		}
+		op := isa.OpMOVW
+		half := ":lower16:"
+		if mnem == "movt" {
+			op = isa.OpMOVT
+			half = ":upper16:"
+		}
+		if strings.HasPrefix(ops[1], half) {
+			f.Emit(isa.Instr{Op: op, Rd: rd, Sym: ops[1][len(half):]})
+		} else if imm, ok := parseImm(ops[1]); ok {
+			f.Emit(isa.Instr{Op: op, Rd: rd, Imm: imm})
+		} else {
+			return p.errf("%s: bad operand %q", mnem, ops[1])
+		}
+	case "adr":
+		if len(ops) != 2 {
+			return p.errf("adr needs 2 operands")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("adr: bad register")
+		}
+		f.ADR(rd, ops[1])
+	case "add":
+		return emit3r(isa.OpADDr)
+	case "sub":
+		return emit3r(isa.OpSUBr)
+	case "rsb":
+		if len(ops) != 3 {
+			return p.errf("rsb needs 3 operands")
+		}
+		rd, _ := parseReg(ops[0])
+		rn, _ := parseReg(ops[1])
+		imm, ok := parseImm(ops[2])
+		if !ok {
+			return p.errf("rsb: immediate required")
+		}
+		f.RSBi(rd, rn, imm)
+	case "mul":
+		return emit3r(isa.OpMUL)
+	case "udiv":
+		return emit3r(isa.OpUDIV)
+	case "sdiv":
+		return emit3r(isa.OpSDIV)
+	case "and":
+		return emit3r(isa.OpANDr)
+	case "orr":
+		return emit3r(isa.OpORRr)
+	case "eor":
+		return emit3r(isa.OpEORr)
+	case "bic":
+		return emit3r(isa.OpBICr)
+	case "lsl":
+		return emit3r(isa.OpLSLr)
+	case "lsr":
+		return emit3r(isa.OpLSRr)
+	case "asr":
+		if len(ops) != 3 {
+			return p.errf("asr needs 3 operands")
+		}
+		rd, _ := parseReg(ops[0])
+		rn, _ := parseReg(ops[1])
+		imm, ok := parseImm(ops[2])
+		if !ok {
+			return p.errf("asr: immediate required")
+		}
+		f.ASRi(rd, rn, imm)
+	case "cmp":
+		if len(ops) != 2 {
+			return p.errf("cmp needs 2 operands")
+		}
+		rn, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("cmp: bad register")
+		}
+		if imm, ok := parseImm(ops[1]); ok {
+			f.CMPi(rn, imm)
+		} else if rm, ok := parseReg(ops[1]); ok {
+			f.CMPr(rn, rm)
+		} else {
+			return p.errf("cmp: bad operand %q", ops[1])
+		}
+	case "tst":
+		if len(ops) != 2 {
+			return p.errf("tst needs 2 operands")
+		}
+		rn, _ := parseReg(ops[0])
+		rm, ok := parseReg(ops[1])
+		if !ok {
+			return p.errf("tst: bad register")
+		}
+		f.TST(rn, rm)
+	case "ldr":
+		return memOp(isa.OpLDRi, isa.OpLDRr)
+	case "ldrb":
+		return memOp(isa.OpLDRBi, isa.OpLDRBr)
+	case "ldrh":
+		return memOp(isa.OpLDRHi, isa.OpInvalid)
+	case "str":
+		return memOp(isa.OpSTRi, isa.OpSTRr)
+	case "strb":
+		return memOp(isa.OpSTRBi, isa.OpSTRBr)
+	case "strh":
+		return memOp(isa.OpSTRHi, isa.OpInvalid)
+	case "ldrpc":
+		if len(ops) != 1 {
+			return p.errf("ldrpc needs a memory operand")
+		}
+		s := ops[0]
+		s = strings.TrimSuffix(s, ", lsl #2]") + "]"
+		rn, rm, _, isReg, err := p.parseMem(s)
+		if err != nil {
+			return err
+		}
+		if !isReg {
+			return p.errf("ldrpc needs [rn, rm]")
+		}
+		f.LDRPC(rn, rm)
+	case "push":
+		if len(ops) != 1 {
+			return p.errf("push needs a register list")
+		}
+		l, err := p.parseRegList(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Emit(isa.Instr{Op: isa.OpPUSH, List: l})
+	case "pop":
+		if len(ops) != 1 {
+			return p.errf("pop needs a register list")
+		}
+		l, err := p.parseRegList(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Emit(isa.Instr{Op: isa.OpPOP, List: l})
+	case "b":
+		if len(ops) != 1 {
+			return p.errf("b needs a target")
+		}
+		f.B(ops[0])
+	case "bl":
+		if len(ops) != 1 {
+			return p.errf("bl needs a target")
+		}
+		f.BL(ops[0])
+	case "blx":
+		if len(ops) != 1 {
+			return p.errf("blx needs a register")
+		}
+		rm, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("blx: bad register %q", ops[0])
+		}
+		f.BLX(rm)
+	case "bx":
+		if len(ops) != 1 {
+			return p.errf("bx needs a register")
+		}
+		rm, ok := parseReg(ops[0])
+		if !ok {
+			return p.errf("bx: bad register %q", ops[0])
+		}
+		f.BX(rm)
+	case "secall":
+		if len(ops) != 1 {
+			return p.errf("secall needs an immediate")
+		}
+		imm, ok := parseImm(ops[0])
+		if !ok {
+			return p.errf("secall: bad immediate %q", ops[0])
+		}
+		f.SECALL(imm)
+	default:
+		// Conditional branch: b<cond> target.
+		if strings.HasPrefix(mnem, "b") {
+			if cond, ok := condSuffixes[mnem[1:]]; ok {
+				if len(ops) != 1 {
+					return p.errf("%s needs a target", mnem)
+				}
+				f.Bcc(cond, ops[0])
+				return nil
+			}
+		}
+		return p.errf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+// Format renders a program as parseable assembly text. Labels are placed
+// by index; data segments use .word for symbol tables and .bytes
+// otherwise.
+func Format(p *Program) string {
+	var b strings.Builder
+	if p.Entry != "" && (len(p.Funcs) == 0 || p.Funcs[0].Name != p.Entry) {
+		fmt.Fprintf(&b, ".entry %s\n", p.Entry)
+	}
+	for _, fn := range p.Funcs {
+		fmt.Fprintf(&b, ".func %s\n", fn.Name)
+		byIdx := make(map[int][]string)
+		for name, idx := range fn.Labels() {
+			byIdx[idx] = append(byIdx[idx], name)
+		}
+		for i := 0; i <= len(fn.Instrs); i++ {
+			for _, name := range sortedStrings(byIdx[i]) {
+				fmt.Fprintf(&b, "%s:\n", name)
+			}
+			if i == len(fn.Instrs) {
+				break
+			}
+			fmt.Fprintf(&b, "    %s\n", fn.Instrs[i])
+		}
+	}
+	for _, d := range p.Data {
+		if len(d.Syms) > 0 {
+			fmt.Fprintf(&b, ".data %s .word %s\n", d.Name, strings.Join(d.Syms, ", "))
+		} else {
+			fmt.Fprintf(&b, ".bytes %s", d.Name)
+			for _, v := range d.Bytes {
+				fmt.Fprintf(&b, " %02x", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func sortedStrings(s []string) []string {
+	out := append([]string(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"raptrack/internal/isa"
+)
+
+const sampleSrc = `
+; a small complete program
+.func main
+    push {r4, lr}
+    mov r0, #5
+    movw r1, :lower16:table
+    movt r1, :upper16:table
+loop:
+    add r0, r0, #1
+    cmp r0, #10
+    blt loop
+    ldr r2, [r1, #0]
+    bl helper
+    pop {r4, pc}
+.func helper
+    eor r0, r0, r2
+    bx lr
+.data table .word main.loop, helper
+.bytes blob 01 ff 7e
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse("sample", sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 2 || p.Entry != "main" {
+		t.Fatalf("funcs=%d entry=%q", len(p.Funcs), p.Entry)
+	}
+	if len(p.Data) != 2 {
+		t.Fatalf("data segments = %d", len(p.Data))
+	}
+	if len(p.Data[0].Syms) != 2 || p.Data[0].Syms[0] != "main.loop" {
+		t.Errorf("word segment: %+v", p.Data[0])
+	}
+	if string(p.Data[1].Bytes) != "\x01\xff\x7e" {
+		t.Errorf("byte segment: %x", p.Data[1].Bytes)
+	}
+	if _, err := Layout(p, 0x20_0000); err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	main := p.Func("main")
+	if main.Instrs[0].Op != isa.OpPUSH || !main.Instrs[0].List.Has(isa.LR) {
+		t.Errorf("instr 0 = %v", main.Instrs[0])
+	}
+	if main.Instrs[2].Op != isa.OpMOVW || main.Instrs[2].Sym != "table" {
+		t.Errorf("movw = %v", main.Instrs[2])
+	}
+	if l, ok := main.Labels()["loop"]; !ok || l != 4 {
+		t.Errorf("loop label at %d", l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"mov r0, #1", "outside a function"},
+		{".func f\nfrobnicate r0", "unknown mnemonic"},
+		{".func f\nmov r99, #1", "bad"},
+		{".func f\nadd r0, r1", "3 operands"},
+		{".func f\nx:\nx:\nnop", "duplicate label"},
+		{".func f\npush r0", "register list"},
+		{".func f\nldr r0, r1", "memory operand"},
+		{".bytes blob zz", "bad hex"},
+		{"", "no .func"},
+		{".func f\nbweird x", "unknown mnemonic"},
+	}
+	for _, c := range cases {
+		if _, err := Parse("t", c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseLineNumbers(t *testing.T) {
+	_, err := Parse("t", ".func f\nnop\nbogus r0\n")
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 3 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	// A program using every mnemonic family the formatter can emit.
+	p := NewProgram("rt")
+	f := p.NewFunc("main")
+	f.PUSH(isa.R4, isa.LR)
+	f.MOVi(isa.R0, 42)
+	f.MOVr(isa.R1, isa.R0)
+	f.MVN(isa.R2, isa.R1)
+	f.LA(isa.R3, "tbl")
+	f.ADR(isa.R4, "end")
+	f.ADDi(isa.R0, isa.R0, 1)
+	f.ADDr(isa.R0, isa.R0, isa.R1)
+	f.SUBi(isa.R0, isa.R0, 2)
+	f.SUBr(isa.R0, isa.R0, isa.R1)
+	f.RSBi(isa.R0, isa.R1, 7)
+	f.MUL(isa.R5, isa.R0, isa.R1)
+	f.UDIV(isa.R5, isa.R5, isa.R0)
+	f.SDIV(isa.R5, isa.R5, isa.R0)
+	f.ANDr(isa.R5, isa.R5, isa.R1)
+	f.ORRr(isa.R5, isa.R5, isa.R1)
+	f.EORr(isa.R5, isa.R5, isa.R1)
+	f.BICr(isa.R5, isa.R5, isa.R1)
+	f.LSLi(isa.R5, isa.R5, 3)
+	f.LSLr(isa.R5, isa.R5, isa.R1)
+	f.LSRi(isa.R5, isa.R5, 1)
+	f.LSRr(isa.R5, isa.R5, isa.R1)
+	f.ASRi(isa.R5, isa.R5, 2)
+	f.CMPi(isa.R5, 0)
+	f.CMPr(isa.R5, isa.R0)
+	f.TST(isa.R5, isa.R0)
+	f.Label("loop")
+	f.LDRi(isa.R6, isa.R3, 4)
+	f.LDRr(isa.R6, isa.R3, isa.R0)
+	f.LDRBi(isa.R6, isa.R3, 1)
+	f.LDRBr(isa.R6, isa.R3, isa.R0)
+	f.LDRHi(isa.R6, isa.R3, 2)
+	f.STRi(isa.R6, isa.R3, 4)
+	f.STRr(isa.R6, isa.R3, isa.R0)
+	f.STRBi(isa.R6, isa.R3, 1)
+	f.STRBr(isa.R6, isa.R3, isa.R0)
+	f.STRHi(isa.R6, isa.R3, 2)
+	f.CMPi(isa.R0, 3)
+	f.BNE("loop")
+	f.BEQ("end")
+	f.LDRPC(isa.R3, isa.R0)
+	f.BL("aux")
+	f.BLX(isa.R2)
+	f.SECALL(5)
+	f.NOP()
+	f.Label("end")
+	f.POP(isa.R4, isa.PC)
+
+	aux := p.AddFunc(NewFunction("aux"))
+	aux.ADDi(isa.R0, isa.R0, 1)
+	aux.RET()
+
+	p.AddData(&DataSegment{Name: "tbl", Syms: []string{"main.loop", "aux"}})
+	p.AddData(&DataSegment{Name: "raw", Bytes: []byte{0xde, 0xad}})
+
+	text := Format(p)
+	q, err := Parse("rt", text)
+	if err != nil {
+		t.Fatalf("parse formatted text: %v\n%s", err, text)
+	}
+	imgP, err := Layout(p, 0x20_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgQ, err := Layout(q, 0x20_0000)
+	if err != nil {
+		t.Fatalf("layout reparsed: %v", err)
+	}
+	if imgP.Hash() != imgQ.Hash() {
+		// Diagnose the first difference.
+		for i := range p.Funcs {
+			a, b := p.Funcs[i], q.Funcs[i]
+			for j := range a.Instrs {
+				if j >= len(b.Instrs) || a.Instrs[j] != b.Instrs[j] {
+					t.Fatalf("func %s instr %d: %v vs %v", a.Name, j, a.Instrs[j], b.Instrs[j])
+				}
+			}
+		}
+		t.Fatal("round trip changed the image hash")
+	}
+}
+
+func TestFormatEntryDirective(t *testing.T) {
+	p := NewProgram("t")
+	p.NewFunc("helper")
+	p.AddFunc(NewFunction("main")).HLT()
+	p.Func("helper").HLT()
+	p.Entry = "main"
+	text := Format(p)
+	if !strings.Contains(text, ".entry main") {
+		t.Fatalf("missing .entry:\n%s", text)
+	}
+	q, err := Parse("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Entry != "main" {
+		t.Errorf("entry = %q", q.Entry)
+	}
+}

@@ -1,0 +1,298 @@
+// Package attest defines the RA/CFA wire formats exchanged between the
+// Prover's Root of Trust and the Verifier: challenges, (partial) reports,
+// and the authentication primitives (HMAC-SHA256 for the symmetric setting,
+// Ed25519 for the asymmetric one), following the protocol of paper §II-C:
+// the report binds the challenge nonce, the program-memory measurement
+// H_MEM and the control-flow log CFLog under a key held only by the RoT.
+package attest
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// NonceSize is the challenge nonce size in bytes.
+const NonceSize = 16
+
+// Challenge is the Verifier's attestation request.
+type Challenge struct {
+	Nonce [NonceSize]byte
+	App   string // name of the application to attest
+}
+
+// NewChallenge draws a fresh random challenge for app.
+func NewChallenge(app string) (Challenge, error) {
+	var c Challenge
+	c.App = app
+	if _, err := io.ReadFull(rand.Reader, c.Nonce[:]); err != nil {
+		return Challenge{}, fmt.Errorf("attest: drawing nonce: %w", err)
+	}
+	return c, nil
+}
+
+// Encode serializes the challenge for transmission.
+func (c Challenge) Encode() []byte {
+	var b []byte
+	b = append(b, c.Nonce[:]...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.App)))
+	b = append(b, c.App...)
+	return b
+}
+
+// ErrBadChallenge is returned for malformed challenge encodings.
+var ErrBadChallenge = errors.New("attest: malformed challenge encoding")
+
+// DecodeChallenge parses a serialized challenge.
+func DecodeChallenge(b []byte) (Challenge, error) {
+	var c Challenge
+	if len(b) < NonceSize+4 {
+		return c, ErrBadChallenge
+	}
+	copy(c.Nonce[:], b)
+	n := binary.LittleEndian.Uint32(b[NonceSize:])
+	rest := b[NonceSize+4:]
+	if uint32(len(rest)) != n {
+		return c, ErrBadChallenge
+	}
+	c.App = string(rest)
+	return c, nil
+}
+
+// Report is one attestation report. A CFA session produces zero or more
+// partial reports (emitted when the MTB watermark fires, §IV-E) followed by
+// exactly one final report; Seq numbers them from zero and Final marks the
+// last.
+type Report struct {
+	App   string
+	Nonce [NonceSize]byte
+	Seq   uint32
+	Final bool
+	HMem  [sha256.Size]byte
+	CFLog []byte // raw packet stream for this report's window
+	Auth  []byte // MAC or signature over the canonical encoding
+}
+
+// signedBytes is the canonical byte string authenticated by Auth.
+func (r *Report) signedBytes() []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.App)))
+	b = append(b, r.App...)
+	b = append(b, r.Nonce[:]...)
+	b = binary.LittleEndian.AppendUint32(b, r.Seq)
+	if r.Final {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, r.HMem[:]...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.CFLog)))
+	b = append(b, r.CFLog...)
+	return b
+}
+
+// Encode serializes the report including its authenticator.
+func (r *Report) Encode() []byte {
+	body := r.signedBytes()
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(body)))
+	b = append(b, body...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Auth)))
+	b = append(b, r.Auth...)
+	return b
+}
+
+// ErrBadReport is returned for malformed report encodings.
+var ErrBadReport = errors.New("attest: malformed report encoding")
+
+// DecodeReport parses a serialized report.
+func DecodeReport(b []byte) (*Report, error) {
+	if len(b) < 4 {
+		return nil, ErrBadReport
+	}
+	bodyLen := binary.LittleEndian.Uint32(b)
+	rest := b[4:]
+	if uint32(len(rest)) < bodyLen {
+		return nil, ErrBadReport
+	}
+	body := rest[:bodyLen]
+	rest = rest[bodyLen:]
+	if len(rest) < 4 {
+		return nil, ErrBadReport
+	}
+	authLen := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) != authLen {
+		return nil, ErrBadReport
+	}
+
+	r := &Report{Auth: append([]byte(nil), rest...)}
+	// Parse body.
+	if len(body) < 4 {
+		return nil, ErrBadReport
+	}
+	appLen := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if uint32(len(body)) < appLen {
+		return nil, ErrBadReport
+	}
+	r.App = string(body[:appLen])
+	body = body[appLen:]
+	if len(body) < NonceSize+4+1+sha256.Size+4 {
+		return nil, ErrBadReport
+	}
+	copy(r.Nonce[:], body)
+	body = body[NonceSize:]
+	r.Seq = binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	r.Final = body[0] == 1
+	body = body[1:]
+	copy(r.HMem[:], body)
+	body = body[sha256.Size:]
+	logLen := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if uint32(len(body)) != logLen {
+		return nil, ErrBadReport
+	}
+	r.CFLog = append([]byte(nil), body...)
+	return r, nil
+}
+
+// Signer authenticates reports on the Prover side.
+type Signer interface {
+	// Sign returns the authenticator for msg.
+	Sign(msg []byte) ([]byte, error)
+	// Algorithm names the scheme ("hmac-sha256", "ed25519").
+	Algorithm() string
+}
+
+// Authenticator verifies report authenticators on the Verifier side.
+type Authenticator interface {
+	Verify(msg, auth []byte) bool
+	Algorithm() string
+}
+
+// HMACKey is a shared symmetric key implementing both Signer and
+// Authenticator with HMAC-SHA256.
+type HMACKey struct{ key []byte }
+
+// NewHMACKey wraps key (copied).
+func NewHMACKey(key []byte) *HMACKey {
+	return &HMACKey{key: append([]byte(nil), key...)}
+}
+
+// GenerateHMACKey draws a random 32-byte key.
+func GenerateHMACKey() (*HMACKey, error) {
+	k := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("attest: generating key: %w", err)
+	}
+	return &HMACKey{key: k}, nil
+}
+
+// Sign computes HMAC-SHA256 over msg.
+func (h *HMACKey) Sign(msg []byte) ([]byte, error) {
+	m := hmac.New(sha256.New, h.key)
+	m.Write(msg)
+	return m.Sum(nil), nil
+}
+
+// Verify checks an HMAC-SHA256 authenticator.
+func (h *HMACKey) Verify(msg, auth []byte) bool {
+	want, _ := h.Sign(msg)
+	return hmac.Equal(want, auth)
+}
+
+// Algorithm returns "hmac-sha256".
+func (h *HMACKey) Algorithm() string { return "hmac-sha256" }
+
+// Ed25519Signer signs with an Ed25519 private key.
+type Ed25519Signer struct{ priv ed25519.PrivateKey }
+
+// Ed25519Authenticator verifies with the matching public key.
+type Ed25519Authenticator struct{ pub ed25519.PublicKey }
+
+// GenerateEd25519 creates a fresh signer/authenticator pair.
+func GenerateEd25519() (*Ed25519Signer, *Ed25519Authenticator, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attest: generating ed25519 key: %w", err)
+	}
+	return &Ed25519Signer{priv: priv}, &Ed25519Authenticator{pub: pub}, nil
+}
+
+// Sign produces an Ed25519 signature over msg.
+func (s *Ed25519Signer) Sign(msg []byte) ([]byte, error) {
+	return ed25519.Sign(s.priv, msg), nil
+}
+
+// Algorithm returns "ed25519".
+func (s *Ed25519Signer) Algorithm() string { return "ed25519" }
+
+// Verify checks an Ed25519 signature.
+func (a *Ed25519Authenticator) Verify(msg, auth []byte) bool {
+	return len(auth) == ed25519.SignatureSize && ed25519.Verify(a.pub, msg, auth)
+}
+
+// Algorithm returns "ed25519".
+func (a *Ed25519Authenticator) Algorithm() string { return "ed25519" }
+
+// SignReport fills r.Auth.
+func SignReport(r *Report, s Signer) error {
+	auth, err := s.Sign(r.signedBytes())
+	if err != nil {
+		return err
+	}
+	r.Auth = auth
+	return nil
+}
+
+// VerifyReport checks r.Auth.
+func VerifyReport(r *Report, a Authenticator) bool {
+	return a.Verify(r.signedBytes(), r.Auth)
+}
+
+// ChainError describes a broken partial-report chain.
+type ChainError struct{ Reason string }
+
+func (e *ChainError) Error() string { return "attest: report chain: " + e.Reason }
+
+// AssembleChain authenticates and orders a partial-report chain against a
+// challenge, returning the concatenated CFLog and the common H_MEM.
+func AssembleChain(reports []*Report, chal Challenge, a Authenticator) ([]byte, [sha256.Size]byte, error) {
+	var hmem [sha256.Size]byte
+	if len(reports) == 0 {
+		return nil, hmem, &ChainError{Reason: "empty"}
+	}
+	var log []byte
+	for i, r := range reports {
+		if !VerifyReport(r, a) {
+			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: bad authenticator", i)}
+		}
+		if r.App != chal.App {
+			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: app %q != challenge app %q", i, r.App, chal.App)}
+		}
+		if r.Nonce != chal.Nonce {
+			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: nonce mismatch (replay?)", i)}
+		}
+		if r.Seq != uint32(i) {
+			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: sequence %d out of order", i, r.Seq)}
+		}
+		if i == 0 {
+			hmem = r.HMem
+		} else if !bytes.Equal(hmem[:], r.HMem[:]) {
+			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: H_MEM changed mid-session", i)}
+		}
+		if r.Final != (i == len(reports)-1) {
+			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: misplaced final flag", i)}
+		}
+		log = append(log, r.CFLog...)
+	}
+	return log, hmem, nil
+}

@@ -1,0 +1,210 @@
+package attest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleReport() *Report {
+	r := &Report{App: "demo", Seq: 3, Final: true, CFLog: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	for i := range r.Nonce {
+		r.Nonce[i] = byte(i)
+	}
+	for i := range r.HMem {
+		r.HMem[i] = byte(0xf0 | i&0xf)
+	}
+	r.Auth = []byte{9, 9, 9}
+	return r
+}
+
+func TestReportEncodeDecodeRoundTrip(t *testing.T) {
+	in := sampleReport()
+	out, err := DecodeReport(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.App != in.App || out.Nonce != in.Nonce || out.Seq != in.Seq ||
+		out.Final != in.Final || out.HMem != in.HMem ||
+		!bytes.Equal(out.CFLog, in.CFLog) || !bytes.Equal(out.Auth, in.Auth) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(app string, nonce [NonceSize]byte, seq uint32, final bool, log []byte, auth []byte) bool {
+		in := &Report{App: app, Nonce: nonce, Seq: seq, Final: final, CFLog: log, Auth: auth}
+		out, err := DecodeReport(in.Encode())
+		if err != nil {
+			return false
+		}
+		return out.App == in.App && out.Nonce == in.Nonce && out.Seq == in.Seq &&
+			out.Final == in.Final && bytes.Equal(out.CFLog, in.CFLog) &&
+			bytes.Equal(out.Auth, in.Auth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeReportMalformed(t *testing.T) {
+	good := sampleReport().Encode()
+	for _, n := range []int{0, 3, 10, len(good) - 1} {
+		if _, err := DecodeReport(good[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	// Oversized length prefix.
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xff
+	bad[1] = 0xff
+	if _, err := DecodeReport(bad); err == nil {
+		t.Error("oversized body length accepted")
+	}
+}
+
+func TestHMACSignVerify(t *testing.T) {
+	key, err := GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampleReport()
+	if err := SignReport(r, key); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyReport(r, key) {
+		t.Fatal("genuine report rejected")
+	}
+	// Any field flip breaks the MAC.
+	r.CFLog[0] ^= 1
+	if VerifyReport(r, key) {
+		t.Error("tampered CFLog accepted")
+	}
+	r.CFLog[0] ^= 1
+	r.Seq++
+	if VerifyReport(r, key) {
+		t.Error("tampered Seq accepted")
+	}
+	r.Seq--
+	r.Final = !r.Final
+	if VerifyReport(r, key) {
+		t.Error("tampered Final accepted")
+	}
+	r.Final = !r.Final
+	// Wrong key.
+	other := NewHMACKey([]byte("different key material........"))
+	if VerifyReport(r, other) {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestEd25519SignVerify(t *testing.T) {
+	signer, auth, err := GenerateEd25519()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampleReport()
+	if err := SignReport(r, signer); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyReport(r, auth) {
+		t.Fatal("genuine signature rejected")
+	}
+	r.HMem[0] ^= 1
+	if VerifyReport(r, auth) {
+		t.Error("tampered H_MEM accepted")
+	}
+	if auth.Algorithm() != "ed25519" || signer.Algorithm() != "ed25519" {
+		t.Error("algorithm labels")
+	}
+	if auth.Verify([]byte("m"), []byte("short")) {
+		t.Error("malformed signature accepted")
+	}
+}
+
+func makeChain(t *testing.T, key *HMACKey, chal Challenge, windows ...[]byte) []*Report {
+	t.Helper()
+	var hmem [32]byte
+	hmem[0] = 0xaa
+	out := make([]*Report, len(windows))
+	for i, w := range windows {
+		r := &Report{
+			App: chal.App, Nonce: chal.Nonce, Seq: uint32(i),
+			Final: i == len(windows)-1, HMem: hmem, CFLog: w,
+		}
+		if err := SignReport(r, key); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestAssembleChainHappyPath(t *testing.T) {
+	key, _ := GenerateHMACKey()
+	chal, err := NewChallenge("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := makeChain(t, key, chal, []byte{1, 2}, []byte{3}, []byte{4, 5, 6})
+	log, hmem, err := AssembleChain(chain, chal, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(log, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Errorf("log = %v", log)
+	}
+	if hmem[0] != 0xaa {
+		t.Error("hmem not propagated")
+	}
+}
+
+func TestAssembleChainRejections(t *testing.T) {
+	key, _ := GenerateHMACKey()
+	chal, _ := NewChallenge("app")
+	fresh := func() []*Report { return makeChain(t, key, chal, []byte{1}, []byte{2}, []byte{3}) }
+
+	check := func(name string, mutate func([]*Report) []*Report, wantSub string) {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := AssembleChain(mutate(fresh()), chal, key)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), wantSub) {
+				t.Errorf("err %q does not mention %q", err, wantSub)
+			}
+		})
+	}
+
+	check("empty", func(c []*Report) []*Report { return nil }, "empty")
+	check("dropped window", func(c []*Report) []*Report { return append(c[:1], c[2:]...) }, "sequence")
+	check("reordered", func(c []*Report) []*Report { c[0], c[1] = c[1], c[0]; return c }, "sequence")
+	check("missing final", func(c []*Report) []*Report { return c[:2] }, "final")
+	check("bad auth", func(c []*Report) []*Report { c[1].Auth[0] ^= 1; return c }, "authenticator")
+	check("hmem drift", func(c []*Report) []*Report {
+		c[2].HMem[5] ^= 1
+		_ = SignReport(c[2], key)
+		return c
+	}, "H_MEM")
+	check("wrong app", func(c []*Report) []*Report {
+		c[0].App = "evil"
+		_ = SignReport(c[0], key)
+		return c
+	}, "app")
+
+	// Nonce replay: verify against a different challenge.
+	other, _ := NewChallenge("app")
+	if _, _, err := AssembleChain(fresh(), other, key); err == nil ||
+		!strings.Contains(err.Error(), "nonce") {
+		t.Errorf("replay err = %v", err)
+	}
+}
+
+func TestChallengesAreFresh(t *testing.T) {
+	a, _ := NewChallenge("x")
+	b, _ := NewChallenge("x")
+	if a.Nonce == b.Nonce {
+		t.Error("two challenges share a nonce")
+	}
+}

@@ -1,0 +1,105 @@
+package attest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Evidence file format: a challenge plus its full report chain, suitable
+// for offline verification ("raptrack attest -out" / "raptrack verify").
+//
+//	magic "RTEV" | u32 version | challenge | u32 count | count x (u32 len | report)
+
+var evidenceMagic = []byte("RTEV")
+
+// evidenceVersion is bumped on layout changes.
+const evidenceVersion = 1
+
+// EncodeEvidence serializes a challenge and its report chain.
+func EncodeEvidence(chal Challenge, reports []*Report) []byte {
+	var b []byte
+	b = append(b, evidenceMagic...)
+	b = binary.LittleEndian.AppendUint32(b, evidenceVersion)
+	cb := chal.Encode()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cb)))
+	b = append(b, cb...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(reports)))
+	for _, r := range reports {
+		rb := r.Encode()
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(rb)))
+		b = append(b, rb...)
+	}
+	return b
+}
+
+// ErrBadEvidence is returned for malformed evidence files.
+var ErrBadEvidence = errors.New("attest: malformed evidence file")
+
+// DecodeEvidence parses an evidence file.
+func DecodeEvidence(b []byte) (Challenge, []*Report, error) {
+	var chal Challenge
+	if len(b) < 12 || !bytes.Equal(b[:4], evidenceMagic) {
+		return chal, nil, ErrBadEvidence
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != evidenceVersion {
+		return chal, nil, fmt.Errorf("%w: version %d (want %d)", ErrBadEvidence, v, evidenceVersion)
+	}
+	b = b[8:]
+	take := func(n uint32) ([]byte, bool) {
+		if uint32(len(b)) < n {
+			return nil, false
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, true
+	}
+	lenField := func() (uint32, bool) {
+		f, ok := take(4)
+		if !ok {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint32(f), true
+	}
+
+	n, ok := lenField()
+	if !ok {
+		return chal, nil, ErrBadEvidence
+	}
+	cb, ok := take(n)
+	if !ok {
+		return chal, nil, ErrBadEvidence
+	}
+	chal, err := DecodeChallenge(cb)
+	if err != nil {
+		return chal, nil, err
+	}
+	count, ok := lenField()
+	if !ok || count > 1<<20 {
+		return chal, nil, ErrBadEvidence
+	}
+	reports := make([]*Report, 0, count)
+	for i := uint32(0); i < count; i++ {
+		rl, ok := lenField()
+		if !ok {
+			return chal, nil, ErrBadEvidence
+		}
+		rb, ok := take(rl)
+		if !ok {
+			return chal, nil, ErrBadEvidence
+		}
+		r, err := DecodeReport(rb)
+		if err != nil {
+			return chal, nil, err
+		}
+		reports = append(reports, r)
+	}
+	if len(b) != 0 {
+		return chal, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEvidence, len(b))
+	}
+	return chal, reports, nil
+}
+
+// Key returns the raw HMAC key material (for provisioning files).
+func (h *HMACKey) Key() []byte { return append([]byte(nil), h.key...) }

@@ -1,0 +1,67 @@
+package attest
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEvidenceRoundTrip(t *testing.T) {
+	key, _ := GenerateHMACKey()
+	chal, err := NewChallenge("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := makeChain(t, key, chal, []byte{1, 2, 3}, []byte{4}, []byte{5, 6})
+	raw := EncodeEvidence(chal, chain)
+
+	gotChal, gotReports, err := DecodeEvidence(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotChal.App != chal.App || gotChal.Nonce != chal.Nonce {
+		t.Errorf("challenge mismatch: %+v", gotChal)
+	}
+	if len(gotReports) != len(chain) {
+		t.Fatalf("reports = %d", len(gotReports))
+	}
+	for i := range chain {
+		if !bytes.Equal(gotReports[i].CFLog, chain[i].CFLog) ||
+			gotReports[i].Seq != chain[i].Seq {
+			t.Errorf("report %d mismatch", i)
+		}
+	}
+	// The decoded chain still assembles and authenticates.
+	if _, _, err := AssembleChain(gotReports, gotChal, key); err != nil {
+		t.Errorf("decoded chain: %v", err)
+	}
+}
+
+func TestEvidenceMalformed(t *testing.T) {
+	key, _ := GenerateHMACKey()
+	chal, _ := NewChallenge("demo")
+	raw := EncodeEvidence(chal, makeChain(t, key, chal, []byte{1}))
+
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       raw[:6],
+		"bad magic":   append([]byte("XXXX"), raw[4:]...),
+		"bad version": append(append([]byte{}, raw[:4]...), append([]byte{9, 0, 0, 0}, raw[8:]...)...),
+		"truncated":   raw[:len(raw)-3],
+		"trailing":    append(append([]byte{}, raw...), 0xff),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeEvidence(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestHMACKeyMaterialRoundTrip(t *testing.T) {
+	key, _ := GenerateHMACKey()
+	clone := NewHMACKey(key.Key())
+	msg := []byte("message")
+	a, _ := key.Sign(msg)
+	if !clone.Verify(msg, a) {
+		t.Error("key material round trip failed")
+	}
+}

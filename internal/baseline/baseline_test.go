@@ -1,0 +1,160 @@
+// Package baseline_test cross-checks the two comparison systems (naive MTB
+// and TRACES instrumentation) against the plain runs on every workload.
+package baseline_test
+
+import (
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/baseline/naive"
+	"raptrack/internal/baseline/traces"
+	"raptrack/internal/mem"
+	"raptrack/internal/trace"
+)
+
+func TestNaiveMatchesPlainSemantics(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			plain, plainDev, err := apps.RunPlain(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dev *apps.Devices
+			res, err := naive.Run(a.Build(), naive.Config{
+				SetupMem: func(m *mem.Memory) { dev = a.Setup(m) },
+			})
+			if err != nil {
+				t.Fatalf("naive run: %v", err)
+			}
+			// Naive MTB adds zero cycles: tracing is parallel.
+			if res.Cycles != plain.Cycles {
+				t.Errorf("cycles: naive %d != plain %d", res.Cycles, plain.Cycles)
+			}
+			if res.Steps != plain.Steps {
+				t.Errorf("steps: naive %d != plain %d", res.Steps, plain.Steps)
+			}
+			// Every taken transfer is logged at 8 bytes.
+			if res.CFLogBytes != res.Transfers*trace.PacketSize {
+				t.Errorf("cflog %d != transfers %d * 8", res.CFLogBytes, res.Transfers)
+			}
+			if res.Transfers == 0 {
+				t.Error("no transfers recorded")
+			}
+			assertHostWords(t, plainDev, dev)
+		})
+	}
+}
+
+func TestTracesMatchesPlainSemantics(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			plain, plainDev, err := apps.RunPlain(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := traces.Instrument(a.Build(), traces.DefaultOptions())
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			var dev *apps.Devices
+			res, err := traces.Run(out, traces.Config{
+				SetupMem: func(m *mem.Memory) { dev = a.Setup(m) },
+			})
+			if err != nil {
+				t.Fatalf("traces run: %v", err)
+			}
+			if res.Cycles <= plain.Cycles {
+				t.Errorf("TRACES cycles %d should exceed plain %d (context switches)", res.Cycles, plain.Cycles)
+			}
+			if res.Entries == 0 {
+				t.Error("no CFLog entries")
+			}
+			if res.SecureCalls == 0 {
+				t.Error("no secure calls")
+			}
+			if res.CodeBytes <= out.Stats.CodeBefore {
+				t.Errorf("instrumented code %d should exceed original %d", res.CodeBytes, out.Stats.CodeBefore)
+			}
+			assertHostWords(t, plainDev, dev)
+		})
+	}
+}
+
+func assertHostWords(t *testing.T, want, got *apps.Devices) {
+	t.Helper()
+	if want == nil || got == nil || want.Host == nil {
+		return
+	}
+	if len(got.Host.Words) != len(want.Host.Words) {
+		t.Fatalf("host words differ: plain %v vs %v", want.Host.Words, got.Host.Words)
+	}
+	for i := range want.Host.Words {
+		if got.Host.Words[i] != want.Host.Words[i] {
+			t.Errorf("host word %d: plain %d, got %d", i, want.Host.Words[i], got.Host.Words[i])
+		}
+	}
+}
+
+// TestNaiveLogMuchLargerThanTraces checks the Fig. 1(a) relationship: the
+// naive MTB CFLog dwarfs the instrumentation-based one.
+func TestNaiveLogMuchLargerThanTraces(t *testing.T) {
+	for _, name := range []string{"matmult", "ultrasonic", "syringe"} {
+		a, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nres, err := naive.Run(a.Build(), naive.Config{SetupMem: a.SetupMem()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := traces.Instrument(a.Build(), traces.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tres, err := traces.Run(out, traces.Config{SetupMem: a.SetupMem()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nres.CFLogBytes < 2*tres.CFLogBytes {
+			t.Errorf("%s: naive CFLog %dB not >= 2x TRACES %dB", name, nres.CFLogBytes, tres.CFLogBytes)
+		}
+		t.Logf("%s: naive=%dB traces=%dB ratio=%.1f", name, nres.CFLogBytes, tres.CFLogBytes,
+			float64(nres.CFLogBytes)/float64(tres.CFLogBytes))
+	}
+}
+
+// TestTracesLosslessVerification reconstructs every workload's TRACES
+// evidence (dst-only words) and checks exact consumption.
+func TestTracesLosslessVerification(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			out, err := traces.Instrument(a.Build(), traces.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := traces.Run(out, traces.Config{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vd := traces.Verify(out, res.Evidence)
+			if !vd.OK {
+				t.Fatalf("rejected: %s (%d words, %d evals)", vd.Reason, vd.Words, vd.Evals)
+			}
+			// Tampered evidence must be rejected.
+			if len(res.Evidence) > 2 {
+				drop := traces.Verify(out, res.Evidence[:len(res.Evidence)-1])
+				if drop.OK {
+					t.Error("dropped-word evidence accepted")
+				}
+				mut := append([]uint32(nil), res.Evidence...)
+				mut[len(mut)/2] ^= 0x2
+				if v := traces.Verify(out, mut); v.OK {
+					t.Error("mutated evidence accepted")
+				}
+			}
+		})
+	}
+}

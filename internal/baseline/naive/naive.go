@@ -1,0 +1,81 @@
+// Package naive implements the "naive MTB" CFA baseline of paper §I: the
+// unmodified application runs with MTB_MASTER.TSTARTEN set, so the trace
+// buffer records every taken non-sequential transfer — including the large
+// population of deterministic branches a verifier does not need. It adds
+// no runtime overhead (tracing is parallel), but CFLog grows 1.9-217x over
+// instrumentation-based CFA, overflowing the 4 KB MTB SRAM and forcing
+// frequent partial-report pauses.
+package naive
+
+import (
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/cpu"
+	"raptrack/internal/mem"
+	"raptrack/internal/trace"
+)
+
+// Result summarizes one naive-MTB run.
+type Result struct {
+	Cycles     uint64 // application cycles (no instrumentation: equals baseline)
+	Steps      uint64
+	Transfers  uint64 // taken non-sequential transfers
+	Packets    uint64 // MTB packets written (== Transfers)
+	CFLogBytes uint64 // total evidence bytes generated
+	Partials   int    // watermark-triggered report emissions (4 KB buffer)
+	CodeBytes  uint32 // unmodified code footprint
+}
+
+// Config tunes a run.
+type Config struct {
+	// SetupMem prepares peripherals in the fresh memory system.
+	SetupMem func(*mem.Memory)
+	// MTBBufferSize defaults to the 4 KB M33 MTB SRAM.
+	MTBBufferSize int
+	// MaxSteps bounds execution (0: harness default).
+	MaxSteps uint64
+}
+
+// Run executes prog with master-enabled MTB tracing and no code changes.
+func Run(prog *asm.Program, cfg Config) (*Result, error) {
+	img, err := asm.Layout(prog.Clone(), mem.NSCodeBase)
+	if err != nil {
+		return nil, fmt.Errorf("naive: layout: %w", err)
+	}
+	m := mem.New()
+	if cfg.SetupMem != nil {
+		cfg.SetupMem(m)
+	}
+	bufSize := cfg.MTBBufferSize
+	if bufSize == 0 {
+		bufSize = trace.DefaultBufferSize
+	}
+	mtb := trace.NewMTB(m, mem.SDataBase, bufSize)
+	mtb.SetMaster(true)
+	partials := 0
+	if err := mtb.SetWatermark(bufSize); err != nil {
+		return nil, err
+	}
+	mtb.OnWatermark = func() {
+		partials++
+		mtb.ResetPosition()
+	}
+
+	c, err := cpu.New(cpu.Config{Image: img, Mem: m, MTB: mtb})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(cfg.MaxSteps); err != nil {
+		return nil, fmt.Errorf("naive: run: %w", err)
+	}
+	return &Result{
+		Cycles:     c.Cycles,
+		Steps:      c.Steps,
+		Transfers:  c.TotalBranches(),
+		Packets:    mtb.TotalPackets,
+		CFLogBytes: mtb.TotalPackets * trace.PacketSize,
+		Partials:   partials,
+		CodeBytes:  img.CodeSize,
+	}, nil
+}

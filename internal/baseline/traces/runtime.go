@@ -1,0 +1,178 @@
+package traces
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"raptrack/internal/cpu"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/tz"
+)
+
+// Secure-World work cycle constants (aligned with internal/cfa so the two
+// engines are comparable).
+const (
+	logAppendCycles   = 20
+	hashCyclesPerByte = 13
+	signFixedCycles   = 4000
+)
+
+// EntrySize is the TRACES CFLog entry size: one 32-bit destination word.
+const EntrySize = 4
+
+// Result summarizes one TRACES-instrumented run.
+type Result struct {
+	// Evidence is the full logged destination stream (across windows).
+	Evidence    []uint32
+	Cycles      uint64 // application cycles including instrumentation + SECALLs
+	Steps       uint64
+	SecureCalls uint64 // NS->S transitions taken
+	Entries     uint64 // CFLog entries appended
+	CFLogBytes  uint64
+	Partials    int    // buffer-full report emissions
+	PauseCycles uint64 // hash+sign work during report emission
+	CodeBytes   uint32 // instrumented code footprint
+}
+
+// Config tunes a run.
+type Config struct {
+	SetupMem func(*mem.Memory)
+	// BufferSize is the Secure CFLog capacity before a partial report
+	// (default 4 KB, matching the RAP-Track MTB SRAM budget).
+	BufferSize int
+	// ContextSwitchCycles overrides the NS<->S round-trip cost.
+	ContextSwitchCycles uint64
+	MaxSteps            uint64
+}
+
+// Engine is the TRACES Secure-World runtime: SECALL-served logging into a
+// TEE-protected CFLog with partial-report emission.
+type Engine struct {
+	out     *Output
+	mem     *mem.Memory
+	Gateway *tz.Gateway
+
+	buf      []byte
+	bufCap   int
+	Entries  uint64
+	Partials int
+	// AllWords accumulates every logged destination across partial-report
+	// windows (the Verifier-side view of the full evidence stream).
+	AllWords []uint32
+	// PauseCycles accumulates report emission (hash + sign) work.
+	PauseCycles uint64
+}
+
+// NewEngine wires the secure runtime for an instrumented artifact.
+func NewEngine(out *Output, m *mem.Memory, cfg Config) *Engine {
+	bufCap := cfg.BufferSize
+	if bufCap == 0 {
+		bufCap = 4096
+	}
+	e := &Engine{
+		out:     out,
+		mem:     m,
+		Gateway: tz.NewGateway(),
+		bufCap:  bufCap,
+	}
+	if cfg.ContextSwitchCycles != 0 {
+		e.Gateway.ContextSwitchCycles = cfg.ContextSwitchCycles
+	}
+	e.Gateway.Register(tz.SvcLogSite, e.svcLogSite)
+	e.Gateway.Register(tz.SvcLogReg, e.svcLogReg)
+	e.Gateway.Register(tz.SvcLogRet, e.svcLogRet)
+	e.Gateway.Register(tz.SvcLogLR, e.svcLogLR)
+	e.Gateway.Register(tz.SvcLogTable, e.svcLogTable)
+	e.Gateway.Register(tz.SvcLogLoop, e.svcLogLoop)
+	return e
+}
+
+func (e *Engine) append4(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+	e.AllWords = append(e.AllWords, v)
+	e.Entries++
+	if len(e.buf) >= e.bufCap {
+		// Emit a partial report: hash + sign the window, then reset.
+		e.PauseCycles += uint64(len(e.buf))*hashCyclesPerByte + signFixedCycles
+		e.Partials++
+		e.buf = e.buf[:0]
+	}
+}
+
+func (e *Engine) svcLogSite(_ int32, regs *[16]uint32) (uint64, error) {
+	dst, ok := e.out.SiteTargets[regs[isa.PC]]
+	if !ok {
+		return 0, fmt.Errorf("traces: SECALL at %#x has no site-target entry", regs[isa.PC])
+	}
+	e.append4(dst)
+	return logAppendCycles, nil
+}
+
+func (e *Engine) svcLogReg(imm int32, regs *[16]uint32) (uint64, error) {
+	e.append4(regs[tz.SvcArg(imm)&15])
+	return logAppendCycles, nil
+}
+
+func (e *Engine) svcLogRet(imm int32, regs *[16]uint32) (uint64, error) {
+	addr := regs[isa.SP] + uint32(tz.SvcArg(imm))
+	v, err := e.mem.Read32(addr)
+	if err != nil {
+		return 0, err
+	}
+	e.append4(v &^ 1)
+	return logAppendCycles, nil
+}
+
+func (e *Engine) svcLogLR(_ int32, regs *[16]uint32) (uint64, error) {
+	e.append4(regs[isa.LR] &^ 1)
+	return logAppendCycles, nil
+}
+
+func (e *Engine) svcLogTable(imm int32, regs *[16]uint32) (uint64, error) {
+	arg := tz.SvcArg(imm)
+	rn, rm := arg&15, arg>>4&15
+	addr := regs[rn] + regs[rm]<<2
+	v, err := e.mem.Read32(addr)
+	if err != nil {
+		return 0, err
+	}
+	e.append4(v &^ 1)
+	return logAppendCycles, nil
+}
+
+func (e *Engine) svcLogLoop(_ int32, regs *[16]uint32) (uint64, error) {
+	e.append4(regs[isa.R0])
+	return logAppendCycles, nil
+}
+
+// Run executes the instrumented artifact under the TRACES engine.
+func Run(out *Output, cfg Config) (*Result, error) {
+	if out == nil {
+		return nil, errors.New("traces: nil output")
+	}
+	m := mem.New()
+	if cfg.SetupMem != nil {
+		cfg.SetupMem(m)
+	}
+	eng := NewEngine(out, m, cfg)
+	c, err := cpu.New(cpu.Config{Image: out.Image, Mem: m, Gateway: eng.Gateway})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(cfg.MaxSteps); err != nil {
+		return nil, fmt.Errorf("traces: run: %w", err)
+	}
+	return &Result{
+		Evidence:    eng.AllWords,
+		Cycles:      c.Cycles,
+		Steps:       c.Steps,
+		SecureCalls: eng.Gateway.Calls,
+		Entries:     eng.Entries,
+		CFLogBytes:  eng.Entries * EntrySize,
+		Partials:    eng.Partials,
+		PauseCycles: eng.PauseCycles,
+		CodeBytes:   out.Image.CodeSize,
+	}, nil
+}

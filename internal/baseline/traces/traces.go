@@ -1,0 +1,358 @@
+// Package traces implements the TRACES baseline (Caulfield et al., the
+// state-of-the-art instrumentation-based CFA the paper compares against,
+// §V). Every non-deterministic branch is redirected through a Non-Secure
+// veneer that performs a SECALL into the Secure World, which appends a
+// 4-byte destination entry to a TEE-protected CFLog and charges the
+// NS<->S context-switch cost — the overhead RAP-Track's parallel tracking
+// eliminates. The branch classification is identical to RAP-Track's ("it
+// is also possible to implement instrumentation-based CFA that records the
+// exact branches tracked by RAP-Track", §V-B); the loop-condition
+// optimization is applied to innermost simple loops only, matching the
+// published TRACES scope.
+package traces
+
+import (
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/cfg"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/tz"
+)
+
+// VeneerFunc is the name of the synthesized veneer region.
+const VeneerFunc = "__traces_veneers"
+
+// Options configures instrumentation.
+type Options struct {
+	// Base is the layout base address (default mem.NSCodeBase).
+	Base uint32
+	// LoopOpt enables the innermost-simple-loop condition logging.
+	LoopOpt bool
+}
+
+// DefaultOptions returns the published-TRACES configuration.
+func DefaultOptions() Options {
+	return Options{Base: mem.NSCodeBase, LoopOpt: true}
+}
+
+// Stats summarizes the instrumentation.
+type Stats struct {
+	Veneers        int
+	ByClass        map[cfg.Class]int
+	OptimizedLoops int
+	StaticLoops    int
+	CodeBefore     uint32
+	CodeAfter      uint32
+}
+
+// Site describes one instrumented branch site in the final image.
+type Site struct {
+	Class cfg.Class
+	Func  string
+	// SiteAddr is the redirected branch at the original location;
+	// GuardAddr (forward loops) the kept conditional preceding it.
+	SiteAddr  uint32
+	GuardAddr uint32
+	// StaticTarget is the destination the Secure World logs for
+	// conditional classes (the taken target, or the fall-through label of
+	// a forward-loop continue).
+	StaticTarget uint32
+
+	siteNewIdx, guardNewIdx int
+	ref                     *veneerRef
+}
+
+// LoopSite describes one optimized loop. Static loops carry no SECALL.
+type LoopSite struct {
+	Loop       *cfg.Loop
+	Func       string
+	SecallAddr uint32
+	CondAddr   uint32
+
+	secallNewIdx, condNewIdx int
+}
+
+// Output is the instrumented artifact set.
+type Output struct {
+	Prog  *asm.Program
+	Image *asm.Image
+	// SiteTargets maps each conditional veneer's SECALL address to the
+	// statically-known destination the Secure World logs for it.
+	SiteTargets map[uint32]uint32
+	// Site metadata for lossless verification (see Verify).
+	Sites     map[uint32]*Site
+	Guards    map[uint32]*Site
+	Loops     map[uint32]*LoopSite
+	LoopConds map[uint32]*LoopSite
+	Stats     Stats
+}
+
+type veneerRef struct {
+	secallIdx int // SECALL index within the veneer function
+	branchIdx int // following branch index (holds the resolved target)
+}
+
+// tEdit augments an asm.Edit with offset bookkeeping for site resolution.
+type tEdit struct {
+	asm.Edit
+	site              *Site
+	siteOff, guardOff int
+	loop              *LoopSite
+	secallOff         int
+}
+
+// Instrument rewrites prog (not modified; a clone is transformed) with
+// TRACES logging veneers.
+func Instrument(p *asm.Program, opts Options) (*Output, error) {
+	if opts.Base == 0 {
+		opts.Base = mem.NSCodeBase
+	}
+	prog := p.Clone()
+	analysis, err := cfg.Analyze(prog, cfg.Options{LoopOpt: opts.LoopOpt, NestedLoopOpt: false})
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{
+		Prog:        prog,
+		SiteTargets: make(map[uint32]uint32),
+		Sites:       make(map[uint32]*Site),
+		Guards:      make(map[uint32]*Site),
+		Loops:       make(map[uint32]*LoopSite),
+		LoopConds:   make(map[uint32]*LoopSite),
+	}
+	out.Stats.ByClass = make(map[cfg.Class]int)
+	out.Stats.CodeBefore = progCodeSize(p)
+
+	ven := asm.NewFunction(VeneerFunc)
+	var allSites []*Site
+	var allLoops []*LoopSite
+	count := 0
+
+	for _, fn := range prog.Funcs {
+		fa := analysis.Funcs[fn.Name]
+		edits := make(map[int]*tEdit)
+
+		simpleCond := make(map[int]*cfg.Loop)
+		if opts.LoopOpt {
+			seenHeads := make(map[int]bool)
+			for _, l := range fa.Loops {
+				if !l.Simple {
+					continue
+				}
+				if seenHeads[l.Head] {
+					l.Simple = false
+					continue
+				}
+				seenHeads[l.Head] = true
+				simpleCond[l.Cond] = l
+			}
+		}
+
+		for i, ins := range fn.Instrs {
+			class := fa.Classes[i]
+			if !class.NonDeterministic() {
+				continue
+			}
+			if _, ok := simpleCond[i]; ok {
+				continue
+			}
+			label := fmt.Sprintf("v%d", count)
+			count++
+			full := VeneerFunc + "." + label
+			ven.Label(label)
+			out.Stats.ByClass[class]++
+			site := &Site{Class: class, Func: fn.Name, guardNewIdx: -1}
+			e := &tEdit{site: site}
+
+			switch class {
+			case cfg.ClassIndirectCall:
+				ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogReg, int32(ins.Rm))})
+				ven.Emit(isa.Instr{Op: isa.OpBX, Rm: ins.Rm})
+				e.Seq = []isa.Instr{{Op: isa.OpBL, Sym: full, Wide: true}}
+			case cfg.ClassReturn:
+				if ins.Op == isa.OpPOP {
+					off := int32(4 * (ins.List.Count() - 1)) // PC pops last (highest address)
+					ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogRet, off)})
+				} else {
+					ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogLR, 0)})
+				}
+				moved := ins
+				moved.Addr, moved.Target = 0, 0
+				ven.Emit(moved)
+				e.Seq = []isa.Instr{{Op: isa.OpB, Cond: isa.AL, Sym: full, Wide: true}}
+			case cfg.ClassIndirectJump:
+				if ins.Op == isa.OpLDRPC {
+					ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogTable, int32(ins.Rn)|int32(ins.Rm)<<4)})
+				} else {
+					ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogReg, int32(ins.Rm))})
+				}
+				moved := ins
+				moved.Addr, moved.Target = 0, 0
+				ven.Emit(moved)
+				e.Seq = []isa.Instr{{Op: isa.OpB, Cond: isa.AL, Sym: full, Wide: true}}
+			case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack:
+				site.ref = &veneerRef{secallIdx: len(ven.Instrs), branchIdx: len(ven.Instrs) + 1}
+				ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogSite, 0)})
+				ven.Emit(isa.Instr{Op: isa.OpB, Cond: isa.AL, Sym: qualify(fn, ins.Sym), Wide: true})
+				e.Seq = []isa.Instr{{Op: isa.OpB, Cond: ins.Cond, Sym: full, Wide: true}}
+			case cfg.ClassCondLoopFwd:
+				fall := fmt.Sprintf("__tr_fall%d", count)
+				site.ref = &veneerRef{secallIdx: len(ven.Instrs), branchIdx: len(ven.Instrs) + 1}
+				ven.Emit(isa.Instr{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogSite, 0)})
+				ven.Emit(isa.Instr{Op: isa.OpB, Cond: isa.AL, Sym: fn.Name + "." + fall, Wide: true})
+				kept := ins
+				kept.Addr, kept.Target = 0, 0
+				e.Seq = []isa.Instr{
+					kept,
+					{Op: isa.OpB, Cond: isa.AL, Sym: full, Wide: true},
+				}
+				e.Labels = map[string]int{fall: 2}
+				e.guardOff = 0
+				e.siteOff = 1
+			default:
+				return nil, fmt.Errorf("traces: unhandled class %v", class)
+			}
+			edits[i] = e
+			allSites = append(allSites, site)
+		}
+
+		// Innermost simple loops: log the loop condition once. Fully
+		// static loops need no logging at all.
+		loopIdx := 0
+		for _, l := range fa.Loops {
+			if !l.Simple {
+				continue
+			}
+			site := &LoopSite{Loop: l, Func: fn.Name}
+			if l.Static {
+				site.secallNewIdx = -1
+				site.condNewIdx = l.Cond
+				allLoops = append(allLoops, site)
+				out.Stats.StaticLoops++
+				continue
+			}
+			body := fmt.Sprintf("__tr_l%d_body", loopIdx)
+			loopIdx++
+			block := []isa.Instr{
+				{Op: isa.OpPUSH, List: isa.Regs(isa.R0)},
+				{Op: isa.OpMOVr, Rd: isa.R0, Rm: l.CounterReg},
+				{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogLoop, 0)},
+				{Op: isa.OpPOP, List: isa.Regs(isa.R0)},
+			}
+			if e, ok := edits[l.Head]; ok {
+				n := len(block)
+				e.Seq = append(append([]isa.Instr(nil), block...), e.Seq...)
+				if e.Labels == nil {
+					e.Labels = make(map[string]int)
+				} else {
+					for k := range e.Labels {
+						e.Labels[k] += n
+					}
+				}
+				e.Labels[body] = n
+				e.siteOff += n
+				e.guardOff += n
+				e.loop = site
+				e.secallOff = 2
+			} else {
+				head := fn.Instrs[l.Head]
+				head.Addr, head.Target = 0, 0
+				edits[l.Head] = &tEdit{
+					Edit: asm.Edit{
+						Seq:    append(append([]isa.Instr(nil), block...), head),
+						Labels: map[string]int{body: len(block)},
+					},
+					loop:      site,
+					secallOff: 2,
+				}
+			}
+			tail := fn.Instrs[l.Tail]
+			tail.Addr, tail.Target = 0, 0
+			tail.Sym = body
+			if _, ok := edits[l.Tail]; ok {
+				return nil, fmt.Errorf("traces: %s: conflicting edit on loop tail %d", fn.Name, l.Tail)
+			}
+			edits[l.Tail] = &tEdit{Edit: asm.Edit{Seq: []isa.Instr{tail}}}
+			site.condNewIdx = l.Cond
+			allLoops = append(allLoops, site)
+			out.Stats.OptimizedLoops++
+		}
+
+		plain := make(map[int]asm.Edit, len(edits))
+		for i, e := range edits {
+			plain[i] = e.Edit
+		}
+		newIndex := asm.RewriteFunc(fn, plain)
+		for i, e := range edits {
+			if e.site != nil {
+				e.site.siteNewIdx = newIndex[i] + e.siteOff
+				if e.site.Class == cfg.ClassCondLoopFwd {
+					e.site.guardNewIdx = newIndex[i] + e.guardOff
+				}
+			}
+			if e.loop != nil {
+				e.loop.secallNewIdx = newIndex[i] + e.secallOff
+			}
+		}
+		for _, site := range allLoops {
+			if site.Func == fn.Name {
+				site.condNewIdx = newIndex[site.condNewIdx]
+			}
+		}
+	}
+	if len(ven.Instrs) == 0 {
+		ven.NOP()
+	}
+	prog.AddFunc(ven)
+
+	img, err := asm.Layout(prog, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	out.Image = img
+	out.Stats.Veneers = count
+	out.Stats.CodeAfter = progCodeSize(prog)
+
+	for _, site := range allSites {
+		fn := prog.Func(site.Func)
+		site.SiteAddr = fn.Instrs[site.siteNewIdx].Addr
+		out.Sites[site.SiteAddr] = site
+		if site.guardNewIdx >= 0 {
+			site.GuardAddr = fn.Instrs[site.guardNewIdx].Addr
+			out.Guards[site.GuardAddr] = site
+		}
+		if site.ref != nil {
+			secall := ven.Instrs[site.ref.secallIdx]
+			branch := ven.Instrs[site.ref.branchIdx]
+			out.SiteTargets[secall.Addr] = branch.Target
+			site.StaticTarget = branch.Target
+		}
+	}
+	for _, site := range allLoops {
+		fn := prog.Func(site.Func)
+		site.CondAddr = fn.Instrs[site.condNewIdx].Addr
+		out.LoopConds[site.CondAddr] = site
+		if site.secallNewIdx >= 0 {
+			site.SecallAddr = fn.Instrs[site.secallNewIdx].Addr
+			out.Loops[site.SecallAddr] = site
+		}
+	}
+	return out, nil
+}
+
+func qualify(fn *asm.Function, sym string) string {
+	if _, ok := fn.Labels()[sym]; ok {
+		return fn.Name + "." + sym
+	}
+	return sym
+}
+
+func progCodeSize(p *asm.Program) uint32 {
+	var n uint32
+	for _, f := range p.Funcs {
+		n += f.Size()
+	}
+	return n
+}

@@ -1,0 +1,443 @@
+package traces
+
+import (
+	"fmt"
+
+	"raptrack/internal/cfg"
+	"raptrack/internal/isa"
+)
+
+// Lossless verification of TRACES evidence.
+//
+// TRACES logs 4-byte destination words with no source annotation, so a
+// word's site must be inferred from replay context — with the same
+// fundamental ambiguity as RAP-Track's presence-encoded conditionals
+// (worse, in fact: every iteration of a trampolined loop logs the same
+// destination). Verification therefore reuses the pushdown-summarization
+// approach of internal/verify in a value-set form: frame walks are
+// memoized on (pc, cursor, loop state) and yield outcome sets, iterated
+// with a dependency-driven worklist; the report is accepted iff some
+// policy-conforming derivation consumes the evidence exactly.
+
+// Verdict is the outcome of verifying one TRACES evidence stream.
+type Verdict struct {
+	OK     bool
+	Reason string
+	// Words and Evals are the evidence length and search effort.
+	Words, Evals int
+}
+
+// haltSentinel mirrors the CPU's initial-LR halt value.
+const haltSentinel = 0xffff_fffe
+
+type tExit uint8
+
+const (
+	tLeaf tExit = iota
+	tRet
+	tHalt
+)
+
+type tOutcome struct {
+	kind   tExit
+	cursor int
+	retDst uint32
+}
+
+type tKey struct {
+	pc     uint32
+	cursor int
+	lhash  uint64
+}
+
+type tEntry struct {
+	outs       map[tOutcome]struct{}
+	pc         uint32
+	cursor     int
+	loopCtx    tLoopMap
+	dependents map[tKey]struct{}
+	visiting   bool
+}
+
+type tLoopMap map[uint32]uint64
+
+func (l tLoopMap) clone() tLoopMap {
+	c := make(tLoopMap, len(l)+1)
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+func (l tLoopMap) hash() uint64 {
+	var h uint64
+	for k, v := range l {
+		h += (uint64(k)*1099511628211 ^ v) * 1099511628211
+	}
+	return h
+}
+
+type tVerifier struct {
+	out     *Output
+	ev      []uint32
+	entries map[uint32]bool
+
+	memo      map[tKey]*tEntry
+	advMemo   map[tKey]tAdv
+	evalStack []tKey
+	dirty     []tKey
+	inDirty   map[tKey]bool
+	evals     int
+
+	work    uint64
+	maxWork uint64
+	aborted bool
+
+	reason string
+}
+
+func (t *tVerifier) note(format string, args ...any) {
+	if t.reason == "" {
+		t.reason = fmt.Sprintf(format, args...)
+	}
+}
+
+func (t *tVerifier) budget() bool {
+	t.work++
+	if t.work > t.maxWork {
+		t.aborted = true
+		return false
+	}
+	return true
+}
+
+func (t *tVerifier) word(cursor int) (uint32, bool) {
+	if cursor < len(t.ev) {
+		return t.ev[cursor], true
+	}
+	return 0, false
+}
+
+type tAdv struct {
+	prune   bool
+	node    bool
+	pc      uint32
+	cursor  int
+	loopCtx tLoopMap
+	exit    tOutcome
+}
+
+// advance walks deterministic steps to the next decision node or frame
+// exit.
+func (t *tVerifier) advance(pc uint32, cursor int, loopCtx tLoopMap) tAdv {
+	img := t.out.Image
+	var steps uint64
+	segCap := uint64(len(img.Code)) + 16
+	for {
+		steps++
+		if steps > segCap || !t.budget() {
+			if steps > segCap {
+				t.note("deterministic segment does not terminate at %#x", pc)
+			}
+			return tAdv{prune: true}
+		}
+		ins, ok := img.Code[pc]
+		if !ok {
+			t.note("path leaves program code at %#x", pc)
+			return tAdv{prune: true}
+		}
+		next := pc + ins.Size()
+
+		if site, isSite := t.out.Sites[pc]; isSite {
+			switch site.Class {
+			case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack, cfg.ClassCondLoopFwd, cfg.ClassIndirectCall:
+				return tAdv{node: true, pc: pc, cursor: cursor, loopCtx: loopCtx}
+			case cfg.ClassReturn:
+				dst, have := t.word(cursor)
+				if !have {
+					t.note("missing return evidence for site %#x", pc)
+					return tAdv{prune: true}
+				}
+				return tAdv{exit: tOutcome{kind: tRet, cursor: cursor + 1, retDst: dst}}
+			case cfg.ClassIndirectJump:
+				dst, have := t.word(cursor)
+				if !have {
+					t.note("missing indirect-jump evidence for site %#x", pc)
+					return tAdv{prune: true}
+				}
+				fr, okr := img.FuncRanges[site.Func]
+				if !okr || dst < fr.Base || dst >= fr.Limit {
+					t.note("indirect jump to %#x escapes function %q", dst, site.Func)
+					return tAdv{prune: true}
+				}
+				if _, isInstr := img.Code[dst]; !isInstr {
+					t.note("indirect jump to %#x is not an instruction", dst)
+					return tAdv{prune: true}
+				}
+				pc = dst
+				cursor++
+				steps = 0
+				continue
+			}
+		}
+		if _, isGuard := t.out.Guards[pc]; isGuard {
+			return tAdv{node: true, pc: pc, cursor: cursor, loopCtx: loopCtx}
+		}
+		if ls, isCond := t.out.LoopConds[pc]; isCond {
+			rem, have := loopCtx[pc]
+			if !have {
+				if !ls.Loop.Static {
+					t.note("optimized loop branch at %#x without a logged condition", pc)
+					return tAdv{prune: true}
+				}
+				trips, err := ls.Loop.TripCount(uint32(ls.Loop.EntryValue))
+				if err != nil {
+					t.note("static loop trip count: %v", err)
+					return tAdv{prune: true}
+				}
+				rem = trips
+				loopCtx = loopCtx.clone()
+				loopCtx[pc] = rem
+			}
+			taken := false
+			loopCtx = loopCtx.clone()
+			if ls.Loop.Forward {
+				if rem == 0 {
+					taken = true
+					delete(loopCtx, pc)
+				} else {
+					loopCtx[pc] = rem - 1
+				}
+			} else {
+				if rem > 0 {
+					taken = true
+					loopCtx[pc] = rem - 1
+				} else {
+					delete(loopCtx, pc)
+				}
+			}
+			if taken {
+				pc = ins.Target
+			} else {
+				pc = next
+			}
+			steps = 0
+			continue
+		}
+		if ls, isLoop := t.out.Loops[pc]; isLoop {
+			v, have := t.word(cursor)
+			if !have {
+				t.note("missing loop-condition evidence at %#x", pc)
+				return tAdv{prune: true}
+			}
+			trips, err := ls.Loop.TripCount(v)
+			if err != nil {
+				t.note("loop-condition evidence invalid: %v", err)
+				return tAdv{prune: true}
+			}
+			loopCtx = loopCtx.clone()
+			loopCtx[ls.CondAddr] = trips
+			cursor++
+			steps = 0
+			pc = next
+			continue
+		}
+
+		switch ins.Kind() {
+		case isa.KindNone:
+			pc = next
+		case isa.KindDirect:
+			pc = ins.Target
+		case isa.KindCall:
+			return tAdv{node: true, pc: pc, cursor: cursor, loopCtx: loopCtx}
+		case isa.KindReturn:
+			return tAdv{exit: tOutcome{kind: tLeaf, cursor: cursor}}
+		case isa.KindHalt:
+			return tAdv{exit: tOutcome{kind: tHalt, cursor: cursor}}
+		case isa.KindSecureCall:
+			t.note("unexpected secure call at %#x", pc)
+			return tAdv{prune: true}
+		default:
+			t.note("unlinked non-deterministic branch at %#x", pc)
+			return tAdv{prune: true}
+		}
+	}
+}
+
+func (t *tVerifier) walkState(pc uint32, cursor int, loopCtx tLoopMap) map[tOutcome]struct{} {
+	k := tKey{pc: pc, cursor: cursor, lhash: loopCtx.hash()}
+	st, ok := t.advMemo[k]
+	if !ok {
+		st = t.advance(pc, cursor, loopCtx)
+		t.advMemo[k] = st
+	}
+	if st.prune {
+		return nil
+	}
+	if !st.node {
+		return map[tOutcome]struct{}{st.exit: {}}
+	}
+	return t.walkNode(st.pc, st.cursor, st.loopCtx)
+}
+
+func (t *tVerifier) walkNode(pc uint32, cursor int, loopCtx tLoopMap) map[tOutcome]struct{} {
+	key := tKey{pc: pc, cursor: cursor, lhash: loopCtx.hash()}
+	e := t.memo[key]
+	if e == nil {
+		e = &tEntry{
+			outs:       make(map[tOutcome]struct{}),
+			pc:         pc,
+			cursor:     cursor,
+			loopCtx:    loopCtx,
+			dependents: make(map[tKey]struct{}),
+		}
+		t.memo[key] = e
+		t.evaluate(key, e)
+	}
+	if n := len(t.evalStack); n > 0 {
+		e.dependents[t.evalStack[n-1]] = struct{}{}
+	}
+	return e.outs
+}
+
+func (t *tVerifier) markDirty(key tKey) {
+	if !t.inDirty[key] {
+		t.inDirty[key] = true
+		t.dirty = append(t.dirty, key)
+	}
+}
+
+func (t *tVerifier) evaluate(key tKey, e *tEntry) {
+	if e.visiting || t.aborted {
+		return
+	}
+	e.visiting = true
+	t.evalStack = append(t.evalStack, key)
+	t.evals++
+	pc, cursor, loopCtx := e.pc, e.cursor, e.loopCtx
+
+	merge := func(outs map[tOutcome]struct{}) {
+		for o := range outs {
+			if _, ok := e.outs[o]; !ok {
+				e.outs[o] = struct{}{}
+				for d := range e.dependents {
+					t.markDirty(d)
+				}
+			}
+		}
+	}
+
+	img := t.out.Image
+	ins := img.Code[pc]
+	next := pc + ins.Size()
+
+	if site, isSite := t.out.Sites[pc]; isSite {
+		switch site.Class {
+		case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack:
+			merge(t.walkState(next, cursor, loopCtx))
+			if w, have := t.word(cursor); have && w == site.StaticTarget {
+				merge(t.walkState(site.StaticTarget, cursor+1, loopCtx))
+			}
+		case cfg.ClassCondLoopFwd:
+			w, have := t.word(cursor)
+			if !have || w != site.StaticTarget {
+				t.note("missing loop-continue evidence for site %#x", pc)
+			} else {
+				merge(t.walkState(site.StaticTarget, cursor+1, loopCtx))
+			}
+		case cfg.ClassIndirectCall:
+			w, have := t.word(cursor)
+			if !have {
+				t.note("missing indirect-call evidence for site %#x", pc)
+			} else if !t.entries[w] {
+				t.note("indirect call to %#x, not a function entry (JOP)", w)
+			} else {
+				t.call(pc, next, w, cursor+1, loopCtx, merge)
+			}
+		}
+	} else if site, isGuard := t.out.Guards[pc]; isGuard {
+		merge(t.walkState(ins.Target, cursor, loopCtx))
+		if w, have := t.word(cursor); have && w == site.StaticTarget {
+			merge(t.walkState(next, cursor, loopCtx))
+		}
+	} else if ins.Kind() == isa.KindCall {
+		t.call(pc, next, ins.Target, cursor, loopCtx, merge)
+	}
+
+	t.evalStack = t.evalStack[:len(t.evalStack)-1]
+	e.visiting = false
+}
+
+func (t *tVerifier) call(pc, retSite, callee uint32, cursor int, loopCtx tLoopMap,
+	merge func(map[tOutcome]struct{})) {
+	for co := range t.walkState(callee, cursor, nil) {
+		switch co.kind {
+		case tHalt:
+			merge(map[tOutcome]struct{}{co: {}})
+		case tLeaf:
+			merge(t.walkState(retSite, co.cursor, loopCtx))
+		case tRet:
+			if co.retDst == retSite {
+				merge(t.walkState(retSite, co.cursor, loopCtx))
+			} else {
+				t.note("return destination %#x != call-site successor %#x (ROP)", co.retDst, retSite)
+			}
+		}
+	}
+}
+
+// Verify reconstructs evidence (the logged destination stream) against the
+// instrumented artifact and reports whether some policy-conforming
+// execution explains it exactly.
+func Verify(out *Output, evidence []uint32) *Verdict {
+	entryPC, err := out.Image.EntryAddr()
+	if err != nil {
+		return &Verdict{OK: false, Reason: err.Error(), Words: len(evidence)}
+	}
+	t := &tVerifier{
+		out:     out,
+		ev:      evidence,
+		entries: make(map[uint32]bool),
+		memo:    make(map[tKey]*tEntry),
+		advMemo: make(map[tKey]tAdv),
+		inDirty: make(map[tKey]bool),
+		maxWork: 500_000_000,
+	}
+	for name, r := range out.Image.FuncRanges {
+		if name == VeneerFunc {
+			continue
+		}
+		t.entries[r.Base] = true
+	}
+
+	t.walkState(entryPC, 0, nil)
+	for len(t.dirty) > 0 && !t.aborted {
+		key := t.dirty[0]
+		t.dirty = t.dirty[1:]
+		delete(t.inDirty, key)
+		if e := t.memo[key]; e != nil {
+			t.evaluate(key, e)
+		}
+	}
+	vd := &Verdict{Words: len(evidence), Evals: t.evals}
+	if t.aborted {
+		vd.Reason = "verification exceeded the work budget"
+		return vd
+	}
+	for o := range t.walkState(entryPC, 0, nil) {
+		if o.cursor != len(evidence) {
+			continue
+		}
+		if o.kind == tHalt || o.kind == tLeaf || (o.kind == tRet && o.retDst == haltSentinel) {
+			vd.OK = true
+			return vd
+		}
+	}
+	vd.Reason = t.reason
+	if vd.Reason == "" {
+		vd.Reason = "no benign path explains the evidence"
+	} else {
+		vd.Reason = "no benign path explains the evidence; first contradiction: " + vd.Reason
+	}
+	return vd
+}

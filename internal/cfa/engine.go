@@ -1,0 +1,291 @@
+// Package cfa implements the RAP-Track CFA Engine — the Secure-World Root
+// of Trust of paper §IV-A. For each attestation session the engine:
+//
+//  1. locks the NS-MPU with the application code marked read-only,
+//  2. measures the application (H_MEM),
+//  3. programs the DWT comparators so the MTB is active exactly inside
+//     MTBAR, and arms the MTB watermark for partial reports (§IV-E),
+//  4. serves the SvcLogLoop secure call that appends loop-condition
+//     entries to CFLog (§IV-D),
+//  5. signs and emits (partial) reports binding Chal, H_MEM and CFLog.
+//
+// Cycle accounting separates the application's runtime (CPU cycles,
+// including trampolines and secure calls) from engine pause time (hashing
+// and signing during partial-report emission), mirroring how the paper
+// reports runtime vs. communication costs.
+package cfa
+
+import (
+	"errors"
+	"fmt"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/cpu"
+	"raptrack/internal/isa"
+	"raptrack/internal/linker"
+	"raptrack/internal/mem"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+	"raptrack/internal/tz"
+)
+
+// Modeled Secure-World footprint, matching the paper's prototype (§V:
+// "RAP-Track Secure World code occupies 11 KB in total with the CFA Engine
+// occupying 2.8 KB"). The simulator reserves this much Secure code space.
+const (
+	SecureWorldCodeBytes = 11 * 1024
+	EngineCodeBytes      = 2868
+)
+
+// Engine work cycle model.
+const (
+	// HashCyclesPerByte approximates software SHA-256 on a Cortex-M33.
+	HashCyclesPerByte = 13
+	// SignFixedCycles is the fixed cost of an HMAC/signature over the
+	// report header.
+	SignFixedCycles = 4000
+	// LogAppendCycles is the Secure-World work to append one CFLog entry
+	// (on top of the gateway's context-switch cost).
+	LogAppendCycles = 20
+	// CompressCyclesPerPacket is the Secure-World work to match one packet
+	// against the speculation dictionary during report emission.
+	CompressCyclesPerPacket = 6
+)
+
+// Config assembles an Engine.
+type Config struct {
+	Link   *linker.Output
+	Mem    *mem.Memory
+	Signer attest.Signer
+
+	// MTBBufferSize is the MTB SRAM capacity (default 4 KB, the M33
+	// limit discussed in §V-B).
+	MTBBufferSize int
+	// Watermark is the partial-report trigger position in bytes; 0 means
+	// "buffer full" (a partial report whenever the buffer would wrap).
+	Watermark int
+	// ArmLatency is the MTB activation delay in instructions (default 2;
+	// the linker's NopPad must cover it).
+	ArmLatency int
+	// ContextSwitchCycles overrides the NS<->S round-trip cost (default
+	// tz.DefaultContextSwitchCycles).
+	ContextSwitchCycles uint64
+	// Speculation, when non-nil, enables SpecCFA-style sub-path
+	// compression: each report window is compressed against the
+	// Verifier-provisioned dictionary before signing.
+	Speculation *speccfa.Dictionary
+}
+
+// Engine is the Secure-World CFA engine instance for one application.
+type Engine struct {
+	link   *linker.Output
+	mem    *mem.Memory
+	signer attest.Signer
+
+	SAU     *tz.SAU
+	NSMPU   *tz.MPU
+	Gateway *tz.Gateway
+	MTB     *trace.MTB
+	DWT     *trace.DWT
+
+	spec    *speccfa.Dictionary
+	chal    attest.Challenge
+	hmem    [32]byte
+	active  bool
+	seq     uint32
+	reports []*attest.Report
+
+	// SetupCycles is the one-time session cost (hashing APP).
+	// PauseCycles accumulates partial/final report emission (hash+sign)
+	// during which the application is stalled.
+	SetupCycles uint64
+	PauseCycles uint64
+	// Partials counts watermark-triggered report emissions.
+	Partials int
+
+	// OnReport, when non-nil, observes each signed report the moment it
+	// is emitted (partial reports included) — the hook remote transports
+	// use to stream evidence while the application is still running.
+	OnReport func(*attest.Report)
+
+	armLatency int
+	watermark  int
+}
+
+// New wires an engine and its TrustZone environment around the linked
+// application.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Link == nil || cfg.Mem == nil || cfg.Signer == nil {
+		return nil, errors.New("cfa: Config.Link, Config.Mem and Config.Signer are required")
+	}
+	bufSize := cfg.MTBBufferSize
+	if bufSize == 0 {
+		bufSize = trace.DefaultBufferSize
+	}
+	wm := cfg.Watermark
+	if wm == 0 {
+		wm = bufSize
+	}
+	if wm > bufSize || wm%trace.PacketSize != 0 {
+		return nil, fmt.Errorf("cfa: watermark %d invalid for %d-byte MTB buffer", wm, bufSize)
+	}
+	arm := cfg.ArmLatency
+	if arm == 0 {
+		arm = 2
+	}
+
+	e := &Engine{
+		link:       cfg.Link,
+		mem:        cfg.Mem,
+		signer:     cfg.Signer,
+		spec:       cfg.Speculation,
+		SAU:        tz.NewSAU(),
+		NSMPU:      tz.NewMPU(),
+		Gateway:    tz.NewGateway(),
+		DWT:        trace.NewDWT(),
+		armLatency: arm,
+		watermark:  wm,
+	}
+	if cfg.ContextSwitchCycles != 0 {
+		e.Gateway.ContextSwitchCycles = cfg.ContextSwitchCycles
+	}
+	// Secure-World attribution: engine code, CFLog SRAM (and with it the
+	// MTB/DWT control blocks, which live in Secure space).
+	e.SAU.MarkSecure(mem.SCodeBase, SecureWorldCodeBytes)
+	e.SAU.MarkSecure(mem.SDataBase, uint32(bufSize))
+	e.MTB = trace.NewMTB(cfg.Mem, mem.SDataBase, bufSize)
+	e.MTB.SetArmLatency(arm)
+	e.Gateway.Register(tz.SvcLogLoop, e.svcLogLoop)
+	return e, nil
+}
+
+// Link returns the linked artifact the engine attests.
+func (e *Engine) Link() *linker.Output { return e.link }
+
+// Begin starts a CFA session for chal: locks the NS-MPU over APP code,
+// measures H_MEM, programs DWT/MTB. Call before running the application.
+func (e *Engine) Begin(chal attest.Challenge) error {
+	if e.active {
+		return errors.New("cfa: session already active")
+	}
+	img := e.link.Image
+
+	// Lock APP code (including MTBAR stubs and tables) read-only.
+	e.NSMPU.Unlock()
+	if err := e.NSMPU.Clear(); err != nil {
+		return err
+	}
+	err := e.NSMPU.AddRegion(tz.MPURegion{
+		Range:    tz.Range{Base: img.Base, Limit: img.Base + img.TotalSize},
+		ReadOnly: true,
+		Name:     "APP code",
+	})
+	if err != nil {
+		return err
+	}
+	e.NSMPU.Lock()
+
+	// Measure.
+	canon := img.CanonicalBytes()
+	e.hmem = img.Hash()
+	e.SetupCycles = uint64(len(canon)) * HashCyclesPerByte
+
+	// Trace configuration: MTB active exactly inside MTBAR.
+	e.DWT.Clear()
+	if err := e.DWT.Program(trace.RangeRule{
+		Base: e.link.MTBAR.Base, Limit: e.link.MTBAR.Limit, Action: trace.ActionStartMTB,
+	}); err != nil {
+		return err
+	}
+	if err := e.DWT.Program(trace.RangeRule{
+		Base: e.link.MTBDR.Base, Limit: e.link.MTBDR.Limit, Action: trace.ActionStopMTB,
+	}); err != nil {
+		return err
+	}
+	e.MTB.ResetPosition()
+	e.MTB.TStop()
+	e.MTB.SetMaster(false)
+	if err := e.MTB.SetWatermark(e.watermark); err != nil {
+		return err
+	}
+	e.MTB.OnWatermark = func() { e.emitReport(false) }
+
+	e.chal = chal
+	e.seq = 0
+	e.reports = nil
+	e.Partials = 0
+	e.PauseCycles = 0
+	e.active = true
+	return nil
+}
+
+// svcLogLoop is the Secure-World service behind the §IV-D loop-condition
+// instrumentation: it appends an engine packet (source = the SECALL's own
+// address, destination = the counter value staged in R0).
+func (e *Engine) svcLogLoop(_ int32, regs *[16]uint32) (uint64, error) {
+	if !e.active {
+		return 0, errors.New("cfa: SvcLogLoop outside an active session")
+	}
+	e.MTB.SoftAppend(regs[isa.PC], regs[isa.R0])
+	return LogAppendCycles, nil
+}
+
+// emitReport drains the CFLog window [0, position) into a signed report
+// and rewinds the MTB.
+func (e *Engine) emitReport(final bool) {
+	n := e.MTB.Position()
+	log := e.mem.ReadBytes(mem.SDataBase, uint32(n))
+	if e.spec.Len() > 0 {
+		packets := trace.DecodePackets(log)
+		e.PauseCycles += uint64(len(packets)) * CompressCyclesPerPacket
+		log = trace.EncodePackets(e.spec.Compress(packets))
+	}
+	r := &attest.Report{
+		App:   e.chal.App,
+		Nonce: e.chal.Nonce,
+		Seq:   e.seq,
+		Final: final,
+		HMem:  e.hmem,
+		CFLog: log,
+	}
+	if err := attest.SignReport(r, e.signer); err != nil {
+		// Signing with an in-memory key cannot fail; treat as fatal.
+		panic(fmt.Sprintf("cfa: signing report: %v", err))
+	}
+	e.PauseCycles += uint64(len(log))*HashCyclesPerByte + SignFixedCycles
+	e.reports = append(e.reports, r)
+	e.seq++
+	if !final {
+		e.Partials++
+	}
+	e.MTB.ResetPosition()
+	if e.OnReport != nil {
+		e.OnReport(r)
+	}
+}
+
+// Finish ends the session, emitting the final report, and returns the full
+// report chain in sequence order.
+func (e *Engine) Finish() ([]*attest.Report, error) {
+	if !e.active {
+		return nil, errors.New("cfa: no active session")
+	}
+	e.emitReport(true)
+	e.active = false
+	e.MTB.OnWatermark = nil
+	return e.reports, nil
+}
+
+// CPUConfig wires a CPU configuration for running the attested application
+// under this engine.
+func (e *Engine) CPUConfig() cpu.Config {
+	return cpu.Config{
+		Image:   e.link.Image,
+		Mem:     e.mem,
+		SAU:     e.SAU,
+		NSMPU:   e.NSMPU,
+		Gateway: e.Gateway,
+		MTB:     e.MTB,
+		DWT:     e.DWT,
+	}
+}

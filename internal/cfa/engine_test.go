@@ -1,0 +1,291 @@
+package cfa
+
+import (
+	"errors"
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/cpu"
+	"raptrack/internal/isa"
+	"raptrack/internal/linker"
+	"raptrack/internal/mem"
+	"raptrack/internal/trace"
+	"raptrack/internal/tz"
+)
+
+func smallLinked(t *testing.T) *linker.Output {
+	t.Helper()
+	p := asm.NewProgram("small")
+	f := p.NewFunc("main")
+	f.PUSH(isa.LR)
+	f.MUL(isa.R3, isa.R0, isa.R0) // runtime-ish init (not static)
+	f.ADDi(isa.R3, isa.R3, 9)
+	f.Label("loop")
+	f.SUBi(isa.R3, isa.R3, 1)
+	f.CMPi(isa.R3, 0)
+	f.BNE("loop") // logged loop
+	f.CMPi(isa.R3, 1)
+	f.BEQ("skip")
+	f.MOVi(isa.R1, 2)
+	f.Label("skip")
+	f.POP(isa.PC)
+	out, err := linker.Link(p, linker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func newEngine(t *testing.T, cfg Config) (*Engine, *mem.Memory) {
+	t.Helper()
+	if cfg.Mem == nil {
+		cfg.Mem = mem.New()
+	}
+	if cfg.Signer == nil {
+		key, err := attest.GenerateHMACKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Signer = key
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, cfg.Mem
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	chal, _ := attest.NewChallenge("small")
+
+	if _, err := e.Finish(); err == nil {
+		t.Error("Finish before Begin should fail")
+	}
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Begin(chal); err == nil {
+		t.Error("double Begin should fail")
+	}
+	c, err := cpu.New(e.CPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 || !reports[len(reports)-1].Final {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if _, err := e.Finish(); err == nil {
+		t.Error("double Finish should fail")
+	}
+	// A new session can start on the same engine.
+	chal2, _ := attest.NewChallenge("small")
+	if err := e.Begin(chal2); err != nil {
+		t.Errorf("re-Begin: %v", err)
+	}
+}
+
+func TestBeginLocksNSMPU(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	chal, _ := attest.NewChallenge("small")
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	if !e.NSMPU.Locked() {
+		t.Fatal("NS-MPU not locked after Begin")
+	}
+	img := out.Image
+	if err := e.NSMPU.CheckWrite(img.Base); err == nil {
+		t.Error("APP code writable after Begin")
+	}
+	if err := e.NSMPU.CheckWrite(mem.NSDataBase); err != nil {
+		t.Errorf("APP RAM should stay writable: %v", err)
+	}
+}
+
+func TestDWTConfiguredForRegions(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	chal, _ := attest.NewChallenge("small")
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	start, stop := e.DWT.Evaluate(out.MTBAR.Base)
+	if !start || stop {
+		t.Error("MTBAR base must assert TSTART")
+	}
+	start, stop = e.DWT.Evaluate(out.MTBDR.Base)
+	if start || !stop {
+		t.Error("MTBDR base must assert TSTOP")
+	}
+}
+
+func TestSecureAttribution(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	if e.SAU.WorldOf(mem.SDataBase) != tz.Secure {
+		t.Error("CFLog SRAM must be secure")
+	}
+	if e.SAU.WorldOf(mem.SCodeBase) != tz.Secure {
+		t.Error("engine code must be secure")
+	}
+	if e.SAU.WorldOf(mem.NSCodeBase) != tz.NonSecure {
+		t.Error("APP code must be non-secure")
+	}
+}
+
+// chattyLinked produces one packet per loop iteration (CMP reg,reg defeats
+// the loop optimization).
+func chattyLinked(t *testing.T) *linker.Output {
+	t.Helper()
+	p := asm.NewProgram("chatty")
+	f := p.NewFunc("main")
+	f.MOVi(isa.R3, 40)
+	f.MOVi(isa.R6, 0)
+	f.Label("loop")
+	f.SUBi(isa.R3, isa.R3, 1)
+	f.CMPr(isa.R3, isa.R6)
+	f.BNE("loop") // trampolined per iteration
+	f.HLT()
+	out, err := linker.Link(p, linker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPartialReportsAtWatermark(t *testing.T) {
+	out := chattyLinked(t)
+	e, _ := newEngine(t, Config{Link: out, Watermark: 32}) // 4 packets per window
+	chal, _ := attest.NewChallenge("chatty")
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cpu.New(e.CPUConfig())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Partials == 0 {
+		t.Fatal("no partial reports despite tiny watermark")
+	}
+	if len(reports) != e.Partials+1 {
+		t.Errorf("reports %d != partials %d + 1", len(reports), e.Partials)
+	}
+	for i, r := range reports[:len(reports)-1] {
+		if len(r.CFLog) != 32 {
+			t.Errorf("partial %d window = %d bytes", i, len(r.CFLog))
+		}
+	}
+	if e.MTB.Wraps != 0 {
+		t.Error("watermark draining must prevent buffer wraps")
+	}
+	if e.PauseCycles == 0 {
+		t.Error("report emission must cost pause cycles")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	out := smallLinked(t)
+	key, _ := attest.GenerateHMACKey()
+	if _, err := New(Config{Mem: mem.New(), Signer: key}); err == nil {
+		t.Error("nil Link accepted")
+	}
+	if _, err := New(Config{Link: out, Mem: mem.New(), Signer: key, Watermark: 33}); err == nil {
+		t.Error("unaligned watermark accepted")
+	}
+	if _, err := New(Config{Link: out, Mem: mem.New(), Signer: key, Watermark: 8192, MTBBufferSize: 4096}); err == nil {
+		t.Error("watermark beyond buffer accepted")
+	}
+}
+
+func TestSvcLogLoopOutsideSession(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	var regs [16]uint32
+	if _, err := e.Gateway.Call(tz.SvcLogLoop, &regs); err == nil {
+		t.Error("loop logging outside a session should fail")
+	}
+}
+
+func TestEngineEntriesInterleaved(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	chal, _ := attest.NewChallenge("small")
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cpu.New(e.CPUConfig())
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.MTB.EngineEntries != 1 {
+		t.Errorf("engine entries = %d, want 1 (one logged loop)", e.MTB.EngineEntries)
+	}
+	reports, _ := e.Finish()
+	pkts := trace.DecodePackets(reports[len(reports)-1].CFLog)
+	// The loop-condition entry must appear before the final return packet.
+	var loopIdx, retIdx = -1, -1
+	for i, p := range pkts {
+		if _, ok := out.Loops[p.Src]; ok {
+			loopIdx = i
+		}
+		if s, ok := out.Stubs[p.Src]; ok && s.Class.String() == "return" {
+			retIdx = i
+		}
+	}
+	if loopIdx < 0 || retIdx < 0 || loopIdx > retIdx {
+		t.Errorf("ordering: loop@%d return@%d", loopIdx, retIdx)
+	}
+}
+
+func TestSetupCyclesScaleWithCode(t *testing.T) {
+	out := smallLinked(t)
+	e, _ := newEngine(t, Config{Link: out})
+	chal, _ := attest.NewChallenge("small")
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	if e.SetupCycles == 0 {
+		t.Error("hashing APP must cost setup cycles")
+	}
+}
+
+func TestNSCannotTouchCFLog(t *testing.T) {
+	// An application instruction trying to read or clobber the CFLog SRAM
+	// must take a SecureFault.
+	p := asm.NewProgram("evil")
+	f := p.NewFunc("main")
+	f.MOV32(isa.R0, mem.SDataBase)
+	f.MOVi(isa.R1, 0)
+	f.STRi(isa.R1, isa.R0, 0)
+	f.HLT()
+	out, err := linker.Link(p, linker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := newEngine(t, Config{Link: out})
+	chal, _ := attest.NewChallenge("evil")
+	if err := e.Begin(chal); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cpu.New(e.CPUConfig())
+	err = c.Run(0)
+	var sf *tz.SecurityFault
+	if !errors.As(err, &sf) {
+		t.Errorf("CFLog write by NS code: %v", err)
+	}
+}

@@ -1,0 +1,674 @@
+// Package cfg implements the static analysis behind RAP-Track's offline
+// phase (paper §IV-B/§IV-C/§IV-D): it classifies every branch of a program
+// as deterministic or non-deterministic, detects loops (backward- and
+// forward-conditional forms), and qualifies "simple" loops for the
+// loop-condition optimization.
+//
+// The analysis operates on the pre-layout asm.Program, at instruction-index
+// granularity within each function, which is the representation the linker
+// rewrites.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+)
+
+// Class is the RAP-Track classification of an instruction's control-flow
+// role, which determines the trampoline (if any) the linker applies.
+type Class uint8
+
+// Classification values.
+const (
+	ClassNone          Class = iota // not a control transfer
+	ClassDeterministic              // fixed behaviour: direct B/BL, leaf BX LR
+	ClassIndirectCall               // BLX Rm           -> Fig. 3 trampoline
+	ClassIndirectJump               // BX Rm / LDR pc   -> Fig. 4 trampoline
+	ClassReturn                     // POP{..,pc}, non-leaf BX LR -> Fig. 4
+	ClassCondNonLoop                // if/else          -> Fig. 5 (log taken)
+	ClassCondLoopBack               // backward loop Bcc-> Fig. 6 (log taken)
+	ClassCondLoopFwd                // forward loop exit-> Fig. 7 (log not-taken)
+)
+
+func (c Class) String() string {
+	names := [...]string{"none", "deterministic", "icall", "ijump", "return",
+		"cond", "loop-back", "loop-fwd"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
+
+// NonDeterministic reports whether the class requires runtime evidence.
+func (c Class) NonDeterministic() bool { return c >= ClassIndirectCall }
+
+// Loop describes one natural loop discovered in a function.
+type Loop struct {
+	// Head and Tail delimit the body [Head, Tail] (instruction indices,
+	// inclusive). Tail is the backward branch closing the loop.
+	Head, Tail int
+	// Cond is the index of the conditional branch controlling iteration:
+	// equal to Tail for backward-conditional loops, or a forward branch
+	// near the head for forward-exit loops. -1 if the loop has no single
+	// conditional controller (e.g. a while(true) with breaks).
+	Cond int
+	// Forward is true for the Fig. 7 shape: the conditional exit jumps
+	// forward, iteration continues via fallthrough + closing direct B.
+	Forward bool
+
+	// Simple-loop optimization fields (§IV-D), valid when Simple is true.
+	Simple     bool
+	Cmp        int     // index of the CMP Rn,#imm feeding Cond
+	CounterReg isa.Reg // loop counter register
+	Step       int32   // signed per-iteration counter delta
+	Bound      int32   // CMP immediate
+	BCond      isa.Cond
+
+	// Static marks a simple loop whose counter is initialized to a
+	// constant that provably reaches the loop head: its iteration count
+	// is fully static, so it needs no instrumentation at all (§IV-C:
+	// "simple loops with fixed iteration counts ... need not be logged").
+	// EntryValue is the constant.
+	Static     bool
+	EntryValue int32
+}
+
+// Contains reports whether instruction index i is in the loop body.
+func (l *Loop) Contains(i int) bool { return i >= l.Head && i <= l.Tail }
+
+// Span returns the body length in instructions.
+func (l *Loop) Span() int { return l.Tail - l.Head + 1 }
+
+// TripCount computes how many times the loop's conditional branch takes
+// the "continue" direction, given the counter's value at loop entry.
+//
+// Backward (do-while) loops update the counter in the body and then test:
+// the continue direction is branch-taken, and the first test sees
+// entry+Step. Forward (while) loops test at the top before any update: the
+// continue direction is branch-NOT-taken, and the first test sees entry.
+// The count is capped to bound verifier work on malformed evidence.
+func (l *Loop) TripCount(entry uint32) (uint64, error) {
+	if !l.Simple {
+		return 0, fmt.Errorf("cfg: TripCount on non-simple loop")
+	}
+	const maxTrips = 1 << 24
+	v := entry
+	var n uint64
+	for {
+		if l.Forward {
+			if condHolds(l.BCond, v, uint32(l.Bound)) {
+				return n, nil // exit branch taken
+			}
+			n++
+			v += uint32(l.Step)
+		} else {
+			v += uint32(l.Step)
+			if !condHolds(l.BCond, v, uint32(l.Bound)) {
+				return n, nil // back edge falls through
+			}
+			n++
+		}
+		if n > maxTrips {
+			return 0, fmt.Errorf("cfg: loop trip count exceeds %d (entry=%d step=%d bound=%d)",
+				maxTrips, int32(entry), l.Step, l.Bound)
+		}
+	}
+}
+
+// condHolds evaluates condition cc for CMP a, b semantics.
+func condHolds(cc isa.Cond, a, b uint32) bool {
+	r := a - b
+	n := int32(r) < 0
+	z := r == 0
+	cf := a >= b
+	v := (int32(a) < 0) != (int32(b) < 0) && (int32(r) < 0) != (int32(a) < 0)
+	switch cc {
+	case isa.EQ:
+		return z
+	case isa.NE:
+		return !z
+	case isa.CS:
+		return cf
+	case isa.CC:
+		return !cf
+	case isa.MI:
+		return n
+	case isa.PL:
+		return !n
+	case isa.HI:
+		return cf && !z
+	case isa.LS:
+		return !cf || z
+	case isa.GE:
+		return n == v
+	case isa.LT:
+		return n != v
+	case isa.GT:
+		return !z && n == v
+	case isa.LE:
+		return z || n != v
+	case isa.AL:
+		return true
+	}
+	return false
+}
+
+// FuncAnalysis is the per-function analysis result.
+type FuncAnalysis struct {
+	Fn *asm.Function
+	// Classes holds one Class per instruction index.
+	Classes []Class
+	// Loops lists discovered loops, innermost (smallest span) first.
+	Loops []*Loop
+	// LeafReturn is true when BX LR in this function is deterministic:
+	// nothing in the function disturbs LR (no calls, no LR push/write).
+	LeafReturn bool
+	// lrDirty[i] is true when some path from the function entry to
+	// instruction i executes an instruction that modifies LR (BL/BLX or an
+	// explicit write). A BX LR at a clean index is predictable (§IV-C2)
+	// even in functions that call elsewhere — e.g. an early-out base case.
+	lrDirty []bool
+}
+
+// LoopAt returns the innermost loop containing index i, or nil.
+func (fa *FuncAnalysis) LoopAt(i int) *Loop {
+	for _, l := range fa.Loops { // innermost first
+		if l.Contains(i) {
+			return l
+		}
+	}
+	return nil
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// LoopOpt enables the §IV-D simple-loop optimization analysis.
+	LoopOpt bool
+	// NestedLoopOpt lets an outer loop qualify as simple when its inner
+	// conditional branches belong to already-optimized simple loops.
+	// RAP-Track enables this; the TRACES baseline (innermost-only loop
+	// optimization) does not.
+	NestedLoopOpt bool
+}
+
+// Analysis is the whole-program result.
+type Analysis struct {
+	Prog  *asm.Program
+	Funcs map[string]*FuncAnalysis
+	Opts  Options
+}
+
+// Analyze classifies every branch in p.
+func Analyze(p *asm.Program, opts Options) (*Analysis, error) {
+	a := &Analysis{Prog: p, Funcs: make(map[string]*FuncAnalysis), Opts: opts}
+	for _, fn := range p.Funcs {
+		fa, err := analyzeFunc(fn, opts)
+		if err != nil {
+			return nil, err
+		}
+		a.Funcs[fn.Name] = fa
+	}
+
+	// Cross-function label references (qualified branch symbols or data
+	// segments holding label addresses for table jumps) can transfer
+	// control into the middle of a function, bypassing a static loop's
+	// counter initialization. Be conservative: drop Static for every loop
+	// in a function whose internals are referenced from outside.
+	referenced := make(map[string]bool)
+	noteRef := func(sym string) {
+		if i := strings.IndexByte(sym, '.'); i > 0 {
+			referenced[sym[:i]] = true
+		}
+	}
+	for _, fn := range p.Funcs {
+		for _, ins := range fn.Instrs {
+			if ins.Sym != "" {
+				noteRef(ins.Sym)
+			}
+		}
+	}
+	for _, d := range p.Data {
+		for _, s := range d.Syms {
+			noteRef(s)
+		}
+	}
+	for name, fa := range a.Funcs {
+		if !referenced[name] {
+			continue
+		}
+		for _, l := range fa.Loops {
+			l.Static = false
+		}
+	}
+	return a, nil
+}
+
+// lrDirtyAnalysis computes, per instruction index, whether any path from
+// the function entry reaching it has modified LR (forward reachability
+// with a dirty bit; BL/BLX dirty their fallthrough successor).
+func lrDirtyAnalysis(fn *asm.Function) []bool {
+	n := len(fn.Instrs)
+	cleanReach := make([]bool, n)
+	dirtyReach := make([]bool, n)
+	type state struct {
+		idx   int
+		dirty bool
+	}
+	stack := []state{{0, false}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.idx >= n {
+			continue
+		}
+		if s.dirty {
+			if dirtyReach[s.idx] {
+				continue
+			}
+			dirtyReach[s.idx] = true
+		} else {
+			if cleanReach[s.idx] {
+				continue
+			}
+			cleanReach[s.idx] = true
+		}
+		ins := fn.Instrs[s.idx]
+		outDirty := s.dirty || ins.WritesReg(isa.LR)
+		switch ins.Kind() {
+		case isa.KindDirect:
+			if t := localTarget(fn, ins.Sym); t >= 0 {
+				stack = append(stack, state{t, outDirty})
+			}
+		case isa.KindCond:
+			if t := localTarget(fn, ins.Sym); t >= 0 {
+				stack = append(stack, state{t, outDirty})
+			}
+			stack = append(stack, state{s.idx + 1, outDirty})
+		case isa.KindCall:
+			// The callee returns to the fallthrough with LR clobbered.
+			stack = append(stack, state{s.idx + 1, true})
+		case isa.KindIndirectCall:
+			stack = append(stack, state{s.idx + 1, true})
+		case isa.KindReturn, isa.KindIndirectJump, isa.KindHalt:
+			// No local successor.
+		default:
+			stack = append(stack, state{s.idx + 1, outDirty})
+		}
+	}
+	return dirtyReach
+}
+
+// localTarget resolves a branch Sym to a local instruction index, or -1 if
+// the symbol is not a local label (cross-function reference).
+func localTarget(fn *asm.Function, sym string) int {
+	if sym == "" {
+		return -1
+	}
+	if idx, ok := fn.Labels()[sym]; ok {
+		return idx
+	}
+	return -1
+}
+
+func analyzeFunc(fn *asm.Function, opts Options) (*FuncAnalysis, error) {
+	fa := &FuncAnalysis{Fn: fn, Classes: make([]Class, len(fn.Instrs))}
+
+	// Leaf-return rule (§IV-C2): a BX LR is predictable iff LR cannot have
+	// been disturbed on any path reaching it. The analysis is
+	// path-sensitive: a base-case early return in a recursive function is
+	// still deterministic.
+	fa.lrDirty = lrDirtyAnalysis(fn)
+	fa.LeafReturn = true
+	for _, ins := range fn.Instrs {
+		if ins.WritesReg(isa.LR) {
+			fa.LeafReturn = false
+		}
+	}
+
+	// Loop discovery: every backward branch (conditional or not) closes a
+	// loop [target, branch].
+	for i, ins := range fn.Instrs {
+		if ins.Op != isa.OpB {
+			continue
+		}
+		t := localTarget(fn, ins.Sym)
+		if t < 0 || t > i {
+			continue
+		}
+		l := &Loop{Head: t, Tail: i, Cond: -1}
+		if ins.Cond != isa.AL {
+			l.Cond = i
+		} else {
+			// Forward-exit shape: find the conditional branch inside the
+			// body that jumps past the tail (Fig. 7).
+			for j := t; j < i; j++ {
+				b := fn.Instrs[j]
+				if b.Op == isa.OpB && b.Cond != isa.AL {
+					bt := localTarget(fn, b.Sym)
+					if bt > i {
+						l.Cond = j
+						l.Forward = true
+						break
+					}
+				}
+			}
+		}
+		fa.Loops = append(fa.Loops, l)
+	}
+	// Innermost first: sort by span, then by head for determinism.
+	sort.Slice(fa.Loops, func(i, j int) bool {
+		if fa.Loops[i].Span() != fa.Loops[j].Span() {
+			return fa.Loops[i].Span() < fa.Loops[j].Span()
+		}
+		return fa.Loops[i].Head < fa.Loops[j].Head
+	})
+
+	// Classification.
+	for i, ins := range fn.Instrs {
+		switch ins.Kind() {
+		case isa.KindNone, isa.KindSecureCall, isa.KindHalt:
+			fa.Classes[i] = ClassNone
+		case isa.KindDirect, isa.KindCall:
+			fa.Classes[i] = ClassDeterministic
+		case isa.KindIndirectCall:
+			fa.Classes[i] = ClassIndirectCall
+		case isa.KindIndirectJump:
+			fa.Classes[i] = ClassIndirectJump
+		case isa.KindReturn:
+			if ins.Op == isa.OpBX && !fa.lrDirty[i] {
+				fa.Classes[i] = ClassDeterministic
+			} else {
+				fa.Classes[i] = ClassReturn
+			}
+		case isa.KindCond:
+			fa.Classes[i] = classifyCond(fn, fa, i)
+		}
+	}
+
+	if opts.LoopOpt {
+		qualifyLoops(fn, fa, opts)
+	}
+	return fa, nil
+}
+
+// classifyCond decides which Fig. 5/6/7 case a conditional branch is.
+func classifyCond(fn *asm.Function, fa *FuncAnalysis, i int) Class {
+	ins := fn.Instrs[i]
+	t := localTarget(fn, ins.Sym)
+	if t >= 0 && t <= i {
+		return ClassCondLoopBack
+	}
+	// Forward conditional: a loop exit if it is the controlling exit of an
+	// enclosing forward loop.
+	for _, l := range fa.Loops {
+		if l.Forward && l.Cond == i {
+			return ClassCondLoopFwd
+		}
+	}
+	return ClassCondNonLoop
+}
+
+// qualifyLoops marks loops that satisfy the §IV-D "simple loop" conditions:
+// iteration controlled by CMP against a constant, a single constant-step
+// register update, and a body free of other non-deterministic branches
+// (modulo nested already-simple loops when NestedLoopOpt is set).
+func qualifyLoops(fn *asm.Function, fa *FuncAnalysis, opts Options) {
+	for _, l := range fa.Loops { // innermost first
+		if l.Cond < 0 {
+			continue
+		}
+		cond := fn.Instrs[l.Cond]
+		if cond.Op != isa.OpB || cond.Cond == isa.AL {
+			continue
+		}
+		// The CMP must immediately precede the conditional branch so the
+		// tested register/bound are unambiguous.
+		if l.Cond == 0 {
+			continue
+		}
+		cmp := fn.Instrs[l.Cond-1]
+		if cmp.Op != isa.OpCMPi {
+			continue
+		}
+		ctr := cmp.Rn
+		bound := cmp.Imm
+
+		simple := true
+		var step int32
+		updates := 0
+		updateIdx := -1
+		for j := l.Head; j <= l.Tail && simple; j++ {
+			if j == l.Cond || j == l.Cond-1 {
+				continue
+			}
+			b := fn.Instrs[j]
+			// Calls can clobber caller-saved registers (including the
+			// counter) and execute arbitrary branches: never simple.
+			if b.Op == isa.OpBL || b.Op == isa.OpBLX {
+				simple = false
+				continue
+			}
+			// Counter discipline: only ADD/SUB ctr, ctr, #imm may write it.
+			if b.WritesReg(ctr) {
+				switch {
+				case b.Op == isa.OpADDi && b.Rd == ctr && b.Rn == ctr:
+					step += b.Imm
+					updates++
+					updateIdx = j
+				case b.Op == isa.OpSUBi && b.Rd == ctr && b.Rn == ctr:
+					step -= b.Imm
+					updates++
+					updateIdx = j
+				default:
+					simple = false
+				}
+				continue
+			}
+			// Branch discipline: everything else in the body must be
+			// deterministic, or belong to a nested simple loop. A second
+			// back edge to this loop's own head (a "continue") would let
+			// iterations skip the counter update, so it disqualifies.
+			if b.Op == isa.OpB {
+				if t := localTarget(fn, b.Sym); t == l.Head && j != l.Tail {
+					simple = false
+					continue
+				}
+			}
+			cl := fa.Classes[j]
+			if cl == ClassNone {
+				continue
+			}
+			if cl == ClassDeterministic {
+				// Backward direct branches close nested loops; they are
+				// fine only when that nested loop is itself optimized.
+				if b.Op == isa.OpB && b.Cond == isa.AL {
+					if t := localTarget(fn, b.Sym); t >= 0 && t <= j && t > l.Head {
+						if !opts.NestedLoopOpt || innerSimpleLoopAt(fa, j, l) == nil {
+							simple = false
+							continue
+						}
+					}
+				}
+				continue
+			}
+			if opts.NestedLoopOpt {
+				if inner := innerSimpleLoopAt(fa, j, l); inner != nil {
+					continue
+				}
+			}
+			simple = false
+		}
+		if !simple || updates != 1 || step == 0 {
+			continue
+		}
+		// The single update must execute exactly once per iteration: it may
+		// not live inside a nested loop.
+		nested := false
+		for _, in := range fa.Loops {
+			if in != l && in.Contains(updateIdx) && in.Head >= l.Head && in.Tail <= l.Tail {
+				nested = true
+				break
+			}
+		}
+		if nested {
+			continue
+		}
+		l.Simple = true
+		l.Cmp = l.Cond - 1
+		l.CounterReg = ctr
+		l.Step = step
+		l.Bound = bound
+		l.BCond = cond.Cond
+		detectStatic(fn, fa, l)
+	}
+}
+
+// detectStatic upgrades a simple loop to fully static when a constant
+// initialization of the counter provably reaches the loop head: the
+// nearest preceding write to the counter is MOV ctr,#imm / MOVW ctr,#imm,
+// nothing between it and the head is a branch or an externally-targeted
+// label, and the head itself is only targeted by the loop's own back
+// edges.
+func detectStatic(fn *asm.Function, fa *FuncAnalysis, l *Loop) {
+	// Indices targeted by branches, split by branch position.
+	labelIdx := fn.Labels()
+	targeted := func(idx int, allowBackFrom int) bool {
+		for name, li := range labelIdx {
+			if li != idx {
+				continue
+			}
+			_ = name
+			for j, b := range fn.Instrs {
+				if b.Op != isa.OpB || localTarget(fn, b.Sym) != idx {
+					continue
+				}
+				if j < allowBackFrom {
+					return true // forward entry bypassing the init
+				}
+			}
+		}
+		return false
+	}
+	var init *isa.Instr
+	j := l.Head - 1
+	for ; j >= 0; j-- {
+		ins := fn.Instrs[j]
+		if ins.IsBranch() || ins.Op == isa.OpSECALL || ins.Op == isa.OpHLT {
+			return // control-flow merge before finding the init
+		}
+		if ins.WritesReg(l.CounterReg) {
+			if ins.Op == isa.OpMOVi || ins.Op == isa.OpMOVW {
+				init = &fn.Instrs[j]
+			}
+			break
+		}
+	}
+	if init == nil || j < 0 {
+		return
+	}
+	// Labels strictly between the init and the head must not be branch
+	// targets at all (any entry there — including an enclosing loop's back
+	// edge — bypasses the init). The head itself may only be hit by this
+	// loop's own back edges.
+	for idx := j + 1; idx < l.Head; idx++ {
+		if targetedAtAll(fn, idx) {
+			return
+		}
+	}
+	if targeted(l.Head, l.Head) {
+		return
+	}
+	// An enclosing loop whose span straddles the init would re-enter the
+	// head region without re-running the init.
+	for _, outer := range fa.Loops {
+		if outer != l && outer.Head > j && outer.Head <= l.Head && outer.Tail >= l.Tail {
+			return
+		}
+	}
+	l.Static = true
+	l.EntryValue = init.Imm & 0xffff
+	if init.Op == isa.OpMOVi {
+		l.EntryValue = init.Imm
+	}
+}
+
+// targetedAtAll reports whether any branch in fn targets instruction idx.
+func targetedAtAll(fn *asm.Function, idx int) bool {
+	hasLabel := false
+	for _, li := range fn.Labels() {
+		if li == idx {
+			hasLabel = true
+			break
+		}
+	}
+	if !hasLabel {
+		return false
+	}
+	for _, b := range fn.Instrs {
+		if b.Op == isa.OpB && localTarget(fn, b.Sym) == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// innerSimpleLoopAt returns a simple loop other than outer whose body
+// contains j and which is strictly nested inside outer.
+func innerSimpleLoopAt(fa *FuncAnalysis, j int, outer *Loop) *Loop {
+	for _, l := range fa.Loops {
+		if l == outer || !l.Simple {
+			continue
+		}
+		if l.Contains(j) && l.Head >= outer.Head && l.Tail <= outer.Tail {
+			return l
+		}
+	}
+	return nil
+}
+
+// Counts tallies classifications across the program (reporting aid).
+type Counts struct {
+	Deterministic int
+	IndirectCall  int
+	IndirectJump  int
+	Return        int
+	CondNonLoop   int
+	CondLoopBack  int
+	CondLoopFwd   int
+	SimpleLoops   int
+}
+
+// Count aggregates classification statistics.
+func (a *Analysis) Count() Counts {
+	var c Counts
+	for _, fa := range a.Funcs {
+		for _, cl := range fa.Classes {
+			switch cl {
+			case ClassDeterministic:
+				c.Deterministic++
+			case ClassIndirectCall:
+				c.IndirectCall++
+			case ClassIndirectJump:
+				c.IndirectJump++
+			case ClassReturn:
+				c.Return++
+			case ClassCondNonLoop:
+				c.CondNonLoop++
+			case ClassCondLoopBack:
+				c.CondLoopBack++
+			case ClassCondLoopFwd:
+				c.CondLoopFwd++
+			}
+		}
+		for _, l := range fa.Loops {
+			if l.Simple {
+				c.SimpleLoops++
+			}
+		}
+	}
+	return c
+}

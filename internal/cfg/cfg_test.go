@@ -1,0 +1,313 @@
+package cfg
+
+import (
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+)
+
+func analyzeOne(t *testing.T, build func(f *asm.Function), opts Options) *FuncAnalysis {
+	t.Helper()
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	build(f)
+	a, err := Analyze(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Funcs["main"]
+}
+
+func defaultOpts() Options { return Options{LoopOpt: true, NestedLoopOpt: true} }
+
+func TestClassifyBasics(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 1) // 0 none
+		f.B("skip")       // 1 direct
+		f.Label("skip")   //
+		f.BLX(isa.R2)     // 2 icall
+		f.BX(isa.R3)      // 3 ijump
+		f.POP(isa.PC)     // 4 return
+		f.CMPi(isa.R0, 0) // 5
+		f.BEQ("skip")     // 6 backward cond -> loop-back
+		f.HLT()           // 7
+	}, defaultOpts())
+	want := []Class{ClassNone, ClassDeterministic, ClassIndirectCall,
+		ClassIndirectJump, ClassReturn, ClassNone, ClassCondLoopBack, ClassNone}
+	for i, w := range want {
+		if fa.Classes[i] != w {
+			t.Errorf("instr %d: class %v, want %v", i, fa.Classes[i], w)
+		}
+	}
+}
+
+func TestLeafReturnPathSensitive(t *testing.T) {
+	// A recursive shape: early-out BX LR is clean; the one after a BL is
+	// monitored.
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.CMPi(isa.R0, 2) // 0
+		f.BLT("base")     // 1
+		f.PUSH(isa.R4, isa.LR)
+		f.BL("main") // 3: self-call (dirty after)
+		f.POP(isa.R4, isa.PC)
+		f.Label("base")
+		f.RET() // 5: clean path
+	}, defaultOpts())
+	if fa.Classes[5] != ClassDeterministic {
+		t.Errorf("clean-path BX LR classified %v", fa.Classes[5])
+	}
+	if fa.Classes[4] != ClassReturn {
+		t.Errorf("POP PC classified %v", fa.Classes[4])
+	}
+}
+
+func TestLeafReturnDirtyAfterCall(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.BL("main") // dirties LR
+		f.RET()      // 1: reached only after the call
+	}, defaultOpts())
+	if fa.Classes[1] != ClassReturn {
+		t.Errorf("post-call BX LR classified %v, want monitored", fa.Classes[1])
+	}
+}
+
+func TestForwardLoopShape(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 10) // 0
+		f.Label("loop")
+		f.CMPi(isa.R0, 0) // 1
+		f.BEQ("done")     // 2: forward exit
+		f.SUBi(isa.R0, isa.R0, 1)
+		f.B("loop") // 4: closing backward direct
+		f.Label("done")
+		f.HLT()
+	}, defaultOpts())
+	if fa.Classes[2] != ClassCondLoopFwd {
+		t.Errorf("forward exit classified %v", fa.Classes[2])
+	}
+	if len(fa.Loops) != 1 {
+		t.Fatalf("loops = %d", len(fa.Loops))
+	}
+	l := fa.Loops[0]
+	if !l.Forward || l.Cond != 2 || l.Tail != 4 {
+		t.Errorf("loop = %+v", l)
+	}
+	if !l.Simple {
+		t.Error("forward counting loop should be simple")
+	}
+	if !l.Static || l.EntryValue != 10 {
+		t.Errorf("loop should be static with entry 10, got %v/%d", l.Static, l.EntryValue)
+	}
+}
+
+func TestBackwardLoopSimpleAndStatic(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MOVi(isa.R3, 0) // 0 init
+		f.Label("loop")
+		f.ADDr(isa.R5, isa.R5, isa.R3) // 1 body
+		f.ADDi(isa.R3, isa.R3, 1)      // 2 update
+		f.CMPi(isa.R3, 10)             // 3
+		f.BLT("loop")                  // 4
+		f.HLT()
+	}, defaultOpts())
+	l := fa.Loops[0]
+	if !l.Simple || l.CounterReg != isa.R3 || l.Step != 1 || l.Bound != 10 || l.BCond != isa.LT {
+		t.Fatalf("loop = %+v", l)
+	}
+	if !l.Static || l.EntryValue != 0 {
+		t.Errorf("static=%v entry=%d", l.Static, l.EntryValue)
+	}
+	trips, err := l.TripCount(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trips != 9 { // 10 iterations, 9 back-edge takes
+		t.Errorf("trips = %d, want 9", trips)
+	}
+}
+
+func TestVariableLoopNotStatic(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MUL(isa.R3, isa.R0, isa.R1) // runtime value
+		f.Label("loop")
+		f.SUBi(isa.R3, isa.R3, 1)
+		f.CMPi(isa.R3, 0)
+		f.BNE("loop")
+		f.HLT()
+	}, defaultOpts())
+	l := fa.Loops[0]
+	if !l.Simple {
+		t.Fatal("should be simple")
+	}
+	if l.Static {
+		t.Error("runtime-initialized loop must not be static")
+	}
+}
+
+func TestLoopWithCallNotSimple(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MOVi(isa.R3, 0)
+		f.Label("loop")
+		f.BL("main") // call in body
+		f.ADDi(isa.R3, isa.R3, 1)
+		f.CMPi(isa.R3, 10)
+		f.BLT("loop")
+		f.HLT()
+	}, defaultOpts())
+	if fa.Loops[0].Simple {
+		t.Error("loop with a call must not be simple")
+	}
+}
+
+func TestLoopWithCondNotSimple(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MOVi(isa.R3, 0)
+		f.Label("loop")
+		f.CMPr(isa.R1, isa.R2)
+		f.BEQ("skip")
+		f.MOVi(isa.R2, 1)
+		f.Label("skip")
+		f.ADDi(isa.R3, isa.R3, 1)
+		f.CMPi(isa.R3, 10)
+		f.BLT("loop")
+		f.HLT()
+	}, defaultOpts())
+	if fa.Loops[0].Simple {
+		t.Error("loop with an inner conditional must not be simple")
+	}
+}
+
+func TestNestedLoopOptGating(t *testing.T) {
+	build := func(f *asm.Function) {
+		f.MOVi(isa.R4, 0) // i
+		f.Label("outer")
+		f.MOVi(isa.R5, 0) // j
+		f.Label("inner")
+		f.ADDi(isa.R5, isa.R5, 1)
+		f.CMPi(isa.R5, 4)
+		f.BLT("inner")
+		f.ADDi(isa.R4, isa.R4, 1)
+		f.CMPi(isa.R4, 3)
+		f.BLT("outer")
+		f.HLT()
+	}
+	nested := analyzeOne(t, build, Options{LoopOpt: true, NestedLoopOpt: true})
+	simpleCount := 0
+	for _, l := range nested.Loops {
+		if l.Simple {
+			simpleCount++
+		}
+	}
+	if simpleCount != 2 {
+		t.Errorf("nested opt: %d simple loops, want 2", simpleCount)
+	}
+	inner := analyzeOne(t, build, Options{LoopOpt: true, NestedLoopOpt: false})
+	simpleCount = 0
+	for _, l := range inner.Loops {
+		if l.Simple {
+			simpleCount++
+		}
+	}
+	if simpleCount != 1 {
+		t.Errorf("innermost-only: %d simple loops, want 1", simpleCount)
+	}
+}
+
+func TestMultipleCounterUpdatesNotSimple(t *testing.T) {
+	fa := analyzeOne(t, func(f *asm.Function) {
+		f.MOVi(isa.R3, 0)
+		f.Label("loop")
+		f.ADDi(isa.R3, isa.R3, 1)
+		f.ADDi(isa.R3, isa.R3, 1) // second update
+		f.CMPi(isa.R3, 10)
+		f.BLT("loop")
+		f.HLT()
+	}, defaultOpts())
+	if fa.Loops[0].Simple {
+		t.Error("two updates must disqualify")
+	}
+}
+
+func TestTripCountForwardSemantics(t *testing.T) {
+	l := &Loop{Simple: true, Forward: true, Step: -1, Bound: 0, BCond: isa.EQ}
+	// while (r != 0) { r-- }: exit when r == 0; continues r times.
+	for _, v := range []uint32{0, 1, 5, 100} {
+		n, err := l.TripCount(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(v) {
+			t.Errorf("TripCount(%d) = %d", v, n)
+		}
+	}
+}
+
+func TestTripCountBackwardSemantics(t *testing.T) {
+	l := &Loop{Simple: true, Step: 1, Bound: 8, BCond: isa.LT}
+	// do { r++ } while (r < 8): from 0, back edge taken 7 times.
+	n, err := l.TripCount(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("TripCount(0) = %d, want 7", n)
+	}
+	// From 8, the first test already fails: 0 takes.
+	n, _ = l.TripCount(8)
+	if n != 0 {
+		t.Errorf("TripCount(8) = %d, want 0", n)
+	}
+}
+
+func TestTripCountDivergenceCapped(t *testing.T) {
+	l := &Loop{Simple: true, Step: 0, Bound: 8, BCond: isa.LT}
+	l.Step = 1
+	l.BCond = isa.NE
+	l.Bound = -1 // never equal upward from 0 until wraparound: huge
+	if _, err := l.TripCount(0); err == nil {
+		t.Error("divergent trip count should be capped")
+	}
+}
+
+func TestCrossFunctionReferenceClearsStatic(t *testing.T) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.MOVi(isa.R3, 0)
+	f.Label("loop")
+	f.ADDi(isa.R3, isa.R3, 1)
+	f.CMPi(isa.R3, 10)
+	f.BLT("loop")
+	f.HLT()
+	g := p.AddFunc(asm.NewFunction("other"))
+	g.B("main.loop") // cross-function entry into the loop
+	a, err := Analyze(p, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range a.Funcs["main"].Loops {
+		if l.Static {
+			t.Error("externally-referenced function must not keep static loops")
+		}
+	}
+}
+
+func TestCountAggregation(t *testing.T) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.BLX(isa.R1)
+	f.BX(isa.R2)
+	f.POP(isa.PC)
+	f.CMPi(isa.R0, 0)
+	f.BEQ("end")
+	f.Label("end")
+	f.HLT()
+	a, err := Analyze(p, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Count()
+	if c.IndirectCall != 1 || c.IndirectJump != 1 || c.Return != 1 || c.CondNonLoop != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+}

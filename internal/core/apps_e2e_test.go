@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/cpu"
+	"raptrack/internal/mem"
+)
+
+// TestAllAppsAttestAndVerify is the system-level acceptance test: every
+// evaluation workload must (1) run unmodified, (2) run identically after
+// the RAP-Track offline phase (same host-visible outputs), and (3) produce
+// evidence the verifier reconstructs losslessly.
+func TestAllAppsAttestAndVerify(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			// Plain (baseline) run.
+			_, plainDev, err := apps.RunPlain(a)
+			if err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+
+			// Offline phase + attested run.
+			out, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+			if err != nil {
+				t.Fatalf("link: %v", err)
+			}
+			key, err := attest.GenerateHMACKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := mem.New()
+			var dev *apps.Devices
+			prover, err := NewProver(out, key, ProverConfig{
+				SetupMem: func(mm *mem.Memory) { dev = a.Setup(mm) },
+			})
+			if err != nil {
+				t.Fatalf("prover: %v", err)
+			}
+			_ = m
+			chal, err := attest.NewChallenge(a.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, stats, err := prover.Attest(chal)
+			if err != nil {
+				t.Fatalf("attest: %v", err)
+			}
+
+			// Device outputs must match the plain run (semantic
+			// preservation through trampolines and loop instrumentation).
+			if plainDev != nil && dev != nil && plainDev.Host != nil {
+				if len(dev.Host.Words) != len(plainDev.Host.Words) {
+					t.Fatalf("host words differ: plain %v, attested %v",
+						plainDev.Host.Words, dev.Host.Words)
+				}
+				for i := range dev.Host.Words {
+					if dev.Host.Words[i] != plainDev.Host.Words[i] {
+						t.Errorf("host word %d: plain %d, attested %d",
+							i, plainDev.Host.Words[i], dev.Host.Words[i])
+					}
+				}
+			}
+
+			// No trace packets may be lost to the MTB arming window: the
+			// NOP padding must cover the activation latency.
+			if prover.Engine.MTB.DroppedArming != 0 {
+				t.Errorf("%d packets lost during MTB arming (NOP padding insufficient)",
+					prover.Engine.MTB.DroppedArming)
+			}
+
+			// Verification must reconstruct the complete path.
+			verdict, err := NewVerifier(out, key).Verify(chal, reports)
+			if err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if !verdict.OK {
+				t.Fatalf("verdict: %s (pc=%#x, packets %d/%d)",
+					verdict.Reason, verdict.FailPC, verdict.PacketsUsed, verdict.Packets)
+			}
+			if verdict.PacketsUsed != verdict.Packets {
+				t.Errorf("evidence not fully consumed: %d/%d", verdict.PacketsUsed, verdict.Packets)
+			}
+			if stats.CFLogBytes == 0 {
+				t.Errorf("no evidence generated")
+			}
+			t.Logf("%s: cycles=%d steps=%d cflog=%dB packets=%d stubs=%d loops=%d partials=%d",
+				a.Name, stats.Cycles, stats.Steps, stats.CFLogBytes, stats.Packets,
+				out.Stats.Stubs, out.Stats.OptimizedLoops, stats.Partials)
+		})
+	}
+}
+
+// TestAllAppsRegisterParity cross-checks the full architectural register
+// file between plain and attested executions for the pure-compute kernels.
+func TestAllAppsRegisterParity(t *testing.T) {
+	for _, name := range []string{"prime", "crc32", "bubblesort", "fibcall", "matmult"} {
+		a, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			plain, _, err := apps.RunPlain(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, _ := attest.GenerateHMACKey()
+			prover, err := NewProver(out, key, ProverConfig{SetupMem: a.SetupMem()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prover.Engine.Begin(mustChal(t, name)); err != nil {
+				t.Fatal(err)
+			}
+			c, err := cpu.New(prover.Engine.CPUConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(0); err != nil {
+				t.Fatalf("attested run: %v", err)
+			}
+			// R0 carries the kernel result and must always match.
+			if plain.R[0] != c.R[0] {
+				t.Errorf("R0: plain %#x, attested %#x", plain.R[0], c.R[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// Package core is the public facade of the RAP-Track library: one-stop
+// helpers to run the offline phase, stand up a Prover (CFA engine + MCU),
+// attest an execution, and verify the resulting evidence.
+//
+// Typical use:
+//
+//	out, _ := core.LinkForCFA(prog, core.DefaultLinkOptions())
+//	prover, _ := core.NewProver(out, signer, core.ProverConfig{})
+//	chal, _ := attest.NewChallenge(prog.Name)
+//	reports, stats, _ := prover.Attest(chal)
+//	verifier := core.NewVerifier(out, authenticator)
+//	verdict, _ := verifier.Verify(chal, reports)
+package core
+
+import (
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/cfa"
+	"raptrack/internal/cpu"
+	"raptrack/internal/linker"
+	"raptrack/internal/mem"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/verify"
+)
+
+// LinkOptions re-exports the offline-phase options.
+type LinkOptions = linker.Options
+
+// DefaultLinkOptions returns the paper-faithful offline configuration.
+func DefaultLinkOptions() LinkOptions { return linker.DefaultOptions() }
+
+// LinkForCFA runs RAP-Track's offline phase on prog.
+func LinkForCFA(prog *asm.Program, opts LinkOptions) (*linker.Output, error) {
+	return linker.Link(prog, opts)
+}
+
+// ProverConfig tunes a Prover instance.
+type ProverConfig struct {
+	// SetupMem, when non-nil, prepares the fresh memory system before
+	// execution (peripheral mapping, RAM initialization).
+	SetupMem func(*mem.Memory)
+	// MaxSteps bounds application execution (0: generous default).
+	MaxSteps uint64
+	// Engine knobs (zero values select defaults).
+	MTBBufferSize       int
+	Watermark           int
+	ArmLatency          int
+	ContextSwitchCycles uint64
+	// Speculation enables SpecCFA-style sub-path compression of the
+	// evidence (provision the same dictionary on the Verifier).
+	Speculation *speccfa.Dictionary
+}
+
+// RunStats summarizes one attested execution.
+type RunStats struct {
+	Cycles      uint64 // application cycles (incl. trampolines + secure calls)
+	Steps       uint64 // retired instructions
+	Transfers   uint64 // taken non-sequential transfers
+	SecureCalls uint64 // SECALLs dispatched
+	CFLogBytes  int    // total evidence bytes across the report chain
+	Packets     uint64 // MTB packets written (incl. engine entries)
+	Partials    int    // watermark-triggered partial reports
+	SetupCycles uint64 // engine session setup (hashing APP)
+	PauseCycles uint64 // engine report emission while APP is stalled
+	CodeBytes   uint32 // linked code footprint
+}
+
+// Prover bundles the Secure-World engine and the simulated MCU for one
+// attestation session. Each Prover runs a single session: construct a new
+// one per attestation so application RAM starts fresh.
+type Prover struct {
+	Engine *cfa.Engine
+	Mem    *mem.Memory
+
+	link *linker.Output
+	cfg  ProverConfig
+	used bool
+}
+
+// NewProver builds a prover for the linked application.
+func NewProver(link *linker.Output, signer attest.Signer, cfg ProverConfig) (*Prover, error) {
+	m := mem.New()
+	if cfg.SetupMem != nil {
+		cfg.SetupMem(m)
+	}
+	eng, err := cfa.New(cfa.Config{
+		Link:                link,
+		Mem:                 m,
+		Signer:              signer,
+		MTBBufferSize:       cfg.MTBBufferSize,
+		Watermark:           cfg.Watermark,
+		ArmLatency:          cfg.ArmLatency,
+		ContextSwitchCycles: cfg.ContextSwitchCycles,
+		Speculation:         cfg.Speculation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Prover{Engine: eng, Mem: m, link: link, cfg: cfg}, nil
+}
+
+// Attest runs one full CFA session: engine setup, application execution,
+// and report-chain emission.
+func (p *Prover) Attest(chal attest.Challenge) ([]*attest.Report, RunStats, error) {
+	var stats RunStats
+	if p.used {
+		return nil, stats, fmt.Errorf("core: prover already used; create a fresh one per session")
+	}
+	p.used = true
+
+	if err := p.Engine.Begin(chal); err != nil {
+		return nil, stats, err
+	}
+	c, err := cpu.New(p.Engine.CPUConfig())
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := c.Run(p.cfg.MaxSteps); err != nil {
+		return nil, stats, fmt.Errorf("core: attested execution failed: %w", err)
+	}
+	reports, err := p.Engine.Finish()
+	if err != nil {
+		return nil, stats, err
+	}
+
+	stats.Cycles = c.Cycles
+	stats.Steps = c.Steps
+	stats.Transfers = c.TotalBranches()
+	stats.SecureCalls = p.Engine.Gateway.Calls
+	stats.Packets = p.Engine.MTB.TotalPackets
+	stats.Partials = p.Engine.Partials
+	stats.SetupCycles = p.Engine.SetupCycles
+	stats.PauseCycles = p.Engine.PauseCycles
+	stats.CodeBytes = p.link.Image.CodeSize
+	for _, r := range reports {
+		stats.CFLogBytes += len(r.CFLog)
+	}
+	return reports, stats, nil
+}
+
+// VerifyOptions re-exports verifier options.
+type VerifyOptions = verify.Options
+
+// NewVerifier builds the Verifier for a linked application.
+func NewVerifier(link *linker.Output, auth attest.Authenticator) *verify.Verifier {
+	return verify.New(link, auth, verify.Options{})
+}
+
+// NewVerifierWithOptions builds a Verifier with explicit options.
+func NewVerifierWithOptions(link *linker.Output, auth attest.Authenticator, opts VerifyOptions) *verify.Verifier {
+	return verify.New(link, auth, opts)
+}
+
+// NewVerifierWithSpeculation builds a Verifier that expands SpecCFA
+// markers with the given dictionary before reconstruction.
+func NewVerifierWithSpeculation(link *linker.Output, auth attest.Authenticator, d *speccfa.Dictionary) *verify.Verifier {
+	return verify.New(link, auth, verify.Options{Speculation: d})
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/cpu"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+)
+
+// testProgram builds a program exercising every trampoline class:
+// direct call, leaf return, indirect call, monitored POP return,
+// conditional taken and not-taken, an optimized simple loop, and a
+// non-simple (CMP reg,reg) backward loop.
+func testProgram() *asm.Program {
+	p := asm.NewProgram("e2e")
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.MOVi(isa.R0, 5)
+	main.BL("compute") // direct call -> leaf
+	main.CMPi(isa.R0, 100)
+	main.BLT("less") // cond non-loop: 5*5+17=42 < 100 -> taken
+	main.MOVi(isa.R1, 1)
+	main.B("end_if")
+	main.Label("less")
+	main.MOVi(isa.R1, 2)
+	main.Label("end_if")
+	main.CMPi(isa.R1, 7)
+	main.BEQ("never") // cond non-loop: not taken
+	main.LA(isa.R2, "helper")
+	main.BLX(isa.R2) // indirect call
+	// Simple loop: 10 iterations, constant bound -> optimized.
+	main.MOVi(isa.R3, 0)
+	main.MOVi(isa.R6, 0)
+	main.Label("loop")
+	main.ADDr(isa.R6, isa.R6, isa.R3)
+	main.ADDi(isa.R3, isa.R3, 1)
+	main.CMPi(isa.R3, 10)
+	main.BLT("loop")
+	main.Label("never")
+	main.POP(isa.PC) // monitored return (to the halt sentinel)
+
+	compute := p.AddFunc(asm.NewFunction("compute")) // leaf: BX LR stays deterministic
+	compute.MUL(isa.R0, isa.R0, isa.R0)
+	compute.ADDi(isa.R0, isa.R0, 17)
+	compute.RET()
+
+	helper := p.AddFunc(asm.NewFunction("helper"))
+	helper.PUSH(isa.R4, isa.LR)
+	helper.MOVi(isa.R4, 3)
+	helper.MOVi(isa.R5, 0)
+	helper.Label("vloop") // CMP reg,reg -> not simple: trampolined per iteration
+	helper.SUBi(isa.R4, isa.R4, 1)
+	helper.CMPr(isa.R4, isa.R5)
+	helper.BNE("vloop")
+	helper.POP(isa.R4, isa.PC) // monitored return
+
+	return p
+}
+
+// runPlain executes prog without any CFA machinery and returns the CPU.
+func runPlain(t *testing.T, prog *asm.Program) *cpu.CPU {
+	t.Helper()
+	img, err := asm.Layout(prog.Clone(), mem.NSCodeBase)
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	c, err := cpu.New(cpu.Config{Image: img, Mem: mem.New()})
+	if err != nil {
+		t.Fatalf("cpu: %v", err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	return c
+}
+
+func TestEndToEndAttestation(t *testing.T) {
+	prog := testProgram()
+	out, err := LinkForCFA(prog, DefaultLinkOptions())
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	// The constant-bound loop has a constant init too, so it is fully
+	// static: reconstructed with zero evidence (§IV-C).
+	if out.Stats.StaticLoops != 1 {
+		t.Errorf("static loops = %d, want 1", out.Stats.StaticLoops)
+	}
+	if out.Stats.OptimizedLoops != 0 {
+		t.Errorf("optimized (logged) loops = %d, want 0", out.Stats.OptimizedLoops)
+	}
+	if out.Stats.Stubs == 0 {
+		t.Fatalf("no stubs generated")
+	}
+
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(out, key, ProverConfig{})
+	if err != nil {
+		t.Fatalf("prover: %v", err)
+	}
+	chal, err := attest.NewChallenge(prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, stats, err := prover.Attest(chal)
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+	if len(reports) != 1 || !reports[0].Final {
+		t.Fatalf("got %d reports, want exactly 1 final", len(reports))
+	}
+	if stats.CFLogBytes == 0 {
+		t.Fatalf("empty CFLog")
+	}
+
+	verdict, err := NewVerifier(out, key).Verify(chal, reports)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !verdict.OK {
+		t.Fatalf("verdict not OK: %s (pc=%#x)", verdict.Reason, verdict.FailPC)
+	}
+	if verdict.PacketsUsed != verdict.Packets {
+		t.Errorf("packets used %d != total %d", verdict.PacketsUsed, verdict.Packets)
+	}
+	if verdict.LoopsReplayed != 1 {
+		t.Errorf("loops replayed = %d, want 1", verdict.LoopsReplayed)
+	}
+}
+
+func TestLinkedProgramSemanticsPreserved(t *testing.T) {
+	prog := testProgram()
+	plain := runPlain(t, prog)
+
+	out, err := LinkForCFA(prog, DefaultLinkOptions())
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	key, _ := attest.GenerateHMACKey()
+	prover, err := NewProver(out, key, ProverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prover.Engine.Begin(mustChal(t, prog.Name)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cpu.New(prover.Engine.CPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatalf("linked run: %v", err)
+	}
+
+	// The transformation must preserve the computation: compare the
+	// architectural register file (minus LR/PC, which legitimately differ
+	// through trampolines, and R2 which holds a code address).
+	for r := isa.R0; r <= isa.R12; r++ {
+		if r == isa.R2 {
+			continue
+		}
+		if plain.R[r] != c.R[r] {
+			t.Errorf("register %s: plain=%#x linked=%#x", r, plain.R[r], c.R[r])
+		}
+	}
+	if c.Cycles <= plain.Cycles {
+		t.Errorf("linked cycles %d should exceed plain cycles %d (trampolines)", c.Cycles, plain.Cycles)
+	}
+}
+
+func TestTamperedReportRejected(t *testing.T) {
+	prog := testProgram()
+	out, err := LinkForCFA(prog, DefaultLinkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := attest.GenerateHMACKey()
+	prover, _ := NewProver(out, key, ProverConfig{})
+	chal := mustChal(t, prog.Name)
+	reports, _, err := prover.Attest(chal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one evidence byte: the MAC must catch it.
+	reports[0].CFLog[0] ^= 0xff
+	if _, err := NewVerifier(out, key).Verify(chal, reports); err == nil {
+		t.Fatal("tampered CFLog accepted")
+	}
+	reports[0].CFLog[0] ^= 0xff
+
+	// Replay under a different nonce must be rejected.
+	other := mustChal(t, prog.Name)
+	if _, err := NewVerifier(out, key).Verify(other, reports); err == nil {
+		t.Fatal("replayed report accepted under fresh challenge")
+	}
+}
+
+func mustChal(t *testing.T, app string) attest.Challenge {
+	t.Helper()
+	c, err := attest.NewChallenge(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

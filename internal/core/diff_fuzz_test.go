@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/cpu"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+)
+
+// Differential fuzzing: generate random structured programs, then check
+// that (1) the RAP-Track transformation preserves the computation exactly
+// (register file parity with the plain run), (2) the generated evidence
+// verifies, and (3) every packet is consumed by the reconstruction.
+
+// progGen builds random but always-terminating programs.
+type progGen struct {
+	r        *rand.Rand
+	p        *asm.Program
+	fn       *asm.Function
+	labelSeq int
+	depth    int
+	helpers  []string
+	// regs the current loop nest must not clobber (live counters).
+	forbidden map[isa.Reg]bool
+}
+
+// dataRegs are the registers random blocks may write. R2 is reserved for
+// indirect-call pointers, R8 for the data base.
+var dataRegs = []isa.Reg{isa.R0, isa.R1, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7}
+
+func (g *progGen) label(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, g.labelSeq)
+}
+
+func (g *progGen) pickReg() isa.Reg {
+	for {
+		r := dataRegs[g.r.Intn(len(dataRegs))]
+		if !g.forbidden[r] {
+			return r
+		}
+	}
+}
+
+// alu emits a couple of random arithmetic instructions.
+func (g *progGen) alu() {
+	for n := 1 + g.r.Intn(3); n > 0; n-- {
+		d := g.pickReg()
+		s := dataRegs[g.r.Intn(len(dataRegs))]
+		switch g.r.Intn(6) {
+		case 0:
+			g.fn.MOVi(d, int32(g.r.Intn(256)))
+		case 1:
+			g.fn.ADDi(d, d, int32(1+g.r.Intn(50)))
+		case 2:
+			g.fn.SUBr(d, d, s)
+		case 3:
+			g.fn.EORr(d, d, s)
+		case 4:
+			g.fn.MUL(d, d, s)
+		case 5:
+			g.fn.LSRi(d, d, int32(g.r.Intn(8)))
+		}
+	}
+}
+
+// memOp stores and reloads through the data RAM (R8 holds the base).
+func (g *progGen) memOp() {
+	d := g.pickReg()
+	off := int32(4 * g.r.Intn(16))
+	g.fn.STRi(d, isa.R8, off)
+	g.fn.LDRi(g.pickReg(), isa.R8, off)
+}
+
+// ifElse emits a data-dependent conditional.
+func (g *progGen) ifElse() {
+	r := g.pickReg()
+	taken := g.label("then")
+	end := g.label("endif")
+	conds := []isa.Cond{isa.EQ, isa.NE, isa.LT, isa.GE, isa.CS, isa.HI}
+	g.fn.CMPi(r, int32(g.r.Intn(64)))
+	g.fn.Bcc(conds[g.r.Intn(len(conds))], taken)
+	g.block()
+	g.fn.B(end)
+	g.fn.Label(taken)
+	g.block()
+	g.fn.Label(end)
+}
+
+// loop emits a bounded counting loop. Depending on the initializer it is
+// static (constant MOV), logged-simple (constant via MUL), or non-simple
+// (body contains a conditional).
+func (g *progGen) loop() {
+	ctr := g.pickReg()
+	g.forbidden[ctr] = true
+	defer delete(g.forbidden, ctr)
+	n := int32(2 + g.r.Intn(9))
+	head := g.label("loop")
+	switch g.r.Intn(3) {
+	case 0: // static
+		g.fn.MOVi(ctr, 0)
+	default: // runtime-derived constant: logged
+		tmp := g.pickReg()
+		g.fn.MOVi(tmp, 0)
+		g.fn.MOVi(ctr, 1)
+		g.fn.MUL(ctr, ctr, tmp) // ctr = 0, but not statically evident
+	}
+	g.fn.Label(head)
+	g.block()
+	g.fn.ADDi(ctr, ctr, 1)
+	g.fn.CMPi(ctr, n)
+	g.fn.BLT(head)
+}
+
+// call emits a direct or indirect call to a generated helper.
+func (g *progGen) call() {
+	if len(g.helpers) == 0 {
+		g.alu()
+		return
+	}
+	h := g.helpers[g.r.Intn(len(g.helpers))]
+	if g.r.Intn(3) == 0 {
+		g.fn.LA(isa.R2, h)
+		g.fn.BLX(isa.R2)
+	} else {
+		g.fn.BL(h)
+	}
+}
+
+// block emits a random sequence of constructs.
+func (g *progGen) block() {
+	g.depth++
+	defer func() { g.depth-- }()
+	for n := 1 + g.r.Intn(3); n > 0; n-- {
+		if g.depth > 3 {
+			g.alu()
+			continue
+		}
+		switch g.r.Intn(10) {
+		case 0, 1, 2:
+			g.alu()
+		case 3:
+			g.memOp()
+		case 4, 5:
+			g.ifElse()
+		case 6, 7:
+			g.loop()
+		default:
+			g.call()
+		}
+	}
+}
+
+// generate builds a deterministic random program for a seed.
+func generate(seed int64) *asm.Program {
+	r := rand.New(rand.NewSource(seed))
+	p := asm.NewProgram(fmt.Sprintf("fuzz%d", seed))
+	g := &progGen{r: r, p: p, forbidden: make(map[isa.Reg]bool)}
+
+	// Helpers first: one leaf, one non-leaf, one recursive.
+	leaf := asm.NewFunction("h_leaf")
+	leaf.ADDi(isa.R0, isa.R0, 7)
+	leaf.EORr(isa.R1, isa.R1, isa.R0)
+	leaf.RET()
+
+	nonleaf := asm.NewFunction("h_nonleaf")
+	nonleaf.PUSH(isa.R4, isa.LR)
+	nonleaf.MOVr(isa.R4, isa.R0)
+	nonleaf.BL("h_leaf")
+	nonleaf.ADDr(isa.R0, isa.R0, isa.R4)
+	nonleaf.POP(isa.R4, isa.PC)
+
+	rec := asm.NewFunction("h_rec") // sum(1..n) recursively, n in R0
+	rec.CMPi(isa.R0, 1)
+	rec.BLE("base")
+	rec.PUSH(isa.R4, isa.LR)
+	rec.MOVr(isa.R4, isa.R0)
+	rec.SUBi(isa.R0, isa.R0, 1)
+	rec.BL("h_rec")
+	rec.ADDr(isa.R0, isa.R0, isa.R4)
+	rec.POP(isa.R4, isa.PC)
+	rec.Label("base")
+	rec.RET()
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.MOV32(isa.R8, mem.NSDataBase)
+	for _, reg := range dataRegs {
+		main.MOVi(reg, int32(r.Intn(100)))
+	}
+	g.fn = main
+	g.helpers = []string{"h_leaf", "h_nonleaf"}
+	g.block()
+	g.block()
+	// One bounded recursive call.
+	main.MOVi(isa.R0, int32(2+r.Intn(6)))
+	main.BL("h_rec")
+	g.block()
+	main.POP(isa.PC)
+
+	p.AddFunc(leaf)
+	p.AddFunc(nonleaf)
+	p.AddFunc(rec)
+	return p
+}
+
+func TestDifferentialFuzz(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			prog := generate(seed)
+
+			// Plain run.
+			plainImg, err := asm.Layout(prog.Clone(), mem.NSCodeBase)
+			if err != nil {
+				t.Fatalf("layout: %v", err)
+			}
+			plain, err := cpu.New(cpu.Config{Image: plainImg, Mem: mem.New()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := plain.Run(5_000_000); err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+
+			// Attested run.
+			out, err := LinkForCFA(prog, DefaultLinkOptions())
+			if err != nil {
+				t.Fatalf("link: %v", err)
+			}
+			key, err := attest.GenerateHMACKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prover, err := NewProver(out, key, ProverConfig{MaxSteps: 20_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chal := mustChal(t, prog.Name)
+			reports, _, err := prover.Attest(chal)
+			if err != nil {
+				t.Fatalf("attest: %v", err)
+			}
+
+			// (1) Register parity: the transformation must not change the
+			// computation. R2 may hold a code address (layouts differ);
+			// everything else must match.
+			eng := prover.Engine
+			_ = eng
+			verdict, err := NewVerifier(out, key).Verify(chal, reports)
+			if err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if !verdict.OK {
+				t.Fatalf("verdict: %s (pc=%#x, packets %d/%d)",
+					verdict.Reason, verdict.FailPC, verdict.PacketsUsed, verdict.Packets)
+			}
+			if verdict.PacketsUsed != verdict.Packets {
+				t.Errorf("unconsumed evidence: %d/%d", verdict.PacketsUsed, verdict.Packets)
+			}
+		})
+	}
+}
+
+// TestDifferentialFuzzRegisterParity re-runs a subset comparing the final
+// register file between the plain and attested executions.
+func TestDifferentialFuzzRegisterParity(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		prog := generate(seed)
+		plainImg, err := asm.Layout(prog.Clone(), mem.NSCodeBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := cpu.New(cpu.Config{Image: plainImg, Mem: mem.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Run(5_000_000); err != nil {
+			t.Fatalf("seed %d plain: %v", seed, err)
+		}
+
+		out, err := LinkForCFA(prog, DefaultLinkOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := attest.GenerateHMACKey()
+		prover, err := NewProver(out, key, ProverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prover.Engine.Begin(mustChal(t, prog.Name)); err != nil {
+			t.Fatal(err)
+		}
+		c, err := cpu.New(prover.Engine.CPUConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(20_000_000); err != nil {
+			t.Fatalf("seed %d attested: %v", seed, err)
+		}
+		for _, reg := range dataRegs {
+			if plain.R[reg] != c.R[reg] {
+				t.Errorf("seed %d: %v plain=%#x attested=%#x", seed, reg, plain.R[reg], c.R[reg])
+			}
+		}
+	}
+}

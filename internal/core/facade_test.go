@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+)
+
+func TestProverSingleUse(t *testing.T) {
+	a, err := apps.Get("prime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := attest.GenerateHMACKey()
+	prover, err := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chal := mustChal(t, "prime")
+	if _, _, err := prover.Attest(chal); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prover.Attest(chal); err == nil ||
+		!strings.Contains(err.Error(), "already used") {
+		t.Errorf("second Attest: %v", err)
+	}
+}
+
+func TestNewProverRejectsBadEngineConfig(t *testing.T) {
+	a, _ := apps.Get("prime")
+	link, _ := LinkForCFA(a.Build(), DefaultLinkOptions())
+	key, _ := attest.GenerateHMACKey()
+	if _, err := NewProver(link, key, ProverConfig{Watermark: 13}); err == nil {
+		t.Error("unaligned watermark accepted")
+	}
+	if _, err := NewProver(nil, key, ProverConfig{}); err == nil {
+		t.Error("nil link accepted")
+	}
+}
+
+func TestAttestRunawayExecutionSurfaced(t *testing.T) {
+	a, _ := apps.Get("monitor")
+	link, _ := LinkForCFA(a.Build(), DefaultLinkOptions())
+	key, _ := attest.GenerateHMACKey()
+	prover, err := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem(), MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prover.Attest(mustChal(t, "monitor")); err == nil ||
+		!strings.Contains(err.Error(), "step limit") {
+		t.Errorf("runaway: %v", err)
+	}
+}
+
+func TestRunStatsPlausibility(t *testing.T) {
+	a, _ := apps.Get("monitor")
+	link, _ := LinkForCFA(a.Build(), DefaultLinkOptions())
+	key, _ := attest.GenerateHMACKey()
+	prover, _ := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem()})
+	_, stats, err := prover.Attest(mustChal(t, "monitor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps == 0 || stats.Cycles < stats.Steps {
+		t.Errorf("cycles %d < steps %d", stats.Cycles, stats.Steps)
+	}
+	if stats.Transfers == 0 || stats.Packets == 0 {
+		t.Error("no transfers/packets")
+	}
+	if uint64(stats.CFLogBytes) != stats.Packets*8 {
+		t.Errorf("CFLog %d != packets %d * 8", stats.CFLogBytes, stats.Packets)
+	}
+	if stats.CodeBytes != link.Image.CodeSize {
+		t.Error("code bytes mismatch")
+	}
+	if stats.SetupCycles == 0 {
+		t.Error("setup cycles missing")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/isa"
+)
+
+func fibProg(n int32) *asm.Program {
+	p := asm.NewProgram("fibdbg")
+	main := p.NewFunc("main")
+	main.PUSH(isa.LR)
+	main.MOVi(isa.R0, n)
+	main.BL("fib")
+	main.POP(isa.PC)
+
+	f := p.AddFunc(asm.NewFunction("fib"))
+	f.CMPi(isa.R0, 2)
+	f.BLT("base")
+	f.PUSH(isa.R4, isa.LR)
+	f.MOVr(isa.R4, isa.R0)
+	f.SUBi(isa.R0, isa.R4, 1)
+	f.BL("fib")
+	f.MOVr(isa.R1, isa.R0)
+	f.SUBi(isa.R0, isa.R4, 2)
+	f.MOVr(isa.R4, isa.R1)
+	f.BL("fib")
+	f.ADDr(isa.R0, isa.R4, isa.R0)
+	f.POP(isa.R4, isa.PC)
+	f.Label("base")
+	f.RET()
+	return p
+}
+
+func TestFibDepthScaling(t *testing.T) {
+	for _, n := range []int32{3, 5, 7, 9, 11, 13, 15} {
+		out, err := LinkForCFA(fibProg(n), DefaultLinkOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := attest.GenerateHMACKey()
+		prover, _ := NewProver(out, key, ProverConfig{})
+		chal := mustChal(t, "fibdbg")
+		reports, stats, err := prover.Attest(chal)
+		if err != nil {
+			t.Fatalf("fib(%d) attest: %v", n, err)
+		}
+		verdict, err := NewVerifier(out, key).Verify(chal, reports)
+		if err != nil {
+			t.Fatalf("fib(%d) verify: %v", n, err)
+		}
+		t.Logf("fib(%d): packets=%d ok=%v passes=%d work=%d reason=%q",
+			n, verdict.Packets, verdict.OK, verdict.Passes, verdict.Instrs, verdict.Reason)
+		if !verdict.OK {
+			t.Fatalf("fib(%d) rejected: %s", n, verdict.Reason)
+		}
+		_ = stats
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/trace"
+	"raptrack/internal/verify"
+)
+
+// TestVerifyGeometry bounds the search complexity on the most ambiguous
+// workload (crc32: per-bit conditionals inside a per-byte guard): the memo
+// must stay polynomial — entries linear in evidence, outcomes at most
+// quadratic (the triangle of structurally-possible prefix completions).
+func TestVerifyGeometry(t *testing.T) {
+	a, err := apps.Get("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := attest.GenerateHMACKey()
+	prover, _ := NewProver(out, key, ProverConfig{SetupMem: a.SetupMem()})
+	chal := mustChal(t, "crc32")
+	reports, _, err := prover.Attest(chal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []byte
+	for _, r := range reports {
+		log = append(log, r.CFLog...)
+	}
+	pkts := trace.DecodePackets(log)
+	v := NewVerifier(out, key)
+	entries, outcomes, advs, work := verify.Diag(v, pkts)
+	t.Logf("crc32: packets=%d entries=%d outcomes=%d advs=%d work=%d",
+		len(pkts), entries, outcomes, advs, work)
+	n := len(pkts)
+	if entries > 8*n {
+		t.Errorf("entries %d super-linear in %d packets", entries, n)
+	}
+	if outcomes > 2*n*n {
+		t.Errorf("outcomes %d super-quadratic in %d packets", outcomes, n)
+	}
+	if work > uint64(100*n) {
+		t.Errorf("abstract work %d super-linear-ish in %d packets", work, n)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+)
+
+// TestSpecCFAEndToEnd runs the full SpecCFA workflow: an uncompressed
+// session, dictionary mining from its evidence, a second compressed
+// session, and verification of the compressed evidence — with a real
+// reduction in transmitted bytes.
+func TestSpecCFAEndToEnd(t *testing.T) {
+	for _, name := range []string{"gps", "ultrasonic", "prime"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := apps.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			link, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, err := attest.GenerateHMACKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Session 1: uncompressed baseline.
+			p1, err := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chal1 := mustChal(t, name)
+			reports1, stats1, err := p1.Attest(chal1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, err := NewVerifier(link, key).Verify(chal1, reports1); err != nil || !v.OK {
+				t.Fatalf("baseline session rejected: %v %v", err, v)
+			}
+
+			// The Verifier mines speculation candidates from the accepted
+			// evidence.
+			var log []byte
+			for _, r := range reports1 {
+				log = append(log, r.CFLog...)
+			}
+			dict, err := speccfa.Mine(trace.DecodePackets(log), 8, 2, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dict.Len() == 0 {
+				t.Skip("no repeating sub-paths to speculate on")
+			}
+
+			// Session 2: compressed with the provisioned dictionary.
+			p2, err := NewProver(link, key, ProverConfig{
+				SetupMem:    a.SetupMem(),
+				Speculation: dict,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chal2 := mustChal(t, name)
+			reports2, stats2, err := p2.Attest(chal2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats2.CFLogBytes >= stats1.CFLogBytes {
+				t.Errorf("speculation did not shrink evidence: %d -> %d bytes",
+					stats1.CFLogBytes, stats2.CFLogBytes)
+			}
+
+			verdict, err := NewVerifierWithSpeculation(link, key, dict).Verify(chal2, reports2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verdict.OK {
+				t.Fatalf("compressed session rejected: %s", verdict.Reason)
+			}
+			// The reconstruction must cover the same execution as session 1.
+			base, err := NewVerifier(link, key).Verify(chal1, reports1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verdict.Transfers != base.Transfers {
+				t.Errorf("transfers %d != baseline %d", verdict.Transfers, base.Transfers)
+			}
+			t.Logf("%s: evidence %d -> %d bytes (%.1fx), dictionary %d paths",
+				name, stats1.CFLogBytes, stats2.CFLogBytes,
+				float64(stats1.CFLogBytes)/float64(stats2.CFLogBytes), dict.Len())
+		})
+	}
+}
+
+// TestSpecCFAWithoutVerifierDictionary checks the failure mode: compressed
+// evidence cannot be verified without the dictionary.
+func TestSpecCFAWithoutVerifierDictionary(t *testing.T) {
+	a, err := apps.Get("ultrasonic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := attest.GenerateHMACKey()
+
+	p1, _ := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem()})
+	chal1 := mustChal(t, "ultrasonic")
+	reports1, _, err := p1.Attest(chal1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []byte
+	for _, r := range reports1 {
+		log = append(log, r.CFLog...)
+	}
+	dict, err := speccfa.Mine(trace.DecodePackets(log), 8, 2, 8)
+	if err != nil || dict.Len() == 0 {
+		t.Skip("no dictionary")
+	}
+
+	p2, _ := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem(), Speculation: dict})
+	chal2 := mustChal(t, "ultrasonic")
+	reports2, _, err := p2.Attest(chal2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, err := NewVerifier(link, key).Verify(chal2, reports2) // no dictionary
+	if err == nil && verdict.OK {
+		t.Fatal("compressed evidence verified without the dictionary")
+	}
+}

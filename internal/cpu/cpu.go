@@ -1,0 +1,582 @@
+// Package cpu implements the simulated ARMv8-M-class processor core that
+// executes Non-Secure application code: fetch/decode/execute over an
+// asm.Image, a Cortex-M33-inspired cycle model, TrustZone access checks
+// (SAU + NS-MPU), the SECALL secure-gateway path, and integration with the
+// MTB/DWT trace units (DWT comparators are evaluated at fetch; the MTB
+// observes every taken non-sequential transfer).
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/trace"
+	"raptrack/internal/tz"
+)
+
+// Cycle model constants (approximating Cortex-M33 timings).
+const (
+	cycALU         = 1
+	cycMul         = 1
+	cycDiv         = 6
+	cycMem         = 2
+	cycBranchTaken = 2 // pipeline refill on any taken branch
+	cycPopPC       = 3 // extra cost of a POP that loads PC
+	cycHalt        = 1
+)
+
+// Fault wraps an execution failure with the PC it occurred at.
+type Fault struct {
+	PC  uint32
+	Err error
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("cpu: fault at pc=%#08x: %v", f.PC, f.Err) }
+
+// Unwrap exposes the underlying cause (tz.SecurityFault, tz.MemFault, ...).
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Sentinel execution errors.
+var (
+	ErrNoInstr   = errors.New("no instruction at address (control flow left program code)")
+	ErrBreak     = errors.New("breakpoint executed")
+	ErrInvalidOp = errors.New("invalid opcode")
+	ErrRunaway   = errors.New("step limit exceeded")
+)
+
+// Config assembles a CPU. Image and Mem are required; the rest are
+// optional (nil disables the corresponding feature).
+type Config struct {
+	Image   *asm.Image
+	Mem     *mem.Memory
+	SAU     *tz.SAU     // Non-Secure/Secure attribution checks on data access
+	NSMPU   *tz.MPU     // write protection for locked APP code
+	Gateway *tz.Gateway // SECALL dispatch
+	MTB     *trace.MTB
+	DWT     *trace.DWT
+
+	// StackTop overrides the initial SP (defaults to mem.NSStackTop).
+	StackTop uint32
+}
+
+// CPU is the simulated core. Not safe for concurrent use.
+type CPU struct {
+	R          [16]uint32
+	N, Z, C, V bool
+
+	img     *asm.Image
+	mem     *mem.Memory
+	sau     *tz.SAU
+	nsMPU   *tz.MPU
+	gateway *tz.Gateway
+	mtb     *trace.MTB
+	dwt     *trace.DWT
+
+	// Cycles is the consumed cycle count; Steps the retired instruction
+	// count.
+	Cycles uint64
+	Steps  uint64
+	Halted bool
+
+	// BranchTaken counts taken non-sequential transfers by kind.
+	BranchTaken [isa.KindHalt + 1]uint64
+
+	// BranchHook, when non-nil, observes every taken transfer after the
+	// trace units have seen it. Used by analysis tooling and tests.
+	BranchHook func(src, dst uint32, kind isa.BranchKind)
+}
+
+// New builds a CPU, loads the image's data segments into memory, and
+// points PC at the entry function.
+func New(cfg Config) (*CPU, error) {
+	if cfg.Image == nil || cfg.Mem == nil {
+		return nil, errors.New("cpu: Config.Image and Config.Mem are required")
+	}
+	entry, err := cfg.Image.EntryAddr()
+	if err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		img:     cfg.Image,
+		mem:     cfg.Mem,
+		sau:     cfg.SAU,
+		nsMPU:   cfg.NSMPU,
+		gateway: cfg.Gateway,
+		mtb:     cfg.MTB,
+		dwt:     cfg.DWT,
+	}
+	if len(cfg.Image.DataBytes) > 0 {
+		cfg.Mem.LoadBytes(cfg.Image.DataBase, cfg.Image.DataBytes)
+	}
+	sp := cfg.StackTop
+	if sp == 0 {
+		sp = mem.NSStackTop
+	}
+	c.R[isa.SP] = sp
+	c.R[isa.PC] = entry
+	c.R[isa.LR] = retToHalt
+	return c, nil
+}
+
+// retToHalt is the sentinel initial LR: returning from the entry function
+// halts the CPU (mirrors EXC_RETURN-style magic values).
+const retToHalt = 0xffff_fffe
+
+// Image returns the image the CPU executes.
+func (c *CPU) Image() *asm.Image { return c.img }
+
+// Memory returns the CPU's memory system.
+func (c *CPU) Memory() *mem.Memory { return c.mem }
+
+func (c *CPU) fault(pc uint32, err error) error { return &Fault{PC: pc, Err: err} }
+
+// checkRead validates a data read at addr.
+func (c *CPU) checkRead(addr uint32) error {
+	if c.sau != nil && c.sau.WorldOf(addr) == tz.Secure {
+		return &tz.SecurityFault{Addr: addr}
+	}
+	return nil
+}
+
+// checkWrite validates a data write at addr.
+func (c *CPU) checkWrite(addr uint32) error {
+	if c.sau != nil && c.sau.WorldOf(addr) == tz.Secure {
+		return &tz.SecurityFault{Addr: addr, Write: true}
+	}
+	if c.nsMPU != nil {
+		if err := c.nsMPU.CheckWrite(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CPU) read32(addr uint32) (uint32, error) {
+	if err := c.checkRead(addr); err != nil {
+		return 0, err
+	}
+	return c.mem.Read32(addr)
+}
+
+func (c *CPU) read16(addr uint32) (uint16, error) {
+	if err := c.checkRead(addr); err != nil {
+		return 0, err
+	}
+	return c.mem.Read16(addr)
+}
+
+func (c *CPU) read8(addr uint32) (byte, error) {
+	if err := c.checkRead(addr); err != nil {
+		return 0, err
+	}
+	return c.mem.Read8(addr)
+}
+
+func (c *CPU) write32(addr, v uint32) error {
+	if err := c.checkWrite(addr); err != nil {
+		return err
+	}
+	return c.mem.Write32(addr, v)
+}
+
+func (c *CPU) write16(addr uint32, v uint16) error {
+	if err := c.checkWrite(addr); err != nil {
+		return err
+	}
+	return c.mem.Write16(addr, v)
+}
+
+func (c *CPU) write8(addr uint32, v byte) error {
+	if err := c.checkWrite(addr); err != nil {
+		return err
+	}
+	return c.mem.Write8(addr, v)
+}
+
+// condPasses evaluates a condition code against the flags.
+func (c *CPU) condPasses(cc isa.Cond) bool {
+	switch cc {
+	case isa.EQ:
+		return c.Z
+	case isa.NE:
+		return !c.Z
+	case isa.CS:
+		return c.C
+	case isa.CC:
+		return !c.C
+	case isa.MI:
+		return c.N
+	case isa.PL:
+		return !c.N
+	case isa.VS:
+		return c.V
+	case isa.VC:
+		return !c.V
+	case isa.HI:
+		return c.C && !c.Z
+	case isa.LS:
+		return !c.C || c.Z
+	case isa.GE:
+		return c.N == c.V
+	case isa.LT:
+		return c.N != c.V
+	case isa.GT:
+		return !c.Z && c.N == c.V
+	case isa.LE:
+		return c.Z || c.N != c.V
+	case isa.AL:
+		return true
+	}
+	return false
+}
+
+// setSubFlags sets NZCV for a-b (CMP semantics).
+func (c *CPU) setSubFlags(a, b uint32) {
+	r := a - b
+	c.N = int32(r) < 0
+	c.Z = r == 0
+	c.C = a >= b
+	c.V = (int32(a) < 0) != (int32(b) < 0) && (int32(r) < 0) != (int32(a) < 0)
+}
+
+// Step executes one instruction. It returns (halted, error).
+func (c *CPU) Step() (bool, error) {
+	if c.Halted {
+		return true, nil
+	}
+	pc := c.R[isa.PC]
+
+	// DWT comparators are evaluated at fetch: the MTB enable state used for
+	// this instruction's own branch reflects the region the instruction
+	// lives in. This yields the paper's asymmetry (§IV-B): branches INTO
+	// MTBAR are not recorded, branches OUT of it are.
+	if c.dwt != nil && c.mtb != nil {
+		start, stop := c.dwt.Evaluate(pc)
+		if stop {
+			c.mtb.TStop()
+		}
+		if start {
+			c.mtb.TStart()
+		}
+	}
+
+	ins, ok := c.img.Code[pc]
+	if !ok {
+		return false, c.fault(pc, ErrNoInstr)
+	}
+
+	nextPC := pc + ins.Size()
+	cost := uint64(cycALU)
+	branched := false
+	kind := isa.KindNone
+
+	switch ins.Op {
+	case isa.OpNOP:
+	case isa.OpMOVr:
+		c.R[ins.Rd] = c.R[ins.Rm]
+	case isa.OpMOVi:
+		c.R[ins.Rd] = uint32(ins.Imm)
+	case isa.OpMOVW:
+		c.R[ins.Rd] = uint32(ins.Imm) & 0xffff
+	case isa.OpMOVT:
+		c.R[ins.Rd] = c.R[ins.Rd]&0xffff | uint32(ins.Imm)<<16
+	case isa.OpMVN:
+		c.R[ins.Rd] = ^c.R[ins.Rm]
+	case isa.OpADR:
+		c.R[ins.Rd] = ins.Target
+	case isa.OpADDi:
+		c.R[ins.Rd] = c.R[ins.Rn] + uint32(ins.Imm)
+	case isa.OpADDr:
+		c.R[ins.Rd] = c.R[ins.Rn] + c.R[ins.Rm]
+	case isa.OpSUBi:
+		c.R[ins.Rd] = c.R[ins.Rn] - uint32(ins.Imm)
+	case isa.OpSUBr:
+		c.R[ins.Rd] = c.R[ins.Rn] - c.R[ins.Rm]
+	case isa.OpRSBi:
+		c.R[ins.Rd] = uint32(ins.Imm) - c.R[ins.Rn]
+	case isa.OpMUL:
+		c.R[ins.Rd] = c.R[ins.Rn] * c.R[ins.Rm]
+		cost = cycMul
+	case isa.OpUDIV:
+		if c.R[ins.Rm] == 0 {
+			c.R[ins.Rd] = 0 // ARM: divide by zero yields zero
+		} else {
+			c.R[ins.Rd] = c.R[ins.Rn] / c.R[ins.Rm]
+		}
+		cost = cycDiv
+	case isa.OpSDIV:
+		if c.R[ins.Rm] == 0 {
+			c.R[ins.Rd] = 0
+		} else {
+			c.R[ins.Rd] = uint32(int32(c.R[ins.Rn]) / int32(c.R[ins.Rm]))
+		}
+		cost = cycDiv
+	case isa.OpANDr:
+		c.R[ins.Rd] = c.R[ins.Rn] & c.R[ins.Rm]
+	case isa.OpORRr:
+		c.R[ins.Rd] = c.R[ins.Rn] | c.R[ins.Rm]
+	case isa.OpEORr:
+		c.R[ins.Rd] = c.R[ins.Rn] ^ c.R[ins.Rm]
+	case isa.OpBICr:
+		c.R[ins.Rd] = c.R[ins.Rn] &^ c.R[ins.Rm]
+	case isa.OpLSLi:
+		c.R[ins.Rd] = shiftL(c.R[ins.Rn], uint32(ins.Imm))
+	case isa.OpLSLr:
+		c.R[ins.Rd] = shiftL(c.R[ins.Rn], c.R[ins.Rm]&0xff)
+	case isa.OpLSRi:
+		c.R[ins.Rd] = shiftR(c.R[ins.Rn], uint32(ins.Imm))
+	case isa.OpLSRr:
+		c.R[ins.Rd] = shiftR(c.R[ins.Rn], c.R[ins.Rm]&0xff)
+	case isa.OpASRi:
+		sh := uint32(ins.Imm)
+		if sh > 31 {
+			sh = 31
+		}
+		c.R[ins.Rd] = uint32(int32(c.R[ins.Rn]) >> sh)
+	case isa.OpCMPi:
+		c.setSubFlags(c.R[ins.Rn], uint32(ins.Imm))
+	case isa.OpCMPr:
+		c.setSubFlags(c.R[ins.Rn], c.R[ins.Rm])
+	case isa.OpTST:
+		r := c.R[ins.Rn] & c.R[ins.Rm]
+		c.N = int32(r) < 0
+		c.Z = r == 0
+
+	case isa.OpLDRi, isa.OpLDRr:
+		addr := c.R[ins.Rn]
+		if ins.Op == isa.OpLDRi {
+			addr += uint32(ins.Imm)
+		} else {
+			addr += c.R[ins.Rm]
+		}
+		v, err := c.read32(addr)
+		if err != nil {
+			return false, c.fault(pc, err)
+		}
+		c.R[ins.Rd] = v
+		cost = cycMem
+	case isa.OpLDRBi, isa.OpLDRBr:
+		addr := c.R[ins.Rn]
+		if ins.Op == isa.OpLDRBi {
+			addr += uint32(ins.Imm)
+		} else {
+			addr += c.R[ins.Rm]
+		}
+		v, err := c.read8(addr)
+		if err != nil {
+			return false, c.fault(pc, err)
+		}
+		c.R[ins.Rd] = uint32(v)
+		cost = cycMem
+	case isa.OpLDRHi:
+		v, err := c.read16(c.R[ins.Rn] + uint32(ins.Imm))
+		if err != nil {
+			return false, c.fault(pc, err)
+		}
+		c.R[ins.Rd] = uint32(v)
+		cost = cycMem
+	case isa.OpSTRi, isa.OpSTRr:
+		addr := c.R[ins.Rn]
+		if ins.Op == isa.OpSTRi {
+			addr += uint32(ins.Imm)
+		} else {
+			addr += c.R[ins.Rm]
+		}
+		if err := c.write32(addr, c.R[ins.Rd]); err != nil {
+			return false, c.fault(pc, err)
+		}
+		cost = cycMem
+	case isa.OpSTRBi, isa.OpSTRBr:
+		addr := c.R[ins.Rn]
+		if ins.Op == isa.OpSTRBi {
+			addr += uint32(ins.Imm)
+		} else {
+			addr += c.R[ins.Rm]
+		}
+		if err := c.write8(addr, byte(c.R[ins.Rd])); err != nil {
+			return false, c.fault(pc, err)
+		}
+		cost = cycMem
+	case isa.OpSTRHi:
+		if err := c.write16(c.R[ins.Rn]+uint32(ins.Imm), uint16(c.R[ins.Rd])); err != nil {
+			return false, c.fault(pc, err)
+		}
+		cost = cycMem
+
+	case isa.OpPUSH:
+		n := uint32(ins.List.Count())
+		sp := c.R[isa.SP] - 4*n
+		addr := sp
+		for r := isa.R0; r <= isa.PC; r++ {
+			if ins.List.Has(r) {
+				if err := c.write32(addr, c.R[r]); err != nil {
+					return false, c.fault(pc, err)
+				}
+				addr += 4
+			}
+		}
+		c.R[isa.SP] = sp
+		cost = uint64(1 + n)
+	case isa.OpPOP:
+		addr := c.R[isa.SP]
+		var popPC uint32
+		hasPC := false
+		for r := isa.R0; r <= isa.PC; r++ {
+			if ins.List.Has(r) {
+				v, err := c.read32(addr)
+				if err != nil {
+					return false, c.fault(pc, err)
+				}
+				addr += 4
+				if r == isa.PC {
+					popPC = v &^ 1
+					hasPC = true
+				} else {
+					c.R[r] = v
+				}
+			}
+		}
+		c.R[isa.SP] = addr
+		cost = uint64(1 + ins.List.Count())
+		if hasPC {
+			nextPC = popPC
+			branched = true
+			kind = isa.KindReturn
+			cost += cycPopPC
+		}
+	case isa.OpLDRPC:
+		addr := c.R[ins.Rn] + c.R[ins.Rm]<<2
+		v, err := c.read32(addr)
+		if err != nil {
+			return false, c.fault(pc, err)
+		}
+		nextPC = v &^ 1
+		branched = true
+		kind = isa.KindIndirectJump
+		cost = cycMem + cycBranchTaken
+
+	case isa.OpB:
+		if c.condPasses(ins.Cond) {
+			nextPC = ins.Target
+			branched = true
+			if ins.Cond == isa.AL {
+				kind = isa.KindDirect
+			} else {
+				kind = isa.KindCond
+			}
+			cost = cycBranchTaken
+		}
+	case isa.OpBL:
+		c.R[isa.LR] = pc + ins.Size()
+		nextPC = ins.Target
+		branched = true
+		kind = isa.KindCall
+		cost = cycBranchTaken
+	case isa.OpBLX:
+		c.R[isa.LR] = pc + ins.Size()
+		nextPC = c.R[ins.Rm] &^ 1
+		branched = true
+		kind = isa.KindIndirectCall
+		cost = cycBranchTaken
+	case isa.OpBX:
+		nextPC = c.R[ins.Rm] &^ 1
+		branched = true
+		if ins.Rm == isa.LR {
+			kind = isa.KindReturn
+		} else {
+			kind = isa.KindIndirectJump
+		}
+		cost = cycBranchTaken
+
+	case isa.OpSECALL:
+		if c.gateway == nil {
+			return false, c.fault(pc, &tz.UnknownServiceError{ID: ins.Imm})
+		}
+		extra, err := c.gateway.Call(ins.Imm, &c.R)
+		if err != nil {
+			return false, c.fault(pc, err)
+		}
+		cost = extra
+
+	case isa.OpHLT:
+		c.Halted = true
+		c.Cycles += cycHalt
+		c.Steps++
+		if c.mtb != nil {
+			c.mtb.OnRetire()
+		}
+		return true, nil
+	case isa.OpBKPT:
+		return false, c.fault(pc, ErrBreak)
+	default:
+		return false, c.fault(pc, ErrInvalidOp)
+	}
+
+	c.Cycles += cost
+	c.Steps++
+	if branched {
+		c.BranchTaken[kind]++
+		if c.mtb != nil {
+			c.mtb.Record(pc, nextPC)
+		}
+		if c.BranchHook != nil {
+			c.BranchHook(pc, nextPC, kind)
+		}
+	}
+	if c.mtb != nil {
+		c.mtb.OnRetire()
+	}
+	// Returning to the sentinel LR halts (clean exit from the entry
+	// function). The transfer itself is still traced above, so stubbed
+	// entry-function returns leave the packet the verifier expects.
+	if branched && nextPC == retToHalt {
+		c.Halted = true
+		return true, nil
+	}
+	c.R[isa.PC] = nextPC
+	return false, nil
+}
+
+func shiftL(v, sh uint32) uint32 {
+	if sh > 31 {
+		return 0
+	}
+	return v << sh
+}
+
+func shiftR(v, sh uint32) uint32 {
+	if sh > 31 {
+		return 0
+	}
+	return v >> sh
+}
+
+// Run executes until the CPU halts, faults, or maxSteps instructions
+// retire (0 means a generous default).
+func (c *CPU) Run(maxSteps uint64) error {
+	if maxSteps == 0 {
+		maxSteps = 200_000_000
+	}
+	for i := uint64(0); i < maxSteps; i++ {
+		halted, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+	}
+	return c.fault(c.R[isa.PC], ErrRunaway)
+}
+
+// TotalBranches returns the count of taken non-sequential transfers.
+func (c *CPU) TotalBranches() uint64 {
+	var n uint64
+	for _, v := range c.BranchTaken {
+		n += v
+	}
+	return n
+}

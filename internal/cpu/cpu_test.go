@@ -1,0 +1,432 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/trace"
+	"raptrack/internal/tz"
+)
+
+// run assembles a single-function program, executes it to halt, and
+// returns the CPU.
+func run(t *testing.T, build func(f *asm.Function)) *CPU {
+	t.Helper()
+	c, err := tryRun(build, Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func tryRun(build func(f *asm.Function), cfg Config) (*CPU, error) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	build(f)
+	img, err := asm.Layout(p, mem.NSCodeBase)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Image = img
+	if cfg.Mem == nil {
+		cfg.Mem = mem.New()
+	}
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	err = c.Run(1_000_000)
+	return c, err
+}
+
+func TestALUOps(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 10)
+		f.MOVi(isa.R1, 3)
+		f.ADDr(isa.R2, isa.R0, isa.R1)  // 13
+		f.SUBr(isa.R3, isa.R0, isa.R1)  // 7
+		f.MUL(isa.R4, isa.R0, isa.R1)   // 30
+		f.UDIV(isa.R5, isa.R0, isa.R1)  // 3
+		f.ANDr(isa.R6, isa.R0, isa.R1)  // 2
+		f.ORRr(isa.R7, isa.R0, isa.R1)  // 11
+		f.EORr(isa.R8, isa.R0, isa.R1)  // 9
+		f.LSLi(isa.R9, isa.R0, 4)       // 160
+		f.LSRi(isa.R10, isa.R0, 1)      // 5
+		f.RSBi(isa.R11, isa.R1, 100)    // 97
+		f.BICr(isa.R12, isa.R0, isa.R1) // 10 &^ 3 = 8
+		f.HLT()
+	})
+	want := map[isa.Reg]uint32{
+		isa.R2: 13, isa.R3: 7, isa.R4: 30, isa.R5: 3, isa.R6: 2,
+		isa.R7: 11, isa.R8: 9, isa.R9: 160, isa.R10: 5, isa.R11: 97, isa.R12: 8,
+	}
+	for r, w := range want {
+		if c.R[r] != w {
+			t.Errorf("%v = %d, want %d", r, c.R[r], w)
+		}
+	}
+}
+
+func TestDivideByZeroYieldsZero(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 7)
+		f.MOVi(isa.R1, 0)
+		f.UDIV(isa.R2, isa.R0, isa.R1)
+		f.SDIV(isa.R3, isa.R0, isa.R1)
+		f.HLT()
+	})
+	if c.R[isa.R2] != 0 || c.R[isa.R3] != 0 {
+		t.Errorf("div by zero: %d, %d", c.R[isa.R2], c.R[isa.R3])
+	}
+}
+
+func TestSDIVSigned(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 0)
+		f.SUBi(isa.R0, isa.R0, 9) // -9
+		f.MOVi(isa.R1, 2)
+		f.SDIV(isa.R2, isa.R0, isa.R1) // -4 (truncating)
+		f.HLT()
+	})
+	if int32(c.R[isa.R2]) != -4 {
+		t.Errorf("sdiv = %d", int32(c.R[isa.R2]))
+	}
+}
+
+func TestMOVWMOVTPair(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOV32(isa.R0, 0xdeadbeef)
+		f.HLT()
+	})
+	if c.R[isa.R0] != 0xdeadbeef {
+		t.Errorf("MOV32 = %#x", c.R[isa.R0])
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// Count which conditions pass for CMP 5, 7.
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 5)
+		f.CMPi(isa.R0, 7)
+		f.MOVi(isa.R1, 0)
+		f.BLT("lt_ok")
+		f.HLT()
+		f.Label("lt_ok")
+		f.ADDi(isa.R1, isa.R1, 1)
+		f.CMPi(isa.R0, 5)
+		f.BNE("bad")
+		f.BEQ("eq_ok")
+		f.Label("bad")
+		f.BKPT()
+		f.Label("eq_ok")
+		f.ADDi(isa.R1, isa.R1, 1)
+		f.CMPi(isa.R0, 3)
+		f.BHI("hi_ok") // unsigned 5 > 3
+		f.BKPT()
+		f.Label("hi_ok")
+		f.ADDi(isa.R1, isa.R1, 1)
+		f.HLT()
+	})
+	if c.R[isa.R1] != 3 {
+		t.Errorf("passed %d condition checks, want 3", c.R[isa.R1])
+	}
+}
+
+func TestSignedUnsignedComparisons(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 0)
+		f.SUBi(isa.R0, isa.R0, 1) // 0xffffffff = -1 signed, max unsigned
+		f.MOVi(isa.R2, 0)
+		f.CMPi(isa.R0, 1)
+		f.BLT("signed_less") // -1 < 1 signed
+		f.BKPT()
+		f.Label("signed_less")
+		f.MOVi(isa.R1, 1)
+		f.CMPr(isa.R0, isa.R1)
+		f.BHI("unsigned_greater") // 0xffffffff > 1 unsigned
+		f.BKPT()
+		f.Label("unsigned_greater")
+		f.MOVi(isa.R2, 1)
+		f.HLT()
+	})
+	if c.R[isa.R2] != 1 {
+		t.Error("signed/unsigned comparison semantics wrong")
+	}
+}
+
+func TestCallReturnAndStack(t *testing.T) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.PUSH(isa.LR)
+	f.MOVi(isa.R0, 4)
+	f.BL("double")
+	f.POP(isa.PC)
+	g := p.AddFunc(asm.NewFunction("double"))
+	g.ADDr(isa.R0, isa.R0, isa.R0)
+	g.RET()
+	img, err := asm.Layout(p, mem.NSCodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Image: img, Mem: mem.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[isa.R0] != 8 {
+		t.Errorf("result = %d", c.R[isa.R0])
+	}
+	if c.R[isa.SP] != mem.NSStackTop {
+		t.Errorf("stack unbalanced: SP = %#x", c.R[isa.SP])
+	}
+	if !c.Halted {
+		t.Error("did not halt via sentinel return")
+	}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 1)
+		f.MOVi(isa.R1, 2)
+		f.MOVi(isa.R2, 3)
+		f.PUSH(isa.R0, isa.R1, isa.R2)
+		f.POP(isa.R4, isa.R5, isa.R6)
+		f.HLT()
+	})
+	// Lowest register at lowest address: pop into R4,R5,R6 restores order.
+	if c.R[isa.R4] != 1 || c.R[isa.R5] != 2 || c.R[isa.R6] != 3 {
+		t.Errorf("pop order: %d %d %d", c.R[isa.R4], c.R[isa.R5], c.R[isa.R6])
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOV32(isa.R8, mem.NSDataBase)
+		f.MOV32(isa.R0, 0x11223344)
+		f.STRi(isa.R0, isa.R8, 0)
+		f.LDRBi(isa.R1, isa.R8, 0) // 0x44
+		f.LDRHi(isa.R2, isa.R8, 2) // 0x1122
+		f.MOVi(isa.R3, 0xff)
+		f.STRBi(isa.R3, isa.R8, 1)
+		f.LDRi(isa.R4, isa.R8, 0) // 0x1122ff44
+		f.MOV32(isa.R5, 0xabcd)
+		f.STRHi(isa.R5, isa.R8, 4)
+		f.LDRi(isa.R6, isa.R8, 4) // 0x0000abcd
+		f.HLT()
+	})
+	if c.R[isa.R1] != 0x44 || c.R[isa.R2] != 0x1122 || c.R[isa.R4] != 0x1122ff44 || c.R[isa.R6] != 0xabcd {
+		t.Errorf("loads: %#x %#x %#x %#x", c.R[isa.R1], c.R[isa.R2], c.R[isa.R4], c.R[isa.R6])
+	}
+}
+
+func TestJumpTable(t *testing.T) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.LA(isa.R1, "table")
+	f.MOVi(isa.R2, 1) // select case1
+	f.LDRPC(isa.R1, isa.R2)
+	f.Label("case0")
+	f.MOVi(isa.R0, 100)
+	f.HLT()
+	f.Label("case1")
+	f.MOVi(isa.R0, 200)
+	f.HLT()
+	p.AddData(&asm.DataSegment{Name: "table", Syms: []string{"main.case0", "main.case1"}})
+	img, err := asm.Layout(p, mem.NSCodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Image: img, Mem: mem.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[isa.R0] != 200 {
+		t.Errorf("jump table selected %d", c.R[isa.R0])
+	}
+	if c.BranchTaken[isa.KindIndirectJump] != 1 {
+		t.Error("table jump not counted as indirect")
+	}
+}
+
+func TestBranchToNowhereFaults(t *testing.T) {
+	_, err := tryRun(func(f *asm.Function) {
+		f.MOV32(isa.R0, 0x0dead000)
+		f.BX(isa.R0)
+	}, Config{})
+	var fault *Fault
+	if !errors.As(err, &fault) || !errors.Is(err, ErrNoInstr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBKPTFaults(t *testing.T) {
+	_, err := tryRun(func(f *asm.Function) { f.BKPT() }, Config{})
+	if !errors.Is(err, ErrBreak) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.Label("spin")
+	f.B("spin")
+	img, _ := asm.Layout(p, mem.NSCodeBase)
+	c, _ := New(Config{Image: img, Mem: mem.New()})
+	err := c.Run(1000)
+	if !errors.Is(err, ErrRunaway) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSAUBlocksSecureAccess(t *testing.T) {
+	sau := tz.NewSAU()
+	sau.MarkSecure(mem.SDataBase, 0x1000)
+	_, err := tryRun(func(f *asm.Function) {
+		f.MOV32(isa.R0, mem.SDataBase)
+		f.LDRi(isa.R1, isa.R0, 0)
+		f.HLT()
+	}, Config{SAU: sau})
+	var sf *tz.SecurityFault
+	if !errors.As(err, &sf) {
+		t.Errorf("read of secure memory: %v", err)
+	}
+
+	_, err = tryRun(func(f *asm.Function) {
+		f.MOV32(isa.R0, mem.SDataBase)
+		f.MOVi(isa.R1, 1)
+		f.STRi(isa.R1, isa.R0, 0)
+		f.HLT()
+	}, Config{SAU: sau})
+	if !errors.As(err, &sf) || !sf.Write {
+		t.Errorf("write of secure memory: %v", err)
+	}
+}
+
+func TestNSMPUBlocksCodeWrite(t *testing.T) {
+	mpu := tz.NewMPU()
+	_ = mpu.AddRegion(tz.MPURegion{
+		Range:    tz.Range{Base: mem.NSCodeBase, Limit: mem.NSCodeBase + 0x1000},
+		ReadOnly: true, Name: "APP code",
+	})
+	mpu.Lock()
+	_, err := tryRun(func(f *asm.Function) {
+		f.MOV32(isa.R0, mem.NSCodeBase)
+		f.MOVi(isa.R1, 0)
+		f.STRi(isa.R1, isa.R0, 0) // self-modification attempt
+		f.HLT()
+	}, Config{NSMPU: mpu})
+	var mf *tz.MemFault
+	if !errors.As(err, &mf) {
+		t.Errorf("code write: %v", err)
+	}
+}
+
+func TestSECALLDispatch(t *testing.T) {
+	gw := tz.NewGateway()
+	gw.ContextSwitchCycles = 50
+	gw.Register(9, func(imm int32, regs *[16]uint32) (uint64, error) {
+		regs[0] = regs[0] * 2
+		return 10, nil
+	})
+	c, err := tryRun(func(f *asm.Function) {
+		f.MOVi(isa.R0, 21)
+		f.SECALL(9)
+		f.HLT()
+	}, Config{Gateway: gw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.R[isa.R0] != 42 {
+		t.Errorf("service result = %d", c.R[isa.R0])
+	}
+	// MOVi(1) + SECALL(60) + HLT(1).
+	if c.Cycles != 62 {
+		t.Errorf("cycles = %d, want 62", c.Cycles)
+	}
+}
+
+func TestSECALLWithoutGatewayFaults(t *testing.T) {
+	_, err := tryRun(func(f *asm.Function) { f.SECALL(1) }, Config{})
+	var use *tz.UnknownServiceError
+	if !errors.As(err, &use) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	c := run(t, func(f *asm.Function) {
+		f.MOVi(isa.R0, 1)               // 1
+		f.ADDi(isa.R0, isa.R0, 1)       // 1
+		f.MOV32(isa.R8, mem.NSDataBase) // 2 (MOVW+MOVT)
+		f.STRi(isa.R0, isa.R8, 0)       // 2
+		f.LDRi(isa.R1, isa.R8, 0)       // 2
+		f.B("next")                     // 2 taken
+		f.Label("next")
+		f.CMPi(isa.R0, 0) // 1
+		f.BEQ("never")    // 1 not taken
+		f.HLT()           // 1
+		f.Label("never")
+		f.BKPT()
+	})
+	if c.Cycles != 13 {
+		t.Errorf("cycles = %d, want 13", c.Cycles)
+	}
+}
+
+func TestMTBSeesTakenBranches(t *testing.T) {
+	m := mem.New()
+	mtb := trace.NewMTB(m, mem.SDataBase, 4096)
+	mtb.SetMaster(true)
+	c, err := tryRun(func(f *asm.Function) {
+		f.B("a") // taken: recorded
+		f.Label("a")
+		f.CMPi(isa.R0, 1)
+		f.BEQ("b") // not taken (R0=0): not recorded
+		f.HLT()
+		f.Label("b")
+		f.BKPT()
+	}, Config{Mem: m, MTB: mtb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	if mtb.TotalPackets != 1 {
+		t.Errorf("MTB packets = %d, want 1", mtb.TotalPackets)
+	}
+}
+
+func TestBranchHookAndCounters(t *testing.T) {
+	var hooks int
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.PUSH(isa.LR)
+	f.BL("leaf")
+	f.POP(isa.PC)
+	g := p.AddFunc(asm.NewFunction("leaf"))
+	g.RET()
+	img, _ := asm.Layout(p, mem.NSCodeBase)
+	c, _ := New(Config{Image: img, Mem: mem.New()})
+	c.BranchHook = func(src, dst uint32, kind isa.BranchKind) { hooks++ }
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// BL, BX LR, POP PC (to sentinel).
+	if hooks != 3 {
+		t.Errorf("hook calls = %d, want 3", hooks)
+	}
+	if c.BranchTaken[isa.KindCall] != 1 || c.BranchTaken[isa.KindReturn] != 2 {
+		t.Errorf("counters: %v", c.BranchTaken)
+	}
+	if c.TotalBranches() != 3 {
+		t.Errorf("TotalBranches = %d", c.TotalBranches())
+	}
+}

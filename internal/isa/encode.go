@@ -1,0 +1,74 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Canonical encoding.
+//
+// Program-memory attestation (H_MEM) must change whenever any instruction
+// field changes, so the encoding is injective over all fields that affect
+// execution. It is NOT the Thumb bit encoding and its length is independent
+// of Size(): layout uses Size(), hashing uses Encode(). Each record is:
+//
+//	u8  op
+//	u8  cond
+//	u8  rd, rn, rm
+//	u8  flags (bit0: wide)
+//	i32 imm (little endian)
+//	u16 reglist
+//	u32 target (resolved absolute address; 0 if none)
+//	u16 len(sym) + sym bytes
+//
+// Symbolic references are retained so that pre-layout programs can also be
+// fingerprinted deterministically.
+
+const fixedEncLen = 1 + 1 + 3 + 1 + 4 + 2 + 4 + 2
+
+// EncodedLen returns the canonical encoding length of i.
+func (i Instr) EncodedLen() int { return fixedEncLen + len(i.Sym) }
+
+// Encode appends the canonical encoding of i to dst and returns the result.
+func (i Instr) Encode(dst []byte) []byte {
+	var flags byte
+	if i.Wide {
+		flags |= 1
+	}
+	dst = append(dst, byte(i.Op), byte(i.Cond), byte(i.Rd), byte(i.Rn), byte(i.Rm), flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(i.Imm))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(i.List))
+	dst = binary.LittleEndian.AppendUint32(dst, i.Target)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(i.Sym)))
+	dst = append(dst, i.Sym...)
+	return dst
+}
+
+// ErrBadEncoding is returned by Decode for malformed input.
+var ErrBadEncoding = errors.New("isa: bad instruction encoding")
+
+// Decode parses one canonical instruction record from b, returning the
+// instruction and the number of bytes consumed. Addr is not part of the
+// encoding and is left zero.
+func Decode(b []byte) (Instr, int, error) {
+	if len(b) < fixedEncLen {
+		return Instr{}, 0, fmt.Errorf("%w: %d bytes remaining", ErrBadEncoding, len(b))
+	}
+	var i Instr
+	i.Op = Op(b[0])
+	i.Cond = Cond(b[1])
+	i.Rd = Reg(b[2])
+	i.Rn = Reg(b[3])
+	i.Rm = Reg(b[4])
+	i.Wide = b[5]&1 != 0
+	i.Imm = int32(binary.LittleEndian.Uint32(b[6:]))
+	i.List = RegList(binary.LittleEndian.Uint16(b[10:]))
+	i.Target = binary.LittleEndian.Uint32(b[12:])
+	symLen := int(binary.LittleEndian.Uint16(b[16:]))
+	if len(b) < fixedEncLen+symLen {
+		return Instr{}, 0, fmt.Errorf("%w: symbol overruns buffer", ErrBadEncoding)
+	}
+	i.Sym = string(b[fixedEncLen : fixedEncLen+symLen])
+	return i, fixedEncLen + symLen, nil
+}

@@ -1,0 +1,439 @@
+// Package isa defines the instruction set executed by the simulated
+// ARMv8-M-class CPU in internal/cpu.
+//
+// The instruction set is a structured model of the Thumb/Thumb-2 subset that
+// matters for control-flow attestation: it preserves real register semantics
+// (LR/SP/PC), condition codes, 16/32-bit instruction sizes (so code layout
+// and code-size overheads are meaningful), and the full branch taxonomy the
+// RAP-Track offline phase classifies (direct, conditional, call, indirect
+// call, indirect jump, POP-to-PC and BX-LR returns, table jumps).
+//
+// Instructions are not bit-exact Thumb encodings. Layout and code-size
+// accounting use Size (2 or 4 bytes, per Thumb norms), while hashing and
+// program-memory attestation use Encode, a canonical, injective
+// serialization of all instruction fields.
+package isa
+
+import "fmt"
+
+// Reg names a CPU register. R0-R12 are general purpose; SP, LR and PC have
+// their architectural roles.
+type Reg uint8
+
+// Architectural registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // stack pointer
+	LR // link register
+	PC // program counter
+)
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 16
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Cond is a condition code as used by conditional branches.
+type Cond uint8
+
+// Condition codes (ARM order).
+const (
+	EQ Cond = iota // Z set
+	NE             // Z clear
+	CS             // C set (unsigned >=)
+	CC             // C clear (unsigned <)
+	MI             // N set
+	PL             // N clear
+	VS             // V set
+	VC             // V clear
+	HI             // unsigned >
+	LS             // unsigned <=
+	GE             // signed >=
+	LT             // signed <
+	GT             // signed >
+	LE             // signed <=
+	AL             // always
+)
+
+func (c Cond) String() string {
+	names := [...]string{"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+		"hi", "ls", "ge", "lt", "gt", "le", ""}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Invert returns the opposite condition. Inverting AL is not meaningful and
+// returns AL.
+func (c Cond) Invert() Cond {
+	if c == AL {
+		return AL
+	}
+	// Conditions come in adjacent true/false pairs: EQ/NE, CS/CC, ...
+	return c ^ 1
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Operations. The comment shows the operand shape used by the executor.
+const (
+	OpInvalid Op = iota
+
+	// Data processing.
+	OpMOVr // MOV  Rd, Rm
+	OpMOVi // MOV  Rd, #imm8 (0..255)
+	OpMOVW // MOVW Rd, #imm16 (or :lower16:Sym)
+	OpMOVT // MOVT Rd, #imm16 (or :upper16:Sym)
+	OpMVN  // MVN  Rd, Rm
+	OpADDi // ADD  Rd, Rn, #imm
+	OpADDr // ADD  Rd, Rn, Rm
+	OpSUBi // SUB  Rd, Rn, #imm
+	OpSUBr // SUB  Rd, Rn, Rm
+	OpRSBi // RSB  Rd, Rn, #imm (imm-Rn)
+	OpMUL  // MUL  Rd, Rn, Rm
+	OpUDIV // UDIV Rd, Rn, Rm
+	OpSDIV // SDIV Rd, Rn, Rm
+	OpANDr // AND  Rd, Rn, Rm
+	OpORRr // ORR  Rd, Rn, Rm
+	OpEORr // EOR  Rd, Rn, Rm
+	OpBICr // BIC  Rd, Rn, Rm
+	OpLSLi // LSL  Rd, Rn, #imm
+	OpLSLr // LSL  Rd, Rn, Rm
+	OpLSRi // LSR  Rd, Rn, #imm
+	OpLSRr // LSR  Rd, Rn, Rm
+	OpASRi // ASR  Rd, Rn, #imm
+	OpCMPi // CMP  Rn, #imm
+	OpCMPr // CMP  Rn, Rm
+	OpTST  // TST  Rn, Rm
+	OpADR  // ADR  Rd, Sym (PC-relative address of symbol)
+
+	// Memory.
+	OpLDRi  // LDR  Rd, [Rn, #imm]
+	OpLDRr  // LDR  Rd, [Rn, Rm]
+	OpLDRBi // LDRB Rd, [Rn, #imm]
+	OpLDRBr // LDRB Rd, [Rn, Rm]
+	OpLDRHi // LDRH Rd, [Rn, #imm]
+	OpSTRi  // STR  Rd, [Rn, #imm]
+	OpSTRr  // STR  Rd, [Rn, Rm]
+	OpSTRBi // STRB Rd, [Rn, #imm]
+	OpSTRBr // STRB Rd, [Rn, Rm]
+	OpSTRHi // STRH Rd, [Rn, #imm]
+	OpPUSH  // PUSH {reglist}
+	OpPOP   // POP  {reglist} — a list containing PC is a return
+	OpLDRPC // LDR  PC, [Rn, Rm, LSL #2] — computed table jump
+
+	// Control flow.
+	OpB   // B<cond> Sym — direct branch, conditional when Cond != AL
+	OpBL  // BL  Sym — direct call (LR := return address)
+	OpBLX // BLX Rm — indirect call through register
+	OpBX  // BX  Rm — indirect branch; BX LR is a function return
+
+	// System.
+	OpNOP    // no operation
+	OpSECALL // SECALL #imm — secure-gateway call into the Secure World
+	OpHLT    // halt execution (test/bench harness sentinel)
+	OpBKPT   // breakpoint — treated as a fault
+)
+
+var opNames = map[Op]string{
+	OpMOVr: "mov", OpMOVi: "mov", OpMOVW: "movw", OpMOVT: "movt", OpMVN: "mvn",
+	OpADDi: "add", OpADDr: "add", OpSUBi: "sub", OpSUBr: "sub", OpRSBi: "rsb",
+	OpMUL: "mul", OpUDIV: "udiv", OpSDIV: "sdiv",
+	OpANDr: "and", OpORRr: "orr", OpEORr: "eor", OpBICr: "bic",
+	OpLSLi: "lsl", OpLSLr: "lsl", OpLSRi: "lsr", OpLSRr: "lsr", OpASRi: "asr",
+	OpCMPi: "cmp", OpCMPr: "cmp", OpTST: "tst", OpADR: "adr",
+	OpLDRi: "ldr", OpLDRr: "ldr", OpLDRBi: "ldrb", OpLDRBr: "ldrb", OpLDRHi: "ldrh",
+	OpSTRi: "str", OpSTRr: "str", OpSTRBi: "strb", OpSTRBr: "strb", OpSTRHi: "strh",
+	OpPUSH: "push", OpPOP: "pop", OpLDRPC: "ldrpc",
+	OpB: "b", OpBL: "bl", OpBLX: "blx", OpBX: "bx",
+	OpNOP: "nop", OpSECALL: "secall", OpHLT: "hlt", OpBKPT: "bkpt",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// RegList is a bitmask of registers for PUSH/POP (bit i set == Ri included).
+type RegList uint16
+
+// Has reports whether r is in the list.
+func (l RegList) Has(r Reg) bool { return l&(1<<r) != 0 }
+
+// Count returns the number of registers in the list.
+func (l RegList) Count() int {
+	n := 0
+	for v := uint16(l); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Regs builds a RegList from individual registers.
+func Regs(rs ...Reg) RegList {
+	var l RegList
+	for _, r := range rs {
+		l |= 1 << r
+	}
+	return l
+}
+
+func (l RegList) String() string {
+	s := "{"
+	first := true
+	for r := R0; r <= PC; r++ {
+		if l.Has(r) {
+			if !first {
+				s += ","
+			}
+			s += r.String()
+			first = false
+		}
+	}
+	return s + "}"
+}
+
+// Instr is one instruction. Sym holds a symbolic branch target or data
+// symbol prior to layout; Target is the resolved absolute address after
+// layout. Addr is the instruction's own address after layout.
+type Instr struct {
+	Op   Op
+	Cond Cond
+	Rd   Reg
+	Rn   Reg
+	Rm   Reg
+	Imm  int32
+	List RegList
+
+	// Sym is a symbolic reference: the branch target of OpB/OpBL, the
+	// symbol whose address half OpMOVW/OpMOVT loads, or the symbol OpADR
+	// materializes.
+	Sym string
+
+	// Wide forces the 32-bit encoding. The RAP-Track linker sets it on
+	// rewritten branches whose displacement exceeds the narrow range
+	// (trampolines into the distant MTBAR region).
+	Wide bool
+
+	// Addr and Target are filled in by asm layout.
+	Addr   uint32
+	Target uint32
+}
+
+// Size returns the instruction's footprint in bytes (2 or 4), following
+// Thumb norms: wide forms, MOVW/MOVT, BL, table jumps and SECALL gateways
+// are 32-bit; common register forms are 16-bit.
+func (i Instr) Size() uint32 {
+	if i.Wide {
+		return 4
+	}
+	switch i.Op {
+	case OpMOVW, OpMOVT, OpBL, OpLDRPC, OpSECALL, OpADR, OpUDIV, OpSDIV:
+		return 4
+	case OpLDRi, OpSTRi, OpLDRBi, OpSTRBi, OpLDRHi, OpSTRHi:
+		// Narrow loads/stores reach a limited immediate range.
+		if i.Imm < 0 || i.Imm > 124 || i.Rn > R7 || i.Rd > R7 {
+			return 4
+		}
+		return 2
+	case OpADDi, OpSUBi:
+		if i.Imm < 0 || i.Imm > 255 || i.Rd > R7 || i.Rn > R7 {
+			return 4
+		}
+		return 2
+	case OpMOVi, OpCMPi:
+		if i.Imm < 0 || i.Imm > 255 || i.Rn > R7 || i.Rd > R7 {
+			return 4
+		}
+		return 2
+	case OpRSBi:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// BranchKind classifies an instruction's control-flow behaviour. This is the
+// taxonomy the RAP-Track offline phase (internal/cfg, internal/linker) works
+// in.
+type BranchKind uint8
+
+// Branch kinds.
+const (
+	KindNone         BranchKind = iota // not a control transfer
+	KindDirect                         // B (unconditional, fixed target)
+	KindCond                           // B<cond> (fixed target, data-dependent direction)
+	KindCall                           // BL (fixed target, pushes return in LR)
+	KindIndirectCall                   // BLX Rm
+	KindIndirectJump                   // BX Rm (Rm != LR), LDRPC table jump
+	KindReturn                         // BX LR or POP {...,PC}
+	KindSecureCall                     // SECALL (gateway into Secure World)
+	KindHalt                           // HLT
+)
+
+func (k BranchKind) String() string {
+	names := [...]string{"none", "direct", "cond", "call", "icall", "ijump",
+		"return", "secall", "halt"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Kind returns the instruction's BranchKind.
+func (i Instr) Kind() BranchKind {
+	switch i.Op {
+	case OpB:
+		if i.Cond == AL {
+			return KindDirect
+		}
+		return KindCond
+	case OpBL:
+		return KindCall
+	case OpBLX:
+		return KindIndirectCall
+	case OpBX:
+		if i.Rm == LR {
+			return KindReturn
+		}
+		return KindIndirectJump
+	case OpLDRPC:
+		return KindIndirectJump
+	case OpPOP:
+		if i.List.Has(PC) {
+			return KindReturn
+		}
+		return KindNone
+	case OpSECALL:
+		return KindSecureCall
+	case OpHLT:
+		return KindHalt
+	default:
+		return KindNone
+	}
+}
+
+// IsBranch reports whether the instruction can transfer control
+// non-sequentially (excluding SECALL and HLT, which are handled by the
+// secure-service and harness layers).
+func (i Instr) IsBranch() bool {
+	switch i.Kind() {
+	case KindDirect, KindCond, KindCall, KindIndirectCall, KindIndirectJump, KindReturn:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction writes general register r
+// (ignoring PC/SP side effects of branches and stack ops).
+func (i Instr) WritesReg(r Reg) bool {
+	switch i.Op {
+	case OpMOVr, OpMOVi, OpMOVW, OpMOVT, OpMVN, OpADDi, OpADDr, OpSUBi, OpSUBr,
+		OpRSBi, OpMUL, OpUDIV, OpSDIV, OpANDr, OpORRr, OpEORr, OpBICr,
+		OpLSLi, OpLSLr, OpLSRi, OpLSRr, OpASRi, OpADR,
+		OpLDRi, OpLDRr, OpLDRBi, OpLDRBr, OpLDRHi:
+		return i.Rd == r
+	case OpPOP:
+		return i.List.Has(r)
+	case OpBL, OpBLX:
+		return r == LR
+	}
+	return false
+}
+
+// AccessesMemory reports whether the instruction loads or stores data
+// memory.
+func (i Instr) AccessesMemory() bool {
+	switch i.Op {
+	case OpLDRi, OpLDRr, OpLDRBi, OpLDRBr, OpLDRHi,
+		OpSTRi, OpSTRr, OpSTRBi, OpSTRBr, OpSTRHi,
+		OpPUSH, OpPOP, OpLDRPC:
+		return true
+	}
+	return false
+}
+
+func (i Instr) String() string {
+	name := i.Op.String()
+	if i.Op == OpB && i.Cond != AL {
+		name += i.Cond.String()
+	}
+	tgt := i.Sym
+	if tgt == "" && i.Target != 0 {
+		tgt = fmt.Sprintf("%#x", i.Target)
+	}
+	switch i.Op {
+	case OpNOP, OpHLT, OpBKPT:
+		return name
+	case OpB, OpBL:
+		return fmt.Sprintf("%s %s", name, tgt)
+	case OpBX, OpBLX:
+		return fmt.Sprintf("%s %s", name, i.Rm)
+	case OpPUSH, OpPOP:
+		return fmt.Sprintf("%s %s", name, i.List)
+	case OpSECALL:
+		return fmt.Sprintf("%s #%d", name, i.Imm)
+	case OpMOVr, OpMVN:
+		return fmt.Sprintf("%s %s, %s", name, i.Rd, i.Rm)
+	case OpMOVi:
+		return fmt.Sprintf("%s %s, #%d", name, i.Rd, i.Imm)
+	case OpMOVW, OpMOVT:
+		if i.Sym != "" {
+			half := ":lower16:"
+			if i.Op == OpMOVT {
+				half = ":upper16:"
+			}
+			return fmt.Sprintf("%s %s, %s%s", name, i.Rd, half, i.Sym)
+		}
+		return fmt.Sprintf("%s %s, #%d", name, i.Rd, i.Imm)
+	case OpADR:
+		return fmt.Sprintf("%s %s, %s", name, i.Rd, tgt)
+	case OpCMPi:
+		return fmt.Sprintf("%s %s, #%d", name, i.Rn, i.Imm)
+	case OpCMPr, OpTST:
+		return fmt.Sprintf("%s %s, %s", name, i.Rn, i.Rm)
+	case OpADDi, OpSUBi, OpRSBi, OpLSLi, OpLSRi, OpASRi:
+		return fmt.Sprintf("%s %s, %s, #%d", name, i.Rd, i.Rn, i.Imm)
+	case OpADDr, OpSUBr, OpMUL, OpUDIV, OpSDIV, OpANDr, OpORRr, OpEORr, OpBICr, OpLSLr, OpLSRr:
+		return fmt.Sprintf("%s %s, %s, %s", name, i.Rd, i.Rn, i.Rm)
+	case OpLDRi, OpLDRBi, OpLDRHi:
+		return fmt.Sprintf("%s %s, [%s, #%d]", name, i.Rd, i.Rn, i.Imm)
+	case OpLDRr, OpLDRBr:
+		return fmt.Sprintf("%s %s, [%s, %s]", name, i.Rd, i.Rn, i.Rm)
+	case OpSTRi, OpSTRBi, OpSTRHi:
+		return fmt.Sprintf("%s %s, [%s, #%d]", name, i.Rd, i.Rn, i.Imm)
+	case OpSTRr, OpSTRBr:
+		return fmt.Sprintf("%s %s, [%s, %s]", name, i.Rd, i.Rn, i.Rm)
+	case OpLDRPC:
+		return fmt.Sprintf("%s [%s, %s, lsl #2]", name, i.Rn, i.Rm)
+	default:
+		return name
+	}
+}

@@ -1,0 +1,250 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondInvert(t *testing.T) {
+	pairs := [][2]Cond{{EQ, NE}, {CS, CC}, {MI, PL}, {VS, VC}, {HI, LS}, {GE, LT}, {GT, LE}}
+	for _, p := range pairs {
+		if p[0].Invert() != p[1] || p[1].Invert() != p[0] {
+			t.Errorf("%v/%v do not invert to each other", p[0], p[1])
+		}
+	}
+	if AL.Invert() != AL {
+		t.Errorf("AL.Invert() = %v", AL.Invert())
+	}
+	// Property: involution for all real conditions.
+	for c := EQ; c < AL; c++ {
+		if c.Invert().Invert() != c {
+			t.Errorf("Invert not involutive for %v", c)
+		}
+	}
+}
+
+func TestRegListOps(t *testing.T) {
+	l := Regs(R0, R4, LR, PC)
+	for _, r := range []Reg{R0, R4, LR, PC} {
+		if !l.Has(r) {
+			t.Errorf("list should contain %v", r)
+		}
+	}
+	for _, r := range []Reg{R1, SP, R12} {
+		if l.Has(r) {
+			t.Errorf("list should not contain %v", r)
+		}
+	}
+	if l.Count() != 4 {
+		t.Errorf("Count = %d, want 4", l.Count())
+	}
+	if got := l.String(); got != "{r0,r4,lr,pc}" {
+		t.Errorf("String = %q", got)
+	}
+	if Regs().Count() != 0 {
+		t.Error("empty list should count 0")
+	}
+}
+
+func TestRegListCountProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		l := RegList(v)
+		n := 0
+		for r := R0; r <= PC; r++ {
+			if l.Has(r) {
+				n++
+			}
+		}
+		return n == l.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrSizes(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		want uint32
+	}{
+		{Instr{Op: OpNOP}, 2},
+		{Instr{Op: OpMOVr, Rd: R0, Rm: R1}, 2},
+		{Instr{Op: OpMOVW, Rd: R0, Imm: 0x1234}, 4},
+		{Instr{Op: OpMOVT, Rd: R0, Imm: 0x1234}, 4},
+		{Instr{Op: OpBL, Sym: "f"}, 4},
+		{Instr{Op: OpB, Cond: AL, Sym: "l"}, 2},
+		{Instr{Op: OpB, Cond: EQ, Sym: "l"}, 2},
+		{Instr{Op: OpB, Cond: EQ, Sym: "l", Wide: true}, 4},
+		{Instr{Op: OpBX, Rm: LR}, 2},
+		{Instr{Op: OpBLX, Rm: R3}, 2},
+		{Instr{Op: OpPUSH, List: Regs(R4, LR)}, 2},
+		{Instr{Op: OpLDRPC, Rn: R0, Rm: R1}, 4},
+		{Instr{Op: OpSECALL, Imm: 1}, 4},
+		{Instr{Op: OpLDRi, Rd: R0, Rn: R1, Imm: 4}, 2},
+		{Instr{Op: OpLDRi, Rd: R0, Rn: R1, Imm: 200}, 4}, // out of narrow range
+		{Instr{Op: OpLDRi, Rd: R0, Rn: R8, Imm: 4}, 4},   // high register
+		{Instr{Op: OpADDi, Rd: R0, Rn: R0, Imm: 255}, 2}, // max narrow
+		{Instr{Op: OpADDi, Rd: R0, Rn: R0, Imm: 256}, 4}, // over
+		{Instr{Op: OpADDi, Rd: R0, Rn: R0, Imm: -1}, 4},  // negative
+		{Instr{Op: OpMOVi, Rd: R0, Imm: 255}, 2},
+		{Instr{Op: OpMOVi, Rd: R0, Imm: 300}, 4},
+		{Instr{Op: OpUDIV, Rd: R0, Rn: R1, Rm: R2}, 4},
+	}
+	for _, c := range cases {
+		if got := c.ins.Size(); got != c.want {
+			t.Errorf("%v: Size = %d, want %d", c.ins, got, c.want)
+		}
+	}
+}
+
+func TestBranchKinds(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		want BranchKind
+	}{
+		{Instr{Op: OpB, Cond: AL, Sym: "x"}, KindDirect},
+		{Instr{Op: OpB, Cond: NE, Sym: "x"}, KindCond},
+		{Instr{Op: OpBL, Sym: "f"}, KindCall},
+		{Instr{Op: OpBLX, Rm: R2}, KindIndirectCall},
+		{Instr{Op: OpBX, Rm: R2}, KindIndirectJump},
+		{Instr{Op: OpBX, Rm: LR}, KindReturn},
+		{Instr{Op: OpPOP, List: Regs(R4, PC)}, KindReturn},
+		{Instr{Op: OpPOP, List: Regs(R4)}, KindNone},
+		{Instr{Op: OpLDRPC, Rn: R0, Rm: R1}, KindIndirectJump},
+		{Instr{Op: OpSECALL, Imm: 3}, KindSecureCall},
+		{Instr{Op: OpHLT}, KindHalt},
+		{Instr{Op: OpADDi, Rd: R0, Rn: R0, Imm: 1}, KindNone},
+	}
+	for _, c := range cases {
+		if got := c.ins.Kind(); got != c.want {
+			t.Errorf("%v: Kind = %v, want %v", c.ins, got, c.want)
+		}
+		isB := c.want != KindNone && c.want != KindSecureCall && c.want != KindHalt
+		if got := c.ins.IsBranch(); got != isB {
+			t.Errorf("%v: IsBranch = %v, want %v", c.ins, got, isB)
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		reg  Reg
+		want bool
+	}{
+		{Instr{Op: OpMOVi, Rd: R3, Imm: 1}, R3, true},
+		{Instr{Op: OpMOVi, Rd: R3, Imm: 1}, R4, false},
+		{Instr{Op: OpLDRi, Rd: R5, Rn: R0}, R5, true},
+		{Instr{Op: OpSTRi, Rd: R5, Rn: R0}, R5, false}, // store reads Rd
+		{Instr{Op: OpPOP, List: Regs(R4, R5)}, R4, true},
+		{Instr{Op: OpBL, Sym: "f"}, LR, true},
+		{Instr{Op: OpBLX, Rm: R1}, LR, true},
+		{Instr{Op: OpCMPi, Rn: R1, Imm: 3}, R1, false},
+	}
+	for _, c := range cases {
+		if got := c.ins.WritesReg(c.reg); got != c.want {
+			t.Errorf("%v WritesReg(%v) = %v, want %v", c.ins, c.reg, got, c.want)
+		}
+	}
+}
+
+// randInstr draws a structurally valid random instruction for round-trip
+// testing.
+func randInstr(r *rand.Rand) Instr {
+	ops := []Op{OpMOVr, OpMOVi, OpMOVW, OpADDi, OpSUBr, OpCMPi, OpLDRi, OpSTRr,
+		OpPUSH, OpPOP, OpB, OpBL, OpBLX, OpBX, OpLDRPC, OpNOP, OpSECALL, OpHLT}
+	i := Instr{
+		Op:     ops[r.Intn(len(ops))],
+		Cond:   Cond(r.Intn(int(AL) + 1)),
+		Rd:     Reg(r.Intn(NumRegs)),
+		Rn:     Reg(r.Intn(NumRegs)),
+		Rm:     Reg(r.Intn(NumRegs)),
+		Imm:    int32(r.Uint32()),
+		List:   RegList(r.Uint32()),
+		Wide:   r.Intn(2) == 0,
+		Target: r.Uint32(),
+	}
+	if r.Intn(2) == 0 {
+		syms := []string{"", "loop", "f.label", "a_rather_long_symbol_name"}
+		i.Sym = syms[r.Intn(len(syms))]
+	}
+	return i
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for n := 0; n < 2000; n++ {
+		in := randInstr(r)
+		buf := in.Encode(nil)
+		if len(buf) != in.EncodedLen() {
+			t.Fatalf("EncodedLen %d != actual %d", in.EncodedLen(), len(buf))
+		}
+		out, used, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if used != len(buf) {
+			t.Fatalf("Decode consumed %d of %d", used, len(buf))
+		}
+		if out != in {
+			t.Fatalf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	// Any single-field difference must change the encoding.
+	base := Instr{Op: OpADDi, Rd: R1, Rn: R2, Imm: 5}
+	variants := []Instr{
+		{Op: OpSUBi, Rd: R1, Rn: R2, Imm: 5},
+		{Op: OpADDi, Rd: R3, Rn: R2, Imm: 5},
+		{Op: OpADDi, Rd: R1, Rn: R4, Imm: 5},
+		{Op: OpADDi, Rd: R1, Rn: R2, Imm: 6},
+		{Op: OpADDi, Rd: R1, Rn: R2, Imm: 5, Wide: true},
+		{Op: OpADDi, Rd: R1, Rn: R2, Imm: 5, Sym: "x"},
+	}
+	b0 := string(base.Encode(nil))
+	for _, v := range variants {
+		if string(v.Encode(nil)) == b0 {
+			t.Errorf("encoding collision: %v vs %v", base, v)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) should fail")
+	}
+	if _, _, err := Decode(make([]byte, 3)); err == nil {
+		t.Error("Decode(short) should fail")
+	}
+	// Symbol length overrunning the buffer.
+	in := Instr{Op: OpB, Sym: "target"}
+	buf := in.Encode(nil)
+	if _, _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Error("Decode(truncated symbol) should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		want string
+	}{
+		{Instr{Op: OpNOP}, "nop"},
+		{Instr{Op: OpMOVi, Rd: R2, Imm: 7}, "mov r2, #7"},
+		{Instr{Op: OpB, Cond: EQ, Sym: "done"}, "beq done"},
+		{Instr{Op: OpB, Cond: AL, Sym: "loop"}, "b loop"},
+		{Instr{Op: OpBX, Rm: LR}, "bx lr"},
+		{Instr{Op: OpPUSH, List: Regs(R4, LR)}, "push {r4,lr}"},
+		{Instr{Op: OpLDRi, Rd: R0, Rn: SP, Imm: 8}, "ldr r0, [sp, #8]"},
+		{Instr{Op: OpSECALL, Imm: 1}, "secall #1"},
+		{Instr{Op: OpLDRPC, Rn: R2, Rm: R4}, "ldrpc [r2, r4, lsl #2]"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+// Package linker implements RAP-Track's offline phase (paper §IV): it
+// rewrites an application so that every non-deterministic control transfer
+// executes inside a single contiguous MTB Activation Region (MTBAR), with
+// trampolines connecting the original sites (which stay in the MTB
+// Deactivation Region, MTBDR) to per-site stubs:
+//
+//	indirect calls   -> Fig. 3: site BL -> stub { nop*, BX Rm }
+//	returns/ijumps   -> Fig. 4: site B  -> stub { nop*, POP/BX/LDRPC }
+//	non-loop conds   -> Fig. 5: site Bcc-> stub { nop*, B taken }
+//	backward loops   -> Fig. 6: same as Fig. 5 (log every iteration)
+//	forward loops    -> Fig. 7: kept Bcc; fallthrough B -> stub { nop*, B fall }
+//
+// Simple loops (§IV-D) are not trampolined at all: a four-instruction block
+// before the loop entry SECALLs the CFA engine to log the loop-condition
+// register once, and the verifier recomputes the trip count.
+//
+// The stubs are collected into one function placed last in the image, so
+// two DWT comparators can bound MTBAR and two more can bound MTBDR.
+package linker
+
+import (
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/cfg"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/tz"
+)
+
+// MTBARFunc is the name of the synthesized stub region function.
+const MTBARFunc = "__raptrack_mtbar"
+
+// Options configures the offline phase.
+type Options struct {
+	// Base is the layout base address (default mem.NSCodeBase).
+	Base uint32
+	// NopPad is the number of NOPs prepended to each stub so the MTB has
+	// time to activate (must be >= the MTB's ArmLatency; default 2).
+	NopPad int
+	// LoopOpt enables the §IV-D simple-loop optimization.
+	LoopOpt bool
+	// NestedLoopOpt lets outer loops qualify once inner loops are
+	// optimized (RAP-Track behaviour; ignored unless LoopOpt).
+	NestedLoopOpt bool
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{Base: mem.NSCodeBase, NopPad: 2, LoopOpt: true, NestedLoopOpt: true}
+}
+
+// Stub describes one MTBAR trampoline stub and its site.
+type Stub struct {
+	Label string // qualified label of the stub ("__raptrack_mtbar.sN")
+	Class cfg.Class
+	Func  string // function the original branch lived in
+	Site  int    // original instruction index within Func
+
+	// Addresses resolved after layout.
+	SiteAddr     uint32 // trampoline instruction at the original site
+	GuardAddr    uint32 // ClassCondLoopFwd only: the kept conditional branch
+	RecordAddr   uint32 // stub instruction the MTB records as packet source
+	StaticTarget uint32 // cond classes: the stub's fixed destination (0 for indirect/return)
+
+	siteNewIdx, guardNewIdx, recordIdx int
+}
+
+// LoopSite describes one optimized simple loop. Static loops (fixed
+// iteration count, §IV-C) carry no SECALL at all: SecallAddr is zero and
+// the verifier derives the trip count from Loop.EntryValue.
+type LoopSite struct {
+	Loop *cfg.Loop
+	Func string
+
+	// SecallAddr is the SECALL instruction's address: engine-appended
+	// CFLog packets carry it as their source (0 for static loops).
+	// CondAddr is the loop's controlling conditional branch in the
+	// linked image.
+	SecallAddr uint32
+	CondAddr   uint32
+
+	secallNewIdx, condNewIdx int
+}
+
+// Stats summarizes the transformation.
+type Stats struct {
+	StubsByClass   map[cfg.Class]int
+	Stubs          int
+	OptimizedLoops int // loops instrumented with a loop-condition SECALL
+	StaticLoops    int // fixed-count loops needing no instrumentation
+	NopBytes       uint32
+	CodeBefore     uint32 // code bytes before rewriting (no data)
+	CodeAfter      uint32 // code bytes after rewriting (incl. MTBAR)
+}
+
+// Output is the linked artifact set.
+type Output struct {
+	Prog     *asm.Program
+	Image    *asm.Image
+	Analysis *cfg.Analysis
+
+	MTBAR asm.Range // stub region (DWT TSTART range)
+	MTBDR asm.Range // everything else in code (DWT TSTOP range)
+
+	// Stubs indexes stubs by RecordAddr (packet source); Sites by the
+	// trampoline instruction address; Guards by the kept conditional
+	// branch of forward-loop trampolines.
+	Stubs  map[uint32]*Stub
+	Sites  map[uint32]*Stub
+	Guards map[uint32]*Stub
+	// Loops indexes optimized loops by SecallAddr; LoopConds by the
+	// controlling branch address.
+	Loops     map[uint32]*LoopSite
+	LoopConds map[uint32]*LoopSite
+
+	Stats Stats
+}
+
+// edit replaces the instruction at one original index with a sequence.
+type edit struct {
+	seq    []isa.Instr
+	labels map[string]int // inner label -> offset (may equal len(seq))
+
+	stub              *Stub
+	siteOff, guardOff int
+
+	loop      *LoopSite
+	secallOff int
+}
+
+func (e *edit) addLabel(name string, off int) {
+	if e.labels == nil {
+		e.labels = make(map[string]int)
+	}
+	e.labels[name] = off
+}
+
+// prepend inserts block at the front, shifting labels and tracked offsets.
+func (e *edit) prepend(block []isa.Instr) {
+	n := len(block)
+	e.seq = append(append([]isa.Instr(nil), block...), e.seq...)
+	for k := range e.labels {
+		e.labels[k] += n
+	}
+	if e.stub != nil {
+		e.siteOff += n
+		e.guardOff += n
+	}
+	if e.loop != nil {
+		e.secallOff += n
+	}
+}
+
+// qualify turns a branch symbol into a globally resolvable name: local
+// labels become "func.label"; everything else is already global.
+func qualify(fn *asm.Function, sym string) string {
+	if _, ok := fn.Labels()[sym]; ok {
+		return fn.Name + "." + sym
+	}
+	return sym
+}
+
+func progCodeSize(p *asm.Program) uint32 {
+	var n uint32
+	for _, f := range p.Funcs {
+		n += f.Size()
+	}
+	return n
+}
+
+// Link runs the offline phase on p (which is not modified) and returns the
+// laid-out, attestable artifact set.
+func Link(p *asm.Program, opts Options) (*Output, error) {
+	if opts.Base == 0 {
+		opts.Base = mem.NSCodeBase
+	}
+	if opts.NopPad < 0 {
+		return nil, fmt.Errorf("linker: negative NopPad")
+	}
+	prog := p.Clone()
+	analysis, err := cfg.Analyze(prog, cfg.Options{LoopOpt: opts.LoopOpt, NestedLoopOpt: opts.NestedLoopOpt})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Output{
+		Prog:      prog,
+		Analysis:  analysis,
+		Stubs:     make(map[uint32]*Stub),
+		Sites:     make(map[uint32]*Stub),
+		Guards:    make(map[uint32]*Stub),
+		Loops:     make(map[uint32]*LoopSite),
+		LoopConds: make(map[uint32]*LoopSite),
+	}
+	out.Stats.StubsByClass = make(map[cfg.Class]int)
+	out.Stats.CodeBefore = progCodeSize(p)
+
+	mtbar := asm.NewFunction(MTBARFunc)
+	stubCount := 0
+	var allStubs []*Stub
+	var allLoops []*LoopSite
+
+	for _, fn := range prog.Funcs {
+		fa := analysis.Funcs[fn.Name]
+		edits := make(map[int]*edit)
+
+		// Which conditional branches are controlled by optimized loops
+		// (and therefore keep their original form)?
+		simpleCond := make(map[int]*cfg.Loop)
+		if opts.LoopOpt {
+			seenHeads := make(map[int]bool)
+			for _, l := range fa.Loops {
+				if !l.Simple {
+					continue
+				}
+				if seenHeads[l.Head] {
+					// Two optimized loops sharing an entry would double-log;
+					// keep the innermost (processed first), trampoline the rest.
+					l.Simple = false
+					continue
+				}
+				seenHeads[l.Head] = true
+				simpleCond[l.Cond] = l
+			}
+		}
+
+		// Pass 1: trampolines for non-deterministic branches.
+		for i, ins := range fn.Instrs {
+			class := fa.Classes[i]
+			if !class.NonDeterministic() {
+				continue
+			}
+			if _, ok := simpleCond[i]; ok {
+				continue // controlled by an optimized loop: no trampoline
+			}
+			if ins.IsBranch() && ins.Sym == "" && ins.Op == isa.OpB {
+				return nil, fmt.Errorf("linker: %s[%d]: direct branch without symbol", fn.Name, i)
+			}
+
+			label := fmt.Sprintf("s%d", stubCount)
+			stubCount++
+			full := MTBARFunc + "." + label
+			stub := &Stub{Label: full, Class: class, Func: fn.Name, Site: i}
+			mtbar.Label(label)
+			for k := 0; k < opts.NopPad; k++ {
+				mtbar.NOP()
+			}
+			stub.recordIdx = len(mtbar.Instrs)
+			e := &edit{stub: stub}
+
+			moved := ins
+			moved.Addr, moved.Target = 0, 0
+			switch class {
+			case cfg.ClassIndirectCall:
+				// Fig. 3: BL to the stub (sets LR to the site's successor),
+				// stub performs the indirect branch.
+				mtbar.Emit(isa.Instr{Op: isa.OpBX, Rm: ins.Rm})
+				e.seq = []isa.Instr{{Op: isa.OpBL, Sym: full, Wide: true}}
+			case cfg.ClassReturn, cfg.ClassIndirectJump:
+				// Fig. 4: the original POP/BX/LDRPC moves into the stub.
+				mtbar.Emit(moved)
+				e.seq = []isa.Instr{{Op: isa.OpB, Cond: isa.AL, Sym: full, Wide: true}}
+			case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack:
+				// Fig. 5/6: the conditional branch targets the stub; the
+				// stub branches to the original taken address.
+				mtbar.Emit(isa.Instr{Op: isa.OpB, Cond: isa.AL, Sym: qualify(fn, ins.Sym), Wide: true})
+				e.seq = []isa.Instr{{Op: isa.OpB, Cond: ins.Cond, Sym: full, Wide: true}}
+			case cfg.ClassCondLoopFwd:
+				// Fig. 7: keep the exit branch; log the not-taken (loop
+				// continue) path through the stub and bounce back to the
+				// original fallthrough.
+				fall := fmt.Sprintf("__rtk_fall%d", stubCount)
+				mtbar.Emit(isa.Instr{Op: isa.OpB, Cond: isa.AL, Sym: fn.Name + "." + fall, Wide: true})
+				e.seq = []isa.Instr{
+					ins, // kept conditional exit
+					{Op: isa.OpB, Cond: isa.AL, Sym: full, Wide: true},
+				}
+				e.seq[0].Addr, e.seq[0].Target = 0, 0
+				e.addLabel(fall, 2)
+				e.guardOff = 0
+				e.siteOff = 1
+			default:
+				return nil, fmt.Errorf("linker: unhandled class %v", class)
+			}
+			edits[i] = e
+			allStubs = append(allStubs, stub)
+			out.Stats.StubsByClass[class]++
+			out.Stats.NopBytes += uint32(opts.NopPad) * 2
+		}
+
+		// Pass 2: simple-loop instrumentation — entry block plus back-edge
+		// retarget so re-iterations skip the block. Static loops need
+		// neither: the verifier reconstructs them without evidence.
+		loopIdx := 0
+		for _, l := range fa.Loops {
+			if !l.Simple {
+				continue
+			}
+			site := &LoopSite{Loop: l, Func: fn.Name}
+			if l.Static {
+				site.secallNewIdx = -1
+				site.condNewIdx = l.Cond
+				allLoops = append(allLoops, site)
+				out.Stats.StaticLoops++
+				continue
+			}
+			body := fmt.Sprintf("__rtk_l%d_body", loopIdx)
+			loopIdx++
+
+			block := []isa.Instr{
+				{Op: isa.OpPUSH, List: isa.Regs(isa.R0)},
+				{Op: isa.OpMOVr, Rd: isa.R0, Rm: l.CounterReg},
+				{Op: isa.OpSECALL, Imm: tz.SvcImm(tz.SvcLogLoop, 0)},
+				{Op: isa.OpPOP, List: isa.Regs(isa.R0)},
+			}
+			if e, ok := edits[l.Head]; ok {
+				e.prepend(block)
+				e.addLabel(body, len(block))
+				e.loop = site
+				e.secallOff = 2 // block sits at the front after prepend
+			} else {
+				head := fn.Instrs[l.Head]
+				head.Addr, head.Target = 0, 0
+				e := &edit{seq: append(block, head), loop: site, secallOff: 2}
+				e.addLabel(body, len(block))
+				edits[l.Head] = e
+			}
+
+			// Retarget the back edge to skip the entry block.
+			tail := fn.Instrs[l.Tail]
+			tail.Addr, tail.Target = 0, 0
+			tail.Sym = body
+			if _, ok := edits[l.Tail]; ok {
+				return nil, fmt.Errorf("linker: %s: conflicting edit on loop tail %d", fn.Name, l.Tail)
+			}
+			edits[l.Tail] = &edit{seq: []isa.Instr{tail}}
+			site.condNewIdx = l.Cond // original index; mapped after rebuild
+			allLoops = append(allLoops, site)
+			out.Stats.OptimizedLoops++
+		}
+
+		newIndex := rebuild(fn, edits)
+
+		// Map tracked offsets to new instruction indices.
+		for i, e := range edits {
+			if e.stub != nil {
+				e.stub.siteNewIdx = newIndex[i] + e.siteOff
+				if e.stub.Class == cfg.ClassCondLoopFwd {
+					e.stub.guardNewIdx = newIndex[i] + e.guardOff
+				} else {
+					e.stub.guardNewIdx = -1
+				}
+			}
+			if e.loop != nil {
+				e.loop.secallNewIdx = newIndex[i] + e.secallOff
+			}
+		}
+		for _, site := range allLoops {
+			if site.Func == fn.Name {
+				site.condNewIdx = newIndex[site.condNewIdx]
+			}
+		}
+	}
+
+	// An empty MTBAR would make the DWT range degenerate; keep one NOP.
+	if len(mtbar.Instrs) == 0 {
+		mtbar.NOP()
+	}
+	prog.AddFunc(mtbar)
+
+	img, err := asm.Layout(prog, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	out.Image = img
+	out.Stats.CodeAfter = progCodeSize(prog)
+	out.Stats.Stubs = len(allStubs)
+
+	mtbarRange, ok := img.FuncRanges[MTBARFunc]
+	if !ok {
+		return nil, fmt.Errorf("linker: MTBAR region missing after layout")
+	}
+	out.MTBAR = mtbarRange
+	out.MTBDR = asm.Range{Base: opts.Base, Limit: mtbarRange.Base}
+
+	// Resolve addresses.
+	for _, stub := range allStubs {
+		fn := prog.Func(stub.Func)
+		stub.SiteAddr = fn.Instrs[stub.siteNewIdx].Addr
+		if stub.guardNewIdx >= 0 {
+			stub.GuardAddr = fn.Instrs[stub.guardNewIdx].Addr
+			out.Guards[stub.GuardAddr] = stub
+		}
+		rec := mtbar.Instrs[stub.recordIdx]
+		stub.RecordAddr = rec.Addr
+		switch stub.Class {
+		case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack, cfg.ClassCondLoopFwd:
+			stub.StaticTarget = rec.Target
+		}
+		out.Stubs[stub.RecordAddr] = stub
+		out.Sites[stub.SiteAddr] = stub
+	}
+	for _, site := range allLoops {
+		fn := prog.Func(site.Func)
+		site.CondAddr = fn.Instrs[site.condNewIdx].Addr
+		out.LoopConds[site.CondAddr] = site
+		if site.secallNewIdx >= 0 {
+			site.SecallAddr = fn.Instrs[site.secallNewIdx].Addr
+			out.Loops[site.SecallAddr] = site
+		}
+	}
+	return out, nil
+}
+
+// rebuild applies edits to fn, rewriting labels, and returns the mapping
+// from original instruction index to new index (length len(old)+1; the
+// final entry maps the end-of-function position).
+func rebuild(fn *asm.Function, edits map[int]*edit) []int {
+	old := fn.Instrs
+	byIdx := make(map[int][]string)
+	for name, idx := range fn.Labels() {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	var instrs []isa.Instr
+	labels := make(map[string]int)
+	newIndex := make([]int, len(old)+1)
+	for i := 0; i <= len(old); i++ {
+		newIndex[i] = len(instrs)
+		for _, name := range byIdx[i] {
+			labels[name] = len(instrs)
+		}
+		if i == len(old) {
+			break
+		}
+		if e := edits[i]; e != nil {
+			for name, off := range e.labels {
+				labels[name] = len(instrs) + off
+			}
+			instrs = append(instrs, e.seq...)
+		} else {
+			instrs = append(instrs, old[i])
+		}
+	}
+	fn.Instrs = instrs
+	fn.SetLabels(labels)
+	return newIndex
+}

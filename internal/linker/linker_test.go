@@ -1,0 +1,334 @@
+package linker
+
+import (
+	"testing"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/cfg"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+)
+
+func linkOne(t *testing.T, build func(p *asm.Program), opts Options) *Output {
+	t.Helper()
+	p := asm.NewProgram("t")
+	build(p)
+	out, err := Link(p, opts)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return out
+}
+
+func TestMTBARIsLastAndContiguous(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.BLX(isa.R2)
+		f.HLT()
+	}, DefaultOptions())
+	if out.MTBAR.Base != out.MTBDR.Limit {
+		t.Errorf("MTBAR %v does not abut MTBDR %v", out.MTBAR, out.MTBDR)
+	}
+	if out.MTBDR.Base != mem.NSCodeBase {
+		t.Errorf("MTBDR base %#x", out.MTBDR.Base)
+	}
+	if out.MTBAR.Limit-out.MTBAR.Base == 0 {
+		t.Error("empty MTBAR")
+	}
+	// Every stub's recording instruction must live inside MTBAR; every
+	// site outside it.
+	for rec, stub := range out.Stubs {
+		if !out.MTBAR.Contains(rec) {
+			t.Errorf("stub record %#x outside MTBAR", rec)
+		}
+		if out.MTBAR.Contains(stub.SiteAddr) {
+			t.Errorf("site %#x inside MTBAR", stub.SiteAddr)
+		}
+	}
+}
+
+func TestIndirectCallTrampolineShape(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.BLX(isa.R5)
+		f.HLT()
+	}, DefaultOptions())
+	if len(out.Stubs) != 1 {
+		t.Fatalf("stubs = %d", len(out.Stubs))
+	}
+	for _, stub := range out.Stubs {
+		if stub.Class != cfg.ClassIndirectCall {
+			t.Fatalf("class = %v", stub.Class)
+		}
+		// Site: BL (wide) into MTBAR.
+		site, _ := out.Image.InstrAt(stub.SiteAddr)
+		if site.Op != isa.OpBL || !out.MTBAR.Contains(site.Target) {
+			t.Errorf("site instr %v", site)
+		}
+		// Record: BX through the original register, after NOP padding.
+		rec, _ := out.Image.InstrAt(stub.RecordAddr)
+		if rec.Op != isa.OpBX || rec.Rm != isa.R5 {
+			t.Errorf("record instr %v", rec)
+		}
+		// NOP padding precedes the record.
+		nop, _ := out.Image.InstrAt(stub.RecordAddr - 2)
+		if nop.Op != isa.OpNOP {
+			t.Errorf("expected NOP before record, got %v", nop)
+		}
+	}
+}
+
+func TestReturnTrampolineMovesPop(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.PUSH(isa.R4, isa.LR)
+		f.POP(isa.R4, isa.PC)
+	}, DefaultOptions())
+	var found bool
+	for _, stub := range out.Stubs {
+		if stub.Class != cfg.ClassReturn {
+			continue
+		}
+		found = true
+		rec, _ := out.Image.InstrAt(stub.RecordAddr)
+		if rec.Op != isa.OpPOP || !rec.List.Has(isa.PC) || !rec.List.Has(isa.R4) {
+			t.Errorf("record instr %v", rec)
+		}
+		site, _ := out.Image.InstrAt(stub.SiteAddr)
+		if site.Op != isa.OpB || site.Cond != isa.AL {
+			t.Errorf("site instr %v", site)
+		}
+	}
+	if !found {
+		t.Fatal("no return stub")
+	}
+}
+
+func TestCondTrampolineTakenTarget(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.CMPi(isa.R0, 0)
+		f.BEQ("taken")
+		f.MOVi(isa.R1, 1)
+		f.Label("taken")
+		f.HLT()
+	}, DefaultOptions())
+	for _, stub := range out.Stubs {
+		if stub.Class != cfg.ClassCondNonLoop {
+			continue
+		}
+		site, _ := out.Image.InstrAt(stub.SiteAddr)
+		if site.Cond != isa.EQ || !site.Wide {
+			t.Errorf("site %v should keep the condition, wide", site)
+		}
+		if stub.StaticTarget != out.Image.Symbols["main.taken"] {
+			t.Errorf("static target %#x != taken label %#x",
+				stub.StaticTarget, out.Image.Symbols["main.taken"])
+		}
+	}
+}
+
+func TestForwardLoopTrampolineShape(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.MUL(isa.R0, isa.R1, isa.R2) // variable bound: not static
+		f.Label("loop")
+		f.LDRi(isa.R3, isa.R0, 0) // memory-coupled: not simple
+		f.CMPi(isa.R3, 0)
+		f.BEQ("done")
+		f.SUBi(isa.R0, isa.R0, 4)
+		f.B("loop")
+		f.Label("done")
+		f.HLT()
+	}, DefaultOptions())
+	var fwd *Stub
+	for _, s := range out.Stubs {
+		if s.Class == cfg.ClassCondLoopFwd {
+			fwd = s
+		}
+	}
+	if fwd == nil {
+		t.Fatal("no forward-loop stub")
+	}
+	// The guard (kept BEQ) precedes the inserted logging branch.
+	guard, _ := out.Image.InstrAt(fwd.GuardAddr)
+	if guard.Op != isa.OpB || guard.Cond != isa.EQ {
+		t.Errorf("guard %v", guard)
+	}
+	site, _ := out.Image.InstrAt(fwd.SiteAddr)
+	if site.Op != isa.OpB || site.Cond != isa.AL {
+		t.Errorf("site %v", site)
+	}
+	if fwd.SiteAddr != fwd.GuardAddr+guard.Size() {
+		t.Error("logging branch does not immediately follow the guard")
+	}
+	// The stub bounces back to the instruction after the logging branch.
+	if fwd.StaticTarget != fwd.SiteAddr+site.Size() {
+		t.Errorf("fall target %#x, want %#x", fwd.StaticTarget, fwd.SiteAddr+site.Size())
+	}
+}
+
+func TestLoopOptInsertsSecall(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.MUL(isa.R3, isa.R0, isa.R1) // runtime init: logged, not static
+		f.Label("loop")
+		f.SUBi(isa.R3, isa.R3, 1)
+		f.CMPi(isa.R3, 0)
+		f.BNE("loop")
+		f.HLT()
+	}, DefaultOptions())
+	if out.Stats.OptimizedLoops != 1 || out.Stats.StaticLoops != 0 {
+		t.Fatalf("loops: opt=%d static=%d", out.Stats.OptimizedLoops, out.Stats.StaticLoops)
+	}
+	if len(out.Loops) != 1 {
+		t.Fatalf("Loops map = %d", len(out.Loops))
+	}
+	for secall, site := range out.Loops {
+		ins, _ := out.Image.InstrAt(secall)
+		if ins.Op != isa.OpSECALL {
+			t.Errorf("SecallAddr holds %v", ins)
+		}
+		cond, _ := out.Image.InstrAt(site.CondAddr)
+		if cond.Op != isa.OpB || cond.Cond != isa.NE {
+			t.Errorf("CondAddr holds %v", cond)
+		}
+		if out.LoopConds[site.CondAddr] != site {
+			t.Error("LoopConds inconsistent")
+		}
+	}
+}
+
+func TestStaticLoopNeedsNothing(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.MOVi(isa.R3, 0)
+		f.Label("loop")
+		f.ADDi(isa.R3, isa.R3, 1)
+		f.CMPi(isa.R3, 10)
+		f.BLT("loop")
+		f.HLT()
+	}, DefaultOptions())
+	if out.Stats.StaticLoops != 1 || out.Stats.OptimizedLoops != 0 || out.Stats.Stubs != 0 {
+		t.Fatalf("stats: %+v", out.Stats)
+	}
+	if len(out.Loops) != 0 || len(out.LoopConds) != 1 {
+		t.Fatalf("maps: loops=%d conds=%d", len(out.Loops), len(out.LoopConds))
+	}
+	// Code grows only by the (single NOP) MTBAR placeholder.
+	if out.Stats.CodeAfter-out.Stats.CodeBefore > 4 {
+		t.Errorf("static loop added %d bytes", out.Stats.CodeAfter-out.Stats.CodeBefore)
+	}
+}
+
+func TestLoopOptDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LoopOpt = false
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.MOVi(isa.R3, 0)
+		f.Label("loop")
+		f.ADDi(isa.R3, isa.R3, 1)
+		f.CMPi(isa.R3, 10)
+		f.BLT("loop")
+		f.HLT()
+	}, opts)
+	// Without the optimization the loop branch gets a per-iteration stub.
+	if out.Stats.StubsByClass[cfg.ClassCondLoopBack] != 1 {
+		t.Errorf("stubs: %+v", out.Stats.StubsByClass)
+	}
+	if out.Stats.OptimizedLoops != 0 && out.Stats.StaticLoops != 0 {
+		t.Errorf("loops optimized despite LoopOpt=false")
+	}
+}
+
+func TestLeafFunctionUntouched(t *testing.T) {
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.PUSH(isa.LR)
+		f.BL("leaf")
+		f.POP(isa.PC)
+		g := p.AddFunc(asm.NewFunction("leaf"))
+		g.ADDi(isa.R0, isa.R0, 1)
+		g.RET()
+	}, DefaultOptions())
+	// Only main's POP{PC} needs a stub; the leaf's BX LR is deterministic.
+	if n := out.Stats.StubsByClass[cfg.ClassReturn]; n != 1 {
+		t.Errorf("return stubs = %d, want 1", n)
+	}
+}
+
+func TestNopPadConfigurable(t *testing.T) {
+	build := func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.BLX(isa.R1)
+		f.HLT()
+	}
+	for _, pad := range []int{0, 1, 3} {
+		opts := DefaultOptions()
+		opts.NopPad = pad
+		out := linkOne(t, build, opts)
+		for _, stub := range out.Stubs {
+			nops := 0
+			for a := out.MTBAR.Base; a < stub.RecordAddr; {
+				ins, ok := out.Image.InstrAt(a)
+				if !ok {
+					t.Fatalf("hole in MTBAR at %#x", a)
+				}
+				if ins.Op == isa.OpNOP {
+					nops++
+				}
+				a += ins.Size()
+			}
+			if nops != pad {
+				t.Errorf("pad=%d: found %d NOPs", pad, nops)
+			}
+		}
+	}
+}
+
+func TestOriginalProgramUnmodified(t *testing.T) {
+	p := asm.NewProgram("t")
+	f := p.NewFunc("main")
+	f.BLX(isa.R1)
+	f.HLT()
+	before := len(f.Instrs)
+	if _, err := Link(p, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 1 || len(f.Instrs) != before {
+		t.Error("Link modified its input program")
+	}
+	if f.Instrs[0].Op != isa.OpBLX {
+		t.Error("input instruction rewritten")
+	}
+}
+
+func TestStubMapsConsistent(t *testing.T) {
+	// A program with every class at once.
+	out := linkOne(t, func(p *asm.Program) {
+		f := p.NewFunc("main")
+		f.PUSH(isa.LR)
+		f.BLX(isa.R1) // icall
+		f.BX(isa.R2)  // ijump (unreachable but classified)
+		f.CMPi(isa.R0, 0)
+		f.BEQ("x") // cond
+		f.Label("back")
+		f.LDRi(isa.R3, isa.R0, 0)
+		f.CMPr(isa.R3, isa.R1)
+		f.BNE("back") // backward cond (not simple: CMPr)
+		f.Label("x")
+		f.POP(isa.PC) // return
+	}, DefaultOptions())
+	if len(out.Stubs) != len(out.Sites) {
+		t.Errorf("stubs %d != sites %d", len(out.Stubs), len(out.Sites))
+	}
+	for _, stub := range out.Stubs {
+		if out.Sites[stub.SiteAddr] != stub {
+			t.Errorf("site map inconsistent for %s", stub.Label)
+		}
+		if stub.Class == cfg.ClassCondLoopFwd && out.Guards[stub.GuardAddr] != stub {
+			t.Errorf("guard map inconsistent for %s", stub.Label)
+		}
+	}
+}

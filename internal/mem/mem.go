@@ -1,0 +1,303 @@
+// Package mem provides the simulated physical memory system: a sparse paged
+// 32-bit address space with memory-mapped device windows, plus the standard
+// AN505-inspired memory map used throughout the repository.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Standard memory map (see DESIGN.md §4). The layout loosely follows the
+// AN505 Cortex-M33 FPGA image used by the paper's prototype.
+const (
+	NSCodeBase  uint32 = 0x0020_0000 // Non-Secure application code
+	NSDataBase  uint32 = 0x2820_0000 // Non-Secure RAM (data + stack)
+	NSStackTop  uint32 = 0x2824_0000 // initial SP for applications
+	SCodeBase   uint32 = 0x1000_0000 // Secure World code (CFA engine)
+	SDataBase   uint32 = 0x3000_0000 // Secure RAM: CFLog / MTB SRAM target
+	PeriphBase  uint32 = 0x4000_0000 // peripheral MMIO window
+	PeriphLimit uint32 = 0x4100_0000
+)
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+type page [pageSize]byte
+
+// AccessKind distinguishes data accesses for fault reporting.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Fault describes a memory access failure (unmapped device hole, MPU
+// violation injected by upper layers, etc.).
+type Fault struct {
+	Addr uint32
+	Kind AccessKind
+	Why  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#08x: %s", f.Kind, f.Addr, f.Why)
+}
+
+// Device is a memory-mapped peripheral. Offsets are relative to the mapped
+// base. Devices are word-addressed; byte/halfword accesses to device space
+// are widened by Memory.
+type Device interface {
+	// Read32 returns the value of the register at off.
+	Read32(off uint32) uint32
+	// Write32 stores v to the register at off.
+	Write32(off uint32, v uint32)
+}
+
+type mapping struct {
+	base, limit uint32 // inclusive base, exclusive limit
+	dev         Device
+}
+
+// Memory is a sparse byte-addressable 32-bit physical memory with device
+// windows. Plain RAM pages are allocated on first touch; reads of untouched
+// RAM return zero. It is not safe for concurrent use.
+type Memory struct {
+	pages    map[uint32]*page
+	mappings []mapping // sorted by base
+
+	// Watch, when non-nil, observes every data access (after it succeeds).
+	// Used by tests and by the MPU integration in internal/tz.
+	Watch func(addr uint32, kind AccessKind, size int, value uint32)
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+// Map installs dev over [base, base+size). It panics if the window overlaps
+// an existing device mapping; device topology is program-construction-time
+// configuration, not runtime input.
+func (m *Memory) Map(base, size uint32, dev Device) {
+	limit := base + size
+	for _, mp := range m.mappings {
+		if base < mp.limit && mp.base < limit {
+			panic(fmt.Sprintf("mem: device window [%#x,%#x) overlaps [%#x,%#x)",
+				base, limit, mp.base, mp.limit))
+		}
+	}
+	m.mappings = append(m.mappings, mapping{base, limit, dev})
+	sort.Slice(m.mappings, func(i, j int) bool { return m.mappings[i].base < m.mappings[j].base })
+}
+
+func (m *Memory) device(addr uint32) (Device, uint32, bool) {
+	i := sort.Search(len(m.mappings), func(i int) bool { return m.mappings[i].limit > addr })
+	if i < len(m.mappings) && addr >= m.mappings[i].base {
+		return m.mappings[i].dev, addr - m.mappings[i].base, true
+	}
+	return nil, 0, false
+}
+
+func (m *Memory) pageFor(addr uint32, alloc bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func (m *Memory) observe(addr uint32, kind AccessKind, size int, v uint32) {
+	if m.Watch != nil {
+		m.Watch(addr, kind, size, v)
+	}
+}
+
+// inDeviceSpace reports whether addr falls in the peripheral window.
+func inDeviceSpace(addr uint32) bool { return addr >= PeriphBase && addr < PeriphLimit }
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32) (byte, error) {
+	if dev, off, ok := m.device(addr); ok {
+		v := dev.Read32(off &^ 3)
+		b := byte(v >> (8 * (off & 3)))
+		m.observe(addr, Read, 1, uint32(b))
+		return b, nil
+	}
+	if inDeviceSpace(addr) {
+		return 0, &Fault{addr, Read, "unmapped peripheral"}
+	}
+	var b byte
+	if p := m.pageFor(addr, false); p != nil {
+		b = p[addr&(pageSize-1)]
+	}
+	m.observe(addr, Read, 1, uint32(b))
+	return b, nil
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v byte) error {
+	if dev, off, ok := m.device(addr); ok {
+		word := dev.Read32(off &^ 3)
+		sh := 8 * (off & 3)
+		word = word&^(0xff<<sh) | uint32(v)<<sh
+		dev.Write32(off&^3, word)
+		m.observe(addr, Write, 1, uint32(v))
+		return nil
+	}
+	if inDeviceSpace(addr) {
+		return &Fault{addr, Write, "unmapped peripheral"}
+	}
+	p := m.pageFor(addr, true)
+	p[addr&(pageSize-1)] = v
+	m.observe(addr, Write, 1, uint32(v))
+	return nil
+}
+
+// Read16 reads a little-endian halfword.
+func (m *Memory) Read16(addr uint32) (uint16, error) {
+	if dev, off, ok := m.device(addr); ok {
+		v := dev.Read32(off &^ 3)
+		h := uint16(v >> (8 * (off & 2)))
+		m.observe(addr, Read, 2, uint32(h))
+		return h, nil
+	}
+	if inDeviceSpace(addr) {
+		return 0, &Fault{addr, Read, "unmapped peripheral"}
+	}
+	lo, err := m.read8Raw(addr)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.read8Raw(addr + 1)
+	if err != nil {
+		return 0, err
+	}
+	v := uint16(lo) | uint16(hi)<<8
+	m.observe(addr, Read, 2, uint32(v))
+	return v, nil
+}
+
+// Write16 writes a little-endian halfword.
+func (m *Memory) Write16(addr uint32, v uint16) error {
+	if dev, off, ok := m.device(addr); ok {
+		word := dev.Read32(off &^ 3)
+		sh := 8 * (off & 2)
+		word = word&^(0xffff<<sh) | uint32(v)<<sh
+		dev.Write32(off&^3, word)
+		m.observe(addr, Write, 2, uint32(v))
+		return nil
+	}
+	if inDeviceSpace(addr) {
+		return &Fault{addr, Write, "unmapped peripheral"}
+	}
+	m.write8Raw(addr, byte(v))
+	m.write8Raw(addr+1, byte(v>>8))
+	m.observe(addr, Write, 2, uint32(v))
+	return nil
+}
+
+// Read32 reads a little-endian word.
+func (m *Memory) Read32(addr uint32) (uint32, error) {
+	if dev, off, ok := m.device(addr); ok {
+		v := dev.Read32(off &^ 3)
+		m.observe(addr, Read, 4, v)
+		return v, nil
+	}
+	if inDeviceSpace(addr) {
+		return 0, &Fault{addr, Read, "unmapped peripheral"}
+	}
+	// Fast path: whole word within one page.
+	if addr&(pageSize-1) <= pageSize-4 {
+		var v uint32
+		if p := m.pageFor(addr, false); p != nil {
+			v = binary.LittleEndian.Uint32(p[addr&(pageSize-1):])
+		}
+		m.observe(addr, Read, 4, v)
+		return v, nil
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		b, err := m.read8Raw(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	m.observe(addr, Read, 4, v)
+	return v, nil
+}
+
+// Write32 writes a little-endian word.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	if dev, off, ok := m.device(addr); ok {
+		dev.Write32(off&^3, v)
+		m.observe(addr, Write, 4, v)
+		return nil
+	}
+	if inDeviceSpace(addr) {
+		return &Fault{addr, Write, "unmapped peripheral"}
+	}
+	if addr&(pageSize-1) <= pageSize-4 {
+		p := m.pageFor(addr, true)
+		binary.LittleEndian.PutUint32(p[addr&(pageSize-1):], v)
+		m.observe(addr, Write, 4, v)
+		return nil
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.write8Raw(addr+i, byte(v>>(8*i)))
+	}
+	m.observe(addr, Write, 4, v)
+	return nil
+}
+
+func (m *Memory) read8Raw(addr uint32) (byte, error) {
+	if inDeviceSpace(addr) {
+		return 0, &Fault{addr, Read, "unmapped peripheral"}
+	}
+	if p := m.pageFor(addr, false); p != nil {
+		return p[addr&(pageSize-1)], nil
+	}
+	return 0, nil
+}
+
+func (m *Memory) write8Raw(addr uint32, v byte) {
+	p := m.pageFor(addr, true)
+	p[addr&(pageSize-1)] = v
+}
+
+// LoadBytes copies b into memory starting at addr, bypassing device windows
+// (used by program loading and test setup).
+func (m *Memory) LoadBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.write8Raw(addr+uint32(i), v)
+	}
+}
+
+// ReadBytes copies size bytes starting at addr into a fresh slice,
+// bypassing device windows.
+func (m *Memory) ReadBytes(addr, size uint32) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		if p := m.pageFor(addr+uint32(i), false); p != nil {
+			out[i] = p[(addr+uint32(i))&(pageSize-1)]
+		}
+	}
+	return out
+}
+
+// PagesTouched returns the number of RAM pages allocated so far (test and
+// footprint-accounting aid).
+func (m *Memory) PagesTouched() int { return len(m.pages) }

@@ -1,0 +1,187 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	if err := m.Write32(0x1000, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(0x1000); v != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", v)
+	}
+	if v, _ := m.Read16(0x1000); v != 0xbeef {
+		t.Errorf("Read16 lo = %#x", v)
+	}
+	if v, _ := m.Read16(0x1002); v != 0xdead {
+		t.Errorf("Read16 hi = %#x", v)
+	}
+	if v, _ := m.Read8(0x1003); v != 0xde {
+		t.Errorf("Read8 = %#x", v)
+	}
+	if err := m.Write8(0x1001, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(0x1000); v != 0xdead42ef {
+		t.Errorf("after Write8: %#x", v)
+	}
+	if err := m.Write16(0x1002, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(0x1000); v != 0x123442ef {
+		t.Errorf("after Write16: %#x", v)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if v, _ := m.Read32(0x9999_0000); v != 0 {
+		t.Errorf("untouched RAM should read 0, got %#x", v)
+	}
+	if m.PagesTouched() != 0 {
+		t.Errorf("reads must not allocate pages, got %d", m.PagesTouched())
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	// A word straddling a 4 KB page boundary.
+	addr := uint32(0x1ffe)
+	if err := m.Write32(addr, 0xa1b2c3d4); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(addr); v != 0xa1b2c3d4 {
+		t.Errorf("cross-page Read32 = %#x", v)
+	}
+	if v, _ := m.Read8(0x1fff); v != 0xc3 {
+		t.Errorf("byte at boundary = %#x", v)
+	}
+}
+
+func TestLoadReadBytes(t *testing.T) {
+	m := New()
+	data := []byte{1, 2, 3, 4, 5, 6, 7}
+	m.LoadBytes(0x2000, data)
+	got := m.ReadBytes(0x2000, 7)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], data[i])
+		}
+	}
+}
+
+// stubDev is a 4-register device recording accesses.
+type stubDev struct {
+	regs   [4]uint32
+	reads  int
+	writes int
+}
+
+func (d *stubDev) Read32(off uint32) uint32 {
+	d.reads++
+	return d.regs[off/4%4]
+}
+
+func (d *stubDev) Write32(off uint32, v uint32) {
+	d.writes++
+	d.regs[off/4%4] = v
+}
+
+func TestDeviceMapping(t *testing.T) {
+	m := New()
+	d := &stubDev{}
+	m.Map(PeriphBase, 0x100, d)
+	if err := m.Write32(PeriphBase+4, 77); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(PeriphBase + 4); v != 77 {
+		t.Errorf("device reg = %d", v)
+	}
+	if d.writes == 0 || d.reads == 0 {
+		t.Error("device not exercised")
+	}
+	// Sub-word access widening.
+	if b, _ := m.Read8(PeriphBase + 4); b != 77 {
+		t.Errorf("device byte = %d", b)
+	}
+	if err := m.Write8(PeriphBase+5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(PeriphBase + 4); v != 77|1<<8 {
+		t.Errorf("device after byte write = %#x", v)
+	}
+}
+
+func TestUnmappedPeripheralFaults(t *testing.T) {
+	m := New()
+	var f *Fault
+	if _, err := m.Read32(PeriphBase + 0x5000); !errors.As(err, &f) {
+		t.Errorf("expected Fault, got %v", err)
+	}
+	if err := m.Write32(PeriphBase+0x5000, 1); !errors.As(err, &f) {
+		t.Errorf("expected Fault, got %v", err)
+	} else if f.Kind != Write {
+		t.Errorf("fault kind = %v", f.Kind)
+	}
+}
+
+func TestOverlappingDevicePanics(t *testing.T) {
+	m := New()
+	m.Map(PeriphBase, 0x100, &stubDev{})
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping Map should panic")
+		}
+	}()
+	m.Map(PeriphBase+0x80, 0x100, &stubDev{})
+}
+
+func TestWatchObserver(t *testing.T) {
+	m := New()
+	var events int
+	m.Watch = func(addr uint32, kind AccessKind, size int, value uint32) { events++ }
+	_ = m.Write32(0x100, 1)
+	_, _ = m.Read32(0x100)
+	_ = m.Write8(0x104, 2)
+	if events != 3 {
+		t.Errorf("watch events = %d, want 3", events)
+	}
+}
+
+func TestReadWriteProperty(t *testing.T) {
+	m := New()
+	f := func(addr uint32, v uint32) bool {
+		addr &= 0x3fff_fffc // stay out of the peripheral window, aligned
+		if err := m.Write32(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read32(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleEndianProperty(t *testing.T) {
+	m := New()
+	f := func(addr uint32, v uint32) bool {
+		addr &= 0x3fff_fff0
+		if err := m.Write32(addr, v); err != nil {
+			return false
+		}
+		b0, _ := m.Read8(addr)
+		b1, _ := m.Read8(addr + 1)
+		b2, _ := m.Read8(addr + 2)
+		b3, _ := m.Read8(addr + 3)
+		composed := uint32(b0) | uint32(b1)<<8 | uint32(b2)<<16 | uint32(b3)<<24
+		return composed == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package periph provides deterministic synthetic peripherals for the
+// evaluation workloads. The paper's applications drive real sensors
+// (ultrasonic ranger, Geiger tube, GPS UART, temperature sensor, syringe
+// stepper); here each is replaced by a memory-mapped device fed from a
+// seeded PRNG so that executions are reproducible while exercising the
+// same control-flow patterns (polling loops, byte-stream parsing, command
+// dispatch).
+package periph
+
+import "raptrack/internal/mem"
+
+// Standard device base addresses inside the peripheral window.
+const (
+	UARTBase       = mem.PeriphBase + 0x0000
+	UltrasonicBase = mem.PeriphBase + 0x1000
+	GeigerBase     = mem.PeriphBase + 0x2000
+	TempBase       = mem.PeriphBase + 0x3000
+	GPIOBase       = mem.PeriphBase + 0x4000
+	HostLinkBase   = mem.PeriphBase + 0x5000
+	DeviceWindow   = 0x100 // bytes mapped per device
+)
+
+// Rand is a small deterministic xorshift32 PRNG used by all devices.
+type Rand struct{ state uint32 }
+
+// NewRand seeds a generator (seed 0 is remapped to a fixed constant).
+func NewRand(seed uint32) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	return &Rand{state: seed}
+}
+
+// Next returns the next 32-bit value.
+func (r *Rand) Next() uint32 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	r.state = x
+	return x
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n uint32) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return r.Next() % n
+}
+
+// UART register offsets.
+const (
+	UARTData   = 0x00 // RX data (read consumes), TX data (write)
+	UARTStatus = 0x04 // bit0: RX available, bit1: TX ready (always)
+)
+
+// UART is a byte-stream serial port. The RX stream is fixed at
+// construction; TX bytes are captured for inspection.
+type UART struct {
+	rx  []byte
+	pos int
+	TX  []byte
+}
+
+// NewUART creates a UART whose receive side will deliver stream.
+func NewUART(stream []byte) *UART { return &UART{rx: stream} }
+
+// Read32 implements mem.Device.
+func (u *UART) Read32(off uint32) uint32 {
+	switch off {
+	case UARTData:
+		if u.pos < len(u.rx) {
+			b := u.rx[u.pos]
+			u.pos++
+			return uint32(b)
+		}
+		return 0
+	case UARTStatus:
+		s := uint32(2) // TX always ready
+		if u.pos < len(u.rx) {
+			s |= 1
+		}
+		return s
+	}
+	return 0
+}
+
+// Write32 implements mem.Device.
+func (u *UART) Write32(off uint32, v uint32) {
+	if off == UARTData {
+		u.TX = append(u.TX, byte(v))
+	}
+}
+
+// Ultrasonic ranger registers.
+const (
+	UltraTrigger = 0x00 // write 1 to emit a pulse
+	UltraEcho    = 0x04 // reads 1 while the echo is high
+)
+
+// Ultrasonic models a Seeed-style ranger: after a trigger, the echo line
+// stays high for a pseudo-random number of polls (the application measures
+// distance by counting polls — a variable-duration loop).
+type Ultrasonic struct {
+	rng      *Rand
+	remain   uint32
+	MinPolls uint32
+	MaxPolls uint32
+	Triggers int
+}
+
+// NewUltrasonic creates a ranger with echo widths in [min, max] polls.
+func NewUltrasonic(seed, min, max uint32) *Ultrasonic {
+	if max < min {
+		max = min
+	}
+	return &Ultrasonic{rng: NewRand(seed), MinPolls: min, MaxPolls: max}
+}
+
+// Read32 implements mem.Device.
+func (u *Ultrasonic) Read32(off uint32) uint32 {
+	if off == UltraEcho {
+		if u.remain > 0 {
+			u.remain--
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Write32 implements mem.Device.
+func (u *Ultrasonic) Write32(off uint32, v uint32) {
+	if off == UltraTrigger && v != 0 {
+		u.Triggers++
+		u.remain = u.MinPolls + u.rng.Intn(u.MaxPolls-u.MinPolls+1)
+	}
+}
+
+// Geiger counter registers.
+const (
+	GeigerPulse = 0x00 // reads 1 when a decay event is pending (read clears)
+	GeigerTick  = 0x04 // advances simulated time by one sampling slot
+)
+
+// Geiger models a pocket Geiger tube: each sampling slot has a
+// pseudo-random chance of holding a decay event.
+type Geiger struct {
+	rng     *Rand
+	pending uint32
+	// RatePercent is the per-slot event probability (0-100).
+	RatePercent uint32
+}
+
+// NewGeiger creates a tube with the given per-slot event rate.
+func NewGeiger(seed, ratePercent uint32) *Geiger {
+	return &Geiger{rng: NewRand(seed), RatePercent: ratePercent}
+}
+
+// Read32 implements mem.Device.
+func (g *Geiger) Read32(off uint32) uint32 {
+	if off == GeigerPulse {
+		p := g.pending
+		g.pending = 0
+		return p
+	}
+	return 0
+}
+
+// Write32 implements mem.Device.
+func (g *Geiger) Write32(off uint32, v uint32) {
+	if off == GeigerTick {
+		if g.rng.Intn(100) < g.RatePercent {
+			g.pending = 1
+		}
+	}
+}
+
+// Temperature sensor registers (Grove-style analog thermistor front end).
+const (
+	TempSample = 0x00 // raw 10-bit ADC reading; a new sample per read
+)
+
+// Temp produces a slowly wandering raw ADC sequence.
+type Temp struct {
+	rng *Rand
+	raw uint32
+}
+
+// NewTemp creates a sensor starting near mid-scale.
+func NewTemp(seed uint32) *Temp { return &Temp{rng: NewRand(seed), raw: 512} }
+
+// Read32 implements mem.Device.
+func (t *Temp) Read32(off uint32) uint32 {
+	if off == TempSample {
+		// Random walk clamped to 10 bits.
+		delta := int32(t.rng.Intn(9)) - 4
+		v := int32(t.raw) + delta
+		if v < 0 {
+			v = 0
+		}
+		if v > 1023 {
+			v = 1023
+		}
+		t.raw = uint32(v)
+		return t.raw
+	}
+	return 0
+}
+
+// Write32 implements mem.Device.
+func (t *Temp) Write32(uint32, uint32) {}
+
+// GPIO registers.
+const (
+	GPIOOut = 0x00 // output latch
+)
+
+// GPIO is an output port that counts writes (stepper pulses, valve
+// toggles).
+type GPIO struct {
+	Latch  uint32
+	Writes int
+}
+
+// Read32 implements mem.Device.
+func (g *GPIO) Read32(off uint32) uint32 {
+	if off == GPIOOut {
+		return g.Latch
+	}
+	return 0
+}
+
+// Write32 implements mem.Device.
+func (g *GPIO) Write32(off uint32, v uint32) {
+	if off == GPIOOut {
+		g.Latch = v
+		g.Writes++
+	}
+}
+
+// HostLink registers.
+const (
+	HostData = 0x00 // result word sink
+)
+
+// HostLink captures 32-bit result words the application reports.
+type HostLink struct{ Words []uint32 }
+
+// Read32 implements mem.Device.
+func (h *HostLink) Read32(uint32) uint32 { return 0 }
+
+// Write32 implements mem.Device.
+func (h *HostLink) Write32(off uint32, v uint32) {
+	if off == HostData {
+		h.Words = append(h.Words, v)
+	}
+}

@@ -1,0 +1,138 @@
+package periph
+
+import "testing"
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(0).Next() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+	}
+	if NewRand(1).Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func TestUARTStream(t *testing.T) {
+	u := NewUART([]byte{10, 20, 30})
+	if u.Read32(UARTStatus)&1 == 0 {
+		t.Fatal("RX should be available")
+	}
+	for i, want := range []uint32{10, 20, 30} {
+		if got := u.Read32(UARTData); got != want {
+			t.Errorf("byte %d = %d", i, got)
+		}
+	}
+	if u.Read32(UARTStatus)&1 != 0 {
+		t.Fatal("RX should be exhausted")
+	}
+	if u.Read32(UARTData) != 0 {
+		t.Error("exhausted read should be 0")
+	}
+	u.Write32(UARTData, 'A')
+	u.Write32(UARTData, 'B')
+	if string(u.TX) != "AB" {
+		t.Errorf("TX = %q", u.TX)
+	}
+	if u.Read32(UARTStatus)&2 == 0 {
+		t.Error("TX must always be ready")
+	}
+}
+
+func TestUltrasonicEchoWidths(t *testing.T) {
+	u := NewUltrasonic(1, 5, 9)
+	for trial := 0; trial < 20; trial++ {
+		u.Write32(UltraTrigger, 1)
+		polls := 0
+		for u.Read32(UltraEcho) == 1 {
+			polls++
+			if polls > 100 {
+				t.Fatal("echo never fell")
+			}
+		}
+		if polls < 5 || polls > 9 {
+			t.Errorf("trial %d: %d polls outside [5,9]", trial, polls)
+		}
+	}
+	if u.Triggers != 20 {
+		t.Errorf("Triggers = %d", u.Triggers)
+	}
+	// No trigger, no echo.
+	v := NewUltrasonic(1, 5, 9)
+	if v.Read32(UltraEcho) != 0 {
+		t.Error("echo high without trigger")
+	}
+}
+
+func TestGeigerEvents(t *testing.T) {
+	g := NewGeiger(11, 50)
+	events := 0
+	for i := 0; i < 1000; i++ {
+		g.Write32(GeigerTick, 1)
+		if g.Read32(GeigerPulse) == 1 {
+			events++
+		}
+		if g.Read32(GeigerPulse) != 0 {
+			t.Fatal("pulse must clear on read")
+		}
+	}
+	if events < 400 || events > 600 {
+		t.Errorf("events = %d, expected ~500 at 50%%", events)
+	}
+	never := NewGeiger(11, 0)
+	for i := 0; i < 100; i++ {
+		never.Write32(GeigerTick, 1)
+		if never.Read32(GeigerPulse) != 0 {
+			t.Fatal("0%% rate produced an event")
+		}
+	}
+}
+
+func TestTempRandomWalkBounds(t *testing.T) {
+	d := NewTemp(5)
+	prev := uint32(512)
+	for i := 0; i < 5000; i++ {
+		v := d.Read32(TempSample)
+		if v > 1023 {
+			t.Fatalf("sample %d out of 10-bit range", v)
+		}
+		diff := int32(v) - int32(prev)
+		if diff < -4 || diff > 4 {
+			t.Fatalf("step %d too large", diff)
+		}
+		prev = v
+	}
+}
+
+func TestGPIOLatchAndCount(t *testing.T) {
+	g := &GPIO{}
+	g.Write32(GPIOOut, 1)
+	g.Write32(GPIOOut, 0)
+	g.Write32(GPIOOut, 1)
+	if g.Latch != 1 || g.Writes != 3 {
+		t.Errorf("latch=%d writes=%d", g.Latch, g.Writes)
+	}
+	if g.Read32(GPIOOut) != 1 {
+		t.Error("latch readback")
+	}
+}
+
+func TestHostLinkCapture(t *testing.T) {
+	h := &HostLink{}
+	h.Write32(HostData, 42)
+	h.Write32(HostData, 43)
+	h.Write32(0x40, 99) // not the data register
+	if len(h.Words) != 2 || h.Words[0] != 42 || h.Words[1] != 43 {
+		t.Errorf("words = %v", h.Words)
+	}
+}

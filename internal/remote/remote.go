@@ -1,0 +1,179 @@
+// Package remote implements the RA challenge-response protocol of paper
+// §II-C over a byte stream (net.Conn, net.Pipe, ...): the Verifier sends a
+// fresh challenge, the Prover runs the attested application and streams
+// signed (partial) reports back as the MTB watermark fires, and the
+// Verifier authenticates the chain and reconstructs the path.
+//
+// Wire format: length-prefixed frames, each `u8 type | u32 len | payload`.
+//
+//	CHAL (Verifier->Prover): attest.Challenge encoding
+//	RPRT (Prover->Verifier): attest.Report encoding; the Final flag inside
+//	                         the report ends the session
+//	FAIL (Prover->Verifier): UTF-8 error string (unknown app, run fault)
+//
+// Evidence integrity does not depend on the transport: a man in the
+// middle can drop the session but any modification is caught by the
+// report authenticators and chain checks.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/verify"
+)
+
+// Frame types.
+const (
+	frameChal byte = 1
+	frameRprt byte = 2
+	frameFail byte = 3
+)
+
+// maxFrame bounds a frame payload (a report window plus headers).
+const maxFrame = 1 << 20
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("remote: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ProverEndpoint serves attestation requests for a set of provisioned
+// applications. Each request constructs a fresh Prover via the factory
+// (applications are single-session).
+type ProverEndpoint struct {
+	factories map[string]func() (*core.Prover, error)
+}
+
+// NewProverEndpoint returns an empty endpoint.
+func NewProverEndpoint() *ProverEndpoint {
+	return &ProverEndpoint{factories: make(map[string]func() (*core.Prover, error))}
+}
+
+// Provision registers an application under its challenge name.
+func (p *ProverEndpoint) Provision(app string, factory func() (*core.Prover, error)) {
+	p.factories[app] = factory
+}
+
+// ServeOne handles a single challenge-response session on conn. Reports
+// are streamed as the engine emits them (partials included), so the
+// Verifier receives evidence while the application still runs.
+func (p *ProverEndpoint) ServeOne(conn io.ReadWriter) error {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("remote: reading challenge: %w", err)
+	}
+	if typ != frameChal {
+		return fmt.Errorf("remote: expected challenge frame, got type %d", typ)
+	}
+	chal, err := attest.DecodeChallenge(payload)
+	if err != nil {
+		return err
+	}
+	factory, ok := p.factories[chal.App]
+	if !ok {
+		_ = writeFrame(conn, frameFail, []byte(fmt.Sprintf("unknown application %q", chal.App)))
+		return fmt.Errorf("remote: unknown application %q", chal.App)
+	}
+	prover, err := factory()
+	if err != nil {
+		_ = writeFrame(conn, frameFail, []byte("prover construction failed"))
+		return err
+	}
+
+	var sendErr error
+	prover.Engine.OnReport = func(r *attest.Report) {
+		if sendErr == nil {
+			sendErr = writeFrame(conn, frameRprt, r.Encode())
+		}
+	}
+	if _, _, err := prover.Attest(chal); err != nil {
+		_ = writeFrame(conn, frameFail, []byte(err.Error()))
+		return fmt.Errorf("remote: attested run: %w", err)
+	}
+	if sendErr != nil {
+		return fmt.Errorf("remote: streaming reports: %w", sendErr)
+	}
+	return nil
+}
+
+// SessionResult is what the Verifier side learns from one session.
+type SessionResult struct {
+	Verdict *verify.Verdict
+	Reports []*attest.Report
+}
+
+// RequestAttestation drives the Verifier side of one session on conn:
+// send a fresh challenge for app, collect the report chain, authenticate
+// and reconstruct.
+func RequestAttestation(conn io.ReadWriter, app string, verifier *verify.Verifier) (*SessionResult, error) {
+	chal, err := attest.NewChallenge(app)
+	if err != nil {
+		return nil, err
+	}
+	return RequestWithChallenge(conn, chal, verifier)
+}
+
+// RequestWithChallenge is RequestAttestation with a caller-supplied
+// challenge (tests use it to control nonces).
+func RequestWithChallenge(conn io.ReadWriter, chal attest.Challenge, verifier *verify.Verifier) (*SessionResult, error) {
+	if err := writeFrame(conn, frameChal, chal.Encode()); err != nil {
+		return nil, fmt.Errorf("remote: sending challenge: %w", err)
+	}
+	var reports []*attest.Report
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("remote: reading report stream: %w", err)
+		}
+		switch typ {
+		case frameRprt:
+			r, err := attest.DecodeReport(payload)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, r)
+			if r.Final {
+				verdict, err := verifier.Verify(chal, reports)
+				if err != nil {
+					return nil, err
+				}
+				return &SessionResult{Verdict: verdict, Reports: reports}, nil
+			}
+		case frameFail:
+			return nil, fmt.Errorf("remote: prover reported failure: %s", payload)
+		default:
+			return nil, fmt.Errorf("remote: unexpected frame type %d", typ)
+		}
+	}
+}
+
+// ErrSessionTruncated is returned when the stream ends before the final
+// report.
+var ErrSessionTruncated = errors.New("remote: session truncated before the final report")

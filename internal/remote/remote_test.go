@@ -1,0 +1,203 @@
+package remote
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/linker"
+	"raptrack/internal/verify"
+)
+
+// testSetup provisions one app on a fresh endpoint and builds the
+// matching verifier.
+func testSetup(t *testing.T, appName string, watermark int) (*ProverEndpoint, *verify.Verifier, *linker.Output) {
+	t.Helper()
+	a, err := apps.Get(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := NewProverEndpoint()
+	ep.Provision(appName, func() (*core.Prover, error) {
+		return core.NewProver(link, key, core.ProverConfig{
+			SetupMem:  a.SetupMem(),
+			Watermark: watermark,
+		})
+	})
+	return ep, core.NewVerifier(link, key), link
+}
+
+// session runs one end-to-end challenge-response over an in-memory pipe.
+func session(t *testing.T, ep *ProverEndpoint, v *verify.Verifier, app string) (*SessionResult, error) {
+	t.Helper()
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srvErr error
+	go func() {
+		defer wg.Done()
+		defer srv.Close()
+		srvErr = ep.ServeOne(srv)
+	}()
+	res, err := RequestAttestation(cli, app, v)
+	wg.Wait()
+	if err == nil && srvErr != nil {
+		t.Logf("server-side: %v", srvErr)
+	}
+	return res, err
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	res, err := session(t, ep, v, "prime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict.OK {
+		t.Fatalf("verdict: %s", res.Verdict.Reason)
+	}
+	if len(res.Reports) == 0 || !res.Reports[len(res.Reports)-1].Final {
+		t.Fatalf("report chain: %d reports", len(res.Reports))
+	}
+}
+
+func TestRemoteStreamsPartials(t *testing.T) {
+	ep, v, _ := testSetup(t, "gps", 512)
+	res, err := session(t, ep, v, "gps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict.OK {
+		t.Fatalf("verdict: %s", res.Verdict.Reason)
+	}
+	if len(res.Reports) < 5 {
+		t.Fatalf("expected many partial reports at a 512 B watermark, got %d", len(res.Reports))
+	}
+}
+
+func TestRemoteUnknownApp(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	_, err := session(t, ep, v, "missing")
+	if err == nil || !strings.Contains(err.Error(), "unknown application") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// mitm forwards frames between two pipes, mutating report payloads.
+func mitm(t *testing.T, mutate func([]byte)) (clientSide net.Conn, proverSide net.Conn) {
+	t.Helper()
+	c1, m1 := net.Pipe() // client <-> mitm
+	m2, p2 := net.Pipe() // mitm <-> prover
+	// challenge direction: pass through
+	go func() {
+		for {
+			typ, payload, err := readFrame(m1)
+			if err != nil {
+				m2.Close()
+				return
+			}
+			if err := writeFrame(m2, typ, payload); err != nil {
+				return
+			}
+		}
+	}()
+	// report direction: mutate
+	go func() {
+		for {
+			typ, payload, err := readFrame(m2)
+			if err != nil {
+				m1.Close()
+				return
+			}
+			if typ == frameRprt {
+				mutate(payload)
+			}
+			if err := writeFrame(m1, typ, payload); err != nil {
+				return
+			}
+		}
+	}()
+	return c1, p2
+}
+
+func TestRemoteTamperInTransitRejected(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	cli, srv := mitm(t, func(b []byte) {
+		if len(b) > 60 {
+			b[60] ^= 0x01 // flip a bit inside the report body
+		}
+	})
+	defer cli.Close()
+	go func() {
+		defer srv.Close()
+		_ = ep.ServeOne(srv)
+	}()
+	_, err := RequestAttestation(cli, "prime", v)
+	if err == nil {
+		t.Fatal("tampered transit accepted")
+	}
+	if !strings.Contains(err.Error(), "authenticator") && !strings.Contains(err.Error(), "chain") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRemoteTruncatedSessionFails(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 512)
+	cli, srv := net.Pipe()
+	go func() {
+		// Serve but cut the connection after the first report frame.
+		typ, payload, err := readFrame(srv)
+		if err != nil || typ != frameChal {
+			srv.Close()
+			return
+		}
+		chal, _ := attest.DecodeChallenge(payload)
+		prover, _ := func() (*core.Prover, error) {
+			a, _ := apps.Get("prime")
+			link, _ := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+			key, _ := attest.GenerateHMACKey()
+			return core.NewProver(link, key, core.ProverConfig{SetupMem: a.SetupMem(), Watermark: 512})
+		}()
+		sent := false
+		prover.Engine.OnReport = func(r *attest.Report) {
+			if !sent {
+				_ = writeFrame(srv, frameRprt, r.Encode())
+				sent = true
+			}
+		}
+		_, _, _ = prover.Attest(chal)
+		srv.Close()
+	}()
+	defer cli.Close()
+	_, err := RequestAttestation(cli, "prime", v)
+	if err == nil {
+		t.Fatal("truncated session accepted")
+	}
+	_ = ep
+}
+
+func TestFrameLimits(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		defer c2.Close()
+		hdr := []byte{frameRprt, 0xff, 0xff, 0xff, 0x7f} // absurd length
+		_, _ = c2.Write(hdr)
+	}()
+	if _, _, err := readFrame(c1); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized frame: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package report runs the paper's evaluation matrix — every workload under
+// all four systems (uninstrumented baseline, naive MTB, RAP-Track, TRACES)
+// — and formats the tables behind each figure of the paper (Fig. 1a/1b, 8,
+// 9, 10 and the footprint/ablation extras). It is shared by cmd/benchsuite
+// and the root bench_test.go harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/baseline/naive"
+	"raptrack/internal/baseline/traces"
+	"raptrack/internal/core"
+)
+
+// Measurement holds one workload's numbers across all systems.
+type Measurement struct {
+	App string
+
+	// Runtime (CPU cycles for the application run).
+	BaselineCycles uint64
+	NaiveCycles    uint64 // == BaselineCycles: tracing is parallel
+	RAPCycles      uint64
+	TracesCycles   uint64
+
+	// CFLog bytes generated over the whole run.
+	NaiveLog  uint64
+	RAPLog    uint64
+	TracesLog uint64
+
+	// Code size (bytes; naive == baseline, it adds no instructions).
+	BaselineCode uint32
+	RAPCode      uint32
+	TracesCode   uint32
+
+	// Session details.
+	RAPPartials    int
+	NaivePartials  int
+	TracesPartials int
+	RAPStubs       int
+	RAPLoops       int // loops instrumented with a loop-condition SECALL
+	RAPStatic      int // fixed-count loops reconstructed with no evidence
+	TracesVeneers  int
+	TracesCalls    uint64
+	RAPSecureCalls uint64
+	RAPSetupCycles uint64
+	RAPPauseCycles uint64
+
+	// Verification result for the RAP-Track evidence.
+	Verified     bool
+	VerifyReason string
+}
+
+// Measure runs the full system matrix on one workload.
+func Measure(a apps.App) (*Measurement, error) {
+	m := &Measurement{App: a.Name}
+
+	// Baseline == naive (same execution; the MTB does not slow the core).
+	nres, err := naive.Run(a.Build(), naive.Config{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+	if err != nil {
+		return nil, fmt.Errorf("report: %s naive: %w", a.Name, err)
+	}
+	m.BaselineCycles = nres.Cycles
+	m.NaiveCycles = nres.Cycles
+	m.NaiveLog = nres.CFLogBytes
+	m.NaivePartials = nres.Partials
+	m.BaselineCode = nres.CodeBytes
+
+	// RAP-Track.
+	link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		return nil, fmt.Errorf("report: %s link: %w", a.Name, err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		return nil, err
+	}
+	prover, err := core.NewProver(link, key, core.ProverConfig{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	chal, err := attest.NewChallenge(a.Name)
+	if err != nil {
+		return nil, err
+	}
+	reports, stats, err := prover.Attest(chal)
+	if err != nil {
+		return nil, fmt.Errorf("report: %s attest: %w", a.Name, err)
+	}
+	m.RAPCycles = stats.Cycles
+	m.RAPLog = uint64(stats.CFLogBytes)
+	m.RAPPartials = stats.Partials
+	m.RAPCode = link.Image.CodeSize
+	m.RAPStubs = link.Stats.Stubs
+	m.RAPLoops = link.Stats.OptimizedLoops
+	m.RAPStatic = link.Stats.StaticLoops
+	m.RAPSecureCalls = stats.SecureCalls
+	m.RAPSetupCycles = stats.SetupCycles
+	m.RAPPauseCycles = stats.PauseCycles
+	verdict, err := core.NewVerifier(link, key).Verify(chal, reports)
+	if err != nil {
+		return nil, fmt.Errorf("report: %s verify: %w", a.Name, err)
+	}
+	m.Verified = verdict.OK
+	m.VerifyReason = verdict.Reason
+
+	// TRACES.
+	tout, err := traces.Instrument(a.Build(), traces.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("report: %s traces instrument: %w", a.Name, err)
+	}
+	tres, err := traces.Run(tout, traces.Config{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+	if err != nil {
+		return nil, fmt.Errorf("report: %s traces run: %w", a.Name, err)
+	}
+	m.TracesCycles = tres.Cycles
+	m.TracesLog = tres.CFLogBytes
+	m.TracesPartials = tres.Partials
+	m.TracesCode = tres.CodeBytes
+	m.TracesVeneers = tout.Stats.Veneers
+	m.TracesCalls = tres.SecureCalls
+	return m, nil
+}
+
+// MeasureAll measures the paper's evaluation set (apps.EvalOrder), in the
+// paper's presentation order. Extra workloads in the registry are covered
+// by the test suite but kept out of the figure tables.
+func MeasureAll() ([]*Measurement, error) {
+	out := make([]*Measurement, 0, len(apps.EvalOrder))
+	for _, name := range apps.EvalOrder {
+		a, err := apps.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := Measure(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ratio formats a/b as a multiplier.
+func ratio(a, b uint64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}
+
+// pct formats (a-b)/b as a percentage overhead.
+func pct(a, b uint64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(a)-float64(b))/float64(b))
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Fig1a renders the naive-MTB vs TRACES CFLog size comparison (paper
+// Fig. 1a: naive logs are 1.9-217x larger).
+func Fig1a(ms []*Measurement) string {
+	rows := make([][]string, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.App,
+			fmt.Sprintf("%d", m.NaiveLog),
+			fmt.Sprintf("%d", m.TracesLog),
+			ratio(m.NaiveLog, m.TracesLog),
+		})
+	}
+	return "Fig 1(a): CFLog size, naive MTB vs instrumentation-based CFA\n" +
+		table([]string{"app", "naive MTB (B)", "TRACES (B)", "naive/TRACES"}, rows)
+}
+
+// Fig1b renders the instrumentation runtime overhead comparison (paper
+// Fig. 1b: instrumentation adds 1.1-14.1x runtime).
+func Fig1b(ms []*Measurement) string {
+	rows := make([][]string, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.App,
+			fmt.Sprintf("%d", m.BaselineCycles),
+			fmt.Sprintf("%d", m.TracesCycles),
+			ratio(m.TracesCycles, m.BaselineCycles),
+		})
+	}
+	return "Fig 1(b): runtime, instrumentation-based CFA vs uninstrumented\n" +
+		table([]string{"app", "baseline (cyc)", "TRACES (cyc)", "TRACES/baseline"}, rows)
+}
+
+// Fig8 renders the runtime comparison across all systems (paper Fig. 8:
+// RAP-Track adds 2-62% over naive MTB, TRACES 7-1309%).
+func Fig8(ms []*Measurement) string {
+	rows := make([][]string, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.App,
+			fmt.Sprintf("%d", m.BaselineCycles),
+			fmt.Sprintf("%d", m.NaiveCycles),
+			fmt.Sprintf("%d", m.RAPCycles),
+			fmt.Sprintf("%d", m.TracesCycles),
+			pct(m.RAPCycles, m.NaiveCycles),
+			pct(m.TracesCycles, m.NaiveCycles),
+		})
+	}
+	return "Fig 8: runtime comparison (CPU cycles)\n" +
+		table([]string{"app", "baseline", "naive MTB", "RAP-Track", "TRACES", "RAP vs naive", "TRACES vs naive"}, rows)
+}
+
+// Fig9 renders the CFLog size comparison (paper Fig. 9).
+func Fig9(ms []*Measurement) string {
+	rows := make([][]string, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.App,
+			fmt.Sprintf("%d", m.NaiveLog),
+			fmt.Sprintf("%d", m.RAPLog),
+			fmt.Sprintf("%d", m.TracesLog),
+			ratio(m.NaiveLog, m.RAPLog),
+			ratio(m.RAPLog, m.TracesLog),
+		})
+	}
+	return "Fig 9: CFLog size comparison (bytes)\n" +
+		table([]string{"app", "naive MTB", "RAP-Track", "TRACES", "naive/RAP", "RAP/TRACES"}, rows)
+}
+
+// Fig10 renders the code size comparison (paper Fig. 10: RAP-Track
+// slightly above TRACES).
+func Fig10(ms []*Measurement) string {
+	rows := make([][]string, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.App,
+			fmt.Sprintf("%d", m.BaselineCode),
+			fmt.Sprintf("%d", m.RAPCode),
+			fmt.Sprintf("%d", m.TracesCode),
+			pct(uint64(m.RAPCode), uint64(m.BaselineCode)),
+			pct(uint64(m.TracesCode), uint64(m.BaselineCode)),
+		})
+	}
+	return "Fig 10: code size comparison (bytes)\n" +
+		table([]string{"app", "baseline", "RAP-Track", "TRACES", "RAP overhead", "TRACES overhead"}, rows)
+}
+
+// Footprint renders the session-detail table (§V prose: Secure-World
+// footprint, 4 KB MTB partial reports).
+func Footprint(ms []*Measurement) string {
+	rows := make([][]string, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.App,
+			fmt.Sprintf("%d", m.RAPStubs),
+			fmt.Sprintf("%d", m.RAPLoops),
+			fmt.Sprintf("%d", m.RAPStatic),
+			fmt.Sprintf("%d", m.RAPSecureCalls),
+			fmt.Sprintf("%d", m.RAPPartials),
+			fmt.Sprintf("%d", m.NaivePartials),
+			fmt.Sprintf("%v", m.Verified),
+		})
+	}
+	return "Session details (4 KB MTB): stubs, optimized loops, secure calls, partial reports\n" +
+		table([]string{"app", "stubs", "logged loops", "static loops", "RAP secalls", "RAP partials", "naive partials", "verified"}, rows)
+}
+
+// All renders every figure.
+func All(ms []*Measurement) string {
+	return strings.Join([]string{
+		Fig1a(ms), Fig1b(ms), Fig8(ms), Fig9(ms), Fig10(ms), Footprint(ms),
+	}, "\n")
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"raptrack/internal/apps"
+)
+
+func fakeMeasurements() []*Measurement {
+	return []*Measurement{
+		{
+			App:            "alpha",
+			BaselineCycles: 1000, NaiveCycles: 1000, RAPCycles: 1100, TracesCycles: 5000,
+			NaiveLog: 8000, RAPLog: 800, TracesLog: 400,
+			BaselineCode: 100, RAPCode: 150, TracesCode: 140,
+			RAPStubs: 3, RAPLoops: 1, RAPStatic: 2, RAPSecureCalls: 1,
+			RAPPartials: 0, NaivePartials: 2, Verified: true,
+		},
+		{
+			App:            "beta",
+			BaselineCycles: 2000, NaiveCycles: 2000, RAPCycles: 2500, TracesCycles: 20000,
+			NaiveLog: 16000, RAPLog: 15000, TracesLog: 7500,
+			BaselineCode: 200, RAPCode: 260, TracesCode: 250,
+			Verified: true,
+		},
+	}
+}
+
+func TestRenderersContainData(t *testing.T) {
+	ms := fakeMeasurements()
+	cases := []struct {
+		name   string
+		render func([]*Measurement) string
+		want   []string
+	}{
+		{"Fig1a", Fig1a, []string{"alpha", "8000", "400", "20.00x"}},
+		{"Fig1b", Fig1b, []string{"beta", "20000", "10.00x"}},
+		{"Fig8", Fig8, []string{"alpha", "+10.0%", "+400.0%"}},
+		{"Fig9", Fig9, []string{"alpha", "10.00x", "2.00x"}},
+		{"Fig10", Fig10, []string{"alpha", "+50.0%", "+40.0%"}},
+		{"Footprint", Footprint, []string{"alpha", "true"}},
+	}
+	for _, c := range cases {
+		out := c.render(ms)
+		for _, w := range c.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", c.name, w, out)
+			}
+		}
+	}
+	all := All(ms)
+	for _, c := range cases {
+		if !strings.Contains(all, strings.SplitN(c.render(ms), "\n", 2)[0]) {
+			t.Errorf("All() missing %s header", c.name)
+		}
+	}
+}
+
+func TestRatioAndPctEdgeCases(t *testing.T) {
+	if ratio(5, 0) != "inf" || pct(5, 0) != "inf" {
+		t.Error("division by zero must render as inf")
+	}
+	if got := ratio(10, 4); got != "2.50x" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := pct(110, 100); got != "+10.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(90, 100); got != "-10.0%" {
+		t.Errorf("pct = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := table([]string{"a", "long-header"}, [][]string{{"xxxxxx", "1"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator misaligned: %q vs %q", lines[0], lines[1])
+	}
+}
+
+// TestMeasureOne exercises the full matrix on the cheapest workload.
+func TestMeasureOne(t *testing.T) {
+	a, err := apps.Get("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Verified {
+		t.Errorf("not verified: %s", m.VerifyReason)
+	}
+	if m.BaselineCycles == 0 || m.RAPCycles <= m.BaselineCycles || m.TracesCycles <= m.RAPCycles {
+		t.Errorf("cycle ordering violated: base=%d rap=%d traces=%d",
+			m.BaselineCycles, m.RAPCycles, m.TracesCycles)
+	}
+	if m.NaiveLog == 0 || m.RAPLog == 0 || m.TracesLog == 0 {
+		t.Error("missing log sizes")
+	}
+	if m.RAPCode <= m.BaselineCode {
+		t.Error("instrumented code should be larger")
+	}
+}

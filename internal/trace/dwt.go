@@ -1,0 +1,104 @@
+// Package trace models the two ARMv8-M hardware tracing extensions
+// RAP-Track builds on: the Micro Trace Buffer (MTB) and the Data Watchpoint
+// and Trace unit (DWT).
+//
+// The models follow the MTB-M33 and DWT behaviour the paper relies on:
+//
+//   - The DWT provides four PC comparators. Paired comparators define an
+//     address range; a range can be programmed to assert the MTB's TSTART
+//     or TSTOP input when the PC is inside it (paper §II-B2, §IV-B).
+//   - The MTB, while enabled, writes an 8-byte (source, destination) packet
+//     into a circular SRAM buffer for every non-sequential PC change
+//     (§II-B1). A watermark (MTB_FLOW) raises a debug exception when the
+//     write position reaches it (§IV-E).
+//   - MTB activation after TSTART is not immediate (§V-C: "'nop'
+//     instructions were added in MTBAR trampolines to allow the MTB
+//     sufficient time to activate"); ArmLatency models this.
+package trace
+
+import "fmt"
+
+// CompAction selects what a DWT comparator range drives.
+type CompAction uint8
+
+// Comparator actions.
+const (
+	ActionNone     CompAction = iota
+	ActionStartMTB            // assert MTB TSTART while PC in range
+	ActionStopMTB             // assert MTB TSTOP while PC in range
+)
+
+func (a CompAction) String() string {
+	switch a {
+	case ActionStartMTB:
+		return "start-mtb"
+	case ActionStopMTB:
+		return "stop-mtb"
+	default:
+		return "none"
+	}
+}
+
+// NumComparators is the number of DWT comparators on the modelled
+// Cortex-M33 (four, per the DWT TRM).
+const NumComparators = 4
+
+// RangeRule is a programmed comparator pair: [Base, Limit) with an action.
+type RangeRule struct {
+	Base, Limit uint32
+	Action      CompAction
+}
+
+// Contains reports whether pc falls inside the rule's range.
+func (r RangeRule) Contains(pc uint32) bool {
+	return r.Action != ActionNone && pc >= r.Base && pc < r.Limit
+}
+
+func (r RangeRule) String() string {
+	return fmt.Sprintf("[%#08x,%#08x) %s", r.Base, r.Limit, r.Action)
+}
+
+// DWT models the Data Watchpoint and Trace unit's PC-range comparators.
+// Each RangeRule consumes two comparators (base and limit), mirroring the
+// paper's configuration: two for MTBAR (TSTART) and two for MTBDR (TSTOP).
+type DWT struct {
+	rules []RangeRule
+}
+
+// NewDWT returns a DWT with no ranges programmed.
+func NewDWT() *DWT { return &DWT{} }
+
+// Program installs a comparator range. It returns an error if the unit is
+// out of comparators (each range uses two).
+func (d *DWT) Program(r RangeRule) error {
+	if (len(d.rules)+1)*2 > NumComparators {
+		return fmt.Errorf("trace: DWT out of comparators (%d available, each range uses 2)", NumComparators)
+	}
+	if r.Limit <= r.Base {
+		return fmt.Errorf("trace: DWT range limit %#x <= base %#x", r.Limit, r.Base)
+	}
+	d.rules = append(d.rules, r)
+	return nil
+}
+
+// Clear removes all programmed ranges.
+func (d *DWT) Clear() { d.rules = d.rules[:0] }
+
+// Rules returns the programmed ranges (read-only use).
+func (d *DWT) Rules() []RangeRule { return d.rules }
+
+// Evaluate checks pc against all ranges and returns which MTB inputs are
+// asserted. Hardware evaluates comparators on every instruction fetch.
+func (d *DWT) Evaluate(pc uint32) (start, stop bool) {
+	for _, r := range d.rules {
+		if r.Contains(pc) {
+			switch r.Action {
+			case ActionStartMTB:
+				start = true
+			case ActionStopMTB:
+				stop = true
+			}
+		}
+	}
+	return start, stop
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PacketSize is the size in bytes of one MTB trace packet: two 32-bit
+// words, the branch source address and the branch destination address.
+const PacketSize = 8
+
+// Packet is one recorded control-flow transfer.
+type Packet struct {
+	Src uint32 // address of the branch instruction
+	Dst uint32 // address execution continued at
+}
+
+func (p Packet) String() string { return fmt.Sprintf("%#08x -> %#08x", p.Src, p.Dst) }
+
+// BufferWriter is where the MTB deposits packets. In the full system this
+// is the Secure-World SRAM region holding CFLog (internal/mem.Memory);
+// tests may use an in-memory stub.
+type BufferWriter interface {
+	Write32(addr uint32, v uint32) error
+}
+
+// MTB models the Micro Trace Buffer. Zero value is not usable; use NewMTB.
+//
+// Register-level correspondence:
+//
+//	MTB_MASTER.TSTARTEN  -> SetMaster(true): trace everything, no latency
+//	MTB_TSTART/MTB_TSTOP -> TStart/TStop (driven by DWT comparators)
+//	MTB_POSITION         -> Position()
+//	MTB_FLOW watermark   -> SetWatermark / OnWatermark
+type MTB struct {
+	base uint32 // SRAM address packets are written to
+	size int    // buffer capacity in bytes (multiple of PacketSize)
+	mem  BufferWriter
+
+	pos       int // next write offset within the buffer
+	watermark int // byte offset that triggers OnWatermark; 0 disables
+
+	master       bool // TSTARTEN: unconditional tracing (naive MTB mode)
+	tracing      bool // TSTART asserted more recently than TSTOP
+	armLatency   int  // instructions between TSTART and first capture
+	armCountdown int
+
+	// OnWatermark is invoked (synchronously, from Record) when the write
+	// position reaches the watermark. The CFA engine uses it to emit a
+	// partial report and then call ResetPosition.
+	OnWatermark func()
+
+	// Statistics.
+	TotalPackets  uint64 // packets actually written
+	EngineEntries uint64 // packets appended by SoftAppend (loop conditions)
+	DroppedArming uint64 // packets lost during the TSTART arming window
+	Wraps         uint64 // times the circular buffer wrapped
+}
+
+// NewMTB creates an MTB whose circular buffer lives at [base, base+size) in
+// w. size must be a positive multiple of PacketSize; the M33's MTB SRAM is
+// 4 KB (§V-B), the default used across the repo.
+func NewMTB(w BufferWriter, base uint32, size int) *MTB {
+	if size <= 0 || size%PacketSize != 0 {
+		panic(fmt.Sprintf("trace: MTB buffer size %d not a positive multiple of %d", size, PacketSize))
+	}
+	return &MTB{base: base, size: size, mem: w}
+}
+
+// DefaultBufferSize is the MTB SRAM capacity of the modelled Cortex-M33.
+const DefaultBufferSize = 4096
+
+// SetArmLatency sets the number of instructions that must retire after
+// TSTART before the MTB captures packets (hardware activation delay).
+// Latency 0 means immediate activation.
+func (m *MTB) SetArmLatency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.armLatency = n
+}
+
+// ArmLatency returns the configured activation delay.
+func (m *MTB) ArmLatency() int { return m.armLatency }
+
+// SetMaster sets MTB_MASTER.TSTARTEN: when true the MTB records every
+// non-sequential transfer regardless of TSTART/TSTOP (the naive MTB mode of
+// paper §I).
+func (m *MTB) SetMaster(on bool) { m.master = on }
+
+// TStart asserts the TSTART input (from a DWT comparator). Starting an
+// already-started MTB is a no-op and does not restart the arming window.
+func (m *MTB) TStart() {
+	if m.tracing {
+		return
+	}
+	m.tracing = true
+	m.armCountdown = m.armLatency
+}
+
+// TStop asserts the TSTOP input.
+func (m *MTB) TStop() { m.tracing = false }
+
+// Tracing reports whether TSTART is currently in effect (regardless of the
+// arming window).
+func (m *MTB) Tracing() bool { return m.tracing || m.master }
+
+// Enabled reports whether a packet would be captured right now.
+func (m *MTB) Enabled() bool {
+	return m.master || (m.tracing && m.armCountdown == 0)
+}
+
+// OnRetire advances the arming window; the CPU calls it once per retired
+// instruction.
+func (m *MTB) OnRetire() {
+	if m.tracing && m.armCountdown > 0 {
+		m.armCountdown--
+	}
+}
+
+// Record offers a non-sequential transfer to the MTB. If enabled, the
+// packet is written to the circular buffer; if the unit is still arming,
+// the packet is lost (counted in DroppedArming).
+func (m *MTB) Record(src, dst uint32) {
+	if !m.Enabled() {
+		if m.tracing && m.armCountdown > 0 {
+			m.DroppedArming++
+		}
+		return
+	}
+	m.write(src, dst)
+}
+
+// SoftAppend writes a packet regardless of the enable state. This models
+// Secure-World software appending an entry through the writable
+// MTB_POSITION register — the mechanism the CFA engine uses to interleave
+// loop-condition entries (§IV-D) with hardware packets in order.
+func (m *MTB) SoftAppend(src, dst uint32) {
+	m.EngineEntries++
+	m.write(src, dst)
+}
+
+func (m *MTB) write(src, dst uint32) {
+	addr := m.base + uint32(m.pos)
+	// Errors are impossible for plain RAM targets; a device-window target
+	// would be a configuration bug, so surface it loudly.
+	if err := m.mem.Write32(addr, src); err != nil {
+		panic(fmt.Sprintf("trace: MTB buffer write failed: %v", err))
+	}
+	if err := m.mem.Write32(addr+4, dst); err != nil {
+		panic(fmt.Sprintf("trace: MTB buffer write failed: %v", err))
+	}
+	m.pos += PacketSize
+	m.TotalPackets++
+	if m.watermark > 0 && m.pos >= m.watermark && m.OnWatermark != nil {
+		m.OnWatermark()
+	}
+	if m.pos >= m.size {
+		m.pos = 0
+		m.Wraps++
+	}
+}
+
+// SetWatermark programs MTB_FLOW: OnWatermark fires when the write position
+// reaches off bytes. off must be a multiple of PacketSize within the
+// buffer; 0 disables the watermark.
+func (m *MTB) SetWatermark(off int) error {
+	if off < 0 || off > m.size || off%PacketSize != 0 {
+		return fmt.Errorf("trace: watermark %d invalid for %d-byte buffer", off, m.size)
+	}
+	m.watermark = off
+	return nil
+}
+
+// Position returns the current write offset in bytes (MTB_POSITION).
+func (m *MTB) Position() int { return m.pos }
+
+// Base returns the SRAM address of the buffer.
+func (m *MTB) Base() uint32 { return m.base }
+
+// Size returns the buffer capacity in bytes.
+func (m *MTB) Size() int { return m.size }
+
+// ResetPosition rewinds the write pointer to the start of the buffer. The
+// CFA engine calls this after draining a partial report (§IV-E: "the head
+// pointer of CFLog is reset").
+func (m *MTB) ResetPosition() { m.pos = 0 }
+
+// DecodePackets parses raw buffer bytes into packets.
+func DecodePackets(b []byte) []Packet {
+	n := len(b) / PacketSize
+	out := make([]Packet, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Packet{
+			Src: binary.LittleEndian.Uint32(b[i*PacketSize:]),
+			Dst: binary.LittleEndian.Uint32(b[i*PacketSize+4:]),
+		})
+	}
+	return out
+}
+
+// EncodePackets serializes packets to the MTB wire format.
+func EncodePackets(ps []Packet) []byte {
+	out := make([]byte, 0, len(ps)*PacketSize)
+	for _, p := range ps {
+		out = binary.LittleEndian.AppendUint32(out, p.Src)
+		out = binary.LittleEndian.AppendUint32(out, p.Dst)
+	}
+	return out
+}

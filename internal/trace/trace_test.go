@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// sink is an in-memory BufferWriter.
+type sink struct {
+	words map[uint32]uint32
+}
+
+func newSink() *sink { return &sink{words: make(map[uint32]uint32)} }
+
+func (s *sink) Write32(addr, v uint32) error {
+	s.words[addr] = v
+	return nil
+}
+
+func (s *sink) packetAt(base uint32, i int) Packet {
+	return Packet{Src: s.words[base+uint32(i*8)], Dst: s.words[base+uint32(i*8)+4]}
+}
+
+func TestMTBMasterMode(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0x3000_0000, 64)
+	m.Record(1, 2) // disabled: dropped silently
+	if m.TotalPackets != 0 {
+		t.Fatal("packet recorded while disabled")
+	}
+	m.SetMaster(true)
+	m.Record(0x10, 0x20)
+	if m.TotalPackets != 1 || m.Position() != 8 {
+		t.Fatalf("packets=%d pos=%d", m.TotalPackets, m.Position())
+	}
+	if p := s.packetAt(0x3000_0000, 0); p.Src != 0x10 || p.Dst != 0x20 {
+		t.Fatalf("stored packet %v", p)
+	}
+}
+
+func TestMTBStartStopAndArming(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 64)
+	m.SetArmLatency(2)
+	m.TStart()
+	if m.Enabled() {
+		t.Fatal("must not be enabled during arming window")
+	}
+	m.Record(1, 2) // lost to arming
+	if m.DroppedArming != 1 {
+		t.Fatalf("DroppedArming = %d", m.DroppedArming)
+	}
+	m.OnRetire()
+	m.OnRetire()
+	if !m.Enabled() {
+		t.Fatal("should be enabled after latency elapses")
+	}
+	m.Record(3, 4)
+	if m.TotalPackets != 1 {
+		t.Fatalf("TotalPackets = %d", m.TotalPackets)
+	}
+	// Re-asserting TSTART while tracing must not restart the window.
+	m.TStart()
+	if !m.Enabled() {
+		t.Fatal("redundant TSTART restarted the arming window")
+	}
+	m.TStop()
+	if m.Enabled() || m.Tracing() {
+		t.Fatal("TSTOP did not stop tracing")
+	}
+	// A fresh start re-arms.
+	m.TStart()
+	if m.Enabled() {
+		t.Fatal("fresh TSTART should re-arm")
+	}
+}
+
+func TestMTBWrapAround(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0x100, 32) // 4 packets
+	m.SetMaster(true)
+	for i := uint32(0); i < 6; i++ {
+		m.Record(i, i+100)
+	}
+	if m.Wraps != 1 {
+		t.Fatalf("Wraps = %d", m.Wraps)
+	}
+	if m.Position() != 16 {
+		t.Fatalf("Position = %d", m.Position())
+	}
+	// Oldest entries overwritten: slot 0 now holds packet 4.
+	if p := s.packetAt(0x100, 0); p.Src != 4 {
+		t.Fatalf("slot 0 = %v, want src 4", p)
+	}
+}
+
+func TestMTBWatermark(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 64)
+	m.SetMaster(true)
+	if err := m.SetWatermark(16); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	m.OnWatermark = func() {
+		fired++
+		m.ResetPosition()
+	}
+	for i := uint32(0); i < 5; i++ {
+		m.Record(i, i)
+	}
+	if fired != 2 {
+		t.Fatalf("watermark fired %d times, want 2 (at packets 2 and 4)", fired)
+	}
+	if m.Wraps != 0 {
+		t.Fatalf("reset position should prevent wraps, got %d", m.Wraps)
+	}
+}
+
+func TestMTBWatermarkValidation(t *testing.T) {
+	m := NewMTB(newSink(), 0, 64)
+	for _, bad := range []int{-8, 7, 72} {
+		if err := m.SetWatermark(bad); err == nil {
+			t.Errorf("SetWatermark(%d) should fail", bad)
+		}
+	}
+	if err := m.SetWatermark(0); err != nil {
+		t.Errorf("SetWatermark(0) disables: %v", err)
+	}
+}
+
+func TestMTBSoftAppend(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 64)
+	// Disabled for hardware, but the engine can still append.
+	m.SoftAppend(0xaa, 0xbb)
+	if m.TotalPackets != 1 || m.EngineEntries != 1 {
+		t.Fatalf("packets=%d engine=%d", m.TotalPackets, m.EngineEntries)
+	}
+}
+
+func TestMTBBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMTB with unaligned size should panic")
+		}
+	}()
+	NewMTB(newSink(), 0, 12)
+}
+
+func TestPacketCodecRoundTrip(t *testing.T) {
+	f := func(srcs, dsts []uint32) bool {
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		ps := make([]Packet, n)
+		for i := 0; i < n; i++ {
+			ps[i] = Packet{Src: srcs[i], Dst: dsts[i]}
+		}
+		got := DecodePackets(EncodePackets(ps))
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != ps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePacketsIgnoresTrailingBytes(t *testing.T) {
+	raw := EncodePackets([]Packet{{1, 2}})
+	raw = append(raw, 0xff, 0xee) // partial trailing packet
+	got := DecodePackets(raw)
+	if len(got) != 1 || got[0] != (Packet{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDWTRanges(t *testing.T) {
+	d := NewDWT()
+	if err := d.Program(RangeRule{Base: 0x100, Limit: 0x200, Action: ActionStartMTB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(RangeRule{Base: 0x0, Limit: 0x100, Action: ActionStopMTB}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pc          uint32
+		start, stop bool
+	}{
+		{0x100, true, false},
+		{0x1ff, true, false},
+		{0x200, false, false}, // limit is exclusive
+		{0x50, false, true},
+		{0xfff0, false, false},
+	}
+	for _, c := range cases {
+		start, stop := d.Evaluate(c.pc)
+		if start != c.start || stop != c.stop {
+			t.Errorf("Evaluate(%#x) = (%v,%v), want (%v,%v)", c.pc, start, stop, c.start, c.stop)
+		}
+	}
+}
+
+func TestDWTComparatorBudget(t *testing.T) {
+	d := NewDWT()
+	// Four comparators = two ranges.
+	if err := d.Program(RangeRule{Base: 0, Limit: 1, Action: ActionStartMTB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(RangeRule{Base: 1, Limit: 2, Action: ActionStopMTB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(RangeRule{Base: 2, Limit: 3, Action: ActionStartMTB}); err == nil {
+		t.Error("third range should exhaust the 4 comparators")
+	}
+	d.Clear()
+	if err := d.Program(RangeRule{Base: 0, Limit: 1, Action: ActionStartMTB}); err != nil {
+		t.Errorf("after Clear: %v", err)
+	}
+}
+
+func TestDWTInvalidRange(t *testing.T) {
+	d := NewDWT()
+	if err := d.Program(RangeRule{Base: 0x200, Limit: 0x100, Action: ActionStartMTB}); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+// TestMTBDWTIntegration models the paper's §IV-B asymmetry at the unit
+// level: a transfer whose source is outside the activation region is not
+// recorded, one whose source is inside is.
+func TestMTBDWTIntegration(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 64)
+	d := NewDWT()
+	_ = d.Program(RangeRule{Base: 0x1000, Limit: 0x1100, Action: ActionStartMTB})
+	_ = d.Program(RangeRule{Base: 0x0, Limit: 0x1000, Action: ActionStopMTB})
+
+	step := func(pc uint32, branchTo uint32) {
+		start, stop := d.Evaluate(pc)
+		if stop {
+			m.TStop()
+		}
+		if start {
+			m.TStart()
+		}
+		if branchTo != 0 {
+			m.Record(pc, branchTo)
+		}
+		m.OnRetire()
+	}
+
+	// In MTBDR: branch INTO MTBAR not recorded.
+	step(0x500, 0x1000)
+	if m.TotalPackets != 0 {
+		t.Fatal("DR->AR transfer must not be recorded")
+	}
+	// Inside MTBAR (latency 0 by default): branch OUT recorded.
+	step(0x1000, 0x600)
+	if m.TotalPackets != 1 {
+		t.Fatal("AR->DR transfer must be recorded")
+	}
+	// Back in DR, nothing recorded.
+	step(0x600, 0x700)
+	if m.TotalPackets != 1 {
+		t.Fatal("DR->DR transfer must not be recorded")
+	}
+}

@@ -1,0 +1,111 @@
+package tz
+
+import "fmt"
+
+// DefaultContextSwitchCycles is the architectural cost charged for one
+// Non-Secure -> Secure -> Non-Secure round trip: SG entry, callee-saved
+// state handling, security-state transition stalls and the BXNS return.
+// Measurements on Cortex-M33 silicon put the bare transition in the
+// 20-30 cycle range each way; with the register save/clear sequences real
+// TEE runtimes perform, instrumentation-based CFA papers report ~100+
+// cycles per logged branch. 110 is used as the default round trip.
+const DefaultContextSwitchCycles = 110
+
+// Secure service identifiers. A SECALL immediate packs the service id in
+// the low 16 bits and a service-specific argument in the high 16 bits
+// (register number, stack offset, ...). The ids are shared between the
+// code generators (internal/linker, internal/baseline/traces) and the
+// Secure-World implementations (internal/cfa).
+const (
+	// SvcLogLoop logs the loop-condition register (R0 by convention; the
+	// instrumentation block copies the counter there) — §IV-D.
+	SvcLogLoop int32 = 1
+	// SvcLogSite logs a statically-known destination identified by the
+	// SECALL's own address (the engine holds a site->destination table
+	// built at instrumentation time). Used by the TRACES baseline for
+	// conditional branches.
+	SvcLogSite int32 = 2
+	// SvcLogReg logs the register named in the argument bits (indirect
+	// call/jump destinations).
+	SvcLogReg int32 = 3
+	// SvcLogRet logs the return address at [SP + arg] (POP-to-PC returns).
+	SvcLogRet int32 = 4
+	// SvcLogLR logs the link register (BX LR returns).
+	SvcLogLR int32 = 5
+	// SvcLogTable logs the destination of a table jump: the argument
+	// packs the base and index register numbers (rn | rm<<4).
+	SvcLogTable int32 = 6
+)
+
+// SvcID extracts the service id from a SECALL immediate.
+func SvcID(imm int32) int32 { return imm & 0xffff }
+
+// SvcArg extracts the service argument from a SECALL immediate.
+func SvcArg(imm int32) int32 { return int32(uint32(imm) >> 16) }
+
+// SvcImm packs a service id and argument into a SECALL immediate.
+func SvcImm(id, arg int32) int32 { return id&0xffff | arg<<16 }
+
+// Service is a Secure-World entry point invoked via SECALL. imm is the
+// full SECALL immediate (see SvcID/SvcArg); regs is the live Non-Secure
+// register file (the PC slot holds the SECALL's own address while the
+// service runs). The returned cycles are the service's own work, charged
+// on top of the context-switch cost.
+type Service func(imm int32, regs *[16]uint32) (cycles uint64, err error)
+
+// UnknownServiceError reports a SECALL to an unregistered service id.
+type UnknownServiceError struct{ ID int32 }
+
+func (e *UnknownServiceError) Error() string {
+	return fmt.Sprintf("tz: SECALL to unknown secure service #%d", e.ID)
+}
+
+// Gateway dispatches SECALL instructions to registered Secure-World
+// services and accounts for their cycle cost.
+type Gateway struct {
+	services map[int32]Service
+
+	// ContextSwitchCycles is the per-call round-trip cost.
+	ContextSwitchCycles uint64
+
+	// Statistics.
+	Calls        uint64 // total SECALLs dispatched
+	ServiceCalls map[int32]uint64
+	CyclesSpent  uint64 // context switches + service work
+}
+
+// NewGateway returns a gateway with the default context-switch cost.
+func NewGateway() *Gateway {
+	return &Gateway{
+		services:            make(map[int32]Service),
+		ContextSwitchCycles: DefaultContextSwitchCycles,
+		ServiceCalls:        make(map[int32]uint64),
+	}
+}
+
+// Register installs a service under id (low 16 bits of the SECALL
+// immediate), replacing any previous one.
+func (g *Gateway) Register(id int32, s Service) { g.services[id] = s }
+
+// Call dispatches the SECALL immediate and returns the total cycles to
+// charge.
+func (g *Gateway) Call(imm int32, regs *[16]uint32) (uint64, error) {
+	id := SvcID(imm)
+	s, ok := g.services[id]
+	if !ok {
+		return 0, &UnknownServiceError{ID: id}
+	}
+	g.Calls++
+	g.ServiceCalls[id]++
+	work, err := s(imm, regs)
+	total := g.ContextSwitchCycles + work
+	g.CyclesSpent += total
+	return total, err
+}
+
+// ResetStats zeroes the call counters.
+func (g *Gateway) ResetStats() {
+	g.Calls = 0
+	g.CyclesSpent = 0
+	g.ServiceCalls = make(map[int32]uint64)
+}

@@ -1,0 +1,160 @@
+// Package tz models the ARMv8-M TrustZone security extension as used by
+// RAP-Track: Secure/Non-Secure world attribution (SAU), the banked memory
+// protection unit (S-MPU / NS-MPU) with configuration locking, and the
+// secure-gateway call path whose context-switch cost is the runtime
+// overhead instrumentation-based CFA pays per logged branch.
+//
+// Only the Non-Secure application is executed instruction-by-instruction by
+// internal/cpu. Secure-World services (the CFA engine, TRACES logging
+// handlers) run as Go callbacks registered on a Gateway; each invocation is
+// charged the architectural Non-Secure<->Secure round-trip cycle cost plus
+// the service's own work, so runtime comparisons against hardware-parallel
+// tracing remain meaningful.
+package tz
+
+import (
+	"fmt"
+	"sort"
+)
+
+// World is a TrustZone security state.
+type World uint8
+
+// Worlds.
+const (
+	NonSecure World = iota
+	Secure
+)
+
+func (w World) String() string {
+	if w == Secure {
+		return "secure"
+	}
+	return "non-secure"
+}
+
+// Range is a half-open address interval [Base, Limit).
+type Range struct {
+	Base, Limit uint32
+}
+
+// Contains reports whether addr is inside the range.
+func (r Range) Contains(addr uint32) bool { return addr >= r.Base && addr < r.Limit }
+
+func (r Range) String() string { return fmt.Sprintf("[%#08x,%#08x)", r.Base, r.Limit) }
+
+// SAU is the Security Attribution Unit: it decides which world an address
+// belongs to. Addresses default to Non-Secure; MarkSecure carves out Secure
+// regions (CFLog SRAM, Secure code, trace-unit control blocks).
+type SAU struct {
+	secure []Range // sorted by Base
+}
+
+// NewSAU returns an SAU with everything Non-Secure.
+func NewSAU() *SAU { return &SAU{} }
+
+// MarkSecure attributes [base, base+size) to the Secure World.
+func (s *SAU) MarkSecure(base, size uint32) {
+	s.secure = append(s.secure, Range{base, base + size})
+	sort.Slice(s.secure, func(i, j int) bool { return s.secure[i].Base < s.secure[j].Base })
+}
+
+// WorldOf returns the world owning addr.
+func (s *SAU) WorldOf(addr uint32) World {
+	i := sort.Search(len(s.secure), func(i int) bool { return s.secure[i].Limit > addr })
+	if i < len(s.secure) && s.secure[i].Contains(addr) {
+		return Secure
+	}
+	return NonSecure
+}
+
+// SecurityFault reports a Non-Secure access to Secure-attributed memory
+// (the SecureFault exception on real hardware).
+type SecurityFault struct {
+	Addr  uint32
+	Write bool
+}
+
+func (f *SecurityFault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("tz: SecureFault: non-secure %s of secure address %#08x", op, f.Addr)
+}
+
+// MPURegion is one protection region of an MPU.
+type MPURegion struct {
+	Range
+	ReadOnly bool
+	Name     string
+}
+
+// MPU models one banked Memory Protection Unit (the NS-MPU for the
+// attested application). Once locked, reconfiguration attempts fail — the
+// CFA engine locks the NS-MPU after marking APP code read-only (§IV-A).
+type MPU struct {
+	regions []MPURegion
+	locked  bool
+}
+
+// NewMPU returns an empty, unlocked MPU.
+func NewMPU() *MPU { return &MPU{} }
+
+// ErrMPULocked is returned when configuring a locked MPU.
+var ErrMPULocked = fmt.Errorf("tz: MPU is locked")
+
+// AddRegion installs a protection region.
+func (m *MPU) AddRegion(r MPURegion) error {
+	if m.locked {
+		return ErrMPULocked
+	}
+	if r.Limit <= r.Base {
+		return fmt.Errorf("tz: MPU region %q has limit %#x <= base %#x", r.Name, r.Limit, r.Base)
+	}
+	m.regions = append(m.regions, r)
+	return nil
+}
+
+// Clear removes all regions.
+func (m *MPU) Clear() error {
+	if m.locked {
+		return ErrMPULocked
+	}
+	m.regions = m.regions[:0]
+	return nil
+}
+
+// Lock freezes the configuration until Unlock (which only the Secure World
+// — i.e., the CFA engine — may call; the simulated NS application has no
+// path to it).
+func (m *MPU) Lock() { m.locked = true }
+
+// Unlock re-enables configuration.
+func (m *MPU) Unlock() { m.locked = false }
+
+// Locked reports the lock state.
+func (m *MPU) Locked() bool { return m.locked }
+
+// Regions returns the installed regions (read-only use).
+func (m *MPU) Regions() []MPURegion { return m.regions }
+
+// MemFault is an MPU access violation (MemManage fault).
+type MemFault struct {
+	Addr   uint32
+	Region string
+}
+
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("tz: MemManage fault: write to %#08x in read-only region %q", f.Addr, f.Region)
+}
+
+// CheckWrite validates a data write against the MPU.
+func (m *MPU) CheckWrite(addr uint32) error {
+	for _, r := range m.regions {
+		if r.ReadOnly && r.Contains(addr) {
+			return &MemFault{Addr: addr, Region: r.Name}
+		}
+	}
+	return nil
+}

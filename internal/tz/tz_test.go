@@ -1,0 +1,147 @@
+package tz
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSAUAttribution(t *testing.T) {
+	s := NewSAU()
+	s.MarkSecure(0x1000_0000, 0x1000)
+	s.MarkSecure(0x3000_0000, 0x100)
+	cases := []struct {
+		addr uint32
+		want World
+	}{
+		{0x0, NonSecure},
+		{0x1000_0000, Secure},
+		{0x1000_0fff, Secure},
+		{0x1000_1000, NonSecure},
+		{0x3000_00ff, Secure},
+		{0x3000_0100, NonSecure},
+		{0x2fff_ffff, NonSecure},
+	}
+	for _, c := range cases {
+		if got := s.WorldOf(c.addr); got != c.want {
+			t.Errorf("WorldOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestSAUBoundaryProperty(t *testing.T) {
+	s := NewSAU()
+	s.MarkSecure(0x4000, 0x1000)
+	f := func(addr uint32) bool {
+		in := addr >= 0x4000 && addr < 0x5000
+		return (s.WorldOf(addr) == Secure) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPULockSemantics(t *testing.T) {
+	m := NewMPU()
+	r := MPURegion{Range: Range{Base: 0x100, Limit: 0x200}, ReadOnly: true, Name: "code"}
+	if err := m.AddRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	m.Lock()
+	if !m.Locked() {
+		t.Fatal("not locked")
+	}
+	if err := m.AddRegion(r); !errors.Is(err, ErrMPULocked) {
+		t.Errorf("AddRegion while locked: %v", err)
+	}
+	if err := m.Clear(); !errors.Is(err, ErrMPULocked) {
+		t.Errorf("Clear while locked: %v", err)
+	}
+	m.Unlock()
+	if err := m.Clear(); err != nil {
+		t.Errorf("Clear after unlock: %v", err)
+	}
+}
+
+func TestMPUCheckWrite(t *testing.T) {
+	m := NewMPU()
+	_ = m.AddRegion(MPURegion{Range: Range{Base: 0x100, Limit: 0x200}, ReadOnly: true, Name: "code"})
+	_ = m.AddRegion(MPURegion{Range: Range{Base: 0x200, Limit: 0x300}, ReadOnly: false, Name: "ram"})
+	if err := m.CheckWrite(0x150); err == nil {
+		t.Error("write to RO region should fault")
+	} else {
+		var mf *MemFault
+		if !errors.As(err, &mf) || mf.Region != "code" {
+			t.Errorf("fault = %v", err)
+		}
+	}
+	if err := m.CheckWrite(0x250); err != nil {
+		t.Errorf("write to RW region: %v", err)
+	}
+	if err := m.CheckWrite(0x999); err != nil {
+		t.Errorf("write outside regions: %v", err)
+	}
+}
+
+func TestMPURegionValidation(t *testing.T) {
+	m := NewMPU()
+	if err := m.AddRegion(MPURegion{Range: Range{Base: 0x200, Limit: 0x100}, Name: "bad"}); err == nil {
+		t.Error("inverted region should fail")
+	}
+}
+
+func TestSvcImmPacking(t *testing.T) {
+	imm := SvcImm(SvcLogRet, 12)
+	if SvcID(imm) != SvcLogRet {
+		t.Errorf("SvcID = %d", SvcID(imm))
+	}
+	if SvcArg(imm) != 12 {
+		t.Errorf("SvcArg = %d", SvcArg(imm))
+	}
+	f := func(id int32, arg int16) bool {
+		id &= 0x7fff
+		imm := SvcImm(id, int32(uint16(arg)))
+		return SvcID(imm) == id && SvcArg(imm) == int32(uint16(arg))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatewayDispatchAndAccounting(t *testing.T) {
+	g := NewGateway()
+	g.ContextSwitchCycles = 100
+	var gotImm int32
+	g.Register(7, func(imm int32, regs *[16]uint32) (uint64, error) {
+		gotImm = imm
+		regs[0] = 99
+		return 25, nil
+	})
+	var regs [16]uint32
+	cycles, err := g.Call(SvcImm(7, 3), &regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 125 {
+		t.Errorf("cycles = %d, want 125", cycles)
+	}
+	if regs[0] != 99 {
+		t.Error("service did not see live registers")
+	}
+	if gotImm != SvcImm(7, 3) {
+		t.Errorf("imm = %#x", gotImm)
+	}
+	if g.Calls != 1 || g.ServiceCalls[7] != 1 || g.CyclesSpent != 125 {
+		t.Errorf("stats: calls=%d svc=%d cycles=%d", g.Calls, g.ServiceCalls[7], g.CyclesSpent)
+	}
+
+	var use *UnknownServiceError
+	if _, err := g.Call(42, &regs); !errors.As(err, &use) {
+		t.Errorf("unknown service: %v", err)
+	}
+
+	g.ResetStats()
+	if g.Calls != 0 || g.CyclesSpent != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}

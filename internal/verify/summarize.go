@@ -1,0 +1,579 @@
+package verify
+
+import (
+	"fmt"
+
+	"raptrack/internal/cfg"
+	"raptrack/internal/isa"
+	"raptrack/internal/trace"
+)
+
+// exitKind classifies how a frame walk terminates.
+type exitKind uint8
+
+const (
+	exitLeaf exitKind = iota // deterministic BX LR: returns to the caller's site
+	exitRet                  // monitored return: consumed a packet carrying retDst
+	exitHalt                 // HLT reached (program over)
+)
+
+// outcome is one way a frame can complete from some state, plus the
+// derivation links needed to materialize the witness path.
+type outcome struct {
+	kind   exitKind
+	cursor int    // evidence cursor after completion
+	retDst uint32 // exitRet only
+
+	// Derivation: the node that produced this outcome, the local branch
+	// taken there, the callee outcome (call nodes) and the continuation
+	// outcome (nil when the node itself exits the frame).
+	node   nodeKey
+	branch uint8
+	callee *outcome
+	cont   *outcome
+}
+
+func (o *outcome) valueKey() uint64 {
+	return uint64(o.kind)<<62 | uint64(o.retDst)<<30 | uint64(uint32(o.cursor))
+}
+
+// Branch identifiers.
+const (
+	brExit     = 0 // cond not-taken / guard exit-taken / frame exit
+	brConsume  = 1 // cond taken / guard continue
+	brCall     = 2
+	brCallHalt = 3
+)
+
+// loopMap is the frame-local optimized-loop state: controlling-branch
+// address -> remaining continue count. Copied on write.
+type loopMap map[uint32]uint64
+
+func (l loopMap) clone() loopMap {
+	c := make(loopMap, len(l)+1)
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+func (l loopMap) hash() uint64 {
+	var h uint64
+	for k, v := range l {
+		h += (uint64(k)*1099511628211 ^ v) * 1099511628211
+	}
+	return h
+}
+
+// nodeKey identifies a memoized decision state.
+type nodeKey struct {
+	pc     uint32
+	cursor int
+	lhash  uint64
+}
+
+// entry is the memo cell for one nodeKey: the node's evaluation context,
+// its outcome set (monotonically growing), and the reverse-dependency
+// edges driving the worklist iteration.
+type entry struct {
+	outs []*outcome
+	have map[uint64]bool
+
+	// Evaluation context (all producers of the key share it).
+	pc      uint32
+	cursor  int
+	loopCtx loopMap
+
+	// dependents are nodes whose outcomes were computed using this
+	// entry's (possibly partial) set: they are re-evaluated when it grows.
+	dependents map[nodeKey]struct{}
+
+	visiting bool
+}
+
+// summarizer runs the fixed-point search as a worklist-driven chaotic
+// iteration: nodes are evaluated once on discovery; when an entry's
+// outcome set grows, the nodes that read it are marked dirty and
+// re-evaluated. Outcome sets only grow, so the iteration converges.
+type summarizer struct {
+	v       *Verifier
+	packets []trace.Packet
+
+	memo      map[nodeKey]*entry
+	advMemo   map[nodeKey]advState
+	evalStack []nodeKey
+	dirty     []nodeKey
+	inDirty   map[nodeKey]bool
+	evals     uint64
+
+	work    uint64
+	aborted bool
+
+	firstReason string
+	firstPC     uint32
+	attackNoted bool
+
+	segCap    uint64 // max instructions per deterministic segment
+	emitLoops uint64 // loop trip counts applied during witness emission
+}
+
+func (s *summarizer) note(pc uint32, format string, args ...any) {
+	if debugSearch {
+		fmt.Printf("note(eval %d): pc=%#x: %s\n", s.evals, pc, fmt.Sprintf(format, args...))
+	}
+	if s.firstReason == "" {
+		s.firstReason = fmt.Sprintf(format, args...)
+		s.firstPC = pc
+	}
+}
+
+// noteAttack records a policy violation (ROP/JOP/escape). These are the
+// actionable diagnostics, so they take precedence over generic
+// missing-evidence notes from abandoned search branches.
+func (s *summarizer) noteAttack(pc uint32, format string, args ...any) {
+	if debugSearch {
+		fmt.Printf("ATTACK(eval %d): pc=%#x: %s\n", s.evals, pc, fmt.Sprintf(format, args...))
+	}
+	if s.firstReason == "" || !s.attackNoted {
+		s.firstReason = fmt.Sprintf(format, args...)
+		s.firstPC = pc
+		s.attackNoted = true
+	}
+}
+
+func (s *summarizer) budget(n uint64) bool {
+	s.work += n
+	if s.work > s.v.opts.MaxInstrs {
+		s.aborted = true
+		return false
+	}
+	return true
+}
+
+// advKind classifies where a deterministic segment ended.
+type advKind uint8
+
+const (
+	advNode  advKind = iota // a branching/calling node: pc holds it
+	advExit                 // the frame completed (exit filled in)
+	advPrune                // contradiction: no outcomes through here
+)
+
+// advState is the result of advancing a deterministic segment.
+type advState struct {
+	kind    advKind
+	pc      uint32
+	cursor  int
+	loopCtx loopMap
+	exit    struct {
+		kind   exitKind
+		cursor int
+		retDst uint32
+		pc     uint32 // address of the exiting instruction
+	}
+}
+
+// advance walks deterministic steps (plain instructions, direct branches,
+// optimized-loop conditionals and loop-condition SECALLs, indirect jumps
+// and monitored returns — all evidence-forced) until a branching node, a
+// frame exit, or a contradiction. When emit is non-nil the traversed
+// transfers are reported (witness materialization).
+func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(Edge)) advState {
+	v := s.v
+	img := v.link.Image
+	var steps uint64
+	for {
+		steps++
+		if steps > s.segCap || !s.budget(1) {
+			if steps > s.segCap {
+				s.note(pc, "deterministic segment does not terminate (infinite loop at %#x)", pc)
+			}
+			return advState{kind: advPrune}
+		}
+		ins, ok := img.Code[pc]
+		if !ok {
+			s.note(pc, "reconstructed path leaves program code at %#x", pc)
+			return advState{kind: advPrune}
+		}
+		next := pc + ins.Size()
+
+		// Branching nodes and calls are handled by walkNode.
+		if site, isSite := v.link.Sites[pc]; isSite {
+			switch site.Class {
+			case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack, cfg.ClassCondLoopFwd, cfg.ClassIndirectCall:
+				return advState{kind: advNode, pc: pc, cursor: cursor, loopCtx: loopCtx}
+			case cfg.ClassReturn:
+				p, have := s.peek(cursor)
+				if !have || p.Src != site.RecordAddr {
+					s.note(pc, "missing return evidence for site %#x", pc)
+					return advState{kind: advPrune}
+				}
+				if emit != nil {
+					emit(Edge{Src: pc, Dst: p.Dst, Kind: isa.KindReturn})
+				}
+				st := advState{kind: advExit}
+				st.exit.kind = exitRet
+				st.exit.cursor = cursor + 1
+				st.exit.retDst = p.Dst
+				st.exit.pc = pc
+				return st
+			case cfg.ClassIndirectJump:
+				p, have := s.peek(cursor)
+				if !have || p.Src != site.RecordAddr {
+					s.note(pc, "missing indirect-jump evidence for site %#x", pc)
+					return advState{kind: advPrune}
+				}
+				fr, okr := img.FuncRanges[site.Func]
+				if !okr || !inRange(fr, p.Dst) {
+					s.noteAttack(pc, "indirect jump to %#x escapes function %q", p.Dst, site.Func)
+					return advState{kind: advPrune}
+				}
+				if _, isInstr := img.Code[p.Dst]; !isInstr {
+					s.noteAttack(pc, "indirect jump to %#x, which is not an instruction", p.Dst)
+					return advState{kind: advPrune}
+				}
+				if emit != nil {
+					emit(Edge{Src: pc, Dst: p.Dst, Kind: isa.KindIndirectJump})
+				}
+				pc = p.Dst
+				cursor++
+				steps = 0 // evidence consumed: the segment is productive
+				continue
+			}
+		}
+		if _, isGuard := v.link.Guards[pc]; isGuard {
+			return advState{kind: advNode, pc: pc, cursor: cursor, loopCtx: loopCtx}
+		}
+		if ls, isLoopCond := v.link.LoopConds[pc]; isLoopCond {
+			rem, have := loopCtx[pc]
+			if !have {
+				if !ls.Loop.Static {
+					s.note(pc, "optimized loop branch at %#x reached without a logged loop condition", pc)
+					return advState{kind: advPrune}
+				}
+				// Static loop: the trip count is derived from the
+				// compile-time entry value; reaching the branch without a
+				// context means a fresh loop entry.
+				trips, err := ls.Loop.TripCount(uint32(ls.Loop.EntryValue))
+				if err != nil {
+					s.note(pc, "static loop trip count: %v", err)
+					return advState{kind: advPrune}
+				}
+				rem = trips
+				loopCtx = loopCtx.clone()
+				loopCtx[pc] = rem
+				if emit != nil {
+					s.emitLoops++
+				}
+			}
+			taken := false
+			loopCtx = loopCtx.clone()
+			if ls.Loop.Forward {
+				if rem == 0 {
+					taken = true
+					delete(loopCtx, pc)
+				} else {
+					loopCtx[pc] = rem - 1
+				}
+			} else {
+				if rem > 0 {
+					taken = true
+					loopCtx[pc] = rem - 1
+				} else {
+					delete(loopCtx, pc)
+				}
+			}
+			if taken {
+				if emit != nil {
+					emit(Edge{Src: pc, Dst: ins.Target, Kind: isa.KindCond})
+				}
+				pc = ins.Target
+			} else {
+				pc = next
+			}
+			steps = 0 // loop state advanced: the segment is productive
+			continue
+		}
+		if ls, isLoop := v.link.Loops[pc]; isLoop {
+			p, have := s.peek(cursor)
+			if !have || p.Src != pc {
+				s.note(pc, "missing loop-condition evidence for optimized loop at %#x", pc)
+				return advState{kind: advPrune}
+			}
+			trips, err := ls.Loop.TripCount(p.Dst)
+			if err != nil {
+				s.note(pc, "loop-condition evidence invalid: %v", err)
+				return advState{kind: advPrune}
+			}
+			loopCtx = loopCtx.clone()
+			loopCtx[ls.CondAddr] = trips
+			if emit != nil {
+				s.emitLoops++
+			}
+			cursor++
+			steps = 0 // evidence consumed: the segment is productive
+			pc = next
+			continue
+		}
+
+		switch ins.Kind() {
+		case isa.KindNone:
+			pc = next
+		case isa.KindDirect:
+			if emit != nil {
+				emit(Edge{Src: pc, Dst: ins.Target, Kind: isa.KindDirect})
+			}
+			pc = ins.Target
+		case isa.KindCall:
+			return advState{kind: advNode, pc: pc, cursor: cursor, loopCtx: loopCtx}
+		case isa.KindReturn:
+			// Deterministic leaf return. The destination is only known to
+			// the caller, which emits the edge (witness materialization).
+			st := advState{kind: advExit}
+			st.exit.kind = exitLeaf
+			st.exit.cursor = cursor
+			st.exit.pc = pc
+			return st
+		case isa.KindHalt:
+			st := advState{kind: advExit}
+			st.exit.kind = exitHalt
+			st.exit.cursor = cursor
+			st.exit.pc = pc
+			return st
+		case isa.KindSecureCall:
+			s.note(pc, "unexpected secure call in attested code at %#x", pc)
+			return advState{kind: advPrune}
+		default:
+			s.note(pc, "unlinked non-deterministic branch (%s) in golden image at %#x", ins.Kind(), pc)
+			return advState{kind: advPrune}
+		}
+	}
+}
+
+func (s *summarizer) peek(cursor int) (trace.Packet, bool) {
+	if cursor < len(s.packets) {
+		return s.packets[cursor], true
+	}
+	return trace.Packet{}, false
+}
+
+// walkState advances from (pc, cursor, loopCtx) and returns the frame
+// outcomes from there. Deterministic advances are memoized: worklist
+// re-evaluations would otherwise re-walk the same segments.
+func (s *summarizer) walkState(pc uint32, cursor int, loopCtx loopMap) []*outcome {
+	k := nodeKey{pc: pc, cursor: cursor, lhash: loopCtx.hash()}
+	st, ok := s.advMemo[k]
+	if !ok {
+		st = s.advance(pc, cursor, loopCtx, nil)
+		s.advMemo[k] = st
+	}
+	switch st.kind {
+	case advPrune:
+		return nil
+	case advExit:
+		return []*outcome{{kind: st.exit.kind, cursor: st.exit.cursor, retDst: st.exit.retDst}}
+	}
+	return s.walkNode(st.pc, st.cursor, st.loopCtx)
+}
+
+// walkNode returns the memoized outcomes of a branching/calling node,
+// evaluating it on first discovery and recording a reverse-dependency
+// edge from the node currently being evaluated.
+func (s *summarizer) walkNode(pc uint32, cursor int, loopCtx loopMap) []*outcome {
+	key := nodeKey{pc: pc, cursor: cursor, lhash: loopCtx.hash()}
+	e := s.memo[key]
+	if e == nil {
+		e = &entry{
+			have:       make(map[uint64]bool),
+			pc:         pc,
+			cursor:     cursor,
+			loopCtx:    loopCtx,
+			dependents: make(map[nodeKey]struct{}),
+		}
+		s.memo[key] = e
+		s.evaluate(key, e)
+	}
+	if n := len(s.evalStack); n > 0 {
+		e.dependents[s.evalStack[n-1]] = struct{}{}
+	}
+	return e.outs
+}
+
+// markDirty queues a node for re-evaluation.
+func (s *summarizer) markDirty(key nodeKey) {
+	if !s.inDirty[key] {
+		s.inDirty[key] = true
+		s.dirty = append(s.dirty, key)
+	}
+}
+
+// evaluate (re)computes one node's outcomes from its stored context.
+// Growth propagates to dependents through the dirty queue.
+func (s *summarizer) evaluate(key nodeKey, e *entry) {
+	if e.visiting || s.aborted {
+		return
+	}
+	e.visiting = true
+	s.evalStack = append(s.evalStack, key)
+	s.evals++
+	pc, cursor, loopCtx := e.pc, e.cursor, e.loopCtx
+
+	// extend wraps continuation outcomes with this node's derivation,
+	// allocating only for outcomes not already in the set.
+	extend := func(branch uint8, callee *outcome, conts []*outcome) {
+		for _, c := range conts {
+			vk := c.valueKey()
+			if e.have[vk] {
+				continue
+			}
+			e.have[vk] = true
+			e.outs = append(e.outs, &outcome{
+				kind: c.kind, cursor: c.cursor, retDst: c.retDst,
+				node: key, branch: branch, callee: callee, cont: c,
+			})
+			for d := range e.dependents {
+				s.markDirty(d)
+			}
+		}
+	}
+
+	v := s.v
+	img := v.link.Image
+	ins := img.Code[pc]
+	next := pc + ins.Size()
+
+	if site, isSite := v.link.Sites[pc]; isSite {
+		switch site.Class {
+		case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack:
+			// Not-taken: always structurally possible.
+			extend(brExit, nil, s.walkState(next, cursor, loopCtx))
+			// Taken: gated on matching evidence.
+			if p, have := s.peek(cursor); have && p.Src == site.RecordAddr {
+				if p.Dst == site.StaticTarget {
+					extend(brConsume, nil, s.walkState(site.StaticTarget, cursor+1, loopCtx))
+				} else {
+					s.note(pc, "conditional evidence destination %#x != static target %#x", p.Dst, site.StaticTarget)
+				}
+			}
+		case cfg.ClassCondLoopFwd:
+			// pc is the inserted continue-logging B: must consume.
+			p, have := s.peek(cursor)
+			if !have || p.Src != site.RecordAddr {
+				s.note(pc, "missing loop-continue evidence for site %#x", pc)
+			} else if p.Dst != site.StaticTarget {
+				s.note(pc, "loop-continue evidence destination %#x != static target %#x", p.Dst, site.StaticTarget)
+			} else {
+				extend(brConsume, nil, s.walkState(site.StaticTarget, cursor+1, loopCtx))
+			}
+		case cfg.ClassIndirectCall:
+			p, have := s.peek(cursor)
+			if !have || p.Src != site.RecordAddr {
+				s.note(pc, "missing indirect-call evidence for site %#x", pc)
+			} else if !v.entries[p.Dst] {
+				s.noteAttack(pc, "indirect call to %#x, which is not a function entry (JOP)", p.Dst)
+			} else {
+				s.call(key, pc, next, p.Dst, cursor+1, loopCtx, extend)
+			}
+		}
+	} else if _, isGuard := v.link.Guards[pc]; isGuard {
+		stub := v.link.Guards[pc]
+		// Exit taken: no evidence consumed.
+		extend(brExit, nil, s.walkState(ins.Target, cursor, loopCtx))
+		// Continue: falls into the logging B (which consumes); gated.
+		if p, have := s.peek(cursor); have && p.Src == stub.RecordAddr {
+			extend(brConsume, nil, s.walkState(next, cursor, loopCtx))
+		}
+	} else if ins.Kind() == isa.KindCall {
+		s.call(key, pc, next, ins.Target, cursor, loopCtx, extend)
+	} else {
+		s.note(pc, "internal: evaluate at non-node %#x", pc)
+	}
+
+	s.evalStack = s.evalStack[:len(s.evalStack)-1]
+	e.visiting = false
+}
+
+// call evaluates a call node: callee outcomes compose with continuations.
+func (s *summarizer) call(key nodeKey, pc, retSite, callee uint32, cursor int, loopCtx loopMap,
+	extend func(uint8, *outcome, []*outcome)) {
+	couts := s.walkState(callee, cursor, nil)
+	for _, co := range couts {
+		switch co.kind {
+		case exitHalt:
+			// The program ended inside the callee.
+			extend(brCallHalt, co, []*outcome{{kind: exitHalt, cursor: co.cursor}})
+		case exitLeaf:
+			extend(brCall, co, s.walkState(retSite, co.cursor, loopCtx))
+		case exitRet:
+			if co.retDst == retSite {
+				extend(brCall, co, s.walkState(retSite, co.cursor, loopCtx))
+			} else {
+				s.noteAttack(pc, "return destination %#x != call-site successor %#x (ROP)", co.retDst, retSite)
+			}
+		}
+	}
+}
+
+// reconstruct runs the worklist fixed-point search over packets and, on
+// acceptance, materializes the witness path.
+func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
+	img := v.link.Image
+	entryPC, err := img.EntryAddr()
+	if err != nil {
+		return &Verdict{OK: false, Reason: fmt.Sprintf("golden image has no entry: %v", err), Packets: len(packets)}
+	}
+	s := &summarizer{
+		v:       v,
+		packets: packets,
+		memo:    make(map[nodeKey]*entry),
+		advMemo: make(map[nodeKey]advState),
+		inDirty: make(map[nodeKey]bool),
+		segCap:  uint64(len(img.Code)) + 16,
+	}
+
+	fail := func(reason string, pc uint32) *Verdict {
+		return &Verdict{
+			OK: false, Reason: reason, FailPC: pc,
+			Packets: len(packets), Instrs: s.work, Passes: int(s.evals),
+		}
+	}
+
+	// Seed the graph, then drain the dirty queue to the fixed point.
+	s.walkState(entryPC, 0, nil)
+	for len(s.dirty) > 0 && !s.aborted {
+		key := s.dirty[0]
+		s.dirty = s.dirty[1:]
+		delete(s.inDirty, key)
+		if e := s.memo[key]; e != nil {
+			s.evaluate(key, e)
+		}
+	}
+	if s.aborted {
+		return fail(fmt.Sprintf("verification exceeded the %d-instruction work budget", v.opts.MaxInstrs), 0)
+	}
+
+	outs := s.walkState(entryPC, 0, nil)
+	for _, o := range outs {
+		if o.cursor != len(packets) {
+			continue
+		}
+		switch o.kind {
+		case exitHalt, exitLeaf:
+			return s.materialize(entryPC, o)
+		case exitRet:
+			if o.retDst == retToHaltSentinel {
+				return s.materialize(entryPC, o)
+			}
+		}
+	}
+	reason := s.firstReason
+	if reason == "" {
+		reason = "no benign path explains the evidence"
+	} else {
+		reason = "no benign path explains the evidence; first contradiction: " + reason
+	}
+	return fail(reason, s.firstPC)
+}
+
+// debugSearch enables verbose search diagnostics (set via Options.Debug).
+var debugSearch = false

@@ -1,0 +1,171 @@
+// Package verify implements the Verifier side of RAP-Track: report-chain
+// authentication, H_MEM validation, and lossless control-flow path
+// reconstruction from CFLog evidence.
+//
+// # Reconstruction
+//
+// Reconstruction is an abstract replay over the linked image. Deterministic
+// transfers (direct branches, calls, leaf returns) are followed statically;
+// every non-deterministic point consumes evidence:
+//
+//   - indirect call/jump and monitored return stubs consume one MTB packet
+//     whose source must be the stub's recording instruction;
+//   - trampolined conditional branches are decided by presence: if the next
+//     packet originates from the branch's stub the taken path was followed,
+//     otherwise the fall-through was (forward-loop trampolines encode the
+//     NOT-taken direction, §IV-C3.3);
+//   - optimized simple loops consume one engine-appended loop-condition
+//     packet at entry, from which the verifier recomputes the trip count.
+//
+// Because conditional evidence is presence-encoded (the untaken direction
+// leaves no packet), a packet can in principle belong to a later dynamic
+// instance of the same site; naive greedy matching mis-parses recursive
+// programs, and plain backtracking search is exponential. The verifier
+// therefore performs *pushdown summarization* (context-free reachability,
+// as in interprocedural dataflow analysis): frame walks are memoized on
+// (pc, evidence cursor, loop state) and yield sets of frame *outcomes* —
+// "returns deterministically", "returns consuming a packet with
+// destination D", or "halts" — iterated to a least fixed point. All
+// cross-frame interaction is captured by the outcome's return destination,
+// which the caller matches against its own call-site successor; this is
+// simultaneously the reconstruction mechanism and the ROP policy check. A
+// report is accepted iff some policy-conforming derivation explains the
+// complete evidence stream; the witness path is then materialized from the
+// derivation links.
+//
+// Replay policies detect the runtime attacks CFA targets: return
+// destinations must match the call-site successor (ROP), indirect-call
+// destinations must be function entries (JOP), table jumps must stay
+// inside their function, and the evidence stream must be exhausted
+// exactly.
+package verify
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/attest"
+	"raptrack/internal/isa"
+	"raptrack/internal/linker"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+)
+
+// Edge is one reconstructed control transfer.
+type Edge struct {
+	Src, Dst uint32
+	Kind     isa.BranchKind
+}
+
+// Verdict is the outcome of verifying one attestation session.
+type Verdict struct {
+	OK     bool
+	Reason string // human-readable failure cause ("" when OK)
+	// FailPC is the replay PC at the first recorded contradiction (0 when
+	// OK, or when the failure was global, e.g. an H_MEM mismatch).
+	FailPC uint32
+
+	// Evidence statistics.
+	Packets       int    // packets in the assembled CFLog
+	PacketsUsed   int    // packets consumed by the accepted derivation
+	Instrs        uint64 // abstract instructions walked during the search
+	Transfers     uint64 // control transfers on the accepted path
+	LoopsReplayed uint64 // optimized-loop trip counts applied on the path
+	Passes        int    // node evaluations performed by the search
+
+	// Path holds the reconstructed transfer sequence, capped at PathCap.
+	Path []Edge
+}
+
+// Options tunes verification.
+type Options struct {
+	// MaxInstrs bounds the total abstract work (default 500M).
+	MaxInstrs uint64
+	// PathCap bounds the recorded path edges (default 4096; -1 disables
+	// recording).
+	PathCap int
+	// Debug prints search diagnostics to stdout (development aid).
+	Debug bool
+	// Speculation, when non-nil, expands SpecCFA sub-path markers in the
+	// evidence before reconstruction (must match the Prover's dictionary).
+	Speculation *speccfa.Dictionary
+}
+
+// Verifier validates attestation evidence for one application. It holds
+// the golden linked artifact (the Verifier runs the same offline phase on
+// the published binary) and the report authenticator.
+type Verifier struct {
+	link    *linker.Output
+	auth    attest.Authenticator
+	hmem    [sha256.Size]byte
+	entries map[uint32]bool // function entry addresses (indirect-call policy)
+	opts    Options
+}
+
+// New builds a Verifier for the linked artifact.
+func New(link *linker.Output, auth attest.Authenticator, opts Options) *Verifier {
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 500_000_000
+	}
+	if opts.PathCap == 0 {
+		opts.PathCap = 4096
+	}
+	if opts.Debug {
+		debugSearch = true
+	}
+	v := &Verifier{
+		link:    link,
+		auth:    auth,
+		hmem:    link.Image.Hash(),
+		entries: make(map[uint32]bool),
+		opts:    opts,
+	}
+	for name, r := range link.Image.FuncRanges {
+		if name == linker.MTBARFunc {
+			continue
+		}
+		v.entries[r.Base] = true
+	}
+	return v
+}
+
+// ExpectedHMem returns the golden program measurement.
+func (v *Verifier) ExpectedHMem() [sha256.Size]byte { return v.hmem }
+
+// Verify authenticates the report chain against chal and reconstructs the
+// execution path. A nil error with Verdict.OK == false means the evidence
+// was well-formed but attests a disallowed execution (attack detected);
+// errors are reserved for malformed/inauthentic evidence.
+func (v *Verifier) Verify(chal attest.Challenge, reports []*attest.Report) (*Verdict, error) {
+	log, hmem, err := attest.AssembleChain(reports, chal, v.auth)
+	if err != nil {
+		return nil, err
+	}
+	if hmem != v.hmem {
+		return &Verdict{
+			OK:     false,
+			Reason: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
+		}, nil
+	}
+	packets := trace.DecodePackets(log)
+	if v.opts.Speculation.Len() > 0 {
+		packets, err = v.opts.Speculation.Decompress(packets)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return v.reconstruct(packets), nil
+}
+
+// ReplayPackets reconstructs a path directly from packets (testing and
+// tooling aid; skips authentication).
+func (v *Verifier) ReplayPackets(packets []trace.Packet) *Verdict {
+	return v.reconstruct(packets)
+}
+
+// retToHaltSentinel mirrors the CPU's initial-LR halt sentinel (with the
+// Thumb bit cleared, as the hardware records it).
+const retToHaltSentinel = 0xffff_fffe
+
+func inRange(r asm.Range, addr uint32) bool { return addr >= r.Base && addr < r.Limit }
