@@ -1,0 +1,30 @@
+# Developer / CI entry points. `make check` is what CI runs.
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench serve-selftest
+
+check: vet build test race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Execute the fuzz seed corpora as regression tests (no fuzzing time;
+# use `go test -fuzz FuzzReadFrame ./internal/remote` to actually fuzz).
+fuzz:
+	$(GO) test -run Fuzz ./internal/remote ./internal/attest
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# One-command load check of the gateway networking path.
+serve-selftest:
+	$(GO) run ./cmd/raptrack serve -apps prime,gps,crc32 -selftest 16

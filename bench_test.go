@@ -17,6 +17,9 @@ package raptrack
 // `go run ./cmd/benchsuite` prints the same data as aligned tables.
 
 import (
+	"fmt"
+	"net"
+	"sync"
 	"testing"
 
 	"raptrack/internal/apps"
@@ -25,6 +28,8 @@ import (
 	"raptrack/internal/baseline/traces"
 	"raptrack/internal/core"
 	"raptrack/internal/linker"
+	"raptrack/internal/remote"
+	"raptrack/internal/server"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
 )
@@ -392,6 +397,82 @@ func BenchmarkVerifyEffort(b *testing.B) {
 			b.ReportMetric(rapEvals, "rap_evals")
 			b.ReportMetric(trEvals, "traces_evals")
 			b.ReportMetric(trEvals/rapEvals, "traces/rap_x")
+		})
+	}
+}
+
+// BenchmarkServerThroughput measures end-to-end attestation sessions per
+// second through the internal/server gateway over loopback TCP, at rising
+// client concurrency. One session = dial + HELO + challenge + attested
+// prover run + report stream + verification + verdict, so this is the
+// comms-path number later PRs must not regress.
+func BenchmarkServerThroughput(b *testing.B) {
+	const appName = "fibcall"
+	a, err := apps.Get(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := remote.NewProverEndpoint()
+	ep.Provision(appName, func() (*core.Prover, error) {
+		return core.NewProver(link, key, core.ProverConfig{SetupMem: a.SetupMem()})
+	})
+
+	for _, clients := range []int{1, 4, 16} {
+		clients := clients
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			g := server.New(server.Config{MaxSessions: clients})
+			g.Register(appName, core.NewVerifier(link, key))
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = g.Serve(ln) }()
+			addr := ln.Addr().String()
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, clients)
+			errs := make(chan error, b.N)
+			for i := 0; i < b.N; i++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer conn.Close()
+					gv, err := ep.AttestTo(conn, appName)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !gv.OK {
+						errs <- fmt.Errorf("verdict: %s", gv.Reason)
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+			if err := g.Close(); err != nil {
+				b.Fatal(err)
+			}
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
 		})
 	}
 }

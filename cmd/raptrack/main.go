@@ -12,6 +12,8 @@
 //	                [-out evidence.bin] [-keyout key.bin]
 //	raptrack verify -app <name> | -file prog.s  -in evidence.bin -key key.bin [-nonce hex]
 //	raptrack disasm -app <name> | -file prog.s  [-linked]
+//	raptrack serve  [-addr host:port] [-apps a,b] [-max-sessions N] [-workers N]
+//	                [-session-timeout D] [-io-timeout D] [-selftest N] [-v]
 //
 // -file loads textual assembly (see internal/asm: Parse) with the full
 // synthetic peripheral set mapped.
@@ -51,6 +53,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -62,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: raptrack <list|link|run|attest|verify|disasm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: raptrack <list|link|run|attest|verify|disasm|serve> [flags]`)
 }
 
 // loadTarget resolves -app or -file into a runnable workload.

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/remote"
+	"raptrack/internal/server"
+)
+
+// cmdServe runs the concurrent attestation gateway: it provisions a
+// shared Verifier per workload, serves prover sessions on a TCP listener,
+// and prints the stats snapshot on shutdown. With -selftest N it instead
+// drives N concurrent in-process prover clients through the listener and
+// exits — a one-command load check of the whole networking path.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7421", "listen address")
+	appList := fs.String("apps", "", "comma-separated workloads to serve (default: all)")
+	maxSessions := fs.Int("max-sessions", 64, "concurrent session cap (beyond: BUSY shed)")
+	workers := fs.Int("workers", 0, "verification worker pool size (0: GOMAXPROCS)")
+	sessionTimeout := fs.Duration("session-timeout", 30*time.Second, "whole-session deadline")
+	ioTimeout := fs.Duration("io-timeout", 10*time.Second, "per-read/write deadline")
+	selftest := fs.Int("selftest", 0, "drive N concurrent local prover sessions, print stats, exit")
+	watermark := fs.Int("watermark", 0, "MTB watermark for selftest provers (0: buffer size)")
+	verbose := fs.Bool("v", false, "log per-session failures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var names []string
+	if *appList == "" {
+		for _, a := range apps.All() {
+			names = append(names, a.Name)
+		}
+	} else {
+		names = strings.Split(*appList, ",")
+	}
+
+	cfg := server.Config{
+		MaxSessions:    *maxSessions,
+		VerifyWorkers:  *workers,
+		SessionTimeout: *sessionTimeout,
+		IOTimeout:      *ioTimeout,
+	}
+	if *verbose {
+		cfg.OnSessionError = func(addr string, err error) {
+			fmt.Fprintf(os.Stderr, "session %s: %v\n", addr, err)
+		}
+	}
+	g := server.New(cfg)
+	defer g.Close()
+
+	// One golden artifact, key, and shared Verifier per app. The key
+	// would normally come from device provisioning; the demo gateway
+	// generates fresh ones and hands them to its selftest provers.
+	ep := remote.NewProverEndpoint()
+	for _, name := range names {
+		name := strings.TrimSpace(name)
+		a, err := apps.Get(name)
+		if err != nil {
+			return err
+		}
+		link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+		if err != nil {
+			return fmt.Errorf("linking %s: %w", name, err)
+		}
+		key, err := attest.GenerateHMACKey()
+		if err != nil {
+			return err
+		}
+		g.Register(name, core.NewVerifier(link, key))
+		app := a
+		ep.Provision(name, func() (*core.Prover, error) {
+			return core.NewProver(link, key, core.ProverConfig{
+				SetupMem:  app.SetupMem(),
+				Watermark: *watermark,
+			})
+		})
+		hmem := link.Image.Hash()
+		fmt.Printf("provisioned %-12s (H_MEM %x...)\n", name, hmem[:8])
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- g.Serve(ln) }()
+	fmt.Printf("gateway listening on %s (%d apps, %d slots)\n", ln.Addr(), len(names), *maxSessions)
+
+	if *selftest > 0 {
+		if err := runSelftest(g, ep, ln.Addr().String(), names, *selftest); err != nil {
+			return err
+		}
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case s := <-sig:
+			fmt.Printf("\n%v: shutting down\n", s)
+		case err := <-serveErr:
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Print(g.Stats())
+	return nil
+}
+
+// runSelftest dials n concurrent prover sessions (round-robin over the
+// provisioned apps) into the gateway's own listener.
+func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, names []string, n int) error {
+	fmt.Printf("selftest: %d concurrent prover sessions\n", n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := names[i%len(names)]
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: dial: %w", i, err)
+				return
+			}
+			defer conn.Close()
+			gv, err := ep.AttestTo(conn, app)
+			if err != nil {
+				errs <- fmt.Errorf("session %d (%s): %w", i, app, err)
+				return
+			}
+			if !gv.OK {
+				errs <- fmt.Errorf("session %d (%s): verdict REJECTED: %s", i, app, gv.Reason)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	failed := 0
+	for err := range errs {
+		failed++
+		fmt.Fprintln(os.Stderr, "selftest:", err)
+	}
+	fmt.Printf("selftest: %d/%d sessions ok in %v\n", n-failed, n, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("selftest: %d sessions failed", failed)
+	}
+	return nil
+}

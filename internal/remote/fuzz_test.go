@@ -1,0 +1,65 @@
+package remote
+
+import (
+	"bytes"
+	"testing"
+
+	"raptrack/internal/attest"
+)
+
+// frameSeed builds one valid frame encoding for the seed corpus.
+func frameSeed(typ byte, payload []byte) []byte {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, typ, payload); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame parser: it must never
+// panic, and whatever it accepts must re-encode to the bytes it consumed.
+func FuzzReadFrame(f *testing.F) {
+	chal, err := attest.NewChallenge("prime")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frameSeed(FrameChal, chal.Encode()))
+	f.Add(frameSeed(FrameRprt, (&attest.Report{App: "prime", Final: true}).Encode()))
+	f.Add(frameSeed(FrameFail, []byte("unknown application")))
+	f.Add(frameSeed(FrameHello, []byte("gps")))
+	f.Add(frameSeed(FrameBusy, nil))
+	f.Add(frameSeed(FrameVerdict, EncodeVerdict(false, "H_MEM mismatch")))
+	f.Add([]byte{})
+	f.Add([]byte{FrameRprt, 0xff, 0xff, 0xff, 0xff}) // oversized declaration
+	f.Add([]byte{FrameChal, 0x10, 0x00, 0x00, 0x00}) // truncated payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		if got := frameSeed(typ, payload); !bytes.Equal(got, data[:consumed]) {
+			t.Fatalf("re-encode mismatch: parsed (%d, %d B) from %x", typ, len(payload), data[:consumed])
+		}
+	})
+}
+
+// FuzzDecodeVerdict checks the VRDT payload parser never panics and
+// round-trips what it accepts.
+func FuzzDecodeVerdict(f *testing.F) {
+	f.Add(EncodeVerdict(true, ""))
+	f.Add(EncodeVerdict(false, "no benign path explains the evidence"))
+	f.Add([]byte{})
+	f.Add([]byte{2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gv, err := DecodeVerdict(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeVerdict(gv.OK, gv.Reason), data) {
+			t.Fatalf("re-encode mismatch for %x", data)
+		}
+	})
+}

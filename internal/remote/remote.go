@@ -9,11 +9,18 @@
 //	CHAL (Verifier->Prover): attest.Challenge encoding
 //	RPRT (Prover->Verifier): attest.Report encoding; the Final flag inside
 //	                         the report ends the session
-//	FAIL (Prover->Verifier): UTF-8 error string (unknown app, run fault)
+//	FAIL (either direction): UTF-8 error string (unknown app, run fault)
+//	HELO (Prover->Verifier): app name; announces a device dialing into a
+//	                         gateway (internal/server), which answers with
+//	                         CHAL, BUSY or FAIL
+//	BUSY (Verifier->Prover): the gateway is at capacity; the session is
+//	                         shed before any challenge is issued
+//	VRDT (Verifier->Prover): gateway verdict summary (ok flag + reason)
 //
 // Evidence integrity does not depend on the transport: a man in the
 // middle can drop the session but any modification is caught by the
-// report authenticators and chain checks.
+// report authenticators and chain checks. BUSY shedding, deadlines and
+// session caps (internal/server) are availability defenses only.
 package remote
 
 import (
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
@@ -29,16 +37,23 @@ import (
 
 // Frame types.
 const (
-	frameChal byte = 1
-	frameRprt byte = 2
-	frameFail byte = 3
+	FrameChal    byte = 1 // Verifier->Prover: challenge
+	FrameRprt    byte = 2 // Prover->Verifier: (partial) report
+	FrameFail    byte = 3 // either direction: error string
+	FrameHello   byte = 4 // Prover->Verifier: app announce (gateway mode)
+	FrameBusy    byte = 5 // Verifier->Prover: session shed at capacity
+	FrameVerdict byte = 6 // Verifier->Prover: session verdict summary
 )
 
-// maxFrame bounds a frame payload (a report window plus headers).
-const maxFrame = 1 << 20
+// MaxFrame bounds a frame payload (a report window plus headers).
+const MaxFrame = 1 << 20
 
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	hdr := make([]byte, 5)
+// FrameHeaderSize is the fixed `u8 type | u32 len` frame prefix.
+const FrameHeaderSize = 5
+
+// WriteFrame emits one length-prefixed frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, FrameHeaderSize)
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
@@ -48,13 +63,15 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) (byte, []byte, error) {
-	hdr := make([]byte, 5)
+// ReadFrame reads one length-prefixed frame, rejecting payloads beyond
+// MaxFrame before allocating.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, FrameHeaderSize)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrame {
+	if n > MaxFrame {
 		return 0, nil, fmt.Errorf("remote: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
@@ -64,10 +81,32 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
+// ErrSessionTruncated is returned when the stream ends before the final
+// report (or before an expected frame): the peer died or a middlebox cut
+// the connection. Test with errors.Is.
+var ErrSessionTruncated = errors.New("remote: session truncated before the final report")
+
+// ErrBusy is returned when a gateway sheds the session with a BUSY frame
+// instead of issuing a challenge. Test with errors.Is; retrying later is
+// the expected client reaction.
+var ErrBusy = errors.New("remote: gateway at capacity")
+
+// mapTruncation converts a premature end-of-stream into the
+// ErrSessionTruncated sentinel so callers can errors.Is it; other errors
+// (deadline expiry, oversized frames, ...) pass through unchanged.
+func mapTruncation(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return fmt.Errorf("%w (%v)", ErrSessionTruncated, err)
+	}
+	return err
+}
+
 // ProverEndpoint serves attestation requests for a set of provisioned
 // applications. Each request constructs a fresh Prover via the factory
-// (applications are single-session).
+// (applications are single-session). Provision before serving; concurrent
+// sessions (ServeOne / AttestTo from many goroutines) are safe.
 type ProverEndpoint struct {
+	mu        sync.RWMutex
 	factories map[string]func() (*core.Prover, error)
 }
 
@@ -78,49 +117,120 @@ func NewProverEndpoint() *ProverEndpoint {
 
 // Provision registers an application under its challenge name.
 func (p *ProverEndpoint) Provision(app string, factory func() (*core.Prover, error)) {
+	p.mu.Lock()
 	p.factories[app] = factory
+	p.mu.Unlock()
+}
+
+func (p *ProverEndpoint) factory(app string) (func() (*core.Prover, error), bool) {
+	p.mu.RLock()
+	f, ok := p.factories[app]
+	p.mu.RUnlock()
+	return f, ok
 }
 
 // ServeOne handles a single challenge-response session on conn. Reports
 // are streamed as the engine emits them (partials included), so the
-// Verifier receives evidence while the application still runs.
+// Verifier receives evidence while the application still runs. A BUSY
+// frame in place of the challenge returns ErrBusy; a FAIL frame surfaces
+// the peer's error string.
 func (p *ProverEndpoint) ServeOne(conn io.ReadWriter) error {
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := ReadFrame(conn)
 	if err != nil {
-		return fmt.Errorf("remote: reading challenge: %w", err)
+		return fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
 	}
-	if typ != frameChal {
+	switch typ {
+	case FrameChal:
+	case FrameBusy:
+		return ErrBusy
+	case FrameFail:
+		return fmt.Errorf("remote: verifier rejected session: %s", payload)
+	default:
 		return fmt.Errorf("remote: expected challenge frame, got type %d", typ)
 	}
 	chal, err := attest.DecodeChallenge(payload)
 	if err != nil {
 		return err
 	}
-	factory, ok := p.factories[chal.App]
+	factory, ok := p.factory(chal.App)
 	if !ok {
-		_ = writeFrame(conn, frameFail, []byte(fmt.Sprintf("unknown application %q", chal.App)))
+		_ = WriteFrame(conn, FrameFail, []byte(fmt.Sprintf("unknown application %q", chal.App)))
 		return fmt.Errorf("remote: unknown application %q", chal.App)
 	}
 	prover, err := factory()
 	if err != nil {
-		_ = writeFrame(conn, frameFail, []byte("prover construction failed"))
+		_ = WriteFrame(conn, FrameFail, []byte("prover construction failed"))
 		return err
 	}
 
 	var sendErr error
 	prover.Engine.OnReport = func(r *attest.Report) {
 		if sendErr == nil {
-			sendErr = writeFrame(conn, frameRprt, r.Encode())
+			sendErr = WriteFrame(conn, FrameRprt, r.Encode())
 		}
 	}
 	if _, _, err := prover.Attest(chal); err != nil {
-		_ = writeFrame(conn, frameFail, []byte(err.Error()))
+		_ = WriteFrame(conn, FrameFail, []byte(err.Error()))
 		return fmt.Errorf("remote: attested run: %w", err)
 	}
 	if sendErr != nil {
 		return fmt.Errorf("remote: streaming reports: %w", sendErr)
 	}
 	return nil
+}
+
+// GatewayVerdict is the gateway's session outcome as carried by a VRDT
+// frame: the full verify.Verdict stays server-side, the device only
+// learns pass/fail and the human-readable reason.
+type GatewayVerdict struct {
+	OK     bool
+	Reason string
+}
+
+// EncodeVerdict serializes a verdict summary for a VRDT frame.
+func EncodeVerdict(ok bool, reason string) []byte {
+	b := make([]byte, 1, 1+len(reason))
+	if ok {
+		b[0] = 1
+	}
+	return append(b, reason...)
+}
+
+// ErrBadVerdict is returned for malformed VRDT payloads.
+var ErrBadVerdict = errors.New("remote: malformed verdict frame")
+
+// DecodeVerdict parses a VRDT frame payload.
+func DecodeVerdict(b []byte) (GatewayVerdict, error) {
+	if len(b) < 1 || b[0] > 1 {
+		return GatewayVerdict{}, ErrBadVerdict
+	}
+	return GatewayVerdict{OK: b[0] == 1, Reason: string(b[1:])}, nil
+}
+
+// AttestTo drives the prover side of one gateway session on conn: it
+// announces app with a HELO frame, answers the gateway's challenge while
+// streaming reports, and returns the gateway's verdict. ErrBusy reports a
+// shed session; ErrSessionTruncated a gateway that died mid-protocol.
+func (p *ProverEndpoint) AttestTo(conn io.ReadWriter, app string) (GatewayVerdict, error) {
+	var gv GatewayVerdict
+	if err := WriteFrame(conn, FrameHello, []byte(app)); err != nil {
+		return gv, fmt.Errorf("remote: announcing app: %w", err)
+	}
+	if err := p.ServeOne(conn); err != nil {
+		return gv, err
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return gv, fmt.Errorf("remote: reading verdict: %w", mapTruncation(err))
+	}
+	switch typ {
+	case FrameVerdict:
+		return DecodeVerdict(payload)
+	case FrameFail:
+		return gv, fmt.Errorf("remote: gateway reported failure: %s", payload)
+	default:
+		return gv, fmt.Errorf("remote: expected verdict frame, got type %d", typ)
+	}
 }
 
 // SessionResult is what the Verifier side learns from one session.
@@ -143,37 +253,45 @@ func RequestAttestation(conn io.ReadWriter, app string, verifier *verify.Verifie
 // RequestWithChallenge is RequestAttestation with a caller-supplied
 // challenge (tests use it to control nonces).
 func RequestWithChallenge(conn io.ReadWriter, chal attest.Challenge, verifier *verify.Verifier) (*SessionResult, error) {
-	if err := writeFrame(conn, frameChal, chal.Encode()); err != nil {
+	if err := WriteFrame(conn, FrameChal, chal.Encode()); err != nil {
 		return nil, fmt.Errorf("remote: sending challenge: %w", err)
 	}
+	reports, err := CollectReports(conn)
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := verifier.Verify(chal, reports)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionResult{Verdict: verdict, Reports: reports}, nil
+}
+
+// CollectReports reads the Prover's report stream from r until the final
+// report, returning the ordered chain. A stream that ends early maps to
+// ErrSessionTruncated; a FAIL frame surfaces the Prover's error. The
+// chain is NOT authenticated here — pass it to verify.Verifier.Verify.
+func CollectReports(r io.Reader) ([]*attest.Report, error) {
 	var reports []*attest.Report
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := ReadFrame(r)
 		if err != nil {
-			return nil, fmt.Errorf("remote: reading report stream: %w", err)
+			return nil, fmt.Errorf("remote: reading report stream: %w", mapTruncation(err))
 		}
 		switch typ {
-		case frameRprt:
-			r, err := attest.DecodeReport(payload)
+		case FrameRprt:
+			rp, err := attest.DecodeReport(payload)
 			if err != nil {
 				return nil, err
 			}
-			reports = append(reports, r)
-			if r.Final {
-				verdict, err := verifier.Verify(chal, reports)
-				if err != nil {
-					return nil, err
-				}
-				return &SessionResult{Verdict: verdict, Reports: reports}, nil
+			reports = append(reports, rp)
+			if rp.Final {
+				return reports, nil
 			}
-		case frameFail:
+		case FrameFail:
 			return nil, fmt.Errorf("remote: prover reported failure: %s", payload)
 		default:
-			return nil, fmt.Errorf("remote: unexpected frame type %d", typ)
+			return nil, fmt.Errorf("remote: unexpected frame type %d in report stream", typ)
 		}
 	}
 }
-
-// ErrSessionTruncated is returned when the stream ends before the final
-// report.
-var ErrSessionTruncated = errors.New("remote: session truncated before the final report")

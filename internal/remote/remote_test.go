@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -104,12 +105,12 @@ func mitm(t *testing.T, mutate func([]byte)) (clientSide net.Conn, proverSide ne
 	// challenge direction: pass through
 	go func() {
 		for {
-			typ, payload, err := readFrame(m1)
+			typ, payload, err := ReadFrame(m1)
 			if err != nil {
 				m2.Close()
 				return
 			}
-			if err := writeFrame(m2, typ, payload); err != nil {
+			if err := WriteFrame(m2, typ, payload); err != nil {
 				return
 			}
 		}
@@ -117,15 +118,15 @@ func mitm(t *testing.T, mutate func([]byte)) (clientSide net.Conn, proverSide ne
 	// report direction: mutate
 	go func() {
 		for {
-			typ, payload, err := readFrame(m2)
+			typ, payload, err := ReadFrame(m2)
 			if err != nil {
 				m1.Close()
 				return
 			}
-			if typ == frameRprt {
+			if typ == FrameRprt {
 				mutate(payload)
 			}
-			if err := writeFrame(m1, typ, payload); err != nil {
+			if err := WriteFrame(m1, typ, payload); err != nil {
 				return
 			}
 		}
@@ -154,13 +155,16 @@ func TestRemoteTamperInTransitRejected(t *testing.T) {
 	}
 }
 
+// TestRemoteTruncatedSessionFails kills the prover mid-stream (after the
+// first partial report) and asserts the Verifier surfaces the
+// ErrSessionTruncated sentinel through errors.Is.
 func TestRemoteTruncatedSessionFails(t *testing.T) {
 	ep, v, _ := testSetup(t, "prime", 512)
 	cli, srv := net.Pipe()
 	go func() {
 		// Serve but cut the connection after the first report frame.
-		typ, payload, err := readFrame(srv)
-		if err != nil || typ != frameChal {
+		typ, payload, err := ReadFrame(srv)
+		if err != nil || typ != FrameChal {
 			srv.Close()
 			return
 		}
@@ -174,7 +178,7 @@ func TestRemoteTruncatedSessionFails(t *testing.T) {
 		sent := false
 		prover.Engine.OnReport = func(r *attest.Report) {
 			if !sent {
-				_ = writeFrame(srv, frameRprt, r.Encode())
+				_ = WriteFrame(srv, FrameRprt, r.Encode())
 				sent = true
 			}
 		}
@@ -186,7 +190,26 @@ func TestRemoteTruncatedSessionFails(t *testing.T) {
 	if err == nil {
 		t.Fatal("truncated session accepted")
 	}
+	if !errors.Is(err, ErrSessionTruncated) {
+		t.Fatalf("errors.Is(err, ErrSessionTruncated) = false; err = %v", err)
+	}
 	_ = ep
+}
+
+// TestRemoteTruncatedBeforeAnyReport kills the prover right after the
+// challenge: the very first stream read must map to the sentinel too.
+func TestRemoteTruncatedBeforeAnyReport(t *testing.T) {
+	_, v, _ := testSetup(t, "prime", 0)
+	cli, srv := net.Pipe()
+	go func() {
+		_, _, _ = ReadFrame(srv) // swallow the challenge
+		srv.Close()
+	}()
+	defer cli.Close()
+	_, err := RequestAttestation(cli, "prime", v)
+	if !errors.Is(err, ErrSessionTruncated) {
+		t.Fatalf("errors.Is(err, ErrSessionTruncated) = false; err = %v", err)
+	}
 }
 
 func TestFrameLimits(t *testing.T) {
@@ -194,10 +217,138 @@ func TestFrameLimits(t *testing.T) {
 	defer c1.Close()
 	go func() {
 		defer c2.Close()
-		hdr := []byte{frameRprt, 0xff, 0xff, 0xff, 0x7f} // absurd length
+		hdr := []byte{FrameRprt, 0xff, 0xff, 0xff, 0x7f} // absurd length
 		_, _ = c2.Write(hdr)
 	}()
-	if _, _, err := readFrame(c1); err == nil || !strings.Contains(err.Error(), "limit") {
+	if _, _, err := ReadFrame(c1); err == nil || !strings.Contains(err.Error(), "limit") {
 		t.Errorf("oversized frame: %v", err)
+	}
+}
+
+// TestRequestErrorPaths drives the Verifier side against scripted peer
+// behavior: every malformed or adversarial stream must fail with a
+// descriptive error (and the right sentinel where one exists).
+func TestRequestErrorPaths(t *testing.T) {
+	_, v, _ := testSetup(t, "prime", 0)
+	cases := []struct {
+		name string
+		// peer scripts the prover side after reading the challenge
+		peer    func(t *testing.T, conn net.Conn)
+		wantSub string       // substring of the error
+		wantIs  error        // optional sentinel for errors.Is
+	}{
+		{
+			name: "wrong frame type",
+			peer: func(t *testing.T, conn net.Conn) {
+				_ = WriteFrame(conn, FrameChal, []byte("nonsense")) // challenge echoed back
+			},
+			wantSub: "unexpected frame type",
+		},
+		{
+			name: "unknown frame type",
+			peer: func(t *testing.T, conn net.Conn) {
+				_ = WriteFrame(conn, 0x7f, nil)
+			},
+			wantSub: "unexpected frame type",
+		},
+		{
+			name: "oversized frame",
+			peer: func(t *testing.T, conn net.Conn) {
+				_, _ = conn.Write([]byte{FrameRprt, 0xff, 0xff, 0xff, 0xff})
+			},
+			wantSub: "exceeds limit",
+		},
+		{
+			name: "fail frame",
+			peer: func(t *testing.T, conn net.Conn) {
+				_ = WriteFrame(conn, FrameFail, []byte("engine on fire"))
+			},
+			wantSub: "engine on fire",
+		},
+		{
+			name: "garbage report payload",
+			peer: func(t *testing.T, conn net.Conn) {
+				_ = WriteFrame(conn, FrameRprt, []byte{1, 2, 3})
+			},
+			wantIs: attest.ErrBadReport,
+		},
+		{
+			name: "immediate close",
+			peer: func(t *testing.T, conn net.Conn) {},
+			wantIs: ErrSessionTruncated,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cli, srv := net.Pipe()
+			defer cli.Close()
+			go func() {
+				defer srv.Close()
+				if typ, _, err := ReadFrame(srv); err != nil || typ != FrameChal {
+					return
+				}
+				tc.peer(t, srv)
+			}()
+			_, err := RequestAttestation(cli, "prime", v)
+			if err == nil {
+				t.Fatal("scripted failure accepted")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantSub)
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Errorf("errors.Is(%v, %v) = false", err, tc.wantIs)
+			}
+		})
+	}
+}
+
+// TestServeOneBusyAndFail covers the prover-side reactions to gateway
+// control frames: BUSY maps to ErrBusy, FAIL surfaces the reason.
+func TestServeOneBusyAndFail(t *testing.T) {
+	ep, _, _ := testSetup(t, "prime", 0)
+	t.Run("busy", func(t *testing.T) {
+		cli, srv := net.Pipe()
+		defer cli.Close()
+		go func() {
+			defer srv.Close()
+			_ = WriteFrame(srv, FrameBusy, nil)
+		}()
+		if err := ep.ServeOne(cli); !errors.Is(err, ErrBusy) {
+			t.Fatalf("errors.Is(err, ErrBusy) = false; err = %v", err)
+		}
+	})
+	t.Run("fail", func(t *testing.T) {
+		cli, srv := net.Pipe()
+		defer cli.Close()
+		go func() {
+			defer srv.Close()
+			_ = WriteFrame(srv, FrameFail, []byte("no capacity today"))
+		}()
+		err := ep.ServeOne(cli)
+		if err == nil || !strings.Contains(err.Error(), "no capacity today") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	for _, gv := range []GatewayVerdict{
+		{OK: true},
+		{OK: false, Reason: "return destination 0x1234 != call-site successor (ROP)"},
+	} {
+		got, err := DecodeVerdict(EncodeVerdict(gv.OK, gv.Reason))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != gv {
+			t.Errorf("round trip: got %+v, want %+v", got, gv)
+		}
+	}
+	if _, err := DecodeVerdict(nil); !errors.Is(err, ErrBadVerdict) {
+		t.Errorf("empty verdict payload: %v", err)
+	}
+	if _, err := DecodeVerdict([]byte{9}); !errors.Is(err, ErrBadVerdict) {
+		t.Errorf("bad ok byte: %v", err)
 	}
 }

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"net"
+	"time"
+)
+
+// timedConn enforces the gateway's availability policy at the transport:
+// every Read/Write gets a fresh per-I/O deadline, capped by the overall
+// session deadline, and moves the byte counters. A peer that stalls trips
+// the I/O deadline; a peer that dribbles bytes forever to keep the I/O
+// deadline fresh still dies at the session deadline.
+type timedConn struct {
+	net.Conn
+	ioTimeout time.Duration
+	end       time.Time // session deadline (absolute)
+	st        *counters
+}
+
+func (c *timedConn) frameDeadline() time.Time {
+	d := time.Now().Add(c.ioTimeout)
+	if d.After(c.end) {
+		return c.end
+	}
+	return d
+}
+
+func (c *timedConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(c.frameDeadline()); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(p)
+	c.st.bytesIn.Add(uint64(n))
+	return n, err
+}
+
+func (c *timedConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(c.frameDeadline()); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Write(p)
+	c.st.bytesOut.Add(uint64(n))
+	return n, err
+}

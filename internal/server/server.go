@@ -1,0 +1,330 @@
+// Package server implements a concurrent attestation gateway: the
+// Verifier side of the internal/remote protocol as a network service that
+// many prover devices dial into simultaneously — the continuous
+// fleet-auditing deployment that CFA papers (TRACES, ACFA) frame and that
+// a single blocking RequestAttestation cannot serve.
+//
+// Session flow (device side speaks remote.AttestTo):
+//
+//	device  -> HELO app        announce which provisioned app is attesting
+//	gateway -> CHAL | BUSY     fresh challenge, or shed at capacity
+//	device  -> RPRT* (Final)   signed (partial) report chain
+//	gateway -> VRDT | FAIL     verdict summary, or session error
+//
+// Three availability mechanisms keep a stalled or malicious device from
+// wedging the service (they are availability defenses only — evidence
+// integrity rests on the report authenticators, not the transport):
+//
+//   - a max-concurrent-sessions slot limit with graceful shedding: beyond
+//     the cap, a connection is answered with one BUSY frame and closed;
+//   - per-I/O read/write deadlines plus an overall session deadline,
+//     enforced on every frame via the timedConn wrapper;
+//   - a bounded worker pool owning the CPU-heavy path reconstruction
+//     (verify.Verifier.Verify), so session goroutines queue for
+//     verification (backpressure) instead of oversubscribing the host,
+//     and the accept loop never blocks on verification at all.
+//
+// One immutable verify.Verifier per app is shared by all sessions (see
+// the concurrency contract on verify.Verifier).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/remote"
+	"raptrack/internal/verify"
+)
+
+// Config tunes a Gateway. Zero values select the documented defaults.
+type Config struct {
+	// MaxSessions caps concurrently served sessions; further connections
+	// are shed with a BUSY frame (default 64).
+	MaxSessions int
+	// VerifyWorkers sizes the reconstruction worker pool (default
+	// GOMAXPROCS).
+	VerifyWorkers int
+	// VerifyQueue bounds verification jobs waiting for a worker; beyond
+	// it, session goroutines block — backpressure — until their session
+	// deadline (default 2 * VerifyWorkers).
+	VerifyQueue int
+	// SessionTimeout bounds one whole session, connection to verdict
+	// (default 30s).
+	SessionTimeout time.Duration
+	// IOTimeout bounds each read/write (default 10s).
+	IOTimeout time.Duration
+	// OnSessionError, when non-nil, observes per-session failures
+	// (diagnostics; the session is already counted in Stats).
+	OnSessionError func(remoteAddr string, err error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.VerifyQueue <= 0 {
+		c.VerifyQueue = 2 * c.VerifyWorkers
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 30 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// verifyJob is one reconstruction request handed to the worker pool.
+type verifyJob struct {
+	v       *verify.Verifier
+	chal    attest.Challenge
+	reports []*attest.Report
+	resp    chan verifyResult // buffered(1): workers never block on delivery
+}
+
+type verifyResult struct {
+	verdict *verify.Verdict
+	err     error
+}
+
+// Gateway is a concurrent attestation server. Construct with New,
+// Register verifiers, then Serve one or more listeners; Close drains.
+type Gateway struct {
+	cfg Config
+
+	mu        sync.Mutex
+	verifiers map[string]*verify.Verifier
+	listeners []net.Listener
+	closed    bool // guarded by mu; set exactly once by Close
+
+	slots chan struct{} // session slot semaphore (cap MaxSessions)
+	jobs  chan verifyJob
+
+	sessions sync.WaitGroup
+	workers  sync.WaitGroup
+
+	st counters
+}
+
+// New builds a gateway and starts its verification worker pool.
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:       cfg,
+		verifiers: make(map[string]*verify.Verifier),
+		slots:     make(chan struct{}, cfg.MaxSessions),
+		jobs:      make(chan verifyJob, cfg.VerifyQueue),
+	}
+	g.workers.Add(cfg.VerifyWorkers)
+	for i := 0; i < cfg.VerifyWorkers; i++ {
+		go g.worker()
+	}
+	return g
+}
+
+// Register provisions the shared Verifier for one application. Safe to
+// call while serving; re-registering replaces.
+func (g *Gateway) Register(app string, v *verify.Verifier) {
+	g.mu.Lock()
+	g.verifiers[app] = v
+	g.mu.Unlock()
+}
+
+func (g *Gateway) verifier(app string) *verify.Verifier {
+	g.mu.Lock()
+	v := g.verifiers[app]
+	g.mu.Unlock()
+	return v
+}
+
+// ErrClosed is returned by Serve on a gateway that was already closed.
+var ErrClosed = errors.New("server: gateway closed")
+
+// Serve accepts sessions on l until Close (then returns nil) or a fatal
+// accept error. Each connection is served on its own goroutine; the
+// accept loop itself never runs protocol I/O or verification.
+func (g *Gateway) Serve(l net.Listener) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.listeners = append(g.listeners, l)
+	g.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if g.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		// The session WaitGroup Add and the Close flag share the mutex:
+		// either this Add happens before Close's Wait, or Close already
+		// ran and the connection is dropped.
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		g.sessions.Add(1)
+		g.mu.Unlock()
+		go func() {
+			defer g.sessions.Done()
+			g.handleConn(conn)
+		}()
+	}
+}
+
+func (g *Gateway) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+// Close stops accepting, waits for in-flight sessions, and drains the
+// worker pool. Idempotent.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	ls := g.listeners
+	g.listeners = nil
+	g.mu.Unlock()
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	g.sessions.Wait()
+	close(g.jobs)
+	g.workers.Wait()
+	return nil
+}
+
+// Stats snapshots the gateway counters.
+func (g *Gateway) Stats() Stats {
+	return g.st.snapshot(len(g.slots))
+}
+
+// handleConn runs one session: acquire a slot or shed, then speak the
+// protocol under deadlines.
+func (g *Gateway) handleConn(conn net.Conn) {
+	defer conn.Close()
+	g.st.started.Add(1)
+
+	select {
+	case g.slots <- struct{}{}:
+		defer func() { <-g.slots }()
+	default:
+		// At capacity: one best-effort BUSY frame, then hang up. The
+		// write gets its own short deadline so a non-reading client
+		// cannot pin this goroutine either.
+		g.st.rejected.Add(1)
+		_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.IOTimeout))
+		_ = remote.WriteFrame(conn, remote.FrameBusy, nil)
+		return
+	}
+
+	g.st.accepted.Add(1)
+	deadline := time.Now().Add(g.cfg.SessionTimeout)
+	tc := &timedConn{Conn: conn, ioTimeout: g.cfg.IOTimeout, end: deadline, st: &g.st}
+	if err := g.session(tc, deadline); err != nil {
+		g.st.failed.Add(1)
+		if g.cfg.OnSessionError != nil {
+			g.cfg.OnSessionError(conn.RemoteAddr().String(), err)
+		}
+	}
+}
+
+// session speaks one gateway session on an already-admitted connection.
+func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
+	typ, payload, err := remote.ReadFrame(tc)
+	if err != nil {
+		return fmt.Errorf("server: reading hello: %w", err)
+	}
+	if typ != remote.FrameHello {
+		_ = remote.WriteFrame(tc, remote.FrameFail, []byte("expected hello frame"))
+		return fmt.Errorf("server: expected hello frame, got type %d", typ)
+	}
+	app := string(payload)
+	v := g.verifier(app)
+	if v == nil {
+		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(fmt.Sprintf("unknown application %q", app)))
+		return fmt.Errorf("server: unknown application %q", app)
+	}
+
+	chal, err := attest.NewChallenge(app)
+	if err != nil {
+		_ = remote.WriteFrame(tc, remote.FrameFail, []byte("challenge generation failed"))
+		return err
+	}
+	if err := remote.WriteFrame(tc, remote.FrameChal, chal.Encode()); err != nil {
+		return fmt.Errorf("server: sending challenge: %w", err)
+	}
+	reports, err := remote.CollectReports(tc)
+	if err != nil {
+		return err
+	}
+
+	verdict, err := g.verify(v, chal, reports, deadline)
+	if err != nil {
+		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(err.Error()))
+		return err
+	}
+	if verdict.OK {
+		g.st.verdictOK.Add(1)
+	} else {
+		g.st.verdictAttack.Add(1)
+	}
+	if err := remote.WriteFrame(tc, remote.FrameVerdict, remote.EncodeVerdict(verdict.OK, verdict.Reason)); err != nil {
+		return fmt.Errorf("server: sending verdict: %w", err)
+	}
+	return nil
+}
+
+// verify hands the reconstruction to the worker pool and waits for the
+// result, but never past the session deadline: a saturated pool exerts
+// backpressure here, not in the accept or read loops.
+func (g *Gateway) verify(v *verify.Verifier, chal attest.Challenge, reports []*attest.Report, deadline time.Time) (*verify.Verdict, error) {
+	job := verifyJob{v: v, chal: chal, reports: reports, resp: make(chan verifyResult, 1)}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case g.jobs <- job:
+	case <-timer.C:
+		return nil, errors.New("server: verification queue full past session deadline")
+	}
+	select {
+	case r := <-job.resp:
+		if r.err != nil {
+			return nil, fmt.Errorf("server: malformed or inauthentic evidence: %w", r.err)
+		}
+		return r.verdict, nil
+	case <-timer.C:
+		// The worker finishes and delivers into the buffered channel;
+		// only this session stops waiting.
+		return nil, errors.New("server: verification exceeded session deadline")
+	}
+}
+
+func (g *Gateway) worker() {
+	defer g.workers.Done()
+	for job := range g.jobs {
+		start := time.Now()
+		vd, err := job.v.Verify(job.chal, job.reports)
+		g.st.observeVerify(time.Since(start))
+		job.resp <- verifyResult{verdict: vd, err: err}
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the verify-latency histogram size: len(verifyBuckets)
+// finite buckets plus the +inf overflow bucket.
+const histBuckets = 7
+
+// verifyBuckets are the upper bounds of the verify-latency histogram; an
+// implicit +inf bucket catches the tail. Verification cost scales with
+// evidence volume, so the spread is wide.
+var verifyBuckets = [histBuckets - 1]time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+}
+
+// counters is the gateway's hot-path instrumentation: all fields are
+// atomics so sessions never serialize on a stats lock.
+type counters struct {
+	started  atomic.Uint64 // connections handled, including shed ones
+	accepted atomic.Uint64 // sessions that won a slot
+	rejected atomic.Uint64 // sessions shed with a BUSY frame
+	failed   atomic.Uint64 // accepted sessions that errored out
+
+	verdictOK     atomic.Uint64
+	verdictAttack atomic.Uint64
+
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+
+	verifications atomic.Uint64
+	verifyNanos   atomic.Uint64
+	verifyHist    [histBuckets]atomic.Uint64
+}
+
+func (c *counters) observeVerify(d time.Duration) {
+	c.verifications.Add(1)
+	c.verifyNanos.Add(uint64(d.Nanoseconds()))
+	for i, le := range verifyBuckets {
+		if d <= le {
+			c.verifyHist[i].Add(1)
+			return
+		}
+	}
+	c.verifyHist[len(verifyBuckets)].Add(1)
+}
+
+// HistBucket is one verify-latency histogram bucket; Le == 0 marks the
+// +inf overflow bucket.
+type HistBucket struct {
+	Le    time.Duration
+	Count uint64
+}
+
+// Stats is a point-in-time snapshot of the gateway counters. Counts are
+// monotone except ActiveSessions, a gauge.
+type Stats struct {
+	SessionsStarted  uint64 // connections handled (accepted + rejected)
+	SessionsAccepted uint64
+	SessionsRejected uint64 // shed with a BUSY frame
+	SessionsFailed   uint64 // accepted but errored (timeout, protocol, bad evidence)
+	ActiveSessions   int    // sessions currently holding a slot
+
+	VerdictOK     uint64 // sessions whose evidence attested a benign path
+	VerdictAttack uint64 // well-formed evidence attesting a disallowed path
+
+	BytesIn  uint64
+	BytesOut uint64
+
+	Verifications uint64        // reconstructions run by the worker pool
+	VerifyTotal   time.Duration // summed reconstruction wall time
+	VerifyHist    []HistBucket
+}
+
+// snapshot reads every counter once; sessions may land between reads, so
+// the sums are consistent only once the gateway is quiescent.
+func (c *counters) snapshot(active int) Stats {
+	s := Stats{
+		SessionsStarted:  c.started.Load(),
+		SessionsAccepted: c.accepted.Load(),
+		SessionsRejected: c.rejected.Load(),
+		SessionsFailed:   c.failed.Load(),
+		ActiveSessions:   active,
+		VerdictOK:        c.verdictOK.Load(),
+		VerdictAttack:    c.verdictAttack.Load(),
+		BytesIn:          c.bytesIn.Load(),
+		BytesOut:         c.bytesOut.Load(),
+		Verifications:    c.verifications.Load(),
+		VerifyTotal:      time.Duration(c.verifyNanos.Load()),
+	}
+	s.VerifyHist = make([]HistBucket, 0, histBuckets)
+	for i, le := range verifyBuckets {
+		s.VerifyHist = append(s.VerifyHist, HistBucket{Le: le, Count: c.verifyHist[i].Load()})
+	}
+	s.VerifyHist = append(s.VerifyHist, HistBucket{Le: 0, Count: c.verifyHist[len(verifyBuckets)].Load()})
+	return s
+}
+
+// String renders the snapshot as the multi-line block `raptrack serve`
+// prints on shutdown.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions:      %d started, %d accepted, %d rejected (busy), %d failed, %d active\n",
+		s.SessionsStarted, s.SessionsAccepted, s.SessionsRejected, s.SessionsFailed, s.ActiveSessions)
+	fmt.Fprintf(&b, "verdicts:      %d ok, %d attack\n", s.VerdictOK, s.VerdictAttack)
+	fmt.Fprintf(&b, "traffic:       %d B in, %d B out\n", s.BytesIn, s.BytesOut)
+	avg := time.Duration(0)
+	if s.Verifications > 0 {
+		avg = s.VerifyTotal / time.Duration(s.Verifications)
+	}
+	fmt.Fprintf(&b, "verifications: %d (avg %v)\n", s.Verifications, avg)
+	fmt.Fprintf(&b, "verify latency:")
+	for _, hb := range s.VerifyHist {
+		if hb.Le == 0 {
+			fmt.Fprintf(&b, " +inf:%d", hb.Count)
+		} else {
+			fmt.Fprintf(&b, " <=%v:%d", hb.Le, hb.Count)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"raptrack/internal/remote"
+	"raptrack/internal/server"
+)
+
+// TestGatewayStressConcurrent throws a mixed fleet at one gateway over
+// loopback TCP: benign provers for two different apps, watermarked
+// provers streaming many partial reports, and clients announcing an
+// unprovisioned app. Every session must end with the correct outcome and
+// the stats must add up exactly. Run under -race.
+func TestGatewayStressConcurrent(t *testing.T) {
+	const (
+		benignPrime = 12 // full-buffer sessions, app "prime"
+		benignGPS   = 8  // app "gps"
+		streamed    = 6  // watermarked "gps" sessions (many partials)
+		unknown     = 4  // sessions for an unprovisioned app
+	)
+	total := benignPrime + benignGPS + streamed + unknown
+
+	g, addr, ep := startGateway(t, server.Config{
+		MaxSessions:   total, // no shedding in this test: every session counts
+		VerifyWorkers: 4,
+	}, "prime", "gps")
+	// A second endpoint whose gps prover emits partials every 512 bytes:
+	// same key and link, so the gateway accepts its chains too.
+	streamEP := remote.NewProverEndpoint()
+	fixture(t, "gps").provision(streamEP, 512)
+
+	type task struct {
+		ep      *remote.ProverEndpoint
+		app     string
+		wantOK  bool
+		wantErr string // substring of the expected error ("" = success)
+	}
+	var tasks []task
+	for i := 0; i < benignPrime; i++ {
+		tasks = append(tasks, task{ep: ep, app: "prime", wantOK: true})
+	}
+	for i := 0; i < benignGPS; i++ {
+		tasks = append(tasks, task{ep: ep, app: "gps", wantOK: true})
+	}
+	for i := 0; i < streamed; i++ {
+		tasks = append(tasks, task{ep: streamEP, app: "gps", wantOK: true})
+	}
+	for i := 0; i < unknown; i++ {
+		tasks = append(tasks, task{ep: ep, app: "rogue", wantErr: "unknown application"})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, total)
+	for i, tk := range tasks {
+		wg.Add(1)
+		go func(i int, tk task) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", i, err)
+				return
+			}
+			defer conn.Close()
+			gv, err := tk.ep.AttestTo(conn, tk.app)
+			switch {
+			case tk.wantErr != "":
+				if err == nil || !strings.Contains(err.Error(), tk.wantErr) {
+					errs <- fmt.Errorf("client %d (%s): err = %v, want %q", i, tk.app, err, tk.wantErr)
+				}
+			case err != nil:
+				errs <- fmt.Errorf("client %d (%s): %w", i, tk.app, err)
+			case gv.OK != tk.wantOK:
+				errs <- fmt.Errorf("client %d (%s): verdict %+v, want OK=%v", i, tk.app, gv, tk.wantOK)
+			}
+		}(i, tk)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiescent now (every AttestTo returned after the gateway's final
+	// frame), so the counters must balance exactly.
+	st := g.Stats()
+	wantOK := uint64(benignPrime + benignGPS + streamed)
+	if st.SessionsStarted != uint64(total) || st.SessionsAccepted != uint64(total) {
+		t.Errorf("sessions: %+v, want %d started and accepted", st, total)
+	}
+	if st.SessionsRejected != 0 {
+		t.Errorf("unexpected shedding: %+v", st)
+	}
+	if st.VerdictOK != wantOK || st.VerdictAttack != 0 {
+		t.Errorf("verdicts: %+v, want %d ok", st, wantOK)
+	}
+	if st.SessionsFailed != unknown {
+		t.Errorf("failed: %+v, want %d", st, unknown)
+	}
+	if st.Verifications != wantOK {
+		t.Errorf("verifications: %+v, want %d", st, wantOK)
+	}
+	if got := st.VerdictOK + st.VerdictAttack + st.SessionsFailed; got != st.SessionsAccepted {
+		t.Errorf("accounting: ok+attack+failed = %d, accepted = %d", got, st.SessionsAccepted)
+	}
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Errorf("byte counters: %+v", st)
+	}
+
+	// One of everything happened under concurrency; the shared verifiers
+	// must still be reusable afterwards.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	gv, err := ep.AttestTo(conn, "prime")
+	if err != nil || !gv.OK {
+		t.Fatalf("post-stress session: %+v, %v", gv, err)
+	}
+}

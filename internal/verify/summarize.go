@@ -115,10 +115,11 @@ type summarizer struct {
 
 	segCap    uint64 // max instructions per deterministic segment
 	emitLoops uint64 // loop trip counts applied during witness emission
+	debug     bool   // verbose search diagnostics (Options.Debug)
 }
 
 func (s *summarizer) note(pc uint32, format string, args ...any) {
-	if debugSearch {
+	if s.debug {
 		fmt.Printf("note(eval %d): pc=%#x: %s\n", s.evals, pc, fmt.Sprintf(format, args...))
 	}
 	if s.firstReason == "" {
@@ -131,7 +132,7 @@ func (s *summarizer) note(pc uint32, format string, args ...any) {
 // actionable diagnostics, so they take precedence over generic
 // missing-evidence notes from abandoned search branches.
 func (s *summarizer) noteAttack(pc uint32, format string, args ...any) {
-	if debugSearch {
+	if s.debug {
 		fmt.Printf("ATTACK(eval %d): pc=%#x: %s\n", s.evals, pc, fmt.Sprintf(format, args...))
 	}
 	if s.firstReason == "" || !s.attackNoted {
@@ -529,6 +530,7 @@ func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
 		advMemo: make(map[nodeKey]advState),
 		inDirty: make(map[nodeKey]bool),
 		segCap:  uint64(len(img.Code)) + 16,
+		debug:   v.opts.Debug,
 	}
 
 	fail := func(reason string, pc uint32) *Verdict {
@@ -574,6 +576,3 @@ func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
 	}
 	return fail(reason, s.firstPC)
 }
-
-// debugSearch enables verbose search diagnostics (set via Options.Debug).
-var debugSearch = false

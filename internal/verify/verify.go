@@ -85,7 +85,9 @@ type Options struct {
 	// PathCap bounds the recorded path edges (default 4096; -1 disables
 	// recording).
 	PathCap int
-	// Debug prints search diagnostics to stdout (development aid).
+	// Debug prints search diagnostics to stdout (development aid). The
+	// flag is carried per search state, so one debugging Verifier does
+	// not affect concurrent verifications by others.
 	Debug bool
 	// Speculation, when non-nil, expands SpecCFA sub-path markers in the
 	// evidence before reconstruction (must match the Prover's dictionary).
@@ -95,6 +97,10 @@ type Options struct {
 // Verifier validates attestation evidence for one application. It holds
 // the golden linked artifact (the Verifier runs the same offline phase on
 // the published binary) and the report authenticator.
+//
+// A Verifier is immutable after New and safe for concurrent use: every
+// Verify/ReplayPackets call allocates its own search state, so one
+// Verifier per application can be shared across all gateway sessions.
 type Verifier struct {
 	link    *linker.Output
 	auth    attest.Authenticator
@@ -110,9 +116,6 @@ func New(link *linker.Output, auth attest.Authenticator, opts Options) *Verifier
 	}
 	if opts.PathCap == 0 {
 		opts.PathCap = 4096
-	}
-	if opts.Debug {
-		debugSearch = true
 	}
 	v := &Verifier{
 		link:    link,

@@ -5,7 +5,9 @@
 package verify_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"raptrack/internal/asm"
@@ -367,5 +369,45 @@ func TestHMemMismatchRejected(t *testing.T) {
 	}
 	if vd.OK || !strings.Contains(vd.Reason, "H_MEM") {
 		t.Errorf("verdict = %+v", vd)
+	}
+}
+
+// TestVerifierConcurrentUse shares one Verifier across many goroutines
+// (the gateway deployment shape: one Verifier per app, all sessions).
+// Every reconstruction must succeed and agree; run under -race to catch
+// hidden shared state in the search (memo maps, debug globals, ...).
+func TestVerifierConcurrentUse(t *testing.T) {
+	out, packets := attested(t, richProgram())
+	v := newVerifier(out)
+	want := v.ReplayPackets(packets)
+	if !want.OK {
+		t.Fatalf("baseline verdict: %s", want.Reason)
+	}
+
+	const goroutines, rounds = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				vd := v.ReplayPackets(packets)
+				if !vd.OK {
+					errs <- fmt.Errorf("concurrent verdict rejected: %s", vd.Reason)
+					return
+				}
+				if vd.Transfers != want.Transfers || vd.PacketsUsed != want.PacketsUsed {
+					errs <- fmt.Errorf("concurrent verdict diverged: %d/%d transfers, %d/%d packets",
+						vd.Transfers, want.Transfers, vd.PacketsUsed, want.PacketsUsed)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
