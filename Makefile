@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench serve-selftest
+.PHONY: check vet build test race fuzz bench bench-smoke serve-selftest
 
 check: vet build test race fuzz
 
@@ -24,6 +24,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Quick gateway-throughput smoke: one iteration per case, cache off vs
+# on. CI uploads the output so fast-path regressions are visible per-PR.
+bench-smoke:
+	$(GO) test -bench ServerThroughput -benchtime 1x -run xxx . | tee bench-smoke.txt
 
 # One-command load check of the gateway networking path.
 serve-selftest:

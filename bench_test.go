@@ -32,6 +32,7 @@ import (
 	"raptrack/internal/server"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
+	"raptrack/internal/verify"
 )
 
 func evalApps(b *testing.B) []apps.App {
@@ -219,7 +220,7 @@ func BenchmarkVerify(b *testing.B) {
 					b.Fatal(err)
 				}
 				if !verdict.OK {
-					b.Fatalf("rejected: %s", verdict.Reason)
+					b.Fatalf("rejected: %s", verdict.Reason())
 				}
 				transfers = verdict.Transfers
 				packets = uint64(verdict.Packets)
@@ -347,7 +348,7 @@ func BenchmarkSpecCFA(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				verdict, err := core.NewVerifierWithSpeculation(link, key, dict).Verify(chal, reports)
+				verdict, err := core.NewVerifier(link, key, verify.WithSpeculation(dict)).Verify(chal, reports)
 				if err != nil || !verdict.OK {
 					b.Fatalf("verify: %v %v", err, verdict)
 				}
@@ -403,9 +404,11 @@ func BenchmarkVerifyEffort(b *testing.B) {
 
 // BenchmarkServerThroughput measures end-to-end attestation sessions per
 // second through the internal/server gateway over loopback TCP, at rising
-// client concurrency. One session = dial + HELO + challenge + attested
-// prover run + report stream + verification + verdict, so this is the
-// comms-path number later PRs must not regress.
+// client concurrency, with the verification fast path off and on. One
+// session = dial + HELO + (dictionary) + challenge + attested prover run +
+// report stream + verification + verdict, so this is the comms-path number
+// later PRs must not regress. The cache=on/cache=off pair quantifies the
+// cross-session sub-path summary cache + online mining win.
 func BenchmarkServerThroughput(b *testing.B) {
 	const appName = "fibcall"
 	a, err := apps.Get(appName)
@@ -425,53 +428,71 @@ func BenchmarkServerThroughput(b *testing.B) {
 		return core.NewProver(link, key, core.ProverConfig{SetupMem: a.SetupMem()})
 	})
 
-	for _, clients := range []int{1, 4, 16} {
-		clients := clients
-		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			g := server.New(server.Config{MaxSessions: clients})
-			g.Register(appName, core.NewVerifier(link, key))
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			go func() { _ = g.Serve(ln) }()
-			addr := ln.Addr().String()
+	for _, mode := range []struct {
+		name string
+		cfg  func(clients int) server.Config
+	}{
+		{"cache=off", func(clients int) server.Config {
+			return server.Config{MaxSessions: clients, CacheBytes: -1, MineEvery: -1}
+		}},
+		{"cache=on", func(clients int) server.Config {
+			return server.Config{MaxSessions: clients}
+		}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for _, clients := range []int{1, 4, 16} {
+				clients := clients
+				b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+					g := server.New(mode.cfg(clients))
+					g.Register(appName, core.NewVerifier(link, key))
+					ln, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					go func() { _ = g.Serve(ln) }()
+					addr := ln.Addr().String()
 
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			sem := make(chan struct{}, clients)
-			errs := make(chan error, b.N)
-			for i := 0; i < b.N; i++ {
-				wg.Add(1)
-				sem <- struct{}{}
-				go func() {
-					defer wg.Done()
-					defer func() { <-sem }()
-					conn, err := net.Dial("tcp", addr)
-					if err != nil {
-						errs <- err
-						return
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					sem := make(chan struct{}, clients)
+					errs := make(chan error, b.N)
+					for i := 0; i < b.N; i++ {
+						wg.Add(1)
+						sem <- struct{}{}
+						go func() {
+							defer wg.Done()
+							defer func() { <-sem }()
+							conn, err := net.Dial("tcp", addr)
+							if err != nil {
+								errs <- err
+								return
+							}
+							defer conn.Close()
+							gv, err := ep.AttestTo(conn, appName)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if !gv.OK {
+								errs <- fmt.Errorf("verdict: %s", gv.Reason())
+							}
+						}()
 					}
-					defer conn.Close()
-					gv, err := ep.AttestTo(conn, appName)
-					if err != nil {
-						errs <- err
-						return
+					wg.Wait()
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+					st := g.Stats()
+					b.ReportMetric(float64(st.CacheHits), "cache_hits")
+					b.ReportMetric(float64(st.DictPromotions), "dict_promotions")
+					if err := g.Close(); err != nil {
+						b.Fatal(err)
 					}
-					if !gv.OK {
-						errs <- fmt.Errorf("verdict: %s", gv.Reason)
+					close(errs)
+					for err := range errs {
+						b.Fatal(err)
 					}
-				}()
-			}
-			wg.Wait()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
-			if err := g.Close(); err != nil {
-				b.Fatal(err)
-			}
-			close(errs)
-			for err := range errs {
-				b.Fatal(err)
+				})
 			}
 		})
 	}

@@ -280,7 +280,7 @@ func cmdAttest(args []string) error {
 		fmt.Printf("verdict:         ACCEPTED (%d transfers reconstructed, %d loops replayed)\n",
 			verdict.Transfers, verdict.LoopsReplayed)
 	} else {
-		fmt.Printf("verdict:         REJECTED: %s (pc=%#x)\n", verdict.Reason, verdict.FailPC)
+		fmt.Printf("verdict:         REJECTED: %s (pc=%#x)\n", verdict.Reason(), verdict.FailPC)
 	}
 	for i, e := range verdict.Path {
 		if i >= *pathN {
@@ -339,7 +339,7 @@ func cmdVerify(args []string) error {
 		fmt.Printf("verdict:         ACCEPTED (%d transfers, %d loops replayed, %d packets)\n",
 			verdict.Transfers, verdict.LoopsReplayed, verdict.Packets)
 	} else {
-		fmt.Printf("verdict:         REJECTED: %s (pc=%#x)\n", verdict.Reason, verdict.FailPC)
+		fmt.Printf("verdict:         REJECTED: %s (pc=%#x)\n", verdict.Reason(), verdict.FailPC)
 	}
 	for i, e := range verdict.Path {
 		if i >= *pathN {

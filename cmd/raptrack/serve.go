@@ -31,6 +31,10 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "verification worker pool size (0: GOMAXPROCS)")
 	sessionTimeout := fs.Duration("session-timeout", 30*time.Second, "whole-session deadline")
 	ioTimeout := fs.Duration("io-timeout", 10*time.Second, "per-read/write deadline")
+	cacheBytes := fs.Int64("cache-bytes", 0, "verification cache budget in bytes (0: 64 MiB default, negative: off)")
+	mineEvery := fs.Int("mine-every", 0, "mine the dictionary every Nth accepted session (0: default 16, negative: off)")
+	minePaths := fs.Int("mine-paths", 0, "sub-paths to mine per pass (0: default 8)")
+	maxDictPaths := fs.Int("max-dict-paths", 0, "live dictionary size cap (0: default 32)")
 	selftest := fs.Int("selftest", 0, "drive N concurrent local prover sessions, print stats, exit")
 	watermark := fs.Int("watermark", 0, "MTB watermark for selftest provers (0: buffer size)")
 	verbose := fs.Bool("v", false, "log per-session failures")
@@ -52,6 +56,10 @@ func cmdServe(args []string) error {
 		VerifyWorkers:  *workers,
 		SessionTimeout: *sessionTimeout,
 		IOTimeout:      *ioTimeout,
+		CacheBytes:     *cacheBytes,
+		MineEvery:      *mineEvery,
+		MinePaths:      *minePaths,
+		MaxDictPaths:   *maxDictPaths,
 	}
 	if *verbose {
 		cfg.OnSessionError = func(addr string, err error) {
@@ -124,8 +132,26 @@ func cmdServe(args []string) error {
 }
 
 // runSelftest dials n concurrent prover sessions (round-robin over the
-// provisioned apps) into the gateway's own listener.
+// provisioned apps) into the gateway's own listener. A sequential warmup
+// session per app runs first so the concurrent batch exercises the fast
+// path: warmed verdict/segment caches and a freshly mined dictionary.
 func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, names []string, n int) error {
+	fmt.Printf("selftest: warmup round over %d apps\n", len(names))
+	for _, app := range names {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("warmup %s: dial: %w", app, err)
+		}
+		gv, err := ep.AttestTo(conn, app)
+		conn.Close()
+		if err != nil {
+			return fmt.Errorf("warmup %s: %w", app, err)
+		}
+		if !gv.OK {
+			return fmt.Errorf("warmup %s: verdict REJECTED: %s", app, gv.Reason())
+		}
+	}
+
 	fmt.Printf("selftest: %d concurrent prover sessions\n", n)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -147,7 +173,7 @@ func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, name
 				return
 			}
 			if !gv.OK {
-				errs <- fmt.Errorf("session %d (%s): verdict REJECTED: %s", i, app, gv.Reason)
+				errs <- fmt.Errorf("session %d (%s): verdict REJECTED: %s", i, app, gv.Reason())
 			}
 		}(i)
 	}

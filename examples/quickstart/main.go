@@ -62,7 +62,7 @@ func main() {
 		log.Fatalf("malformed evidence: %v", err)
 	}
 	if !verdict.OK {
-		log.Fatalf("attestation REJECTED: %s", verdict.Reason)
+		log.Fatalf("attestation REJECTED: %s", verdict.Reason())
 	}
 	fmt.Printf("attestation ACCEPTED: %d transfers reconstructed losslessly (%d packets consumed)\n",
 		verdict.Transfers, verdict.PacketsUsed)

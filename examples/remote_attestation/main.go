@@ -87,6 +87,6 @@ func main() {
 		fmt.Printf("verdict: ACCEPTED — %d transfers reconstructed from %d packets\n",
 			v.Transfers, v.Packets)
 	} else {
-		fmt.Printf("verdict: REJECTED — %s\n", v.Reason)
+		fmt.Printf("verdict: REJECTED — %s\n", v.Reason())
 	}
 }

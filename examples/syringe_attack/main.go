@@ -150,7 +150,7 @@ func attestPump(attack bool) (verOK bool, reason string, hmemOK bool, motorRan b
 		log.Fatalf("malformed evidence: %v", err)
 	}
 	hmemOK = reports[0].HMem == verifier.ExpectedHMem()
-	return verdict.OK, verdict.Reason, hmemOK, gpio.Writes > 0
+	return verdict.OK, verdict.Reason(), hmemOK, gpio.Writes > 0
 }
 
 func main() {

@@ -162,6 +162,19 @@ func New(cfg Config) (*Engine, error) {
 // Link returns the linked artifact the engine attests.
 func (e *Engine) Link() *linker.Output { return e.link }
 
+// SetSpeculation replaces the SpecCFA dictionary (nil disables
+// compression). Gateways deliver a live, mined dictionary in the session
+// handshake; it must land before Begin — mid-session swaps would compress
+// different report windows with different speculation sets, which the
+// Verifier cannot expand.
+func (e *Engine) SetSpeculation(d *speccfa.Dictionary) error {
+	if e.active {
+		return errors.New("cfa: cannot replace the speculation dictionary mid-session")
+	}
+	e.spec = d
+	return nil
+}
+
 // Begin starts a CFA session for chal: locks the NS-MPU over APP code,
 // measures H_MEM, programs DWT/MTB. Call before running the application.
 func (e *Engine) Begin(chal attest.Challenge) error {

@@ -79,7 +79,7 @@ func TestAllAppsAttestAndVerify(t *testing.T) {
 			}
 			if !verdict.OK {
 				t.Fatalf("verdict: %s (pc=%#x, packets %d/%d)",
-					verdict.Reason, verdict.FailPC, verdict.PacketsUsed, verdict.Packets)
+					verdict.Reason(), verdict.FailPC, verdict.PacketsUsed, verdict.Packets)
 			}
 			if verdict.PacketsUsed != verdict.Packets {
 				t.Errorf("evidence not fully consumed: %d/%d", verdict.PacketsUsed, verdict.Packets)

@@ -140,21 +140,9 @@ func (p *Prover) Attest(chal attest.Challenge) ([]*attest.Report, RunStats, erro
 	return reports, stats, nil
 }
 
-// VerifyOptions re-exports verifier options.
-type VerifyOptions = verify.Options
-
-// NewVerifier builds the Verifier for a linked application.
-func NewVerifier(link *linker.Output, auth attest.Authenticator) *verify.Verifier {
-	return verify.New(link, auth, verify.Options{})
-}
-
-// NewVerifierWithOptions builds a Verifier with explicit options.
-func NewVerifierWithOptions(link *linker.Output, auth attest.Authenticator, opts VerifyOptions) *verify.Verifier {
-	return verify.New(link, auth, opts)
-}
-
-// NewVerifierWithSpeculation builds a Verifier that expands SpecCFA
-// markers with the given dictionary before reconstruction.
-func NewVerifierWithSpeculation(link *linker.Output, auth attest.Authenticator, d *speccfa.Dictionary) *verify.Verifier {
-	return verify.New(link, auth, verify.Options{Speculation: d})
+// NewVerifier builds the Verifier for a linked application, configured by
+// functional options (verify.WithMaxInstrs, verify.WithSpeculation,
+// verify.WithCache, ...); none are required for the defaults.
+func NewVerifier(link *linker.Output, auth attest.Authenticator, opts ...verify.Option) *verify.Verifier {
+	return verify.New(link, auth, opts...)
 }

@@ -124,7 +124,7 @@ func TestEndToEndAttestation(t *testing.T) {
 		t.Fatalf("verify: %v", err)
 	}
 	if !verdict.OK {
-		t.Fatalf("verdict not OK: %s (pc=%#x)", verdict.Reason, verdict.FailPC)
+		t.Fatalf("verdict not OK: %s (pc=%#x)", verdict.Reason(), verdict.FailPC)
 	}
 	if verdict.PacketsUsed != verdict.Packets {
 		t.Errorf("packets used %d != total %d", verdict.PacketsUsed, verdict.Packets)

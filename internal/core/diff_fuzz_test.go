@@ -262,7 +262,7 @@ func TestDifferentialFuzz(t *testing.T) {
 			}
 			if !verdict.OK {
 				t.Fatalf("verdict: %s (pc=%#x, packets %d/%d)",
-					verdict.Reason, verdict.FailPC, verdict.PacketsUsed, verdict.Packets)
+					verdict.Reason(), verdict.FailPC, verdict.PacketsUsed, verdict.Packets)
 			}
 			if verdict.PacketsUsed != verdict.Packets {
 				t.Errorf("unconsumed evidence: %d/%d", verdict.PacketsUsed, verdict.Packets)

@@ -52,9 +52,9 @@ func TestFibDepthScaling(t *testing.T) {
 			t.Fatalf("fib(%d) verify: %v", n, err)
 		}
 		t.Logf("fib(%d): packets=%d ok=%v passes=%d work=%d reason=%q",
-			n, verdict.Packets, verdict.OK, verdict.Passes, verdict.Instrs, verdict.Reason)
+			n, verdict.Packets, verdict.OK, verdict.Passes, verdict.Instrs, verdict.Reason())
 		if !verdict.OK {
-			t.Fatalf("fib(%d) rejected: %s", n, verdict.Reason)
+			t.Fatalf("fib(%d) rejected: %s", n, verdict.Reason())
 		}
 		_ = stats
 	}

@@ -7,6 +7,7 @@ import (
 	"raptrack/internal/attest"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
+	"raptrack/internal/verify"
 )
 
 // TestSpecCFAEndToEnd runs the full SpecCFA workflow: an uncompressed
@@ -76,12 +77,12 @@ func TestSpecCFAEndToEnd(t *testing.T) {
 					stats1.CFLogBytes, stats2.CFLogBytes)
 			}
 
-			verdict, err := NewVerifierWithSpeculation(link, key, dict).Verify(chal2, reports2)
+			verdict, err := NewVerifier(link, key, verify.WithSpeculation(dict)).Verify(chal2, reports2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !verdict.OK {
-				t.Fatalf("compressed session rejected: %s", verdict.Reason)
+				t.Fatalf("compressed session rejected: %s", verdict.Reason())
 			}
 			// The reconstruction must cover the same execution as session 1.
 			base, err := NewVerifier(link, key).Verify(chal1, reports1)

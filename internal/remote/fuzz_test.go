@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"raptrack/internal/attest"
+	"raptrack/internal/verify"
 )
 
 // frameSeed builds one valid frame encoding for the seed corpus.
@@ -26,9 +27,9 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frameSeed(FrameChal, chal.Encode()))
 	f.Add(frameSeed(FrameRprt, (&attest.Report{App: "prime", Final: true}).Encode()))
 	f.Add(frameSeed(FrameFail, []byte("unknown application")))
-	f.Add(frameSeed(FrameHello, []byte("gps")))
+	f.Add(frameSeed(FrameHello, EncodeHello("gps")))
 	f.Add(frameSeed(FrameBusy, nil))
-	f.Add(frameSeed(FrameVerdict, EncodeVerdict(false, "H_MEM mismatch")))
+	f.Add(frameSeed(FrameVerdict, EncodeVerdict(false, verify.ReasonHMemMismatch, "H_MEM mismatch")))
 	f.Add([]byte{})
 	f.Add([]byte{FrameRprt, 0xff, 0xff, 0xff, 0xff}) // oversized declaration
 	f.Add([]byte{FrameChal, 0x10, 0x00, 0x00, 0x00}) // truncated payload
@@ -49,16 +50,17 @@ func FuzzReadFrame(f *testing.F) {
 // FuzzDecodeVerdict checks the VRDT payload parser never panics and
 // round-trips what it accepts.
 func FuzzDecodeVerdict(f *testing.F) {
-	f.Add(EncodeVerdict(true, ""))
-	f.Add(EncodeVerdict(false, "no benign path explains the evidence"))
+	f.Add(EncodeVerdict(true, verify.ReasonNone, ""))
+	f.Add(EncodeVerdict(false, verify.ReasonUnexplained, "no benign path explains the evidence"))
 	f.Add([]byte{})
 	f.Add([]byte{2})
+	f.Add([]byte{0, 0xee})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gv, err := DecodeVerdict(data)
 		if err != nil {
 			return
 		}
-		if !bytes.Equal(EncodeVerdict(gv.OK, gv.Reason), data) {
+		if !bytes.Equal(EncodeVerdict(gv.OK, gv.Code, gv.Detail), data) {
 			t.Fatalf("re-encode mismatch for %x", data)
 		}
 	})

@@ -10,12 +10,19 @@
 //	RPRT (Prover->Verifier): attest.Report encoding; the Final flag inside
 //	                         the report ends the session
 //	FAIL (either direction): UTF-8 error string (unknown app, run fault)
-//	HELO (Prover->Verifier): app name; announces a device dialing into a
-//	                         gateway (internal/server), which answers with
-//	                         CHAL, BUSY or FAIL
+//	HELO (Prover->Verifier): `u8 version | app name`; announces a device
+//	                         dialing into a gateway (internal/server),
+//	                         which answers with DICT+CHAL, CHAL, BUSY or
+//	                         FAIL (version mismatches are rejected with a
+//	                         FAIL wrapping ErrProtocolMismatch)
 //	BUSY (Verifier->Prover): the gateway is at capacity; the session is
 //	                         shed before any challenge is issued
-//	VRDT (Verifier->Prover): gateway verdict summary (ok flag + reason)
+//	DICT (Verifier->Prover): live SpecCFA dictionary for this session
+//	                         (speccfa.Dictionary wire encoding), sent
+//	                         before CHAL so the prover compresses with the
+//	                         same speculation set the gateway expands with
+//	VRDT (Verifier->Prover): gateway verdict summary (ok flag + typed
+//	                         reason code + detail)
 //
 // Evidence integrity does not depend on the transport: a man in the
 // middle can drop the session but any modification is caught by the
@@ -32,6 +39,7 @@ import (
 
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
+	"raptrack/internal/speccfa"
 	"raptrack/internal/verify"
 )
 
@@ -43,7 +51,36 @@ const (
 	FrameHello   byte = 4 // Prover->Verifier: app announce (gateway mode)
 	FrameBusy    byte = 5 // Verifier->Prover: session shed at capacity
 	FrameVerdict byte = 6 // Verifier->Prover: session verdict summary
+	FrameDict    byte = 7 // Verifier->Prover: session SpecCFA dictionary
 )
+
+// ProtocolVersion is negotiated in the HELO frame's leading byte. v2
+// introduced the version byte itself, the DICT frame and coded verdicts;
+// there is no compatibility path to the unversioned v1 HELO, so
+// mismatches are rejected explicitly instead of mis-parsing.
+const ProtocolVersion byte = 2
+
+// ErrProtocolMismatch is returned (and sent inside a FAIL frame) when a
+// HELO announces a protocol version this endpoint does not speak. Test
+// with errors.Is.
+var ErrProtocolMismatch = errors.New("remote: protocol version mismatch")
+
+// EncodeHello builds a HELO payload announcing app at ProtocolVersion.
+func EncodeHello(app string) []byte {
+	return append([]byte{ProtocolVersion}, app...)
+}
+
+// ParseHello validates a HELO payload's version byte and returns the
+// announced application name.
+func ParseHello(payload []byte) (string, error) {
+	if len(payload) == 0 {
+		return "", fmt.Errorf("%w: empty HELO", ErrProtocolMismatch)
+	}
+	if payload[0] != ProtocolVersion {
+		return "", fmt.Errorf("%w: peer speaks v%d, want v%d", ErrProtocolMismatch, payload[0], ProtocolVersion)
+	}
+	return string(payload[1:]), nil
+}
 
 // MaxFrame bounds a frame payload (a report window plus headers).
 const MaxFrame = 1 << 20
@@ -139,6 +176,23 @@ func (p *ProverEndpoint) ServeOne(conn io.ReadWriter) error {
 	if err != nil {
 		return fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
 	}
+	var dict *speccfa.Dictionary
+	if typ == FrameDict {
+		if dict, err = speccfa.DecodeDictionary(payload); err != nil {
+			_ = WriteFrame(conn, FrameFail, []byte("bad dictionary"))
+			return fmt.Errorf("remote: decoding dictionary: %w", err)
+		}
+		if typ, payload, err = ReadFrame(conn); err != nil {
+			return fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
+		}
+	}
+	return p.serveSession(conn, typ, payload, dict)
+}
+
+// serveSession runs the prover side from an already-read opening frame,
+// optionally provisioning a session dictionary (gateway DICT handshake)
+// into the freshly built prover's engine before the attested run.
+func (p *ProverEndpoint) serveSession(conn io.ReadWriter, typ byte, payload []byte, dict *speccfa.Dictionary) error {
 	switch typ {
 	case FrameChal:
 	case FrameBusy:
@@ -162,6 +216,12 @@ func (p *ProverEndpoint) ServeOne(conn io.ReadWriter) error {
 		_ = WriteFrame(conn, FrameFail, []byte("prover construction failed"))
 		return err
 	}
+	if dict != nil {
+		if err := prover.Engine.SetSpeculation(dict); err != nil {
+			_ = WriteFrame(conn, FrameFail, []byte("dictionary provisioning failed"))
+			return fmt.Errorf("remote: provisioning dictionary: %w", err)
+		}
+	}
 
 	var sendErr error
 	prover.Engine.OnReport = func(r *attest.Report) {
@@ -181,45 +241,85 @@ func (p *ProverEndpoint) ServeOne(conn io.ReadWriter) error {
 
 // GatewayVerdict is the gateway's session outcome as carried by a VRDT
 // frame: the full verify.Verdict stays server-side, the device only
-// learns pass/fail and the human-readable reason.
+// learns pass/fail, the typed rejection class and the detail text.
 type GatewayVerdict struct {
 	OK     bool
-	Reason string
+	Code   verify.ReasonCode
+	Detail string
 }
 
-// EncodeVerdict serializes a verdict summary for a VRDT frame.
-func EncodeVerdict(ok bool, reason string) []byte {
-	b := make([]byte, 1, 1+len(reason))
+// Reason renders the failure as "code: detail" ("" when OK), mirroring
+// verify.Verdict.Reason.
+func (gv GatewayVerdict) Reason() string {
+	if gv.OK {
+		return ""
+	}
+	if gv.Detail == "" {
+		return gv.Code.String()
+	}
+	return gv.Code.String() + ": " + gv.Detail
+}
+
+// EncodeVerdict serializes a verdict summary for a VRDT frame:
+// `u8 ok | u8 code | detail`.
+func EncodeVerdict(ok bool, code verify.ReasonCode, detail string) []byte {
+	b := make([]byte, 2, 2+len(detail))
 	if ok {
 		b[0] = 1
 	}
-	return append(b, reason...)
+	b[1] = byte(code)
+	return append(b, detail...)
 }
 
 // ErrBadVerdict is returned for malformed VRDT payloads.
 var ErrBadVerdict = errors.New("remote: malformed verdict frame")
 
-// DecodeVerdict parses a VRDT frame payload.
+// DecodeVerdict parses a VRDT frame payload, rejecting unknown reason
+// codes and inconsistent ok/code combinations.
 func DecodeVerdict(b []byte) (GatewayVerdict, error) {
-	if len(b) < 1 || b[0] > 1 {
+	if len(b) < 2 || b[0] > 1 {
 		return GatewayVerdict{}, ErrBadVerdict
 	}
-	return GatewayVerdict{OK: b[0] == 1, Reason: string(b[1:])}, nil
+	code := verify.ReasonCode(b[1])
+	if !code.Valid() {
+		return GatewayVerdict{}, fmt.Errorf("%w: unknown reason code %d", ErrBadVerdict, b[1])
+	}
+	ok := b[0] == 1
+	if ok && code != verify.ReasonNone {
+		return GatewayVerdict{}, fmt.Errorf("%w: accepted verdict carries reason %v", ErrBadVerdict, code)
+	}
+	return GatewayVerdict{OK: ok, Code: code, Detail: string(b[2:])}, nil
 }
 
 // AttestTo drives the prover side of one gateway session on conn: it
-// announces app with a HELO frame, answers the gateway's challenge while
-// streaming reports, and returns the gateway's verdict. ErrBusy reports a
-// shed session; ErrSessionTruncated a gateway that died mid-protocol.
+// announces app with a versioned HELO frame, adopts the gateway's session
+// dictionary if one is delivered, answers the challenge while streaming
+// reports, and returns the gateway's verdict. ErrBusy reports a shed
+// session; ErrSessionTruncated a gateway that died mid-protocol.
 func (p *ProverEndpoint) AttestTo(conn io.ReadWriter, app string) (GatewayVerdict, error) {
 	var gv GatewayVerdict
-	if err := WriteFrame(conn, FrameHello, []byte(app)); err != nil {
+	if err := WriteFrame(conn, FrameHello, EncodeHello(app)); err != nil {
 		return gv, fmt.Errorf("remote: announcing app: %w", err)
 	}
-	if err := p.ServeOne(conn); err != nil {
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return gv, fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
+	}
+	var dict *speccfa.Dictionary
+	if typ == FrameDict {
+		dict, err = speccfa.DecodeDictionary(payload)
+		if err != nil {
+			return gv, fmt.Errorf("remote: decoding session dictionary: %w", err)
+		}
+		typ, payload, err = ReadFrame(conn)
+		if err != nil {
+			return gv, fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
+		}
+	}
+	if err := p.serveSession(conn, typ, payload, dict); err != nil {
 		return gv, err
 	}
-	typ, payload, err := ReadFrame(conn)
+	typ, payload, err = ReadFrame(conn)
 	if err != nil {
 		return gv, fmt.Errorf("remote: reading verdict: %w", mapTruncation(err))
 	}

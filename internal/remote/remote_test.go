@@ -11,6 +11,7 @@ import (
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
 	"raptrack/internal/linker"
+	"raptrack/internal/speccfa"
 	"raptrack/internal/verify"
 )
 
@@ -68,7 +69,7 @@ func TestRemoteRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Verdict.OK {
-		t.Fatalf("verdict: %s", res.Verdict.Reason)
+		t.Fatalf("verdict: %s", res.Verdict.Reason())
 	}
 	if len(res.Reports) == 0 || !res.Reports[len(res.Reports)-1].Final {
 		t.Fatalf("report chain: %d reports", len(res.Reports))
@@ -82,7 +83,7 @@ func TestRemoteStreamsPartials(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Verdict.OK {
-		t.Fatalf("verdict: %s", res.Verdict.Reason)
+		t.Fatalf("verdict: %s", res.Verdict.Reason())
 	}
 	if len(res.Reports) < 5 {
 		t.Fatalf("expected many partial reports at a 512 B watermark, got %d", len(res.Reports))
@@ -335,9 +336,10 @@ func TestServeOneBusyAndFail(t *testing.T) {
 func TestVerdictRoundTrip(t *testing.T) {
 	for _, gv := range []GatewayVerdict{
 		{OK: true},
-		{OK: false, Reason: "return destination 0x1234 != call-site successor (ROP)"},
+		{OK: false, Code: verify.ReasonROP, Detail: "return destination 0x1234 != call-site successor"},
+		{OK: false, Code: verify.ReasonHMemMismatch},
 	} {
-		got, err := DecodeVerdict(EncodeVerdict(gv.OK, gv.Reason))
+		got, err := DecodeVerdict(EncodeVerdict(gv.OK, gv.Code, gv.Detail))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -348,7 +350,92 @@ func TestVerdictRoundTrip(t *testing.T) {
 	if _, err := DecodeVerdict(nil); !errors.Is(err, ErrBadVerdict) {
 		t.Errorf("empty verdict payload: %v", err)
 	}
-	if _, err := DecodeVerdict([]byte{9}); !errors.Is(err, ErrBadVerdict) {
+	if _, err := DecodeVerdict([]byte{9, 0}); !errors.Is(err, ErrBadVerdict) {
 		t.Errorf("bad ok byte: %v", err)
+	}
+	// Unknown reason codes and accepted-but-coded payloads are rejected.
+	if _, err := DecodeVerdict([]byte{0, 0xee}); !errors.Is(err, ErrBadVerdict) {
+		t.Errorf("unknown reason code: %v", err)
+	}
+	if _, err := DecodeVerdict([]byte{1, byte(verify.ReasonROP)}); !errors.Is(err, ErrBadVerdict) {
+		t.Errorf("ok verdict with a rejection code: %v", err)
+	}
+}
+
+// TestHelloVersionNegotiation: the v2 HELO carries the protocol version;
+// a mismatched or empty payload maps to ErrProtocolMismatch.
+func TestHelloVersionNegotiation(t *testing.T) {
+	app, err := ParseHello(EncodeHello("prime"))
+	if err != nil || app != "prime" {
+		t.Fatalf("round trip: app=%q err=%v", app, err)
+	}
+	if _, err := ParseHello(nil); !errors.Is(err, ErrProtocolMismatch) {
+		t.Errorf("empty hello: %v", err)
+	}
+	old := append([]byte{ProtocolVersion - 1}, "prime"...)
+	if _, err := ParseHello(old); !errors.Is(err, ErrProtocolMismatch) {
+		t.Errorf("stale version: %v", err)
+	} else if !strings.Contains(err.Error(), "v1") || !strings.Contains(err.Error(), "v2") {
+		t.Errorf("mismatch error should name both versions: %v", err)
+	}
+}
+
+// TestRemoteDictionaryDelivery: the gateway-side DICT frame provisions the
+// prover's engine, so compressed evidence round-trips when the verifier
+// expands with the same dictionary.
+func TestRemoteDictionaryDelivery(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+
+	// Mine a dictionary from one plain session's evidence.
+	plain, err := session(t, ep, v, "prime")
+	if err != nil || !plain.Verdict.OK {
+		t.Fatalf("plain session: err=%v", err)
+	}
+	dict, err := speccfa.Mine(plain.Verdict.Evidence, 8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Len() == 0 {
+		t.Skip("no repetition to mine in this app")
+	}
+
+	// Second session: verifier side sends DICT before CHAL; the prover
+	// compresses with it, and the verifier expands with the same one.
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	go func() {
+		defer srv.Close()
+		_ = ep.ServeOne(srv)
+	}()
+	chal, err := attest.NewChallenge("prime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(cli, FrameDict, dict.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(cli, FrameChal, chal.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := CollectReports(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, err := v.VerifyWithDictionary(chal, reports, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vd.OK {
+		t.Fatalf("compressed session rejected: %s", vd.Reason())
+	}
+	var compressed, plainBytes int
+	for _, r := range reports {
+		compressed += len(r.CFLog)
+	}
+	for _, r := range plain.Reports {
+		plainBytes += len(r.CFLog)
+	}
+	if compressed >= plainBytes {
+		t.Errorf("dictionary did not compress: %d B >= %d B", compressed, plainBytes)
 	}
 }

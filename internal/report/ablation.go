@@ -10,6 +10,7 @@ import (
 	"raptrack/internal/linker"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
+	"raptrack/internal/verify"
 )
 
 // rapRun links and attests one app with explicit options, returning the
@@ -250,7 +251,7 @@ func AblationSpeculation() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		verdict, err := core.NewVerifierWithSpeculation(link, key, dict).Verify(chal2, reports2)
+		verdict, err := core.NewVerifier(link, key, verify.WithSpeculation(dict)).Verify(chal2, reports2)
 		if err != nil {
 			return "", err
 		}

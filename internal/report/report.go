@@ -105,7 +105,7 @@ func Measure(a apps.App) (*Measurement, error) {
 		return nil, fmt.Errorf("report: %s verify: %w", a.Name, err)
 	}
 	m.Verified = verdict.OK
-	m.VerifyReason = verdict.Reason
+	m.VerifyReason = verdict.Reason()
 
 	// TRACES.
 	tout, err := traces.Instrument(a.Build(), traces.DefaultOptions())

@@ -6,10 +6,12 @@
 //
 // Session flow (device side speaks remote.AttestTo):
 //
-//	device  -> HELO app        announce which provisioned app is attesting
-//	gateway -> CHAL | BUSY     fresh challenge, or shed at capacity
+//	device  -> HELO v|app      announce protocol version + provisioned app
+//	gateway -> [DICT] CHAL     live SpecCFA dictionary (when non-empty),
+//	        |  BUSY            then a fresh challenge; or shed at capacity
 //	device  -> RPRT* (Final)   signed (partial) report chain
-//	gateway -> VRDT | FAIL     verdict summary, or session error
+//	gateway -> VRDT | FAIL     verdict summary (typed reason code), or
+//	                           session error
 //
 // Three availability mechanisms keep a stalled or malicious device from
 // wedging the service (they are availability defenses only — evidence
@@ -26,6 +28,15 @@
 //
 // One immutable verify.Verifier per app is shared by all sessions (see
 // the concurrency contract on verify.Verifier).
+//
+// # Fast path
+//
+// Each registered app gets a shared verify.Cache (unless disabled), so
+// concurrent and successive sessions attesting identical firmware reuse
+// pushdown work; and after accepted verdicts the gateway periodically
+// mines the consumed evidence for hot sub-paths (speccfa.Mine), promoting
+// them into a live dictionary delivered to provers in the DICT handshake
+// frame — future CFLogs shrink without re-provisioning devices.
 package server
 
 import (
@@ -34,10 +45,12 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"raptrack/internal/attest"
 	"raptrack/internal/remote"
+	"raptrack/internal/speccfa"
 	"raptrack/internal/verify"
 )
 
@@ -61,6 +74,19 @@ type Config struct {
 	// OnSessionError, when non-nil, observes per-session failures
 	// (diagnostics; the session is already counted in Stats).
 	OnSessionError func(remoteAddr string, err error)
+
+	// CacheBytes bounds the per-app verification summary cache (0: 64 MiB
+	// default; negative: no cache is attached at Register).
+	CacheBytes int64
+	// MineEvery runs speccfa.Mine on the evidence of every MineEvery-th
+	// accepted session per app, starting with the first (0: default 16;
+	// negative: mining off).
+	MineEvery int
+	// MinePaths caps the sub-paths one mining pass may surface (default 8).
+	MinePaths int
+	// MaxDictPaths caps the live dictionary a mining promotion may grow to
+	// (default 32; hard limit speccfa.MaxPaths).
+	MaxDictPaths int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,15 +105,46 @@ func (c Config) withDefaults() Config {
 	if c.IOTimeout <= 0 {
 		c.IOTimeout = 10 * time.Second
 	}
+	if c.MineEvery == 0 {
+		c.MineEvery = 16
+	}
+	if c.MinePaths <= 0 {
+		c.MinePaths = 8
+	}
+	if c.MaxDictPaths <= 0 || c.MaxDictPaths > speccfa.MaxPaths {
+		c.MaxDictPaths = 32
+	}
 	return c
+}
+
+// appState is everything the gateway holds per registered application:
+// the shared Verifier (cache-attached), and the live speculation
+// dictionary swapped atomically by mining promotions. Sessions load the
+// dictionary pointer once and use that snapshot for both delivery and
+// expansion, so a promotion mid-session cannot desynchronize the two.
+type appState struct {
+	verifier *verify.Verifier
+	cache    *verify.Cache // nil when caching is disabled
+
+	dict     atomic.Pointer[dictState]
+	dictMu   sync.Mutex    // serializes mining promotions
+	accepted atomic.Uint64 // accepted sessions (mining cadence)
+}
+
+// dictState is one immutable version of an app's live dictionary.
+type dictState struct {
+	version uint64
+	dict    *speccfa.Dictionary
+	encoded []byte // DICT frame payload (nil when the dictionary is empty)
 }
 
 // verifyJob is one reconstruction request handed to the worker pool.
 type verifyJob struct {
-	v       *verify.Verifier
+	app     *appState
 	chal    attest.Challenge
 	reports []*attest.Report
-	resp    chan verifyResult // buffered(1): workers never block on delivery
+	dict    *speccfa.Dictionary // session dictionary snapshot
+	resp    chan verifyResult   // buffered(1): workers never block on delivery
 }
 
 type verifyResult struct {
@@ -101,7 +158,7 @@ type Gateway struct {
 	cfg Config
 
 	mu        sync.Mutex
-	verifiers map[string]*verify.Verifier
+	apps      map[string]*appState
 	listeners []net.Listener
 	closed    bool // guarded by mu; set exactly once by Close
 
@@ -118,10 +175,10 @@ type Gateway struct {
 func New(cfg Config) *Gateway {
 	cfg = cfg.withDefaults()
 	g := &Gateway{
-		cfg:       cfg,
-		verifiers: make(map[string]*verify.Verifier),
-		slots:     make(chan struct{}, cfg.MaxSessions),
-		jobs:      make(chan verifyJob, cfg.VerifyQueue),
+		cfg:   cfg,
+		apps:  make(map[string]*appState),
+		slots: make(chan struct{}, cfg.MaxSessions),
+		jobs:  make(chan verifyJob, cfg.VerifyQueue),
 	}
 	g.workers.Add(cfg.VerifyWorkers)
 	for i := 0; i < cfg.VerifyWorkers; i++ {
@@ -130,19 +187,36 @@ func New(cfg Config) *Gateway {
 	return g
 }
 
-// Register provisions the shared Verifier for one application. Safe to
-// call while serving; re-registering replaces.
+// Register provisions the shared Verifier for one application. Unless
+// caching is disabled (Config.CacheBytes < 0) a summary cache is attached
+// — the Verifier's own if it already carries one, a fresh per-app cache
+// otherwise — and the Verifier's provisioned speculation dictionary seeds
+// the app's live dictionary. Safe to call while serving; re-registering
+// replaces (and resets the live dictionary and mining cadence).
 func (g *Gateway) Register(app string, v *verify.Verifier) {
+	if g.cfg.CacheBytes >= 0 && v.Cache() == nil {
+		v = v.With(verify.WithCache(verify.NewCache(g.cfg.CacheBytes)))
+	}
+	st := &appState{verifier: v, cache: v.Cache()}
+	st.dict.Store(newDictState(0, v.Speculation()))
 	g.mu.Lock()
-	g.verifiers[app] = v
+	g.apps[app] = st
 	g.mu.Unlock()
 }
 
-func (g *Gateway) verifier(app string) *verify.Verifier {
+func newDictState(version uint64, d *speccfa.Dictionary) *dictState {
+	ds := &dictState{version: version, dict: d}
+	if d.Len() > 0 {
+		ds.encoded = d.Encode()
+	}
+	return ds
+}
+
+func (g *Gateway) app(name string) *appState {
 	g.mu.Lock()
-	v := g.verifiers[app]
+	st := g.apps[name]
 	g.mu.Unlock()
-	return v
+	return st
 }
 
 // ErrClosed is returned by Serve on a gateway that was already closed.
@@ -213,9 +287,28 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
-// Stats snapshots the gateway counters.
+// Stats snapshots the gateway counters, aggregating cache effectiveness
+// across the registered apps (a cache shared by several apps is counted
+// once).
 func (g *Gateway) Stats() Stats {
-	return g.st.snapshot(len(g.slots))
+	s := g.st.snapshot(len(g.slots))
+	g.mu.Lock()
+	seen := make(map[*verify.Cache]bool, len(g.apps))
+	for _, st := range g.apps {
+		s.DictPaths += st.dict.Load().dict.Len()
+		if st.cache == nil || seen[st.cache] {
+			continue
+		}
+		seen[st.cache] = true
+		cs := st.cache.Stats()
+		s.CacheHits += cs.Hits
+		s.CacheMisses += cs.Misses
+		s.CacheEvictions += cs.Evictions
+		s.CacheEntries += cs.Entries
+		s.CacheBytes += cs.Bytes
+	}
+	g.mu.Unlock()
+	return s
 }
 
 // handleConn runs one session: acquire a slot or shed, then speak the
@@ -258,11 +351,25 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 		_ = remote.WriteFrame(tc, remote.FrameFail, []byte("expected hello frame"))
 		return fmt.Errorf("server: expected hello frame, got type %d", typ)
 	}
-	app := string(payload)
-	v := g.verifier(app)
-	if v == nil {
+	app, err := remote.ParseHello(payload)
+	if err != nil {
+		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(err.Error()))
+		return fmt.Errorf("server: %w", err)
+	}
+	st := g.app(app)
+	if st == nil {
 		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(fmt.Sprintf("unknown application %q", app)))
 		return fmt.Errorf("server: unknown application %q", app)
+	}
+
+	// One dictionary snapshot rules the whole session: what the prover
+	// compresses with is exactly what the verifier expands with, even if a
+	// mining promotion swaps the live pointer mid-flight.
+	ds := st.dict.Load()
+	if len(ds.encoded) > 0 {
+		if err := remote.WriteFrame(tc, remote.FrameDict, ds.encoded); err != nil {
+			return fmt.Errorf("server: sending dictionary: %w", err)
+		}
 	}
 
 	chal, err := attest.NewChallenge(app)
@@ -278,7 +385,7 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 		return err
 	}
 
-	verdict, err := g.verify(v, chal, reports, deadline)
+	verdict, err := g.verify(st, chal, reports, ds.dict, deadline)
 	if err != nil {
 		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(err.Error()))
 		return err
@@ -287,8 +394,11 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 		g.st.verdictOK.Add(1)
 	} else {
 		g.st.verdictAttack.Add(1)
+		if verdict.Code.Valid() {
+			g.st.rejectedByCode[verdict.Code].Add(1)
+		}
 	}
-	if err := remote.WriteFrame(tc, remote.FrameVerdict, remote.EncodeVerdict(verdict.OK, verdict.Reason)); err != nil {
+	if err := remote.WriteFrame(tc, remote.FrameVerdict, remote.EncodeVerdict(verdict.OK, verdict.Code, verdict.Detail)); err != nil {
 		return fmt.Errorf("server: sending verdict: %w", err)
 	}
 	return nil
@@ -297,8 +407,8 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 // verify hands the reconstruction to the worker pool and waits for the
 // result, but never past the session deadline: a saturated pool exerts
 // backpressure here, not in the accept or read loops.
-func (g *Gateway) verify(v *verify.Verifier, chal attest.Challenge, reports []*attest.Report, deadline time.Time) (*verify.Verdict, error) {
-	job := verifyJob{v: v, chal: chal, reports: reports, resp: make(chan verifyResult, 1)}
+func (g *Gateway) verify(st *appState, chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary, deadline time.Time) (*verify.Verdict, error) {
+	job := verifyJob{app: st, chal: chal, reports: reports, dict: dict, resp: make(chan verifyResult, 1)}
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
@@ -323,8 +433,41 @@ func (g *Gateway) worker() {
 	defer g.workers.Done()
 	for job := range g.jobs {
 		start := time.Now()
-		vd, err := job.v.Verify(job.chal, job.reports)
+		vd, err := job.app.verifier.VerifyWithDictionary(job.chal, job.reports, job.dict)
 		g.st.observeVerify(time.Since(start))
 		job.resp <- verifyResult{verdict: vd, err: err}
+		if err == nil && vd.OK {
+			// Mine after delivery: the session is not kept waiting on
+			// dictionary work.
+			g.maybeMine(job.app, vd)
+		}
 	}
+}
+
+// maybeMine runs the online mining cadence for one accepted verdict: every
+// MineEvery-th acceptance per app (starting with the first) the consumed
+// evidence is mined and new hot sub-paths are promoted into the app's live
+// dictionary, to be delivered to the next sessions' provers.
+func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
+	if g.cfg.MineEvery <= 0 {
+		return
+	}
+	n := st.accepted.Add(1)
+	if (n-1)%uint64(g.cfg.MineEvery) != 0 {
+		return
+	}
+	g.st.minedSessions.Add(1)
+	mined, err := speccfa.Mine(vd.Evidence, g.cfg.MinePaths, 2, 8)
+	if err != nil || mined.Len() == 0 {
+		return
+	}
+	st.dictMu.Lock()
+	defer st.dictMu.Unlock()
+	cur := st.dict.Load()
+	merged, added, err := speccfa.Merge(cur.dict, mined, g.cfg.MaxDictPaths)
+	if err != nil || added == 0 {
+		return
+	}
+	st.dict.Store(newDictState(cur.version+1, merged))
+	g.st.dictPromotions.Add(uint64(added))
 }

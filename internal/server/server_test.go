@@ -18,6 +18,7 @@ import (
 	"raptrack/internal/linker"
 	"raptrack/internal/remote"
 	"raptrack/internal/server"
+	"raptrack/internal/verify"
 )
 
 // appFixture is one provisioned application: the golden artifact plus the
@@ -128,7 +129,7 @@ func TestGatewayRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !gv.OK {
-		t.Fatalf("verdict: %s", gv.Reason)
+		t.Fatalf("verdict: %s", gv.Reason())
 	}
 	st := waitStats(t, g, func(s server.Stats) bool { return s.VerdictOK == 1 })
 	if st.SessionsAccepted != 1 || st.SessionsFailed != 0 || st.Verifications != 1 {
@@ -174,7 +175,7 @@ func TestGatewayDetectsMismatchedImage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gv.OK || !strings.Contains(gv.Reason, "H_MEM") {
+	if gv.OK || !strings.Contains(gv.Reason(), "H_MEM") {
 		t.Fatalf("verdict = %+v", gv)
 	}
 	st := waitStats(t, g, func(s server.Stats) bool { return s.VerdictAttack == 1 })
@@ -195,7 +196,7 @@ func TestGatewayShedsAtCapacity(t *testing.T) {
 
 	// Occupy the only slot: handshake past HELO and hold before reports.
 	holder := dial(t, addr)
-	if err := remote.WriteFrame(holder, remote.FrameHello, []byte("prime")); err != nil {
+	if err := remote.WriteFrame(holder, remote.FrameHello, remote.EncodeHello("prime")); err != nil {
 		t.Fatal(err)
 	}
 	if typ, _, err := remote.ReadFrame(holder); err != nil || typ != remote.FrameChal {
@@ -233,7 +234,7 @@ func TestGatewayStalledClientTimesOut(t *testing.T) {
 	}, "prime")
 
 	staller := dial(t, addr)
-	if err := remote.WriteFrame(staller, remote.FrameHello, []byte("prime")); err != nil {
+	if err := remote.WriteFrame(staller, remote.FrameHello, remote.EncodeHello("prime")); err != nil {
 		t.Fatal(err)
 	}
 	if typ, _, err := remote.ReadFrame(staller); err != nil || typ != remote.FrameChal {
@@ -268,7 +269,7 @@ func TestGatewaySessionDeadlineCapsDribble(t *testing.T) {
 	}, "prime")
 
 	dribbler := dial(t, addr)
-	if err := remote.WriteFrame(dribbler, remote.FrameHello, []byte("prime")); err != nil {
+	if err := remote.WriteFrame(dribbler, remote.FrameHello, remote.EncodeHello("prime")); err != nil {
 		t.Fatal(err)
 	}
 	if typ, _, err := remote.ReadFrame(dribbler); err != nil || typ != remote.FrameChal {
@@ -367,7 +368,7 @@ func TestGatewayBackpressureQueue(t *testing.T) {
 				return
 			}
 			if !gv.OK {
-				errs <- fmt.Errorf("verdict: %s", gv.Reason)
+				errs <- fmt.Errorf("verdict: %s", gv.Reason())
 			}
 		}()
 	}
@@ -379,5 +380,93 @@ func TestGatewayBackpressureQueue(t *testing.T) {
 	st := g.Stats()
 	if st.VerdictOK != n || st.Verifications != n {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestGatewayFastPath runs several sequential sessions of the same app and
+// asserts the cross-session fast path engages: the verdict cache records
+// hits, the first accepted session triggers a mining pass, and promoted
+// sub-paths show up in the live dictionary — with every verdict still OK.
+func TestGatewayFastPath(t *testing.T) {
+	g, addr, ep := startGateway(t, server.Config{MineEvery: 2}, "prime")
+
+	const sessions = 4
+	for i := 0; i < sessions; i++ {
+		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if !gv.OK {
+			t.Fatalf("session %d verdict: %s", i, gv.Reason())
+		}
+	}
+
+	st := waitStats(t, g, func(s server.Stats) bool { return s.VerdictOK == sessions })
+	if st.CacheHits == 0 {
+		t.Errorf("no cache hits across %d identical sessions: %+v", sessions, st)
+	}
+	if st.CacheEntries == 0 || st.CacheBytes == 0 {
+		t.Errorf("cache empty after %d sessions: %+v", sessions, st)
+	}
+	if st.MinedSessions == 0 {
+		t.Errorf("no mining pass ran: %+v", st)
+	}
+	if st.DictPromotions == 0 || st.DictPaths == 0 {
+		t.Errorf("no dictionary promotion: %+v", st)
+	}
+}
+
+// TestGatewayFastPathDisabled: CacheBytes/MineEvery < 0 turn both halves
+// of the fast path off; sessions still verify.
+func TestGatewayFastPathDisabled(t *testing.T) {
+	g, addr, ep := startGateway(t, server.Config{CacheBytes: -1, MineEvery: -1}, "prime")
+	for i := 0; i < 2; i++ {
+		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gv.OK {
+			t.Fatalf("verdict: %s", gv.Reason())
+		}
+	}
+	st := waitStats(t, g, func(s server.Stats) bool { return s.VerdictOK == 2 })
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEntries != 0 {
+		t.Errorf("cache active despite CacheBytes<0: %+v", st)
+	}
+	if st.MinedSessions != 0 || st.DictPromotions != 0 || st.DictPaths != 0 {
+		t.Errorf("mining active despite MineEvery<0: %+v", st)
+	}
+}
+
+// TestGatewayRejectionBuckets: an H_MEM-mismatched prover lands in the
+// typed rejection bucket, not just the aggregate attack counter.
+func TestGatewayRejectionBuckets(t *testing.T) {
+	f := fixture(t, "prime")
+	g, addr, _ := startGateway(t, server.Config{}, "prime")
+
+	opts := core.DefaultLinkOptions()
+	opts.NopPad++
+	otherLink, err := core.LinkForCFA(f.app.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := remote.NewProverEndpoint()
+	ep.Provision("prime", func() (*core.Prover, error) {
+		return core.NewProver(otherLink, f.key, core.ProverConfig{SetupMem: f.app.SetupMem()})
+	})
+
+	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv.OK || gv.Code != verify.ReasonHMemMismatch {
+		t.Fatalf("verdict = %+v", gv)
+	}
+	st := waitStats(t, g, func(s server.Stats) bool { return s.VerdictAttack == 1 })
+	if st.Rejections[verify.ReasonHMemMismatch] != 1 {
+		t.Errorf("rejection buckets = %v", st.Rejections)
+	}
+	if strings.Count(st.String(), "h-mem-mismatch") == 0 {
+		t.Errorf("String() missing bucket line:\n%s", st.String())
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"raptrack/internal/verify"
 )
 
 // histBuckets is the verify-latency histogram size: len(verifyBuckets)
@@ -31,8 +33,12 @@ type counters struct {
 	rejected atomic.Uint64 // sessions shed with a BUSY frame
 	failed   atomic.Uint64 // accepted sessions that errored out
 
-	verdictOK     atomic.Uint64
-	verdictAttack atomic.Uint64
+	verdictOK      atomic.Uint64
+	verdictAttack  atomic.Uint64
+	rejectedByCode [verify.NumReasons]atomic.Uint64
+
+	minedSessions  atomic.Uint64
+	dictPromotions atomic.Uint64
 
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
@@ -72,6 +78,9 @@ type Stats struct {
 
 	VerdictOK     uint64 // sessions whose evidence attested a benign path
 	VerdictAttack uint64 // well-formed evidence attesting a disallowed path
+	// Rejections buckets attack verdicts by typed reason code; index with
+	// a verify.ReasonCode. Rejections[verify.ReasonNone] stays zero.
+	Rejections [verify.NumReasons]uint64
 
 	BytesIn  uint64
 	BytesOut uint64
@@ -79,6 +88,20 @@ type Stats struct {
 	Verifications uint64        // reconstructions run by the worker pool
 	VerifyTotal   time.Duration // summed reconstruction wall time
 	VerifyHist    []HistBucket
+
+	// Fast-path instrumentation (verdict + segment caches, aggregated
+	// across apps; shared caches are counted once).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheEntries   int
+	CacheBytes     int64
+
+	// Online mining: sessions mined, sub-paths promoted into live
+	// dictionaries, and the current total dictionary size across apps.
+	MinedSessions  uint64
+	DictPromotions uint64
+	DictPaths      int
 }
 
 // snapshot reads every counter once; sessions may land between reads, so
@@ -96,6 +119,11 @@ func (c *counters) snapshot(active int) Stats {
 		BytesOut:         c.bytesOut.Load(),
 		Verifications:    c.verifications.Load(),
 		VerifyTotal:      time.Duration(c.verifyNanos.Load()),
+		MinedSessions:    c.minedSessions.Load(),
+		DictPromotions:   c.dictPromotions.Load(),
+	}
+	for i := range c.rejectedByCode {
+		s.Rejections[i] = c.rejectedByCode[i].Load()
 	}
 	s.VerifyHist = make([]HistBucket, 0, histBuckets)
 	for i, le := range verifyBuckets {
@@ -112,6 +140,15 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "sessions:      %d started, %d accepted, %d rejected (busy), %d failed, %d active\n",
 		s.SessionsStarted, s.SessionsAccepted, s.SessionsRejected, s.SessionsFailed, s.ActiveSessions)
 	fmt.Fprintf(&b, "verdicts:      %d ok, %d attack\n", s.VerdictOK, s.VerdictAttack)
+	if s.VerdictAttack > 0 {
+		fmt.Fprintf(&b, "rejections:   ")
+		for code, n := range s.Rejections {
+			if n > 0 {
+				fmt.Fprintf(&b, " %s:%d", verify.ReasonCode(code), n)
+			}
+		}
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "traffic:       %d B in, %d B out\n", s.BytesIn, s.BytesOut)
 	avg := time.Duration(0)
 	if s.Verifications > 0 {
@@ -127,5 +164,9 @@ func (s Stats) String() string {
 		}
 	}
 	b.WriteByte('\n')
+	fmt.Fprintf(&b, "cache:         %d hits, %d misses, %d evictions, %d entries, %d B\n",
+		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheEntries, s.CacheBytes)
+	fmt.Fprintf(&b, "mining:        %d sessions mined, %d promotions, %d dictionary paths\n",
+		s.MinedSessions, s.DictPromotions, s.DictPaths)
 	return b.String()
 }

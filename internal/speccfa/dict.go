@@ -1,0 +1,119 @@
+package speccfa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"raptrack/internal/trace"
+)
+
+// Dictionary wire format (remote DICT frame payload, little-endian):
+//
+//	u16 count
+//	count × { u8 id | u16 n | n × 8-byte packet }
+//
+// Paths travel in dictionary (longest-first) order with their assigned
+// ids, so an encode/decode round trip reproduces the matching behavior
+// exactly — both sides of a session compress and expand identically.
+
+// Encode serializes the dictionary for delivery to a prover. A nil or
+// empty dictionary encodes to a bare zero count.
+func (d *Dictionary) Encode() []byte {
+	out := binary.LittleEndian.AppendUint16(nil, uint16(d.Len()))
+	for _, p := range d.Paths() {
+		out = append(out, p.ID)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(p.Packets)))
+		out = append(out, trace.EncodePackets(p.Packets)...)
+	}
+	return out
+}
+
+// DecodeDictionary parses an Encode payload, re-validating every path
+// (lengths, marker-range sources, id uniqueness) so a malicious or
+// corrupted frame cannot smuggle in an unsound speculation set.
+func DecodeDictionary(b []byte) (*Dictionary, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("speccfa: dictionary payload too short (%d bytes)", len(b))
+	}
+	count := int(binary.LittleEndian.Uint16(b))
+	if count > MaxPaths {
+		return nil, fmt.Errorf("speccfa: dictionary count %d exceeds %d", count, MaxPaths)
+	}
+	b = b[2:]
+	d := &Dictionary{}
+	seen := make(map[byte]bool, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 3 {
+			return nil, fmt.Errorf("speccfa: truncated dictionary path %d header", i)
+		}
+		id := b[0]
+		n := int(binary.LittleEndian.Uint16(b[1:]))
+		b = b[3:]
+		if n < 2 {
+			return nil, fmt.Errorf("speccfa: dictionary path %d has %d packets (need >= 2)", i, n)
+		}
+		if len(b) < n*trace.PacketSize {
+			return nil, fmt.Errorf("speccfa: truncated dictionary path %d body", i)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("speccfa: duplicate dictionary path id %d", id)
+		}
+		seen[id] = true
+		pkts := trace.DecodePackets(b[:n*trace.PacketSize])
+		b = b[n*trace.PacketSize:]
+		for _, pkt := range pkts {
+			if pkt.Src >= MarkerBase {
+				return nil, fmt.Errorf("speccfa: dictionary path id %d contains a marker-range source %#x", id, pkt.Src)
+			}
+		}
+		d.paths = append(d.paths, SubPath{ID: id, Packets: pkts})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("speccfa: %d trailing bytes after dictionary", len(b))
+	}
+	return d, nil
+}
+
+// Merge promotes extra's paths into base, skipping exact duplicates and
+// paths already subsumed as substrings of a base path, up to cap total
+// paths (cap <= 0 or > MaxPaths selects MaxPaths). It returns the merged
+// dictionary and how many paths were actually added; when nothing is
+// added the base is returned unchanged, so callers can compare pointers
+// to detect promotion. Neither input is modified.
+func Merge(base, extra *Dictionary, cap int) (*Dictionary, int, error) {
+	if cap <= 0 || cap > MaxPaths {
+		cap = MaxPaths
+	}
+	if extra.Len() == 0 || base.Len() >= cap {
+		return base, 0, nil
+	}
+	seqs := make([][]trace.Packet, 0, base.Len()+extra.Len())
+	for _, p := range base.Paths() {
+		seqs = append(seqs, p.Packets)
+	}
+	added := 0
+	for _, p := range extra.Paths() {
+		if len(seqs) >= cap {
+			break
+		}
+		subsumed := false
+		for _, have := range seqs[:base.Len()+added] {
+			if containsSub(have, p.Packets) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			seqs = append(seqs, p.Packets)
+			added++
+		}
+	}
+	if added == 0 {
+		return base, 0, nil
+	}
+	merged, err := NewDictionary(seqs...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, added, nil
+}

@@ -1,0 +1,223 @@
+package speccfa
+
+import (
+	"strings"
+	"testing"
+
+	"raptrack/internal/trace"
+)
+
+// TestMineSkipsMarkerSources: a stream that still contains marker packets
+// (e.g. mined before decompression by mistake) must not poison the
+// dictionary — windows overlapping a marker are skipped, and the
+// surrounding genuine repetition is still mined.
+func TestMineSkipsMarkerSources(t *testing.T) {
+	iter := []trace.Packet{pk(0xa0, 0xb0), pk(0xc0, 0xa0)}
+	var stream []trace.Packet
+	for i := 0; i < 10; i++ {
+		stream = append(stream, iter...)
+	}
+	stream = append(stream, pk(MarkerBase|3, 7), pk(MarkerBase|3, 7))
+	for i := 0; i < 10; i++ {
+		stream = append(stream, iter...)
+	}
+
+	d, err := Mine(stream, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("mining found nothing despite 20 repetitions")
+	}
+	for _, p := range d.Paths() {
+		for _, pkt := range p.Packets {
+			if pkt.Src >= MarkerBase {
+				t.Fatalf("mined path %d contains marker source %#x", p.ID, pkt.Src)
+			}
+		}
+	}
+}
+
+// TestMineAllMarkers: a stream of nothing but markers yields an empty
+// dictionary, not an error.
+func TestMineAllMarkers(t *testing.T) {
+	stream := []trace.Packet{pk(MarkerBase, 1), pk(MarkerBase, 1), pk(MarkerBase, 1), pk(MarkerBase, 1)}
+	d, err := Mine(stream, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("mined %d paths from pure markers", d.Len())
+	}
+}
+
+// TestMineEmptyStream: mining a zero-packet stream (an accepted verdict
+// with no evidence) is a no-op, not an error.
+func TestMineEmptyStream(t *testing.T) {
+	d, err := Mine(nil, 8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("mined %d paths from empty stream", d.Len())
+	}
+	if out := d.Compress(nil); len(out) != 0 {
+		t.Error("empty dictionary compressed an empty stream into something")
+	}
+}
+
+func distinctPath(i int) []trace.Packet {
+	return []trace.Packet{pk(uint32(0x1000+i), 1), pk(uint32(0x2000+i), 2)}
+}
+
+// TestMergePromotes: new paths join, duplicates and substrings do not,
+// and an unchanged merge returns the base pointer.
+func TestMergePromotes(t *testing.T) {
+	base, err := NewDictionary(distinctPath(0), distinctPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := NewDictionary(distinctPath(1), distinctPath(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, added, err := Merge(base, extra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || merged.Len() != 3 {
+		t.Fatalf("added=%d len=%d, want 1 and 3", added, merged.Len())
+	}
+	if base.Len() != 2 {
+		t.Error("Merge mutated its base")
+	}
+
+	same, added, err := Merge(base, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || same != base {
+		t.Errorf("self-merge: added=%d, base preserved=%v", added, same == base)
+	}
+
+	// A path that is a substring of an existing one is subsumed.
+	super := []trace.Packet{pk(0x1000, 1), pk(0x2000, 2), pk(0x3000, 3)}
+	bigBase, _ := NewDictionary(super)
+	sub, _ := NewDictionary(super[:2])
+	_, added, err = Merge(bigBase, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("substring path promoted (added=%d)", added)
+	}
+}
+
+// TestMergeAtCapacity: a dictionary at MaxPaths accepts nothing more, and
+// a cap below the base size is honored without truncating the base.
+func TestMergeAtCapacity(t *testing.T) {
+	seqs := make([][]trace.Packet, MaxPaths)
+	for i := range seqs {
+		seqs[i] = distinctPath(i)
+	}
+	full, err := NewDictionary(seqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, _ := NewDictionary(distinctPath(MaxPaths + 1))
+	merged, added, err := Merge(full, extra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || merged != full {
+		t.Errorf("full dictionary grew: added=%d", added)
+	}
+
+	// Partial headroom: cap 4 over a 3-path base admits exactly one.
+	base, _ := NewDictionary(seqs[0], seqs[1], seqs[2])
+	extra2, _ := NewDictionary(distinctPath(500), distinctPath(501))
+	merged, added, err = Merge(base, extra2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || merged.Len() != 4 {
+		t.Errorf("cap not honored: added=%d len=%d", added, merged.Len())
+	}
+}
+
+// TestDictionaryWireRoundTrip: Encode/DecodeDictionary reproduce the
+// matching behavior exactly (same compression of the same stream).
+func TestDictionaryWireRoundTrip(t *testing.T) {
+	short := []trace.Packet{pk(1, 2), pk(3, 4)}
+	long := []trace.Packet{pk(1, 2), pk(3, 4), pk(5, 6)}
+	d, err := NewDictionary(short, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeDictionary(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != d.Len() {
+		t.Fatalf("round trip lost paths: %d != %d", rt.Len(), d.Len())
+	}
+	stream := append(append([]trace.Packet{}, long...), short...)
+	a, b := d.Compress(stream), rt.Compress(stream)
+	if len(a) != len(b) {
+		t.Fatalf("compression diverged: %d != %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("compression diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+
+	var empty *Dictionary
+	rt, err = DecodeDictionary(empty.Encode())
+	if err != nil || rt.Len() != 0 {
+		t.Errorf("empty round trip: len=%d err=%v", rt.Len(), err)
+	}
+}
+
+func TestDecodeDictionaryRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"short", []byte{1}, "too short"},
+		{"truncated header", []byte{1, 0, 5}, "truncated"},
+		{"truncated body", []byte{1, 0, 0, 2, 0, 1, 2, 3}, "truncated"},
+		{"tiny path", append([]byte{1, 0, 0, 1, 0}, make([]byte, trace.PacketSize)...), "need >= 2"},
+		{"trailing", append(mustEncode(t), 0xff), "trailing"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeDictionary(c.b); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+
+	// Marker-range source inside a path body.
+	bad := (&Dictionary{paths: []SubPath{{ID: 0, Packets: []trace.Packet{pk(MarkerBase, 1), pk(1, 2)}}}}).Encode()
+	if _, err := DecodeDictionary(bad); err == nil || !strings.Contains(err.Error(), "marker-range") {
+		t.Errorf("marker path decoded: %v", err)
+	}
+
+	// Duplicate ids.
+	dup := (&Dictionary{paths: []SubPath{
+		{ID: 3, Packets: []trace.Packet{pk(1, 2), pk(3, 4)}},
+		{ID: 3, Packets: []trace.Packet{pk(5, 6), pk(7, 8)}},
+	}}).Encode()
+	if _, err := DecodeDictionary(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate ids decoded: %v", err)
+	}
+}
+
+func mustEncode(t *testing.T) []byte {
+	t.Helper()
+	d, err := NewDictionary([]trace.Packet{pk(1, 2), pk(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Encode()
+}

@@ -187,10 +187,26 @@ func Mine(stream []trace.Packet, maxPaths, minLen, maxLen int) (*Dictionary, err
 		saving int
 	}
 	var cands []cand
+	// Windows overlapping a marker-range source are not minable: markers
+	// stand for already-compressed sub-paths, and a dictionary path may
+	// never contain one. nextMarker[i] is the smallest j >= i with a
+	// marker at j (len(stream) when none), so each window is a range check.
+	nextMarker := make([]int, len(stream)+1)
+	nextMarker[len(stream)] = len(stream)
+	for i := len(stream) - 1; i >= 0; i-- {
+		if stream[i].Src >= MarkerBase {
+			nextMarker[i] = i
+		} else {
+			nextMarker[i] = nextMarker[i+1]
+		}
+	}
 	for l := maxLen; l >= minLen; l-- {
 		counts := make(map[string]int)
 		firsts := make(map[string]int)
 		for i := 0; i+l <= len(stream); i++ {
+			if nextMarker[i] < i+l {
+				continue
+			}
 			key := packetsKey(stream[i : i+l])
 			if _, ok := firsts[key]; !ok {
 				firsts[key] = i

@@ -14,7 +14,7 @@ func Diag(v *Verifier, packets []trace.Packet) (entries, outcomes, advs int, wor
 		advMemo: make(map[nodeKey]advState),
 		inDirty: make(map[nodeKey]bool),
 		segCap:  uint64(len(img.Code)) + 16,
-		debug:   v.opts.Debug,
+		debug:   v.opts.debug,
 	}
 	s.walkState(entryPC, 0, nil)
 	for len(s.dirty) > 0 && !s.aborted {

@@ -1,0 +1,88 @@
+package verify
+
+import "raptrack/internal/speccfa"
+
+// options holds the resolved Verifier configuration. It is immutable
+// after New/With; derived Verifiers copy it by value.
+type options struct {
+	maxInstrs uint64
+	pathCap   int
+	debug     bool
+	spec      *speccfa.Dictionary
+	cache     *Cache
+}
+
+func defaultOptions() options {
+	return options{
+		maxInstrs: 500_000_000,
+		pathCap:   4096,
+	}
+}
+
+// Option configures a Verifier at construction (verify.New) or when
+// deriving one (Verifier.With).
+type Option func(*options)
+
+// WithMaxInstrs bounds the total abstract work of one reconstruction
+// (default 500M). n == 0 restores the default.
+func WithMaxInstrs(n uint64) Option {
+	return func(o *options) {
+		if n == 0 {
+			n = 500_000_000
+		}
+		o.maxInstrs = n
+	}
+}
+
+// WithPathCap bounds the recorded witness path edges (default 4096);
+// pass a negative value to disable path recording entirely.
+func WithPathCap(n int) Option {
+	return func(o *options) {
+		if n == 0 {
+			n = 4096
+		}
+		o.pathCap = n
+	}
+}
+
+// WithDebug toggles search diagnostics on stdout (development aid). The
+// flag is carried per search state, so one debugging Verifier does not
+// affect concurrent verifications by others.
+func WithDebug(on bool) Option {
+	return func(o *options) { o.debug = on }
+}
+
+// WithSpeculation provisions the SpecCFA sub-path dictionary used to
+// expand marker packets before reconstruction (must match the Prover's
+// dictionary). Per-session dictionaries — a gateway negotiating a live,
+// mined dictionary — go through VerifyWithDictionary instead.
+func WithSpeculation(d *speccfa.Dictionary) Option {
+	return func(o *options) { o.spec = d }
+}
+
+// WithCache attaches a cross-session summary cache: whole-stream verdicts
+// and deterministic segment walks are memoized in it, keyed by (H_MEM,
+// evidence window, loop state), so concurrent sessions attesting the same
+// firmware reuse pushdown work. The cache may be shared by many Verifiers
+// and is safe for concurrent use; nil detaches.
+func WithCache(c *Cache) Option {
+	return func(o *options) { o.cache = c }
+}
+
+// With derives a Verifier sharing v's golden artifact and authenticator
+// but with opts applied on top of v's configuration. The receiver is not
+// modified (Verifiers stay immutable after construction).
+func (v *Verifier) With(opts ...Option) *Verifier {
+	nv := *v
+	for _, opt := range opts {
+		opt(&nv.opts)
+	}
+	return &nv
+}
+
+// Cache returns the attached summary cache (nil when caching is off).
+func (v *Verifier) Cache() *Cache { return v.opts.cache }
+
+// Speculation returns the constructor-provisioned SpecCFA dictionary
+// (nil when none). Gateways use it to seed their live dictionary.
+func (v *Verifier) Speculation() *speccfa.Dictionary { return v.opts.spec }

@@ -1,0 +1,68 @@
+package verify
+
+// ReasonCode classifies why a verdict rejected the evidence. The code is
+// the machine-readable failure class (gateways bucket rejection counts by
+// it, and it travels in the VRDT wire frame); Verdict.Detail carries the
+// human-readable specifics.
+type ReasonCode uint8
+
+const (
+	// ReasonNone marks an accepted verdict.
+	ReasonNone ReasonCode = iota
+	// ReasonHMemMismatch: the prover's measured firmware differs from the
+	// Verifier's golden image.
+	ReasonHMemMismatch
+	// ReasonBadImage: the golden image itself is unusable (no entry
+	// point, unlinked non-deterministic branch) — an offline-phase fault,
+	// not an attack.
+	ReasonBadImage
+	// ReasonWorkBudget: the search exceeded MaxInstrs before reaching a
+	// conclusion.
+	ReasonWorkBudget
+	// ReasonMissingEvidence: a non-deterministic point required a packet
+	// the stream does not supply at that position (dropped or reordered
+	// evidence).
+	ReasonMissingEvidence
+	// ReasonMalformedEvidence: evidence is present but structurally
+	// inconsistent (wrong destination for a conditional, invalid loop
+	// trip count, path leaving program code).
+	ReasonMalformedEvidence
+	// ReasonROP: a return destination does not match its call-site
+	// successor.
+	ReasonROP
+	// ReasonJOP: an indirect call targets something other than a function
+	// entry.
+	ReasonJOP
+	// ReasonEscape: an indirect jump leaves its function or lands between
+	// instructions.
+	ReasonEscape
+	// ReasonUnexplained: no benign derivation explains the evidence and
+	// no single contradiction was isolated.
+	ReasonUnexplained
+
+	// NumReasons bounds the code space (array-indexed rejection stats).
+	NumReasons
+)
+
+var reasonNames = [NumReasons]string{
+	ReasonNone:              "ok",
+	ReasonHMemMismatch:      "h-mem-mismatch",
+	ReasonBadImage:          "bad-image",
+	ReasonWorkBudget:        "work-budget",
+	ReasonMissingEvidence:   "missing-evidence",
+	ReasonMalformedEvidence: "malformed-evidence",
+	ReasonROP:               "rop",
+	ReasonJOP:               "jop",
+	ReasonEscape:            "escape",
+	ReasonUnexplained:       "unexplained",
+}
+
+func (c ReasonCode) String() string {
+	if c < NumReasons {
+		return reasonNames[c]
+	}
+	return "invalid-reason"
+}
+
+// Valid reports whether c is a defined reason code (wire decoding guard).
+func (c ReasonCode) Valid() bool { return c < NumReasons }

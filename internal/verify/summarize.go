@@ -46,7 +46,9 @@ const (
 )
 
 // loopMap is the frame-local optimized-loop state: controlling-branch
-// address -> remaining continue count. Copied on write.
+// address -> remaining continue count. Copied on write, so a snapshot is
+// never mutated after it escapes — cached segment summaries may share
+// their maps across sessions.
 type loopMap map[uint32]uint64
 
 func (l loopMap) clone() loopMap {
@@ -109,20 +111,37 @@ type summarizer struct {
 	work    uint64
 	aborted bool
 
+	firstCode   ReasonCode
 	firstReason string
 	firstPC     uint32
 	attackNoted bool
 
+	cache *Cache      // shared cross-session segment cache (nil = off)
+	rec   *segRecord  // active segment recording (nil outside cache misses)
+
 	segCap    uint64 // max instructions per deterministic segment
 	emitLoops uint64 // loop trip counts applied during witness emission
-	debug     bool   // verbose search diagnostics (Options.Debug)
+	debug     bool   // verbose search diagnostics (WithDebug)
 }
 
-func (s *summarizer) note(pc uint32, format string, args ...any) {
+// segRecord tracks the evidence extent one recorded advance peeked, so
+// the resulting summary can be keyed on exactly that window.
+type segRecord struct {
+	start int // entry cursor
+	end   int // one past the last peeked in-stream position
+	eos   bool
+	note  *noteRec
+}
+
+func (s *summarizer) note(code ReasonCode, pc uint32, format string, args ...any) {
 	if s.debug {
 		fmt.Printf("note(eval %d): pc=%#x: %s\n", s.evals, pc, fmt.Sprintf(format, args...))
 	}
+	if r := s.rec; r != nil && r.note == nil {
+		r.note = &noteRec{pc: pc, code: code, msg: fmt.Sprintf(format, args...)}
+	}
 	if s.firstReason == "" {
+		s.firstCode = code
 		s.firstReason = fmt.Sprintf(format, args...)
 		s.firstPC = pc
 	}
@@ -131,11 +150,15 @@ func (s *summarizer) note(pc uint32, format string, args ...any) {
 // noteAttack records a policy violation (ROP/JOP/escape). These are the
 // actionable diagnostics, so they take precedence over generic
 // missing-evidence notes from abandoned search branches.
-func (s *summarizer) noteAttack(pc uint32, format string, args ...any) {
+func (s *summarizer) noteAttack(code ReasonCode, pc uint32, format string, args ...any) {
 	if s.debug {
 		fmt.Printf("ATTACK(eval %d): pc=%#x: %s\n", s.evals, pc, fmt.Sprintf(format, args...))
 	}
+	if r := s.rec; r != nil && r.note == nil {
+		r.note = &noteRec{pc: pc, code: code, msg: fmt.Sprintf(format, args...), attack: true}
+	}
 	if s.firstReason == "" || !s.attackNoted {
+		s.firstCode = code
 		s.firstReason = fmt.Sprintf(format, args...)
 		s.firstPC = pc
 		s.attackNoted = true
@@ -144,7 +167,7 @@ func (s *summarizer) noteAttack(pc uint32, format string, args ...any) {
 
 func (s *summarizer) budget(n uint64) bool {
 	s.work += n
-	if s.work > s.v.opts.MaxInstrs {
+	if s.work > s.v.opts.maxInstrs {
 		s.aborted = true
 		return false
 	}
@@ -187,13 +210,13 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 		steps++
 		if steps > s.segCap || !s.budget(1) {
 			if steps > s.segCap {
-				s.note(pc, "deterministic segment does not terminate (infinite loop at %#x)", pc)
+				s.note(ReasonMalformedEvidence, pc, "deterministic segment does not terminate (infinite loop at %#x)", pc)
 			}
 			return advState{kind: advPrune}
 		}
 		ins, ok := img.Code[pc]
 		if !ok {
-			s.note(pc, "reconstructed path leaves program code at %#x", pc)
+			s.note(ReasonMalformedEvidence, pc, "reconstructed path leaves program code at %#x", pc)
 			return advState{kind: advPrune}
 		}
 		next := pc + ins.Size()
@@ -206,7 +229,7 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 			case cfg.ClassReturn:
 				p, have := s.peek(cursor)
 				if !have || p.Src != site.RecordAddr {
-					s.note(pc, "missing return evidence for site %#x", pc)
+					s.note(ReasonMissingEvidence, pc, "missing return evidence for site %#x", pc)
 					return advState{kind: advPrune}
 				}
 				if emit != nil {
@@ -221,16 +244,16 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 			case cfg.ClassIndirectJump:
 				p, have := s.peek(cursor)
 				if !have || p.Src != site.RecordAddr {
-					s.note(pc, "missing indirect-jump evidence for site %#x", pc)
+					s.note(ReasonMissingEvidence, pc, "missing indirect-jump evidence for site %#x", pc)
 					return advState{kind: advPrune}
 				}
 				fr, okr := img.FuncRanges[site.Func]
 				if !okr || !inRange(fr, p.Dst) {
-					s.noteAttack(pc, "indirect jump to %#x escapes function %q", p.Dst, site.Func)
+					s.noteAttack(ReasonEscape, pc, "indirect jump to %#x escapes function %q", p.Dst, site.Func)
 					return advState{kind: advPrune}
 				}
 				if _, isInstr := img.Code[p.Dst]; !isInstr {
-					s.noteAttack(pc, "indirect jump to %#x, which is not an instruction", p.Dst)
+					s.noteAttack(ReasonEscape, pc, "indirect jump to %#x, which is not an instruction", p.Dst)
 					return advState{kind: advPrune}
 				}
 				if emit != nil {
@@ -249,7 +272,7 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 			rem, have := loopCtx[pc]
 			if !have {
 				if !ls.Loop.Static {
-					s.note(pc, "optimized loop branch at %#x reached without a logged loop condition", pc)
+					s.note(ReasonMissingEvidence, pc, "optimized loop branch at %#x reached without a logged loop condition", pc)
 					return advState{kind: advPrune}
 				}
 				// Static loop: the trip count is derived from the
@@ -257,7 +280,7 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 				// context means a fresh loop entry.
 				trips, err := ls.Loop.TripCount(uint32(ls.Loop.EntryValue))
 				if err != nil {
-					s.note(pc, "static loop trip count: %v", err)
+					s.note(ReasonMalformedEvidence, pc, "static loop trip count: %v", err)
 					return advState{kind: advPrune}
 				}
 				rem = trips
@@ -298,12 +321,12 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 		if ls, isLoop := v.link.Loops[pc]; isLoop {
 			p, have := s.peek(cursor)
 			if !have || p.Src != pc {
-				s.note(pc, "missing loop-condition evidence for optimized loop at %#x", pc)
+				s.note(ReasonMissingEvidence, pc, "missing loop-condition evidence for optimized loop at %#x", pc)
 				return advState{kind: advPrune}
 			}
 			trips, err := ls.Loop.TripCount(p.Dst)
 			if err != nil {
-				s.note(pc, "loop-condition evidence invalid: %v", err)
+				s.note(ReasonMalformedEvidence, pc, "loop-condition evidence invalid: %v", err)
 				return advState{kind: advPrune}
 			}
 			loopCtx = loopCtx.clone()
@@ -342,16 +365,27 @@ func (s *summarizer) advance(pc uint32, cursor int, loopCtx loopMap, emit func(E
 			st.exit.pc = pc
 			return st
 		case isa.KindSecureCall:
-			s.note(pc, "unexpected secure call in attested code at %#x", pc)
+			s.note(ReasonMalformedEvidence, pc, "unexpected secure call in attested code at %#x", pc)
 			return advState{kind: advPrune}
 		default:
-			s.note(pc, "unlinked non-deterministic branch (%s) in golden image at %#x", ins.Kind(), pc)
+			s.note(ReasonBadImage, pc, "unlinked non-deterministic branch (%s) in golden image at %#x", ins.Kind(), pc)
 			return advState{kind: advPrune}
 		}
 	}
 }
 
 func (s *summarizer) peek(cursor int) (trace.Packet, bool) {
+	if r := s.rec; r != nil {
+		if cursor < len(s.packets) {
+			if cursor+1 > r.end {
+				r.end = cursor + 1
+			}
+		} else {
+			// The walk observed end-of-stream: the summary only applies
+			// where the stream ends at the same relative position.
+			r.eos = true
+		}
+	}
 	if cursor < len(s.packets) {
 		return s.packets[cursor], true
 	}
@@ -359,13 +393,18 @@ func (s *summarizer) peek(cursor int) (trace.Packet, bool) {
 }
 
 // walkState advances from (pc, cursor, loopCtx) and returns the frame
-// outcomes from there. Deterministic advances are memoized: worklist
-// re-evaluations would otherwise re-walk the same segments.
+// outcomes from there. Deterministic advances are memoized per session
+// (worklist re-evaluations would otherwise re-walk the same segments) and,
+// when a shared cache is attached, across sessions as relocatable segment
+// summaries.
 func (s *summarizer) walkState(pc uint32, cursor int, loopCtx loopMap) []*outcome {
 	k := nodeKey{pc: pc, cursor: cursor, lhash: loopCtx.hash()}
 	st, ok := s.advMemo[k]
 	if !ok {
-		st = s.advance(pc, cursor, loopCtx, nil)
+		st, ok = s.cachedAdvance(pc, cursor, loopCtx)
+		if !ok {
+			st = s.recordedAdvance(pc, cursor, loopCtx)
+		}
 		s.advMemo[k] = st
 	}
 	switch st.kind {
@@ -375,6 +414,67 @@ func (s *summarizer) walkState(pc uint32, cursor int, loopCtx loopMap) []*outcom
 		return []*outcome{{kind: st.exit.kind, cursor: st.exit.cursor, retDst: st.exit.retDst}}
 	}
 	return s.walkNode(st.pc, st.cursor, st.loopCtx)
+}
+
+// cachedAdvance consults the shared cross-session segment cache. On a hit
+// the stored note (if any) is replayed through the normal diagnostic
+// precedence, and the summary's relative cursors are rebased to cursor.
+func (s *summarizer) cachedAdvance(pc uint32, cursor int, loopCtx loopMap) (advState, bool) {
+	if s.cache == nil {
+		return advState{}, false
+	}
+	sg, ok := s.cache.lookupSegment(s.v.hmem, pc, loopCtx, s.packets, cursor)
+	if !ok {
+		return advState{}, false
+	}
+	if n := sg.note; n != nil {
+		if n.attack {
+			s.noteAttack(n.code, n.pc, "%s", n.msg)
+		} else {
+			s.note(n.code, n.pc, "%s", n.msg)
+		}
+	}
+	st := sg.res
+	switch st.kind {
+	case advNode:
+		st.cursor += cursor
+	case advExit:
+		st.exit.cursor += cursor
+	}
+	return st, true
+}
+
+// recordedAdvance runs advance with window recording and publishes the
+// resulting summary to the shared cache (unless the walk was cut short by
+// the work budget, which is a Verifier-local limit, not a property of the
+// evidence).
+func (s *summarizer) recordedAdvance(pc uint32, cursor int, loopCtx loopMap) advState {
+	if s.cache == nil {
+		return s.advance(pc, cursor, loopCtx, nil)
+	}
+	rec := &segRecord{start: cursor, end: cursor}
+	s.rec = rec
+	st := s.advance(pc, cursor, loopCtx, nil)
+	s.rec = nil
+	if s.aborted {
+		return st
+	}
+	sg := &segSummary{
+		pc:      pc,
+		loopCtx: loopCtx,
+		win:     append([]trace.Packet(nil), s.packets[rec.start:rec.end]...),
+		eos:     rec.eos,
+		res:     st,
+		note:    rec.note,
+	}
+	switch st.kind {
+	case advNode:
+		sg.res.cursor -= cursor
+	case advExit:
+		sg.res.exit.cursor -= cursor
+	}
+	s.cache.storeSegment(s.v.hmem, sg)
+	return st
 }
 
 // walkNode returns the memoized outcomes of a branching/calling node,
@@ -453,25 +553,25 @@ func (s *summarizer) evaluate(key nodeKey, e *entry) {
 				if p.Dst == site.StaticTarget {
 					extend(brConsume, nil, s.walkState(site.StaticTarget, cursor+1, loopCtx))
 				} else {
-					s.note(pc, "conditional evidence destination %#x != static target %#x", p.Dst, site.StaticTarget)
+					s.note(ReasonMalformedEvidence, pc, "conditional evidence destination %#x != static target %#x", p.Dst, site.StaticTarget)
 				}
 			}
 		case cfg.ClassCondLoopFwd:
 			// pc is the inserted continue-logging B: must consume.
 			p, have := s.peek(cursor)
 			if !have || p.Src != site.RecordAddr {
-				s.note(pc, "missing loop-continue evidence for site %#x", pc)
+				s.note(ReasonMissingEvidence, pc, "missing loop-continue evidence for site %#x", pc)
 			} else if p.Dst != site.StaticTarget {
-				s.note(pc, "loop-continue evidence destination %#x != static target %#x", p.Dst, site.StaticTarget)
+				s.note(ReasonMalformedEvidence, pc, "loop-continue evidence destination %#x != static target %#x", p.Dst, site.StaticTarget)
 			} else {
 				extend(brConsume, nil, s.walkState(site.StaticTarget, cursor+1, loopCtx))
 			}
 		case cfg.ClassIndirectCall:
 			p, have := s.peek(cursor)
 			if !have || p.Src != site.RecordAddr {
-				s.note(pc, "missing indirect-call evidence for site %#x", pc)
+				s.note(ReasonMissingEvidence, pc, "missing indirect-call evidence for site %#x", pc)
 			} else if !v.entries[p.Dst] {
-				s.noteAttack(pc, "indirect call to %#x, which is not a function entry (JOP)", p.Dst)
+				s.noteAttack(ReasonJOP, pc, "indirect call to %#x, which is not a function entry (JOP)", p.Dst)
 			} else {
 				s.call(key, pc, next, p.Dst, cursor+1, loopCtx, extend)
 			}
@@ -487,7 +587,7 @@ func (s *summarizer) evaluate(key nodeKey, e *entry) {
 	} else if ins.Kind() == isa.KindCall {
 		s.call(key, pc, next, ins.Target, cursor, loopCtx, extend)
 	} else {
-		s.note(pc, "internal: evaluate at non-node %#x", pc)
+		s.note(ReasonUnexplained, pc, "internal: evaluate at non-node %#x", pc)
 	}
 
 	s.evalStack = s.evalStack[:len(s.evalStack)-1]
@@ -509,7 +609,7 @@ func (s *summarizer) call(key nodeKey, pc, retSite, callee uint32, cursor int, l
 			if co.retDst == retSite {
 				extend(brCall, co, s.walkState(retSite, co.cursor, loopCtx))
 			} else {
-				s.noteAttack(pc, "return destination %#x != call-site successor %#x (ROP)", co.retDst, retSite)
+				s.noteAttack(ReasonROP, pc, "return destination %#x != call-site successor %#x (ROP)", co.retDst, retSite)
 			}
 		}
 	}
@@ -521,7 +621,7 @@ func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
 	img := v.link.Image
 	entryPC, err := img.EntryAddr()
 	if err != nil {
-		return &Verdict{OK: false, Reason: fmt.Sprintf("golden image has no entry: %v", err), Packets: len(packets)}
+		return &Verdict{OK: false, Code: ReasonBadImage, Detail: fmt.Sprintf("golden image has no entry: %v", err), Packets: len(packets)}
 	}
 	s := &summarizer{
 		v:       v,
@@ -529,13 +629,14 @@ func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
 		memo:    make(map[nodeKey]*entry),
 		advMemo: make(map[nodeKey]advState),
 		inDirty: make(map[nodeKey]bool),
+		cache:   v.opts.cache,
 		segCap:  uint64(len(img.Code)) + 16,
-		debug:   v.opts.Debug,
+		debug:   v.opts.debug,
 	}
 
-	fail := func(reason string, pc uint32) *Verdict {
+	fail := func(code ReasonCode, detail string, pc uint32) *Verdict {
 		return &Verdict{
-			OK: false, Reason: reason, FailPC: pc,
+			OK: false, Code: code, Detail: detail, FailPC: pc,
 			Packets: len(packets), Instrs: s.work, Passes: int(s.evals),
 		}
 	}
@@ -551,7 +652,7 @@ func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
 		}
 	}
 	if s.aborted {
-		return fail(fmt.Sprintf("verification exceeded the %d-instruction work budget", v.opts.MaxInstrs), 0)
+		return fail(ReasonWorkBudget, fmt.Sprintf("verification exceeded the %d-instruction work budget", v.opts.maxInstrs), 0)
 	}
 
 	outs := s.walkState(entryPC, 0, nil)
@@ -568,11 +669,10 @@ func (v *Verifier) reconstruct(packets []trace.Packet) *Verdict {
 			}
 		}
 	}
-	reason := s.firstReason
-	if reason == "" {
-		reason = "no benign path explains the evidence"
-	} else {
-		reason = "no benign path explains the evidence; first contradiction: " + reason
+	code, detail := ReasonUnexplained, "no benign path explains the evidence"
+	if s.firstReason != "" {
+		code = s.firstCode
+		detail = "no benign path explains the evidence; first contradiction: " + s.firstReason
 	}
-	return fail(reason, s.firstPC)
+	return fail(code, detail, s.firstPC)
 }

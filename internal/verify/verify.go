@@ -38,6 +38,13 @@
 // destinations must be function entries (JOP), table jumps must stay
 // inside their function, and the evidence stream must be exhausted
 // exactly.
+//
+// # Fast path
+//
+// Verifiers in a gateway share a [Cache] (see WithCache): whole-stream
+// verdicts and deterministic segment walks are memoized across sessions,
+// keyed by H_MEM and the exact evidence they depend on, so a fleet of
+// devices running identical firmware amortizes the pushdown search.
 package verify
 
 import (
@@ -60,8 +67,11 @@ type Edge struct {
 
 // Verdict is the outcome of verifying one attestation session.
 type Verdict struct {
-	OK     bool
-	Reason string // human-readable failure cause ("" when OK)
+	OK bool
+	// Code classifies the rejection (ReasonNone when OK); Detail carries
+	// the human-readable specifics of the first recorded contradiction.
+	Code   ReasonCode
+	Detail string
 	// FailPC is the replay PC at the first recorded contradiction (0 when
 	// OK, or when the failure was global, e.g. an H_MEM mismatch).
 	FailPC uint32
@@ -76,22 +86,22 @@ type Verdict struct {
 
 	// Path holds the reconstructed transfer sequence, capped at PathCap.
 	Path []Edge
+
+	// Evidence is the decompressed packet stream the verdict judged
+	// (populated by Verify/VerifyWithDictionary, nil from ReplayPackets
+	// cache hits). Gateways mine it for hot sub-paths; treat as read-only.
+	Evidence []trace.Packet
 }
 
-// Options tunes verification.
-type Options struct {
-	// MaxInstrs bounds the total abstract work (default 500M).
-	MaxInstrs uint64
-	// PathCap bounds the recorded path edges (default 4096; -1 disables
-	// recording).
-	PathCap int
-	// Debug prints search diagnostics to stdout (development aid). The
-	// flag is carried per search state, so one debugging Verifier does
-	// not affect concurrent verifications by others.
-	Debug bool
-	// Speculation, when non-nil, expands SpecCFA sub-path markers in the
-	// evidence before reconstruction (must match the Prover's dictionary).
-	Speculation *speccfa.Dictionary
+// Reason renders the failure cause as "code: detail" ("" when OK).
+func (vd *Verdict) Reason() string {
+	if vd.OK {
+		return ""
+	}
+	if vd.Detail == "" {
+		return vd.Code.String()
+	}
+	return vd.Code.String() + ": " + vd.Detail
 }
 
 // Verifier validates attestation evidence for one application. It holds
@@ -101,28 +111,30 @@ type Options struct {
 // A Verifier is immutable after New and safe for concurrent use: every
 // Verify/ReplayPackets call allocates its own search state, so one
 // Verifier per application can be shared across all gateway sessions.
+// Derive a reconfigured copy with [Verifier.With].
 type Verifier struct {
 	link    *linker.Output
 	auth    attest.Authenticator
 	hmem    [sha256.Size]byte
 	entries map[uint32]bool // function entry addresses (indirect-call policy)
-	opts    Options
+	opts    options
 }
 
-// New builds a Verifier for the linked artifact.
-func New(link *linker.Output, auth attest.Authenticator, opts Options) *Verifier {
-	if opts.MaxInstrs == 0 {
-		opts.MaxInstrs = 500_000_000
-	}
-	if opts.PathCap == 0 {
-		opts.PathCap = 4096
+// New builds a Verifier for the linked artifact, configured by functional
+// options (see WithMaxInstrs, WithPathCap, WithSpeculation, WithCache,
+// WithDebug). With no options the defaults match a plain verifier: 500M
+// instruction budget, 4096 path edges, no speculation, no cache.
+func New(link *linker.Output, auth attest.Authenticator, opts ...Option) *Verifier {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
 	}
 	v := &Verifier{
 		link:    link,
 		auth:    auth,
 		hmem:    link.Image.Hash(),
 		entries: make(map[uint32]bool),
-		opts:    opts,
+		opts:    o,
 	}
 	for name, r := range link.Image.FuncRanges {
 		if name == linker.MTBARFunc {
@@ -137,10 +149,22 @@ func New(link *linker.Output, auth attest.Authenticator, opts Options) *Verifier
 func (v *Verifier) ExpectedHMem() [sha256.Size]byte { return v.hmem }
 
 // Verify authenticates the report chain against chal and reconstructs the
-// execution path. A nil error with Verdict.OK == false means the evidence
-// was well-formed but attests a disallowed execution (attack detected);
+// execution path, expanding markers with the constructor-provisioned
+// dictionary. A nil error with Verdict.OK == false means the evidence was
+// well-formed but attests a disallowed execution (attack detected);
 // errors are reserved for malformed/inauthentic evidence.
 func (v *Verifier) Verify(chal attest.Challenge, reports []*attest.Report) (*Verdict, error) {
+	return v.VerifyWithDictionary(chal, reports, v.opts.spec)
+}
+
+// VerifyWithDictionary is Verify with an explicit SpecCFA dictionary for
+// this session (nil disables marker expansion), overriding the
+// constructor-provisioned one. Gateways negotiating a live, mined
+// dictionary per session use this entry point.
+//
+// The verdict cache is dictionary-independent: caching keys on the
+// decompressed stream, so promoting new sub-paths never invalidates it.
+func (v *Verifier) VerifyWithDictionary(chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary) (*Verdict, error) {
 	log, hmem, err := attest.AssembleChain(reports, chal, v.auth)
 	if err != nil {
 		return nil, err
@@ -148,21 +172,34 @@ func (v *Verifier) Verify(chal attest.Challenge, reports []*attest.Report) (*Ver
 	if hmem != v.hmem {
 		return &Verdict{
 			OK:     false,
-			Reason: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
+			Code:   ReasonHMemMismatch,
+			Detail: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
 		}, nil
 	}
 	packets := trace.DecodePackets(log)
-	if v.opts.Speculation.Len() > 0 {
-		packets, err = v.opts.Speculation.Decompress(packets)
+	if dict.Len() > 0 {
+		packets, err = dict.Decompress(packets)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return v.reconstruct(packets), nil
+	if c := v.opts.cache; c != nil {
+		if vd, ok := c.lookupVerdict(v.hmem, packets); ok {
+			vd.Evidence = packets
+			return vd, nil
+		}
+	}
+	vd := v.reconstruct(packets)
+	vd.Evidence = packets
+	if c := v.opts.cache; c != nil {
+		c.storeVerdict(v.hmem, packets, vd)
+	}
+	return vd, nil
 }
 
 // ReplayPackets reconstructs a path directly from packets (testing and
-// tooling aid; skips authentication).
+// tooling aid; skips authentication and the whole-stream verdict cache,
+// though an attached cache still shares segment summaries).
 func (v *Verifier) ReplayPackets(packets []trace.Packet) *Verdict {
 	return v.reconstruct(packets)
 }

@@ -65,7 +65,7 @@ func attested(t *testing.T, prog *asm.Program) (*linker.Output, []trace.Packet) 
 
 func newVerifier(out *linker.Output) *verify.Verifier {
 	key, _ := attest.GenerateHMACKey()
-	return verify.New(out, key, verify.Options{})
+	return verify.New(out, key)
 }
 
 // richProgram exercises every evidence kind: indirect call, monitored and
@@ -116,7 +116,7 @@ func TestGenuineEvidenceAccepted(t *testing.T) {
 	v := newVerifier(out)
 	vd := v.ReplayPackets(pkts)
 	if !vd.OK {
-		t.Fatalf("rejected: %s (pc=%#x)", vd.Reason, vd.FailPC)
+		t.Fatalf("rejected: %s (pc=%#x)", vd.Reason(), vd.FailPC)
 	}
 	if vd.PacketsUsed != len(pkts) {
 		t.Errorf("consumed %d of %d packets", vd.PacketsUsed, len(pkts))
@@ -147,8 +147,8 @@ func mustReject(t *testing.T, out *linker.Output, pkts []trace.Packet, wantSub s
 	if vd.OK {
 		t.Fatalf("tampered evidence accepted (%d packets)", len(pkts))
 	}
-	if wantSub != "" && !strings.Contains(vd.Reason, wantSub) {
-		t.Errorf("reason %q does not mention %q", vd.Reason, wantSub)
+	if wantSub != "" && !strings.Contains(vd.Reason(), wantSub) {
+		t.Errorf("reason %q does not mention %q", vd.Reason(), wantSub)
 	}
 }
 
@@ -239,7 +239,7 @@ func TestLoopConditionReflectedInPath(t *testing.T) {
 	v := newVerifier(out)
 	base := v.ReplayPackets(pkts)
 	if !base.OK {
-		t.Fatal(base.Reason)
+		t.Fatal(base.Reason())
 	}
 
 	i := findPacket(t, pkts, func(p trace.Packet) bool { return p.Src == secall })
@@ -247,7 +247,7 @@ func TestLoopConditionReflectedInPath(t *testing.T) {
 	mutated[i].Dst += 5 // five more iterations at loop entry
 	vd := v.ReplayPackets(mutated)
 	if !vd.OK {
-		t.Fatalf("self-consistent evidence rejected: %s", vd.Reason)
+		t.Fatalf("self-consistent evidence rejected: %s", vd.Reason())
 	}
 	if vd.Transfers != base.Transfers+5 {
 		t.Errorf("transfers %d, want %d (+5 loop back-edges)", vd.Transfers, base.Transfers+5)
@@ -290,7 +290,7 @@ func TestRecursionAmbiguityResolved(t *testing.T) {
 	out, pkts := attested(t, p)
 	vd := newVerifier(out).ReplayPackets(pkts)
 	if !vd.OK {
-		t.Fatalf("rejected: %s", vd.Reason)
+		t.Fatalf("rejected: %s", vd.Reason())
 	}
 	if vd.Passes < 2 {
 		t.Errorf("expected fixed-point iteration for recursive evidence, passes=%d", vd.Passes)
@@ -302,10 +302,10 @@ func TestRecursionAmbiguityResolved(t *testing.T) {
 func TestPathCapRespected(t *testing.T) {
 	out, pkts := attested(t, richProgram())
 	key, _ := attest.GenerateHMACKey()
-	v := verify.New(out, key, verify.Options{PathCap: 3})
+	v := verify.New(out, key, verify.WithPathCap(3))
 	vd := v.ReplayPackets(pkts)
 	if !vd.OK {
-		t.Fatal(vd.Reason)
+		t.Fatal(vd.Reason())
 	}
 	if len(vd.Path) > 3 {
 		t.Errorf("path length %d exceeds cap", len(vd.Path))
@@ -313,7 +313,7 @@ func TestPathCapRespected(t *testing.T) {
 	if vd.Transfers <= 3 {
 		t.Errorf("transfer count should exceed the cap, got %d", vd.Transfers)
 	}
-	vOff := verify.New(out, key, verify.Options{PathCap: -1})
+	vOff := verify.New(out, key, verify.WithPathCap(-1))
 	if vd := vOff.ReplayPackets(pkts); len(vd.Path) != 0 {
 		t.Error("PathCap -1 should disable recording")
 	}
@@ -322,13 +322,13 @@ func TestPathCapRespected(t *testing.T) {
 func TestWorkBudgetEnforced(t *testing.T) {
 	out, pkts := attested(t, richProgram())
 	key, _ := attest.GenerateHMACKey()
-	v := verify.New(out, key, verify.Options{MaxInstrs: 10})
+	v := verify.New(out, key, verify.WithMaxInstrs(10))
 	vd := v.ReplayPackets(pkts)
 	if vd.OK {
 		t.Fatal("accepted under a 10-instruction budget")
 	}
-	if !strings.Contains(vd.Reason, "budget") && !strings.Contains(vd.Reason, "instruction") {
-		t.Errorf("reason = %q", vd.Reason)
+	if !strings.Contains(vd.Reason(), "budget") && !strings.Contains(vd.Reason(), "instruction") {
+		t.Errorf("reason = %q", vd.Reason())
 	}
 }
 
@@ -362,12 +362,12 @@ func TestHMemMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v := verify.New(goldenOut, key, verify.Options{})
+	v := verify.New(goldenOut, key)
 	vd, err := v.Verify(chal, reports)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vd.OK || !strings.Contains(vd.Reason, "H_MEM") {
+	if vd.OK || !strings.Contains(vd.Reason(), "H_MEM") {
 		t.Errorf("verdict = %+v", vd)
 	}
 }
@@ -381,7 +381,7 @@ func TestVerifierConcurrentUse(t *testing.T) {
 	v := newVerifier(out)
 	want := v.ReplayPackets(packets)
 	if !want.OK {
-		t.Fatalf("baseline verdict: %s", want.Reason)
+		t.Fatalf("baseline verdict: %s", want.Reason())
 	}
 
 	const goroutines, rounds = 8, 4
@@ -394,7 +394,7 @@ func TestVerifierConcurrentUse(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				vd := v.ReplayPackets(packets)
 				if !vd.OK {
-					errs <- fmt.Errorf("concurrent verdict rejected: %s", vd.Reason)
+					errs <- fmt.Errorf("concurrent verdict rejected: %s", vd.Reason())
 					return
 				}
 				if vd.Transfers != want.Transfers || vd.PacketsUsed != want.PacketsUsed {

@@ -14,7 +14,7 @@ func (s *summarizer) materialize(entryPC uint32, top *outcome) *Verdict {
 	s.emitLoops = 0
 	emit := func(e Edge) {
 		vd.Transfers++
-		if s.v.opts.PathCap > 0 && len(vd.Path) < s.v.opts.PathCap {
+		if s.v.opts.pathCap > 0 && len(vd.Path) < s.v.opts.pathCap {
 			vd.Path = append(vd.Path, e)
 		}
 	}
