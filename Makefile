@@ -1,9 +1,9 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench bench-smoke serve-selftest
+.PHONY: check vet build test race fuzz chaos bench bench-smoke serve-selftest
 
-check: vet build test race fuzz
+check: vet build test race fuzz chaos
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,13 @@ race:
 # use `go test -fuzz FuzzReadFrame ./internal/remote` to actually fuzz).
 fuzz:
 	$(GO) test -run Fuzz ./internal/remote ./internal/attest
+
+# Chaos suite: seeded fault injection across hardware, wire, and gateway
+# plus the prover retry / breaker / quarantine resilience tests. Seeds
+# are pinned in the tests, so -count=2 re-runs the same schedules — what
+# it actually shakes out is goroutine scheduling under -race.
+chaos:
+	$(GO) test -race -run 'Chaos|Faults' -count=2 ./internal/server ./internal/trace ./internal/faults
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .

@@ -3,11 +3,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -35,6 +37,9 @@ func cmdServe(args []string) error {
 	mineEvery := fs.Int("mine-every", 0, "mine the dictionary every Nth accepted session (0: default 16, negative: off)")
 	minePaths := fs.Int("mine-paths", 0, "sub-paths to mine per pass (0: default 8)")
 	maxDictPaths := fs.Int("max-dict-paths", 0, "live dictionary size cap (0: default 32)")
+	busyRetryAfter := fs.Duration("busy-retry-after", 0, "retry-after hint carried in BUSY sheds (0: no hint)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive verify errors before the per-app breaker opens (0: default 8, negative: off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker shed window before a half-open probe (0: default 2s)")
 	selftest := fs.Int("selftest", 0, "drive N concurrent local prover sessions, print stats, exit")
 	watermark := fs.Int("watermark", 0, "MTB watermark for selftest provers (0: buffer size)")
 	verbose := fs.Bool("v", false, "log per-session failures")
@@ -52,14 +57,17 @@ func cmdServe(args []string) error {
 	}
 
 	cfg := server.Config{
-		MaxSessions:    *maxSessions,
-		VerifyWorkers:  *workers,
-		SessionTimeout: *sessionTimeout,
-		IOTimeout:      *ioTimeout,
-		CacheBytes:     *cacheBytes,
-		MineEvery:      *mineEvery,
-		MinePaths:      *minePaths,
-		MaxDictPaths:   *maxDictPaths,
+		MaxSessions:      *maxSessions,
+		VerifyWorkers:    *workers,
+		SessionTimeout:   *sessionTimeout,
+		IOTimeout:        *ioTimeout,
+		CacheBytes:       *cacheBytes,
+		MineEvery:        *mineEvery,
+		MinePaths:        *minePaths,
+		MaxDictPaths:     *maxDictPaths,
+		BusyRetryAfter:   *busyRetryAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	}
 	if *verbose {
 		cfg.OnSessionError = func(addr string, err error) {
@@ -152,22 +160,23 @@ func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, name
 		}
 	}
 
+	// The concurrent batch attests through the production retry loop, so a
+	// BUSY shed (session cap or an open breaker) backs off and retries
+	// instead of failing the selftest; retry totals land in the gateway
+	// stats via ObserveProverRetries.
 	fmt.Printf("selftest: %d concurrent prover sessions\n", n)
 	start := time.Now()
 	var wg sync.WaitGroup
+	var retries atomic.Uint64
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			app := names[i%len(names)]
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				errs <- fmt.Errorf("session %d: dial: %w", i, err)
-				return
-			}
-			defer conn.Close()
-			gv, err := ep.AttestTo(conn, app)
+			dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+			gv, st, err := ep.AttestWithRetry(app, dial, remote.RetryPolicy{})
+			retries.Add(uint64(st.Retries))
 			if err != nil {
 				errs <- fmt.Errorf("session %d (%s): %w", i, app, err)
 				return
@@ -179,12 +188,14 @@ func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, name
 	}
 	wg.Wait()
 	close(errs)
+	g.ObserveProverRetries(retries.Load())
 	failed := 0
 	for err := range errs {
 		failed++
 		fmt.Fprintln(os.Stderr, "selftest:", err)
 	}
-	fmt.Printf("selftest: %d/%d sessions ok in %v\n", n-failed, n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("selftest: %d/%d sessions ok in %v (%d retries)\n",
+		n-failed, n, time.Since(start).Round(time.Millisecond), retries.Load())
 	if failed > 0 {
 		return fmt.Errorf("selftest: %d sessions failed", failed)
 	}

@@ -74,9 +74,17 @@ type Report struct {
 	Nonce [NonceSize]byte
 	Seq   uint32
 	Final bool
-	HMem  [sha256.Size]byte
-	CFLog []byte // raw packet stream for this report's window
-	Auth  []byte // MAC or signature over the canonical encoding
+	// Wraps and Dropped are the RoT's own loss evidence for this report's
+	// window: circular-buffer wraps past the watermark (each one
+	// overwrote unreported packets) and packets lost during the TSTART
+	// arming window. Both are signed, so a Verifier can distinguish
+	// detectable trace loss (inconclusive) from a disallowed path (attack)
+	// without trusting the transport. Zero in healthy sessions.
+	Wraps   uint32
+	Dropped uint32
+	HMem    [sha256.Size]byte
+	CFLog   []byte // raw packet stream for this report's window
+	Auth    []byte // MAC or signature over the canonical encoding
 }
 
 // signedBytes is the canonical byte string authenticated by Auth.
@@ -91,6 +99,8 @@ func (r *Report) signedBytes() []byte {
 	} else {
 		b = append(b, 0)
 	}
+	b = binary.LittleEndian.AppendUint32(b, r.Wraps)
+	b = binary.LittleEndian.AppendUint32(b, r.Dropped)
 	b = append(b, r.HMem[:]...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.CFLog)))
 	b = append(b, r.CFLog...)
@@ -144,15 +154,22 @@ func DecodeReport(b []byte) (*Report, error) {
 	}
 	r.App = string(body[:appLen])
 	body = body[appLen:]
-	if len(body) < NonceSize+4+1+sha256.Size+4 {
+	if len(body) < NonceSize+4+1+4+4+sha256.Size+4 {
 		return nil, ErrBadReport
 	}
 	copy(r.Nonce[:], body)
 	body = body[NonceSize:]
 	r.Seq = binary.LittleEndian.Uint32(body)
 	body = body[4:]
+	if body[0] > 1 {
+		return nil, ErrBadReport // non-canonical Final flag
+	}
 	r.Final = body[0] == 1
 	body = body[1:]
+	r.Wraps = binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	r.Dropped = binary.LittleEndian.Uint32(body)
+	body = body[4:]
 	copy(r.HMem[:], body)
 	body = body[sha256.Size:]
 	logLen := binary.LittleEndian.Uint32(body)

@@ -208,3 +208,57 @@ func TestChallengesAreFresh(t *testing.T) {
 		t.Error("two challenges share a nonce")
 	}
 }
+
+// TestReportLossEvidence: the Wraps/Dropped loss counters survive the
+// wire round trip and sit under the authenticator — a prover cannot
+// quietly zero (or invent) loss evidence without breaking the MAC.
+func TestReportLossEvidence(t *testing.T) {
+	in := sampleReport()
+	in.Wraps = 3
+	in.Dropped = 17
+	out, err := DecodeReport(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Wraps != 3 || out.Dropped != 17 {
+		t.Fatalf("round trip: wraps=%d dropped=%d", out.Wraps, out.Dropped)
+	}
+
+	key, err := GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SignReport(in, key); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyReport(in, key) {
+		t.Fatal("genuine report rejected")
+	}
+	in.Wraps = 0
+	if VerifyReport(in, key) {
+		t.Error("zeroed Wraps accepted: loss evidence not signed")
+	}
+	in.Wraps = 3
+	in.Dropped++
+	if VerifyReport(in, key) {
+		t.Error("tampered Dropped accepted: loss evidence not signed")
+	}
+}
+
+// TestDecodeReportNonCanonicalFinal: the Final byte on the wire must be
+// 0 or 1 — anything else cannot re-encode to the same bytes, so it is
+// rejected instead of silently canonicalized.
+func TestDecodeReportNonCanonicalFinal(t *testing.T) {
+	r := sampleReport()
+	r.Final = true
+	enc := r.Encode()
+	// The Final byte sits after bodyLen(4) + appLen(4) + app + nonce + seq(4).
+	off := 4 + 4 + len(r.App) + NonceSize + 4
+	if enc[off] != 1 {
+		t.Fatalf("final byte not at offset %d", off)
+	}
+	enc[off] = 2
+	if _, err := DecodeReport(enc); err == nil {
+		t.Error("non-canonical Final byte accepted")
+	}
+}

@@ -103,6 +103,12 @@ type Engine struct {
 	// Partials counts watermark-triggered report emissions.
 	Partials int
 
+	// lastWraps/lastDropped snapshot the MTB loss counters at the last
+	// report emission, so each report carries only its own window's loss
+	// evidence (Report.Wraps / Report.Dropped).
+	lastWraps   uint64
+	lastDropped uint64
+
 	// OnReport, when non-nil, observes each signed report the moment it
 	// is emitted (partial reports included) — the hook remote transports
 	// use to stream evidence while the application is still running.
@@ -228,6 +234,8 @@ func (e *Engine) Begin(chal attest.Challenge) error {
 	e.reports = nil
 	e.Partials = 0
 	e.PauseCycles = 0
+	e.lastWraps = e.MTB.Wraps
+	e.lastDropped = e.MTB.DroppedArming
 	e.active = true
 	return nil
 }
@@ -244,7 +252,11 @@ func (e *Engine) svcLogLoop(_ int32, regs *[16]uint32) (uint64, error) {
 }
 
 // emitReport drains the CFLog window [0, position) into a signed report
-// and rewinds the MTB.
+// and rewinds the MTB. The report also carries the window's loss evidence
+// (buffer wraps, arming drops) read from the MTB counters — the simulator
+// makes both observable to Secure-World code; on silicon the wrap is
+// inferable from MTB_POSITION's wrap bit — so a Verifier can tell
+// "evidence incomplete" apart from "evidence attests an attack".
 func (e *Engine) emitReport(final bool) {
 	n := e.MTB.Position()
 	log := e.mem.ReadBytes(mem.SDataBase, uint32(n))
@@ -253,13 +265,19 @@ func (e *Engine) emitReport(final bool) {
 		e.PauseCycles += uint64(len(packets)) * CompressCyclesPerPacket
 		log = trace.EncodePackets(e.spec.Compress(packets))
 	}
+	wraps := e.MTB.Wraps - e.lastWraps
+	dropped := e.MTB.DroppedArming - e.lastDropped
+	e.lastWraps = e.MTB.Wraps
+	e.lastDropped = e.MTB.DroppedArming
 	r := &attest.Report{
-		App:   e.chal.App,
-		Nonce: e.chal.Nonce,
-		Seq:   e.seq,
-		Final: final,
-		HMem:  e.hmem,
-		CFLog: log,
+		App:     e.chal.App,
+		Nonce:   e.chal.Nonce,
+		Seq:     e.seq,
+		Final:   final,
+		Wraps:   uint32(wraps),
+		Dropped: uint32(dropped),
+		HMem:    e.hmem,
+		CFLog:   log,
 	}
 	if err := attest.SignReport(r, e.signer); err != nil {
 		// Signing with an in-memory key cannot fail; treat as fatal.

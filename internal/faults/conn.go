@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ErrInjected marks transport errors manufactured by a FaultyConn, so
+// tests can tell injected failures from organic ones with errors.Is.
+var ErrInjected = errors.New("faults: injected transport fault")
+
+// FaultyConn wraps a connection with the injector's wire-fault schedule.
+// Faults surface exactly as the real failures they model: a disconnect
+// closes the underlying conn (the peer sees a genuine EOF/reset mid
+// frame), a partial write delivers a strict prefix, bit flips corrupt
+// in-flight bytes without touching the caller's buffer.
+type FaultyConn struct {
+	inner io.ReadWriteCloser
+	in    *Injector
+}
+
+// WrapConn interposes the injector's wire faults on conn. A zero wire
+// plan makes the wrapper transparent.
+func (in *Injector) WrapConn(conn io.ReadWriteCloser) *FaultyConn {
+	return &FaultyConn{inner: conn, in: in}
+}
+
+func (f *FaultyConn) stall() {
+	if f.in.roll(f.in.plan.Stall, &f.in.c.Stalls) {
+		d := f.in.plan.StallFor
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// disconnect severs the transport for both directions and returns the
+// error the caller sees for this operation.
+func (f *FaultyConn) disconnect(op string) error {
+	f.inner.Close()
+	return fmt.Errorf("%w: %s disconnect: %w", ErrInjected, op, io.ErrClosedPipe)
+}
+
+// flipBit corrupts one uniformly-chosen bit of b.
+func (f *FaultyConn) flipBit(b []byte) {
+	i := f.in.intn(len(b)) - 1
+	bit := f.in.intn(8) - 1
+	b[i] ^= 1 << bit
+}
+
+func (f *FaultyConn) Read(p []byte) (int, error) {
+	f.stall()
+	if f.in.roll(f.in.plan.Disconnect, &f.in.c.Disconnects) {
+		return 0, f.disconnect("read")
+	}
+	n, err := f.inner.Read(p)
+	if n > 0 && f.in.roll(f.in.plan.ReadFlip, &f.in.c.ReadFlips) {
+		f.flipBit(p[:n])
+	}
+	return n, err
+}
+
+func (f *FaultyConn) Write(p []byte) (int, error) {
+	f.stall()
+	if f.in.roll(f.in.plan.Disconnect, &f.in.c.Disconnects) {
+		return 0, f.disconnect("write")
+	}
+	buf := p
+	if len(p) > 0 && f.in.roll(f.in.plan.WriteFlip, &f.in.c.WriteFlips) {
+		buf = append([]byte(nil), p...) // never corrupt the caller's buffer
+		f.flipBit(buf)
+	}
+	if len(p) > 1 && f.in.roll(f.in.plan.PartialWrite, &f.in.c.PartialWrites) {
+		keep := f.in.intn(len(buf) - 1) // strict prefix: 1..len-1 bytes
+		n, err := f.inner.Write(buf[:keep])
+		if err != nil {
+			return n, err
+		}
+		f.inner.Close() // the rest of the frame never arrives
+		return n, fmt.Errorf("%w: write cut short after %d/%d bytes: %w",
+			ErrInjected, n, len(p), io.ErrUnexpectedEOF)
+	}
+	n, err := f.inner.Write(buf)
+	if n > len(p) {
+		n = len(p) // io.Writer contract vs. the copied buffer
+	}
+	return n, err
+}
+
+// Close closes the underlying connection.
+func (f *FaultyConn) Close() error { return f.inner.Close() }

@@ -1,0 +1,164 @@
+// Unit tests for the injector's determinism contract and the wire
+// wrapper's fault semantics. The chaos harness in internal/server leans
+// on both: replayable per-session schedules, and injected faults that
+// look exactly like the organic failures they model.
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"raptrack/internal/trace"
+)
+
+// schedule draws n drop decisions from a fresh fork of (seed, label).
+func schedule(seed uint64, label string, n int) []bool {
+	in := New(seed, Plan{PacketDrop: 0.5}).Fork(label)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.roll(in.plan.PacketDrop, &in.c.PacketDrops)
+	}
+	return out
+}
+
+func TestFaultsForkDeterminism(t *testing.T) {
+	a := schedule(42, "session-0007", 256)
+	b := schedule(42, "session-0007", 256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, label) diverged at decision %d", i)
+		}
+	}
+
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, schedule(42, "session-0008", 256)) {
+		t.Error("different labels produced identical schedules")
+	}
+	if same(a, schedule(43, "session-0007", 256)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultsCountsMatchSchedule(t *testing.T) {
+	in := New(1, Plan{PacketDrop: 0.25})
+	fired := uint64(0)
+	for i := 0; i < 1000; i++ {
+		if in.roll(in.plan.PacketDrop, &in.c.PacketDrops) {
+			fired++
+		}
+	}
+	c := in.Counts()
+	if c.PacketDrops != fired {
+		t.Fatalf("counted %d drops, schedule fired %d", c.PacketDrops, fired)
+	}
+	if c.Hardware() != fired || c.Wire() != 0 || c.Total() != fired {
+		t.Fatalf("layer totals inconsistent: %+v", c)
+	}
+}
+
+func TestFaultsZeroPlanIsTransparent(t *testing.T) {
+	in := New(7, Plan{})
+	m := trace.NewMTB(wordSink{}, 0, 256)
+	in.InstrumentMTB(m)
+	m.SetMaster(true)
+	for i := 0; i < 64; i++ {
+		m.Record(uint32(i), uint32(i+1))
+	}
+	if m.InjectedDrops != 0 || m.InjectedCorruptions != 0 {
+		t.Fatalf("zero plan perturbed the MTB: drops=%d corruptions=%d",
+			m.InjectedDrops, m.InjectedCorruptions)
+	}
+
+	var buf bytes.Buffer
+	fc := in.WrapConn(nopCloser{&buf})
+	msg := []byte("attestation frame bytes")
+	if n, err := fc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write through zero plan: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), msg) {
+		t.Fatalf("zero plan corrupted the wire: %q", buf.Bytes())
+	}
+	if c := in.Counts(); c.Total() != 0 {
+		t.Fatalf("zero plan recorded faults: %+v", c)
+	}
+}
+
+type nopCloser struct{ io.ReadWriter }
+
+func (nopCloser) Close() error { return nil }
+
+// wordSink discards MTB packets; these tests only read the counters.
+type wordSink struct{}
+
+func (wordSink) Write32(uint32, uint32) error { return nil }
+
+// TestFaultsConnWriteFlipPreservesCallerBuffer: the wrapper must corrupt
+// bytes in flight, never the caller's slice — the prover's report bytes
+// are reused for its own chain hash.
+func TestFaultsConnWriteFlipPreservesCallerBuffer(t *testing.T) {
+	in := New(3, Plan{WriteFlip: 1})
+	var buf bytes.Buffer
+	fc := in.WrapConn(nopCloser{&buf})
+	msg := []byte("do not touch the caller's bytes")
+	orig := append([]byte(nil), msg...)
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("WriteFlip mutated the caller's buffer")
+	}
+	if bytes.Equal(buf.Bytes(), orig) {
+		t.Fatal("WriteFlip delivered uncorrupted bytes")
+	}
+	diff := 0
+	for i := range orig {
+		if buf.Bytes()[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip touched %d bytes, want exactly 1", diff)
+	}
+}
+
+// TestFaultsConnPartialWriteSeversTransport: a partial write must deliver
+// a strict prefix, surface a typed injected error, and leave the peer
+// with a dead conn — the shape of a mid-frame crash.
+func TestFaultsConnPartialWriteSeversTransport(t *testing.T) {
+	in := New(9, Plan{PartialWrite: 1})
+	var buf bytes.Buffer
+	fc := in.WrapConn(nopCloser{&buf})
+	msg := make([]byte, 128)
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want injected unexpected-EOF", err)
+	}
+	if n <= 0 || n >= len(msg) || buf.Len() != n {
+		t.Fatalf("delivered %d bytes (buffered %d), want a strict prefix", n, buf.Len())
+	}
+	if c := in.Counts(); c.PartialWrites != 1 || c.Wire() != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestFaultsConnDisconnectIsInjectedError: disconnects must be
+// distinguishable from organic failures via errors.Is(ErrInjected).
+func TestFaultsConnDisconnectIsInjectedError(t *testing.T) {
+	in := New(11, Plan{Disconnect: 1})
+	fc := in.WrapConn(nopCloser{&bytes.Buffer{}})
+	if _, err := fc.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want ErrInjected", err)
+	}
+	if c := in.Counts(); c.Disconnects != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}

@@ -3,6 +3,7 @@ package remote
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"raptrack/internal/attest"
 	"raptrack/internal/verify"
@@ -43,6 +44,40 @@ func FuzzReadFrame(f *testing.F) {
 		consumed := len(data) - r.Len()
 		if got := frameSeed(typ, payload); !bytes.Equal(got, data[:consumed]) {
 			t.Fatalf("re-encode mismatch: parsed (%d, %d B) from %x", typ, len(payload), data[:consumed])
+		}
+	})
+}
+
+// FuzzParseBusy checks the BUSY retry-after payload parser never panics,
+// never returns a negative hint, and round-trips every payload it
+// accepts (the all-zero hint canonicalizes to the legacy empty payload).
+func FuzzParseBusy(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBusy(time.Millisecond))
+	f.Add(EncodeBusy(30 * time.Second))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseBusy(data)
+		if err != nil {
+			if d != 0 {
+				t.Fatalf("error with non-zero hint %v", d)
+			}
+			return
+		}
+		if d < 0 {
+			t.Fatalf("negative retry-after %v from %x", d, data)
+		}
+		reenc := EncodeBusy(d)
+		if d == 0 {
+			if reenc != nil {
+				t.Fatalf("zero hint re-encoded to %x", reenc)
+			}
+			return
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("re-encode mismatch: %x -> %v -> %x", data, d, reenc)
 		}
 	})
 }

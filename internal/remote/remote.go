@@ -16,7 +16,9 @@
 //	                         FAIL (version mismatches are rejected with a
 //	                         FAIL wrapping ErrProtocolMismatch)
 //	BUSY (Verifier->Prover): the gateway is at capacity; the session is
-//	                         shed before any challenge is issued
+//	                         shed before any challenge is issued. The
+//	                         payload is empty, or a u32 little-endian
+//	                         retry-after hint in milliseconds
 //	DICT (Verifier->Prover): live SpecCFA dictionary for this session
 //	                         (speccfa.Dictionary wire encoding), sent
 //	                         before CHAL so the prover compresses with the
@@ -35,7 +37,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"sync"
+	"time"
 
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
@@ -102,9 +107,20 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 
 // ReadFrame reads one length-prefixed frame, rejecting payloads beyond
 // MaxFrame before allocating.
+//
+// Every mid-frame truncation — the stream ending after a partial header,
+// or anywhere short of the announced payload length — returns an error
+// satisfying both errors.Is(err, ErrSessionTruncated) and
+// errors.Is(err, io.ErrUnexpectedEOF), regardless of which read hit the
+// end. A clean EOF before the first header byte is returned as io.EOF
+// unchanged (only the caller knows whether more frames were expected
+// there; see mapTruncation).
 func ReadFrame(r io.Reader) (byte, []byte, error) {
 	hdr := make([]byte, FrameHeaderSize)
 	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: frame header cut short: %w", ErrSessionTruncated, err)
+		}
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
@@ -113,6 +129,14 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			// The header promised n payload bytes: an EOF here is a
+			// partial read even when zero payload bytes arrived.
+			err = io.ErrUnexpectedEOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: %d-byte payload cut short: %w", ErrSessionTruncated, n, err)
+		}
 		return 0, nil, err
 	}
 	return hdr[0], payload, nil
@@ -125,13 +149,89 @@ var ErrSessionTruncated = errors.New("remote: session truncated before the final
 
 // ErrBusy is returned when a gateway sheds the session with a BUSY frame
 // instead of issuing a challenge. Test with errors.Is; retrying later is
-// the expected client reaction.
+// the expected client reaction. The concrete error is a *BusyError,
+// which may carry the gateway's retry-after hint.
 var ErrBusy = errors.New("remote: gateway at capacity")
+
+// BusyError is the typed form of a BUSY shed. RetryAfter is the
+// gateway's hint for when to retry (zero when the frame carried none).
+// errors.Is(err, ErrBusy) matches it.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("remote: gateway at capacity (retry after %v)", e.RetryAfter)
+	}
+	return ErrBusy.Error()
+}
+
+// Is makes errors.Is(err, ErrBusy) hold for BusyError values.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// ErrBadBusy is returned for malformed BUSY frame payloads.
+var ErrBadBusy = errors.New("remote: malformed busy frame payload")
+
+// EncodeBusy builds a BUSY frame payload. A zero (or negative) hint
+// yields the empty payload — the pre-hint wire form old endpoints emit
+// and expect; sub-millisecond hints round up to 1 ms so they survive the
+// encoding.
+func EncodeBusy(retryAfter time.Duration) []byte {
+	if retryAfter <= 0 {
+		return nil
+	}
+	ms := retryAfter.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	return binary.LittleEndian.AppendUint32(nil, uint32(ms))
+}
+
+// ParseBusy decodes a BUSY frame payload: empty means "no hint", four
+// bytes carry a little-endian retry-after count in milliseconds. Any
+// other length is malformed (ErrBadBusy).
+func ParseBusy(payload []byte) (time.Duration, error) {
+	switch len(payload) {
+	case 0:
+		return 0, nil
+	case 4:
+		return time.Duration(binary.LittleEndian.Uint32(payload)) * time.Millisecond, nil
+	default:
+		return 0, fmt.Errorf("%w: %d bytes", ErrBadBusy, len(payload))
+	}
+}
+
+// PeerFailError carries the peer's FAIL frame: Context names the protocol
+// step that surfaced it, Msg is the peer's error string verbatim.
+type PeerFailError struct {
+	Context string
+	Msg     string
+}
+
+func (e *PeerFailError) Error() string { return "remote: " + e.Context + ": " + e.Msg }
+
+// Fatal reports whether the peer's failure is semantic — a condition an
+// identical retry cannot fix (unprovisioned application, protocol version
+// mismatch). FAIL is a string-typed frame, so this is necessarily a
+// classification of the message text; everything unrecognized is treated
+// as transient, which at worst wastes a retry budget.
+func (e *PeerFailError) Fatal() bool {
+	return strings.Contains(e.Msg, "unknown application") ||
+		strings.Contains(e.Msg, "protocol version mismatch")
+}
 
 // mapTruncation converts a premature end-of-stream into the
 // ErrSessionTruncated sentinel so callers can errors.Is it; other errors
-// (deadline expiry, oversized frames, ...) pass through unchanged.
+// (deadline expiry, oversized frames, ...) pass through unchanged, as do
+// errors ReadFrame already mapped.
 func mapTruncation(err error) error {
+	if errors.Is(err, ErrSessionTruncated) {
+		return err
+	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
 		return fmt.Errorf("%w (%v)", ErrSessionTruncated, err)
 	}
@@ -196,9 +296,12 @@ func (p *ProverEndpoint) serveSession(conn io.ReadWriter, typ byte, payload []by
 	switch typ {
 	case FrameChal:
 	case FrameBusy:
-		return ErrBusy
+		// A malformed hint payload degrades to "no hint": the shed itself
+		// is unambiguous from the frame type alone.
+		ra, _ := ParseBusy(payload)
+		return &BusyError{RetryAfter: ra}
 	case FrameFail:
-		return fmt.Errorf("remote: verifier rejected session: %s", payload)
+		return &PeerFailError{Context: "verifier rejected session", Msg: string(payload)}
 	default:
 		return fmt.Errorf("remote: expected challenge frame, got type %d", typ)
 	}
@@ -327,7 +430,7 @@ func (p *ProverEndpoint) AttestTo(conn io.ReadWriter, app string) (GatewayVerdic
 	case FrameVerdict:
 		return DecodeVerdict(payload)
 	case FrameFail:
-		return gv, fmt.Errorf("remote: gateway reported failure: %s", payload)
+		return gv, &PeerFailError{Context: "gateway reported failure", Msg: string(payload)}
 	default:
 		return gv, fmt.Errorf("remote: expected verdict frame, got type %d", typ)
 	}
@@ -389,7 +492,7 @@ func CollectReports(r io.Reader) ([]*attest.Report, error) {
 				return reports, nil
 			}
 		case FrameFail:
-			return nil, fmt.Errorf("remote: prover reported failure: %s", payload)
+			return nil, &PeerFailError{Context: "prover reported failure", Msg: string(payload)}
 		default:
 			return nil, fmt.Errorf("remote: unexpected frame type %d in report stream", typ)
 		}

@@ -1,0 +1,401 @@
+// Transport-resilience tests: exhaustive truncation mapping, the BUSY
+// retry-after extension, transient/fatal classification, and the
+// AttestWithRetry loop against scripted gateways.
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/verify"
+)
+
+// TestReadFrameTruncationOffsets cuts a valid frame at every possible
+// byte offset: offset 0 is a clean io.EOF (stream ended between frames),
+// every other offset is mid-frame and must map to ErrSessionTruncated
+// backed by io.ErrUnexpectedEOF — header and payload truncations alike.
+func TestReadFrameTruncationOffsets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameRprt, []byte{0xde, 0xad, 0xbe, 0xef, 0x42}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes() // 5-byte header + 5-byte payload
+
+	for cut := 0; cut <= len(frame); cut++ {
+		typ, payload, err := ReadFrame(bytes.NewReader(frame[:cut]))
+		switch {
+		case cut == 0:
+			if !errors.Is(err, io.EOF) || errors.Is(err, ErrSessionTruncated) {
+				t.Errorf("cut 0: want clean io.EOF, got %v", err)
+			}
+		case cut < len(frame):
+			if !errors.Is(err, ErrSessionTruncated) {
+				t.Errorf("cut %d: errors.Is(ErrSessionTruncated) = false: %v", cut, err)
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("cut %d: errors.Is(io.ErrUnexpectedEOF) = false: %v", cut, err)
+			}
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("cut %d: mid-frame cut reads as clean EOF: %v", cut, err)
+			}
+		default:
+			if err != nil || typ != FrameRprt || len(payload) != 5 {
+				t.Errorf("complete frame: typ=%d len=%d err=%v", typ, len(payload), err)
+			}
+		}
+	}
+
+	// A zero-payload frame has only header offsets to truncate at.
+	hdr := []byte{FrameBusy, 0, 0, 0, 0}
+	for cut := 1; cut < len(hdr); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(hdr[:cut]))
+		if !errors.Is(err, ErrSessionTruncated) || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("header cut %d: %v", cut, err)
+		}
+	}
+}
+
+func TestBusyPayloadRoundTrip(t *testing.T) {
+	if EncodeBusy(0) != nil || EncodeBusy(-time.Second) != nil {
+		t.Error("non-positive hints must encode to the legacy empty payload")
+	}
+	if d, err := ParseBusy(nil); err != nil || d != 0 {
+		t.Errorf("empty payload: d=%v err=%v", d, err)
+	}
+	for _, want := range []time.Duration{
+		time.Millisecond, 250 * time.Millisecond, 2 * time.Second, time.Hour,
+	} {
+		got, err := ParseBusy(EncodeBusy(want))
+		if err != nil || got != want {
+			t.Errorf("round trip %v: got %v, err %v", want, got, err)
+		}
+	}
+	// Sub-millisecond hints survive by rounding up, not truncating to the
+	// legacy empty payload.
+	if d, err := ParseBusy(EncodeBusy(300 * time.Microsecond)); err != nil || d != time.Millisecond {
+		t.Errorf("sub-ms hint: d=%v err=%v", d, err)
+	}
+	for _, bad := range [][]byte{{1}, {1, 2}, {1, 2, 3}, {1, 2, 3, 4, 5}} {
+		if _, err := ParseBusy(bad); !errors.Is(err, ErrBadBusy) {
+			t.Errorf("%d-byte payload: %v", len(bad), err)
+		}
+	}
+}
+
+// TestBusyRetryAfterSurfaced: a BUSY frame with a hint surfaces as a
+// *BusyError carrying it, still matching remote.ErrBusy; a malformed hint
+// degrades to a hintless shed rather than a hard error.
+func TestBusyRetryAfterSurfaced(t *testing.T) {
+	ep, _, _ := testSetup(t, "prime", 0)
+	shed := func(payload []byte) error {
+		cli, srv := net.Pipe()
+		defer cli.Close()
+		go func() {
+			defer srv.Close()
+			_ = WriteFrame(srv, FrameBusy, payload)
+		}()
+		return ep.ServeOne(cli)
+	}
+
+	err := shed(EncodeBusy(750 * time.Millisecond))
+	var be *BusyError
+	if !errors.As(err, &be) || be.RetryAfter != 750*time.Millisecond {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Fatal("BusyError no longer matches ErrBusy")
+	}
+	if !strings.Contains(err.Error(), "750ms") {
+		t.Errorf("hint missing from message: %v", err)
+	}
+
+	if err := shed([]byte{1, 2, 3}); !errors.As(err, &be) || be.RetryAfter != 0 {
+		t.Errorf("malformed hint should degrade to a hintless shed: %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrorClass
+	}{
+		{"nil", nil, ClassNone},
+		{"protocol mismatch", ErrProtocolMismatch, ClassFatal},
+		{"wrapped mismatch", &PeerFailError{Context: "gateway reported failure", Msg: "remote: protocol version mismatch: peer speaks v1"}, ClassFatal},
+		{"unknown app", &PeerFailError{Context: "verifier rejected session", Msg: `unknown application "ghost"`}, ClassFatal},
+		{"peer transient", &PeerFailError{Context: "prover reported failure", Msg: "engine on fire"}, ClassTransient},
+		{"busy", &BusyError{}, ClassTransient},
+		{"busy with hint", &BusyError{RetryAfter: time.Second}, ClassTransient},
+		{"truncated", ErrSessionTruncated, ClassTransient},
+		{"io", io.ErrUnexpectedEOF, ClassTransient},
+		{"anything else", errors.New("socket weather"), ClassTransient},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if ClassNone.String() != "none" || ClassTransient.String() != "transient" || ClassFatal.String() != "fatal" {
+		t.Error("ErrorClass names")
+	}
+}
+
+// scriptedDialer hands AttestWithRetry one net.Pipe per attempt, serving
+// each with the script selected by attempt number (1-based); scripts
+// beyond the list reuse the last one.
+func scriptedDialer(t *testing.T, scripts ...func(conn net.Conn)) func() (io.ReadWriteCloser, error) {
+	t.Helper()
+	attempt := 0
+	return func() (io.ReadWriteCloser, error) {
+		script := scripts[min(attempt, len(scripts)-1)]
+		attempt++
+		cli, srv := net.Pipe()
+		go func() {
+			defer srv.Close()
+			script(srv)
+		}()
+		return cli, nil
+	}
+}
+
+// gatewayOK is a minimal in-test gateway: HELO -> CHAL -> collect -> VRDT.
+func gatewayOK(t *testing.T, v *verify.Verifier) func(conn net.Conn) {
+	t.Helper()
+	return func(conn net.Conn) {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil || typ != FrameHello {
+			return
+		}
+		app, err := ParseHello(payload)
+		if err != nil {
+			return
+		}
+		chal, err := attest.NewChallenge(app)
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(conn, FrameChal, chal.Encode()); err != nil {
+			return
+		}
+		reports, err := CollectReports(conn)
+		if err != nil {
+			return
+		}
+		vd, err := v.Verify(chal, reports)
+		if err != nil {
+			_ = WriteFrame(conn, FrameFail, []byte(err.Error()))
+			return
+		}
+		_ = WriteFrame(conn, FrameVerdict, EncodeVerdict(vd.OK, vd.Code, vd.Detail))
+	}
+}
+
+func busyScript(hint time.Duration) func(conn net.Conn) {
+	return func(conn net.Conn) {
+		_, _, _ = ReadFrame(conn) // HELO
+		_ = WriteFrame(conn, FrameBusy, EncodeBusy(hint))
+	}
+}
+
+func TestAttestWithRetryRecoversFromBusy(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	var slept []time.Duration
+	pol := RetryPolicy{
+		BaseDelay: time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}
+	dial := scriptedDialer(t,
+		busyScript(50*time.Millisecond),
+		busyScript(0),
+		gatewayOK(t, v),
+	)
+	gv, st, err := ep.AttestWithRetry("prime", dial, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gv.OK {
+		t.Fatalf("verdict: %s", gv.Reason())
+	}
+	if st.Attempts != 3 || st.Retries != 2 || st.BusyHints != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times", len(slept))
+	}
+	// The hinted shed floors the first backoff at the gateway's 50ms; the
+	// hintless one falls back to exponential backoff (base 1ms, attempt 2).
+	if slept[0] < 50*time.Millisecond {
+		t.Errorf("hinted delay %v below the 50ms retry-after floor", slept[0])
+	}
+	if slept[1] != 2*time.Millisecond {
+		t.Errorf("unhinted delay = %v, want 2ms", slept[1])
+	}
+	if st.Waited != slept[0]+slept[1] {
+		t.Errorf("Waited = %v, slept %v", st.Waited, slept)
+	}
+}
+
+// TestAttestWithRetryFatalConfirmedAborts: a repeating fatal error is
+// confirmed by exactly one (cheap, pre-run) extra attempt, then surfaces
+// as the cause itself — not as budget exhaustion.
+func TestAttestWithRetryFatalConfirmedAborts(t *testing.T) {
+	ep, _, _ := testSetup(t, "prime", 0)
+	dial := scriptedDialer(t, func(conn net.Conn) {
+		_, _, _ = ReadFrame(conn)
+		_ = WriteFrame(conn, FrameFail, []byte(`unknown application "prime"`))
+	})
+	_, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{
+		Sleep: func(time.Duration) {},
+	})
+	if err == nil || Classify(err) != ClassFatal {
+		t.Fatalf("err = %v", err)
+	}
+	if strings.Contains(err.Error(), "gave up") {
+		t.Errorf("confirmed fatal must surface the cause, not budget exhaustion: %v", err)
+	}
+	if st.Attempts != 2 || st.Retries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAttestWithRetrySpuriousFatalRecovers: one attempt *reads* as fatal
+// (a corrupted HELO answered with unknown-application), the next is
+// healthy — the retry loop must treat the unconfirmed fatal as transient
+// and complete the session.
+func TestAttestWithRetrySpuriousFatalRecovers(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	dial := scriptedDialer(t,
+		func(conn net.Conn) {
+			_, _, _ = ReadFrame(conn)
+			_ = WriteFrame(conn, FrameFail, []byte(`unknown application "pzime"`))
+		},
+		gatewayOK(t, v),
+	)
+	gv, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{Sleep: func(time.Duration) {}})
+	if err != nil || !gv.OK {
+		t.Fatalf("gv=%+v err=%v", gv, err)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAttestWithRetryAttemptTimeout: a peer that promises a payload it
+// never sends cannot pin the prover forever — the attempt deadline
+// force-closes the connection, the attempt fails transient, and the next
+// one succeeds.
+func TestAttestWithRetryAttemptTimeout(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	hang := make(chan struct{})
+	defer close(hang)
+	dial := scriptedDialer(t,
+		func(conn net.Conn) {
+			_, _, _ = ReadFrame(conn) // HELO
+			// A CHAL header declaring 512 KiB that will never arrive — the
+			// shape a wire-corrupted length field takes.
+			_, _ = conn.Write([]byte{FrameChal, 0x00, 0x00, 0x08, 0x00})
+			<-hang
+		},
+		gatewayOK(t, v),
+	)
+	start := time.Now()
+	// 500ms: long enough for a full healthy session even under -race,
+	// short enough that the hung attempt visibly cannot stall the test.
+	gv, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{
+		AttemptTimeout: 500 * time.Millisecond,
+		Sleep:          func(time.Duration) {},
+	})
+	if err != nil || !gv.OK {
+		t.Fatalf("gv=%+v err=%v", gv, err)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("hung attempt survived %v despite the 500ms attempt timeout", el)
+	}
+}
+
+func TestAttestWithRetryExhaustsBudget(t *testing.T) {
+	ep, _, _ := testSetup(t, "prime", 0)
+	dial := scriptedDialer(t, func(conn net.Conn) {
+		_, _, _ = ReadFrame(conn) // read HELO, then vanish mid-session
+	})
+	_, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, ErrSessionTruncated) {
+		t.Fatalf("budget-exhausted error must keep the last cause: %v", err)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAttestWithRetryRecoversFromDialError(t *testing.T) {
+	ep, v, _ := testSetup(t, "prime", 0)
+	ok := scriptedDialer(t, gatewayOK(t, v))
+	first := true
+	dial := func() (io.ReadWriteCloser, error) {
+		if first {
+			first = false
+			return nil, errors.New("connection refused")
+		}
+		return ok()
+	}
+	gv, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{Sleep: func(time.Duration) {}})
+	if err != nil || !gv.OK {
+		t.Fatalf("gv=%+v err=%v", gv, err)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRetryPolicyBackoff pins the deterministic backoff shape: doubling
+// from BaseDelay, capped at MaxDelay, jitter only when a Rand is supplied,
+// and the BUSY hint as a floor — all without sleeping.
+func TestRetryPolicyBackoff(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}.withDefaults()
+	pol.Rand = nil // deterministic
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if d, hinted := pol.delay(i+1, errors.New("x")); d != w*time.Millisecond || hinted {
+			t.Errorf("attempt %d: delay = %v hinted=%v, want %v", i+1, d, hinted, w*time.Millisecond)
+		}
+	}
+	// A BUSY hint floors, never lowers, the computed backoff.
+	if d, hinted := pol.delay(1, &BusyError{RetryAfter: 100 * time.Millisecond}); d != 100*time.Millisecond || !hinted {
+		t.Errorf("hint above backoff: %v hinted=%v", d, hinted)
+	}
+	if d, hinted := pol.delay(3, &BusyError{RetryAfter: time.Millisecond}); d != 40*time.Millisecond || !hinted {
+		t.Errorf("hint below backoff must not lower it: %v hinted=%v", d, hinted)
+	}
+	// Jitter spreads around the base delay within ±Jitter.
+	pol.Rand = rand.New(rand.NewSource(1))
+	pol.Jitter = 0.5
+	for i := 0; i < 100; i++ {
+		d, _ := pol.delay(1, errors.New("x"))
+		if d < 5*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [5ms, 15ms]", d)
+		}
+	}
+	// Huge attempt numbers must not overflow into negative delays.
+	pol.Rand = nil
+	if d, _ := pol.delay(80, errors.New("x")); d != pol.MaxDelay {
+		t.Errorf("overflow-prone attempt: delay = %v", d)
+	}
+}

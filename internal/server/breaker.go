@@ -1,0 +1,119 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState uint8
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is a per-app circuit breaker over verification *errors* —
+// malformed or inauthentic evidence and recovered verify panics, never
+// attack verdicts (an attack is the verifier working, not failing).
+// When BreakerThreshold consecutive errors accumulate, the breaker opens
+// and the app's sessions are shed with BUSY (+ the remaining cooldown as
+// a retry-after hint) instead of burning worker time on a failing path.
+// After the cooldown one half-open probe session is admitted: its
+// verification outcome closes the breaker or re-opens it.
+//
+// threshold <= 0 disables the breaker entirely.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int       // consecutive verify errors
+	openedAt    time.Time // last closed/half-open -> open transition
+	probing     bool      // a half-open probe is in flight
+}
+
+func (b *breaker) enabled() bool { return b.threshold > 0 }
+
+// admit decides whether a session may proceed toward verification.
+// When shedding (ok == false), retryAfter carries the remaining cooldown
+// as the BUSY hint; probe marks the session as the half-open probe, which
+// must either reach a worker (record) or abort.
+func (b *breaker) admit(now time.Time) (ok, probe bool, retryAfter time.Duration) {
+	if !b.enabled() {
+		return true, false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true, false, 0
+	case bkOpen:
+		if rem := b.cooldown - now.Sub(b.openedAt); rem > 0 {
+			return false, false, rem
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		return true, true, 0
+	default: // bkHalfOpen
+		if b.probing {
+			return false, false, b.cooldown
+		}
+		// The previous probe aborted before deciding; admit another.
+		b.probing = true
+		return true, true, 0
+	}
+}
+
+// record observes one verification outcome (every job a worker runs is
+// recorded exactly once). It reports breaker transitions so the caller
+// can count them: opened and closed are mutually exclusive.
+func (b *breaker) record(failed bool, now time.Time) (opened, closed bool) {
+	if !b.enabled() {
+		return false, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		b.consecutive++
+		switch b.state {
+		case bkHalfOpen:
+			// The probe failed: back to shedding for another cooldown.
+			b.state = bkOpen
+			b.openedAt = now
+			b.probing = false
+			return true, false
+		case bkClosed:
+			if b.consecutive >= b.threshold {
+				b.state = bkOpen
+				b.openedAt = now
+				return true, false
+			}
+		}
+		return false, false
+	}
+	b.consecutive = 0
+	if b.state != bkClosed {
+		// A successful verification — the probe, or a job enqueued before
+		// the breaker opened — proves the path works again.
+		b.state = bkClosed
+		b.probing = false
+		return false, true
+	}
+	return false, false
+}
+
+// abort releases the half-open probe slot when the probe session died
+// before its evidence reached a worker: it decided nothing, so the next
+// admitted session probes instead.
+func (b *breaker) abort() {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	if b.state == bkHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}

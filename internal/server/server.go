@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,28 @@ type Config struct {
 	// OnSessionError, when non-nil, observes per-session failures
 	// (diagnostics; the session is already counted in Stats).
 	OnSessionError func(remoteAddr string, err error)
+
+	// BusyRetryAfter is the retry-after hint carried in capacity-shed BUSY
+	// frames (0: no hint — the frame is wire-identical to protocol v2's
+	// empty BUSY, so old provers are unaffected).
+	BusyRetryAfter time.Duration
+	// BreakerThreshold opens an app's circuit breaker after this many
+	// consecutive verification *errors* — malformed/inauthentic evidence or
+	// recovered verify panics, never attack verdicts (0: default 8;
+	// negative: breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds the app's sessions
+	// before admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+
+	// VerifyHook, when non-nil, runs on the worker goroutine immediately
+	// before each verification (chaos injection: panics and stalls land
+	// exactly where a verifier bug would).
+	VerifyHook func(app string)
+	// DictFault, when non-nil, may rewrite a mined dictionary's encoded
+	// bytes before the promotion self-check (chaos injection for the
+	// quarantine path).
+	DictFault func([]byte) []byte
 
 	// CacheBytes bounds the per-app verification summary cache (0: 64 MiB
 	// default; negative: no cache is attached at Register).
@@ -108,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.MineEvery == 0 {
 		c.MineEvery = 16
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	if c.MinePaths <= 0 {
 		c.MinePaths = 8
 	}
@@ -123,12 +152,17 @@ func (c Config) withDefaults() Config {
 // dictionary pointer once and use that snapshot for both delivery and
 // expansion, so a promotion mid-session cannot desynchronize the two.
 type appState struct {
+	name     string
 	verifier *verify.Verifier
 	cache    *verify.Cache // nil when caching is disabled
 
 	dict     atomic.Pointer[dictState]
 	dictMu   sync.Mutex    // serializes mining promotions
 	accepted atomic.Uint64 // accepted sessions (mining cadence)
+
+	// brk sheds the app's sessions while its verify path is erroring
+	// (see Config.BreakerThreshold).
+	brk breaker
 }
 
 // dictState is one immutable version of an app's live dictionary.
@@ -197,7 +231,12 @@ func (g *Gateway) Register(app string, v *verify.Verifier) {
 	if g.cfg.CacheBytes >= 0 && v.Cache() == nil {
 		v = v.With(verify.WithCache(verify.NewCache(g.cfg.CacheBytes)))
 	}
-	st := &appState{verifier: v, cache: v.Cache()}
+	st := &appState{
+		name:     app,
+		verifier: v,
+		cache:    v.Cache(),
+		brk:      breaker{threshold: g.cfg.BreakerThreshold, cooldown: g.cfg.BreakerCooldown},
+	}
 	st.dict.Store(newDictState(0, v.Speculation()))
 	g.mu.Lock()
 	g.apps[app] = st
@@ -326,19 +365,32 @@ func (g *Gateway) handleConn(conn net.Conn) {
 		// cannot pin this goroutine either.
 		g.st.rejected.Add(1)
 		_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.IOTimeout))
-		_ = remote.WriteFrame(conn, remote.FrameBusy, nil)
+		_ = remote.WriteFrame(conn, remote.FrameBusy, remote.EncodeBusy(g.cfg.BusyRetryAfter))
 		return
 	}
 
 	g.st.accepted.Add(1)
 	deadline := time.Now().Add(g.cfg.SessionTimeout)
 	tc := &timedConn{Conn: conn, ioTimeout: g.cfg.IOTimeout, end: deadline, st: &g.st}
-	if err := g.session(tc, deadline); err != nil {
+	if err := g.safeSession(tc, deadline); err != nil {
 		g.st.failed.Add(1)
 		if g.cfg.OnSessionError != nil {
 			g.cfg.OnSessionError(conn.RemoteAddr().String(), err)
 		}
 	}
+}
+
+// safeSession runs session under a panic guard: one berserk session
+// (protocol handler bug, injected fault) is recovered, counted, and
+// reported as a session error instead of killing the whole gateway.
+func (g *Gateway) safeSession(tc *timedConn, deadline time.Time) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			g.st.panicsRecovered.Add(1)
+			err = fmt.Errorf("server: session panicked: %v", p)
+		}
+	}()
+	return g.session(tc, deadline)
 }
 
 // session speaks one gateway session on an already-admitted connection.
@@ -360,6 +412,30 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 	if st == nil {
 		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(fmt.Sprintf("unknown application %q", app)))
 		return fmt.Errorf("server: unknown application %q", app)
+	}
+
+	// Circuit breaker: while the app's verify path is erroring, shed with a
+	// BUSY carrying the remaining cooldown — a graceful degradation, not a
+	// session failure.
+	admitted, probe, retryAfter := st.brk.admit(time.Now())
+	if !admitted {
+		g.st.breakerSheds.Add(1)
+		if retryAfter <= 0 {
+			retryAfter = g.cfg.BusyRetryAfter
+		}
+		_ = remote.WriteFrame(tc, remote.FrameBusy, remote.EncodeBusy(retryAfter))
+		return nil
+	}
+	enqueued := false
+	if probe {
+		g.st.breakerHalfOpens.Add(1)
+		// A probe that dies before its evidence reaches a worker decides
+		// nothing; release the half-open slot for the next candidate.
+		defer func() {
+			if !enqueued {
+				st.brk.abort()
+			}
+		}()
 	}
 
 	// One dictionary snapshot rules the whole session: what the prover
@@ -385,14 +461,21 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 		return err
 	}
 
-	verdict, err := g.verify(st, chal, reports, ds.dict, deadline)
+	verdict, sent, err := g.verify(st, chal, reports, ds.dict, deadline)
+	enqueued = sent
 	if err != nil {
 		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(err.Error()))
 		return err
 	}
-	if verdict.OK {
+	switch {
+	case verdict.OK:
 		g.st.verdictOK.Add(1)
-	} else {
+	case verdict.Code == verify.ReasonInconclusive:
+		// Authentic evidence attesting its own loss (MTB wrap / arming
+		// drop): neither accept nor attack — the device should re-attest.
+		g.st.verdictInconclusive.Add(1)
+		g.st.rejectedByCode[verdict.Code].Add(1)
+	default:
 		g.st.verdictAttack.Add(1)
 		if verdict.Code.Valid() {
 			g.st.rejectedByCode[verdict.Code].Add(1)
@@ -406,41 +489,69 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 
 // verify hands the reconstruction to the worker pool and waits for the
 // result, but never past the session deadline: a saturated pool exerts
-// backpressure here, not in the accept or read loops.
-func (g *Gateway) verify(st *appState, chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary, deadline time.Time) (*verify.Verdict, error) {
+// backpressure here, not in the accept or read loops. enqueued reports
+// whether the job reached the pool (every enqueued job is recorded by the
+// app's circuit breaker exactly once, even if this session stops waiting).
+func (g *Gateway) verify(st *appState, chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary, deadline time.Time) (vd *verify.Verdict, enqueued bool, err error) {
 	job := verifyJob{app: st, chal: chal, reports: reports, dict: dict, resp: make(chan verifyResult, 1)}
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case g.jobs <- job:
 	case <-timer.C:
-		return nil, errors.New("server: verification queue full past session deadline")
+		return nil, false, errors.New("server: verification queue full past session deadline")
 	}
 	select {
 	case r := <-job.resp:
 		if r.err != nil {
-			return nil, fmt.Errorf("server: malformed or inauthentic evidence: %w", r.err)
+			return nil, true, fmt.Errorf("server: malformed or inauthentic evidence: %w", r.err)
 		}
-		return r.verdict, nil
+		return r.verdict, true, nil
 	case <-timer.C:
 		// The worker finishes and delivers into the buffered channel;
 		// only this session stops waiting.
-		return nil, errors.New("server: verification exceeded session deadline")
+		return nil, true, errors.New("server: verification exceeded session deadline")
 	}
 }
 
 func (g *Gateway) worker() {
 	defer g.workers.Done()
 	for job := range g.jobs {
-		start := time.Now()
-		vd, err := job.app.verifier.VerifyWithDictionary(job.chal, job.reports, job.dict)
-		g.st.observeVerify(time.Since(start))
-		job.resp <- verifyResult{verdict: vd, err: err}
-		if err == nil && vd.OK {
-			// Mine after delivery: the session is not kept waiting on
-			// dictionary work.
-			g.maybeMine(job.app, vd)
+		g.runJob(job)
+	}
+}
+
+// runJob verifies one session's evidence on a worker goroutine. A panic
+// out of the verifier (or an injected VerifyHook fault) is recovered into
+// an ordinary verify error: one poisoned session must not take down a
+// pool worker and with it the gateway's verification capacity. Every job
+// is delivered and breaker-recorded exactly once.
+func (g *Gateway) runJob(job verifyJob) {
+	start := time.Now()
+	var res verifyResult
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				g.st.panicsRecovered.Add(1)
+				res = verifyResult{err: fmt.Errorf("server: verification panicked: %v", p)}
+			}
+		}()
+		if h := g.cfg.VerifyHook; h != nil {
+			h(job.app.name)
 		}
+		res.verdict, res.err = job.app.verifier.VerifyWithDictionary(job.chal, job.reports, job.dict)
+	}()
+	g.st.observeVerify(time.Since(start))
+	if opened, closed := job.app.brk.record(res.err != nil, time.Now()); opened {
+		g.st.breakerOpens.Add(1)
+	} else if closed {
+		g.st.breakerCloses.Add(1)
+	}
+	job.resp <- res
+	if res.err == nil && res.verdict.OK {
+		// Mine after delivery: the session is not kept waiting on
+		// dictionary work.
+		g.maybeMine(job.app, res.verdict)
 	}
 }
 
@@ -468,6 +579,36 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 	if err != nil || added == 0 {
 		return
 	}
-	st.dict.Store(newDictState(cur.version+1, merged))
+	// Promotion self-check: the exact bytes that would go out in DICT
+	// frames must decode back to a dictionary that round-trips this
+	// session's evidence. A dictionary that fails (bit rot, encoder bug,
+	// injected DictFault) is quarantined — the live dictionary stays on the
+	// last good version and never reaches a prover handshake.
+	encoded := merged.Encode()
+	if f := g.cfg.DictFault; f != nil {
+		encoded = f(encoded)
+	}
+	checked, err := speccfa.DecodeDictionary(encoded)
+	if err != nil {
+		g.st.dictQuarantines.Add(1)
+		return
+	}
+	rt, err := checked.Decompress(checked.Compress(vd.Evidence))
+	if err != nil || !slices.Equal(rt, vd.Evidence) {
+		g.st.dictQuarantines.Add(1)
+		return
+	}
+	// Store the dictionary decoded FROM the checked bytes: provers (DICT
+	// frame) and the verifier (expansion) derive from identical bits.
+	st.dict.Store(&dictState{version: cur.version + 1, dict: checked, encoded: encoded})
 	g.st.dictPromotions.Add(uint64(added))
+}
+
+// ObserveProverRetries folds prover-side retry counts into the gateway
+// stats — deployments (and the serve selftest) report how many extra
+// attempts their AttestWithRetry loops spent reaching a verdict.
+func (g *Gateway) ObserveProverRetries(n uint64) {
+	if n > 0 {
+		g.st.proverRetries.Add(n)
+	}
 }

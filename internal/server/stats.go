@@ -33,12 +33,21 @@ type counters struct {
 	rejected atomic.Uint64 // sessions shed with a BUSY frame
 	failed   atomic.Uint64 // accepted sessions that errored out
 
-	verdictOK      atomic.Uint64
-	verdictAttack  atomic.Uint64
-	rejectedByCode [verify.NumReasons]atomic.Uint64
+	verdictOK           atomic.Uint64
+	verdictAttack       atomic.Uint64
+	verdictInconclusive atomic.Uint64
+	rejectedByCode      [verify.NumReasons]atomic.Uint64
 
-	minedSessions  atomic.Uint64
-	dictPromotions atomic.Uint64
+	minedSessions   atomic.Uint64
+	dictPromotions  atomic.Uint64
+	dictQuarantines atomic.Uint64
+
+	panicsRecovered  atomic.Uint64
+	breakerOpens     atomic.Uint64
+	breakerHalfOpens atomic.Uint64
+	breakerCloses    atomic.Uint64
+	breakerSheds     atomic.Uint64
+	proverRetries    atomic.Uint64
 
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
@@ -78,8 +87,13 @@ type Stats struct {
 
 	VerdictOK     uint64 // sessions whose evidence attested a benign path
 	VerdictAttack uint64 // well-formed evidence attesting a disallowed path
-	// Rejections buckets attack verdicts by typed reason code; index with
-	// a verify.ReasonCode. Rejections[verify.ReasonNone] stays zero.
+	// VerdictInconclusive counts sessions whose authentic evidence attested
+	// detectable trace loss (verify.ReasonInconclusive): neither accept nor
+	// attack — the device is expected to re-attest.
+	VerdictInconclusive uint64
+	// Rejections buckets non-OK verdicts (attack and inconclusive) by typed
+	// reason code; index with a verify.ReasonCode.
+	// Rejections[verify.ReasonNone] stays zero.
 	Rejections [verify.NumReasons]uint64
 
 	BytesIn  uint64
@@ -102,6 +116,18 @@ type Stats struct {
 	MinedSessions  uint64
 	DictPromotions uint64
 	DictPaths      int
+	// DictQuarantines counts mined dictionaries that failed the promotion
+	// self-check (decode + evidence round-trip) and were discarded before
+	// reaching any prover handshake.
+	DictQuarantines uint64
+
+	// Resilience instrumentation.
+	PanicsRecovered  uint64 // session/worker panics caught and converted to errors
+	BreakerOpens     uint64 // circuit-breaker closed/half-open -> open transitions
+	BreakerHalfOpens uint64 // half-open probes admitted
+	BreakerCloses    uint64 // breaker recoveries back to closed
+	BreakerSheds     uint64 // sessions shed by an open breaker (BUSY + hint)
+	ProverRetries    uint64 // prover-side retries reported via ObserveProverRetries
 }
 
 // snapshot reads every counter once; sessions may land between reads, so
@@ -113,14 +139,22 @@ func (c *counters) snapshot(active int) Stats {
 		SessionsRejected: c.rejected.Load(),
 		SessionsFailed:   c.failed.Load(),
 		ActiveSessions:   active,
-		VerdictOK:        c.verdictOK.Load(),
-		VerdictAttack:    c.verdictAttack.Load(),
-		BytesIn:          c.bytesIn.Load(),
-		BytesOut:         c.bytesOut.Load(),
-		Verifications:    c.verifications.Load(),
-		VerifyTotal:      time.Duration(c.verifyNanos.Load()),
-		MinedSessions:    c.minedSessions.Load(),
-		DictPromotions:   c.dictPromotions.Load(),
+		VerdictOK:           c.verdictOK.Load(),
+		VerdictAttack:       c.verdictAttack.Load(),
+		VerdictInconclusive: c.verdictInconclusive.Load(),
+		BytesIn:             c.bytesIn.Load(),
+		BytesOut:            c.bytesOut.Load(),
+		Verifications:       c.verifications.Load(),
+		VerifyTotal:         time.Duration(c.verifyNanos.Load()),
+		MinedSessions:       c.minedSessions.Load(),
+		DictPromotions:      c.dictPromotions.Load(),
+		DictQuarantines:     c.dictQuarantines.Load(),
+		PanicsRecovered:     c.panicsRecovered.Load(),
+		BreakerOpens:        c.breakerOpens.Load(),
+		BreakerHalfOpens:    c.breakerHalfOpens.Load(),
+		BreakerCloses:       c.breakerCloses.Load(),
+		BreakerSheds:        c.breakerSheds.Load(),
+		ProverRetries:       c.proverRetries.Load(),
 	}
 	for i := range c.rejectedByCode {
 		s.Rejections[i] = c.rejectedByCode[i].Load()
@@ -139,8 +173,9 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sessions:      %d started, %d accepted, %d rejected (busy), %d failed, %d active\n",
 		s.SessionsStarted, s.SessionsAccepted, s.SessionsRejected, s.SessionsFailed, s.ActiveSessions)
-	fmt.Fprintf(&b, "verdicts:      %d ok, %d attack\n", s.VerdictOK, s.VerdictAttack)
-	if s.VerdictAttack > 0 {
+	fmt.Fprintf(&b, "verdicts:      %d ok, %d attack, %d inconclusive\n",
+		s.VerdictOK, s.VerdictAttack, s.VerdictInconclusive)
+	if s.VerdictAttack > 0 || s.VerdictInconclusive > 0 {
 		fmt.Fprintf(&b, "rejections:   ")
 		for code, n := range s.Rejections {
 			if n > 0 {
@@ -166,7 +201,9 @@ func (s Stats) String() string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "cache:         %d hits, %d misses, %d evictions, %d entries, %d B\n",
 		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheEntries, s.CacheBytes)
-	fmt.Fprintf(&b, "mining:        %d sessions mined, %d promotions, %d dictionary paths\n",
-		s.MinedSessions, s.DictPromotions, s.DictPaths)
+	fmt.Fprintf(&b, "mining:        %d sessions mined, %d promotions, %d dictionary paths, %d quarantined\n",
+		s.MinedSessions, s.DictPromotions, s.DictPaths, s.DictQuarantines)
+	fmt.Fprintf(&b, "resilience:    %d panics recovered, breaker %d opens/%d probes/%d closes/%d sheds, %d prover retries\n",
+		s.PanicsRecovered, s.BreakerOpens, s.BreakerHalfOpens, s.BreakerCloses, s.BreakerSheds, s.ProverRetries)
 	return b.String()
 }

@@ -63,6 +63,14 @@ func (r RangeRule) String() string {
 // paper's configuration: two for MTBAR (TSTART) and two for MTBDR (TSTOP).
 type DWT struct {
 	rules []RangeRule
+
+	// Misfire, when non-nil, may veto one comparator assertion (fault
+	// injection, internal/faults): a rule whose range contains the PC
+	// fails to drive its MTB input for that evaluation. Production
+	// configurations leave it nil.
+	Misfire func(RangeRule) bool
+	// Misfires counts vetoed assertions.
+	Misfires uint64
 }
 
 // NewDWT returns a DWT with no ranges programmed.
@@ -92,6 +100,10 @@ func (d *DWT) Rules() []RangeRule { return d.rules }
 func (d *DWT) Evaluate(pc uint32) (start, stop bool) {
 	for _, r := range d.rules {
 		if r.Contains(pc) {
+			if d.Misfire != nil && d.Misfire(r) {
+				d.Misfires++
+				continue
+			}
 			switch r.Action {
 			case ActionStartMTB:
 				start = true

@@ -1,0 +1,121 @@
+// Fault-hook behavior of the hardware models: injected drops,
+// corruption, watermark suppression, arming jitter and DWT misfires must
+// perturb exactly the event they model, count themselves, and cost
+// nothing when absent.
+package trace
+
+import "testing"
+
+func TestMTBFaultsDrop(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 64)
+	m.SetMaster(true)
+	drop := true
+	m.Faults = &MTBFaults{Drop: func(src, dst uint32) bool { return drop }}
+	m.Record(1, 2)
+	if m.TotalPackets != 0 || m.InjectedDrops != 1 {
+		t.Fatalf("packets=%d drops=%d", m.TotalPackets, m.InjectedDrops)
+	}
+	drop = false
+	m.Record(3, 4)
+	if m.TotalPackets != 1 || m.InjectedDrops != 1 {
+		t.Fatalf("packets=%d drops=%d", m.TotalPackets, m.InjectedDrops)
+	}
+	if p := s.packetAt(0, 0); p != (Packet{3, 4}) {
+		t.Fatalf("stored %v", p)
+	}
+}
+
+func TestMTBFaultsCorrupt(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 64)
+	m.SetMaster(true)
+	m.Faults = &MTBFaults{Corrupt: func(src, dst uint32) (uint32, uint32) {
+		if src == 1 {
+			return src ^ 0x80, dst
+		}
+		return src, dst // identity: must not count as an injection
+	}}
+	m.Record(1, 2)
+	m.Record(3, 4)
+	if m.InjectedCorruptions != 1 || m.TotalPackets != 2 {
+		t.Fatalf("corruptions=%d packets=%d", m.InjectedCorruptions, m.TotalPackets)
+	}
+	if p := s.packetAt(0, 0); p != (Packet{0x81, 2}) {
+		t.Fatalf("slot 0 = %v, want corrupted src 0x81", p)
+	}
+	if p := s.packetAt(0, 1); p != (Packet{3, 4}) {
+		t.Fatalf("slot 1 = %v, want untouched", p)
+	}
+}
+
+// TestMTBFaultsWatermarkSuppression is the loss-evidence mechanism end to
+// end at the unit level: a swallowed MTB_FLOW exception means the drain
+// never runs, the position keeps advancing, and the eventual wrap —
+// which overwrites evidence — is visible in Wraps.
+func TestMTBFaultsWatermarkSuppression(t *testing.T) {
+	s := newSink()
+	m := NewMTB(s, 0, 32) // 4 packets
+	m.SetMaster(true)
+	if err := m.SetWatermark(16); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	m.OnWatermark = func() {
+		fired++
+		m.ResetPosition()
+	}
+	m.Faults = &MTBFaults{SuppressWatermark: func() bool { return true }}
+	for i := uint32(0); i < 5; i++ {
+		m.Record(i, i)
+	}
+	if fired != 0 {
+		t.Fatalf("watermark fired %d times under suppression", fired)
+	}
+	if m.WatermarkSuppressions == 0 {
+		t.Fatal("suppressions not counted")
+	}
+	if m.Wraps != 1 {
+		t.Fatalf("Wraps = %d; suppression must drive the buffer past capacity", m.Wraps)
+	}
+}
+
+func TestMTBFaultsArmJitter(t *testing.T) {
+	m := NewMTB(newSink(), 0, 64)
+	m.SetArmLatency(1)
+	m.Faults = &MTBFaults{ArmJitter: func() int { return 2 }}
+	m.TStart()
+	// Latency 1 + jitter 2: three retires before capture.
+	for i := 0; i < 3; i++ {
+		if m.Enabled() {
+			t.Fatalf("enabled after %d retires, want 3", i)
+		}
+		m.Record(1, 2) // all lost to the stretched arming window
+		m.OnRetire()
+	}
+	if !m.Enabled() {
+		t.Fatal("not enabled after the jittered window elapsed")
+	}
+	if m.DroppedArming != 3 {
+		t.Fatalf("DroppedArming = %d, want 3", m.DroppedArming)
+	}
+}
+
+func TestDWTFaultsMisfire(t *testing.T) {
+	d := NewDWT()
+	if err := d.Program(RangeRule{Base: 0x100, Limit: 0x200, Action: ActionStartMTB}); err != nil {
+		t.Fatal(err)
+	}
+	fire := true
+	d.Misfire = func(RangeRule) bool { return fire }
+	if start, _ := d.Evaluate(0x150); start {
+		t.Fatal("misfiring comparator still asserted TSTART")
+	}
+	if d.Misfires != 1 {
+		t.Fatalf("Misfires = %d", d.Misfires)
+	}
+	fire = false
+	if start, _ := d.Evaluate(0x150); !start {
+		t.Fatal("comparator dead after the fault cleared")
+	}
+}

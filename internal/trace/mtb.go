@@ -24,6 +24,27 @@ type BufferWriter interface {
 	Write32(addr uint32, v uint32) error
 }
 
+// MTBFaults is the optional fault-injection surface of the MTB model
+// (chaos testing, internal/faults). Each non-nil hook is consulted on the
+// hardware event it perturbs; production configurations leave MTB.Faults
+// nil and pay nothing. Hooks run synchronously on the simulated CPU's
+// goroutine, so they need no internal locking of the MTB itself.
+type MTBFaults struct {
+	// Drop, when it returns true, loses the offered hardware packet
+	// silently — a capture miss the buffer never sees.
+	Drop func(src, dst uint32) bool
+	// Corrupt may rewrite a packet before it reaches SRAM — a bus or SRAM
+	// bit error. Returning the inputs unchanged injects nothing.
+	Corrupt func(src, dst uint32) (uint32, uint32)
+	// SuppressWatermark, when it returns true, swallows one watermark
+	// debug exception: the drain misses its window and the buffer keeps
+	// filling toward a wrap (detectable afterwards via Wraps).
+	SuppressWatermark func() bool
+	// ArmJitter returns extra arming-latency instructions applied to one
+	// TStart — activation-delay variance beyond the linker's NOP pad.
+	ArmJitter func() int
+}
+
 // MTB models the Micro Trace Buffer. Zero value is not usable; use NewMTB.
 //
 // Register-level correspondence:
@@ -50,11 +71,19 @@ type MTB struct {
 	// partial report and then call ResetPosition.
 	OnWatermark func()
 
+	// Faults, when non-nil, injects hardware faults (chaos testing).
+	Faults *MTBFaults
+
 	// Statistics.
 	TotalPackets  uint64 // packets actually written
 	EngineEntries uint64 // packets appended by SoftAppend (loop conditions)
 	DroppedArming uint64 // packets lost during the TSTART arming window
 	Wraps         uint64 // times the circular buffer wrapped
+
+	// Fault-injection statistics (moved only by MTBFaults hooks).
+	InjectedDrops         uint64 // packets lost to a Drop hook
+	InjectedCorruptions   uint64 // packets rewritten by a Corrupt hook
+	WatermarkSuppressions uint64 // watermark exceptions swallowed
 }
 
 // NewMTB creates an MTB whose circular buffer lives at [base, base+size) in
@@ -96,6 +125,11 @@ func (m *MTB) TStart() {
 	}
 	m.tracing = true
 	m.armCountdown = m.armLatency
+	if f := m.Faults; f != nil && f.ArmJitter != nil {
+		if j := f.ArmJitter(); j > 0 {
+			m.armCountdown += j
+		}
+	}
 }
 
 // TStop asserts the TSTOP input.
@@ -128,6 +162,18 @@ func (m *MTB) Record(src, dst uint32) {
 		}
 		return
 	}
+	if f := m.Faults; f != nil {
+		if f.Drop != nil && f.Drop(src, dst) {
+			m.InjectedDrops++
+			return
+		}
+		if f.Corrupt != nil {
+			if s, d := f.Corrupt(src, dst); s != src || d != dst {
+				m.InjectedCorruptions++
+				src, dst = s, d
+			}
+		}
+	}
 	m.write(src, dst)
 }
 
@@ -153,7 +199,13 @@ func (m *MTB) write(src, dst uint32) {
 	m.pos += PacketSize
 	m.TotalPackets++
 	if m.watermark > 0 && m.pos >= m.watermark && m.OnWatermark != nil {
-		m.OnWatermark()
+		if f := m.Faults; f != nil && f.SuppressWatermark != nil && f.SuppressWatermark() {
+			// The drain misses its window; the write position keeps
+			// advancing and the eventual wrap (below) overwrites evidence.
+			m.WatermarkSuppressions++
+		} else {
+			m.OnWatermark()
+		}
 	}
 	if m.pos >= m.size {
 		m.pos = 0

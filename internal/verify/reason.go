@@ -39,6 +39,14 @@ const (
 	// ReasonUnexplained: no benign derivation explains the evidence and
 	// no single contradiction was isolated.
 	ReasonUnexplained
+	// ReasonInconclusive: the evidence is authentic but provably
+	// incomplete — the report chain itself attests detectable trace loss
+	// (MTB buffer wraps past the watermark, packets dropped in the arming
+	// window). The paper's lossless-reconstruction guarantee does not
+	// hold for the session, so the Verifier renders neither accept nor
+	// attack: soundness is preserved (never OK), and the device should
+	// simply re-attest.
+	ReasonInconclusive
 
 	// NumReasons bounds the code space (array-indexed rejection stats).
 	NumReasons
@@ -55,6 +63,7 @@ var reasonNames = [NumReasons]string{
 	ReasonJOP:               "jop",
 	ReasonEscape:            "escape",
 	ReasonUnexplained:       "unexplained",
+	ReasonInconclusive:      "inconclusive",
 }
 
 func (c ReasonCode) String() string {

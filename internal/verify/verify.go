@@ -176,6 +176,24 @@ func (v *Verifier) VerifyWithDictionary(chal attest.Challenge, reports []*attest
 			Detail: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
 		}, nil
 	}
+	// Detectable trace loss: the signed reports themselves attest that the
+	// MTB wrapped past the watermark or dropped packets while arming. The
+	// stream cannot be losslessly reconstructed, so reconstruction would
+	// produce a *false* reject; render an inconclusive verdict instead.
+	// Never OK — an adversary fabricating loss evidence only downgrades
+	// its own session from "attack detected" to "re-attest".
+	var wraps, dropped uint64
+	for _, r := range reports {
+		wraps += uint64(r.Wraps)
+		dropped += uint64(r.Dropped)
+	}
+	if wraps > 0 || dropped > 0 {
+		return &Verdict{
+			OK:     false,
+			Code:   ReasonInconclusive,
+			Detail: fmt.Sprintf("detectable trace loss: %d MTB wrap(s), %d packet(s) dropped while arming; evidence incomplete, re-attest", wraps, dropped),
+		}, nil
+	}
 	packets := trace.DecodePackets(log)
 	if dict.Len() > 0 {
 		packets, err = dict.Decompress(packets)
