@@ -1,12 +1,21 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos bench bench-smoke serve-selftest
+.PHONY: check vet staticcheck build test race fuzz chaos obs bench bench-smoke serve-selftest metrics-scrape
 
-check: vet build test race fuzz chaos
+check: vet staticcheck build test race fuzz chaos
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally: run it when installed, skip with a
+# note otherwise. CI installs it, so `command -v` finds it there.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -28,6 +37,19 @@ fuzz:
 # it actually shakes out is goroutine scheduling under -race.
 chaos:
 	$(GO) test -race -run 'Chaos|Faults' -count=2 ./internal/server ./internal/trace ./internal/faults
+
+# Observability surface: the obs package tests (registry, exposition,
+# tracing, admin endpoint) plus the gateway scrape-under-load race test.
+obs:
+	$(GO) test -race ./internal/obs
+	$(GO) test -race -run 'MetricsScrapeUnderLoad' ./internal/server
+
+# One selftest run with the admin endpoint up, persisting a real
+# /metrics scrape. CI uploads the file so every PR carries a sample
+# exposition to diff against.
+metrics-scrape:
+	$(GO) run ./cmd/raptrack serve -apps prime,gps,crc32 -selftest 16 \
+		-admin 127.0.0.1:0 -metrics-out metrics-scrape.txt
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .

@@ -430,13 +430,13 @@ func BenchmarkServerThroughput(b *testing.B) {
 
 	for _, mode := range []struct {
 		name string
-		cfg  func(clients int) server.Config
+		opts func(clients int) []server.Option
 	}{
-		{"cache=off", func(clients int) server.Config {
-			return server.Config{MaxSessions: clients, CacheBytes: -1, MineEvery: -1}
+		{"cache=off", func(clients int) []server.Option {
+			return []server.Option{server.WithSessionSlots(clients), server.WithCache(-1), server.WithMining(-1, 0, 0)}
 		}},
-		{"cache=on", func(clients int) server.Config {
-			return server.Config{MaxSessions: clients}
+		{"cache=on", func(clients int) []server.Option {
+			return []server.Option{server.WithSessionSlots(clients)}
 		}},
 	} {
 		mode := mode
@@ -444,7 +444,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 			for _, clients := range []int{1, 4, 16} {
 				clients := clients
 				b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-					g := server.New(mode.cfg(clients))
+					g := server.New(mode.opts(clients)...)
 					g.Register(appName, core.NewVerifier(link, key))
 					ln, err := net.Listen("tcp", "127.0.0.1:0")
 					if err != nil {
@@ -482,7 +482,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 					wg.Wait()
 					b.StopTimer()
 					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
-					st := g.Stats()
+					st := g.Snapshot()
 					b.ReportMetric(float64(st.CacheHits), "cache_hits")
 					b.ReportMetric(float64(st.DictPromotions), "dict_promotions")
 					if err := g.Close(); err != nil {

@@ -14,6 +14,7 @@
 //	raptrack disasm -app <name> | -file prog.s  [-linked]
 //	raptrack serve  [-addr host:port] [-apps a,b] [-max-sessions N] [-workers N]
 //	                [-session-timeout D] [-io-timeout D] [-selftest N] [-v]
+//	                [-admin host:port] [-metrics-out FILE] [-trace-ring N]
 //
 // -file loads textual assembly (see internal/asm: Parse) with the full
 // synthetic peripheral set mapped.

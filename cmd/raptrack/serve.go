@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -16,18 +18,26 @@ import (
 	"raptrack/internal/apps"
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
+	"raptrack/internal/faults"
+	"raptrack/internal/obs"
 	"raptrack/internal/remote"
 	"raptrack/internal/server"
 )
 
 // cmdServe runs the concurrent attestation gateway: it provisions a
 // shared Verifier per workload, serves prover sessions on a TCP listener,
-// and prints the stats snapshot on shutdown. With -selftest N it instead
-// drives N concurrent in-process prover clients through the listener and
-// exits — a one-command load check of the whole networking path.
+// and prints the stats snapshot on shutdown. With -admin it additionally
+// serves the observability endpoint (Prometheus /metrics, JSON
+// /debug/sessions, pprof) on a second listener. With -selftest N it
+// instead drives N concurrent in-process prover clients through the
+// listener and exits — a one-command load check of the whole networking
+// path.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7421", "listen address")
+	adminAddr := fs.String("admin", "", "admin endpoint address (/metrics, /debug/sessions, pprof; empty: off)")
+	metricsOut := fs.String("metrics-out", "", "write a final /metrics scrape to this file on shutdown")
+	traceRing := fs.Int("trace-ring", 0, "session traces kept per app for /debug/sessions (0: default 64)")
 	appList := fs.String("apps", "", "comma-separated workloads to serve (default: all)")
 	maxSessions := fs.Int("max-sessions", 64, "concurrent session cap (beyond: BUSY shed)")
 	workers := fs.Int("workers", 0, "verification worker pool size (0: GOMAXPROCS)")
@@ -56,26 +66,43 @@ func cmdServe(args []string) error {
 		names = strings.Split(*appList, ",")
 	}
 
-	cfg := server.Config{
-		MaxSessions:      *maxSessions,
-		VerifyWorkers:    *workers,
-		SessionTimeout:   *sessionTimeout,
-		IOTimeout:        *ioTimeout,
-		CacheBytes:       *cacheBytes,
-		MineEvery:        *mineEvery,
-		MinePaths:        *minePaths,
-		MaxDictPaths:     *maxDictPaths,
-		BusyRetryAfter:   *busyRetryAfter,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
+	// One observer binds the gateway's registry and trace rings to the
+	// admin endpoint and the shutdown scrape. A zero-plan fault injector
+	// registers alongside so the injected-fault families are always
+	// present (and provably zero) on production scrapes.
+	observer := obs.NewObserver(nil, *traceRing)
+	faults.New(0, faults.Plan{}).RegisterMetrics(observer.Registry())
+
+	opts := []server.Option{
+		server.WithSessionSlots(*maxSessions),
+		server.WithVerifyWorkers(*workers, 0),
+		server.WithTimeouts(*sessionTimeout, *ioTimeout),
+		server.WithCache(*cacheBytes),
+		server.WithMining(*mineEvery, *minePaths, *maxDictPaths),
+		server.WithBusyRetryAfter(*busyRetryAfter),
+		server.WithBreaker(*breakerThreshold, *breakerCooldown),
+		server.WithObserver(observer),
 	}
 	if *verbose {
-		cfg.OnSessionError = func(addr string, err error) {
+		opts = append(opts, server.WithSessionErrorHandler(func(addr string, err error) {
 			fmt.Fprintf(os.Stderr, "session %s: %v\n", addr, err)
-		}
+		}))
 	}
-	g := server.New(cfg)
+	g := server.New(opts...)
 	defer g.Close()
+
+	var adminSrv *http.Server
+	var adminURL string
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		adminURL = "http://" + aln.Addr().String()
+		adminSrv = &http.Server{Handler: obs.AdminHandler(observer)}
+		go func() { _ = adminSrv.Serve(aln) }()
+		fmt.Printf("admin endpoint on %s (/metrics, /debug/sessions, /debug/pprof)\n", aln.Addr())
+	}
 
 	// One golden artifact, key, and shared Verifier per app. The key
 	// would normally come from device provisioning; the demo gateway
@@ -132,11 +159,58 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	// Drain before reading anything: in-flight sessions and queued verify
+	// jobs land in the registry only once Close returns, so the snapshot
+	// (and the selftest's latency line) reflects every session.
 	if err := g.Close(); err != nil {
 		return err
 	}
-	fmt.Print(g.Stats())
+	snap := g.Snapshot()
+	fmt.Print(snap)
+	if *selftest > 0 && snap.Verifications > 0 {
+		fmt.Printf("selftest: verify latency avg %v over %d verifications\n",
+			(snap.VerifyTotal / time.Duration(snap.Verifications)).Round(time.Microsecond),
+			snap.Verifications)
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, adminURL, observer); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written:   %s\n", *metricsOut)
+	}
+	if adminSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = adminSrv.Shutdown(ctx)
+	}
 	return nil
+}
+
+// writeMetrics persists a final exposition scrape. When the admin
+// endpoint is up the scrape goes through a real HTTP GET — proving the
+// served bytes, not just the registry — and falls back to rendering the
+// registry directly otherwise.
+func writeMetrics(path, adminURL string, o *obs.Observer) error {
+	if adminURL != "" {
+		resp, err := http.Get(adminURL + "/metrics")
+		if err == nil {
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return os.WriteFile(path, body, 0o644)
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Registry().WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runSelftest dials n concurrent prover sessions (round-robin over the

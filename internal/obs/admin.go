@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// AdminHandler serves the observability surface of one Observer:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/debug/sessions   JSON dump of recent session traces
+//	                  (?app=<name> to filter, ?n=<count> per app, default 16)
+//	/debug/pprof/     the standard net/http/pprof handlers
+//	/healthz          liveness probe ("ok")
+//
+// The handler is read-only and safe to serve concurrently with a live
+// gateway: scrapes read atomics and take only the short ring and
+// registration mutexes.
+func AdminHandler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/sessions", func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		var payload any
+		if app := r.URL.Query().Get("app"); app != "" {
+			payload = map[string][]*Trace{app: o.Recent(app, n)}
+		} else {
+			payload = o.Dump(n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"sessions": payload})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("raptrack admin endpoint\n\n/metrics\n/debug/sessions\n/debug/pprof/\n/healthz\n"))
+	})
+	return mux
+}

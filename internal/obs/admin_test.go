@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminGet(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	o := NewObserver(nil, 8)
+	o.Registry().Counter("demo_hits_total", "Hits.").Add(2)
+	tr := o.StartTrace("127.0.0.1:1234")
+	tr.SetApp("prime")
+	tr.Record(StageVerify, 3*time.Millisecond)
+	tr.Finish("ok", "")
+	o.Commit(tr)
+
+	srv := httptest.NewServer(AdminHandler(o))
+	defer srv.Close()
+
+	code, body, hdr := adminGet(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "demo_hits_total 2\n") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, hdr = adminGet(t, srv, "/debug/sessions?app=prime&n=4")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("/debug/sessions status %d, type %q", code, hdr.Get("Content-Type"))
+	}
+	var payload struct {
+		Sessions map[string][]struct {
+			App     string `json:"app"`
+			Outcome string `json:"outcome"`
+			Spans   []struct {
+				Stage string `json:"stage"`
+				DurUS int64  `json:"dur_us"`
+			} `json:"spans"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("sessions JSON: %v\n%s", err, body)
+	}
+	traces := payload.Sessions["prime"]
+	if len(traces) != 1 || traces[0].Outcome != "ok" || len(traces[0].Spans) != 1 ||
+		traces[0].Spans[0].Stage != "verify" {
+		t.Errorf("sessions payload = %+v", payload)
+	}
+
+	if code, _, _ := adminGet(t, srv, "/debug/sessions?n=zero"); code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", code)
+	}
+	if code, body, _ := adminGet(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+	if code, body, _ := adminGet(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	if code, _, _ := adminGet(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}

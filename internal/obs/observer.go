@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingSize is how many session traces an Observer keeps per app
+// when constructed with ringSize <= 0.
+const DefaultRingSize = 64
+
+// Observer binds a metrics registry to per-app session-trace rings: the
+// one handle a gateway (and its admin endpoint) needs. One Observer
+// serves one gateway — its registry namespace is not shareable between
+// two gateways, which would register the same families twice.
+type Observer struct {
+	reg      *Registry
+	ringSize int
+	ids      atomic.Uint64
+
+	mu    sync.Mutex
+	rings map[string]*Ring
+}
+
+// NewObserver builds an observer over reg (nil: a fresh registry),
+// keeping ringSize traces per app (<= 0: DefaultRingSize).
+func NewObserver(reg *Registry, ringSize int) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Observer{reg: reg, ringSize: ringSize, rings: make(map[string]*Ring)}
+}
+
+// Registry returns the underlying metrics registry.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// StartTrace begins the span record of one session. Safe on a nil
+// Observer (returns a nil Trace, whose methods are no-ops).
+func (o *Observer) StartTrace(remote string) *Trace {
+	if o == nil {
+		return nil
+	}
+	return &Trace{
+		ID:     o.ids.Add(1),
+		Remote: remote,
+		Began:  time.Now(),
+		start:  time.Now(),
+	}
+}
+
+// unknownApp buckets traces of sessions that died before a HELO named
+// their application.
+const unknownApp = "~unknown"
+
+// Commit files a finished trace into its app's ring.
+func (o *Observer) Commit(t *Trace) {
+	if o == nil || t == nil {
+		return
+	}
+	app := t.App
+	if app == "" {
+		app = unknownApp
+	}
+	o.mu.Lock()
+	r, ok := o.rings[app]
+	if !ok {
+		r = NewRing(o.ringSize)
+		o.rings[app] = r
+	}
+	o.mu.Unlock()
+	r.Add(t)
+}
+
+// Apps lists applications with at least one committed trace, sorted.
+func (o *Observer) Apps() []string {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	names := make([]string, 0, len(o.rings))
+	for n := range o.rings {
+		names = append(names, n)
+	}
+	o.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Recent returns up to n committed traces for app, newest first.
+func (o *Observer) Recent(app string, n int) []*Trace {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	r := o.rings[app]
+	o.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r.Recent(n)
+}
+
+// Dump returns up to n recent traces per app, newest first — the
+// /debug/sessions payload.
+func (o *Observer) Dump(n int) map[string][]*Trace {
+	out := make(map[string][]*Trace)
+	if o == nil {
+		return out
+	}
+	for _, app := range o.Apps() {
+		out[app] = o.Recent(app, n)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestExposition pins the Prometheus text format: HELP/TYPE headers,
+// label rendering and escaping, _total suffixes, cumulative le buckets,
+// and func-backed families — each case is one self-contained registry.
+func TestExposition(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(r *Registry)
+		want  []string // lines that must appear verbatim
+	}{
+		{
+			name: "plain counter",
+			build: func(r *Registry) {
+				c := r.Counter("demo_sessions_total", "Sessions handled.")
+				c.Add(3)
+			},
+			want: []string{
+				"# HELP demo_sessions_total Sessions handled.",
+				"# TYPE demo_sessions_total counter",
+				"demo_sessions_total 3",
+			},
+		},
+		{
+			name: "labeled counters sorted",
+			build: func(r *Registry) {
+				v := r.CounterVec("demo_verdicts_total", "Verdicts by class.", "verdict")
+				v.With("ok").Add(5)
+				v.With("attack").Inc()
+			},
+			want: []string{
+				`demo_verdicts_total{verdict="attack"} 1`,
+				`demo_verdicts_total{verdict="ok"} 5`,
+			},
+		},
+		{
+			name: "label value escaping",
+			build: func(r *Registry) {
+				v := r.CounterVec("demo_errors_total", "Errors by detail.", "detail")
+				v.With("quote\"back\\slash\nnewline").Inc()
+			},
+			want: []string{
+				`demo_errors_total{detail="quote\"back\\slash\nnewline"} 1`,
+			},
+		},
+		{
+			name: "help escaping",
+			build: func(r *Registry) {
+				r.Counter("demo_x_total", "line one\nline two \\ slash")
+			},
+			want: []string{
+				`# HELP demo_x_total line one\nline two \\ slash`,
+			},
+		},
+		{
+			name: "gauge",
+			build: func(r *Registry) {
+				g := r.Gauge("demo_active", "Active sessions.")
+				g.Set(7)
+				g.Add(-2)
+			},
+			want: []string{
+				"# TYPE demo_active gauge",
+				"demo_active 5",
+			},
+		},
+		{
+			name: "histogram buckets cumulative",
+			build: func(r *Registry) {
+				h := r.Histogram("demo_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+				h.Observe(0.0005) // <= 0.001
+				h.Observe(0.0005)
+				h.Observe(0.05) // <= 0.1
+				h.Observe(3)    // +Inf
+			},
+			want: []string{
+				"# TYPE demo_latency_seconds histogram",
+				`demo_latency_seconds_bucket{le="0.001"} 2`,
+				`demo_latency_seconds_bucket{le="0.01"} 2`,
+				`demo_latency_seconds_bucket{le="0.1"} 3`,
+				`demo_latency_seconds_bucket{le="+Inf"} 4`,
+				"demo_latency_seconds_sum 3.051",
+				"demo_latency_seconds_count 4",
+			},
+		},
+		{
+			name: "histogram boundary lands in its bucket",
+			build: func(r *Registry) {
+				h := r.Histogram("demo_edge_seconds", "", []float64{1, 2})
+				h.Observe(1) // exactly le=1: v <= bound
+			},
+			want: []string{
+				`demo_edge_seconds_bucket{le="1"} 1`,
+				`demo_edge_seconds_bucket{le="2"} 1`,
+			},
+		},
+		{
+			name: "labeled histogram",
+			build: func(r *Registry) {
+				v := r.HistogramVec("demo_stage_seconds", "Stage latency.", []float64{0.5}, "stage")
+				v.With("helo").Observe(0.1)
+			},
+			want: []string{
+				`demo_stage_seconds_bucket{stage="helo",le="0.5"} 1`,
+				`demo_stage_seconds_count{stage="helo"} 1`,
+			},
+		},
+		{
+			name: "gauge func evaluated at scrape",
+			build: func(r *Registry) {
+				n := 41.0
+				r.GaugeFunc("demo_depth", "Queue depth.", func() float64 { n++; return n })
+			},
+			want: []string{"demo_depth 42"},
+		},
+		{
+			name: "counter vec func",
+			build: func(r *Registry) {
+				r.CounterVecFunc("demo_faults_total", "Injected faults.", []string{"layer", "kind"},
+					func() []Sample {
+						return []Sample{
+							{Labels: []string{"wire", "flip"}, Value: 9},
+							{Labels: []string{"hw", "drop"}, Value: 0},
+						}
+					})
+			},
+			want: []string{
+				`demo_faults_total{layer="wire",kind="flip"} 9`,
+				`demo_faults_total{layer="hw",kind="drop"} 0`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.build(r)
+			out := expose(t, r)
+			for _, want := range tc.want {
+				if !strings.Contains(out, want+"\n") {
+					t.Errorf("exposition missing line %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistrationPanics: misuse is a construction-time programmer
+// error, caught loudly — never a malformed scrape later.
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"counter without _total", func(r *Registry) { r.Counter("demo_sessions", "") }},
+		{"invalid metric name", func(r *Registry) { r.Gauge("demo-dash", "") }},
+		{"invalid label name", func(r *Registry) { r.CounterVec("demo_x_total", "", "bad-label") }},
+		{"duplicate name", func(r *Registry) {
+			r.Gauge("demo_twice", "")
+			r.Gauge("demo_twice", "")
+		}},
+		{"non-ascending bounds", func(r *Registry) { r.Histogram("demo_h", "", []float64{1, 1}) }},
+		{"wrong label arity", func(r *Registry) { r.CounterVec("demo_y_total", "", "a").With("x", "y") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+// TestVecConcurrent hammers one labeled family from many goroutines,
+// scraping concurrently: the copy-on-write child map must neither race
+// nor lose increments. Run under -race.
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("demo_ops_total", "", "worker")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w%4) // collide on labels deliberately
+			for i := 0; i < perWorker; i++ {
+				v.With(label).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = expose(t, r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += v.With(fmt.Sprintf("w%d", i)).Value()
+	}
+	if total != workers*perWorker {
+		t.Errorf("lost increments: total %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestHistogramSnapshotAndDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("demo_d_seconds", "", []float64{0.001, 1})
+	h.ObserveDuration(500 * time.Microsecond)
+	h.ObserveDuration(2 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Counts[0] != 1 || s.Counts[2] != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Sum < 2.0004 || s.Sum > 2.0006 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Stage is one typed phase of a gateway attestation session. The stages
+// partition a session's wall clock the way the paper partitions
+// attestation cost: handshake, evidence transfer, path reconstruction,
+// verdict.
+type Stage uint8
+
+const (
+	// StageAccept is the wait for a session slot after the TCP accept.
+	StageAccept Stage = iota
+	// StageHelo is the HELO frame read plus parse.
+	StageHelo
+	// StageDictPush is the live-dictionary DICT frame write.
+	StageDictPush
+	// StageCollect spans the challenge write through the last report
+	// frame read — the evidence transfer.
+	StageCollect
+	// StageExpand is SpecCFA marker expansion inside verification.
+	StageExpand
+	// StageVerify spans handing evidence to the worker pool through the
+	// verdict coming back: queue wait plus pushdown reconstruction.
+	StageVerify
+	// StageVerdictWrite is the VRDT frame write.
+	StageVerdictWrite
+
+	// NumStages bounds the stage space (array-indexed histograms).
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageAccept:       "accept",
+	StageHelo:         "helo",
+	StageDictPush:     "dict_push",
+	StageCollect:      "collect",
+	StageExpand:       "expand",
+	StageVerify:       "verify",
+	StageVerdictWrite: "verdict_write",
+}
+
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "invalid-stage"
+}
+
+// MarshalJSON renders the stage name, not its numeric value.
+func (s Stage) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Span is one recorded stage: its offset from the trace start and its
+// duration, both monotonic.
+type Span struct {
+	Stage Stage
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// MarshalJSON emits microsecond integers — span durations are protocol
+// latencies, not nanosecond phenomena, and integers diff cleanly.
+func (sp Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Stage   string `json:"stage"`
+		StartUS int64  `json:"start_us"`
+		DurUS   int64  `json:"dur_us"`
+	}{sp.Stage.String(), sp.Start.Microseconds(), sp.Dur.Microseconds()})
+}
+
+// Trace is the span record of one gateway session. It is built by a
+// single session goroutine and becomes immutable once committed to a
+// ring; methods on a nil *Trace are no-ops so call sites never branch
+// on whether tracing is attached.
+type Trace struct {
+	ID      uint64
+	App     string
+	Remote  string
+	Began   time.Time
+	Spans   []Span
+	Outcome string // "ok", a verify reason code, "shed-busy", or "error"
+	Detail  string // human detail for non-ok outcomes
+	Total   time.Duration
+
+	start time.Time // monotonic anchor
+}
+
+// SetApp records the application once the HELO frame names it.
+func (t *Trace) SetApp(app string) {
+	if t != nil {
+		t.App = app
+	}
+}
+
+// Record appends one span of duration d ending now. The span's start
+// offset is derived from the trace anchor, so spans recorded in
+// protocol order render as a contiguous timeline.
+func (t *Trace) Record(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	start := time.Since(t.start) - d
+	if start < 0 {
+		start = 0
+	}
+	t.Spans = append(t.Spans, Span{Stage: s, Start: start, Dur: d})
+}
+
+// RecordAt appends one span with an explicit start offset — for
+// sub-phases measured elsewhere (e.g. expansion timed inside the
+// verifier) that should render inside their parent span.
+func (t *Trace) RecordAt(s Stage, start, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Stage: s, Start: start, Dur: d})
+}
+
+// Finish stamps the outcome and total duration. Called once, by the
+// session goroutine, just before the trace is committed.
+func (t *Trace) Finish(outcome, detail string) {
+	if t == nil {
+		return
+	}
+	t.Outcome = outcome
+	t.Detail = detail
+	t.Total = time.Since(t.start)
+}
+
+// MarshalJSON renders the trace for /debug/sessions.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      uint64    `json:"id"`
+		App     string    `json:"app"`
+		Remote  string    `json:"remote"`
+		Began   time.Time `json:"began"`
+		TotalUS int64     `json:"total_us"`
+		Outcome string    `json:"outcome"`
+		Detail  string    `json:"detail,omitempty"`
+		Spans   []Span    `json:"spans"`
+	}{t.ID, t.App, t.Remote, t.Began, t.Total.Microseconds(), t.Outcome, t.Detail, t.Spans})
+}
+
+// Ring holds the last N committed traces of one application. Commits
+// take a short mutex once per session — nothing on the per-frame path.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding up to n traces (n < 1 selects 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*Trace, n)}
+}
+
+// Add commits one finished trace, evicting the oldest past capacity.
+func (r *Ring) Add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many traces were ever committed.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Recent returns up to n traces, newest first.
+func (r *Ring) Recent(n int) []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 || n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= len(r.buf) && len(out) < n; i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}

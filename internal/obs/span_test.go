@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"accept", "helo", "dict_push", "collect", "expand", "verify", "verdict_write"}
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() != want[s] {
+			t.Errorf("stage %d = %q, want %q", s, s.String(), want[s])
+		}
+	}
+	if Stage(200).String() != "invalid-stage" {
+		t.Errorf("out-of-range stage = %q", Stage(200).String())
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	o := NewObserver(nil, 4)
+	tr := o.StartTrace("127.0.0.1:5")
+	tr.SetApp("prime")
+	tr.Record(StageHelo, time.Millisecond)
+	tr.RecordAt(StageExpand, 2*time.Millisecond, time.Millisecond)
+	tr.Finish("ok", "")
+	o.Commit(tr)
+
+	got := o.Recent("prime", 10)
+	if len(got) != 1 || got[0].ID != tr.ID || len(got[0].Spans) != 2 {
+		t.Fatalf("recent = %+v", got)
+	}
+	if got[0].Outcome != "ok" || got[0].Total <= 0 {
+		t.Errorf("trace = %+v", got[0])
+	}
+
+	raw, err := json.Marshal(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"app":"prime"`, `"stage":"helo"`, `"stage":"expand"`, `"outcome":"ok"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("JSON missing %s:\n%s", want, raw)
+		}
+	}
+}
+
+// TestNilSafety: a nil observer (tracing disabled) must make the whole
+// call chain a no-op without any branching at call sites.
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	tr := o.StartTrace("x")
+	if tr != nil {
+		t.Fatalf("nil observer returned a trace")
+	}
+	tr.SetApp("a")
+	tr.Record(StageHelo, time.Millisecond)
+	tr.Finish("ok", "")
+	o.Commit(tr)
+	if got := o.Recent("a", 1); got != nil {
+		t.Errorf("recent on nil observer = %v", got)
+	}
+	if got := o.Dump(1); len(got) != 0 {
+		t.Errorf("dump on nil observer = %v", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(&Trace{ID: uint64(i)})
+	}
+	got := r.Recent(-1)
+	if len(got) != 3 || got[0].ID != 5 || got[1].ID != 4 || got[2].ID != 3 {
+		ids := make([]uint64, len(got))
+		for i, tr := range got {
+			ids[i] = tr.ID
+		}
+		t.Errorf("recent ids = %v, want [5 4 3]", ids)
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d", r.Total())
+	}
+	if got := r.Recent(1); len(got) != 1 || got[0].ID != 5 {
+		t.Errorf("recent(1) = %+v", got)
+	}
+}
+
+func TestObserverUnknownAppBucket(t *testing.T) {
+	o := NewObserver(nil, 2)
+	tr := o.StartTrace("127.0.0.1:9")
+	tr.Finish("error", "reading hello: EOF")
+	o.Commit(tr)
+	apps := o.Apps()
+	if len(apps) != 1 || apps[0] != unknownApp {
+		t.Fatalf("apps = %v", apps)
+	}
+	if got := o.Recent(unknownApp, 5); len(got) != 1 {
+		t.Errorf("recent = %v", got)
+	}
+}

@@ -142,6 +142,39 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
+// MeteredConn wraps a stream and reports bytes moved in each direction —
+// the hook provers use to attribute frame traffic to an observability
+// registry without this package importing one. Either callback may be
+// nil. Close is forwarded when the underlying stream supports it.
+type MeteredConn struct {
+	RW      io.ReadWriter
+	OnRead  func(n int)
+	OnWrite func(n int)
+}
+
+func (m *MeteredConn) Read(p []byte) (int, error) {
+	n, err := m.RW.Read(p)
+	if m.OnRead != nil && n > 0 {
+		m.OnRead(n)
+	}
+	return n, err
+}
+
+func (m *MeteredConn) Write(p []byte) (int, error) {
+	n, err := m.RW.Write(p)
+	if m.OnWrite != nil && n > 0 {
+		m.OnWrite(n)
+	}
+	return n, err
+}
+
+func (m *MeteredConn) Close() error {
+	if c, ok := m.RW.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // ErrSessionTruncated is returned when the stream ends before the final
 // report (or before an expected frame): the peer died or a middlebox cut
 // the connection. Test with errors.Is.

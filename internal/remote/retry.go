@@ -85,6 +85,12 @@ type RetryPolicy struct {
 	// OnRetry, when non-nil, observes each scheduled retry: the attempt
 	// that just failed (1-based), its error, and the upcoming delay.
 	OnRetry func(attempt int, err error, delay time.Duration)
+	// Observe, when non-nil, receives the final RetryStats exactly once
+	// per AttestWithRetry call — on success, fatal abort, or exhausted
+	// budget alike. This is the observability layer's tap: deployments
+	// fold attempts and BUSY hints into a metrics registry here without
+	// threading counters through every call site.
+	Observe func(RetryStats)
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -157,6 +163,9 @@ type RetryStats struct {
 func (p *ProverEndpoint) AttestWithRetry(app string, dial func() (io.ReadWriteCloser, error), pol RetryPolicy) (GatewayVerdict, RetryStats, error) {
 	pol = pol.withDefaults()
 	var st RetryStats
+	if pol.Observe != nil {
+		defer func() { pol.Observe(st) }()
+	}
 	var lastErr error
 	fatalStreak := 0
 	for attempt := 1; ; attempt++ {

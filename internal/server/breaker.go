@@ -104,6 +104,13 @@ func (b *breaker) record(failed bool, now time.Time) (opened, closed bool) {
 	return false, false
 }
 
+// current reads the breaker state (scrape-time gauge).
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
 // abort releases the half-open probe slot when the probe session died
 // before its evidence reached a worker: it decided nothing, so the next
 // admitted session probes instead.

@@ -145,12 +145,11 @@ func TestChaosMixedFaultSchedule(t *testing.T) {
 
 	f := fixture(t, "prime")
 	before := runtime.NumGoroutine()
-	g := server.New(server.Config{
-		MaxSessions:      2 * sessions, // capacity sheds off: every outcome is a verdict or typed failure
-		BreakerThreshold: 24,           // enabled, but above any plausible panic streak
-		BreakerCooldown:  50 * time.Millisecond,
-		VerifyHook:       master.Fork("gateway").VerifyHook(),
-	})
+	g := server.New(
+		server.WithSessionSlots(2*sessions), // capacity sheds off: every outcome is a verdict or typed failure
+		server.WithBreaker(24, 50*time.Millisecond), // enabled, but above any plausible panic streak
+		server.WithFaults(master.Fork("gateway").VerifyHook(), nil),
+	)
 	g.Register("prime", core.NewVerifier(f.link, f.key))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -253,7 +252,7 @@ func TestChaosMixedFaultSchedule(t *testing.T) {
 	// then the verdict *write* lost to a wire fault also fails it — so the
 	// buckets bound the accepted count from above, and each bucket from
 	// below.)
-	st := g.Stats()
+	st := g.Snapshot()
 	if st.ActiveSessions != 0 {
 		t.Errorf("sessions still active after drain: %+v", st)
 	}
@@ -319,7 +318,7 @@ func TestChaosWireFaultsRecoverWithRetry(t *testing.T) {
 		Disconnect:   0.008,
 	})
 	f := fixture(t, "prime")
-	_, addr, _ := startGateway(t, server.Config{MaxSessions: 2 * sessions}, "prime")
+	_, addr, _ := startGateway(t, []server.Option{server.WithSessionSlots(2 * sessions)}, "prime")
 
 	var (
 		mu                 sync.Mutex
@@ -381,7 +380,7 @@ func TestChaosOverflowIsInconclusive(t *testing.T) {
 	const sessions = 24
 	master := faults.New(chaosSeed+2, faults.Plan{WatermarkSuppress: 1})
 	f := fixture(t, "prime")
-	g, addr, _ := startGateway(t, server.Config{}, "prime")
+	g, addr, _ := startGateway(t, nil, "prime")
 
 	for i := 0; i < sessions; i++ {
 		inj := master.Fork(fmt.Sprintf("overflow-%02d", i))

@@ -3,18 +3,21 @@ package server
 import (
 	"net"
 	"time"
+
+	"raptrack/internal/obs"
 )
 
 // timedConn enforces the gateway's availability policy at the transport:
 // every Read/Write gets a fresh per-I/O deadline, capped by the overall
-// session deadline, and moves the byte counters. A peer that stalls trips
-// the I/O deadline; a peer that dribbles bytes forever to keep the I/O
-// deadline fresh still dies at the session deadline.
+// session deadline, and moves the registry byte counters. A peer that
+// stalls trips the I/O deadline; a peer that dribbles bytes forever to
+// keep the I/O deadline fresh still dies at the session deadline.
 type timedConn struct {
 	net.Conn
 	ioTimeout time.Duration
 	end       time.Time // session deadline (absolute)
-	st        *counters
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
 }
 
 func (c *timedConn) frameDeadline() time.Time {
@@ -30,7 +33,7 @@ func (c *timedConn) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	n, err := c.Conn.Read(p)
-	c.st.bytesIn.Add(uint64(n))
+	c.bytesIn.Add(uint64(n))
 	return n, err
 }
 
@@ -39,6 +42,6 @@ func (c *timedConn) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	n, err := c.Conn.Write(p)
-	c.st.bytesOut.Add(uint64(n))
+	c.bytesOut.Add(uint64(n))
 	return n, err
 }

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"time"
+
+	"raptrack/internal/obs"
+	"raptrack/internal/remote"
+	"raptrack/internal/verify"
+)
+
+// stageBounds are the per-stage session latency buckets (seconds): the
+// handshake stages live in the sub-millisecond range, evidence transfer
+// and reconstruction in the milliseconds-to-seconds range, so the spread
+// is wider than the verify histogram alone.
+var stageBounds = []float64{0.0001, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// verifyBounds are the reconstruction-latency buckets (seconds); they
+// mirror the pre-registry verify histogram (1ms..2.5s) so snapshots and
+// dashboards stay comparable across the API redesign.
+var verifyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// frameNames maps remote frame type bytes to metric label values.
+var frameNames = [8]string{
+	remote.FrameChal:    "chal",
+	remote.FrameRprt:    "rprt",
+	remote.FrameFail:    "fail",
+	remote.FrameHello:   "helo",
+	remote.FrameBusy:    "busy",
+	remote.FrameVerdict: "vrdt",
+	remote.FrameDict:    "dict",
+}
+
+// phase indices into gatewayMetrics.phase.
+const (
+	phaseAuth = iota
+	phaseExpand
+	phaseSearch
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"auth", "expand", "search"}
+
+// gatewayMetrics is every gateway metric, pre-resolved at construction so
+// the session hot path touches only atomics — never the registry, never
+// a label-map lookup. The registry these live in is the single source of
+// truth; Gateway.Snapshot reads them back, it does not count separately.
+type gatewayMetrics struct {
+	sessionsStarted  *obs.Counter
+	sessionsAccepted *obs.Counter
+	sessionsFailed   *obs.Counter
+	shedCapacity     *obs.Counter // BUSY at the slot limit
+	shedBreaker      *obs.Counter // BUSY from an open breaker
+
+	verdictOK           *obs.Counter
+	verdictAttack       *obs.Counter
+	verdictInconclusive *obs.Counter
+	rejections          [verify.NumReasons]*obs.Counter
+
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+	framesIn  [len(frameNames)]*obs.Counter
+	framesOut [len(frameNames)]*obs.Counter
+
+	verifySeconds *obs.Histogram
+	phase         [numPhases]*obs.Histogram
+	stage         [obs.NumStages]*obs.Histogram
+
+	minedSessions   *obs.Counter
+	dictPromotions  *obs.Counter
+	dictQuarantines *obs.Counter
+
+	panicsRecovered  *obs.Counter
+	breakerOpens     *obs.Counter
+	breakerHalfOpens *obs.Counter
+	breakerCloses    *obs.Counter
+	proverRetries    *obs.Counter
+}
+
+// registerMetrics installs the gateway's families into g's observer
+// registry. Concrete counters/histograms carry the hot-path counts;
+// values that already live elsewhere — slot occupancy, queue depth,
+// cache totals, dictionary sizes, breaker states — are func-backed and
+// evaluated only at scrape time, so there is no second counting system
+// to drift.
+func (g *Gateway) registerMetrics() *gatewayMetrics {
+	r := g.obs.Registry()
+	m := &gatewayMetrics{}
+
+	m.sessionsStarted = r.Counter("raptrack_sessions_started_total",
+		"Connections handled, including shed ones.")
+	m.sessionsAccepted = r.Counter("raptrack_sessions_accepted_total",
+		"Sessions that won a slot.")
+	m.sessionsFailed = r.Counter("raptrack_sessions_failed_total",
+		"Accepted sessions that errored out (timeout, protocol, bad evidence).")
+	shed := r.CounterVec("raptrack_sessions_shed_total",
+		"Sessions answered with one BUSY frame and closed, by cause.", "cause")
+	m.shedCapacity = shed.With("capacity")
+	m.shedBreaker = shed.With("breaker")
+	r.GaugeFunc("raptrack_active_sessions",
+		"Sessions currently holding a slot.",
+		func() float64 { return float64(len(g.slots)) })
+	r.GaugeFunc("raptrack_verify_queue_depth",
+		"Verification jobs waiting for a pool worker.",
+		func() float64 { return float64(len(g.jobs)) })
+
+	verdicts := r.CounterVec("raptrack_verdicts_total",
+		"Session verdicts delivered, by class.", "verdict")
+	m.verdictOK = verdicts.With("ok")
+	m.verdictAttack = verdicts.With("attack")
+	m.verdictInconclusive = verdicts.With("inconclusive")
+	rej := r.CounterVec("raptrack_rejections_total",
+		"Non-OK verdicts by typed reason code.", "reason")
+	for code := verify.ReasonCode(0); code < verify.NumReasons; code++ {
+		m.rejections[code] = rej.With(code.String())
+	}
+
+	bytes := r.CounterVec("raptrack_io_bytes_total",
+		"Session transport bytes, by direction.", "dir")
+	m.bytesIn = bytes.With("in")
+	m.bytesOut = bytes.With("out")
+	frames := r.CounterVec("raptrack_frames_total",
+		"Protocol frames, by direction and frame type.", "dir", "type")
+	for typ, name := range frameNames {
+		if name == "" {
+			continue
+		}
+		m.framesIn[typ] = frames.With("in", name)
+		m.framesOut[typ] = frames.With("out", name)
+	}
+
+	m.verifySeconds = r.Histogram("raptrack_verify_seconds",
+		"Worker-pool wall time of one verification (auth + expand + reconstruction).",
+		verifyBounds)
+	phases := r.HistogramVec("raptrack_verify_phase_seconds",
+		"Verification wall time attributed to phases (auth, expand, search).",
+		verifyBounds, "phase")
+	for i, name := range phaseNames {
+		m.phase[i] = phases.With(name)
+	}
+	stages := r.HistogramVec("raptrack_stage_seconds",
+		"Session wall time per protocol stage.", stageBounds, "stage")
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		m.stage[s] = stages.With(s.String())
+	}
+
+	m.minedSessions = r.Counter("raptrack_mined_sessions_total",
+		"Accepted sessions whose evidence was mined for hot sub-paths.")
+	m.dictPromotions = r.Counter("raptrack_dict_promotions_total",
+		"Sub-paths promoted into live dictionaries.")
+	m.dictQuarantines = r.Counter("raptrack_dict_quarantines_total",
+		"Mined dictionaries discarded by the promotion self-check.")
+	r.GaugeFunc("raptrack_dict_paths",
+		"Live dictionary paths across registered apps.",
+		func() float64 { return float64(g.dictPaths()) })
+
+	r.CounterFunc("raptrack_cache_hits_total",
+		"Verdict/segment cache hits across apps (shared caches counted once).",
+		func() float64 { return float64(g.cacheTotals().Hits) })
+	r.CounterFunc("raptrack_cache_misses_total",
+		"Verdict/segment cache misses across apps.",
+		func() float64 { return float64(g.cacheTotals().Misses) })
+	r.CounterFunc("raptrack_cache_evictions_total",
+		"Verdict/segment cache evictions across apps.",
+		func() float64 { return float64(g.cacheTotals().Evictions) })
+	r.GaugeFunc("raptrack_cache_entries",
+		"Verdict/segment cache entries resident across apps.",
+		func() float64 { return float64(g.cacheTotals().Entries) })
+	r.GaugeFunc("raptrack_cache_bytes",
+		"Verdict/segment cache bytes resident across apps.",
+		func() float64 { return float64(g.cacheTotals().Bytes) })
+
+	m.panicsRecovered = r.Counter("raptrack_panics_recovered_total",
+		"Session/worker panics caught and converted to errors.")
+	brk := r.CounterVec("raptrack_breaker_transitions_total",
+		"Circuit-breaker transitions, by event.", "event")
+	m.breakerOpens = brk.With("open")
+	m.breakerHalfOpens = brk.With("half_open")
+	m.breakerCloses = brk.With("close")
+	r.GaugeVecFunc("raptrack_breaker_state",
+		"Per-app circuit-breaker state (0 closed, 1 open, 2 half-open).",
+		[]string{"app"}, func() []obs.Sample {
+			g.mu.Lock()
+			samples := make([]obs.Sample, 0, len(g.apps))
+			for name, st := range g.apps {
+				samples = append(samples, obs.Sample{
+					Labels: []string{name},
+					Value:  float64(st.brk.current()),
+				})
+			}
+			g.mu.Unlock()
+			return samples
+		})
+	m.proverRetries = r.Counter("raptrack_prover_retries_total",
+		"Prover-side retries reported via ObserveProverRetries.")
+
+	return m
+}
+
+// span records one session stage into both views at once: the trace (the
+// per-session timeline behind /debug/sessions) and the per-stage latency
+// histogram (the fleet aggregate behind /metrics).
+func (g *Gateway) span(t *obs.Trace, s obs.Stage, start, d time.Duration) {
+	if start < 0 {
+		t.Record(s, d)
+	} else {
+		t.RecordAt(s, start, d)
+	}
+	g.m.stage[s].ObserveDuration(d)
+}
+
+// cacheTotals aggregates cache effectiveness across the registered apps;
+// a cache shared by several apps is counted once.
+func (g *Gateway) cacheTotals() verify.CacheStats {
+	var total verify.CacheStats
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := make(map[*verify.Cache]bool, len(g.apps))
+	for _, st := range g.apps {
+		if st.cache == nil || seen[st.cache] {
+			continue
+		}
+		seen[st.cache] = true
+		cs := st.cache.Stats()
+		total.Hits += cs.Hits
+		total.Misses += cs.Misses
+		total.Evictions += cs.Evictions
+		total.Entries += cs.Entries
+		total.Bytes += cs.Bytes
+	}
+	return total
+}
+
+// dictPaths sums the live dictionary sizes across registered apps.
+func (g *Gateway) dictPaths() int {
+	n := 0
+	g.mu.Lock()
+	for _, st := range g.apps {
+		n += st.dict.Load().dict.Len()
+	}
+	g.mu.Unlock()
+	return n
+}

@@ -49,13 +49,13 @@ func waitGoroutines(t *testing.T, baseline int) {
 func TestFaultsVerifyPanicRecovered(t *testing.T) {
 	var boom atomic.Bool
 	boom.Store(true)
-	g, addr, ep := startGateway(t, server.Config{
-		BreakerThreshold: -1, // isolate panic recovery from the breaker
-		VerifyHook: func(app string) {
+	g, addr, ep := startGateway(t, []server.Option{
+		server.WithBreaker(-1, 0), // isolate panic recovery from the breaker
+		server.WithFaults(func(app string) {
 			if boom.Load() {
 				panic("injected verify bomb for " + app)
 			}
-		},
+		}, nil),
 	}, "prime")
 
 	_, err := ep.AttestTo(dial(t, addr), "prime")
@@ -74,8 +74,8 @@ func TestFaultsVerifyPanicRecovered(t *testing.T) {
 	if err != nil || !gv.OK {
 		t.Fatalf("post-panic session: %+v, %v", gv, err)
 	}
-	if !strings.Contains(g.Stats().String(), "panics recovered") {
-		t.Errorf("Stats.String() missing resilience line:\n%s", g.Stats())
+	if !strings.Contains(g.Snapshot().String(), "panics recovered") {
+		t.Errorf("Stats.String() missing resilience line:\n%s", g.Snapshot())
 	}
 }
 
@@ -87,14 +87,13 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 	const cooldown = 300 * time.Millisecond
 	var boom atomic.Bool
 	boom.Store(true)
-	g, addr, ep := startGateway(t, server.Config{
-		BreakerThreshold: 2,
-		BreakerCooldown:  cooldown,
-		VerifyHook: func(string) {
+	g, addr, ep := startGateway(t, []server.Option{
+		server.WithBreaker(2, cooldown),
+		server.WithFaults(func(string) {
 			if boom.Load() {
 				panic("injected verify bomb")
 			}
-		},
+		}, nil),
 	}, "prime")
 
 	for i := 0; i < 2; i++ {
@@ -114,7 +113,7 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 	if be.RetryAfter <= 0 || be.RetryAfter > cooldown {
 		t.Errorf("retry-after hint = %v, want in (0, %v]", be.RetryAfter, cooldown)
 	}
-	st := g.Stats()
+	st := g.Snapshot()
 	if st.BreakerSheds == 0 || st.Verifications != 2 || st.SessionsFailed != 2 {
 		t.Errorf("stats = %+v", st)
 	}
@@ -142,14 +141,14 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 // the live dictionary must stay empty, sessions must keep verifying on
 // the slow path, and no DICT frame may ever reach a prover.
 func TestFaultsDictQuarantine(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{
-		MineEvery: 1,
-		DictFault: func(b []byte) []byte {
+	g, addr, ep := startGateway(t, []server.Option{
+		server.WithMining(1, 0, 0),
+		server.WithFaults(nil, func(b []byte) []byte {
 			if len(b) == 0 {
 				return b
 			}
 			return b[:len(b)-1] // truncated encoding must not survive decode
-		},
+		}),
 	}, "prime")
 
 	const sessions = 3
@@ -246,7 +245,7 @@ func TestGatewayCloseReleasesGoroutines(t *testing.T) {
 	f := fixture(t, "prime") // build the fixture before the baseline
 	before := runtime.NumGoroutine()
 
-	g := server.New(server.Config{VerifyWorkers: 4})
+	g := server.New(server.WithVerifyWorkers(4, 0))
 	g.Register("prime", core.NewVerifier(f.link, f.key))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

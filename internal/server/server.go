@@ -29,6 +29,18 @@
 // One immutable verify.Verifier per app is shared by all sessions (see
 // the concurrency contract on verify.Verifier).
 //
+// # Observability
+//
+// Every count the gateway keeps lives in one obs.Registry (attach your
+// own with WithObserver, e.g. to serve it via obs.AdminHandler): session
+// and verdict counters, byte and frame counters, per-stage and per-phase
+// latency histograms, plus scrape-time views of slot occupancy, queue
+// depth, cache totals, dictionary sizes, and breaker states. Each
+// session additionally leaves a span trace (accept → helo → dict_push →
+// collect → verify → verdict_write) in the observer's per-app rings.
+// Gateway.Snapshot reads the registry back into an immutable Stats
+// value — there is no second counting system.
+//
 // # Fast path
 //
 // Each registered app gets a shared verify.Cache (unless disabled), so
@@ -43,108 +55,17 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"raptrack/internal/attest"
+	"raptrack/internal/obs"
 	"raptrack/internal/remote"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/verify"
 )
-
-// Config tunes a Gateway. Zero values select the documented defaults.
-type Config struct {
-	// MaxSessions caps concurrently served sessions; further connections
-	// are shed with a BUSY frame (default 64).
-	MaxSessions int
-	// VerifyWorkers sizes the reconstruction worker pool (default
-	// GOMAXPROCS).
-	VerifyWorkers int
-	// VerifyQueue bounds verification jobs waiting for a worker; beyond
-	// it, session goroutines block — backpressure — until their session
-	// deadline (default 2 * VerifyWorkers).
-	VerifyQueue int
-	// SessionTimeout bounds one whole session, connection to verdict
-	// (default 30s).
-	SessionTimeout time.Duration
-	// IOTimeout bounds each read/write (default 10s).
-	IOTimeout time.Duration
-	// OnSessionError, when non-nil, observes per-session failures
-	// (diagnostics; the session is already counted in Stats).
-	OnSessionError func(remoteAddr string, err error)
-
-	// BusyRetryAfter is the retry-after hint carried in capacity-shed BUSY
-	// frames (0: no hint — the frame is wire-identical to protocol v2's
-	// empty BUSY, so old provers are unaffected).
-	BusyRetryAfter time.Duration
-	// BreakerThreshold opens an app's circuit breaker after this many
-	// consecutive verification *errors* — malformed/inauthentic evidence or
-	// recovered verify panics, never attack verdicts (0: default 8;
-	// negative: breaker disabled).
-	BreakerThreshold int
-	// BreakerCooldown is how long an open breaker sheds the app's sessions
-	// before admitting a half-open probe (default 2s).
-	BreakerCooldown time.Duration
-
-	// VerifyHook, when non-nil, runs on the worker goroutine immediately
-	// before each verification (chaos injection: panics and stalls land
-	// exactly where a verifier bug would).
-	VerifyHook func(app string)
-	// DictFault, when non-nil, may rewrite a mined dictionary's encoded
-	// bytes before the promotion self-check (chaos injection for the
-	// quarantine path).
-	DictFault func([]byte) []byte
-
-	// CacheBytes bounds the per-app verification summary cache (0: 64 MiB
-	// default; negative: no cache is attached at Register).
-	CacheBytes int64
-	// MineEvery runs speccfa.Mine on the evidence of every MineEvery-th
-	// accepted session per app, starting with the first (0: default 16;
-	// negative: mining off).
-	MineEvery int
-	// MinePaths caps the sub-paths one mining pass may surface (default 8).
-	MinePaths int
-	// MaxDictPaths caps the live dictionary a mining promotion may grow to
-	// (default 32; hard limit speccfa.MaxPaths).
-	MaxDictPaths int
-}
-
-func (c Config) withDefaults() Config {
-	if c.MaxSessions <= 0 {
-		c.MaxSessions = 64
-	}
-	if c.VerifyWorkers <= 0 {
-		c.VerifyWorkers = runtime.GOMAXPROCS(0)
-	}
-	if c.VerifyQueue <= 0 {
-		c.VerifyQueue = 2 * c.VerifyWorkers
-	}
-	if c.SessionTimeout <= 0 {
-		c.SessionTimeout = 30 * time.Second
-	}
-	if c.IOTimeout <= 0 {
-		c.IOTimeout = 10 * time.Second
-	}
-	if c.MineEvery == 0 {
-		c.MineEvery = 16
-	}
-	if c.BreakerThreshold == 0 {
-		c.BreakerThreshold = 8
-	}
-	if c.BreakerCooldown <= 0 {
-		c.BreakerCooldown = 2 * time.Second
-	}
-	if c.MinePaths <= 0 {
-		c.MinePaths = 8
-	}
-	if c.MaxDictPaths <= 0 || c.MaxDictPaths > speccfa.MaxPaths {
-		c.MaxDictPaths = 32
-	}
-	return c
-}
 
 // appState is everything the gateway holds per registered application:
 // the shared Verifier (cache-attached), and the live speculation
@@ -161,7 +82,7 @@ type appState struct {
 	accepted atomic.Uint64 // accepted sessions (mining cadence)
 
 	// brk sheds the app's sessions while its verify path is erroring
-	// (see Config.BreakerThreshold).
+	// (see WithBreaker).
 	brk breaker
 }
 
@@ -190,6 +111,8 @@ type verifyResult struct {
 // Register verifiers, then Serve one or more listeners; Close drains.
 type Gateway struct {
 	cfg Config
+	obs *obs.Observer
+	m   *gatewayMetrics
 
 	mu        sync.Mutex
 	apps      map[string]*appState
@@ -201,19 +124,34 @@ type Gateway struct {
 
 	sessions sync.WaitGroup
 	workers  sync.WaitGroup
-
-	st counters
 }
 
-// New builds a gateway and starts its verification worker pool.
-func New(cfg Config) *Gateway {
-	cfg = cfg.withDefaults()
+// New builds a gateway from functional options (see Option) and starts
+// its verification worker pool. With no options every default applies
+// and a private observer is created, exactly as documented on each
+// option.
+func New(opts ...Option) *Gateway {
+	var s settings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return newGateway(s)
+}
+
+func newGateway(s settings) *Gateway {
+	cfg := s.cfg.withDefaults()
+	o := s.obs
+	if o == nil {
+		o = obs.NewObserver(nil, 0)
+	}
 	g := &Gateway{
 		cfg:   cfg,
+		obs:   o,
 		apps:  make(map[string]*appState),
 		slots: make(chan struct{}, cfg.MaxSessions),
 		jobs:  make(chan verifyJob, cfg.VerifyQueue),
 	}
+	g.m = g.registerMetrics()
 	g.workers.Add(cfg.VerifyWorkers)
 	for i := 0; i < cfg.VerifyWorkers; i++ {
 		go g.worker()
@@ -221,9 +159,14 @@ func New(cfg Config) *Gateway {
 	return g
 }
 
+// Observer returns the gateway's observability handle — the metrics
+// registry plus the per-app session-trace rings. Serve it with
+// obs.AdminHandler, or read it directly in tests.
+func (g *Gateway) Observer() *obs.Observer { return g.obs }
+
 // Register provisions the shared Verifier for one application. Unless
-// caching is disabled (Config.CacheBytes < 0) a summary cache is attached
-// — the Verifier's own if it already carries one, a fresh per-app cache
+// caching is disabled (WithCache(-1)) a summary cache is attached — the
+// Verifier's own if it already carries one, a fresh per-app cache
 // otherwise — and the Verifier's provisioned speculation dictionary seeds
 // the app's live dictionary. Safe to call while serving; re-registering
 // replaces (and resets the live dictionary and mining cadence).
@@ -326,35 +269,39 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
-// Stats snapshots the gateway counters, aggregating cache effectiveness
-// across the registered apps (a cache shared by several apps is counted
-// once).
-func (g *Gateway) Stats() Stats {
-	s := g.st.snapshot(len(g.slots))
-	g.mu.Lock()
-	seen := make(map[*verify.Cache]bool, len(g.apps))
-	for _, st := range g.apps {
-		s.DictPaths += st.dict.Load().dict.Len()
-		if st.cache == nil || seen[st.cache] {
-			continue
-		}
-		seen[st.cache] = true
-		cs := st.cache.Stats()
-		s.CacheHits += cs.Hits
-		s.CacheMisses += cs.Misses
-		s.CacheEvictions += cs.Evictions
-		s.CacheEntries += cs.Entries
-		s.CacheBytes += cs.Bytes
+// countFrame bumps the frame counter for typ in the given direction
+// array (nil entries cover unknown frame types defensively).
+func countFrame(dir []*obs.Counter, typ byte) {
+	if int(typ) < len(dir) && dir[typ] != nil {
+		dir[typ].Inc()
 	}
-	g.mu.Unlock()
-	return s
+}
+
+// readFrame and writeFrame wrap the remote framing with the per-type
+// frame counters, so /metrics attributes traffic per protocol step.
+func (g *Gateway) readFrame(tc *timedConn) (byte, []byte, error) {
+	typ, payload, err := remote.ReadFrame(tc)
+	if err == nil {
+		countFrame(g.m.framesIn[:], typ)
+	}
+	return typ, payload, err
+}
+
+func (g *Gateway) writeFrame(tc *timedConn, typ byte, payload []byte) error {
+	err := remote.WriteFrame(tc, typ, payload)
+	if err == nil {
+		countFrame(g.m.framesOut[:], typ)
+	}
+	return err
 }
 
 // handleConn runs one session: acquire a slot or shed, then speak the
-// protocol under deadlines.
+// protocol under deadlines. Every connection — shed, failed, or verdict
+// — commits exactly one span trace.
 func (g *Gateway) handleConn(conn net.Conn) {
 	defer conn.Close()
-	g.st.started.Add(1)
+	g.m.sessionsStarted.Inc()
+	tr := g.obs.StartTrace(conn.RemoteAddr().String())
 
 	select {
 	case g.slots <- struct{}{}:
@@ -363,54 +310,72 @@ func (g *Gateway) handleConn(conn net.Conn) {
 		// At capacity: one best-effort BUSY frame, then hang up. The
 		// write gets its own short deadline so a non-reading client
 		// cannot pin this goroutine either.
-		g.st.rejected.Add(1)
+		g.m.shedCapacity.Inc()
 		_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.IOTimeout))
-		_ = remote.WriteFrame(conn, remote.FrameBusy, remote.EncodeBusy(g.cfg.BusyRetryAfter))
+		if remote.WriteFrame(conn, remote.FrameBusy, remote.EncodeBusy(g.cfg.BusyRetryAfter)) == nil {
+			countFrame(g.m.framesOut[:], remote.FrameBusy)
+		}
+		tr.Finish("shed-busy", "at session capacity")
+		g.obs.Commit(tr)
 		return
 	}
+	g.span(tr, obs.StageAccept, -1, time.Since(tr.Began))
 
-	g.st.accepted.Add(1)
+	g.m.sessionsAccepted.Inc()
 	deadline := time.Now().Add(g.cfg.SessionTimeout)
-	tc := &timedConn{Conn: conn, ioTimeout: g.cfg.IOTimeout, end: deadline, st: &g.st}
-	if err := g.safeSession(tc, deadline); err != nil {
-		g.st.failed.Add(1)
+	tc := &timedConn{
+		Conn:      conn,
+		ioTimeout: g.cfg.IOTimeout,
+		end:       deadline,
+		bytesIn:   g.m.bytesIn,
+		bytesOut:  g.m.bytesOut,
+	}
+	if err := g.safeSession(tc, deadline, tr); err != nil {
+		g.m.sessionsFailed.Inc()
+		tr.Finish("error", err.Error())
 		if g.cfg.OnSessionError != nil {
 			g.cfg.OnSessionError(conn.RemoteAddr().String(), err)
 		}
 	}
+	g.obs.Commit(tr)
 }
 
 // safeSession runs session under a panic guard: one berserk session
 // (protocol handler bug, injected fault) is recovered, counted, and
 // reported as a session error instead of killing the whole gateway.
-func (g *Gateway) safeSession(tc *timedConn, deadline time.Time) (err error) {
+func (g *Gateway) safeSession(tc *timedConn, deadline time.Time, tr *obs.Trace) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			g.st.panicsRecovered.Add(1)
+			g.m.panicsRecovered.Inc()
 			err = fmt.Errorf("server: session panicked: %v", p)
 		}
 	}()
-	return g.session(tc, deadline)
+	return g.session(tc, deadline, tr)
 }
 
 // session speaks one gateway session on an already-admitted connection.
-func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
-	typ, payload, err := remote.ReadFrame(tc)
+// On a nil return the trace is already finished (verdict or graceful
+// shed); on error the caller stamps the trace.
+func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) error {
+	stageStart := time.Now()
+	typ, payload, err := g.readFrame(tc)
 	if err != nil {
 		return fmt.Errorf("server: reading hello: %w", err)
 	}
 	if typ != remote.FrameHello {
-		_ = remote.WriteFrame(tc, remote.FrameFail, []byte("expected hello frame"))
+		_ = g.writeFrame(tc, remote.FrameFail, []byte("expected hello frame"))
 		return fmt.Errorf("server: expected hello frame, got type %d", typ)
 	}
 	app, err := remote.ParseHello(payload)
 	if err != nil {
-		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(err.Error()))
+		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
 		return fmt.Errorf("server: %w", err)
 	}
+	tr.SetApp(app)
+	g.span(tr, obs.StageHelo, -1, time.Since(stageStart))
 	st := g.app(app)
 	if st == nil {
-		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(fmt.Sprintf("unknown application %q", app)))
+		_ = g.writeFrame(tc, remote.FrameFail, []byte(fmt.Sprintf("unknown application %q", app)))
 		return fmt.Errorf("server: unknown application %q", app)
 	}
 
@@ -419,16 +384,17 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 	// session failure.
 	admitted, probe, retryAfter := st.brk.admit(time.Now())
 	if !admitted {
-		g.st.breakerSheds.Add(1)
+		g.m.shedBreaker.Inc()
 		if retryAfter <= 0 {
 			retryAfter = g.cfg.BusyRetryAfter
 		}
-		_ = remote.WriteFrame(tc, remote.FrameBusy, remote.EncodeBusy(retryAfter))
+		_ = g.writeFrame(tc, remote.FrameBusy, remote.EncodeBusy(retryAfter))
+		tr.Finish("shed-busy", "breaker cooldown")
 		return nil
 	}
 	enqueued := false
 	if probe {
-		g.st.breakerHalfOpens.Add(1)
+		g.m.breakerHalfOpens.Inc()
 		// A probe that dies before its evidence reaches a worker decides
 		// nothing; release the half-open slot for the next candidate.
 		defer func() {
@@ -443,46 +409,69 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time) error {
 	// mining promotion swaps the live pointer mid-flight.
 	ds := st.dict.Load()
 	if len(ds.encoded) > 0 {
-		if err := remote.WriteFrame(tc, remote.FrameDict, ds.encoded); err != nil {
+		stageStart = time.Now()
+		if err := g.writeFrame(tc, remote.FrameDict, ds.encoded); err != nil {
 			return fmt.Errorf("server: sending dictionary: %w", err)
 		}
+		g.span(tr, obs.StageDictPush, -1, time.Since(stageStart))
 	}
 
 	chal, err := attest.NewChallenge(app)
 	if err != nil {
-		_ = remote.WriteFrame(tc, remote.FrameFail, []byte("challenge generation failed"))
+		_ = g.writeFrame(tc, remote.FrameFail, []byte("challenge generation failed"))
 		return err
 	}
-	if err := remote.WriteFrame(tc, remote.FrameChal, chal.Encode()); err != nil {
+	stageStart = time.Now()
+	if err := g.writeFrame(tc, remote.FrameChal, chal.Encode()); err != nil {
 		return fmt.Errorf("server: sending challenge: %w", err)
 	}
 	reports, err := remote.CollectReports(tc)
 	if err != nil {
 		return err
 	}
+	// CollectReports reads its frames internally: one RPRT per report.
+	g.m.framesIn[remote.FrameRprt].Add(uint64(len(reports)))
+	g.span(tr, obs.StageCollect, -1, time.Since(stageStart))
 
+	verifyOffset := time.Since(tr.Began)
+	stageStart = time.Now()
 	verdict, sent, err := g.verify(st, chal, reports, ds.dict, deadline)
 	enqueued = sent
 	if err != nil {
-		_ = remote.WriteFrame(tc, remote.FrameFail, []byte(err.Error()))
+		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
 		return err
 	}
+	// StageVerify is the session's view: queue wait plus reconstruction.
+	// The expand sub-span (measured inside the verifier) is re-anchored
+	// into the timeline after the auth phase it follows.
+	g.span(tr, obs.StageVerify, -1, time.Since(stageStart))
+	if tm := verdict.Timing; tm.Expand > 0 {
+		g.span(tr, obs.StageExpand, verifyOffset+tm.Auth, tm.Expand)
+	}
+
 	switch {
 	case verdict.OK:
-		g.st.verdictOK.Add(1)
+		g.m.verdictOK.Inc()
 	case verdict.Code == verify.ReasonInconclusive:
 		// Authentic evidence attesting its own loss (MTB wrap / arming
 		// drop): neither accept nor attack — the device should re-attest.
-		g.st.verdictInconclusive.Add(1)
-		g.st.rejectedByCode[verdict.Code].Add(1)
+		g.m.verdictInconclusive.Inc()
+		g.m.rejections[verdict.Code].Inc()
 	default:
-		g.st.verdictAttack.Add(1)
+		g.m.verdictAttack.Inc()
 		if verdict.Code.Valid() {
-			g.st.rejectedByCode[verdict.Code].Add(1)
+			g.m.rejections[verdict.Code].Inc()
 		}
 	}
-	if err := remote.WriteFrame(tc, remote.FrameVerdict, remote.EncodeVerdict(verdict.OK, verdict.Code, verdict.Detail)); err != nil {
+	stageStart = time.Now()
+	if err := g.writeFrame(tc, remote.FrameVerdict, remote.EncodeVerdict(verdict.OK, verdict.Code, verdict.Detail)); err != nil {
 		return fmt.Errorf("server: sending verdict: %w", err)
+	}
+	g.span(tr, obs.StageVerdictWrite, -1, time.Since(stageStart))
+	if verdict.OK {
+		tr.Finish("ok", "")
+	} else {
+		tr.Finish(verdict.Code.String(), verdict.Detail)
 	}
 	return nil
 }
@@ -532,7 +521,7 @@ func (g *Gateway) runJob(job verifyJob) {
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				g.st.panicsRecovered.Add(1)
+				g.m.panicsRecovered.Inc()
 				res = verifyResult{err: fmt.Errorf("server: verification panicked: %v", p)}
 			}
 		}()
@@ -541,11 +530,24 @@ func (g *Gateway) runJob(job verifyJob) {
 		}
 		res.verdict, res.err = job.app.verifier.VerifyWithDictionary(job.chal, job.reports, job.dict)
 	}()
-	g.st.observeVerify(time.Since(start))
+	g.m.verifySeconds.ObserveDuration(time.Since(start))
+	if res.verdict != nil {
+		// Phase attribution from the verifier's own clock; expand and
+		// search are skipped when the phase did not run (no dictionary,
+		// early verdict, verdict-cache hit).
+		tm := res.verdict.Timing
+		g.m.phase[phaseAuth].ObserveDuration(tm.Auth)
+		if tm.Expand > 0 {
+			g.m.phase[phaseExpand].ObserveDuration(tm.Expand)
+		}
+		if tm.Search > 0 {
+			g.m.phase[phaseSearch].ObserveDuration(tm.Search)
+		}
+	}
 	if opened, closed := job.app.brk.record(res.err != nil, time.Now()); opened {
-		g.st.breakerOpens.Add(1)
+		g.m.breakerOpens.Inc()
 	} else if closed {
-		g.st.breakerCloses.Add(1)
+		g.m.breakerCloses.Inc()
 	}
 	job.resp <- res
 	if res.err == nil && res.verdict.OK {
@@ -567,7 +569,7 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 	if (n-1)%uint64(g.cfg.MineEvery) != 0 {
 		return
 	}
-	g.st.minedSessions.Add(1)
+	g.m.minedSessions.Inc()
 	mined, err := speccfa.Mine(vd.Evidence, g.cfg.MinePaths, 2, 8)
 	if err != nil || mined.Len() == 0 {
 		return
@@ -590,25 +592,25 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 	}
 	checked, err := speccfa.DecodeDictionary(encoded)
 	if err != nil {
-		g.st.dictQuarantines.Add(1)
+		g.m.dictQuarantines.Inc()
 		return
 	}
 	rt, err := checked.Decompress(checked.Compress(vd.Evidence))
 	if err != nil || !slices.Equal(rt, vd.Evidence) {
-		g.st.dictQuarantines.Add(1)
+		g.m.dictQuarantines.Inc()
 		return
 	}
 	// Store the dictionary decoded FROM the checked bytes: provers (DICT
 	// frame) and the verifier (expansion) derive from identical bits.
 	st.dict.Store(&dictState{version: cur.version + 1, dict: checked, encoded: encoded})
-	g.st.dictPromotions.Add(uint64(added))
+	g.m.dictPromotions.Add(uint64(added))
 }
 
 // ObserveProverRetries folds prover-side retry counts into the gateway
-// stats — deployments (and the serve selftest) report how many extra
+// registry — deployments (and the serve selftest) report how many extra
 // attempts their AttestWithRetry loops spent reaching a verdict.
 func (g *Gateway) ObserveProverRetries(n uint64) {
 	if n > 0 {
-		g.st.proverRetries.Add(n)
+		g.m.proverRetries.Add(n)
 	}
 }

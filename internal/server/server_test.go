@@ -70,9 +70,9 @@ func (f *appFixture) provision(ep *remote.ProverEndpoint, watermark int) {
 
 // startGateway serves the named apps on a loopback listener and returns
 // the dial address plus a matching prover endpoint.
-func startGateway(t *testing.T, cfg server.Config, names ...string) (*server.Gateway, string, *remote.ProverEndpoint) {
+func startGateway(t *testing.T, opts []server.Option, names ...string) (*server.Gateway, string, *remote.ProverEndpoint) {
 	t.Helper()
-	g := server.New(cfg)
+	g := server.New(opts...)
 	ep := remote.NewProverEndpoint()
 	for _, n := range names {
 		f := fixture(t, n)
@@ -111,7 +111,7 @@ func waitStats(t *testing.T, g *server.Gateway, pred func(server.Stats) bool) se
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		st := g.Stats()
+		st := g.Snapshot()
 		if pred(st) {
 			return st
 		}
@@ -123,7 +123,7 @@ func waitStats(t *testing.T, g *server.Gateway, pred func(server.Stats) bool) se
 }
 
 func TestGatewayRoundTrip(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{}, "prime")
+	g, addr, ep := startGateway(t, nil, "prime")
 	gv, err := ep.AttestTo(dial(t, addr), "prime")
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func TestGatewayRoundTrip(t *testing.T) {
 }
 
 func TestGatewayUnknownApp(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{}, "prime")
+	g, addr, ep := startGateway(t, nil, "prime")
 	_, err := ep.AttestTo(dial(t, addr), "nonexistent")
 	if err == nil || !strings.Contains(err.Error(), "unknown application") {
 		t.Fatalf("err = %v", err)
@@ -158,7 +158,7 @@ func TestGatewayUnknownApp(t *testing.T) {
 // reports the compromise, and the attack counter moves.
 func TestGatewayDetectsMismatchedImage(t *testing.T) {
 	f := fixture(t, "prime")
-	g, addr, _ := startGateway(t, server.Config{}, "prime")
+	g, addr, _ := startGateway(t, nil, "prime")
 
 	opts := core.DefaultLinkOptions()
 	opts.NopPad++ // a differently-linked (here: repadded) firmware image
@@ -188,10 +188,9 @@ func TestGatewayDetectsMismatchedImage(t *testing.T) {
 // that holds its session open, then asserts a second client is shed with
 // BUSY (remote.ErrBusy) and that the slot serves again once freed.
 func TestGatewayShedsAtCapacity(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{
-		MaxSessions:    1,
-		SessionTimeout: 5 * time.Second,
-		IOTimeout:      2 * time.Second,
+	g, addr, ep := startGateway(t, []server.Option{
+		server.WithSessionSlots(1),
+		server.WithTimeouts(5*time.Second, 2*time.Second),
 	}, "prime")
 
 	// Occupy the only slot: handshake past HELO and hold before reports.
@@ -208,7 +207,7 @@ func TestGatewayShedsAtCapacity(t *testing.T) {
 	if !errors.Is(err, remote.ErrBusy) {
 		t.Fatalf("errors.Is(err, remote.ErrBusy) = false; err = %v", err)
 	}
-	st := g.Stats()
+	st := g.Snapshot()
 	if st.SessionsRejected != 1 || st.ActiveSessions != 1 {
 		t.Errorf("stats = %+v", st)
 	}
@@ -227,10 +226,9 @@ func TestGatewayShedsAtCapacity(t *testing.T) {
 // after the handshake: the per-I/O deadline must fail the session and
 // free its slot for others.
 func TestGatewayStalledClientTimesOut(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{
-		MaxSessions:    1,
-		SessionTimeout: 10 * time.Second,
-		IOTimeout:      150 * time.Millisecond,
+	g, addr, ep := startGateway(t, []server.Option{
+		server.WithSessionSlots(1),
+		server.WithTimeouts(10*time.Second, 150*time.Millisecond),
 	}, "prime")
 
 	staller := dial(t, addr)
@@ -262,10 +260,9 @@ func TestGatewayStalledClientTimesOut(t *testing.T) {
 // client dribbling single bytes keeps every per-I/O deadline fresh, so
 // only the overall session deadline can end it.
 func TestGatewaySessionDeadlineCapsDribble(t *testing.T) {
-	g, addr, _ := startGateway(t, server.Config{
-		MaxSessions:    1,
-		SessionTimeout: 300 * time.Millisecond,
-		IOTimeout:      10 * time.Second,
+	g, addr, _ := startGateway(t, []server.Option{
+		server.WithSessionSlots(1),
+		server.WithTimeouts(300*time.Millisecond, 10*time.Second),
 	}, "prime")
 
 	dribbler := dial(t, addr)
@@ -301,7 +298,7 @@ func TestGatewaySessionDeadlineCapsDribble(t *testing.T) {
 }
 
 func TestGatewayServeAfterCloseFails(t *testing.T) {
-	g := server.New(server.Config{})
+	g := server.New()
 	if err := g.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +316,7 @@ func TestGatewayServeAfterCloseFails(t *testing.T) {
 }
 
 func TestStatsString(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{}, "prime")
+	g, addr, ep := startGateway(t, nil, "prime")
 	if _, err := ep.AttestTo(dial(t, addr), "prime"); err != nil {
 		t.Fatal(err)
 	}
@@ -343,10 +340,9 @@ func TestStatsString(t *testing.T) {
 // every queued session still completes correctly: backpressure delays,
 // it does not drop.
 func TestGatewayBackpressureQueue(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{
-		MaxSessions:   8,
-		VerifyWorkers: 1,
-		VerifyQueue:   1,
+	g, addr, ep := startGateway(t, []server.Option{
+		server.WithSessionSlots(8),
+		server.WithVerifyWorkers(1, 1),
 	}, "prime")
 
 	const n = 6
@@ -377,7 +373,7 @@ func TestGatewayBackpressureQueue(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	st := g.Stats()
+	st := g.Snapshot()
 	if st.VerdictOK != n || st.Verifications != n {
 		t.Errorf("stats = %+v", st)
 	}
@@ -388,7 +384,7 @@ func TestGatewayBackpressureQueue(t *testing.T) {
 // hits, the first accepted session triggers a mining pass, and promoted
 // sub-paths show up in the live dictionary — with every verdict still OK.
 func TestGatewayFastPath(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{MineEvery: 2}, "prime")
+	g, addr, ep := startGateway(t, []server.Option{server.WithMining(2, 0, 0)}, "prime")
 
 	const sessions = 4
 	for i := 0; i < sessions; i++ {
@@ -419,7 +415,7 @@ func TestGatewayFastPath(t *testing.T) {
 // TestGatewayFastPathDisabled: CacheBytes/MineEvery < 0 turn both halves
 // of the fast path off; sessions still verify.
 func TestGatewayFastPathDisabled(t *testing.T) {
-	g, addr, ep := startGateway(t, server.Config{CacheBytes: -1, MineEvery: -1}, "prime")
+	g, addr, ep := startGateway(t, []server.Option{server.WithCache(-1), server.WithMining(-1, 0, 0)}, "prime")
 	for i := 0; i < 2; i++ {
 		gv, err := ep.AttestTo(dial(t, addr), "prime")
 		if err != nil {
@@ -442,7 +438,7 @@ func TestGatewayFastPathDisabled(t *testing.T) {
 // typed rejection bucket, not just the aggregate attack counter.
 func TestGatewayRejectionBuckets(t *testing.T) {
 	f := fixture(t, "prime")
-	g, addr, _ := startGateway(t, server.Config{}, "prime")
+	g, addr, _ := startGateway(t, nil, "prime")
 
 	opts := core.DefaultLinkOptions()
 	opts.NopPad++

@@ -3,71 +3,10 @@ package server
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"raptrack/internal/verify"
 )
-
-// histBuckets is the verify-latency histogram size: len(verifyBuckets)
-// finite buckets plus the +inf overflow bucket.
-const histBuckets = 7
-
-// verifyBuckets are the upper bounds of the verify-latency histogram; an
-// implicit +inf bucket catches the tail. Verification cost scales with
-// evidence volume, so the spread is wide.
-var verifyBuckets = [histBuckets - 1]time.Duration{
-	time.Millisecond,
-	5 * time.Millisecond,
-	25 * time.Millisecond,
-	100 * time.Millisecond,
-	500 * time.Millisecond,
-	2500 * time.Millisecond,
-}
-
-// counters is the gateway's hot-path instrumentation: all fields are
-// atomics so sessions never serialize on a stats lock.
-type counters struct {
-	started  atomic.Uint64 // connections handled, including shed ones
-	accepted atomic.Uint64 // sessions that won a slot
-	rejected atomic.Uint64 // sessions shed with a BUSY frame
-	failed   atomic.Uint64 // accepted sessions that errored out
-
-	verdictOK           atomic.Uint64
-	verdictAttack       atomic.Uint64
-	verdictInconclusive atomic.Uint64
-	rejectedByCode      [verify.NumReasons]atomic.Uint64
-
-	minedSessions   atomic.Uint64
-	dictPromotions  atomic.Uint64
-	dictQuarantines atomic.Uint64
-
-	panicsRecovered  atomic.Uint64
-	breakerOpens     atomic.Uint64
-	breakerHalfOpens atomic.Uint64
-	breakerCloses    atomic.Uint64
-	breakerSheds     atomic.Uint64
-	proverRetries    atomic.Uint64
-
-	bytesIn  atomic.Uint64
-	bytesOut atomic.Uint64
-
-	verifications atomic.Uint64
-	verifyNanos   atomic.Uint64
-	verifyHist    [histBuckets]atomic.Uint64
-}
-
-func (c *counters) observeVerify(d time.Duration) {
-	c.verifications.Add(1)
-	c.verifyNanos.Add(uint64(d.Nanoseconds()))
-	for i, le := range verifyBuckets {
-		if d <= le {
-			c.verifyHist[i].Add(1)
-			return
-		}
-	}
-	c.verifyHist[len(verifyBuckets)].Add(1)
-}
 
 // HistBucket is one verify-latency histogram bucket; Le == 0 marks the
 // +inf overflow bucket.
@@ -76,12 +15,15 @@ type HistBucket struct {
 	Count uint64
 }
 
-// Stats is a point-in-time snapshot of the gateway counters. Counts are
-// monotone except ActiveSessions, a gauge.
+// Stats is a point-in-time snapshot of the gateway, produced by
+// [Gateway.Snapshot]. It is an immutable value read back from the obs
+// metrics registry — the registry is the single source of truth; there
+// is no second set of counters to mutate or drift. Counts are monotone
+// except ActiveSessions, a gauge.
 type Stats struct {
 	SessionsStarted  uint64 // connections handled (accepted + rejected)
 	SessionsAccepted uint64
-	SessionsRejected uint64 // shed with a BUSY frame
+	SessionsRejected uint64 // shed with a BUSY frame at the slot limit
 	SessionsFailed   uint64 // accepted but errored (timeout, protocol, bad evidence)
 	ActiveSessions   int    // sessions currently holding a slot
 
@@ -130,40 +72,57 @@ type Stats struct {
 	ProverRetries    uint64 // prover-side retries reported via ObserveProverRetries
 }
 
-// snapshot reads every counter once; sessions may land between reads, so
-// the sums are consistent only once the gateway is quiescent.
-func (c *counters) snapshot(active int) Stats {
+// Snapshot reads the gateway's registry into a Stats value. Sessions may
+// land between individual reads, so the sums are consistent only once
+// the gateway is quiescent (e.g. after Close has drained).
+func (g *Gateway) Snapshot() Stats {
+	m := g.m
 	s := Stats{
-		SessionsStarted:  c.started.Load(),
-		SessionsAccepted: c.accepted.Load(),
-		SessionsRejected: c.rejected.Load(),
-		SessionsFailed:   c.failed.Load(),
-		ActiveSessions:   active,
-		VerdictOK:           c.verdictOK.Load(),
-		VerdictAttack:       c.verdictAttack.Load(),
-		VerdictInconclusive: c.verdictInconclusive.Load(),
-		BytesIn:             c.bytesIn.Load(),
-		BytesOut:            c.bytesOut.Load(),
-		Verifications:       c.verifications.Load(),
-		VerifyTotal:         time.Duration(c.verifyNanos.Load()),
-		MinedSessions:       c.minedSessions.Load(),
-		DictPromotions:      c.dictPromotions.Load(),
-		DictQuarantines:     c.dictQuarantines.Load(),
-		PanicsRecovered:     c.panicsRecovered.Load(),
-		BreakerOpens:        c.breakerOpens.Load(),
-		BreakerHalfOpens:    c.breakerHalfOpens.Load(),
-		BreakerCloses:       c.breakerCloses.Load(),
-		BreakerSheds:        c.breakerSheds.Load(),
-		ProverRetries:       c.proverRetries.Load(),
+		SessionsStarted:  m.sessionsStarted.Value(),
+		SessionsAccepted: m.sessionsAccepted.Value(),
+		SessionsRejected: m.shedCapacity.Value(),
+		SessionsFailed:   m.sessionsFailed.Value(),
+		ActiveSessions:   len(g.slots),
+
+		VerdictOK:           m.verdictOK.Value(),
+		VerdictAttack:       m.verdictAttack.Value(),
+		VerdictInconclusive: m.verdictInconclusive.Value(),
+
+		BytesIn:  m.bytesIn.Value(),
+		BytesOut: m.bytesOut.Value(),
+
+		MinedSessions:   m.minedSessions.Value(),
+		DictPromotions:  m.dictPromotions.Value(),
+		DictQuarantines: m.dictQuarantines.Value(),
+		DictPaths:       g.dictPaths(),
+
+		PanicsRecovered:  m.panicsRecovered.Value(),
+		BreakerOpens:     m.breakerOpens.Value(),
+		BreakerHalfOpens: m.breakerHalfOpens.Value(),
+		BreakerCloses:    m.breakerCloses.Value(),
+		BreakerSheds:     m.shedBreaker.Value(),
+		ProverRetries:    m.proverRetries.Value(),
 	}
-	for i := range c.rejectedByCode {
-		s.Rejections[i] = c.rejectedByCode[i].Load()
+	for i := range s.Rejections {
+		s.Rejections[i] = m.rejections[i].Value()
 	}
-	s.VerifyHist = make([]HistBucket, 0, histBuckets)
-	for i, le := range verifyBuckets {
-		s.VerifyHist = append(s.VerifyHist, HistBucket{Le: le, Count: c.verifyHist[i].Load()})
+	hs := m.verifySeconds.Snapshot()
+	s.Verifications = hs.Count
+	s.VerifyTotal = time.Duration(hs.Sum * float64(time.Second))
+	s.VerifyHist = make([]HistBucket, 0, len(hs.Counts))
+	for i, cnt := range hs.Counts {
+		le := time.Duration(0) // +inf overflow bucket
+		if i < len(hs.Bounds) {
+			le = time.Duration(hs.Bounds[i] * float64(time.Second))
+		}
+		s.VerifyHist = append(s.VerifyHist, HistBucket{Le: le, Count: cnt})
 	}
-	s.VerifyHist = append(s.VerifyHist, HistBucket{Le: 0, Count: c.verifyHist[len(verifyBuckets)].Load()})
+	ct := g.cacheTotals()
+	s.CacheHits = ct.Hits
+	s.CacheMisses = ct.Misses
+	s.CacheEvictions = ct.Evictions
+	s.CacheEntries = ct.Entries
+	s.CacheBytes = ct.Bytes
 	return s
 }
 

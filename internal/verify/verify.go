@@ -50,6 +50,7 @@ package verify
 import (
 	"crypto/sha256"
 	"fmt"
+	"time"
 
 	"raptrack/internal/asm"
 	"raptrack/internal/attest"
@@ -58,6 +59,22 @@ import (
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
 )
+
+// PhaseTiming attributes one verification's wall clock to its phases, so
+// a gateway's observability layer can report where attestation time goes
+// without instrumenting this package from outside.
+type PhaseTiming struct {
+	// Auth covers report-chain authentication and CFLog assembly.
+	Auth time.Duration
+	// Expand covers SpecCFA marker expansion (zero without a dictionary).
+	Expand time.Duration
+	// Search covers the pushdown reconstruction (zero on verdict-cache
+	// hits and on verdicts decided before reconstruction, e.g. an H_MEM
+	// mismatch).
+	Search time.Duration
+	// CacheHit marks a verdict served whole from the cross-session cache.
+	CacheHit bool
+}
 
 // Edge is one reconstructed control transfer.
 type Edge struct {
@@ -91,6 +108,10 @@ type Verdict struct {
 	// (populated by Verify/VerifyWithDictionary, nil from ReplayPackets
 	// cache hits). Gateways mine it for hot sub-paths; treat as read-only.
 	Evidence []trace.Packet
+
+	// Timing attributes the verification wall clock per phase (populated
+	// by Verify/VerifyWithDictionary; zero from ReplayPackets).
+	Timing PhaseTiming
 }
 
 // Reason renders the failure cause as "code: detail" ("" when OK).
@@ -165,7 +186,10 @@ func (v *Verifier) Verify(chal attest.Challenge, reports []*attest.Report) (*Ver
 // The verdict cache is dictionary-independent: caching keys on the
 // decompressed stream, so promoting new sub-paths never invalidates it.
 func (v *Verifier) VerifyWithDictionary(chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary) (*Verdict, error) {
+	var tm PhaseTiming
+	phase := time.Now()
 	log, hmem, err := attest.AssembleChain(reports, chal, v.auth)
+	tm.Auth = time.Since(phase)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +198,7 @@ func (v *Verifier) VerifyWithDictionary(chal attest.Challenge, reports []*attest
 			OK:     false,
 			Code:   ReasonHMemMismatch,
 			Detail: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
+			Timing: tm,
 		}, nil
 	}
 	// Detectable trace loss: the signed reports themselves attest that the
@@ -192,23 +217,33 @@ func (v *Verifier) VerifyWithDictionary(chal attest.Challenge, reports []*attest
 			OK:     false,
 			Code:   ReasonInconclusive,
 			Detail: fmt.Sprintf("detectable trace loss: %d MTB wrap(s), %d packet(s) dropped while arming; evidence incomplete, re-attest", wraps, dropped),
+			Timing: tm,
 		}, nil
 	}
 	packets := trace.DecodePackets(log)
 	if dict.Len() > 0 {
+		phase = time.Now()
 		packets, err = dict.Decompress(packets)
+		tm.Expand = time.Since(phase)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if c := v.opts.cache; c != nil {
 		if vd, ok := c.lookupVerdict(v.hmem, packets); ok {
+			// lookupVerdict returned a private copy, so stamping this
+			// session's evidence and timing never races other sessions.
 			vd.Evidence = packets
+			tm.CacheHit = true
+			vd.Timing = tm
 			return vd, nil
 		}
 	}
+	phase = time.Now()
 	vd := v.reconstruct(packets)
+	tm.Search = time.Since(phase)
 	vd.Evidence = packets
+	vd.Timing = tm
 	if c := v.opts.cache; c != nil {
 		c.storeVerdict(v.hmem, packets, vd)
 	}
