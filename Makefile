@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet staticcheck build test race fuzz chaos obs bench bench-smoke serve-selftest metrics-scrape
+.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos obs bench bench-smoke bench-verify serve-selftest metrics-scrape
 
 check: vet staticcheck build test race fuzz chaos
 
@@ -29,7 +29,24 @@ race:
 # Execute the fuzz seed corpora as regression tests (no fuzzing time;
 # use `go test -fuzz FuzzReadFrame ./internal/remote` to actually fuzz).
 fuzz:
-	$(GO) test -run Fuzz ./internal/remote ./internal/attest
+	$(GO) test -run Fuzz ./internal/remote ./internal/attest ./internal/core
+
+# Short coverage-guided fuzzing of every target (one at a time: the Go
+# fuzzer allows a single -fuzz pattern per package invocation). 30s per
+# target keeps this inside a CI budget while still churning millions of
+# execs over the checked-in seed corpora.
+FUZZTIME ?= 30s
+fuzz-smoke: fuzz
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz FuzzParseBusy -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz FuzzDecodeVerdict -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz FuzzDecodeReport -fuzztime $(FUZZTIME) ./internal/attest
+	$(GO) test -run xxx -fuzz FuzzDecodeChallenge -fuzztime $(FUZZTIME) ./internal/attest
+	$(GO) test -run xxx -fuzz FuzzAutomatonDifferential -fuzztime $(FUZZTIME) ./internal/core
+
+# Regenerate the checked-in seed corpora under testdata/fuzz/.
+fuzz-corpus:
+	$(GO) run ./tools/fuzzcorpus
 
 # Chaos suite: seeded fault injection across hardware, wire, and gateway
 # plus the prover retry / breaker / quarantine resilience tests. Seeds
@@ -58,6 +75,12 @@ bench:
 # on. CI uploads the output so fast-path regressions are visible per-PR.
 bench-smoke:
 	$(GO) test -bench ServerThroughput -benchtime 1x -run xxx . | tee bench-smoke.txt
+
+# Verifier-core engine matrix: interpreter vs compiled automaton, cache
+# off/on, on frozen attested evidence. Writes BENCH_verify.json; CI
+# uploads it so verifier-core regressions are visible per-PR.
+bench-verify:
+	$(GO) run ./cmd/benchsuite -fig verify -out BENCH_verify.json
 
 # One-command load check of the gateway networking path.
 serve-selftest:

@@ -1,32 +1,67 @@
 // Command benchsuite regenerates every table and figure of the paper's
 // evaluation (Fig. 1a, 1b, 8, 9, 10, plus the footprint table and the
-// ablation studies) on the simulated platform.
+// ablation studies) on the simulated platform, and benchmarks the
+// verifier core itself (interpreter vs compiled automaton, cache off/on).
 //
 // Usage:
 //
-//	benchsuite            # all figures
-//	benchsuite -fig 8     # one figure: 1a, 1b, 8, 9, 10, footprint, ablation
+//	benchsuite                                # all figures
+//	benchsuite -fig 8                         # one figure: 1a, 1b, 8, 9, 10, footprint, ablation
+//	benchsuite -fig verify -out BENCH_verify.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"raptrack/internal/report"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 8, 9, 10, footprint, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 8, 9, 10, footprint, ablation, verify, all")
+	out := flag.String("out", "", "with -fig verify: also write the result matrix as JSON to this path")
+	budget := flag.Duration("budget", 0, "with -fig verify: minimum measured wall time per matrix cell (default 300ms)")
 	flag.Parse()
 
-	if err := run(*fig); err != nil {
+	if err := run(*fig, *out, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string) error {
+// verifyBench runs the verifier-core matrix, prints the table, and
+// optionally persists the JSON artifact (BENCH_verify.json in CI).
+func verifyBench(out string, budget time.Duration) error {
+	rs, err := report.VerifyBench(report.VerifyBenchApps, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.VerifyBenchTable(rs))
+	if out == "" {
+		return nil
+	}
+	doc := report.VerifyBenchReport{Suite: "verify-engine", Budget: budget.String(), Results: rs}
+	if doc.Budget == "0s" {
+		doc.Budget = "300ms"
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func run(fig, out string, budget time.Duration) error {
+	if fig == "verify" {
+		return verifyBench(out, budget)
+	}
 	needMeasure := fig != "ablation"
 	var ms []*report.Measurement
 	if needMeasure {
@@ -64,7 +99,7 @@ func run(fig string) error {
 		}
 		fmt.Print(s)
 	default:
-		return fmt.Errorf("unknown figure %q", fig)
+		return fmt.Errorf("unknown figure %q (have 1a, 1b, 8, 9, 10, footprint, ablation, verify, all)", fig)
 	}
 	return nil
 }

@@ -1,0 +1,204 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+	"raptrack/internal/verify"
+)
+
+// The golden fixtures under testdata/golden/ pin the exact wire bytes of
+// every gateway-protocol frame whose encoding is deterministic: the v2
+// HELO, the session DICT, both BUSY forms, and accepted/rejected VRDT
+// summaries. Deployed provers parse these frames byte-for-byte, so any
+// drift — a reordered field, a changed version constant, a different
+// endianness — is a protocol break even when this repo's own encoder and
+// decoder still agree with each other. Regenerate deliberately with
+//
+//	go test ./internal/remote -run TestGoldenFrames -update
+//
+// and treat the resulting diff as a wire-format change to be reviewed as
+// such.
+var update = flag.Bool("update", false, "rewrite the golden wire-format fixtures")
+
+// goldenDict is a fixed two-path speculation set. NewDictionary sorts
+// longest-first, so the 3-packet path travels before the 2-packet one;
+// the fixture pins that canonical order too.
+func goldenDict(t *testing.T) *speccfa.Dictionary {
+	t.Helper()
+	d, err := speccfa.NewDictionary(
+		[]trace.Packet{{Src: 0x200010, Dst: 0x200040}, {Src: 0x200052, Dst: 0x200014}},
+		[]trace.Packet{{Src: 0x200014, Dst: 0x20001C}, {Src: 0x200020, Dst: 0x200008}, {Src: 0x200008, Dst: 0x200030}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGoldenFrames(t *testing.T) {
+	dict := goldenDict(t)
+	cases := []struct {
+		name    string
+		typ     byte
+		payload []byte
+		// check re-parses the payload as read back from the fixture, so
+		// the decoders are exercised against the pinned bytes (not just
+		// against whatever the current encoder happens to emit).
+		check func(t *testing.T, payload []byte)
+	}{
+		{
+			name: "helo-v2", typ: FrameHello, payload: EncodeHello("prime"),
+			check: func(t *testing.T, p []byte) {
+				app, err := ParseHello(p)
+				if err != nil || app != "prime" {
+					t.Errorf("ParseHello = %q, %v", app, err)
+				}
+			},
+		},
+		{
+			name: "dict", typ: FrameDict, payload: dict.Encode(),
+			check: func(t *testing.T, p []byte) {
+				d, err := speccfa.DecodeDictionary(p)
+				if err != nil {
+					t.Fatalf("DecodeDictionary: %v", err)
+				}
+				if d.Len() != 2 || len(d.Paths()[0].Packets) != 3 {
+					t.Errorf("dictionary shape: len=%d", d.Len())
+				}
+				if !bytes.Equal(d.Encode(), p) {
+					t.Error("dictionary encoding is not a fixed point of decode")
+				}
+			},
+		},
+		{
+			name: "busy-nohint", typ: FrameBusy, payload: EncodeBusy(0),
+			check: func(t *testing.T, p []byte) {
+				if d, err := ParseBusy(p); err != nil || d != 0 {
+					t.Errorf("ParseBusy = %v, %v", d, err)
+				}
+			},
+		},
+		{
+			name: "busy-hint", typ: FrameBusy, payload: EncodeBusy(250 * time.Millisecond),
+			check: func(t *testing.T, p []byte) {
+				if d, err := ParseBusy(p); err != nil || d != 250*time.Millisecond {
+					t.Errorf("ParseBusy = %v, %v", d, err)
+				}
+			},
+		},
+		{
+			name: "vrdt-ok", typ: FrameVerdict, payload: EncodeVerdict(true, verify.ReasonNone, ""),
+			check: func(t *testing.T, p []byte) {
+				gv, err := DecodeVerdict(p)
+				if err != nil || !gv.OK || gv.Code != verify.ReasonNone || gv.Detail != "" {
+					t.Errorf("DecodeVerdict = %+v, %v", gv, err)
+				}
+			},
+		},
+		{
+			name: "vrdt-reject", typ: FrameVerdict, payload: EncodeVerdict(false, verify.ReasonROP, "return destination mismatch"),
+			check: func(t *testing.T, p []byte) {
+				gv, err := DecodeVerdict(p)
+				if err != nil || gv.OK || gv.Code != verify.ReasonROP || gv.Detail != "return destination mismatch" {
+					t.Errorf("DecodeVerdict = %+v, %v", gv, err)
+				}
+			},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, c.typ, c.payload); err != nil {
+				t.Fatal(err)
+			}
+			got := buf.Bytes()
+			path := filepath.Join("testdata", "golden", c.name+".hex")
+
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(formatHex(got)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			fixture, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update to create): %v", err)
+			}
+			want, err := parseHex(fixture)
+			if err != nil {
+				t.Fatalf("corrupt fixture %s: %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("wire bytes drifted from %s\n got: %x\nwant: %x", path, got, want)
+			}
+
+			// Round-trip the pinned bytes through the frame reader and the
+			// frame-specific decoder.
+			typ, payload, err := ReadFrame(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("ReadFrame on fixture: %v", err)
+			}
+			if typ != c.typ || !bytes.Equal(payload, c.payload) {
+				t.Fatalf("ReadFrame = (%d, %x), want (%d, %x)", typ, payload, c.typ, c.payload)
+			}
+			c.check(t, payload)
+		})
+	}
+}
+
+// TestGoldenFixturesComplete fails when a fixture file exists that no
+// test case covers — a leftover after a rename would otherwise pin
+// nothing while looking authoritative.
+func TestGoldenFixturesComplete(t *testing.T) {
+	covered := map[string]bool{
+		"helo-v2.hex": true, "dict.hex": true,
+		"busy-nohint.hex": true, "busy-hint.hex": true,
+		"vrdt-ok.hex": true, "vrdt-reject.hex": true,
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("fixture dir missing (run TestGoldenFrames with -update): %v", err)
+	}
+	for _, e := range entries {
+		if !covered[e.Name()] {
+			t.Errorf("orphan fixture %s: no test case pins it", e.Name())
+		}
+	}
+	if len(entries) != len(covered) {
+		t.Errorf("fixture count = %d, want %d", len(entries), len(covered))
+	}
+}
+
+// formatHex renders data as lowercase hex, 16 bytes per line, so fixture
+// diffs stay reviewable.
+func formatHex(data []byte) string {
+	var b strings.Builder
+	for i := 0; i < len(data); i += 16 {
+		end := i + 16
+		if end > len(data) {
+			end = len(data)
+		}
+		fmt.Fprintf(&b, "%x\n", data[i:end])
+	}
+	return b.String()
+}
+
+// parseHex inverts formatHex, ignoring all whitespace.
+func parseHex(data []byte) ([]byte, error) {
+	clean := strings.Join(strings.Fields(string(data)), "")
+	return hex.DecodeString(clean)
+}

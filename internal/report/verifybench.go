@@ -1,0 +1,181 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/verify"
+)
+
+// VerifyBenchApps is the workload subset the verifier-core benchmark
+// covers by default: one short session (fibcall), the mid-sized
+// peripheral-driven workloads the gateway serves in its selftest
+// (prime, gps, crc32), and the longest evaluation stream (matmult).
+var VerifyBenchApps = []string{"fibcall", "prime", "gps", "crc32", "matmult"}
+
+// VerifyBenchResult is one cell of the engine × cache matrix for one
+// workload. The JSON encoding of the full matrix is the BENCH_verify.json
+// artifact CI uploads per PR, so verifier-core regressions are visible
+// without re-running the suite locally.
+type VerifyBenchResult struct {
+	App    string `json:"app"`
+	Engine string `json:"engine"` // "interp" or "automaton"
+	Cache  bool   `json:"cache"`
+
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	Iterations     int     `json:"iterations"`
+	LogBytes       int     `json:"log_bytes"`
+}
+
+// VerifyBenchReport is the top-level BENCH_verify.json document.
+type VerifyBenchReport struct {
+	Suite   string              `json:"suite"`
+	Budget  string              `json:"budget_per_cell"`
+	Results []VerifyBenchResult `json:"results"`
+}
+
+// VerifyBench measures end-to-end verification of real attested evidence
+// for each named workload through the 2x2 engine matrix: interpretive
+// pushdown search vs compiled automaton, with and without the
+// cross-session summary cache. Each cell reuses one frozen evidence
+// stream (attested once up front), so the numbers isolate the verifier
+// core — no emulation, signing, or network in the loop. budget is the
+// minimum measured wall time per cell; <= 0 picks a default suitable for
+// CI (300ms).
+func VerifyBench(names []string, budget time.Duration) ([]VerifyBenchResult, error) {
+	if budget <= 0 {
+		budget = 300 * time.Millisecond
+	}
+	var out []VerifyBenchResult
+	for _, name := range names {
+		a, err := apps.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+		if err != nil {
+			return nil, fmt.Errorf("report: %s link: %w", name, err)
+		}
+		key, err := attest.GenerateHMACKey()
+		if err != nil {
+			return nil, err
+		}
+		prover, err := core.NewProver(link, key, core.ProverConfig{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+		if err != nil {
+			return nil, err
+		}
+		chal, err := attest.NewChallenge(name)
+		if err != nil {
+			return nil, err
+		}
+		reports, stats, err := prover.Attest(chal)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s attest: %w", name, err)
+		}
+
+		for _, mode := range []struct {
+			engine string
+			cache  bool
+		}{
+			{"interp", false},
+			{"interp", true},
+			{"automaton", false},
+			{"automaton", true},
+		} {
+			opts := []verify.Option{verify.WithAutomaton(mode.engine == "automaton")}
+			if mode.cache {
+				// A fresh cache per cell: hit rates reflect this
+				// stream alone, not a previous cell's residue.
+				opts = append(opts, verify.WithCache(verify.NewCache(64<<20)))
+			}
+			v := core.NewVerifier(link, key, opts...)
+			r, err := measureVerify(v, chal, reports, budget)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s %s/cache=%v: %w", name, mode.engine, mode.cache, err)
+			}
+			r.App = name
+			r.Engine = mode.engine
+			r.Cache = mode.cache
+			r.LogBytes = stats.CFLogBytes
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// measureVerify times repeated verifications of one frozen evidence
+// stream until budget wall time has elapsed. Allocation counts come from
+// runtime.MemStats deltas over the whole loop — coarser than the testing
+// package's per-op accounting, but stable at the iteration counts the
+// budget yields, and free of a testing.B dependency in a non-test build.
+func measureVerify(v *verify.Verifier, chal attest.Challenge, reports []*attest.Report, budget time.Duration) (VerifyBenchResult, error) {
+	// One warm-up op validates the verdict (and, cache on, pays the
+	// cold-miss fill so steady-state numbers describe the hit path).
+	verdict, err := v.Verify(chal, reports)
+	if err != nil {
+		return VerifyBenchResult{}, err
+	}
+	if !verdict.OK {
+		return VerifyBenchResult{}, fmt.Errorf("benign stream rejected: %s", verdict.Reason())
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	var elapsed time.Duration
+	for elapsed < budget {
+		if _, err := v.Verify(chal, reports); err != nil {
+			return VerifyBenchResult{}, err
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&after)
+
+	ns := elapsed.Nanoseconds() / int64(iters)
+	r := VerifyBenchResult{
+		NsPerOp:     ns,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		Iterations:  iters,
+	}
+	if ns > 0 {
+		r.SessionsPerSec = 1e9 / float64(ns)
+	}
+	return r, nil
+}
+
+// VerifyBenchTable renders the matrix for terminal consumption, one row
+// per (app, engine, cache) cell plus the headline speedup column
+// (automaton over interpreter at equal cache setting).
+func VerifyBenchTable(rs []VerifyBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Verifier core: interpreter vs compiled automaton (uncached and cached)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %-6s %14s %12s %12s %10s %9s\n",
+		"app", "engine", "cache", "ns/op", "sessions/s", "allocs/op", "B/op", "speedup")
+	interp := map[string]int64{} // app|cache -> interpreter ns/op
+	for _, r := range rs {
+		if r.Engine == "interp" {
+			interp[fmt.Sprintf("%s|%v", r.App, r.Cache)] = r.NsPerOp
+		}
+	}
+	for _, r := range rs {
+		speedup := ""
+		if base := interp[fmt.Sprintf("%s|%v", r.App, r.Cache)]; r.Engine == "automaton" && base > 0 && r.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(r.NsPerOp))
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %-6v %14d %12.1f %12d %10d %9s\n",
+			r.App, r.Engine, r.Cache, r.NsPerOp, r.SessionsPerSec, r.AllocsPerOp, r.BytesPerOp, speedup)
+	}
+	return b.String()
+}

@@ -169,6 +169,40 @@ func (g *Gateway) registerMetrics() *gatewayMetrics {
 		"Verdict/segment cache bytes resident across apps.",
 		func() float64 { return float64(g.cacheTotals().Bytes) })
 
+	// Automaton engine activity lives in per-app verify.AutomatonCounters
+	// (so DICT-bump recompiles keep the counts monotonic); like the cache
+	// totals, the registry views are func-backed and summed at scrape time.
+	r.CounterFunc("raptrack_automaton_decodes_total",
+		"Evidence streams decoded by the compiled automaton engine.",
+		func() float64 { return float64(g.autTotals().Decodes) })
+	r.CounterFunc("raptrack_automaton_accepts_total",
+		"Automaton decodes that accepted (verdict authority; no interpreter run).",
+		func() float64 { return float64(g.autTotals().Accepts) })
+	r.CounterFunc("raptrack_automaton_nopaths_total",
+		"Automaton decodes that exhausted every derivation (interpreter re-ran and rendered the reject).",
+		func() float64 { return float64(g.autTotals().NoPaths) })
+	r.CounterFunc("raptrack_automaton_fallbacks_total",
+		"Automaton decodes that gave up without exhausting the space (interpreter re-ran).",
+		func() float64 { return float64(g.autTotals().Fallbacks) })
+	r.CounterFunc("raptrack_automaton_rescues_total",
+		"Automaton accepts recovered by the tabulating rescue pass after speculative fallback.",
+		func() float64 { return float64(g.autTotals().Rescues) })
+	r.CounterFunc("raptrack_automaton_steps_total",
+		"Transition-table rows visited across automaton decodes.",
+		func() float64 { return float64(g.autTotals().Steps) })
+	r.CounterFunc("raptrack_automaton_backtracks_total",
+		"Speculative checkpoints rewound across automaton decodes.",
+		func() float64 { return float64(g.autTotals().Backtracks) })
+	r.CounterFunc("raptrack_automaton_compiles_total",
+		"Automaton table compilations, including O(dictionary) DICT-bump rebinds.",
+		func() float64 { return float64(g.autTotals().Compiles) })
+	r.CounterFunc("raptrack_automaton_compile_seconds_total",
+		"Wall time spent compiling automaton tables.",
+		func() float64 { return float64(g.autTotals().CompileNanos) / 1e9 })
+	r.GaugeFunc("raptrack_automaton_table_bytes",
+		"Resident transition-table bytes across the apps' live automata.",
+		func() float64 { return float64(g.autTableBytes()) })
+
 	m.panicsRecovered = r.Counter("raptrack_panics_recovered_total",
 		"Session/worker panics caught and converted to errors.")
 	brk := r.CounterVec("raptrack_breaker_transitions_total",
@@ -228,6 +262,51 @@ func (g *Gateway) cacheTotals() verify.CacheStats {
 		total.Bytes += cs.Bytes
 	}
 	return total
+}
+
+// autSums is one scrape-time aggregation of the per-app automaton
+// counter blocks (plain values, not atomics).
+type autSums struct {
+	Decodes, Accepts, NoPaths, Fallbacks, Rescues uint64
+	Steps, Backtracks                             uint64
+	Compiles, CompileNanos                        uint64
+}
+
+// autTotals sums automaton engine activity across registered apps.
+func (g *Gateway) autTotals() autSums {
+	var t autSums
+	g.mu.Lock()
+	for _, st := range g.apps {
+		c := st.autCtrs
+		if c == nil {
+			continue
+		}
+		t.Decodes += c.Decodes.Load()
+		t.Accepts += c.Accepts.Load()
+		t.NoPaths += c.NoPaths.Load()
+		t.Fallbacks += c.Fallbacks.Load()
+		t.Rescues += c.Rescues.Load()
+		t.Steps += c.Steps.Load()
+		t.Backtracks += c.Backtracks.Load()
+		t.Compiles += c.Compiles.Load()
+		t.CompileNanos += c.CompileNanos.Load()
+	}
+	g.mu.Unlock()
+	return t
+}
+
+// autTableBytes sums the resident transition tables of the apps' live
+// (current dictionary version) automata.
+func (g *Gateway) autTableBytes() int64 {
+	var n int64
+	g.mu.Lock()
+	for _, st := range g.apps {
+		if aut := st.dict.Load().aut; aut != nil {
+			n += aut.Stats().TableBytes
+		}
+	}
+	g.mu.Unlock()
+	return n
 }
 
 // dictPaths sums the live dictionary sizes across registered apps.

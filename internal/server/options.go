@@ -70,6 +70,12 @@ type Config struct {
 	// MaxDictPaths caps the live dictionary a mining promotion may grow to
 	// (default 32; hard limit speccfa.MaxPaths).
 	MaxDictPaths int
+
+	// DisableAutomaton turns off the compiled table-driven verifier core
+	// for all sessions: every job runs the interpretive pushdown search.
+	// Default off — the automaton decodes the accept path, with the
+	// interpreter rendering every non-accept verdict.
+	DisableAutomaton bool
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +181,18 @@ func WithMining(every, paths, maxDictPaths int) Option {
 		s.cfg.MinePaths = paths
 		s.cfg.MaxDictPaths = maxDictPaths
 	}
+}
+
+// WithAutomaton toggles the compiled table-driven verifier core (default
+// on). When on, each live dictionary version carries an automaton machine
+// compiled against exactly that dictionary, and accepted sessions decode
+// through the flat table instead of the interpretive pushdown search; the
+// interpreter still renders every non-accept verdict, so rejection codes
+// never depend on this switch. When off, all sessions run the
+// interpreter — the reference configuration for differential testing and
+// benchmarking.
+func WithAutomaton(on bool) Option {
+	return func(s *settings) { s.cfg.DisableAutomaton = !on }
 }
 
 // WithFaults installs the chaos-injection hooks: verifyHook runs on the

@@ -81,16 +81,27 @@ type appState struct {
 	dictMu   sync.Mutex    // serializes mining promotions
 	accepted atomic.Uint64 // accepted sessions (mining cadence)
 
+	// autOn gates the compiled automaton engine for this app's sessions
+	// (WithAutomaton); autCtrs outlives the per-dictState machines so
+	// exported metrics stay monotonic across DICT-bump recompiles.
+	autOn   bool
+	autCtrs *verify.AutomatonCounters
+
 	// brk sheds the app's sessions while its verify path is erroring
 	// (see WithBreaker).
 	brk breaker
 }
 
-// dictState is one immutable version of an app's live dictionary.
+// dictState is one immutable version of an app's live dictionary, paired
+// with the automaton machine compiled against exactly that dictionary.
+// Sessions load the pointer once, so a mining promotion mid-session can
+// never hand a session a machine bound to a different dictionary than the
+// one its prover compressed with (the per-session-snapshot invariant).
 type dictState struct {
 	version uint64
 	dict    *speccfa.Dictionary
-	encoded []byte // DICT frame payload (nil when the dictionary is empty)
+	encoded []byte            // DICT frame payload (nil when the dictionary is empty)
+	aut     *verify.Automaton // machine bound to dict (nil: interpreter only)
 }
 
 // verifyJob is one reconstruction request handed to the worker pool.
@@ -99,6 +110,7 @@ type verifyJob struct {
 	chal    attest.Challenge
 	reports []*attest.Report
 	dict    *speccfa.Dictionary // session dictionary snapshot
+	aut     *verify.Automaton   // machine compiled for dict (nil: interpreter)
 	resp    chan verifyResult   // buffered(1): workers never block on delivery
 }
 
@@ -178,20 +190,44 @@ func (g *Gateway) Register(app string, v *verify.Verifier) {
 		name:     app,
 		verifier: v,
 		cache:    v.Cache(),
+		autOn:    !g.cfg.DisableAutomaton,
+		autCtrs:  &verify.AutomatonCounters{},
 		brk:      breaker{threshold: g.cfg.BreakerThreshold, cooldown: g.cfg.BreakerCooldown},
 	}
-	st.dict.Store(newDictState(0, v.Speculation()))
+	st.dict.Store(st.newDictState(0, v.Speculation()))
 	g.mu.Lock()
 	g.apps[app] = st
 	g.mu.Unlock()
 }
 
-func newDictState(version uint64, d *speccfa.Dictionary) *dictState {
+// newDictState freezes one immutable dictionary version for the app,
+// compiling the automaton machine bound to it so every session verifies
+// against a consistent dictionary+machine pair.
+func (st *appState) newDictState(version uint64, d *speccfa.Dictionary) *dictState {
 	ds := &dictState{version: version, dict: d}
 	if d.Len() > 0 {
 		ds.encoded = d.Encode()
 	}
+	ds.aut = st.compileAut(d)
 	return ds
+}
+
+// compileAut lowers the app's golden artifact against d. The verifier's
+// compiled transition core is reused, so a DICT version bump recompiles
+// in O(dictionary) rather than O(image). Returns nil — sessions fall back
+// to the interpretive search — when the engine is disabled on the gateway
+// or the verifier, or when compilation fails.
+func (st *appState) compileAut(d *speccfa.Dictionary) *verify.Automaton {
+	if !st.autOn {
+		return nil
+	}
+	start := time.Now()
+	aut, err := st.verifier.CompileAutomaton(d)
+	if err != nil || aut == nil {
+		return nil
+	}
+	st.autCtrs.NoteCompile(time.Since(start))
+	return aut.WithCounters(st.autCtrs)
 }
 
 func (g *Gateway) app(name string) *appState {
@@ -435,7 +471,7 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 
 	verifyOffset := time.Since(tr.Began)
 	stageStart = time.Now()
-	verdict, sent, err := g.verify(st, chal, reports, ds.dict, deadline)
+	verdict, sent, err := g.verify(st, chal, reports, ds, deadline)
 	enqueued = sent
 	if err != nil {
 		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
@@ -481,8 +517,8 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 // backpressure here, not in the accept or read loops. enqueued reports
 // whether the job reached the pool (every enqueued job is recorded by the
 // app's circuit breaker exactly once, even if this session stops waiting).
-func (g *Gateway) verify(st *appState, chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary, deadline time.Time) (vd *verify.Verdict, enqueued bool, err error) {
-	job := verifyJob{app: st, chal: chal, reports: reports, dict: dict, resp: make(chan verifyResult, 1)}
+func (g *Gateway) verify(st *appState, chal attest.Challenge, reports []*attest.Report, ds *dictState, deadline time.Time) (vd *verify.Verdict, enqueued bool, err error) {
+	job := verifyJob{app: st, chal: chal, reports: reports, dict: ds.dict, aut: ds.aut, resp: make(chan verifyResult, 1)}
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
@@ -528,7 +564,7 @@ func (g *Gateway) runJob(job verifyJob) {
 		if h := g.cfg.VerifyHook; h != nil {
 			h(job.app.name)
 		}
-		res.verdict, res.err = job.app.verifier.VerifyWithDictionary(job.chal, job.reports, job.dict)
+		res.verdict, res.err = job.app.verifier.VerifyWithAutomaton(job.chal, job.reports, job.dict, job.aut)
 	}()
 	g.m.verifySeconds.ObserveDuration(time.Since(start))
 	if res.verdict != nil {
@@ -601,8 +637,10 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 		return
 	}
 	// Store the dictionary decoded FROM the checked bytes: provers (DICT
-	// frame) and the verifier (expansion) derive from identical bits.
-	st.dict.Store(&dictState{version: cur.version + 1, dict: checked, encoded: encoded})
+	// frame) and the verifier (expansion) derive from identical bits. The
+	// automaton is recompiled against the checked dictionary so the new
+	// version ships as a consistent dictionary+machine pair.
+	st.dict.Store(&dictState{version: cur.version + 1, dict: checked, encoded: encoded, aut: st.compileAut(checked)})
 	g.m.dictPromotions.Add(uint64(added))
 }
 

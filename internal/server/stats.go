@@ -63,6 +63,17 @@ type Stats struct {
 	// reaching any prover handshake.
 	DictQuarantines uint64
 
+	// Automaton engine activity (aggregated across apps). Accepts carried
+	// verdict authority without an interpreter run; NoPaths and Fallbacks
+	// were re-rendered by the interpretive search; Rescues counts accepts
+	// recovered by the tabulating rescue pass after speculative fallback.
+	AutomatonDecodes   uint64
+	AutomatonAccepts   uint64
+	AutomatonNoPaths   uint64
+	AutomatonFallbacks uint64
+	AutomatonRescues   uint64
+	AutomatonCompiles  uint64 // table compilations, incl. DICT-bump rebinds
+
 	// Resilience instrumentation.
 	PanicsRecovered  uint64 // session/worker panics caught and converted to errors
 	BreakerOpens     uint64 // circuit-breaker closed/half-open -> open transitions
@@ -117,6 +128,13 @@ func (g *Gateway) Snapshot() Stats {
 		}
 		s.VerifyHist = append(s.VerifyHist, HistBucket{Le: le, Count: cnt})
 	}
+	at := g.autTotals()
+	s.AutomatonDecodes = at.Decodes
+	s.AutomatonAccepts = at.Accepts
+	s.AutomatonNoPaths = at.NoPaths
+	s.AutomatonFallbacks = at.Fallbacks
+	s.AutomatonRescues = at.Rescues
+	s.AutomatonCompiles = at.Compiles
 	ct := g.cacheTotals()
 	s.CacheHits = ct.Hits
 	s.CacheMisses = ct.Misses
@@ -162,6 +180,8 @@ func (s Stats) String() string {
 		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheEntries, s.CacheBytes)
 	fmt.Fprintf(&b, "mining:        %d sessions mined, %d promotions, %d dictionary paths, %d quarantined\n",
 		s.MinedSessions, s.DictPromotions, s.DictPaths, s.DictQuarantines)
+	fmt.Fprintf(&b, "automaton:     %d decodes (%d accepts, %d no-path, %d fallbacks, %d rescued), %d compiles\n",
+		s.AutomatonDecodes, s.AutomatonAccepts, s.AutomatonNoPaths, s.AutomatonFallbacks, s.AutomatonRescues, s.AutomatonCompiles)
 	fmt.Fprintf(&b, "resilience:    %d panics recovered, breaker %d opens/%d probes/%d closes/%d sheds, %d prover retries\n",
 		s.PanicsRecovered, s.BreakerOpens, s.BreakerHalfOpens, s.BreakerCloses, s.BreakerSheds, s.ProverRetries)
 	return b.String()

@@ -1,0 +1,418 @@
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"unsafe"
+
+	"raptrack/internal/cfg"
+	"raptrack/internal/isa"
+	"raptrack/internal/linker"
+	"raptrack/internal/speccfa"
+)
+
+// op is the lowered opcode of one table row. The zero value is opBad so
+// gap rows (interiors of 4-byte instructions, unpopulated addresses)
+// contradict any derivation that lands on them — mirroring the
+// interpreter's "not an instruction" and "path leaves program code"
+// prunes.
+type op uint8
+
+const (
+	opBad      op = iota // gap / unlinked branch / secure call: prune
+	opNone               // folded deterministic run: jump to next
+	opDirect             // direct branch: emit edge, jump to target
+	opCond               // presence-encoded conditional (non-loop / loop-back)
+	opCondFwd            // forward-loop continue-logging branch: must consume
+	opGuard              // forward-loop guard: exit to target or continue
+	opRet                // monitored return: consume, match caller site
+	opLeafRet            // deterministic BX LR: return via frame stack
+	opHalt               // HLT: accept iff the stream is exhausted
+	opCall               // direct call: push frame
+	opICall              // indirect call: consume, JOP policy, push frame
+	opIJump              // indirect jump: consume, range policy
+	opLoopCond           // optimized-loop controlling branch: replay trips
+	opLoopLog            // loop-condition SECALL: consume, seed the trip slot
+)
+
+// node flags.
+const (
+	nfStatic    uint8 = 1 << iota // opLoopCond: static loop (trips precomputed)
+	nfStaticBad                   // opLoopCond: static trip precompute failed
+	nfFwd                         // opLoopCond: forward (while-style) loop
+)
+
+// node is one table row. Successor addresses stay in the image address
+// space (the decode loop re-indexes), so rows double as their own
+// diagnostic anchor and folded runs can land anywhere.
+type node struct {
+	op     op
+	flags  uint8
+	slot   uint16 // opLoopCond/opLoopLog: frame-local loop register
+	cost   uint32 // abstract instructions charged per visit (folded length)
+	record uint32 // evidence source address this row consumes/matches
+	target uint32 // taken / jump / call destination
+	next   uint32 // fall-through / call-return successor
+	lo, hi uint32 // opIJump: containing function range [lo, hi)
+	trips  uint64 // opLoopCond: precomputed static trip count
+	loop   *cfg.Loop
+	first  *firstInfo // opCall: callee's first-consumption summary
+}
+
+// firstInfo is a callee's first-consumption summary: every record
+// address whose packet some derivation through the function consumes
+// first (an over-approximation), and whether some derivation returns or
+// halts without consuming at all. The decode loop and the take lookahead
+// prune calls whose callee provably cannot progress against the pending
+// packet — this is what keeps recursive programs tractable: a
+// self-recursive call faced with a foreign packet dies at depth one
+// instead of recursing to the frame cap.
+type firstInfo struct {
+	eps  bool
+	recs []uint32
+}
+
+func (f *firstInfo) admits(src uint32) bool {
+	for _, r := range f.recs {
+		if r == src {
+			return true
+		}
+	}
+	return false
+}
+
+const nodeBytes = int(unsafe.Sizeof(node{}))
+
+// maxLoopSlots bounds the per-frame loop register file; real images have a
+// handful of optimized loops, so hitting this means a pathological input.
+const maxLoopSlots = 4096
+
+// Compile lowers the linked artifact and binds dict (nil compiles a plain
+// automaton usable on already-expanded streams). The error cases — no
+// entry point, loop register overflow — leave the caller on the
+// interpreter, which reports them through its own verdicts.
+func Compile(link *linker.Output, dict *speccfa.Dictionary) (*Machine, error) {
+	img := link.Image
+	entry, err := img.EntryAddr()
+	if err != nil {
+		return nil, fmt.Errorf("automaton: %w", err)
+	}
+	if len(img.Order) == 0 {
+		return nil, fmt.Errorf("automaton: empty image")
+	}
+	base := img.Base
+	last := img.Order[len(img.Order)-1]
+	limit := last + img.Code[last].Size()
+	if limit <= base || (limit-base)&1 != 0 {
+		return nil, fmt.Errorf("automaton: malformed image bounds [%#x, %#x)", base, limit)
+	}
+
+	// One loop register per controlling-branch address, shared image-wide:
+	// the register file is per frame, so two functions using the same slot
+	// index never collide. Deterministic assignment (sorted addresses)
+	// keeps recompiles stable.
+	slotAddrs := make([]uint32, 0, len(link.LoopConds)+len(link.Loops))
+	seen := make(map[uint32]bool, len(link.LoopConds))
+	for pc := range link.LoopConds {
+		if !seen[pc] {
+			seen[pc] = true
+			slotAddrs = append(slotAddrs, pc)
+		}
+	}
+	for _, ls := range link.Loops {
+		if !seen[ls.CondAddr] {
+			seen[ls.CondAddr] = true
+			slotAddrs = append(slotAddrs, ls.CondAddr)
+		}
+	}
+	if len(slotAddrs) > maxLoopSlots {
+		return nil, fmt.Errorf("automaton: %d loop registers exceed %d", len(slotAddrs), maxLoopSlots)
+	}
+	sort.Slice(slotAddrs, func(i, j int) bool { return slotAddrs[i] < slotAddrs[j] })
+	slotOf := make(map[uint32]uint16, len(slotAddrs))
+	for i, pc := range slotAddrs {
+		slotOf[pc] = uint16(i)
+	}
+
+	c := &core{
+		base:   base,
+		limit:  limit,
+		entry:  entry,
+		nodes:  make([]node, (limit-base)>>1),
+		slots:  len(slotAddrs),
+		segCap: uint64(len(img.Code)) + 16,
+	}
+	c.entries = make([]uint64, (len(c.nodes)+63)/64)
+
+	// Lower every instruction with the interpreter's dispatch precedence:
+	// Sites, then Guards, then LoopConds, then Loops, then the raw kind.
+	for _, pc := range img.Order {
+		ins := img.Code[pc]
+		next := pc + ins.Size()
+		nd := node{cost: 1, next: next}
+		if site, ok := link.Sites[pc]; ok {
+			switch site.Class {
+			case cfg.ClassCondNonLoop, cfg.ClassCondLoopBack:
+				nd.op = opCond
+				nd.record = site.RecordAddr
+				nd.target = site.StaticTarget
+			case cfg.ClassCondLoopFwd:
+				nd.op = opCondFwd
+				nd.record = site.RecordAddr
+				nd.target = site.StaticTarget
+			case cfg.ClassIndirectCall:
+				nd.op = opICall
+				nd.record = site.RecordAddr
+			case cfg.ClassReturn:
+				nd.op = opRet
+				nd.record = site.RecordAddr
+			case cfg.ClassIndirectJump:
+				nd.op = opIJump
+				nd.record = site.RecordAddr
+				if fr, okr := img.FuncRanges[site.Func]; okr {
+					nd.lo, nd.hi = fr.Base, fr.Limit
+				} else {
+					nd.lo, nd.hi = 1, 0 // empty range: every target escapes
+				}
+			default:
+				nd.op = opBad
+			}
+		} else if stub, ok := link.Guards[pc]; ok {
+			nd.op = opGuard
+			nd.record = stub.RecordAddr
+			nd.target = ins.Target
+		} else if ls, ok := link.LoopConds[pc]; ok {
+			nd.op = opLoopCond
+			nd.slot = slotOf[pc]
+			nd.target = ins.Target
+			if ls.Loop.Forward {
+				nd.flags |= nfFwd
+			}
+			if ls.Loop.Static {
+				nd.flags |= nfStatic
+				if trips, terr := ls.Loop.TripCount(uint32(ls.Loop.EntryValue)); terr == nil {
+					nd.trips = trips
+				} else {
+					nd.flags |= nfStaticBad
+				}
+			}
+		} else if ls, ok := link.Loops[pc]; ok {
+			nd.op = opLoopLog
+			nd.record = pc
+			nd.slot = slotOf[ls.CondAddr]
+			nd.loop = ls.Loop
+		} else {
+			switch ins.Kind() {
+			case isa.KindNone:
+				nd.op = opNone
+			case isa.KindDirect:
+				nd.op = opDirect
+				nd.target = ins.Target
+			case isa.KindCall:
+				nd.op = opCall
+				nd.target = ins.Target
+			case isa.KindReturn:
+				nd.op = opLeafRet
+			case isa.KindHalt:
+				nd.op = opHalt
+			default:
+				// Secure calls and unlinked non-deterministic branches
+				// contradict any derivation (opBad), as in the interpreter.
+				nd.op = opBad
+			}
+		}
+		c.nodes[(pc-base)>>1] = nd
+		c.states++
+	}
+
+	// Fold deterministic runs: an opNone row chains directly to the row
+	// its run ends at, accumulating the skipped instruction cost. Walking
+	// addresses in descending order folds each suffix exactly once
+	// (KindNone always falls through to a higher address).
+	for i := len(img.Order) - 1; i >= 0; i-- {
+		pc := img.Order[i]
+		nd := &c.nodes[(pc-base)>>1]
+		if nd.op != opNone {
+			continue
+		}
+		if nd.next < base || nd.next >= limit || (nd.next-base)&1 != 0 {
+			continue
+		}
+		if tn := &c.nodes[(nd.next-base)>>1]; tn.op == opNone {
+			nd.cost += tn.cost
+			nd.next = tn.next
+			c.states--
+		}
+	}
+
+	for name, fr := range img.FuncRanges {
+		if name == linker.MTBARFunc {
+			continue
+		}
+		if fr.Base >= base && fr.Base < limit && (fr.Base-base)&1 == 0 {
+			i := (fr.Base - base) >> 1
+			c.entries[i>>6] |= 1 << (i & 63)
+		}
+	}
+
+	computeFirst(c)
+
+	c.pool.New = func() any { return newDecodeState() }
+	m := &Machine{core: c, dict: dict}
+	m.bindDict()
+	return m, nil
+}
+
+// computeFirst runs the FIRST-set fixed point over the lowered table and
+// attaches each opCall row's callee summary. Every rule over-approximates
+// (a superset of the evidence a derivation could consume first is always
+// sound to prune against); if the fixed point fails to converge within
+// the sweep cap the summaries are simply not attached.
+func computeFirst(c *core) {
+	n := len(c.nodes)
+	rowOf := func(addr uint32) int {
+		if addr < c.base || addr >= c.limit || (addr-c.base)&1 != 0 {
+			return -1
+		}
+		return int((addr - c.base) >> 1)
+	}
+
+	recIdx := make(map[uint32]int)
+	for i := range c.nodes {
+		switch c.nodes[i].op {
+		case opCond, opCondFwd, opGuard, opRet, opICall, opIJump, opLoopLog:
+			if _, ok := recIdx[c.nodes[i].record]; !ok {
+				recIdx[c.nodes[i].record] = len(recIdx)
+			}
+		}
+	}
+	words := (len(recIdx) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	bits := make([]uint64, n*words)
+	eps := make([]bool, n)
+
+	// orInto unions row src's set into dst, reporting growth.
+	orInto := func(dst, src int) bool {
+		grew := false
+		db, sb := bits[dst*words:(dst+1)*words], bits[src*words:(src+1)*words]
+		for w := range db {
+			if nv := db[w] | sb[w]; nv != db[w] {
+				db[w] = nv
+				grew = true
+			}
+		}
+		if eps[src] && !eps[dst] {
+			eps[dst] = true
+			grew = true
+		}
+		return grew
+	}
+	setRec := func(row int, rec uint32) bool {
+		bi := recIdx[rec]
+		w, m := row*words+bi/64, uint64(1)<<(bi%64)
+		if bits[w]&m == 0 {
+			bits[w] |= m
+			return true
+		}
+		return false
+	}
+	setEps := func(row int) bool {
+		if !eps[row] {
+			eps[row] = true
+			return true
+		}
+		return false
+	}
+	orRow := func(dst int, addr uint32) bool {
+		if s := rowOf(addr); s >= 0 {
+			return orInto(dst, s)
+		}
+		return false
+	}
+
+	converged := false
+	for sweep := 0; sweep < 256; sweep++ {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			nd := &c.nodes[i]
+			switch nd.op {
+			case opNone, opDirect:
+				succ := nd.next
+				if nd.op == opDirect {
+					succ = nd.target
+				}
+				changed = orRow(i, succ) || changed
+			case opCond:
+				changed = setRec(i, nd.record) || changed
+				changed = orRow(i, nd.next) || changed
+			case opGuard:
+				changed = setRec(i, nd.record) || changed
+				changed = orRow(i, nd.target) || changed
+			case opCondFwd, opRet, opICall, opIJump, opLoopLog:
+				changed = setRec(i, nd.record) || changed
+			case opLeafRet, opHalt:
+				changed = setEps(i) || changed
+			case opCall:
+				if t := rowOf(nd.target); t >= 0 {
+					tb := bits[t*words : (t+1)*words]
+					db := bits[i*words : (i+1)*words]
+					for w := range db {
+						if nv := db[w] | tb[w]; nv != db[w] {
+							db[w] = nv
+							changed = true
+						}
+					}
+					if eps[t] {
+						changed = orRow(i, nd.next) || changed
+					}
+				}
+			case opLoopCond:
+				// Conservative: a non-consuming body re-reaches this row
+				// with a decremented register, so both directions can be
+				// the path to the first consumption.
+				if nd.flags&nfStatic != 0 && nd.flags&nfStaticBad == 0 {
+					changed = orRow(i, nd.target) || changed
+					changed = orRow(i, nd.next) || changed
+				}
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return
+	}
+
+	// Materialize one shared summary per distinct call target.
+	recOf := make([]uint32, len(recIdx))
+	for rec, bi := range recIdx {
+		recOf[bi] = rec
+	}
+	summaries := make(map[int]*firstInfo)
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		if nd.op != opCall {
+			continue
+		}
+		t := rowOf(nd.target)
+		if t < 0 {
+			continue
+		}
+		fi, ok := summaries[t]
+		if !ok {
+			fi = &firstInfo{eps: eps[t]}
+			tb := bits[t*words : (t+1)*words]
+			for bi, rec := range recOf {
+				if tb[bi/64]&(1<<(bi%64)) != 0 {
+					fi.recs = append(fi.recs, rec)
+				}
+			}
+			summaries[t] = fi
+		}
+		nd.first = fi
+	}
+}

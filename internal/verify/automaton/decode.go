@@ -1,0 +1,892 @@
+package automaton
+
+import (
+	"raptrack/internal/isa"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+)
+
+// Decode caps. Frame and backtrack overflows yield StatusFallback (the
+// interpreter's memoization handles unbounded recursion and pathological
+// ambiguity); they are engine limits, not evidence judgments. The
+// backtrack budget is deliberately small: a stream that speculation
+// cannot settle quickly is recursion-shaped, and the tabulating rescue
+// pass (summarize.go) resolves those in polynomial time instead.
+const (
+	maxFrames          = 8192
+	maxBacktracks      = 64
+	maxLiveCheckpoints = 1024
+	trailCompactMin    = 8192
+	maxExpanded        = 1 << 24 // mirrors speccfa.Decompress
+)
+
+// Decode runs the automaton over an already-expanded packet stream.
+// pathCap > 0 bounds the recorded witness edges (<= 0 disables recording,
+// making an accept fully allocation-free); maxWork bounds the abstract
+// instructions charged, exceeding it falls back.
+func (m *Machine) Decode(packets []trace.Packet, pathCap int, maxWork uint64) (Result, Status) {
+	return m.run(packets, false, pathCap, maxWork)
+}
+
+// DecodeCompressed decodes a SpecCFA-compressed stream directly, opening
+// marker packets through the bound dictionary's precomputed jump tables
+// instead of materializing the expanded stream first. Expansion-limit and
+// unknown-marker conditions replicate speccfa.Decompress exactly and
+// surface as StatusFallback (the interpreter pipeline reports them as
+// errors).
+func (m *Machine) DecodeCompressed(packets []trace.Packet, pathCap int, maxWork uint64) (Result, Status) {
+	return m.run(packets, m.dict.Len() > 0, pathCap, maxWork)
+}
+
+func (m *Machine) run(stream []trace.Packet, expand bool, pathCap int, maxWork uint64) (Result, Status) {
+	d := m.core.pool.Get().(*decodeState)
+	d.oracle = nil
+	res, st := d.decode(m, stream, expand, pathCap, maxWork)
+	if st == StatusFallback && res.Work < maxWork && !d.rd.failed {
+		// Speculation exhausted its budget without contradiction-exhausting
+		// the space: recursion-shaped evidence. Tabulate the stream into a
+		// choice oracle and replay it through the same evidence-checked
+		// loop (see summarize.go; a failed rescue stays a fallback).
+		if pk, okx := expandStream(m, stream, expand); okx {
+			if bits, w, oks := d.sum.summarize(m.core, pk, maxWork-res.Work); oks {
+				prior := res
+				d.oracle = bits
+				res, st = d.decode(m, stream, expand, pathCap, maxWork-prior.Work-w)
+				res.Work += prior.Work + w
+				res.Steps += prior.Steps
+				res.Backtracks += prior.Backtracks
+				if st == StatusAccept {
+					m.counters.noteRescue()
+				}
+			}
+		}
+	}
+	m.core.pool.Put(d)
+	m.counters.noteDecode(st, res.Steps, res.Backtracks)
+	return res, st
+}
+
+// loopSlot is one frame-local optimized-loop register: the remaining
+// continue count of an entered loop. gen tags the last undo-trail interval
+// that recorded the slot's prior value (see trailSlot).
+type loopSlot struct {
+	rem    uint64
+	gen    uint64
+	active bool
+}
+
+// trailEntry is one undo record. pop entries restore a popped frame
+// (old.rem carries the return address); slot entries restore a loop
+// register.
+type trailEntry struct {
+	idx int32
+	pop bool
+	old loopSlot
+}
+
+// readerMark is a restorable evidence-cursor position.
+type readerMark struct {
+	i         int
+	subOff    int
+	delivered int
+	subRem    uint32
+}
+
+// evReader is a virtual cursor over the (possibly compressed) evidence:
+// in expand mode, marker packets open into their dictionary sub-path,
+// replicated subRem times, without materializing the expansion.
+type evReader struct {
+	stream    []trace.Packet
+	markers   *[speccfa.MaxPaths][]trace.Packet
+	sub       []trace.Packet // open marker sub-path (nil: reading stream)
+	i         int            // stream position
+	subOff    int            // position within sub
+	subRem    uint32         // remaining sub repetitions (incl. current)
+	delivered int            // packets consumed (expanded count)
+	expand    bool
+	failed    bool // unknown marker or expansion overflow: decode must fall back
+}
+
+// peek returns the next packet without consuming it. ok == false means
+// end of stream — unless failed was set, which poisons the whole decode
+// (the same stream makes Decompress error, so no alternative can save it).
+func (r *evReader) peek() (trace.Packet, bool) {
+	if r.sub != nil {
+		return r.sub[r.subOff], true
+	}
+	for r.i < len(r.stream) {
+		p := r.stream[r.i]
+		if !r.expand || p.Src < speccfa.MarkerBase {
+			return p, true
+		}
+		sub := r.markers[p.Src&0xff]
+		if sub == nil {
+			r.failed = true
+			return trace.Packet{}, false
+		}
+		total := uint64(p.Dst) * uint64(len(sub))
+		if uint64(r.delivered)+total > maxExpanded {
+			r.failed = true
+			return trace.Packet{}, false
+		}
+		if p.Dst == 0 {
+			r.i++
+			continue
+		}
+		r.sub, r.subOff, r.subRem = sub, 0, p.Dst
+		return sub[0], true
+	}
+	return trace.Packet{}, false
+}
+
+// advance consumes the packet last returned by peek.
+func (r *evReader) advance() {
+	r.delivered++
+	if r.sub == nil {
+		r.i++
+		return
+	}
+	r.subOff++
+	if r.subOff == len(r.sub) {
+		r.subOff = 0
+		r.subRem--
+		if r.subRem == 0 {
+			r.sub = nil
+			r.i++
+		}
+	}
+}
+
+func (r *evReader) mark() readerMark {
+	return readerMark{i: r.i, subOff: r.subOff, delivered: r.delivered, subRem: r.subRem}
+}
+
+func (r *evReader) restore(mk readerMark) {
+	r.i, r.subOff, r.delivered, r.subRem = mk.i, mk.subOff, mk.delivered, mk.subRem
+	if mk.subRem > 0 {
+		r.sub = r.markers[r.stream[mk.i].Src&0xff]
+	} else {
+		r.sub = nil
+	}
+}
+
+// checkpoint records one unexplored speculative alternative: resume at pc
+// with the snapshotted cursor/frame/register/witness extents, emitting
+// edge first when emitEdge is set (a guard's exit transfer).
+type checkpoint struct {
+	pc        uint32
+	emitEdge  bool
+	edge      Edge
+	mark      readerMark
+	frames    int
+	trail     int
+	edges     int
+	blindLow  int
+	transfers uint64
+	loops     uint64
+	nonProd   uint64
+}
+
+// decodeState is the pooled scratch for one decode: all buffers are
+// reused across decodes on the same core, so the loop allocates nothing
+// once warm.
+type decodeState struct {
+	c  *core
+	rd evReader
+
+	// framesBuf/arenaBuf are explicit backings (length tracked
+	// separately): undo writes may target indexes beyond the current
+	// logical length, so growth always copies the full backing.
+	framesBuf []uint32
+	framesLen int
+	arenaBuf  []loopSlot
+	arenaLen  int
+	slots     int
+
+	trail  []trailEntry
+	cps    []checkpoint
+	cpHead int
+	edges  []Edge
+	sum    summarizer // pooled tabulation scratch for the rescue pass
+
+	// blindLow is the lowest framesLen reached since the last progress
+	// event (packet consumed, loop register mutated, or choice point
+	// opened). framesLen - blindLow counts frames pushed blindly: with no
+	// progress the walk is a deterministic pushdown run on fixed input, so
+	// a blind chain longer than the state count must repeat a call row
+	// with an identical continuation — unbounded descent, pruned. (This is
+	// what stops a non-matching conditional from falling through into
+	// recursion forever; nonProd cannot, because calls are frame motion.)
+	blindLow int
+
+	// oracle, when non-nil, replaces speculation: each choice point
+	// (matching conditional, gated guard) consumes one bit instead of
+	// checkpointing, so the walk is linear and allocation-free. Bits come
+	// from the tabulating rescue pass; every evidence check still runs, so
+	// a wrong oracle ends in a fallback, never an unsound accept.
+	oracle    []uint8
+	oraclePos int
+
+	gen       uint64 // current undo-trail interval (monotonic across decodes)
+	committed bool   // ring overflow or backjump dropped an alternative
+
+	pathCap                                            int
+	maxWork                                            uint64
+	work, steps, nonProd, transfers, loops, backtracks uint64
+}
+
+func newDecodeState() *decodeState {
+	return &decodeState{
+		framesBuf: make([]uint32, 64),
+		trail:     make([]trailEntry, 0, 256),
+		cps:       make([]checkpoint, 0, 256),
+		edges:     make([]Edge, 0, 256),
+	}
+}
+
+func (d *decodeState) reset(m *Machine, stream []trace.Packet, expand bool, pathCap int, maxWork uint64) {
+	c := m.core
+	d.c = c
+	d.rd = evReader{stream: stream, markers: &m.markers, expand: expand}
+	d.slots = c.slots
+	d.framesLen = 1 // root frame (no return address; slot registers only)
+	d.framesBuf[0] = 0
+	if c.slots > len(d.arenaBuf) {
+		d.arenaBuf = make([]loopSlot, c.slots*2)
+	}
+	d.gen++ // stale register gens from prior decodes can never match
+	for i := 0; i < c.slots; i++ {
+		d.arenaBuf[i] = loopSlot{}
+	}
+	d.arenaLen = c.slots
+	d.trail = d.trail[:0]
+	d.cps = d.cps[:0]
+	d.cpHead = 0
+	d.edges = d.edges[:0]
+	// Oracle replays have no alternatives to exhaust: any contradiction is
+	// a fallback (the oracle was wrong), never an authoritative no-path.
+	d.committed = d.oracle != nil
+	d.oraclePos = 0
+	d.blindLow = 1
+	d.pathCap = pathCap
+	d.maxWork = maxWork
+	d.work, d.steps, d.nonProd = 0, 0, 0
+	d.transfers, d.loops, d.backtracks = 0, 0, 0
+}
+
+func (d *decodeState) emit(e Edge) {
+	d.transfers++
+	if d.pathCap > 0 && len(d.edges) < d.pathCap {
+		d.edges = append(d.edges, e)
+	}
+}
+
+// trailSlot records arenaBuf[i]'s value before its first mutation in the
+// current interval (between the newest live checkpoint and now). Later
+// same-interval mutations need no record: rewinding restores the interval
+// entry state in one step.
+func (d *decodeState) trailSlot(i int) {
+	if len(d.cps) == d.cpHead {
+		return // no live checkpoint: nothing can rewind past here
+	}
+	sl := &d.arenaBuf[i]
+	if sl.gen == d.gen {
+		return
+	}
+	d.trail = append(d.trail, trailEntry{idx: int32(i), old: *sl})
+	sl.gen = d.gen
+}
+
+func (d *decodeState) pushFrame(ret uint32) bool {
+	if d.framesLen >= maxFrames {
+		return false
+	}
+	if d.framesLen == len(d.framesBuf) {
+		nb := make([]uint32, len(d.framesBuf)*2)
+		copy(nb, d.framesBuf)
+		d.framesBuf = nb
+	}
+	d.framesBuf[d.framesLen] = ret
+	d.framesLen++
+	newLen := d.framesLen * d.slots
+	if newLen > len(d.arenaBuf) {
+		nb := make([]loopSlot, newLen*2)
+		copy(nb, d.arenaBuf)
+		d.arenaBuf = nb
+	}
+	for i := d.arenaLen; i < newLen; i++ {
+		d.trailSlot(i)
+		d.arenaBuf[i] = loopSlot{gen: d.arenaBuf[i].gen}
+	}
+	d.arenaLen = newLen
+	return true
+}
+
+func (d *decodeState) popFrame() uint32 {
+	d.framesLen--
+	ret := d.framesBuf[d.framesLen]
+	if len(d.cps) > d.cpHead {
+		d.trail = append(d.trail, trailEntry{idx: int32(d.framesLen), pop: true, old: loopSlot{rem: uint64(ret)}})
+	}
+	d.arenaLen = d.framesLen * d.slots
+	if d.framesLen < d.blindLow {
+		d.blindLow = d.framesLen
+	}
+	return ret
+}
+
+func (d *decodeState) pushCP(cp checkpoint) {
+	if len(d.cps)-d.cpHead >= maxLiveCheckpoints {
+		// Commit the oldest alternative. Exhausting the stack can now only
+		// mean fallback, never an authoritative no-path.
+		d.cpHead++
+		d.committed = true
+	}
+	if d.cpHead > 1024 && d.cpHead*2 > len(d.cps) {
+		n := copy(d.cps, d.cps[d.cpHead:])
+		d.cps = d.cps[:n]
+		d.cpHead = 0
+	}
+	d.cps = append(d.cps, cp)
+	d.blindLow = d.framesLen // a choice point restarts the blind segment
+	d.gen++
+	d.compactTrail()
+}
+
+// compactTrail drops the dead prefix: entries below the oldest live
+// checkpoint's mark can never be rewound.
+func (d *decodeState) compactTrail() {
+	min := len(d.trail)
+	if d.cpHead < len(d.cps) {
+		min = d.cps[d.cpHead].trail
+	}
+	if min < trailCompactMin {
+		return
+	}
+	n := copy(d.trail, d.trail[min:])
+	d.trail = d.trail[:n]
+	for i := d.cpHead; i < len(d.cps); i++ {
+		d.cps[i].trail -= min
+	}
+}
+
+// backtrack rewinds to the newest checkpoint and returns its resume pc.
+func (d *decodeState) backtrack() (uint32, bool) {
+	if len(d.cps) == d.cpHead {
+		return 0, false
+	}
+	d.backtracks++
+	cp := d.cps[len(d.cps)-1]
+	d.cps = d.cps[:len(d.cps)-1]
+	return d.rewindTo(&cp), true
+}
+
+// backjump rewinds to the OLDEST live checkpoint, discarding every newer
+// one. Fired when speculation dove into blind recursion: the mistaken
+// guess is the shallowest open choice (each deeper alternative replays
+// the same dive under it), so oldest-first converges in O(depth) flips
+// where newest-first re-explores the dive exponentially. Discarded
+// alternatives mark the decode committed — exhausting the stack after a
+// backjump means fallback, never an authoritative no-path.
+func (d *decodeState) backjump() (uint32, bool) {
+	if len(d.cps) == d.cpHead {
+		return 0, false
+	}
+	d.backtracks++
+	cp := d.cps[d.cpHead]
+	if len(d.cps)-d.cpHead > 1 {
+		d.committed = true
+	}
+	d.cps = d.cps[:d.cpHead]
+	return d.rewindTo(&cp), true
+}
+
+// rewindTo replays the undo trail back to cp and restores its snapshot.
+func (d *decodeState) rewindTo(cp *checkpoint) uint32 {
+	for len(d.trail) > cp.trail {
+		te := d.trail[len(d.trail)-1]
+		d.trail = d.trail[:len(d.trail)-1]
+		if te.pop {
+			// Undo a pop: later entries (already processed, LIFO) have
+			// restored everything above this frame.
+			d.framesLen = int(te.idx) + 1
+			d.framesBuf[te.idx] = uint32(te.old.rem)
+			d.arenaLen = d.framesLen * d.slots
+		} else {
+			d.arenaBuf[te.idx] = te.old
+		}
+	}
+	d.framesLen = cp.frames
+	d.arenaLen = cp.frames * d.slots
+	d.blindLow = cp.blindLow
+	d.edges = d.edges[:cp.edges]
+	d.transfers = cp.transfers
+	d.loops = cp.loops
+	d.nonProd = cp.nonProd
+	d.rd.restore(cp.mark)
+	d.gen++
+	if cp.emitEdge {
+		d.emit(cp.edge)
+	}
+	return cp.pc
+}
+
+func (d *decodeState) snapshot(resume uint32) checkpoint {
+	return checkpoint{
+		pc:        resume,
+		mark:      d.rd.mark(),
+		frames:    d.framesLen,
+		trail:     len(d.trail),
+		edges:     len(d.edges),
+		blindLow:  d.blindLow,
+		transfers: d.transfers,
+		loops:     d.loops,
+		nonProd:   d.nonProd,
+	}
+}
+
+func (d *decodeState) result() Result {
+	return Result{Work: d.work, Steps: d.steps, Backtracks: d.backtracks}
+}
+
+// oracleNext consumes the next replay choice bit. Exhaustion answers
+// false — the replay then contradicts and falls back, as with any other
+// oracle mismatch.
+func (d *decodeState) oracleNext() bool {
+	if d.oraclePos >= len(d.oracle) {
+		return false
+	}
+	b := d.oracle[d.oraclePos]
+	d.oraclePos++
+	return b != 0
+}
+
+// takeDead reports whether consuming the matching conditional packet and
+// jumping to target provably contradicts the packet after it: the
+// deterministic continuation (followed through leaf-return pops against
+// the live frame stack, stopping at any choice point or call) reaches an
+// evidence-consuming row whose record the next packet cannot satisfy.
+// Killing such takes before checkpointing them is pure pruning — the
+// branch would die within these same steps — but it is what keeps
+// recursive programs tractable: presence-encoded conditionals in a
+// self-recursive function match the packets of every deeper instance,
+// and without the lookahead each doomed leaf guess costs a checkpoint
+// and a backtrack tower.
+func (d *decodeState) takeDead(target uint32) bool {
+	c := d.c
+	mk := d.rd.mark()
+	d.rd.advance()
+	p2, ok2 := d.rd.peek()
+	d.rd.restore(mk)
+	if d.rd.failed {
+		return false // poisoned stream: let the main loop report fallback
+	}
+	vf := d.framesLen
+	q := target
+	for step := 0; step < 64; step++ {
+		if q < c.base || q >= c.limit || (q-c.base)&1 != 0 {
+			return true
+		}
+		n := &c.nodes[(q-c.base)>>1]
+		switch n.op {
+		case opNone:
+			q = n.next
+		case opDirect:
+			q = n.target
+		case opLeafRet:
+			if vf == 1 {
+				return ok2 // root leaf: accept requires stream exhaustion
+			}
+			vf--
+			q = d.framesBuf[vf]
+		case opRet:
+			if !ok2 || p2.Src != n.record {
+				return true
+			}
+			if vf == 1 {
+				return p2.Dst != retToHaltSentinel
+			}
+			return p2.Dst != d.framesBuf[vf-1]
+		case opCondFwd:
+			return !ok2 || p2.Src != n.record || p2.Dst != n.target
+		case opICall:
+			return !ok2 || p2.Src != n.record || !c.isEntry(p2.Dst)
+		case opIJump:
+			return !ok2 || p2.Src != n.record || p2.Dst < n.lo || p2.Dst >= n.hi
+		case opLoopLog:
+			return !ok2 || p2.Src != n.record
+		case opHalt:
+			return ok2 // accept requires stream exhaustion
+		case opBad:
+			return true
+		case opCall:
+			f := n.first
+			if f == nil {
+				return false
+			}
+			if !ok2 {
+				return !f.eps
+			}
+			if f.eps {
+				return false
+			}
+			return !f.admits(p2.Src)
+		default:
+			// opCond/opGuard (choice) or opLoopCond (register-dependent):
+			// outcome unknown.
+			return false
+		}
+	}
+	return false
+}
+
+// decode is the speculative table walk. See the package comment for the
+// soundness contract; every evidence check below mirrors one check in
+// verify's advance/evaluate, in the same order.
+func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pathCap int, maxWork uint64) (Result, Status) {
+	d.reset(m, stream, expand, pathCap, maxWork)
+	c := d.c
+	base, limit := c.base, c.limit
+	pc := c.entry
+
+	for {
+		if pc < base || pc >= limit || (pc-base)&1 != 0 {
+			goto prune
+		}
+		{
+			n := &c.nodes[(pc-base)>>1]
+			d.steps++
+			d.work += uint64(n.cost)
+			if d.work > d.maxWork {
+				return d.result(), StatusFallback
+			}
+			// A row revisited with no consumed packet, loop-register
+			// change, or frame motion since the last progress event is an
+			// exact state repeat: the branch loops forever, so it admits no
+			// completion and pruning it is sound.
+			d.nonProd++
+			if d.nonProd > c.segCap {
+				goto prune
+			}
+
+			switch n.op {
+			case opNone:
+				pc = n.next
+				continue
+
+			case opDirect:
+				d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindDirect})
+				pc = n.target
+				continue
+
+			case opCond:
+				// Presence-encoded conditional: consume-first speculation.
+				// The taken direction requires the matching packet (source
+				// AND static destination, as in evaluate); the fall-through
+				// is always structurally possible.
+				if p, ok := d.rd.peek(); ok && p.Src == n.record && p.Dst == n.target {
+					if d.oracle != nil {
+						if !d.oracleNext() {
+							pc = n.next
+							continue
+						}
+					} else {
+						if d.takeDead(n.target) {
+							pc = n.next
+							continue
+						}
+						if d.rd.failed {
+							return d.result(), StatusFallback
+						}
+						d.pushCP(d.snapshot(n.next))
+					}
+					d.rd.advance()
+					d.nonProd = 0
+					d.blindLow = d.framesLen
+					d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCond})
+					pc = n.target
+					continue
+				}
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				pc = n.next
+				continue
+
+			case opCondFwd:
+				// Forward-loop continue-logging branch: must consume.
+				p, ok := d.rd.peek()
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				if !ok || p.Src != n.record || p.Dst != n.target {
+					goto prune
+				}
+				d.rd.advance()
+				d.nonProd = 0
+				d.blindLow = d.framesLen
+				d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCond})
+				pc = n.target
+				continue
+
+			case opGuard:
+				// Forward-loop guard: continue-first (into the logging
+				// branch, which consumes), exit checkpointed. Without the
+				// gating packet only the exit exists.
+				if p, ok := d.rd.peek(); ok && p.Src == n.record {
+					if d.oracle != nil {
+						if d.oracleNext() {
+							pc = n.next
+							continue
+						}
+						d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCond})
+						pc = n.target
+						continue
+					}
+					cp := d.snapshot(n.target)
+					cp.emitEdge = true
+					cp.edge = Edge{Src: pc, Dst: n.target, Kind: isa.KindCond}
+					d.pushCP(cp)
+					pc = n.next
+					continue
+				}
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCond})
+				pc = n.target
+				continue
+
+			case opRet:
+				p, ok := d.rd.peek()
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				if !ok || p.Src != n.record {
+					goto prune
+				}
+				if d.framesLen == 1 {
+					// Root return: accepted iff it returns to the CPU's
+					// halt sentinel and exhausts the stream.
+					if p.Dst != retToHaltSentinel {
+						goto prune
+					}
+					d.rd.advance()
+					d.emit(Edge{Src: pc, Dst: p.Dst, Kind: isa.KindReturn})
+					goto eosCheck
+				}
+				if p.Dst != d.framesBuf[d.framesLen-1] {
+					goto prune // ROP: destination != call-site successor
+				}
+				d.rd.advance()
+				d.nonProd = 0
+				d.emit(Edge{Src: pc, Dst: p.Dst, Kind: isa.KindReturn})
+				pc = d.popFrame()
+				d.blindLow = d.framesLen
+				continue
+
+			case opLeafRet:
+				if d.framesLen == 1 {
+					// Deterministic return through the pristine LR: the
+					// destination is the halt sentinel.
+					d.emit(Edge{Src: pc, Dst: retToHaltSentinel, Kind: isa.KindReturn})
+					goto eosCheck
+				}
+				ret := d.popFrame()
+				d.nonProd = 0
+				d.emit(Edge{Src: pc, Dst: ret, Kind: isa.KindReturn})
+				pc = ret
+				continue
+
+			case opHalt:
+				goto eosCheck
+
+			case opCall:
+				if n.first != nil {
+					// The callee's first consumption must be able to take
+					// the pending packet (or the callee must be able to
+					// return without consuming).
+					if p, ok := d.rd.peek(); ok {
+						if !n.first.eps && !n.first.admits(p.Src) {
+							goto prune
+						}
+					} else {
+						if d.rd.failed {
+							return d.result(), StatusFallback
+						}
+						if !n.first.eps {
+							goto prune
+						}
+					}
+				}
+				if d.oracle == nil && d.framesLen-d.blindLow > d.c.states {
+					goto divePrune // blind recursion: unbounded descent
+				}
+				d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCall})
+				if !d.pushFrame(n.next) {
+					return d.result(), StatusFallback
+				}
+				d.nonProd = 0
+				pc = n.target
+				continue
+
+			case opICall:
+				p, ok := d.rd.peek()
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				if !ok || p.Src != n.record {
+					goto prune
+				}
+				if !c.isEntry(p.Dst) {
+					goto prune // JOP: target is not a function entry
+				}
+				d.rd.advance()
+				d.nonProd = 0
+				d.blindLow = d.framesLen
+				d.emit(Edge{Src: pc, Dst: p.Dst, Kind: isa.KindIndirectCall})
+				if !d.pushFrame(n.next) {
+					return d.result(), StatusFallback
+				}
+				pc = p.Dst
+				continue
+
+			case opIJump:
+				p, ok := d.rd.peek()
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				if !ok || p.Src != n.record {
+					goto prune
+				}
+				if p.Dst < n.lo || p.Dst >= n.hi {
+					goto prune // escape: jump leaves the function
+				}
+				d.rd.advance()
+				d.nonProd = 0
+				d.blindLow = d.framesLen
+				d.emit(Edge{Src: pc, Dst: p.Dst, Kind: isa.KindIndirectJump})
+				pc = p.Dst // a non-instruction target lands on an opBad row
+				continue
+
+			case opLoopCond:
+				si := (d.framesLen-1)*d.slots + int(n.slot)
+				sl := &d.arenaBuf[si]
+				if !sl.active {
+					// Fresh entry: only static loops carry an implicit
+					// context; a dynamic loop reached without its SECALL
+					// contradicts (prune).
+					if n.flags&nfStatic == 0 || n.flags&nfStaticBad != 0 {
+						goto prune
+					}
+					d.trailSlot(si)
+					sl.active, sl.rem = true, n.trips
+					d.loops++
+				} else {
+					d.trailSlot(si)
+				}
+				taken := false
+				if n.flags&nfFwd != 0 {
+					if sl.rem == 0 {
+						taken = true
+						sl.active = false
+					} else {
+						sl.rem--
+					}
+				} else {
+					if sl.rem > 0 {
+						taken = true
+						sl.rem--
+					} else {
+						sl.active = false
+					}
+				}
+				d.nonProd = 0
+				d.blindLow = d.framesLen
+				if taken {
+					d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCond})
+					pc = n.target
+				} else {
+					pc = n.next
+				}
+				continue
+
+			case opLoopLog:
+				p, ok := d.rd.peek()
+				if d.rd.failed {
+					return d.result(), StatusFallback
+				}
+				if !ok || p.Src != n.record {
+					goto prune
+				}
+				trips, err := n.loop.TripCount(p.Dst)
+				if err != nil {
+					goto prune // invalid trip evidence (malformed)
+				}
+				si := (d.framesLen-1)*d.slots + int(n.slot)
+				d.trailSlot(si)
+				d.arenaBuf[si] = loopSlot{rem: trips, gen: d.arenaBuf[si].gen, active: true}
+				d.loops++
+				d.rd.advance()
+				d.nonProd = 0
+				d.blindLow = d.framesLen
+				pc = n.next
+				continue
+
+			default: // opBad: gap, unlinked branch, secure call
+				goto prune
+			}
+		}
+
+	eosCheck:
+		// Frame structure admits completion here; accepted iff the stream
+		// is exhausted (every packet explained).
+		if _, more := d.rd.peek(); more {
+			goto prune
+		}
+		if d.rd.failed {
+			return d.result(), StatusFallback
+		}
+		{
+			res := d.result()
+			res.Transfers = d.transfers
+			res.LoopsReplayed = d.loops
+			res.PacketsUsed = d.rd.delivered
+			if d.pathCap > 0 {
+				res.Path = append([]Edge(nil), d.edges...)
+			}
+			return res, StatusAccept
+		}
+
+	prune:
+		if d.backtracks >= maxBacktracks {
+			return d.result(), StatusFallback
+		}
+		if npc, ok := d.backtrack(); ok {
+			pc = npc
+			continue
+		}
+		if d.committed {
+			return d.result(), StatusFallback
+		}
+		return d.result(), StatusNoPath
+
+	divePrune:
+		// Blind-recursion prune: flip the oldest open guess (see backjump).
+		if d.backtracks >= maxBacktracks {
+			return d.result(), StatusFallback
+		}
+		if npc, ok := d.backtrack(); ok {
+			pc = npc
+			continue
+		}
+		if d.committed {
+			return d.result(), StatusFallback
+		}
+		return d.result(), StatusNoPath
+	}
+}
+
+// retToHaltSentinel mirrors verify's halt sentinel: the CPU's initial LR
+// with the Thumb bit cleared, as the hardware records it.
+const retToHaltSentinel = 0xffff_fffe

@@ -1,0 +1,199 @@
+package verify
+
+import (
+	"time"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+	"raptrack/internal/verify/automaton"
+)
+
+// Automaton is the compiled table-driven verifier core: the per-app CFG
+// and its SpecCFA dictionary lowered into a flat transition table with a
+// zero-allocation decode loop (see package verify/automaton). It is the
+// default engine for the accept path; the interpretive pushdown search
+// stays on as the reference oracle and renders every non-accept verdict,
+// which keeps reject/Inconclusive/error verdicts bit-identical to the
+// interpreter by construction.
+type Automaton = automaton.Machine
+
+// AutomatonCounters aggregates automaton compile/decode activity. A
+// gateway attaches one per app so metrics stay monotonic across the fresh
+// Machines produced by DICT-bump recompiles.
+type AutomatonCounters = automaton.Counters
+
+// AutomatonStats sizes one compiled table.
+type AutomatonStats = automaton.Stats
+
+// Automaton returns the Verifier's compiled machine (nil when the
+// automaton is disabled or compilation failed, leaving the interpreter).
+func (v *Verifier) Automaton() *Automaton { return v.aut }
+
+// CompileAutomaton lowers v's golden artifact against dict, reusing v's
+// compiled transition core when available so a gateway DICT version bump
+// recompiles in O(dictionary) rather than O(image). Returns (nil, nil)
+// when the automaton is disabled on v. Gateways pair each dictionary
+// snapshot with the machine compiled for it (the per-session-snapshot
+// invariant: a session verifies against one consistent dictionary+machine
+// pair even while mining promotes a new version concurrently).
+func (v *Verifier) CompileAutomaton(dict *speccfa.Dictionary) (*Automaton, error) {
+	if !v.opts.automaton {
+		return nil, nil
+	}
+	if v.aut != nil {
+		return v.aut.WithDictionary(dict), nil
+	}
+	return automaton.Compile(v.link, dict)
+}
+
+// reconcileAutomaton re-derives v.aut after option changes (Verifier.With):
+// disabling drops the machine, a dictionary change rebinds the shared
+// core, and enabling from scratch compiles. Compile errors leave the
+// interpreter (aut == nil), matching New.
+func (v *Verifier) reconcileAutomaton() {
+	switch {
+	case !v.opts.automaton:
+		v.aut = nil
+	case v.aut != nil:
+		if v.aut.Dictionary() != v.opts.spec {
+			v.aut = v.aut.WithDictionary(v.opts.spec)
+		}
+	default:
+		if m, err := automaton.Compile(v.link, v.opts.spec); err == nil {
+			v.aut = m
+		}
+	}
+}
+
+// VerifyWithAutomaton is VerifyWithDictionary with an explicit engine: aut
+// decodes the accept path (nil, or a machine bound to a different
+// dictionary than required, degrades to the interpreter). Gateways pass
+// the machine snapshotted with the session's dictionary.
+//
+// Engine equivalence: an automaton accept is a validated benign
+// derivation carrying the same witness the interpreter materializes; on
+// any non-accept the interpreter re-runs and renders the authoritative
+// verdict, so rejection codes, details and errors never depend on the
+// engine. The one documented exception is the work budget: the automaton
+// counts abstract instructions on the single speculative walk, not the
+// whole fixed point, so a stream the interpreter would abort on
+// ReasonWorkBudget can instead be accepted if the walk fits the budget —
+// the same engine-dependence the verdict cache already has (budget
+// verdicts are never cached for exactly that reason).
+func (v *Verifier) VerifyWithAutomaton(chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary, aut *Automaton) (*Verdict, error) {
+	var tm PhaseTiming
+	phase := time.Now()
+	log, hmem, err := attest.AssembleChain(reports, chal, v.auth)
+	tm.Auth = time.Since(phase)
+	if err != nil {
+		return nil, err
+	}
+	if hmem != v.hmem {
+		return v.hmemMismatch(hmem, tm), nil
+	}
+	if vd := v.traceLoss(reports, tm); vd != nil {
+		return vd, nil
+	}
+	packets := trace.DecodePackets(log)
+	if !v.opts.automaton {
+		aut = nil
+	}
+
+	// Compressed fast path: decode the marker stream directly, opening
+	// dictionary sub-paths as precomputed jumps instead of materializing
+	// the expansion up front. Requires the machine bound to this session's
+	// dictionary snapshot, and no verdict cache (its keys cover the
+	// expanded stream). On accept the expansion is still materialized once
+	// for Verdict.Evidence — exactly what the reference pipeline exposes.
+	if aut != nil && v.opts.cache == nil && dict.Len() > 0 && aut.Dictionary() == dict {
+		phase = time.Now()
+		res, st := aut.DecodeCompressed(packets, v.opts.pathCap, v.opts.maxInstrs)
+		tm.Search = time.Since(phase)
+		if st == automaton.StatusAccept {
+			phase = time.Now()
+			expanded, derr := dict.Decompress(packets)
+			tm.Expand = time.Since(phase)
+			if derr == nil {
+				vd := acceptVerdict(&res)
+				vd.Evidence = expanded
+				vd.Timing = tm
+				return vd, nil
+			}
+			// An accept consumed the stream through the same tables and
+			// limits Decompress applies, so derr cannot happen; fall
+			// through defensively and let the reference pipeline report.
+		}
+		// Non-accept: the interpreter renders the verdict. Do not retry
+		// the automaton on the expanded stream — the derivation space is
+		// identical, so it would fail the same way.
+		aut = nil
+	}
+
+	if dict.Len() > 0 {
+		phase = time.Now()
+		packets, err = dict.Decompress(packets)
+		tm.Expand += time.Since(phase)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c := v.opts.cache; c != nil {
+		if vd, ok := c.lookupVerdict(v.hmem, packets); ok {
+			// lookupVerdict returned a private copy, so stamping this
+			// session's evidence and timing never races other sessions.
+			vd.Evidence = packets
+			tm.CacheHit = true
+			vd.Timing = tm
+			return vd, nil
+		}
+	}
+	phase = time.Now()
+	var vd *Verdict
+	if aut != nil {
+		if res, st := aut.Decode(packets, v.opts.pathCap, v.opts.maxInstrs); st == automaton.StatusAccept {
+			vd = acceptVerdict(&res)
+		}
+	}
+	if vd == nil {
+		vd = v.reconstruct(packets)
+	}
+	tm.Search += time.Since(phase)
+	vd.Evidence = packets
+	vd.Timing = tm
+	if c := v.opts.cache; c != nil {
+		c.storeVerdict(v.hmem, packets, vd)
+	}
+	return vd, nil
+}
+
+// ReplayPacketsAutomaton is ReplayPackets through the fast path: the
+// stream is decoded against v's compiled table, with any non-accept
+// re-rendered by the interpreter. The differential conformance suite
+// compares this against ReplayPackets (pure interpreter) packet-for-packet.
+func (v *Verifier) ReplayPacketsAutomaton(packets []trace.Packet) *Verdict {
+	if v.opts.automaton && v.aut != nil {
+		if res, st := v.aut.Decode(packets, v.opts.pathCap, v.opts.maxInstrs); st == automaton.StatusAccept {
+			return acceptVerdict(&res)
+		}
+	}
+	return v.reconstruct(packets)
+}
+
+// acceptVerdict shapes an automaton accept as the Verdict the interpreter
+// would materialize: same witness edges, transfers, loop replays and
+// consumed-packet accounting. Instrs/Passes describe this engine's effort
+// (decode work and 1+backtracks), as they describe search effort on the
+// interpreter.
+func acceptVerdict(res *automaton.Result) *Verdict {
+	return &Verdict{
+		OK:            true,
+		Packets:       res.PacketsUsed,
+		PacketsUsed:   res.PacketsUsed,
+		Instrs:        res.Work,
+		Transfers:     res.Transfers,
+		LoopsReplayed: res.LoopsReplayed,
+		Passes:        int(res.Backtracks) + 1,
+		Path:          res.Path,
+	}
+}

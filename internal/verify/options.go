@@ -8,6 +8,7 @@ type options struct {
 	maxInstrs uint64
 	pathCap   int
 	debug     bool
+	automaton bool
 	spec      *speccfa.Dictionary
 	cache     *Cache
 }
@@ -16,6 +17,7 @@ func defaultOptions() options {
 	return options{
 		maxInstrs: 500_000_000,
 		pathCap:   4096,
+		automaton: true,
 	}
 }
 
@@ -60,6 +62,15 @@ func WithSpeculation(d *speccfa.Dictionary) Option {
 	return func(o *options) { o.spec = d }
 }
 
+// WithAutomaton toggles the table-driven fast path (default on): the
+// compiled automaton decodes the accept path, and the interpreter — the
+// reference oracle — renders every non-accept verdict. Off means every
+// verification runs the interpretive pushdown search, as before the
+// automaton existed; the differential conformance suite runs both.
+func WithAutomaton(on bool) Option {
+	return func(o *options) { o.automaton = on }
+}
+
 // WithCache attaches a cross-session summary cache: whole-stream verdicts
 // and deterministic segment walks are memoized in it, keyed by (H_MEM,
 // evidence window, loop state), so concurrent sessions attesting the same
@@ -77,6 +88,7 @@ func (v *Verifier) With(opts ...Option) *Verifier {
 	for _, opt := range opts {
 		opt(&nv.opts)
 	}
+	nv.reconcileAutomaton()
 	return &nv
 }
 

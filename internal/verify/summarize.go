@@ -88,7 +88,12 @@ type entry struct {
 
 	// dependents are nodes whose outcomes were computed using this
 	// entry's (possibly partial) set: they are re-evaluated when it grows.
+	// depOrder keeps registration order: dirty marks must propagate
+	// deterministically, or the evaluation order — and with it which
+	// contradiction is reported as "first" — would vary run to run with
+	// map iteration (the differential conformance fuzzer catches this).
 	dependents map[nodeKey]struct{}
+	depOrder   []nodeKey
 
 	visiting bool
 }
@@ -495,7 +500,11 @@ func (s *summarizer) walkNode(pc uint32, cursor int, loopCtx loopMap) []*outcome
 		s.evaluate(key, e)
 	}
 	if n := len(s.evalStack); n > 0 {
-		e.dependents[s.evalStack[n-1]] = struct{}{}
+		d := s.evalStack[n-1]
+		if _, seen := e.dependents[d]; !seen {
+			e.dependents[d] = struct{}{}
+			e.depOrder = append(e.depOrder, d)
+		}
 	}
 	return e.outs
 }
@@ -532,7 +541,7 @@ func (s *summarizer) evaluate(key nodeKey, e *entry) {
 				kind: c.kind, cursor: c.cursor, retDst: c.retDst,
 				node: key, branch: branch, callee: callee, cont: c,
 			})
-			for d := range e.dependents {
+			for _, d := range e.depOrder {
 				s.markDirty(d)
 			}
 		}

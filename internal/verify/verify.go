@@ -54,10 +54,10 @@ import (
 
 	"raptrack/internal/asm"
 	"raptrack/internal/attest"
-	"raptrack/internal/isa"
 	"raptrack/internal/linker"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
+	"raptrack/internal/verify/automaton"
 )
 
 // PhaseTiming attributes one verification's wall clock to its phases, so
@@ -76,11 +76,10 @@ type PhaseTiming struct {
 	CacheHit bool
 }
 
-// Edge is one reconstructed control transfer.
-type Edge struct {
-	Src, Dst uint32
-	Kind     isa.BranchKind
-}
+// Edge is one reconstructed control transfer. It aliases the automaton
+// package's edge type so witness paths flow between the engines without
+// conversion.
+type Edge = automaton.Edge
 
 // Verdict is the outcome of verifying one attestation session.
 type Verdict struct {
@@ -139,6 +138,7 @@ type Verifier struct {
 	hmem    [sha256.Size]byte
 	entries map[uint32]bool // function entry addresses (indirect-call policy)
 	opts    options
+	aut     *automaton.Machine // compiled fast path (nil: interpreter only)
 }
 
 // New builds a Verifier for the linked artifact, configured by functional
@@ -163,6 +163,13 @@ func New(link *linker.Output, auth attest.Authenticator, opts ...Option) *Verifi
 		}
 		v.entries[r.Base] = true
 	}
+	if o.automaton {
+		// Compile failures (no entry point, register overflow) leave the
+		// interpreter in charge; it reports them through its own verdicts.
+		if m, err := automaton.Compile(link, o.spec); err == nil {
+			v.aut = m
+		}
+	}
 	return v
 }
 
@@ -186,68 +193,41 @@ func (v *Verifier) Verify(chal attest.Challenge, reports []*attest.Report) (*Ver
 // The verdict cache is dictionary-independent: caching keys on the
 // decompressed stream, so promoting new sub-paths never invalidates it.
 func (v *Verifier) VerifyWithDictionary(chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary) (*Verdict, error) {
-	var tm PhaseTiming
-	phase := time.Now()
-	log, hmem, err := attest.AssembleChain(reports, chal, v.auth)
-	tm.Auth = time.Since(phase)
-	if err != nil {
-		return nil, err
+	return v.VerifyWithAutomaton(chal, reports, dict, v.aut)
+}
+
+// hmemMismatch renders the pre-reconstruction firmware-mismatch verdict.
+func (v *Verifier) hmemMismatch(hmem [sha256.Size]byte, tm PhaseTiming) *Verdict {
+	return &Verdict{
+		OK:     false,
+		Code:   ReasonHMemMismatch,
+		Detail: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
+		Timing: tm,
 	}
-	if hmem != v.hmem {
-		return &Verdict{
-			OK:     false,
-			Code:   ReasonHMemMismatch,
-			Detail: fmt.Sprintf("H_MEM mismatch: prover code differs from golden image (got %x.., want %x..)", hmem[:8], v.hmem[:8]),
-			Timing: tm,
-		}, nil
-	}
-	// Detectable trace loss: the signed reports themselves attest that the
-	// MTB wrapped past the watermark or dropped packets while arming. The
-	// stream cannot be losslessly reconstructed, so reconstruction would
-	// produce a *false* reject; render an inconclusive verdict instead.
-	// Never OK — an adversary fabricating loss evidence only downgrades
-	// its own session from "attack detected" to "re-attest".
+}
+
+// traceLoss renders the Inconclusive verdict when the signed reports
+// themselves attest detectable trace loss: the MTB wrapped past the
+// watermark or dropped packets while arming. The stream cannot be
+// losslessly reconstructed, so reconstruction would produce a *false*
+// reject; render an inconclusive verdict instead. Never OK — an adversary
+// fabricating loss evidence only downgrades its own session from "attack
+// detected" to "re-attest". Returns nil when the reports attest no loss.
+func (v *Verifier) traceLoss(reports []*attest.Report, tm PhaseTiming) *Verdict {
 	var wraps, dropped uint64
 	for _, r := range reports {
 		wraps += uint64(r.Wraps)
 		dropped += uint64(r.Dropped)
 	}
-	if wraps > 0 || dropped > 0 {
-		return &Verdict{
-			OK:     false,
-			Code:   ReasonInconclusive,
-			Detail: fmt.Sprintf("detectable trace loss: %d MTB wrap(s), %d packet(s) dropped while arming; evidence incomplete, re-attest", wraps, dropped),
-			Timing: tm,
-		}, nil
+	if wraps == 0 && dropped == 0 {
+		return nil
 	}
-	packets := trace.DecodePackets(log)
-	if dict.Len() > 0 {
-		phase = time.Now()
-		packets, err = dict.Decompress(packets)
-		tm.Expand = time.Since(phase)
-		if err != nil {
-			return nil, err
-		}
+	return &Verdict{
+		OK:     false,
+		Code:   ReasonInconclusive,
+		Detail: fmt.Sprintf("detectable trace loss: %d MTB wrap(s), %d packet(s) dropped while arming; evidence incomplete, re-attest", wraps, dropped),
+		Timing: tm,
 	}
-	if c := v.opts.cache; c != nil {
-		if vd, ok := c.lookupVerdict(v.hmem, packets); ok {
-			// lookupVerdict returned a private copy, so stamping this
-			// session's evidence and timing never races other sessions.
-			vd.Evidence = packets
-			tm.CacheHit = true
-			vd.Timing = tm
-			return vd, nil
-		}
-	}
-	phase = time.Now()
-	vd := v.reconstruct(packets)
-	tm.Search = time.Since(phase)
-	vd.Evidence = packets
-	vd.Timing = tm
-	if c := v.opts.cache; c != nil {
-		c.storeVerdict(v.hmem, packets, vd)
-	}
-	return vd, nil
 }
 
 // ReplayPackets reconstructs a path directly from packets (testing and
