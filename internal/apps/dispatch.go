@@ -1,0 +1,262 @@
+package apps
+
+import (
+	"fmt"
+
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// dispatch is a bytecode virtual machine — the jump-table/computed-
+// dispatch workload class (an embedded rules/automation interpreter, the
+// control-flow shape of PLC runtimes and scripting shims on MCUs).
+//
+// Branch mix (CFA-relevant): the hot loop is one LDR pc,[table, op<<2]
+// computed jump per bytecode instruction — every dynamic instruction is
+// an indirect transfer, the densest comparator-coverage stress in the
+// suite (gps dispatches per parser *state change*; this dispatches per
+// *instruction*). A second LDRPC through a separate ALU sub-table nests
+// computed dispatch inside computed dispatch, and the interpreted JNZ
+// turns data values into trace-visible control flow: the verifier must
+// check every table target stays inside main (table-escape policy) at a
+// rate no other workload approaches. Almost no statically predictable
+// branches survive — worst case for the §IV-D loop optimization, best
+// case for SpecCFA mining (the fetch/dispatch packet pattern repeats per
+// opcode).
+
+// VM opcodes (one byte each; operands are single trailing bytes).
+const (
+	vmHALT   = 0  // stop the VM
+	vmPUSHI  = 1  // push imm8
+	vmADD    = 2  // pop b, a; push a+b
+	vmSUB    = 3  // pop b, a; push a-b
+	vmMUL    = 4  // pop b, a; push a*b
+	vmDUP    = 5  // duplicate the top of stack
+	vmOUT    = 6  // pop; write to the host link
+	vmJNZ    = 7  // pop; branch to imm8 bytecode index when non-zero
+	vmLOADG  = 8  // push global slot imm8
+	vmSTOREG = 9  // pop into global slot imm8
+	vmALU    = 10 // imm8 selects AND/OR/XOR from the ALU sub-table
+	vmNumOps = 11
+)
+
+// ALU sub-opcodes (the nested dispatch table).
+const (
+	aluAND = 0
+	aluOR  = 1
+	aluXOR = 2
+)
+
+// vmAsm is a two-pass label-resolving assembler for the byte-addressed
+// VM (JNZ operands are absolute bytecode indices).
+type vmAsm struct {
+	code   []byte
+	labels map[string]int
+	fixups map[int]string
+}
+
+func newVMAsm() *vmAsm {
+	return &vmAsm{labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+func (a *vmAsm) label(name string) { a.labels[name] = len(a.code) }
+func (a *vmAsm) op(bs ...byte)     { a.code = append(a.code, bs...) }
+func (a *vmAsm) jnz(target string) {
+	a.code = append(a.code, vmJNZ, 0)
+	a.fixups[len(a.code)-1] = target
+}
+func (a *vmAsm) assemble() []byte {
+	for off, name := range a.fixups {
+		idx, ok := a.labels[name]
+		if !ok || idx > 255 {
+			panic(fmt.Sprintf("apps: dispatch bytecode label %q (at %d)", name, idx))
+		}
+		a.code[off] = byte(idx)
+	}
+	return a.code
+}
+
+// dispatchBytecode is the interpreted program: 6! by a counted loop over
+// VM globals, then the three ALU flavors over fixed masks. Expected host
+// words: 720, 720, 160, 245, 85.
+func dispatchBytecode() []byte {
+	a := newVMAsm()
+	a.op(vmPUSHI, 1, vmSTOREG, 0) // acc = 1
+	a.op(vmPUSHI, 6, vmSTOREG, 1) // n = 6
+	a.label("loop")
+	a.op(vmLOADG, 0, vmLOADG, 1, vmMUL, vmSTOREG, 0) // acc *= n
+	a.op(vmLOADG, 1, vmPUSHI, 1, vmSUB, vmSTOREG, 1) // n -= 1
+	a.op(vmLOADG, 1)
+	a.jnz("loop")
+	a.op(vmLOADG, 0, vmDUP, vmOUT, vmOUT)                  // 720 twice
+	a.op(vmPUSHI, 240, vmPUSHI, 165, vmALU, aluAND, vmOUT) // 160
+	a.op(vmPUSHI, 240, vmPUSHI, 165, vmALU, aluOR, vmOUT)  // 245
+	a.op(vmPUSHI, 240, vmPUSHI, 165, vmALU, aluXOR, vmOUT) // 85
+	a.op(vmHALT)
+	return a.assemble()
+}
+
+func init() {
+	register(App{
+		Name: "dispatch",
+		Description: "bytecode VM: one jump-table dispatch per interpreted instruction " +
+			"plus a nested ALU sub-table (computed-dispatch / comparator-coverage stress)",
+		Build: buildDispatch,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{Host: &periph.HostLink{}}
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// VM register allocation:
+//
+//	R4 bytecode index          R5 operand-stack byte offset
+//	R6 globals base (RAM)      R8 bytecode base
+//	R10 host-link base         R11 operand-stack base (RAM)
+func buildDispatch() *asm.Program {
+	p := asm.NewProgram("dispatch")
+	p.AddData(&asm.DataSegment{
+		Name: "vm_ops",
+		Syms: []string{
+			"main.op_halt", "main.op_pushi", "main.op_add", "main.op_sub",
+			"main.op_mul", "main.op_dup", "main.op_out", "main.op_jnz",
+			"main.op_loadg", "main.op_storeg", "main.op_alu",
+		},
+	})
+	p.AddData(&asm.DataSegment{
+		Name: "vm_alu",
+		Syms: []string{"main.alu_and", "main.alu_or", "main.alu_xor"},
+	})
+	p.AddData(&asm.DataSegment{Name: "vm_prog", Bytes: dispatchBytecode()})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.LA(isa.R8, "vm_prog")
+	main.MOV32(isa.R10, periph.HostLinkBase)
+	main.MOV32(isa.R11, mem.NSDataBase)      // operand stack
+	main.MOV32(isa.R6, mem.NSDataBase+0x100) // globals
+	main.MOVi(isa.R4, 0)
+	main.MOVi(isa.R5, 0)
+
+	// fetch/dispatch: every interpreted instruction takes this computed jump.
+	main.Label("vm_loop")
+	main.LDRBr(isa.R0, isa.R8, isa.R4)
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R0, vmNumOps)
+	main.BCS("op_halt") // out-of-range opcode: halt defensively
+	main.LA(isa.R2, "vm_ops")
+	main.LDRPC(isa.R2, isa.R0)
+
+	main.Label("op_halt")
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+
+	main.Label("op_pushi")
+	main.LDRBr(isa.R0, isa.R8, isa.R4) // imm8
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.STRr(isa.R0, isa.R11, isa.R5)
+	main.ADDi(isa.R5, isa.R5, 4)
+	main.B("vm_loop")
+
+	emitPop2 := func(f *asm.Function) { // R1 = b (top), R0 = a
+		f.SUBi(isa.R5, isa.R5, 4)
+		f.LDRr(isa.R1, isa.R11, isa.R5)
+		f.SUBi(isa.R5, isa.R5, 4)
+		f.LDRr(isa.R0, isa.R11, isa.R5)
+	}
+	emitPush := func(f *asm.Function) { // push R0
+		f.STRr(isa.R0, isa.R11, isa.R5)
+		f.ADDi(isa.R5, isa.R5, 4)
+	}
+
+	main.Label("op_add")
+	emitPop2(main)
+	main.ADDr(isa.R0, isa.R0, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("op_sub")
+	emitPop2(main)
+	main.SUBr(isa.R0, isa.R0, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("op_mul")
+	emitPop2(main)
+	main.MUL(isa.R0, isa.R0, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("op_dup")
+	main.SUBi(isa.R5, isa.R5, 4)
+	main.LDRr(isa.R0, isa.R11, isa.R5)
+	main.ADDi(isa.R5, isa.R5, 4)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("op_out")
+	main.SUBi(isa.R5, isa.R5, 4)
+	main.LDRr(isa.R0, isa.R11, isa.R5)
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.B("vm_loop")
+
+	main.Label("op_jnz")
+	main.SUBi(isa.R5, isa.R5, 4)
+	main.LDRr(isa.R0, isa.R11, isa.R5) // condition
+	main.LDRBr(isa.R1, isa.R8, isa.R4) // target index
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R0, 0)
+	main.BEQ("vm_loop")
+	main.MOVr(isa.R4, isa.R1) // interpreted branch taken
+	main.B("vm_loop")
+
+	main.Label("op_loadg")
+	main.LDRBr(isa.R0, isa.R8, isa.R4) // slot
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.LSLi(isa.R1, isa.R0, 2)
+	main.LDRr(isa.R0, isa.R6, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("op_storeg")
+	main.LDRBr(isa.R1, isa.R8, isa.R4) // slot
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.LSLi(isa.R1, isa.R1, 2)
+	main.SUBi(isa.R5, isa.R5, 4)
+	main.LDRr(isa.R0, isa.R11, isa.R5)
+	main.STRr(isa.R0, isa.R6, isa.R1)
+	main.B("vm_loop")
+
+	// Nested computed dispatch: the ALU opcode's operand byte selects from
+	// a second table.
+	main.Label("op_alu")
+	main.LDRBr(isa.R7, isa.R8, isa.R4) // sub-op
+	main.ADDi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R7, 3)
+	main.BCS("op_halt")
+	main.LA(isa.R2, "vm_alu")
+	main.LDRPC(isa.R2, isa.R7)
+
+	main.Label("alu_and")
+	emitPop2(main)
+	main.ANDr(isa.R0, isa.R0, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("alu_or")
+	emitPop2(main)
+	main.ORRr(isa.R0, isa.R0, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	main.Label("alu_xor")
+	emitPop2(main)
+	main.EORr(isa.R0, isa.R0, isa.R1)
+	emitPush(main)
+	main.B("vm_loop")
+
+	return p
+}

@@ -1,0 +1,214 @@
+package apps
+
+import (
+	"testing"
+
+	"raptrack/internal/periph"
+)
+
+// Reference models for the hostile-workload apps: each test re-runs the
+// app's logic in Go (mirroring the peripheral PRNGs exactly) and checks
+// the host words match the simulated firmware.
+
+// vmRun interprets dispatch bytecode in Go — the oracle the assembly VM
+// is checked against.
+func vmRun(code []byte) []uint32 {
+	var stack []uint32
+	var globals [16]uint32
+	var out []uint32
+	pc := 0
+	pop := func() uint32 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	for {
+		op := code[pc]
+		pc++
+		switch op {
+		case vmHALT:
+			return out
+		case vmPUSHI:
+			stack = append(stack, uint32(code[pc]))
+			pc++
+		case vmADD:
+			b, a := pop(), pop()
+			stack = append(stack, a+b)
+		case vmSUB:
+			b, a := pop(), pop()
+			stack = append(stack, a-b)
+		case vmMUL:
+			b, a := pop(), pop()
+			stack = append(stack, a*b)
+		case vmDUP:
+			stack = append(stack, stack[len(stack)-1])
+		case vmOUT:
+			out = append(out, pop())
+		case vmJNZ:
+			t := int(code[pc])
+			pc++
+			if pop() != 0 {
+				pc = t
+			}
+		case vmLOADG:
+			stack = append(stack, globals[code[pc]])
+			pc++
+		case vmSTOREG:
+			globals[code[pc]] = pop()
+			pc++
+		case vmALU:
+			sub := code[pc]
+			pc++
+			b, a := pop(), pop()
+			switch sub {
+			case aluAND:
+				stack = append(stack, a&b)
+			case aluOR:
+				stack = append(stack, a|b)
+			case aluXOR:
+				stack = append(stack, a^b)
+			}
+		}
+	}
+}
+
+func TestDispatchReference(t *testing.T) {
+	a, err := Get("dispatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vmRun(dispatchBytecode())
+	if len(want) == 0 {
+		t.Fatal("oracle produced no output")
+	}
+	assertWords(t, dev.Host.Words, want)
+	// Pin the program's actual values so a bytecode edit that changes
+	// behavior (in both VM and oracle) is still noticed.
+	assertWords(t, want, []uint32{720, 720, 160, 245, 85})
+}
+
+func TestRTOSReference(t *testing.T) {
+	a, err := Get("rtos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := periph.NewRand(0x7E3A)
+	raw := int32(512)
+	sample := func() uint32 {
+		delta := int32(rng.Intn(9)) - 4
+		raw += delta
+		if raw < 0 {
+			raw = 0
+		}
+		if raw > 1023 {
+			raw = 1023
+		}
+		return uint32(raw)
+	}
+
+	var ring [8]uint32
+	var widx, ridx, ewma, state, count uint32
+	var want []uint32
+	for round := 0; round < rtosRounds; round++ {
+		// task_sense: admit even samples while the ring has room.
+		s := sample()
+		if s&1 == 0 && widx-ridx < 8 {
+			ring[widx&7] = s
+			widx++
+		}
+		// task_filter: drain one entry into the EWMA.
+		if ridx != widx {
+			v := ring[ridx&7]
+			ewma = ewma - ewma>>2 + v>>2
+			ridx++
+		}
+		// task_report: protothread continuation.
+		switch state {
+		case 0:
+			count++
+			if count >= rtosEmitWait {
+				state = 1
+			}
+		case 1:
+			want = append(want, ewma)
+			count, state = 0, 0
+		}
+	}
+	want = append(want, ewma)
+	if len(want) < 3 {
+		t.Fatalf("degenerate run: only %d host words", len(want))
+	}
+	assertWords(t, dev.Host.Words, want)
+}
+
+func TestInterruptReference(t *testing.T) {
+	a, err := Get("interrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev, err := RunPlain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := periph.NewRand(irqGeigerSeed)
+	var rad, timer, wdog uint32
+	timerCtr, wdogCtr := uint32(irqTimerReload), uint32(irqWdogReload)
+	for tick := 0; tick < irqTicks; tick++ {
+		var pending uint32
+		if rng.Intn(100) < irqGeigerRate {
+			pending |= 1
+		}
+		timerCtr--
+		if timerCtr == 0 {
+			timerCtr = irqTimerReload
+			pending |= 2
+		}
+		wdogCtr--
+		if wdogCtr == 0 {
+			wdogCtr = irqWdogReload
+			pending |= 4
+		}
+		if pending&1 != 0 {
+			rad++
+			if rad&3 == 0 {
+				wdog++ // nested escalation from the radiation ISR
+			}
+		}
+		if pending&2 != 0 {
+			timer++
+			if timer&3 == 0 {
+				wdog++ // nested chain from the timer ISR
+			}
+		}
+		if pending&4 != 0 {
+			wdog++
+		}
+	}
+	if rad == 0 || rad == irqTicks {
+		t.Fatalf("degenerate radiation stream: %d events in %d ticks", rad, irqTicks)
+	}
+	want := []uint32{rad, timer, wdog, rad<<2 + timer<<1 + wdog}
+	assertWords(t, dev.Host.Words, want)
+}
+
+func assertWords(t *testing.T, got, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("host words = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

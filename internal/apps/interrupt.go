@@ -1,0 +1,204 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// interrupt is interrupt-heavy firmware — the asynchronous-event
+// workload class (the control-flow shape of NVIC-driven sensor nodes:
+// a thin main loop that exists to service prioritized IRQs).
+//
+// The MCU model has no hardware exception entry, so the app implements
+// a software NVIC: each tick latches pending bits (a stochastic
+// radiation pulse plus deterministic timer and watchdog reloads), then
+// a priority dispatch loop drains them highest-priority-first through a
+// vector table of indirect calls.
+//
+// Branch mix (CFA-relevant): whether each ISR runs on a given tick is
+// decided by peripheral data, so the trace is dominated by
+// *asynchronously interleaved* call/return edges at unpredictable
+// points — the pattern CFA papers single out because ISR preemption
+// breaks the repeating packet sequences loop optimization and SpecCFA
+// mining rely on. Two nested-exception shapes ride along: every fourth
+// radiation event escalates by indirectly calling the watchdog ISR from
+// inside the radiation ISR, and every fourth timer tick chains the
+// watchdog through the vector table from inside the timer ISR — ISR→ISR
+// indirect calls whose return path pops through two monitored frames.
+
+// RAM layout for the interrupt app (offsets from mem.NSDataBase).
+const (
+	irqRadCount   = 0x0 // radiation ISR invocations
+	irqTimerCount = 0x4 // timer ISR invocations
+	irqWdogCount  = 0x8 // watchdog ISR invocations (incl. nested)
+
+	irqTicks       = 60 // main-loop ticks
+	irqTimerReload = 7  // timer fires every 7th tick
+	irqWdogReload  = 19 // watchdog fires every 19th tick
+	irqGeigerSeed  = 0x5EED1
+	irqGeigerRate  = 30 // percent chance of a pulse per tick
+)
+
+func init() {
+	register(App{
+		Name: "interrupt",
+		Description: "software-NVIC firmware: stochastic radiation IRQ plus timer and " +
+			"watchdog reloads drain through a prioritized vector-table dispatch with " +
+			"nested ISR-to-ISR calls (async-interleaving stress)",
+		Build: buildInterrupt,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				Geig: periph.NewGeiger(irqGeigerSeed, irqGeigerRate),
+				Host: &periph.HostLink{},
+			}
+			m.Map(periph.GeigerBase, periph.DeviceWindow, d.Geig)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// Global register convention (set by main, read by ISRs):
+//
+//	R9 vector-table base   R10 host-link base   R11 RAM base
+//
+// main additionally keeps R4 tick counter, R5/R6 timer and watchdog
+// down-counters, R7 pending mask, R8 Geiger base; ISRs clobber only
+// R0-R3 (and LR where they nest).
+func buildInterrupt() *asm.Program {
+	p := asm.NewProgram("interrupt")
+	p.AddData(&asm.DataSegment{
+		Name: "ivec",
+		Syms: []string{"isr_radiation", "isr_timer", "isr_watchdog"},
+	})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.R6, isa.R7, isa.LR)
+	main.MOV32(isa.R8, periph.GeigerBase)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+	main.MOV32(isa.R11, mem.NSDataBase)
+	main.LA(isa.R9, "ivec")
+	main.MOVi(isa.R0, 0)
+	main.STRi(isa.R0, isa.R11, irqRadCount)
+	main.STRi(isa.R0, isa.R11, irqTimerCount)
+	main.STRi(isa.R0, isa.R11, irqWdogCount)
+	main.MOVi(isa.R4, irqTicks)
+	main.MOVi(isa.R5, irqTimerReload)
+	main.MOVi(isa.R6, irqWdogReload)
+	main.MOVi(isa.R7, 0) // pending mask
+
+	main.Label("tick_loop")
+	// Latch interrupt sources for this tick.
+	main.MOVi(isa.R0, 1)
+	main.STRi(isa.R0, isa.R8, periph.GeigerTick) // advance detector time
+	main.LDRi(isa.R0, isa.R8, periph.GeigerPulse)
+	main.CMPi(isa.R0, 0)
+	main.BEQ("no_rad")
+	main.MOVi(isa.R0, 1)
+	main.ORRr(isa.R7, isa.R7, isa.R0) // IRQ0: radiation (highest priority)
+	main.Label("no_rad")
+	main.SUBi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, 0)
+	main.BNE("no_timer")
+	main.MOVi(isa.R5, irqTimerReload)
+	main.MOVi(isa.R0, 2)
+	main.ORRr(isa.R7, isa.R7, isa.R0) // IRQ1: timer
+	main.Label("no_timer")
+	main.SUBi(isa.R6, isa.R6, 1)
+	main.CMPi(isa.R6, 0)
+	main.BNE("no_wdog")
+	main.MOVi(isa.R6, irqWdogReload)
+	main.MOVi(isa.R0, 4)
+	main.ORRr(isa.R7, isa.R7, isa.R0) // IRQ2: watchdog (lowest priority)
+	main.Label("no_wdog")
+
+	// Priority dispatch: drain pending bits lowest-bit-first through the
+	// vector table until quiescent.
+	main.Label("dispatch")
+	main.CMPi(isa.R7, 0)
+	main.BEQ("tick_next")
+	main.MOVi(isa.R0, 1)
+	main.TST(isa.R7, isa.R0)
+	main.BEQ("try_timer")
+	main.BICr(isa.R7, isa.R7, isa.R0)
+	main.LDRi(isa.R3, isa.R9, 0)
+	main.BLX(isa.R3)
+	main.B("dispatch")
+	main.Label("try_timer")
+	main.MOVi(isa.R0, 2)
+	main.TST(isa.R7, isa.R0)
+	main.BEQ("try_wdog")
+	main.BICr(isa.R7, isa.R7, isa.R0)
+	main.LDRi(isa.R3, isa.R9, 4)
+	main.BLX(isa.R3)
+	main.B("dispatch")
+	main.Label("try_wdog")
+	// Only bit 2 can remain set here.
+	main.MOVi(isa.R0, 4)
+	main.BICr(isa.R7, isa.R7, isa.R0)
+	main.LDRi(isa.R3, isa.R9, 8)
+	main.BLX(isa.R3)
+	main.B("dispatch")
+
+	main.Label("tick_next")
+	main.SUBi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, 0)
+	main.BNE("tick_loop")
+
+	// Report: per-ISR service counts and a weighted checksum.
+	main.LDRi(isa.R0, isa.R11, irqRadCount)
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.LDRi(isa.R1, isa.R11, irqTimerCount)
+	main.STRi(isa.R1, isa.R10, periph.HostData)
+	main.LDRi(isa.R2, isa.R11, irqWdogCount)
+	main.STRi(isa.R2, isa.R10, periph.HostData)
+	main.LSLi(isa.R3, isa.R0, 2)
+	main.LSLi(isa.R1, isa.R1, 1)
+	main.ADDr(isa.R3, isa.R3, isa.R1)
+	main.ADDr(isa.R3, isa.R3, isa.R2)
+	main.STRi(isa.R3, isa.R10, periph.HostData)
+	main.POP(isa.R4, isa.R5, isa.R6, isa.R7, isa.PC)
+
+	// IRQ0: every fourth radiation event escalates by calling the watchdog
+	// ISR indirectly from inside this one (nested exception shape 1).
+	rad := p.NewFunc("isr_radiation")
+	rad.PUSH(isa.LR)
+	rad.LDRi(isa.R0, isa.R11, irqRadCount)
+	rad.ADDi(isa.R0, isa.R0, 1)
+	rad.STRi(isa.R0, isa.R11, irqRadCount)
+	rad.MOVi(isa.R1, 3)
+	rad.ANDr(isa.R1, isa.R0, isa.R1)
+	rad.CMPi(isa.R1, 0)
+	rad.BNE("rad_done")
+	rad.LA(isa.R3, "isr_watchdog")
+	rad.BLX(isa.R3)
+	rad.Label("rad_done")
+	rad.POP(isa.PC)
+
+	// IRQ1: every fourth service chains the watchdog through the vector
+	// table from inside the handler (nested exception shape 2).
+	tmr := p.NewFunc("isr_timer")
+	tmr.PUSH(isa.LR)
+	tmr.LDRi(isa.R0, isa.R11, irqTimerCount)
+	tmr.ADDi(isa.R0, isa.R0, 1)
+	tmr.STRi(isa.R0, isa.R11, irqTimerCount)
+	tmr.MOVi(isa.R1, 3)
+	tmr.ANDr(isa.R1, isa.R0, isa.R1)
+	tmr.CMPi(isa.R1, 0)
+	tmr.BNE("t_done")
+	tmr.LDRi(isa.R3, isa.R9, 8)
+	tmr.BLX(isa.R3)
+	tmr.Label("t_done")
+	tmr.POP(isa.PC)
+
+	// IRQ2: leaf handler.
+	wdog := p.NewFunc("isr_watchdog")
+	wdog.LDRi(isa.R0, isa.R11, irqWdogCount)
+	wdog.ADDi(isa.R0, isa.R0, 1)
+	wdog.STRi(isa.R0, isa.R11, irqWdogCount)
+	wdog.RET()
+
+	return p
+}

@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"raptrack/internal/asm"
+	"raptrack/internal/isa"
+	"raptrack/internal/mem"
+	"raptrack/internal/periph"
+)
+
+// rtos is a cooperative RTOS-style scheduler — the multiplexed-task
+// workload class (the control-flow shape of protothread/super-loop
+// firmware: FreeRTOS-lite schedulers, Contiki protothreads).
+//
+// Branch mix (CFA-relevant): control flow is multiplexed across three
+// protothreads by a scheduler that BLXes through a RAM-resident
+// function-pointer table — indirect calls whose targets live in mutable
+// memory, the classic JOP surface (the verifier's function-entry policy
+// is what stands between this and a pivot). The report task adds a
+// per-invocation LDRPC resume-point dispatch (protothread continuation),
+// and the producer/consumer ring makes the filter task's branches
+// data-dependent on peripheral values. The interleaving matters for
+// SpecCFA: the repeating unit is a whole scheduler round that *spans
+// task boundaries* (sense→filter→report), so mined sub-paths cross
+// call/return edges instead of staying inside one loop body — a longer,
+// rarer pattern than the tight loops of matmult/temperature.
+
+// RAM layout for the rtos app (offsets from mem.NSDataBase).
+const (
+	rtosTaskTab  = 0x00 // 3 function pointers, written at init
+	rtosWIdx     = 0x10 // ring write index (monotonic)
+	rtosRIdx     = 0x14 // ring read index (monotonic)
+	rtosEWMA     = 0x18 // filtered value
+	rtosRState   = 0x1C // report protothread state (0 wait, 1 emit)
+	rtosRCount   = 0x20 // report round counter
+	rtosRing     = 0x40 // 8-word sample ring
+	rtosRounds   = 40   // scheduler rounds
+	rtosEmitWait = 6    // report emits every emitWait+1 rounds
+)
+
+func init() {
+	register(App{
+		Name: "rtos",
+		Description: "cooperative scheduler: BLX through a RAM function-pointer table " +
+			"multiplexes three protothreads; report task resumes via LDRPC state dispatch " +
+			"(task-interleaved / mutable-pointer-table stress)",
+		Build: buildRTOS,
+		Setup: func(m *mem.Memory) *Devices {
+			d := &Devices{
+				Temp: periph.NewTemp(0x7E3A),
+				Host: &periph.HostLink{},
+			}
+			m.Map(periph.TempBase, periph.DeviceWindow, d.Temp)
+			m.Map(periph.HostLinkBase, periph.DeviceWindow, d.Host)
+			return d
+		},
+	})
+}
+
+// Global register convention (set by main, read by every task):
+//
+//	R8 RAM base (NSDataBase)   R9 Temp base   R10 host-link base
+//
+// Tasks use only R0-R3 as scratch; the scheduler keeps its round and
+// task counters in R4/R5 across the indirect calls.
+func buildRTOS() *asm.Program {
+	p := asm.NewProgram("rtos")
+	p.AddData(&asm.DataSegment{
+		Name: "report_states",
+		Syms: []string{"task_report.r_wait", "task_report.r_emit"},
+	})
+
+	main := p.NewFunc("main")
+	main.PUSH(isa.R4, isa.R5, isa.LR)
+	main.MOV32(isa.R8, mem.NSDataBase)
+	main.MOV32(isa.R9, periph.TempBase)
+	main.MOV32(isa.R10, periph.HostLinkBase)
+
+	// Populate the task table in RAM — the pointers the scheduler calls
+	// through live in mutable memory from here on.
+	main.LA(isa.R0, "task_sense")
+	main.STRi(isa.R0, isa.R8, rtosTaskTab+0)
+	main.LA(isa.R0, "task_filter")
+	main.STRi(isa.R0, isa.R8, rtosTaskTab+4)
+	main.LA(isa.R0, "task_report")
+	main.STRi(isa.R0, isa.R8, rtosTaskTab+8)
+
+	main.MOVi(isa.R0, 0)
+	main.STRi(isa.R0, isa.R8, rtosWIdx)
+	main.STRi(isa.R0, isa.R8, rtosRIdx)
+	main.STRi(isa.R0, isa.R8, rtosEWMA)
+	main.STRi(isa.R0, isa.R8, rtosRState)
+	main.STRi(isa.R0, isa.R8, rtosRCount)
+
+	main.MOVi(isa.R4, rtosRounds)
+	main.Label("round_loop")
+	main.MOVi(isa.R5, 0)
+	main.Label("task_loop")
+	main.LSLi(isa.R1, isa.R5, 2)
+	main.LDRr(isa.R3, isa.R8, isa.R1) // fetch task pointer from RAM
+	main.BLX(isa.R3)
+	main.ADDi(isa.R5, isa.R5, 1)
+	main.CMPi(isa.R5, 3)
+	main.BLT("task_loop")
+	main.SUBi(isa.R4, isa.R4, 1)
+	main.CMPi(isa.R4, 0)
+	main.BNE("round_loop")
+
+	// Final report: the settled filter value.
+	main.LDRi(isa.R0, isa.R8, rtosEWMA)
+	main.STRi(isa.R0, isa.R10, periph.HostData)
+	main.POP(isa.R4, isa.R5, isa.PC)
+
+	// task_sense: producer protothread. Samples the sensor and admits even
+	// readings into the ring (data-dependent accept/reject), dropping when
+	// the ring is full.
+	sense := p.NewFunc("task_sense")
+	sense.LDRi(isa.R0, isa.R9, periph.TempSample)
+	sense.MOVi(isa.R1, 1)
+	sense.TST(isa.R0, isa.R1)
+	sense.BNE("s_done") // odd sample: reject
+	sense.LDRi(isa.R1, isa.R8, rtosWIdx)
+	sense.LDRi(isa.R2, isa.R8, rtosRIdx)
+	sense.SUBr(isa.R3, isa.R1, isa.R2)
+	sense.CMPi(isa.R3, 8)
+	sense.BGE("s_done") // ring full: drop
+	sense.MOVi(isa.R2, 7)
+	sense.ANDr(isa.R2, isa.R1, isa.R2)
+	sense.LSLi(isa.R2, isa.R2, 2)
+	sense.ADDi(isa.R2, isa.R2, rtosRing)
+	sense.STRr(isa.R0, isa.R8, isa.R2)
+	sense.ADDi(isa.R1, isa.R1, 1)
+	sense.STRi(isa.R1, isa.R8, rtosWIdx)
+	sense.Label("s_done")
+	sense.RET()
+
+	// task_filter: consumer protothread. Drains one ring entry per round
+	// (when one exists) into an EWMA: ewma += (v - ewma) / 4, computed as
+	// ewma - ewma>>2 + v>>2 in unsigned arithmetic.
+	filter := p.NewFunc("task_filter")
+	filter.LDRi(isa.R0, isa.R8, rtosWIdx)
+	filter.LDRi(isa.R1, isa.R8, rtosRIdx)
+	filter.CMPr(isa.R1, isa.R0)
+	filter.BEQ("f_done") // ring empty
+	filter.MOVi(isa.R2, 7)
+	filter.ANDr(isa.R2, isa.R1, isa.R2)
+	filter.LSLi(isa.R2, isa.R2, 2)
+	filter.ADDi(isa.R2, isa.R2, rtosRing)
+	filter.LDRr(isa.R3, isa.R8, isa.R2) // v
+	filter.LDRi(isa.R2, isa.R8, rtosEWMA)
+	filter.LSRi(isa.R0, isa.R2, 2)
+	filter.SUBr(isa.R2, isa.R2, isa.R0)
+	filter.LSRi(isa.R0, isa.R3, 2)
+	filter.ADDr(isa.R2, isa.R2, isa.R0)
+	filter.STRi(isa.R2, isa.R8, rtosEWMA)
+	filter.ADDi(isa.R1, isa.R1, 1)
+	filter.STRi(isa.R1, isa.R8, rtosRIdx)
+	filter.Label("f_done")
+	filter.RET()
+
+	// task_report: protothread with an explicit continuation — each
+	// invocation resumes at the state the previous one stored, via a
+	// computed jump through report_states.
+	report := p.NewFunc("task_report")
+	report.LDRi(isa.R0, isa.R8, rtosRState)
+	report.LA(isa.R2, "report_states")
+	report.LDRPC(isa.R2, isa.R0)
+
+	report.Label("r_wait")
+	report.LDRi(isa.R1, isa.R8, rtosRCount)
+	report.ADDi(isa.R1, isa.R1, 1)
+	report.STRi(isa.R1, isa.R8, rtosRCount)
+	report.CMPi(isa.R1, rtosEmitWait)
+	report.BLT("r_done")
+	report.MOVi(isa.R1, 1)
+	report.STRi(isa.R1, isa.R8, rtosRState)
+	report.Label("r_done")
+	report.RET()
+
+	report.Label("r_emit")
+	report.LDRi(isa.R1, isa.R8, rtosEWMA)
+	report.STRi(isa.R1, isa.R10, periph.HostData)
+	report.MOVi(isa.R1, 0)
+	report.STRi(isa.R1, isa.R8, rtosRCount)
+	report.STRi(isa.R1, isa.R8, rtosRState)
+	report.RET()
+
+	return p
+}

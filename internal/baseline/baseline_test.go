@@ -149,8 +149,14 @@ func TestTracesLosslessVerification(t *testing.T) {
 				if drop.OK {
 					t.Error("dropped-word evidence accepted")
 				}
+				// A small bit-flip is not guaranteed invalid: on table-jump
+				// heavy workloads (dispatch) a +/-2 nudge of an indirect dst
+				// can land on another in-function instruction, which the
+				// escape policy deliberately allows. Clobber the word with a
+				// value no site class accepts: out of every function range,
+				// not an instruction, and an absurd loop entry value.
 				mut := append([]uint32(nil), res.Evidence...)
-				mut[len(mut)/2] ^= 0x2
+				mut[len(mut)/2] = 0xFFFF_FFFD
 				if v := traces.Verify(out, mut); v.OK {
 					t.Error("mutated evidence accepted")
 				}

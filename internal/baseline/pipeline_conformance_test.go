@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/baseline/traces"
+)
+
+// Differential pipeline conformance for the TRACES baseline: verifying
+// through the unified decode pipeline (TRACES log encoding -> shared
+// frontend -> PathDecoder) must render a Verdict identical to calling
+// the value-set verifier on the raw word stream, for every workload.
+// Round-tripping the evidence through the on-wire log encoding must be
+// lossless.
+func TestTracesPipelineConformance(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			out, err := traces.Instrument(a.Build(), traces.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := traces.Run(out, traces.Config{SetupMem: a.SetupMem(), MaxSteps: a.MaxSteps})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			words, derr := traces.DecodeLog(traces.EncodeLog(res.Evidence))
+			if derr != nil {
+				t.Fatalf("log round-trip: %v", derr)
+			}
+			if !reflect.DeepEqual(words, res.Evidence) {
+				t.Fatalf("log round-trip lost words: %d vs %d", len(words), len(res.Evidence))
+			}
+
+			legacy := traces.Verify(out, res.Evidence)
+			piped, err := traces.VerifyPipeline(out, res.Source())
+			if err != nil {
+				t.Fatalf("pipeline verify: %v", err)
+			}
+			if !reflect.DeepEqual(legacy, piped) {
+				t.Fatalf("verdict divergence:\nlegacy   %+v\npipeline %+v", legacy, piped)
+			}
+			if !piped.OK {
+				t.Fatalf("rejected: %s", piped.Reason)
+			}
+		})
+	}
+}

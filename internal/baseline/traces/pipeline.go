@@ -1,0 +1,43 @@
+package traces
+
+import "raptrack/internal/trace/pipeline"
+
+// Pipeline adapters: the TRACES baseline rides the unified trace-decode
+// stack. Evidence serializes to the registered FormatTRACES log encoding
+// (u32 count, then count destination words), decodes through the shared
+// frontend with typed errors, and verifies via a PathDecoder — so the
+// baseline and RAP-Track consume evidence through the same seam and a
+// gateway can host both behind one decode path.
+
+// EncodeLog serializes a destination-word stream to the TRACES log
+// encoding — the canonical on-wire/on-disk form of baseline evidence.
+func EncodeLog(words []uint32) []byte { return pipeline.EncodeTRACES(words) }
+
+// DecodeLog strictly decodes a TRACES log, reporting framing defects as
+// typed pipeline errors (Truncated / Misaligned / UnknownFormat).
+func DecodeLog(b []byte) ([]uint32, *pipeline.Error) { return pipeline.DecodeTRACES(b) }
+
+// Source exposes the run's evidence as a pipeline TraceSource. TRACES
+// excludes capture loss by construction (the TEE log grows instead of
+// wrapping), so the source never attests loss.
+func (r *Result) Source() pipeline.TraceSource { return pipeline.TRACESLog(r.Evidence) }
+
+// Decoder is the pipeline PathDecoder for TRACES evidence: the processed
+// record stream's destination words feed the value-set pushdown verifier.
+type Decoder struct {
+	Out *Output
+}
+
+// DecodePath verifies the record stream against the instrumented
+// artifact. A well-formed stream attesting a disallowed execution is a
+// non-OK Verdict, not an error — matching the RAP-Track verifier's
+// contract.
+func (d Decoder) DecodePath(recs []pipeline.Rec) (*Verdict, error) {
+	return Verify(d.Out, pipeline.Words(recs)), nil
+}
+
+// VerifyPipeline runs src through the decode stack (with any extra
+// stages) and verifies the result — the one-call path a gateway uses.
+func VerifyPipeline(out *Output, src pipeline.TraceSource, stages ...pipeline.PacketProcessor) (*Verdict, error) {
+	return pipeline.Decode[*Verdict](pipeline.New(src, stages...), Decoder{Out: out})
+}

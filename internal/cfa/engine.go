@@ -26,6 +26,7 @@ import (
 	"raptrack/internal/mem"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/tz"
 )
 
@@ -261,9 +262,14 @@ func (e *Engine) emitReport(final bool) {
 	n := e.MTB.Position()
 	log := e.mem.ReadBytes(mem.SDataBase, uint32(n))
 	if e.spec.Len() > 0 {
-		packets := trace.DecodePackets(log)
+		// The MTB window is whole-packet by construction; strict decode
+		// asserts that instead of assuming it.
+		packets, derr := pipeline.DecodeMTB(log)
+		if derr != nil {
+			panic("cfa: MTB window not whole-packet: " + derr.Error())
+		}
 		e.PauseCycles += uint64(len(packets)) * CompressCyclesPerPacket
-		log = trace.EncodePackets(e.spec.Compress(packets))
+		log = pipeline.EncodeMTB(e.spec.Compress(packets))
 	}
 	wraps := e.MTB.Wraps - e.lastWraps
 	dropped := e.MTB.DroppedArming - e.lastDropped

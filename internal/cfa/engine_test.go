@@ -10,7 +10,7 @@ import (
 	"raptrack/internal/isa"
 	"raptrack/internal/linker"
 	"raptrack/internal/mem"
-	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/tz"
 )
 
@@ -236,7 +236,7 @@ func TestEngineEntriesInterleaved(t *testing.T) {
 		t.Errorf("engine entries = %d, want 1 (one logged loop)", e.MTB.EngineEntries)
 	}
 	reports, _ := e.Finish()
-	pkts := trace.DecodePackets(reports[len(reports)-1].CFLog)
+	pkts, _ := pipeline.New(pipeline.Raw(pipeline.FormatMTB, reports[len(reports)-1].CFLog)).Packets()
 	// The loop-condition entry must appear before the final return packet.
 	var loopIdx, retIdx = -1, -1
 	for i, p := range pkts {

@@ -8,8 +8,20 @@ import (
 	"raptrack/internal/attest"
 	"raptrack/internal/cpu"
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
+
+// decodeMTB decodes a CFLog through the pipeline's lenient MTB path —
+// the same framing the verifier applies to assembled chains.
+func decodeMTB(tb testing.TB, b []byte) []trace.Packet {
+	tb.Helper()
+	ps, derr := pipeline.New(pipeline.Raw(pipeline.FormatMTB, b)).Packets()
+	if derr != nil {
+		tb.Fatal(derr)
+	}
+	return ps
+}
 
 // Differential engine conformance: the compiled table-driven automaton
 // (the default accept path) against the interpretive pushdown search (the
@@ -139,7 +151,7 @@ func attestedPackets(t *testing.T, seed int64) (*verify.Verifier, *verify.Verifi
 	}
 	ref := NewVerifier(out, key, verify.WithAutomaton(false))
 	fast := NewVerifier(out, key)
-	return ref, fast, trace.DecodePackets(log)
+	return ref, fast, decodeMTB(t, log)
 }
 
 // TestEngineConformanceFuzz: benign evidence from random structured
@@ -251,7 +263,7 @@ func TestEngineConformanceApps(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pk := trace.DecodePackets(log)
+			pk := decodeMTB(t, log)
 			ref := NewVerifier(out, key, verify.WithAutomaton(false))
 			fast := NewVerifier(out, key)
 			diffEngines(t, ref, fast, pk, "benign")

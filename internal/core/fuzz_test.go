@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"raptrack/internal/attest"
-	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
 
@@ -42,8 +42,8 @@ func FuzzAutomatonDifferential(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(log)
-	for _, mpk := range corruptions(trace.DecodePackets(log)) {
-		f.Add(trace.EncodePackets(mpk))
+	for _, mpk := range corruptions(decodeMTB(f, log)) {
+		f.Add(pipeline.EncodeMTB(mpk))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xfe, 0xff, 0xff, 0xff, 0x00, 0x00, 0x20, 0x00}) // halt-sentinel-ish
@@ -57,6 +57,6 @@ func FuzzAutomatonDifferential(f *testing.F) {
 		if len(data) > 1<<14 {
 			t.Skip("stream beyond fuzz size budget")
 		}
-		diffEngines(t, ref, fast, trace.DecodePackets(data), "fuzz")
+		diffEngines(t, ref, fast, decodeMTB(t, data), "fuzz")
 	})
 }

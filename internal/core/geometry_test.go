@@ -5,7 +5,6 @@ import (
 
 	"raptrack/internal/apps"
 	"raptrack/internal/attest"
-	"raptrack/internal/trace"
 	"raptrack/internal/verify"
 )
 
@@ -33,7 +32,7 @@ func TestVerifyGeometry(t *testing.T) {
 	for _, r := range reports {
 		log = append(log, r.CFLog...)
 	}
-	pkts := trace.DecodePackets(log)
+	pkts := decodeMTB(t, log)
 	v := NewVerifier(out, key)
 	entries, outcomes, advs, work := verify.Diag(v, pkts)
 	t.Logf("crc32: packets=%d entries=%d outcomes=%d advs=%d work=%d",

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
+)
+
+// Differential pipeline conformance: the typed decode pipeline must be
+// bit-identical to the legacy MTB framing on real evidence. For every
+// registered workload this attests a session and checks, packet for
+// packet, that the lenient pipeline path reproduces trace.DecodePackets
+// (the pre-pipeline decoder, kept as the oracle) over every report, the
+// assembled chain, and ragged truncations of it — and that re-encoding
+// round-trips to the original bytes. This is the acceptance criterion
+// for the decode-path redesign: same evidence in, same packets out.
+func TestPipelineDecodeConformance(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			link, err := LinkForCFA(a.Build(), DefaultLinkOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, err := attest.GenerateHMACKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := NewProver(link, key, ProverConfig{SetupMem: a.SetupMem()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chal := mustChal(t, a.Name)
+			reports, _, err := p.Attest(chal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, err := NewVerifier(link, key).Verify(chal, reports); err != nil || !v.OK {
+				t.Fatalf("session rejected: %v %v", err, v)
+			}
+
+			var log []byte
+			for _, r := range reports {
+				assertSameDecode(t, r.CFLog)
+				log = append(log, r.CFLog...)
+			}
+			assertSameDecode(t, log)
+			// Ragged tails: the lenient pipeline must repair exactly as the
+			// legacy decoder silently dropped.
+			for cut := 1; cut <= trace.PacketSize && cut < len(log); cut++ {
+				assertSameDecode(t, log[:len(log)-cut])
+			}
+		})
+	}
+}
+
+// assertSameDecode checks legacy and pipeline MTB decoding agree on b,
+// and that the decoded packets re-encode to the whole-packet prefix.
+func assertSameDecode(t *testing.T, b []byte) {
+	t.Helper()
+	//lint:ignore SA1019 the deprecated decoder is the differential oracle here
+	legacy := trace.DecodePackets(b)
+	got, derr := pipeline.New(pipeline.Raw(pipeline.FormatMTB, b)).Packets()
+	if derr != nil {
+		t.Fatalf("lenient pipeline decode failed: %v", derr)
+	}
+	le, ge := pipeline.EncodeMTB(legacy), pipeline.EncodeMTB(got)
+	if !bytes.Equal(le, ge) {
+		t.Fatalf("decode divergence on %d bytes: legacy %d packets, pipeline %d packets",
+			len(b), len(legacy), len(got))
+	}
+	if want := b[:len(b)-len(b)%trace.PacketSize]; !bytes.Equal(ge, want) {
+		t.Fatalf("re-encode is not the whole-packet prefix: %d bytes vs %d", len(ge), len(want))
+	}
+}

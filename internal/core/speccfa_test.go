@@ -6,7 +6,6 @@ import (
 	"raptrack/internal/apps"
 	"raptrack/internal/attest"
 	"raptrack/internal/speccfa"
-	"raptrack/internal/trace"
 	"raptrack/internal/verify"
 )
 
@@ -51,7 +50,7 @@ func TestSpecCFAEndToEnd(t *testing.T) {
 			for _, r := range reports1 {
 				log = append(log, r.CFLog...)
 			}
-			dict, err := speccfa.Mine(trace.DecodePackets(log), 8, 2, 8)
+			dict, err := speccfa.Mine(decodeMTB(t, log), 8, 2, 8)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +121,7 @@ func TestSpecCFAWithoutVerifierDictionary(t *testing.T) {
 	for _, r := range reports1 {
 		log = append(log, r.CFLog...)
 	}
-	dict, err := speccfa.Mine(trace.DecodePackets(log), 8, 2, 8)
+	dict, err := speccfa.Mine(decodeMTB(t, log), 8, 2, 8)
 	if err != nil || dict.Len() == 0 {
 		t.Skip("no dictionary")
 	}

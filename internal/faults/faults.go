@@ -198,7 +198,7 @@ func (in *Injector) InstrumentDWT(d *trace.DWT) {
 	}
 }
 
-// VerifyHook returns a gateway verify hook (server.Config.VerifyHook)
+// VerifyHook returns a gateway verify hook (install via server.WithFaults)
 // that panics or stalls verify workers per the plan.
 func (in *Injector) VerifyHook() func(app string) {
 	return func(app string) {

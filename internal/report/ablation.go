@@ -9,7 +9,7 @@ import (
 	"raptrack/internal/core"
 	"raptrack/internal/linker"
 	"raptrack/internal/speccfa"
-	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
 
@@ -238,7 +238,13 @@ func AblationSpeculation() (string, error) {
 		for _, r := range reports1 {
 			log = append(log, r.CFLog...)
 		}
-		dict, err := speccfa.Mine(trace.DecodePackets(log), 8, 2, 8)
+		// Concatenated report windows are whole-packet; lenient decode
+		// matches the verifier's framing.
+		minePackets, derr := pipeline.New(pipeline.Raw(pipeline.FormatMTB, log)).Packets()
+		if derr != nil {
+			return "", derr
+		}
+		dict, err := speccfa.Mine(minePackets, 8, 2, 8)
 		if err != nil {
 			return "", err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"raptrack/internal/obs"
 	"raptrack/internal/remote"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
 
@@ -55,6 +56,7 @@ type gatewayMetrics struct {
 	verdictAttack       *obs.Counter
 	verdictInconclusive *obs.Counter
 	rejections          [verify.NumReasons]*obs.Counter
+	decodeErrors        [pipeline.NumDecodeErrs]*obs.Counter
 
 	bytesIn   *obs.Counter
 	bytesOut  *obs.Counter
@@ -112,6 +114,11 @@ func (g *Gateway) registerMetrics() *gatewayMetrics {
 		"Non-OK verdicts by typed reason code.", "reason")
 	for code := verify.ReasonCode(0); code < verify.NumReasons; code++ {
 		m.rejections[code] = rej.With(code.String())
+	}
+	dec := r.CounterVec("raptrack_decode_errors_total",
+		"Evidence decode failures by typed pipeline code (wrap-loss counts Inconclusive verdicts).", "code")
+	for code := pipeline.DecodeErr(0); code < pipeline.NumDecodeErrs; code++ {
+		m.decodeErrors[code] = dec.With(code.String())
 	}
 
 	bytes := r.CounterVec("raptrack_io_bytes_total",

@@ -8,15 +8,12 @@ import (
 	"raptrack/internal/speccfa"
 )
 
-// Config tunes a Gateway. Zero values select the documented defaults.
-//
-// Deprecated: Config remains only as the [NewFromConfig] compatibility
-// shim's argument. New code configures the gateway with functional
-// options — [New] with [WithSessionSlots], [WithVerifyWorkers],
-// [WithCache], [WithMining], [WithFaults], [WithObserver] and friends —
-// which cover everything Config does plus the observability attachment
-// Config cannot express.
-type Config struct {
+// config tunes a Gateway; zero values select the documented defaults.
+// It is internal plumbing behind the functional options ([New] with
+// [WithSessionSlots], [WithVerifyWorkers], [WithCache], [WithMining],
+// [WithFaults], [WithObserver] and friends) — the former exported Config
+// struct and its NewFromConfig shim are gone.
+type config struct {
 	// MaxSessions caps concurrently served sessions; further connections
 	// are shed with a BUSY frame (default 64).
 	MaxSessions int
@@ -78,7 +75,7 @@ type Config struct {
 	DisableAutomaton bool
 }
 
-func (c Config) withDefaults() Config {
+func (c config) withDefaults() config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
 	}
@@ -112,10 +109,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// settings is the resolved constructor input: the (internal) Config plus
-// attachments the legacy struct never carried.
+// settings is the resolved constructor input: the config plus the
+// observer attachment.
 type settings struct {
-	cfg Config
+	cfg config
 	obs *obs.Observer
 }
 
@@ -224,13 +221,4 @@ func WithObserver(o *obs.Observer) Option {
 // the session is already counted in the snapshot).
 func WithSessionErrorHandler(fn func(remoteAddr string, err error)) Option {
 	return func(s *settings) { s.cfg.OnSessionError = fn }
-}
-
-// NewFromConfig builds a gateway from the legacy Config struct.
-//
-// Deprecated: use [New] with functional options. NewFromConfig remains
-// so pre-options callers keep compiling; it attaches a private observer
-// exactly as New does without [WithObserver].
-func NewFromConfig(cfg Config) *Gateway {
-	return newGateway(settings{cfg: cfg})
 }

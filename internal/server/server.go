@@ -64,6 +64,7 @@ import (
 	"raptrack/internal/obs"
 	"raptrack/internal/remote"
 	"raptrack/internal/speccfa"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
 
@@ -122,7 +123,7 @@ type verifyResult struct {
 // Gateway is a concurrent attestation server. Construct with New,
 // Register verifiers, then Serve one or more listeners; Close drains.
 type Gateway struct {
-	cfg Config
+	cfg config
 	obs *obs.Observer
 	m   *gatewayMetrics
 
@@ -567,6 +568,14 @@ func (g *Gateway) runJob(job verifyJob) {
 		res.verdict, res.err = job.app.verifier.VerifyWithAutomaton(job.chal, job.reports, job.dict, job.aut)
 	}()
 	g.m.verifySeconds.ObserveDuration(time.Since(start))
+	// Decode-failure classification: malformed evidence surfaces as a
+	// typed pipeline error, attested capture loss as an Inconclusive
+	// verdict (the pipeline's WrapLoss rendered by the verifier).
+	if code, ok := pipeline.CodeOf(res.err); ok {
+		g.m.decodeErrors[code].Inc()
+	} else if res.verdict != nil && !res.verdict.OK && res.verdict.Code == verify.ReasonInconclusive {
+		g.m.decodeErrors[pipeline.WrapLoss].Inc()
+	}
 	if res.verdict != nil {
 		// Phase attribution from the verifier's own clock; expand and
 		// search are skipped when the phase did not run (no dictionary,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 )
 
 // Dictionary wire format (remote DICT frame payload, little-endian):
@@ -23,7 +24,7 @@ func (d *Dictionary) Encode() []byte {
 	for _, p := range d.Paths() {
 		out = append(out, p.ID)
 		out = binary.LittleEndian.AppendUint16(out, uint16(len(p.Packets)))
-		out = append(out, trace.EncodePackets(p.Packets)...)
+		out = append(out, pipeline.EncodeMTB(p.Packets)...)
 	}
 	return out
 }
@@ -59,7 +60,10 @@ func DecodeDictionary(b []byte) (*Dictionary, error) {
 			return nil, fmt.Errorf("speccfa: duplicate dictionary path id %d", id)
 		}
 		seen[id] = true
-		pkts := trace.DecodePackets(b[:n*trace.PacketSize])
+		pkts, derr := pipeline.DecodeMTB(b[:n*trace.PacketSize])
+		if derr != nil {
+			return nil, fmt.Errorf("speccfa: dictionary path %d body: %w", i, derr)
+		}
 		b = b[n*trace.PacketSize:]
 		for _, pkt := range pkts {
 			if pkt.Src >= MarkerBase {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 )
 
 // MarkerBase is the source-address namespace for marker packets.
@@ -275,5 +276,5 @@ func containsSub(haystack, needle []trace.Packet) bool {
 }
 
 func packetsKey(ps []trace.Packet) string {
-	return string(trace.EncodePackets(ps))
+	return string(pipeline.EncodeMTB(ps))
 }

@@ -238,7 +238,14 @@ func (m *MTB) Size() int { return m.size }
 // pointer of CFLog is reset").
 func (m *MTB) ResetPosition() { m.pos = 0 }
 
-// DecodePackets parses raw buffer bytes into packets.
+// DecodePackets parses raw buffer bytes into packets, silently dropping
+// any trailing partial packet.
+//
+// Deprecated: decode through the pipeline package instead —
+// pipeline.New(pipeline.Raw(pipeline.FormatMTB, b)).Packets() matches
+// this function's lenient tail handling, and its Strict mode reports the
+// defect as a typed error. Kept as the thin legacy wrapper (and the fuzz
+// oracle the pipeline is differentially tested against).
 func DecodePackets(b []byte) []Packet {
 	n := len(b) / PacketSize
 	out := make([]Packet, 0, n)
@@ -252,6 +259,9 @@ func DecodePackets(b []byte) []Packet {
 }
 
 // EncodePackets serializes packets to the MTB wire format.
+//
+// Deprecated: use pipeline.EncodeMTB, the canonical encoder. Kept as the
+// thin legacy wrapper.
 func EncodePackets(ps []Packet) []byte {
 	out := make([]byte, 0, len(ps)*PacketSize)
 	for _, p := range ps {

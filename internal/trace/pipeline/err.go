@@ -1,0 +1,112 @@
+package pipeline
+
+import "fmt"
+
+// DecodeErr is the typed decode error code — the library-wide enum every
+// stage of the pipeline reports through (the OpenCSD ocsd.Err idiom:
+// one flat code space instead of per-decoder ad-hoc error values).
+// Gateways bucket decode failures by it, table tests pin it per format,
+// and it is stable across releases: codes are append-only.
+type DecodeErr uint8
+
+const (
+	// OK marks a successful decode (the zero value; never carried by a
+	// non-nil *Error).
+	OK DecodeErr = iota
+	// Truncated: the stream ends mid-record — whole words are present but
+	// the final record is incomplete (an MTB packet missing its
+	// destination word, a TRACES log shorter than its declared count).
+	Truncated
+	// Misaligned: the stream length is not a multiple of the format's
+	// word size, which no aligned capture window can produce — the bytes
+	// were cut or shifted below word granularity.
+	Misaligned
+	// UnknownFormat: the bytes do not parse as the claimed format (no
+	// frontend registered, an implausible header, a marker referencing a
+	// dictionary entry that does not exist).
+	UnknownFormat
+	// WrapLoss: the source attests capture loss (MTB ring wrap past the
+	// watermark, packets dropped while arming) — the records that remain
+	// are authentic but provably incomplete.
+	WrapLoss
+	// Budget: a processing stage exceeded its record budget before the
+	// stream was exhausted.
+	Budget
+
+	// NumDecodeErrs bounds the code space (array-indexed stats).
+	NumDecodeErrs
+)
+
+var decodeErrNames = [NumDecodeErrs]string{
+	OK:            "ok",
+	Truncated:     "truncated",
+	Misaligned:    "misaligned",
+	UnknownFormat: "unknown-format",
+	WrapLoss:      "wrap-loss",
+	Budget:        "budget",
+}
+
+func (c DecodeErr) String() string {
+	if c < NumDecodeErrs {
+		return decodeErrNames[c]
+	}
+	return "invalid-decode-err"
+}
+
+// Valid reports whether c is a defined code (wire/stats guard).
+func (c DecodeErr) Valid() bool { return c < NumDecodeErrs }
+
+// Error is the pipeline's error value: a typed code plus where in the
+// stream it fired. Every decode failure across sources, frontends and
+// processors is an *Error, so callers switch on Code instead of matching
+// message strings.
+type Error struct {
+	Code   DecodeErr
+	Format Format
+	// Off is the byte offset into the source stream the error anchors to:
+	// for framing errors the end of the last whole record, for record
+	// errors the offending record's first byte, -1 when no stream
+	// position applies (source-level loss, budget caps).
+	Off    int
+	Detail string
+	// Err is the wrapped underlying error, when the failure surfaced from
+	// outside the pipeline (a dictionary expander, a source read).
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("pipeline: %s: %s", e.Format, e.Code)
+	if e.Off >= 0 {
+		msg += fmt.Sprintf(" at +%d", e.Off)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// errf builds an *Error with a formatted detail.
+func errf(code DecodeErr, f Format, off int, format string, args ...any) *Error {
+	return &Error{Code: code, Format: f, Off: off, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the typed code from an error chain. It reports OK,
+// false for nil and code, true when a pipeline *Error is found; foreign
+// errors yield OK, false so callers do not mistake them for clean
+// decodes — check the boolean, not the code.
+func CodeOf(err error) (DecodeErr, bool) {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			return e.Code, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return OK, false
+		}
+		err = u.Unwrap()
+	}
+	return OK, false
+}

@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"encoding/binary"
+
+	"raptrack/internal/trace"
+)
+
+// Format identifies a trace evidence encoding. The zero value is
+// FormatUnknown; decoding it (or any unregistered value) reports
+// UnknownFormat.
+type Format uint8
+
+const (
+	FormatUnknown Format = iota
+	// FormatMTB is the Micro Trace Buffer stream: 8-byte records of
+	// little-endian (source, destination) address pairs — the raw ring
+	// contents and the CFLog a report chain assembles.
+	FormatMTB
+	// FormatTRACES is the TRACES baseline's instrumentation log: a
+	// little-endian u32 record count followed by that many u32
+	// destination words (the TEE-protected CFLog the Secure World
+	// appends to).
+	FormatTRACES
+)
+
+// tracesMaxWords caps a TRACES log's declared record count. A count above
+// it (a 64 MiB+ log from an MCU with kilobytes of SRAM) marks bytes that
+// are not a TRACES log at all, not a log that is merely long.
+const tracesMaxWords = 1 << 24
+
+// Frontend parses one format's raw bytes into records.
+type Frontend struct {
+	// Name is the format's registry name (CLI flags, metric labels).
+	Name string
+	// WordSize is the format's addressing granularity in bytes; a stream
+	// length that is not a multiple of it is Misaligned.
+	WordSize int
+	// Parse decodes b strictly: any framing defect is a typed *Error.
+	// recs carries the records decoded before the defect, so lenient
+	// callers can keep the whole-record prefix (tail repair).
+	Parse func(b []byte) (recs []Rec, err *Error)
+}
+
+var frontends = map[Format]Frontend{}
+
+// RegisterFormat installs a frontend for f. Registering a format twice,
+// or registering FormatUnknown, panics: the registry is a process-wide
+// compile-time-shaped table, not a mutable namespace.
+func RegisterFormat(f Format, fe Frontend) {
+	if f == FormatUnknown {
+		panic("pipeline: cannot register FormatUnknown")
+	}
+	if _, dup := frontends[f]; dup {
+		panic("pipeline: duplicate format registration: " + fe.Name)
+	}
+	frontends[f] = fe
+}
+
+// Lookup returns the frontend registered for f.
+func Lookup(f Format) (Frontend, bool) {
+	fe, ok := frontends[f]
+	return fe, ok
+}
+
+// FormatByName resolves a registry name ("mtb", "traces") to its Format.
+func FormatByName(name string) (Format, bool) {
+	for f, fe := range frontends {
+		if fe.Name == name {
+			return f, true
+		}
+	}
+	return FormatUnknown, false
+}
+
+func (f Format) String() string {
+	if fe, ok := frontends[f]; ok {
+		return fe.Name
+	}
+	return "unknown"
+}
+
+// Parse decodes b as format f, strictly. Unregistered formats report
+// UnknownFormat at offset 0.
+func Parse(f Format, b []byte) ([]Rec, *Error) {
+	fe, ok := frontends[f]
+	if !ok {
+		return nil, errf(UnknownFormat, f, 0, "no frontend registered for format %d", uint8(f))
+	}
+	return fe.Parse(b)
+}
+
+func init() {
+	RegisterFormat(FormatMTB, Frontend{Name: "mtb", WordSize: 4, Parse: parseMTB})
+	RegisterFormat(FormatTRACES, Frontend{Name: "traces", WordSize: 4, Parse: parseTRACES})
+}
+
+// parseMTB decodes the MTB ring encoding: consecutive 8-byte
+// (source, destination) little-endian pairs.
+func parseMTB(b []byte) ([]Rec, *Error) {
+	n := len(b) / trace.PacketSize
+	recs := make([]Rec, 0, n)
+	for i := 0; i < n; i++ {
+		off := i * trace.PacketSize
+		recs = append(recs, Rec{
+			Src:  binary.LittleEndian.Uint32(b[off:]),
+			Dst:  binary.LittleEndian.Uint32(b[off+4:]),
+			Off:  off,
+			Kind: RecEdge,
+		})
+	}
+	switch rem := len(b) % trace.PacketSize; {
+	case rem%4 != 0:
+		return recs, errf(Misaligned, FormatMTB, len(b)-rem%4,
+			"%d stray byte(s) below word granularity", rem%4)
+	case rem != 0:
+		return recs, errf(Truncated, FormatMTB, n*trace.PacketSize,
+			"stream ends mid-packet (source word without destination)")
+	}
+	return recs, nil
+}
+
+// parseTRACES decodes the TRACES log encoding: u32 count, then count
+// destination words.
+func parseTRACES(b []byte) ([]Rec, *Error) {
+	if len(b) < 4 {
+		return nil, errf(Truncated, FormatTRACES, len(b),
+			"log shorter than its %d-byte count header", 4)
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	if count > tracesMaxWords {
+		return nil, errf(UnknownFormat, FormatTRACES, 0,
+			"implausible record count %d (max %d): not a TRACES log", count, tracesMaxWords)
+	}
+	body := b[4:]
+	have := len(body) / 4
+	n := count
+	if have < n {
+		n = have
+	}
+	recs := make([]Rec, 0, n)
+	for i := 0; i < n; i++ {
+		off := 4 + i*4
+		recs = append(recs, Rec{
+			Dst:  binary.LittleEndian.Uint32(body[i*4:]),
+			Off:  off,
+			Kind: RecDest,
+		})
+	}
+	switch {
+	case len(body)%4 != 0:
+		return recs, errf(Misaligned, FormatTRACES, len(b)-len(body)%4,
+			"%d stray byte(s) below word granularity", len(body)%4)
+	case have < count:
+		return recs, errf(Truncated, FormatTRACES, len(b),
+			"log declares %d record(s) but carries %d", count, have)
+	case have > count:
+		return recs, errf(UnknownFormat, FormatTRACES, 4+count*4,
+			"%d word(s) beyond the declared count", have-count)
+	}
+	return recs, nil
+}
+
+// EncodeMTB serializes packets to the MTB stream encoding — the
+// canonical encoder behind the deprecated trace.EncodePackets.
+func EncodeMTB(ps []trace.Packet) []byte {
+	out := make([]byte, 0, len(ps)*trace.PacketSize)
+	for _, p := range ps {
+		out = binary.LittleEndian.AppendUint32(out, p.Src)
+		out = binary.LittleEndian.AppendUint32(out, p.Dst)
+	}
+	return out
+}
+
+// DecodeMTB strictly decodes an MTB stream to packets.
+func DecodeMTB(b []byte) ([]trace.Packet, *Error) {
+	recs, err := parseMTB(b)
+	if err != nil {
+		return nil, err
+	}
+	return Packets(recs), nil
+}
+
+// EncodeTRACES serializes a TRACES destination log.
+func EncodeTRACES(words []uint32) []byte {
+	out := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+4*len(words)), uint32(len(words)))
+	for _, w := range words {
+		out = binary.LittleEndian.AppendUint32(out, w)
+	}
+	return out
+}
+
+// DecodeTRACES strictly decodes a TRACES log to destination words.
+func DecodeTRACES(b []byte) ([]uint32, *Error) {
+	recs, err := parseTRACES(b)
+	if err != nil {
+		return nil, err
+	}
+	return Words(recs), nil
+}

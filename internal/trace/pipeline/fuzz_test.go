@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"raptrack/internal/trace"
+)
+
+// FuzzPipelineDecode drives arbitrary bytes through both registered
+// frontends in lenient and strict mode. The first input byte selects the
+// format (even: MTB, odd: TRACES); the rest is the stream.
+//
+// Invariants checked:
+//   - no panics, and every surfaced *Error carries a valid code, the
+//     frontend's format, and an offset inside [-1, len(stream)];
+//   - lenient MTB decoding never fails and is bit-identical to the
+//     legacy trace.DecodePackets oracle (whole-packet prefix);
+//   - lenient decoding only ever repairs Truncated/Misaligned — when
+//     strict fails with any other code, lenient fails identically;
+//   - record offsets are strictly increasing, record-aligned positions
+//     inside the stream.
+func FuzzPipelineDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(append([]byte{0}, EncodeMTB([]trace.Packet{{Src: 0x200010, Dst: 0x200040}})...))
+	f.Add(append([]byte{0}, 1, 2, 3)) // ragged MTB tail
+	f.Add(append([]byte{1}, EncodeTRACES([]uint32{0x200040, 0x200052})...))
+	f.Add(append([]byte{1}, 2, 0, 0, 0, 0xAA)) // short TRACES body
+	f.Add(append([]byte{1}, 1, 0, 0, 1))       // implausible TRACES count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		format := FormatMTB
+		if data[0]&1 == 1 {
+			format = FormatTRACES
+		}
+		b := data[1:]
+
+		lenient := New(Raw(format, b))
+		recs, derr := lenient.Records()
+		checkErr(t, derr, format, len(b))
+		checkRecs(t, recs, format, len(b))
+
+		if _, serr := New(Raw(format, b)).Strict().Records(); serr != nil {
+			checkErr(t, serr, format, len(b))
+		} else if derr != nil {
+			t.Fatalf("lenient failed (%v) where strict succeeded", derr)
+		}
+
+		// Parse exposes the whole-record prefix alongside any error — the
+		// prefix lenient repair must keep, and only for repairable codes.
+		prefix, perr := Parse(format, b)
+		switch {
+		case perr == nil:
+			if derr != nil {
+				t.Fatalf("lenient failed (%v) on clean input", derr)
+			}
+			if len(recs) != len(prefix) {
+				t.Fatalf("lenient %d records != parse %d on clean input", len(recs), len(prefix))
+			}
+		case perr.Code == Truncated || perr.Code == Misaligned:
+			if derr != nil {
+				t.Fatalf("lenient did not repair %v", perr)
+			}
+			if len(recs) != len(prefix) {
+				t.Fatalf("repair kept %d records, whole-record prefix had %d", len(recs), len(prefix))
+			}
+		default:
+			if derr == nil || derr.Code != perr.Code {
+				t.Fatalf("lenient repaired unrepairable %v (got %v)", perr, derr)
+			}
+		}
+
+		if format == FormatMTB {
+			if derr != nil {
+				t.Fatalf("lenient MTB decode failed: %v", derr)
+			}
+			//lint:ignore SA1019 the deprecated decoder is the differential oracle here
+			legacy := trace.DecodePackets(b)
+			got := Packets(recs)
+			if !bytes.Equal(EncodeMTB(legacy), EncodeMTB(got)) {
+				t.Fatalf("MTB divergence: legacy %d packets, pipeline %d", len(legacy), len(got))
+			}
+			if want := b[:len(b)-len(b)%trace.PacketSize]; !bytes.Equal(EncodeMTB(got), want) {
+				t.Fatalf("re-encode is not the whole-packet prefix")
+			}
+		}
+	})
+}
+
+func checkErr(t *testing.T, e *Error, format Format, n int) {
+	t.Helper()
+	if e == nil {
+		return
+	}
+	if e.Code <= OK || e.Code >= NumDecodeErrs {
+		t.Fatalf("invalid error code %d: %v", e.Code, e)
+	}
+	if e.Format != format {
+		t.Fatalf("error format %v, frontend %v: %v", e.Format, format, e)
+	}
+	if e.Off < -1 || e.Off > n {
+		t.Fatalf("offset %d outside [-1, %d]: %v", e.Off, n, e)
+	}
+}
+
+func checkRecs(t *testing.T, recs []Rec, format Format, n int) {
+	t.Helper()
+	header, record := 0, 8 // MTB: bare 8-byte packets
+	if format == FormatTRACES {
+		header, record = 4, 4 // u32 count, then u32 words
+	}
+	prev := -1
+	for i, r := range recs {
+		if r.Off < 0 || r.Off >= n {
+			t.Fatalf("record %d offset %d outside stream of %d bytes", i, r.Off, n)
+		}
+		if r.Off <= prev {
+			t.Fatalf("record %d offset %d not increasing (prev %d)", i, r.Off, prev)
+		}
+		if (r.Off-header)%record != 0 {
+			t.Fatalf("record %d offset %d not record-aligned", i, r.Off)
+		}
+		prev = r.Off
+	}
+}

@@ -1,0 +1,182 @@
+// Package pipeline is the unified trace-decode stack: every evidence
+// format the system ingests — MTB ring packets, TRACES instrumentation
+// logs, raw byte replays — decodes through the same three-stage
+// composition instead of a per-format one-off parser.
+//
+// The shape follows OpenCSD's decoder architecture:
+//
+//	TraceSource  ->  frontend  ->  PacketProcessor*  ->  PathDecoder
+//	(raw bytes)     (framing)      (typed record        (edge stream /
+//	                                transforms)          verdict)
+//
+// A [TraceSource] supplies raw evidence bytes plus their format identity
+// and any out-of-band capture-loss attestation. The format's registered
+// [Frontend] frames the bytes into [Rec] records — the canonical typed
+// element, one control-transfer evidence record with its stream offset.
+// [PacketProcessor] stages transform the record stream (dictionary-marker
+// expansion, loss gating, budget caps, fault annotation). A
+// [PathDecoder] finally turns the processed records into whatever the
+// consumer is after — for the RAP-Track verifier the reconstructed edge
+// stream inside a Verdict, for the TRACES baseline its value-set verdict.
+//
+// Every failure anywhere on the stack is a typed [*Error] carrying a
+// [DecodeErr] code and a stream offset, replacing the ad-hoc error
+// values the per-format decoders used to invent.
+package pipeline
+
+import "raptrack/internal/trace"
+
+// RecKind distinguishes what a record encodes.
+type RecKind uint8
+
+const (
+	// RecEdge is a full control transfer: source and destination (MTB).
+	RecEdge RecKind = iota
+	// RecDest is a destination-only record (TRACES logs the taken target
+	// with no source annotation).
+	RecDest
+)
+
+// Rec is the canonical pipeline element: one decoded evidence record.
+type Rec struct {
+	Src uint32 // branch source address (RecEdge only)
+	Dst uint32 // branch destination / logged word
+	// Off is the record's byte offset in the source stream; synthesized
+	// records (marker expansion) inherit the offset of the record they
+	// expand from.
+	Off  int
+	Kind RecKind
+}
+
+// TraceSource supplies one stream of raw evidence bytes.
+type TraceSource interface {
+	// Format identifies the stream's encoding (frontend selection).
+	Format() Format
+	// Read returns the raw evidence bytes.
+	Read() ([]byte, *Error)
+	// Loss reports capture loss attested out of band — ring wraps and
+	// arming drops the hardware counted while recording. (0, 0) means
+	// the stream is complete as captured.
+	Loss() (wraps, dropped uint64)
+}
+
+// PacketProcessor is one record-stream transform stage.
+type PacketProcessor interface {
+	// Name identifies the stage (diagnostics, metric labels).
+	Name() string
+	// Process transforms the record stream. The input slice must not be
+	// retained; returning it unchanged is the no-op.
+	Process(recs []Rec) ([]Rec, *Error)
+}
+
+// PathDecoder consumes the processed record stream and produces the
+// final decode result R — the edge-stream verdict for full verifiers,
+// or any narrower projection a tool wants.
+type PathDecoder[R any] interface {
+	DecodePath(recs []Rec) (R, error)
+}
+
+// Pipeline composes a source with its processor stages. The zero value
+// is unusable; use New.
+type Pipeline struct {
+	src    TraceSource
+	stages []PacketProcessor
+	strict bool
+}
+
+// New composes src with stages, applied in order. Framing defaults to
+// lenient: a Truncated or Misaligned stream is repaired to its
+// whole-record prefix (what a wrapped hardware ring hands you anyway);
+// use Strict to surface those as typed errors instead.
+func New(src TraceSource, stages ...PacketProcessor) *Pipeline {
+	return &Pipeline{src: src, stages: stages}
+}
+
+// Strict returns a copy of p that surfaces framing defects (Truncated,
+// Misaligned) as errors instead of repairing to the whole-record prefix.
+func (p *Pipeline) Strict() *Pipeline {
+	q := *p
+	q.strict = true
+	return &q
+}
+
+// Source returns the pipeline's trace source.
+func (p *Pipeline) Source() TraceSource { return p.src }
+
+// Records runs source, frontend and every processor stage, returning the
+// processed record stream.
+func (p *Pipeline) Records() ([]Rec, *Error) {
+	b, derr := p.src.Read()
+	if derr != nil {
+		return nil, derr
+	}
+	recs, derr := Parse(p.src.Format(), b)
+	if derr != nil {
+		// Tail repair: framing cuts below record granularity keep the
+		// whole-record prefix in lenient mode. Anything else (unknown
+		// format, implausible header) stays fatal in both modes.
+		repairable := derr.Code == Truncated || derr.Code == Misaligned
+		if p.strict || !repairable {
+			return nil, derr
+		}
+	}
+	for _, st := range p.stages {
+		if b, ok := st.(sourceBinder); ok {
+			b.bindSource(p.src)
+		}
+		var serr *Error
+		recs, serr = st.Process(recs)
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	return recs, nil
+}
+
+// Packets is Records projected to the trace.Packet edge stream the
+// verifier and automaton consume (RecDest records project with Src 0).
+func (p *Pipeline) Packets() ([]trace.Packet, *Error) {
+	recs, derr := p.Records()
+	if derr != nil {
+		return nil, derr
+	}
+	return Packets(recs), nil
+}
+
+// Decode runs the full stack: source, frontend, processors, then d.
+func Decode[R any](p *Pipeline, d PathDecoder[R]) (R, error) {
+	recs, derr := p.Records()
+	if derr != nil {
+		var zero R
+		return zero, derr
+	}
+	return d.DecodePath(recs)
+}
+
+// Packets projects records onto the canonical edge stream.
+func Packets(recs []Rec) []trace.Packet {
+	out := make([]trace.Packet, len(recs))
+	for i, r := range recs {
+		out[i] = trace.Packet{Src: r.Src, Dst: r.Dst}
+	}
+	return out
+}
+
+// Words projects records onto the destination-word stream (TRACES).
+func Words(recs []Rec) []uint32 {
+	out := make([]uint32, len(recs))
+	for i, r := range recs {
+		out[i] = r.Dst
+	}
+	return out
+}
+
+// Recs lifts an edge stream back into records (replay, corpus tools).
+// Offsets are synthesized from the MTB encoding.
+func Recs(ps []trace.Packet) []Rec {
+	out := make([]Rec, len(ps))
+	for i, p := range ps {
+		out[i] = Rec{Src: p.Src, Dst: p.Dst, Off: i * trace.PacketSize, Kind: RecEdge}
+	}
+	return out
+}

@@ -1,0 +1,439 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"raptrack/internal/trace"
+)
+
+func mtbStream(ps ...trace.Packet) []byte { return EncodeMTB(ps) }
+
+var samplePackets = []trace.Packet{
+	{Src: 0x0000_0101, Dst: 0x0000_0200},
+	{Src: 0x0000_0208, Dst: 0x0000_0300},
+	{Src: 0x0000_0310, Dst: 0x0000_0104},
+}
+
+func TestMTBRoundTrip(t *testing.T) {
+	b := EncodeMTB(samplePackets)
+	got, derr := DecodeMTB(b)
+	if derr != nil {
+		t.Fatalf("DecodeMTB: %v", derr)
+	}
+	if len(got) != len(samplePackets) {
+		t.Fatalf("got %d packets, want %d", len(got), len(samplePackets))
+	}
+	for i, p := range got {
+		if p != samplePackets[i] {
+			t.Fatalf("packet %d: got %+v want %+v", i, p, samplePackets[i])
+		}
+	}
+}
+
+func TestTRACESRoundTrip(t *testing.T) {
+	words := []uint32{0x200, 0x300, 7, 0x104} // loop-condition words may be odd
+	b := EncodeTRACES(words)
+	got, derr := DecodeTRACES(b)
+	if derr != nil {
+		t.Fatalf("DecodeTRACES: %v", derr)
+	}
+	if len(got) != len(words) {
+		t.Fatalf("got %d words, want %d", len(got), len(words))
+	}
+	for i, w := range got {
+		if w != words[i] {
+			t.Fatalf("word %d: got %#x want %#x", i, w, words[i])
+		}
+	}
+}
+
+func TestEmptyStreams(t *testing.T) {
+	if recs, derr := Parse(FormatMTB, nil); derr != nil || len(recs) != 0 {
+		t.Fatalf("empty MTB: recs=%v err=%v", recs, derr)
+	}
+	// An empty TRACES log still carries its count header.
+	if ws, derr := DecodeTRACES(EncodeTRACES(nil)); derr != nil || len(ws) != 0 {
+		t.Fatalf("empty TRACES: words=%v err=%v", ws, derr)
+	}
+}
+
+// TestDecodeErrTable pins the stable (code, offset) contract per format:
+// the exact inputs that must yield each enum value, and where the error
+// anchors in the stream. These are wire-stable — gateways bucket metrics
+// by code and tools print offsets, so changes here are breaking.
+func TestDecodeErrTable(t *testing.T) {
+	okMTB := mtbStream(samplePackets...)
+	okTRACES := EncodeTRACES([]uint32{0x200, 0x300})
+
+	cases := []struct {
+		name   string
+		format Format
+		input  []byte
+		code   DecodeErr
+		off    int
+		prefix int // whole records decoded before the defect
+	}{
+		{"mtb/ok", FormatMTB, okMTB, OK, 0, 3},
+		{"mtb/truncated-mid-packet", FormatMTB, okMTB[:20], Truncated, 16, 2},
+		{"mtb/truncated-src-only", FormatMTB, okMTB[:4], Truncated, 0, 0},
+		{"mtb/misaligned-1", FormatMTB, okMTB[:9], Misaligned, 8, 1},
+		{"mtb/misaligned-3", FormatMTB, okMTB[:15], Misaligned, 12, 1},
+		{"traces/ok", FormatTRACES, okTRACES, OK, 0, 2},
+		{"traces/truncated-no-header", FormatTRACES, okTRACES[:3], Truncated, 3, 0},
+		{"traces/truncated-short-body", FormatTRACES, okTRACES[:8], Truncated, 8, 1},
+		{"traces/misaligned", FormatTRACES, okTRACES[:10], Misaligned, 8, 1},
+		{"traces/unknown-implausible-count", FormatTRACES,
+			EncodeTRACES(nil)[:0:0], UnknownFormat, 0, 0},
+		{"traces/unknown-trailing-words", FormatTRACES,
+			append(EncodeTRACES([]uint32{0x200}), 0xEE, 0xEE, 0xEE, 0xEE), UnknownFormat, 8, 1},
+		{"unregistered-format", Format(0xEE), okMTB, UnknownFormat, 0, 0},
+	}
+	// Build the implausible-count input: header says 2^24+1 words.
+	cases[9].input = EncodeTRACES(nil)
+	cases[9].input[0], cases[9].input[1], cases[9].input[2], cases[9].input[3] = 0x01, 0x00, 0x00, 0x01
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, derr := Parse(tc.format, tc.input)
+			if tc.code == OK {
+				if derr != nil {
+					t.Fatalf("want clean decode, got %v", derr)
+				}
+				if len(recs) != tc.prefix {
+					t.Fatalf("got %d records, want %d", len(recs), tc.prefix)
+				}
+				return
+			}
+			if derr == nil {
+				t.Fatalf("want %v, got clean decode of %d records", tc.code, len(recs))
+			}
+			if derr.Code != tc.code {
+				t.Fatalf("code: got %v want %v (%v)", derr.Code, tc.code, derr)
+			}
+			if derr.Off != tc.off {
+				t.Fatalf("offset: got %d want %d (%v)", derr.Off, tc.off, derr)
+			}
+			if tc.name != "unregistered-format" && len(recs) != tc.prefix {
+				t.Fatalf("prefix: got %d records, want %d", len(recs), tc.prefix)
+			}
+		})
+	}
+}
+
+// TestWrapLoss pins the WrapLoss contract: a source attesting capture
+// loss fails the decode through FailOnLoss with the verifier's historical
+// Inconclusive detail sentence, byte for byte.
+func TestWrapLoss(t *testing.T) {
+	log := mtbStream(samplePackets...)
+	p := New(MTBChain(log, 2, 3), FailOnLoss())
+	_, derr := p.Records()
+	if derr == nil {
+		t.Fatal("want WrapLoss, got clean decode")
+	}
+	if derr.Code != WrapLoss {
+		t.Fatalf("code: got %v want WrapLoss", derr.Code)
+	}
+	if derr.Off != -1 {
+		t.Fatalf("offset: got %d want -1 (no stream position)", derr.Off)
+	}
+	want := "detectable trace loss: 2 MTB wrap(s), 3 packet(s) dropped while arming; evidence incomplete, re-attest"
+	if derr.Detail != want {
+		t.Fatalf("detail:\n got %q\nwant %q", derr.Detail, want)
+	}
+
+	// No loss: the stage is a pass-through.
+	recs, derr := New(MTBChain(log, 0, 0), FailOnLoss()).Records()
+	if derr != nil || len(recs) != len(samplePackets) {
+		t.Fatalf("lossless chain: recs=%d err=%v", len(recs), derr)
+	}
+}
+
+// TestLenientTailRepair pins the bit-compatibility contract with the
+// legacy decoder: in the default lenient mode a ragged MTB stream decodes
+// to exactly what trace.DecodePackets has always returned (the
+// whole-packet prefix), while Strict surfaces the typed error.
+func TestLenientTailRepair(t *testing.T) {
+	full := mtbStream(samplePackets...)
+	for cut := 0; cut <= len(full); cut++ {
+		b := full[:cut]
+		legacy := trace.DecodePackets(b)
+		got, derr := New(Raw(FormatMTB, b)).Packets()
+		if derr != nil {
+			t.Fatalf("cut=%d: lenient decode failed: %v", cut, derr)
+		}
+		if len(got) != len(legacy) {
+			t.Fatalf("cut=%d: got %d packets, legacy %d", cut, len(got), len(legacy))
+		}
+		for i := range got {
+			if got[i] != legacy[i] {
+				t.Fatalf("cut=%d packet %d: got %+v legacy %+v", cut, i, got[i], legacy[i])
+			}
+		}
+		if cut%trace.PacketSize != 0 {
+			if _, derr := New(Raw(FormatMTB, b)).Strict().Packets(); derr == nil {
+				t.Fatalf("cut=%d: strict mode decoded a ragged stream cleanly", cut)
+			}
+		}
+	}
+}
+
+func TestStrictDoesNotRepairUnknownFormat(t *testing.T) {
+	// Trailing words beyond the declared count are not a framing cut;
+	// lenient mode must not paper over them.
+	b := append(EncodeTRACES([]uint32{0x200}), 0xEE, 0xEE, 0xEE, 0xEE)
+	if _, derr := New(Raw(FormatTRACES, b)).Records(); derr == nil || derr.Code != UnknownFormat {
+		t.Fatalf("lenient: got %v, want UnknownFormat", derr)
+	}
+}
+
+func TestMTBRingLinearization(t *testing.T) {
+	// Unwrapped: only bytes before the write position are valid.
+	full := mtbStream(samplePackets...)
+	buf := make([]byte, len(full))
+	copy(buf, full)
+	ps, derr := New(MTBRing(buf, 16, 0)).Packets()
+	if derr != nil || len(ps) != 2 {
+		t.Fatalf("unwrapped ring: packets=%d err=%v", len(ps), derr)
+	}
+
+	// Wrapped once at pos=8: oldest packet is buf[8:], newest is buf[:8].
+	ps, derr = New(MTBRing(buf, 8, 1)).Packets()
+	if derr != nil || len(ps) != 3 {
+		t.Fatalf("wrapped ring: packets=%d err=%v", len(ps), derr)
+	}
+	want := []trace.Packet{samplePackets[1], samplePackets[2], samplePackets[0]}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("wrapped ring packet %d: got %+v want %+v", i, ps[i], want[i])
+		}
+	}
+
+	// A wrapped ring attests its loss.
+	if w, _ := MTBRing(buf, 8, 1).Loss(); w != 1 {
+		t.Fatalf("wrapped ring Loss: got %d wraps, want 1", w)
+	}
+}
+
+func TestLimitBudget(t *testing.T) {
+	log := mtbStream(samplePackets...)
+	if recs, derr := New(Raw(FormatMTB, log), Limit(3)).Records(); derr != nil || len(recs) != 3 {
+		t.Fatalf("at budget: recs=%d err=%v", len(recs), derr)
+	}
+	_, derr := New(Raw(FormatMTB, log), Limit(2)).Records()
+	if derr == nil || derr.Code != Budget {
+		t.Fatalf("over budget: got %v, want Budget", derr)
+	}
+	if derr.Off != 16 {
+		t.Fatalf("budget offset: got %d, want first over-budget record at 16", derr.Off)
+	}
+}
+
+type fakeExpander struct {
+	n   int
+	out []trace.Packet
+	err error
+}
+
+func (f *fakeExpander) Len() int { return f.n }
+func (f *fakeExpander) Decompress(ps []trace.Packet) ([]trace.Packet, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.out, nil
+}
+
+func TestExpandMarkers(t *testing.T) {
+	log := mtbStream(samplePackets[0])
+
+	// Empty or nil expander: pass-through.
+	for _, x := range []Expander{nil, &fakeExpander{n: 0}} {
+		ps, derr := New(Raw(FormatMTB, log), ExpandMarkers(x)).Packets()
+		if derr != nil || len(ps) != 1 {
+			t.Fatalf("no-op expander: packets=%d err=%v", len(ps), derr)
+		}
+	}
+
+	// Expansion rewrites the stream.
+	x := &fakeExpander{n: 1, out: samplePackets}
+	ps, derr := New(Raw(FormatMTB, log), ExpandMarkers(x)).Packets()
+	if derr != nil || len(ps) != 3 {
+		t.Fatalf("expansion: packets=%d err=%v", len(ps), derr)
+	}
+
+	// Expansion failure is UnknownFormat wrapping the cause.
+	cause := errors.New("marker 0xF000_0007 beyond dictionary")
+	_, derr = New(Raw(FormatMTB, log), ExpandMarkers(&fakeExpander{n: 1, err: cause})).Packets()
+	if derr == nil || derr.Code != UnknownFormat {
+		t.Fatalf("failed expansion: got %v, want UnknownFormat", derr)
+	}
+	if !errors.Is(derr, cause) {
+		t.Fatal("failed expansion must wrap the expander's error")
+	}
+}
+
+func TestTap(t *testing.T) {
+	var seen int
+	p := New(Raw(FormatMTB, mtbStream(samplePackets...)),
+		Tap("count", func(recs []Rec) { seen = len(recs) }))
+	if _, derr := p.Records(); derr != nil {
+		t.Fatalf("tap pipeline: %v", derr)
+	}
+	if seen != 3 {
+		t.Fatalf("tap saw %d records, want 3", seen)
+	}
+}
+
+func TestDecodeGeneric(t *testing.T) {
+	var d pathCounter
+	got, err := Decode[pathSummary](New(Raw(FormatMTB, mtbStream(samplePackets...))), &d)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.edges != 3 || got.dests != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+type pathSummary struct{ edges, dests int }
+
+type pathCounter struct{}
+
+func (pathCounter) DecodePath(recs []Rec) (pathSummary, error) {
+	var out pathSummary
+	for _, r := range recs {
+		switch r.Kind {
+		case RecEdge:
+			out.edges++
+		case RecDest:
+			out.dests++
+		}
+	}
+	return out, nil
+}
+
+func TestRecOffsets(t *testing.T) {
+	recs, derr := Parse(FormatMTB, mtbStream(samplePackets...))
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	for i, r := range recs {
+		if r.Off != i*trace.PacketSize || r.Kind != RecEdge {
+			t.Fatalf("rec %d: %+v", i, r)
+		}
+	}
+	recs, derr = Parse(FormatTRACES, EncodeTRACES([]uint32{1, 2}))
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	for i, r := range recs {
+		if r.Off != 4+i*4 || r.Kind != RecDest || r.Src != 0 {
+			t.Fatalf("rec %d: %+v", i, r)
+		}
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	e := errf(Truncated, FormatMTB, 16, "stream ends mid-packet")
+	want := "pipeline: mtb: truncated at +16: stream ends mid-packet"
+	if e.Error() != want {
+		t.Fatalf("got %q want %q", e.Error(), want)
+	}
+	e = &Error{Code: WrapLoss, Format: FormatMTB, Off: -1}
+	if s := e.Error(); strings.Contains(s, "+-1") {
+		t.Fatalf("negative offset must not render: %q", s)
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	if c, ok := CodeOf(nil); ok || c != OK {
+		t.Fatalf("nil: %v %v", c, ok)
+	}
+	if c, ok := CodeOf(errors.New("plain")); ok || c != OK {
+		t.Fatalf("foreign: %v %v", c, ok)
+	}
+	direct := errf(Budget, FormatMTB, -1, "x")
+	if c, ok := CodeOf(direct); !ok || c != Budget {
+		t.Fatalf("direct: %v %v", c, ok)
+	}
+	wrapped := fmt.Errorf("verify: %w", direct)
+	if c, ok := CodeOf(wrapped); !ok || c != Budget {
+		t.Fatalf("wrapped: %v %v", c, ok)
+	}
+}
+
+func TestDecodeErrNames(t *testing.T) {
+	want := map[DecodeErr]string{
+		OK: "ok", Truncated: "truncated", Misaligned: "misaligned",
+		UnknownFormat: "unknown-format", WrapLoss: "wrap-loss", Budget: "budget",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Fatalf("%d: got %q want %q", c, c.String(), name)
+		}
+		if !c.Valid() {
+			t.Fatalf("%s must be Valid", name)
+		}
+	}
+	if NumDecodeErrs.Valid() || DecodeErr(0xFF).Valid() {
+		t.Fatal("out-of-range codes must not be Valid")
+	}
+	if DecodeErr(0xFF).String() != "invalid-decode-err" {
+		t.Fatal("invalid code must render as invalid-decode-err")
+	}
+}
+
+func TestFormatRegistry(t *testing.T) {
+	for _, tc := range []struct {
+		f    Format
+		name string
+	}{{FormatMTB, "mtb"}, {FormatTRACES, "traces"}} {
+		if tc.f.String() != tc.name {
+			t.Fatalf("%v.String() = %q", tc.f, tc.f.String())
+		}
+		got, ok := FormatByName(tc.name)
+		if !ok || got != tc.f {
+			t.Fatalf("FormatByName(%q) = %v %v", tc.name, got, ok)
+		}
+		if _, ok := Lookup(tc.f); !ok {
+			t.Fatalf("Lookup(%v) missing", tc.f)
+		}
+	}
+	if _, ok := FormatByName("etm"); ok {
+		t.Fatal("unregistered name must not resolve")
+	}
+	if FormatUnknown.String() != "unknown" {
+		t.Fatalf("FormatUnknown renders %q", FormatUnknown.String())
+	}
+}
+
+func TestRegisterFormatPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("dup", func() { RegisterFormat(FormatMTB, Frontend{Name: "mtb2"}) })
+	mustPanic("unknown", func() { RegisterFormat(FormatUnknown, Frontend{Name: "zero"}) })
+}
+
+func TestTRACESLogSource(t *testing.T) {
+	words := []uint32{0x200, 0x300}
+	recs, derr := New(TRACESLog(words)).Records()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	got := Words(recs)
+	if len(got) != 2 || got[0] != 0x200 || got[1] != 0x300 {
+		t.Fatalf("got %#x", got)
+	}
+	if w, d := TRACESLog(words).Loss(); w != 0 || d != 0 {
+		t.Fatal("TRACES sources never attest loss")
+	}
+}

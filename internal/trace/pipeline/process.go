@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"raptrack/internal/trace"
+)
+
+// Expander expands dictionary markers embedded in an edge stream back
+// into the transfers they summarize. *speccfa.Dictionary satisfies it;
+// the indirection keeps this package below speccfa in the import graph.
+type Expander interface {
+	// Len reports the number of dictionary entries (0 or a nil dictionary:
+	// nothing to expand). Must be nil-receiver safe.
+	Len() int
+	// Decompress rewrites marker packets into their recorded sub-paths.
+	Decompress(ps []trace.Packet) ([]trace.Packet, error)
+}
+
+// failOnLoss gates on the source's attested capture loss.
+type failOnLoss struct {
+	src TraceSource
+}
+
+// bindSource is the optional stage hook Records uses to hand stages their
+// pipeline's source before processing starts.
+type sourceBinder interface {
+	bindSource(src TraceSource)
+}
+
+func (s *failOnLoss) bindSource(src TraceSource) { s.src = src }
+func (s *failOnLoss) Name() string               { return "fail-on-loss" }
+
+func (s *failOnLoss) Process(recs []Rec) ([]Rec, *Error) {
+	if s.src == nil {
+		return recs, nil
+	}
+	wraps, dropped := s.src.Loss()
+	if wraps == 0 && dropped == 0 {
+		return recs, nil
+	}
+	return nil, &Error{
+		Code:   WrapLoss,
+		Format: s.src.Format(),
+		Off:    -1,
+		Detail: fmt.Sprintf("detectable trace loss: %d MTB wrap(s), %d packet(s) dropped while arming; evidence incomplete, re-attest", wraps, dropped),
+	}
+}
+
+// FailOnLoss returns a stage that fails the decode with WrapLoss when the
+// source attests capture loss (ring wraps, arming drops). The records are
+// authentic but provably incomplete, so downstream reconstruction would
+// manufacture a false reject; the typed error lets the verifier render an
+// Inconclusive verdict instead. The stage's Detail is the exact sentence
+// verifiers have always attached to that verdict.
+func FailOnLoss() PacketProcessor { return &failOnLoss{} }
+
+// expandMarkers rewrites dictionary markers via an Expander.
+type expandMarkers struct {
+	x   Expander
+	src TraceSource
+}
+
+func (s *expandMarkers) bindSource(src TraceSource) { s.src = src }
+func (s *expandMarkers) Name() string               { return "expand-markers" }
+
+func (s *expandMarkers) Process(recs []Rec) ([]Rec, *Error) {
+	if s.x == nil || s.x.Len() == 0 {
+		return recs, nil
+	}
+	f := FormatUnknown
+	if s.src != nil {
+		f = s.src.Format()
+	}
+	out, derr := expand(s.x, Packets(recs), f)
+	if derr != nil {
+		return nil, derr
+	}
+	return Recs(out), nil
+}
+
+// Expand applies marker expansion to an already-decoded edge stream —
+// the hook for callers holding packets outside a pipeline (the verifier's
+// compressed fast path materializes evidence this way).
+func Expand(x Expander, ps []trace.Packet) ([]trace.Packet, *Error) {
+	if x == nil || x.Len() == 0 {
+		return ps, nil
+	}
+	return expand(x, ps, FormatMTB)
+}
+
+func expand(x Expander, ps []trace.Packet, f Format) ([]trace.Packet, *Error) {
+	out, err := x.Decompress(ps)
+	if err != nil {
+		// A marker that does not expand means the bytes are not valid under
+		// the claimed (format, dictionary) pair — an UnknownFormat defect,
+		// not a policy violation.
+		return nil, &Error{Code: UnknownFormat, Format: f, Off: -1,
+			Detail: "dictionary marker expansion failed: " + err.Error(), Err: err}
+	}
+	return out, nil
+}
+
+// ExpandMarkers returns a stage that expands SpecCFA dictionary markers
+// through x (pass the session's dictionary snapshot). A nil x, or one
+// with no entries, is the no-op stage.
+func ExpandMarkers(x Expander) PacketProcessor { return &expandMarkers{x: x} }
+
+// limit caps the record stream.
+type limit struct {
+	n int
+}
+
+func (s *limit) Name() string { return "limit" }
+
+func (s *limit) Process(recs []Rec) ([]Rec, *Error) {
+	if len(recs) <= s.n {
+		return recs, nil
+	}
+	off := -1
+	if s.n < len(recs) {
+		off = recs[s.n].Off
+	}
+	return nil, errf(Budget, FormatUnknown, off,
+		"stream carries %d record(s), budget is %d", len(recs), s.n)
+}
+
+// Limit returns a stage that fails the decode with Budget when the stream
+// exceeds n records — the gateway-side guard against adversarially long
+// evidence (the verifier's instruction budget bounds work, this bounds
+// memory before work even starts).
+func Limit(n int) PacketProcessor { return &limit{n: n} }
+
+// tap observes the stream without transforming it.
+type tap struct {
+	name string
+	fn   func([]Rec)
+}
+
+func (s *tap) Name() string { return s.name }
+
+func (s *tap) Process(recs []Rec) ([]Rec, *Error) {
+	s.fn(recs)
+	return recs, nil
+}
+
+// Tap returns a pass-through stage that calls fn with the stream at its
+// position in the stage order (metrics, fault-schedule annotation,
+// debugging). fn must not mutate or retain the slice.
+func Tap(name string, fn func([]Rec)) PacketProcessor { return &tap{name: name, fn: fn} }

@@ -1,0 +1,68 @@
+package pipeline
+
+import "raptrack/internal/trace"
+
+// byteSource is the common TraceSource shape: a fully materialized byte
+// stream with its format and attested capture loss.
+type byteSource struct {
+	format  Format
+	bytes   []byte
+	wraps   uint64
+	dropped uint64
+}
+
+func (s *byteSource) Format() Format                { return s.format }
+func (s *byteSource) Read() ([]byte, *Error)        { return s.bytes, nil }
+func (s *byteSource) Loss() (wraps, dropped uint64) { return s.wraps, s.dropped }
+
+// MTBChain sources the CFLog a verified report chain assembled: log is
+// the concatenated MTB evidence, wraps/dropped the loss counters the
+// signed reports attest (summed across the chain). This is the verifier's
+// post-authentication entry point.
+func MTBChain(log []byte, wraps, dropped uint64) TraceSource {
+	return &byteSource{format: FormatMTB, bytes: log, wraps: wraps, dropped: dropped}
+}
+
+// MTBRing sources a raw hardware ring capture: buf is the MTB SRAM
+// window, pos the write position (MTB_POSITION byte offset) and wraps the
+// attested wrap count. The ring is linearized oldest-first: an unwrapped
+// ring carries buf[:pos]; a wrapped ring carries buf[pos:] then buf[:pos]
+// — the un-overwritten tail precedes the newest packets, which is the
+// only order that keeps packet boundaries intact.
+func MTBRing(buf []byte, pos int, wraps uint64) TraceSource {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(buf) {
+		pos = len(buf)
+	}
+	var lin []byte
+	if wraps == 0 {
+		lin = buf[:pos]
+	} else {
+		lin = make([]byte, 0, len(buf))
+		lin = append(lin, buf[pos:]...)
+		lin = append(lin, buf[:pos]...)
+	}
+	return &byteSource{format: FormatMTB, bytes: lin, wraps: wraps}
+}
+
+// TRACESLog sources a TRACES baseline instrumentation log from its
+// destination words (the TEE CFLog the Secure World accumulated). The
+// TRACES design excludes capture loss by construction — the Secure World
+// log grows unboundedly rather than wrapping — so Loss is always (0, 0).
+func TRACESLog(words []uint32) TraceSource {
+	return &byteSource{format: FormatTRACES, bytes: EncodeTRACES(words)}
+}
+
+// Raw sources opaque bytes claimed to be format f with no loss
+// attestation — replay tooling, fuzzers, and on-disk evidence.
+func Raw(f Format, b []byte) TraceSource {
+	return &byteSource{format: f, bytes: b}
+}
+
+// FromPackets sources an already-decoded edge stream by re-serializing it
+// to the MTB encoding (testing and replay aid).
+func FromPackets(ps []trace.Packet) TraceSource {
+	return &byteSource{format: FormatMTB, bytes: EncodeMTB(ps)}
+}

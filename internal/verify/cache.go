@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 )
 
 // Cache is the cross-session verification fast path: a sharded, bounded
@@ -189,7 +190,7 @@ type cachedVerdict struct {
 func verdictKey(hmem [sha256.Size]byte, packets []trace.Packet) cacheKey {
 	h := sha256.New()
 	h.Write(hmem[:])
-	h.Write(trace.EncodePackets(packets))
+	h.Write(pipeline.EncodeMTB(packets))
 	var sum [sha256.Size]byte
 	h.Sum(sum[:0])
 	var h64 uint64

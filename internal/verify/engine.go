@@ -6,6 +6,7 @@ import (
 	"raptrack/internal/attest"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify/automaton"
 )
 
@@ -92,10 +93,25 @@ func (v *Verifier) VerifyWithAutomaton(chal attest.Challenge, reports []*attest.
 	if hmem != v.hmem {
 		return v.hmemMismatch(hmem, tm), nil
 	}
-	if vd := v.traceLoss(reports, tm); vd != nil {
-		return vd, nil
+	var wraps, dropped uint64
+	for _, r := range reports {
+		wraps += uint64(r.Wraps)
+		dropped += uint64(r.Dropped)
 	}
-	packets := trace.DecodePackets(log)
+	packets, derr := pipeline.New(pipeline.MTBChain(log, wraps, dropped), pipeline.FailOnLoss()).Packets()
+	if derr != nil {
+		if derr.Code == pipeline.WrapLoss {
+			// The signed reports themselves attest detectable trace loss:
+			// the MTB wrapped past the watermark or dropped packets while
+			// arming. The stream cannot be losslessly reconstructed, so
+			// reconstruction would produce a *false* reject; render an
+			// Inconclusive verdict instead. Never OK — an adversary
+			// fabricating loss evidence only downgrades its own session
+			// from "attack detected" to "re-attest".
+			return &Verdict{OK: false, Code: ReasonInconclusive, Detail: derr.Detail, Timing: tm}, nil
+		}
+		return nil, derr
+	}
 	if !v.opts.automaton {
 		aut = nil
 	}
@@ -112,7 +128,7 @@ func (v *Verifier) VerifyWithAutomaton(chal attest.Challenge, reports []*attest.
 		tm.Search = time.Since(phase)
 		if st == automaton.StatusAccept {
 			phase = time.Now()
-			expanded, derr := dict.Decompress(packets)
+			expanded, derr := pipeline.Expand(dict, packets)
 			tm.Expand = time.Since(phase)
 			if derr == nil {
 				vd := acceptVerdict(&res)
@@ -132,11 +148,12 @@ func (v *Verifier) VerifyWithAutomaton(chal attest.Challenge, reports []*attest.
 
 	if dict.Len() > 0 {
 		phase = time.Now()
-		packets, err = dict.Decompress(packets)
+		expanded, derr := pipeline.Expand(dict, packets)
 		tm.Expand += time.Since(phase)
-		if err != nil {
-			return nil, err
+		if derr != nil {
+			return nil, derr
 		}
+		packets = expanded
 	}
 	if c := v.opts.cache; c != nil {
 		if vd, ok := c.lookupVerdict(v.hmem, packets); ok {

@@ -206,30 +206,6 @@ func (v *Verifier) hmemMismatch(hmem [sha256.Size]byte, tm PhaseTiming) *Verdict
 	}
 }
 
-// traceLoss renders the Inconclusive verdict when the signed reports
-// themselves attest detectable trace loss: the MTB wrapped past the
-// watermark or dropped packets while arming. The stream cannot be
-// losslessly reconstructed, so reconstruction would produce a *false*
-// reject; render an inconclusive verdict instead. Never OK — an adversary
-// fabricating loss evidence only downgrades its own session from "attack
-// detected" to "re-attest". Returns nil when the reports attest no loss.
-func (v *Verifier) traceLoss(reports []*attest.Report, tm PhaseTiming) *Verdict {
-	var wraps, dropped uint64
-	for _, r := range reports {
-		wraps += uint64(r.Wraps)
-		dropped += uint64(r.Dropped)
-	}
-	if wraps == 0 && dropped == 0 {
-		return nil
-	}
-	return &Verdict{
-		OK:     false,
-		Code:   ReasonInconclusive,
-		Detail: fmt.Sprintf("detectable trace loss: %d MTB wrap(s), %d packet(s) dropped while arming; evidence incomplete, re-attest", wraps, dropped),
-		Timing: tm,
-	}
-}
-
 // ReplayPackets reconstructs a path directly from packets (testing and
 // tooling aid; skips authentication and the whole-stream verdict cache,
 // though an attached cache still shares segment summaries).

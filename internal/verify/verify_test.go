@@ -18,6 +18,7 @@ import (
 	"raptrack/internal/linker"
 	"raptrack/internal/mem"
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
 
@@ -60,7 +61,11 @@ func attested(t *testing.T, prog *asm.Program) (*linker.Output, []trace.Packet) 
 	for _, r := range reports {
 		log = append(log, r.CFLog...)
 	}
-	return out, trace.DecodePackets(log)
+	packets, derr := pipeline.New(pipeline.Raw(pipeline.FormatMTB, log)).Packets()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	return out, packets
 }
 
 func newVerifier(out *linker.Output) *verify.Verifier {

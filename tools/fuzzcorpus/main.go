@@ -27,6 +27,7 @@ import (
 	"raptrack/internal/attest"
 	"raptrack/internal/remote"
 	"raptrack/internal/trace"
+	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify"
 )
 
@@ -69,7 +70,7 @@ func main() {
 		Nonce: chal.Nonce,
 		Seq:   3,
 		Final: true,
-		CFLog: trace.EncodePackets([]trace.Packet{{Src: 0x200010, Dst: 0x200040}, {Src: 0x200052, Dst: 0x200014}}),
+		CFLog: pipeline.EncodeMTB([]trace.Packet{{Src: 0x200010, Dst: 0x200040}, {Src: 0x200052, Dst: 0x200014}}),
 	}
 	if err := attest.SignReport(report, key); err != nil {
 		panic(err)
@@ -123,6 +124,18 @@ func main() {
 			"seed-noapp":   attest.Challenge{}.Encode(),
 			"seed-empty":   {},
 			"seed-garbage": bytes.Repeat([]byte{0xff}, attest.NonceSize+4),
+		},
+		// FuzzPipelineDecode inputs: a leading format-selector byte
+		// (even: MTB, odd: TRACES) followed by the stream bytes.
+		"internal/trace/pipeline/testdata/fuzz/FuzzPipelineDecode": {
+			"seed-mtb-chain":    append([]byte{0}, report.CFLog...),
+			"seed-mtb-ragged":   append([]byte{0}, report.CFLog[:len(report.CFLog)-3]...),
+			"seed-mtb-strays":   append([]byte{0}, report.CFLog[:len(report.CFLog)-6]...),
+			"seed-traces-log":   append([]byte{1}, pipeline.EncodeTRACES([]uint32{0x200040, 0x200014, 0x200052})...),
+			"seed-traces-short": append([]byte{1}, pipeline.EncodeTRACES([]uint32{0x200040, 0x200014})[:9]...),
+			"seed-traces-trail": append([]byte{1}, append(pipeline.EncodeTRACES([]uint32{0x200040}), 0xAA, 0xBB, 0xCC, 0xDD)...),
+			"seed-traces-huge":  append([]byte{1}, 0xFF, 0xFF, 0xFF, 0x7F),
+			"seed-header-only":  {1},
 		},
 	}
 
