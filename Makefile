@@ -1,9 +1,9 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos obs bench bench-smoke bench-verify serve-selftest metrics-scrape
+.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos journal-chaos replay-selftest obs bench bench-smoke bench-verify serve-selftest metrics-scrape
 
-check: vet staticcheck build test race fuzz chaos
+check: vet staticcheck build test race fuzz chaos journal-chaos
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,23 @@ fuzz-corpus:
 # it actually shakes out is goroutine scheduling under -race.
 chaos:
 	$(GO) test -race -run 'Chaos|Faults' -count=2 ./internal/server ./internal/trace ./internal/faults
+
+# Evidence-plane chaos: the crash-recovery matrix, the seeded disk-fault
+# schedules (short writes, fsync storms, torn tails, bit flips), and the
+# gateway-under-journal-failure integration tests. Seeds are pinned;
+# -count=2 shakes goroutine schedules under -race.
+journal-chaos:
+	$(GO) test -race -run 'Journal|Recovery|DiskFaults' -count=2 \
+		./internal/journal ./internal/faults ./internal/server
+
+# End-to-end evidence audit: run a journaling selftest, then re-verify
+# every journaled verdict bit-for-bit from the evidence alone. Any diff
+# (or chain break) fails the build.
+replay-selftest:
+	rm -rf replay-selftest.journal
+	$(GO) run ./cmd/raptrack serve -apps prime,gps,crc32 -selftest 16 \
+		-journal replay-selftest.journal
+	$(GO) run ./cmd/raptrack replay -journal replay-selftest.journal
 
 # Observability surface: the obs package tests (registry, exposition,
 # tracing, admin endpoint) plus the gateway scrape-under-load race test.

@@ -15,6 +15,8 @@
 //	raptrack serve  [-addr host:port] [-apps a,b] [-max-sessions N] [-workers N]
 //	                [-session-timeout D] [-io-timeout D] [-selftest N] [-v]
 //	                [-admin host:port] [-metrics-out FILE] [-trace-ring N]
+//	                [-journal DIR] [-journal-fsync each|interval|never]
+//	raptrack replay -journal DIR [-from N] [-to N] [-automaton=false] [-v]
 //
 // -file loads textual assembly (see internal/asm: Parse) with the full
 // synthetic peripheral set mapped.
@@ -56,6 +58,8 @@ func main() {
 		err = cmdDisasm(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -67,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: raptrack <list|link|run|attest|verify|disasm|serve> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: raptrack <list|link|run|attest|verify|disasm|serve|replay> [flags]`)
 }
 
 // loadTarget resolves -app or -file into a runnable workload.

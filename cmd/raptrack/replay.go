@@ -1,0 +1,205 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/journal"
+	"raptrack/internal/speccfa"
+	"raptrack/internal/verify"
+)
+
+// cmdReplay re-verifies a journaled evidence range bit-for-bit: it
+// validates the journal's hash chain, rebuilds each app's verifier from
+// the same deterministic golden artifact (and the persisted attestation
+// key), expands every session with exactly the dictionary version its
+// prover compressed with, and diffs the fresh verdicts against the
+// journaled ones. Any chain break or verdict diff is a non-zero exit —
+// either the evidence plane was tampered with, or a verifier change
+// altered a decision it should not have.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	dir := fs.String("journal", "", "journal directory written by 'raptrack serve -journal'")
+	from := fs.Uint64("from", 0, "first sequence number to replay (0: start of journal)")
+	to := fs.Uint64("to", 0, "last sequence number to replay (0: end of journal)")
+	automaton := fs.Bool("automaton", true, "replay through the compiled verifier core (false: interpreter only)")
+	verbose := fs.Bool("v", false, "print every replayed record, not just diffs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("replay needs -journal DIR")
+	}
+
+	report, err := journal.ScanDir(nil, *dir)
+	if err != nil {
+		return err
+	}
+	if report.Torn != nil {
+		// A torn tail is a crash artifact: the partial record was never
+		// acknowledged durable, so it is noted, not failed on.
+		fmt.Printf("note: torn tail in %s at offset %d (unacknowledged partial record)\n",
+			report.Torn.Segment, report.Torn.Offset)
+	}
+	fmt.Printf("journal: %d records across %d segments, chain verified\n",
+		len(report.Records), report.Segments)
+
+	// Verifiers are rebuilt, not restored: the golden artifact comes from
+	// the same deterministic link the serving gateway used, and the HMAC
+	// key from the journal's key store.
+	verifiers := make(map[string]*verify.Verifier)
+	dicts := make(map[string]map[uint64]*speccfa.Dictionary)
+	auts := make(map[string]map[uint64]*verify.Automaton)
+	getVerifier := func(app string) (*verify.Verifier, error) {
+		if v, ok := verifiers[app]; ok {
+			return v, nil
+		}
+		a, err := apps.Get(app)
+		if err != nil {
+			return nil, fmt.Errorf("journaled app %q: %w", app, err)
+		}
+		link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+		if err != nil {
+			return nil, fmt.Errorf("linking %s: %w", app, err)
+		}
+		raw, err := os.ReadFile(filepath.Join(*dir, "keys", app+".key"))
+		if err != nil {
+			return nil, fmt.Errorf("attestation key for %s (written by serve -journal): %w", app, err)
+		}
+		v := core.NewVerifier(link, attest.NewHMACKey(raw))
+		verifiers[app] = v
+		return v, nil
+	}
+	getDict := func(app string, version uint64) (*speccfa.Dictionary, error) {
+		if d, ok := dicts[app][version]; ok {
+			return d, nil
+		}
+		if version == 0 {
+			// No journaled v0: the app registered with an empty (or
+			// provisioned) speculation dictionary — rebuild it from the
+			// verifier, same as Register did.
+			v, err := getVerifier(app)
+			if err != nil {
+				return nil, err
+			}
+			return v.Speculation(), nil
+		}
+		return nil, fmt.Errorf("no journaled dictionary version %d for %s", version, app)
+	}
+	getAut := func(app string, version uint64, d *speccfa.Dictionary) *verify.Automaton {
+		if !*automaton {
+			return nil
+		}
+		if aut, ok := auts[app][version]; ok {
+			return aut
+		}
+		v, err := getVerifier(app)
+		if err != nil {
+			return nil
+		}
+		aut, err := v.CompileAutomaton(d)
+		if err != nil {
+			aut = nil
+		}
+		if auts[app] == nil {
+			auts[app] = make(map[uint64]*verify.Automaton)
+		}
+		auts[app][version] = aut
+		return aut
+	}
+
+	var replayed, diffs int
+	for _, rec := range report.Records {
+		if rec.Kind == journal.KindDict {
+			d, err := speccfa.DecodeDictionary(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: journaled dictionary v%d for %s does not decode: %w",
+					rec.Seq, rec.DictVersion, rec.App, err)
+			}
+			if dicts[rec.App] == nil {
+				dicts[rec.App] = make(map[uint64]*speccfa.Dictionary)
+			}
+			dicts[rec.App][rec.DictVersion] = d
+			continue
+		}
+		if rec.Kind != journal.KindVerdict {
+			continue
+		}
+		if (*from > 0 && rec.Seq < *from) || (*to > 0 && rec.Seq > *to) {
+			continue
+		}
+
+		v, err := getVerifier(rec.App)
+		if err != nil {
+			return err
+		}
+		d, err := getDict(rec.App, rec.DictVersion)
+		if err != nil {
+			return fmt.Errorf("seq %d: %w", rec.Seq, err)
+		}
+		chal, reports, err := attest.DecodeEvidence(rec.Payload)
+		var got journal.Entry
+		if err != nil {
+			got.Outcome = journal.OutcomeError
+			got.Detail = err.Error()
+		} else {
+			vd, verr := v.VerifyWithAutomaton(chal, reports, d, getAut(rec.App, rec.DictVersion, d))
+			switch {
+			case verr != nil:
+				got.Outcome = journal.OutcomeError
+				got.Detail = verr.Error()
+			case vd.OK:
+				got.Outcome = journal.OutcomeOK
+			case vd.Code == verify.ReasonInconclusive:
+				got.Outcome = journal.OutcomeInconclusive
+				got.Code = vd.Code
+				got.Detail = vd.Detail
+			default:
+				got.Outcome = journal.OutcomeAttack
+				got.Code = vd.Code
+				got.Detail = vd.Detail
+			}
+		}
+		replayed++
+
+		if got.Outcome != rec.Outcome || got.Code != rec.Code || got.Detail != rec.Detail {
+			diffs++
+			fmt.Printf("DIFF seq %d (%s, %s, dict v%d):\n  journaled: %s\n  replayed:  %s\n",
+				rec.Seq, rec.App, rec.Device, rec.DictVersion,
+				renderVerdict(rec.Outcome, rec.Code, rec.Detail),
+				renderVerdict(got.Outcome, got.Code, got.Detail))
+		} else if *verbose {
+			fmt.Printf("seq %d (%s, dict v%d): %s\n",
+				rec.Seq, rec.App, rec.DictVersion, renderVerdict(got.Outcome, got.Code, got.Detail))
+		}
+	}
+
+	fmt.Printf("replay: %d verdicts re-verified, %d diffs\n", replayed, diffs)
+	if report.Break != nil {
+		return fmt.Errorf("broken hash chain: %w (validated prefix replayed above)", report.Break)
+	}
+	if diffs > 0 {
+		return fmt.Errorf("replay: %d verdict diffs", diffs)
+	}
+	return nil
+}
+
+func renderVerdict(o journal.Outcome, code verify.ReasonCode, detail string) string {
+	s := o.String()
+	if o == journal.OutcomeAttack || o == journal.OutcomeInconclusive {
+		s += "/" + code.String()
+	}
+	if detail != "" {
+		if len(detail) > 80 {
+			detail = detail[:80] + "..."
+		}
+		s += " (" + strings.TrimSpace(detail) + ")"
+	}
+	return s
+}

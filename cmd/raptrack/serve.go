@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,7 @@ import (
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
 	"raptrack/internal/faults"
+	"raptrack/internal/journal"
 	"raptrack/internal/obs"
 	"raptrack/internal/remote"
 	"raptrack/internal/server"
@@ -36,7 +38,11 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7421", "listen address")
 	adminAddr := fs.String("admin", "", "admin endpoint address (/metrics, /debug/sessions, pprof; empty: off)")
-	metricsOut := fs.String("metrics-out", "", "write a final /metrics scrape to this file on shutdown")
+	metricsOut := fs.String("metrics-out", "", "write a final /metrics scrape to this file on shutdown (atomically; also snapshotted every -metrics-interval)")
+	metricsInterval := fs.Duration("metrics-interval", 30*time.Second, "periodic -metrics-out snapshot period (0: final scrape only)")
+	journalDir := fs.String("journal", "", "durable evidence plane: journal every verdict and dictionary version under this directory (empty: off)")
+	journalFsync := fs.String("journal-fsync", "each", "journal durability policy: each (group commit), interval, never")
+	journalSegBytes := fs.Int64("journal-segment-bytes", 0, "journal segment rotation size (0: 1 MiB default)")
 	traceRing := fs.Int("trace-ring", 0, "session traces kept per app for /debug/sessions (0: default 64)")
 	appList := fs.String("apps", "", "comma-separated workloads to serve (default: all)")
 	maxSessions := fs.Int("max-sessions", 64, "concurrent session cap (beyond: BUSY shed)")
@@ -74,6 +80,34 @@ func cmdServe(args []string) error {
 	observer := obs.NewObserver(nil, *traceRing)
 	faults.New(0, faults.Plan{}).RegisterMetrics(observer.Registry())
 
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		var policy journal.FsyncPolicy
+		switch *journalFsync {
+		case "each":
+			policy = journal.SyncEach
+		case "interval":
+			policy = journal.SyncInterval
+		case "never":
+			policy = journal.SyncNever
+		default:
+			return fmt.Errorf("unknown -journal-fsync policy %q (each, interval, never)", *journalFsync)
+		}
+		var err error
+		jnl, err = journal.Open(*journalDir, journal.Options{
+			Fsync:        policy,
+			SegmentBytes: *journalSegBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer jnl.Close()
+		jnl.RegisterMetrics(observer.Registry())
+		c := jnl.Counters()
+		fmt.Printf("journal at %s (recovered %d records, next seq %d)\n",
+			*journalDir, c.Recovered, jnl.NextSeq())
+	}
+
 	opts := []server.Option{
 		server.WithSessionSlots(*maxSessions),
 		server.WithVerifyWorkers(*workers, 0),
@@ -84,6 +118,9 @@ func cmdServe(args []string) error {
 		server.WithBreaker(*breakerThreshold, *breakerCooldown),
 		server.WithAutomaton(*automaton),
 		server.WithObserver(observer),
+	}
+	if jnl != nil {
+		opts = append(opts, server.WithJournal(jnl))
 	}
 	if *verbose {
 		opts = append(opts, server.WithSessionErrorHandler(func(addr string, err error) {
@@ -101,7 +138,22 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("admin listener: %w", err)
 		}
 		adminURL = "http://" + aln.Addr().String()
-		adminSrv = &http.Server{Handler: obs.AdminHandler(observer)}
+		var adminOpts []obs.AdminOption
+		if jnl != nil {
+			adminOpts = append(adminOpts,
+				obs.WithHealth("journal", func() obs.HealthStatus {
+					ok, detail := jnl.Health()
+					if ok {
+						return obs.HealthStatus{Level: obs.HealthOK, Detail: detail}
+					}
+					// Degraded, never down: an evidence plane shedding to
+					// memory must not get the gateway restart-looped.
+					return obs.HealthStatus{Level: obs.HealthDegraded, Detail: detail}
+				}),
+				obs.WithRoute("/debug/journal", journal.AuditHandler(jnl)),
+			)
+		}
+		adminSrv = &http.Server{Handler: obs.AdminHandler(observer, adminOpts...)}
 		go func() { _ = adminSrv.Serve(aln) }()
 		fmt.Printf("admin endpoint on %s (/metrics, /debug/sessions, /debug/pprof)\n", aln.Addr())
 	}
@@ -120,7 +172,7 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return fmt.Errorf("linking %s: %w", name, err)
 		}
-		key, err := attest.GenerateHMACKey()
+		key, err := appKey(*journalDir, name)
 		if err != nil {
 			return err
 		}
@@ -143,6 +195,28 @@ func cmdServe(args []string) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- g.Serve(ln) }()
 	fmt.Printf("gateway listening on %s (%d apps, %d slots)\n", ln.Addr(), len(names), *maxSessions)
+
+	// Periodic -metrics-out snapshots: a killed gateway loses at most one
+	// interval of metrics, and each snapshot is atomic, so the file on
+	// disk is always one complete exposition.
+	var snapStop chan struct{}
+	var snapDone chan struct{}
+	if *metricsOut != "" && *metricsInterval > 0 {
+		snapStop, snapDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*metricsInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-t.C:
+					_ = writeMetrics(*metricsOut, adminURL, observer)
+				}
+			}
+		}()
+	}
 
 	if *selftest > 0 {
 		if err := runSelftest(g, ep, ln.Addr().String(), names, *selftest); err != nil {
@@ -175,6 +249,10 @@ func cmdServe(args []string) error {
 			snap.Verifications)
 	}
 
+	if snapStop != nil {
+		close(snapStop)
+		<-snapDone
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, adminURL, observer); err != nil {
 			return err
@@ -189,30 +267,53 @@ func cmdServe(args []string) error {
 	return nil
 }
 
-// writeMetrics persists a final exposition scrape. When the admin
-// endpoint is up the scrape goes through a real HTTP GET — proving the
-// served bytes, not just the registry — and falls back to rendering the
-// registry directly otherwise.
+// appKey returns the app's attestation key. Without a journal the demo
+// gateway generates a fresh key per run; with one, the key persists
+// under <journalDir>/keys/ so a later `raptrack replay` can re-verify
+// the journaled evidence — HMAC report chains are only checkable with
+// the key the device signed with.
+func appKey(journalDir, app string) (*attest.HMACKey, error) {
+	if journalDir == "" {
+		return attest.GenerateHMACKey()
+	}
+	path := filepath.Join(journalDir, "keys", app+".key")
+	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+		return attest.NewHMACKey(raw), nil
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, fmt.Errorf("journal key store: %w", err)
+	}
+	if err := journal.WriteFileAtomic(nil, path, key.Key(), 0o600); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// writeMetrics persists one exposition scrape atomically (temp-file +
+// rename: a reader or a crash never sees a torn exposition). When the
+// admin endpoint is up the scrape goes through a real HTTP GET — proving
+// the served bytes, not just the registry — and falls back to rendering
+// the registry directly otherwise.
 func writeMetrics(path, adminURL string, o *obs.Observer) error {
 	if adminURL != "" {
 		resp, err := http.Get(adminURL + "/metrics")
 		if err == nil {
-			defer resp.Body.Close()
-			body, err := io.ReadAll(resp.Body)
-			if err == nil && resp.StatusCode == http.StatusOK {
-				return os.WriteFile(path, body, 0o644)
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return journal.WriteFileAtomic(nil, path, body, 0o644)
 			}
 		}
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var buf strings.Builder
+	if err := o.Registry().WritePrometheus(&buf); err != nil {
 		return err
 	}
-	if err := o.Registry().WritePrometheus(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return journal.WriteFileAtomic(nil, path, []byte(buf.String()), 0o644)
 }
 
 // runSelftest dials n concurrent prover sessions (round-robin over the

@@ -1,5 +1,5 @@
 // Package faults is the deterministic chaos-injection subsystem: one
-// seeded [Injector] drives fault schedules across all three layers of
+// seeded [Injector] drives fault schedules across all four layers of
 // the attestation stack —
 //
 //   - simulated hardware (MTB packet drops/corruption, watermark
@@ -7,7 +7,10 @@
 //     jitter) via [Injector.InstrumentMTB] / [Injector.InstrumentDWT];
 //   - the wire (bit flips, partial writes, stalls, mid-frame
 //     disconnects) via [Injector.WrapConn];
-//   - the gateway (verify panics and stalls) via [Injector.VerifyHook].
+//   - the gateway (verify panics and stalls) via [Injector.VerifyHook];
+//   - the disk under the evidence journal (short writes, write and
+//     fsync errors, torn tails on simulated power loss, cold-read bit
+//     flips) via [Injector.WrapFS].
 //
 // Determinism contract: an Injector owns a single rand.Rand behind a
 // mutex, so a fixed seed and a fixed *sequence of decisions* replays
@@ -53,6 +56,12 @@ type Plan struct {
 	VerifyPanic    float64       // worker panics mid-verify
 	VerifyStall    float64       // worker stalls...
 	VerifyStallFor time.Duration // ...for this long (default 5ms)
+
+	// Disk faults (WrapFS) against the evidence journal.
+	DiskWriteShort float64 // a strict prefix lands, then the write errors
+	DiskWriteErr   float64 // write fails outright, nothing lands
+	DiskFsyncErr   float64 // fsync reports failure (durability unknown)
+	DiskBitFlip    float64 // single-bit flip per whole-file read (cold rot)
 }
 
 // Counts is a snapshot of faults actually injected.
@@ -71,6 +80,12 @@ type Counts struct {
 
 	VerifyPanics uint64
 	VerifyStalls uint64
+
+	DiskShortWrites uint64
+	DiskWriteErrs   uint64
+	DiskFsyncErrs   uint64
+	DiskBitFlips    uint64
+	TornTails       uint64 // partial tails stranded by Crash
 }
 
 // Hardware totals the simulated-hardware faults — the ones that perturb
@@ -88,9 +103,15 @@ func (c Counts) Wire() uint64 {
 	return c.ReadFlips + c.WriteFlips + c.Stalls + c.PartialWrites + c.Disconnects
 }
 
+// Disk totals the evidence-journal storage faults.
+func (c Counts) Disk() uint64 {
+	return c.DiskShortWrites + c.DiskWriteErrs + c.DiskFsyncErrs +
+		c.DiskBitFlips + c.TornTails
+}
+
 // Total sums every injected fault.
 func (c Counts) Total() uint64 {
-	return c.Hardware() + c.Wire() + c.VerifyPanics + c.VerifyStalls
+	return c.Hardware() + c.Wire() + c.VerifyPanics + c.VerifyStalls + c.Disk()
 }
 
 // Injector makes seeded fault decisions. Safe for concurrent use; see

@@ -1,0 +1,103 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam the journal writes through. Production code
+// uses [OSFS]; chaos harnesses wrap it (faults.Injector.WrapFS) to
+// inject short writes, fsync errors, torn tails and cold bit flips with
+// a seeded schedule. The surface is deliberately small: everything the
+// journal does is sequential appends, whole-file reads, and the
+// temp-file+rename idiom.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens name with os.O_* flags; the returned File supports
+	// sequential writes and fsync.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata (the rename barrier). A
+	// filesystem that cannot sync directories may no-op.
+	SyncDir(name string) error
+}
+
+// File is one journal file handle.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return os.ReadDir(name)
+}
+func (osFS) ReadFile(name string) ([]byte, error)   { return os.ReadFile(name) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsync, rename, and directory sync, so a crash at any point leaves
+// either the old file or the complete new one — never a torn mix. The
+// gateway's -metrics-out scrape and the journal manifest both go
+// through here.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return fmt.Errorf("journal: atomic write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("journal: atomic write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("journal: atomic write %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("journal: atomic write %s: close: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("journal: atomic write %s: rename: %w", path, err)
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,628 @@
+// Package journal is the durable evidence plane: an append-only,
+// segment-rotated, checksummed verdict/evidence journal in which every
+// record is hash-chained to its predecessor. Production attestation is
+// an audit system — a verdict that dies with the gateway process erases
+// exactly the evidence trail the scheme exists to produce — so the
+// gateway commits every session outcome (and every live dictionary
+// version) through here.
+//
+// # Trust and failure model
+//
+// The chain applies the paper's report trust argument to storage: each
+// record's hash covers its body including the previous record's hash,
+// so altering, reordering or deleting any stored byte is detectable at
+// the next link. Per-record CRCs catch accidental damage (torn tails,
+// cold bit flips) cheaply; the hash chain catches deliberate tampering
+// even when a CRC is fixed up.
+//
+// Crash safety is end to end:
+//
+//   - appends are group-committed under a configurable fsync policy
+//     ([SyncEach] amortizes one fsync over all concurrently waiting
+//     appenders — real group commit, not fsync-per-record);
+//   - segments are created and the manifest rewritten via
+//     temp-file+rename ([WriteFileAtomic]), so rotation is atomic;
+//   - the startup recovery scan truncates a torn tail record (an
+//     interrupted append that was never acknowledged durable) but
+//     refuses — or quarantines, by policy — a broken hash chain: zero
+//     silently-dropped and zero silently-altered records;
+//   - a disk-write failure degrades instead of killing the gateway:
+//     the journal sheds subsequent records into a bounded in-memory
+//     ring, reports Health() degraded, and counts every shed record.
+//
+// All disk access goes through the [FS] seam so the chaos layer
+// (internal/faults) can inject short writes, fsync errors, torn tails
+// and cold bit flips with a seeded, replayable schedule.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy selects when appended records are flushed to stable
+// storage.
+type FsyncPolicy uint8
+
+const (
+	// SyncEach makes Append return only after the record is fsynced.
+	// Concurrent appenders share fsyncs via group commit.
+	SyncEach FsyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker; a crash loses at most
+	// one interval of records (as a truncatable torn tail).
+	SyncInterval
+	// SyncNever leaves flushing to the OS (tests, throwaway runs).
+	SyncNever
+)
+
+// BreakPolicy decides what Open does with a broken hash chain.
+type BreakPolicy uint8
+
+const (
+	// RefuseOpen fails Open with the *ChainError — the operator must
+	// look at the evidence before anything touches it.
+	RefuseOpen BreakPolicy = iota
+	// Quarantine renames the offending segment and everything after it
+	// to *.quarantined and resumes the journal from the last verified
+	// record. Nothing is deleted; the damaged suffix stays on disk for
+	// forensics.
+	Quarantine
+)
+
+// Options tunes a Journal; the zero value selects every default.
+type Options struct {
+	// FS is the filesystem seam (nil: OSFS).
+	FS FS
+	// SegmentBytes rotates the active segment beyond this size
+	// (default 1 MiB).
+	SegmentBytes int64
+	// Fsync selects the commit durability policy (default SyncEach).
+	Fsync FsyncPolicy
+	// FsyncEvery is the SyncInterval ticker period (default 100ms).
+	FsyncEvery time.Duration
+	// OnChainBreak selects the broken-chain policy (default RefuseOpen).
+	OnChainBreak BreakPolicy
+	// RingSize bounds the degraded-mode in-memory ring (default 1024).
+	RingSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = 1024
+	}
+	return o
+}
+
+// Counters is a snapshot of the journal's own accounting. Appended +
+// Shed covers every record ever handed to Append, so nothing disappears
+// without a number attached.
+type Counters struct {
+	Appended    uint64 // records written to the active segment
+	Rotated     uint64 // segments sealed
+	Recovered   uint64 // records validated by the startup scan
+	Truncated   uint64 // torn tail records truncated at startup
+	ChainBreaks uint64 // broken chains detected (quarantined or refused)
+	Quarantined uint64 // segments moved aside by the Quarantine policy
+	Shed        uint64 // records diverted to the degraded-mode ring
+	RingDropped uint64 // ring evictions (oldest shed record lost)
+	WriteErrors uint64 // disk write/sync/rotate failures observed
+	Fsyncs      uint64 // fsyncs issued (group commit shares them)
+}
+
+// Journal is an open evidence journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	opts Options
+	dir  string
+
+	mu      sync.Mutex // guards the append path and segment state
+	active  File
+	actName string
+	actSize int64
+	nextSeq uint64
+	head    [32]byte
+	sealed  []manifestSegment
+	closed  bool
+
+	// Group commit: appenders record the byte offset their record ends
+	// at and wait until a leader's fsync covers it. Rotation bumps gen;
+	// waiters from a sealed generation are satisfied by the seal fsync.
+	cmu      sync.Mutex
+	ccond    *sync.Cond
+	cGen     uint64
+	cWritten int64
+	cSynced  int64
+	cBusy    bool
+	cErr     error
+
+	degraded atomic.Bool
+	lastErr  atomic.Pointer[error]
+	ring     []Record // degraded-mode shed buffer, oldest first
+
+	c struct {
+		appended, rotated, recovered, truncated atomic.Uint64
+		chainBreaks, quarantined                atomic.Uint64
+		shed, ringDropped, writeErrors, fsyncs  atomic.Uint64
+	}
+
+	// fsyncObserve, when non-nil, receives each fsync's wall time
+	// (installed by RegisterMetrics as the raptrack_journal_fsync_seconds
+	// histogram).
+	fsyncObserve func(time.Duration)
+
+	audit auditIndex
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open validates the full chain under dir (creating it if absent),
+// applies recovery policy — truncating a torn tail, refusing or
+// quarantining a broken chain — and returns a journal ready to append
+// at the verified head.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	// Interrupted atomic writes leave *.tmp files; they were never part
+	// of the chain.
+	if entries, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) == ".tmp" {
+				_ = fsys.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+
+	j := &Journal{opts: opts, dir: dir}
+	j.ccond = sync.NewCond(&j.cmu)
+
+	res, err := scan(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if res.breakErr != nil {
+		j.c.chainBreaks.Add(1)
+		if opts.OnChainBreak == RefuseOpen {
+			return nil, res.breakErr
+		}
+		// Quarantine: move the offending segment and all later ones
+		// aside, then rescan the surviving prefix.
+		for _, name := range res.names[res.breakIdx:] {
+			src := filepath.Join(dir, name)
+			if err := fsys.Rename(src, src+".quarantined"); err != nil {
+				return nil, fmt.Errorf("journal: quarantining %s: %w", name, err)
+			}
+			j.c.quarantined.Add(1)
+		}
+		// The stale manifest may reference the segments just moved aside;
+		// drop it so the rescan re-derives the sealed set (Open rewrites
+		// it below).
+		_ = fsys.Remove(filepath.Join(dir, manifestName))
+		_ = fsys.SyncDir(dir)
+		if res, err = scan(fsys, dir); err != nil {
+			return nil, err
+		}
+		if res.breakErr != nil {
+			// Damage in the surviving prefix too; nothing left to save.
+			return nil, res.breakErr
+		}
+	}
+	if res.torn != nil {
+		if err := fsys.Truncate(filepath.Join(dir, res.torn.Segment), res.torn.Offset); err != nil {
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		j.c.truncated.Add(1)
+	}
+	j.c.recovered.Add(uint64(len(res.records)))
+	j.nextSeq = res.nextSeq
+	j.head = res.head
+	for _, rec := range res.records {
+		j.audit.note(rec)
+	}
+
+	// All but the final segment are sealed; rewrite the manifest to
+	// match reality (this also completes a rotation that crashed
+	// between rename and manifest update).
+	for i, info := range res.segments {
+		if i == len(res.segments)-1 {
+			break
+		}
+		j.sealed = append(j.sealed, manifestSegment{
+			Name: info.name, BaseSeq: info.base, LastSeq: info.lastSeq, Head: hashHex(info.head),
+		})
+	}
+	if err := writeManifest(fsys, dir, manifest{Sealed: j.sealed}); err != nil {
+		return nil, err
+	}
+
+	if n := len(res.segments); n > 0 {
+		info := res.segments[n-1]
+		size := info.size
+		if res.torn != nil {
+			size = res.torn.Offset
+		}
+		f, err := fsys.OpenFile(filepath.Join(dir, info.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: reopening active segment: %w", err)
+		}
+		j.active, j.actName, j.actSize = f, info.name, size
+	} else if err := j.newSegmentLocked(); err != nil {
+		return nil, err
+	}
+
+	if opts.Fsync == SyncInterval {
+		j.stopSync = make(chan struct{})
+		j.syncDone = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// newSegmentLocked creates and installs a fresh active segment whose
+// header continues the chain, via temp-file+rename so the file appears
+// atomically with its header already durable. Caller holds j.mu (or is
+// Open, before the journal is shared).
+func (j *Journal) newSegmentLocked() error {
+	fsys := j.opts.FS
+	base := j.nextSeq
+	name := segmentName(base)
+	path := filepath.Join(j.dir, name)
+	if err := WriteFileAtomic(fsys, path, encodeSegmentHeader(base, j.head), 0o644); err != nil {
+		return err
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening new segment: %w", err)
+	}
+	j.active, j.actName, j.actSize = f, name, segmentHeaderSize
+	return nil
+}
+
+// Append seals entry into the chain and commits it under the journal's
+// fsync policy. A journal in degraded mode (or driven into it by this
+// append's disk failure) sheds the record into the bounded in-memory
+// ring instead — the gateway must never die, or block sessions, on its
+// evidence plane. Every call is accounted: Counters().Appended + Shed.
+func (j *Journal) Append(e Entry) error {
+	if e.Kind == 0 || e.Kind >= numKinds {
+		return fmt.Errorf("%w: kind %d", ErrBadRecord, e.Kind)
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errors.New("journal: closed")
+	}
+	rec := Record{Entry: e, Seq: j.nextSeq, PrevHash: j.head}
+	frame, err := rec.encode()
+	if err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	if j.degraded.Load() {
+		j.shedLocked(rec)
+		j.mu.Unlock()
+		return nil
+	}
+	if j.actSize >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.enterDegradedLocked(err)
+			j.shedLocked(rec)
+			j.mu.Unlock()
+			return nil
+		}
+	}
+	if _, err := j.active.Write(frame); err != nil {
+		// The segment tail is now indeterminate (a short write may have
+		// landed a partial frame); recovery will truncate it as torn.
+		j.enterDegradedLocked(err)
+		j.shedLocked(rec)
+		j.mu.Unlock()
+		return nil
+	}
+	j.actSize += int64(len(frame))
+	j.nextSeq++
+	j.head = rec.Hash
+	j.c.appended.Add(1)
+	j.audit.note(rec)
+	target := j.actSize
+	file := j.active
+	j.mu.Unlock()
+	j.cmu.Lock()
+	if target > j.cWritten {
+		j.cWritten = target
+	}
+	j.cmu.Unlock()
+
+	if j.opts.Fsync == SyncEach {
+		if err := j.groupCommit(file, target); err != nil {
+			j.noteWriteError(err)
+		}
+	}
+	return nil
+}
+
+// groupCommit waits until an fsync covers target bytes of the active
+// segment. The first waiter to find no fsync in flight becomes the
+// leader and syncs for everyone queued behind it; a generation bump
+// (rotation sealed the segment, which fsyncs it) satisfies stragglers.
+func (j *Journal) groupCommit(file File, target int64) error {
+	j.cmu.Lock()
+	gen := j.cGen
+	for {
+		if j.cGen != gen {
+			// Rotated away: the seal fsync covered this record.
+			j.cmu.Unlock()
+			return nil
+		}
+		if j.cErr != nil {
+			err := j.cErr
+			j.cmu.Unlock()
+			return err
+		}
+		if j.cSynced >= target {
+			j.cmu.Unlock()
+			return nil
+		}
+		if !j.cBusy {
+			j.cBusy = true
+			high := j.cWritten
+			j.cmu.Unlock()
+			start := time.Now()
+			err := file.Sync()
+			j.observeFsync(time.Since(start))
+			j.cmu.Lock()
+			j.cBusy = false
+			if err != nil {
+				j.cErr = err
+			} else if j.cGen == gen && high > j.cSynced {
+				j.cSynced = high
+			}
+			j.ccond.Broadcast()
+			continue
+		}
+		j.ccond.Wait()
+	}
+}
+
+func (j *Journal) observeFsync(d time.Duration) {
+	j.c.fsyncs.Add(1)
+	if j.fsyncObserve != nil {
+		j.fsyncObserve(d)
+	}
+}
+
+// rotateLocked seals the active segment (fsync, close, manifest) and
+// installs a fresh one. Caller holds j.mu.
+func (j *Journal) rotateLocked() error {
+	// Quiesce group commit on the old file, then retire its generation:
+	// waiters see the gen bump and trust the seal fsync below.
+	j.cmu.Lock()
+	for j.cBusy {
+		j.ccond.Wait()
+	}
+	j.cGen++
+	j.cWritten = 0
+	j.cSynced = 0
+	j.cErr = nil
+	j.ccond.Broadcast()
+	j.cmu.Unlock()
+
+	start := time.Now()
+	err := j.active.Sync()
+	j.observeFsync(time.Since(start))
+	if err != nil {
+		return fmt.Errorf("journal: sealing %s: %w", j.actName, err)
+	}
+	if err := j.active.Close(); err != nil {
+		return fmt.Errorf("journal: sealing %s: %w", j.actName, err)
+	}
+	base, _ := parseSegmentName(j.actName)
+	j.sealed = append(j.sealed, manifestSegment{
+		Name: j.actName, BaseSeq: base, LastSeq: j.nextSeq - 1, Head: hashHex(j.head),
+	})
+	// Order matters for crash-recovery: the new segment appears on disk
+	// before the manifest lists the old one as sealed, so a crash
+	// between the two steps leaves a scan that re-derives the sealed
+	// set from the segments themselves.
+	if err := j.newSegmentLocked(); err != nil {
+		return err
+	}
+	if err := writeManifest(j.opts.FS, j.dir, manifest{Sealed: j.sealed}); err != nil {
+		return fmt.Errorf("journal: manifest update: %w", err)
+	}
+	j.c.rotated.Add(1)
+	return nil
+}
+
+// shedLocked routes one record into the degraded-mode ring, evicting
+// the oldest when full. Caller holds j.mu.
+func (j *Journal) shedLocked(rec Record) {
+	// Shed records stay on the in-memory chain so the sequence numbers
+	// and hashes remain consistent if they are later exported.
+	j.nextSeq++
+	j.head = rec.Hash
+	if len(j.ring) >= j.opts.RingSize {
+		copy(j.ring, j.ring[1:])
+		j.ring = j.ring[:len(j.ring)-1]
+		j.c.ringDropped.Add(1)
+	}
+	j.ring = append(j.ring, rec)
+	j.c.shed.Add(1)
+	j.audit.note(rec)
+}
+
+func (j *Journal) enterDegradedLocked(err error) {
+	j.noteWriteError(err)
+	j.degraded.Store(true)
+}
+
+func (j *Journal) noteWriteError(err error) {
+	j.c.writeErrors.Add(1)
+	e := err
+	j.lastErr.Store(&e)
+	j.degraded.Store(true)
+}
+
+// syncLoop is the SyncInterval ticker.
+func (j *Journal) syncLoop() {
+	defer close(j.syncDone)
+	t := time.NewTicker(j.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stopSync:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			file := j.active
+			closed := j.closed || j.degraded.Load()
+			j.mu.Unlock()
+			if closed || file == nil {
+				continue
+			}
+			start := time.Now()
+			// Serialize with rotation via the group-commit lock so the
+			// ticker never fsyncs a just-closed file.
+			j.cmu.Lock()
+			for j.cBusy {
+				j.ccond.Wait()
+			}
+			j.cBusy = true
+			j.cmu.Unlock()
+			err := file.Sync()
+			j.cmu.Lock()
+			j.cBusy = false
+			j.ccond.Broadcast()
+			j.cmu.Unlock()
+			j.observeFsync(time.Since(start))
+			if err != nil {
+				j.noteWriteError(err)
+			}
+		}
+	}
+}
+
+// Close seals the journal: final fsync, manifest flush, file close.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	file := j.active
+	j.active = nil
+	degraded := j.degraded.Load()
+	j.mu.Unlock()
+	if j.stopSync != nil {
+		close(j.stopSync)
+		<-j.syncDone
+	}
+	if file == nil {
+		return nil
+	}
+	// Quiesce in-flight group commits before touching the file handle.
+	j.cmu.Lock()
+	for j.cBusy {
+		j.ccond.Wait()
+	}
+	j.cGen++
+	j.ccond.Broadcast()
+	j.cmu.Unlock()
+	var err error
+	if !degraded && j.opts.Fsync != SyncNever {
+		err = file.Sync()
+	}
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Degraded reports whether the journal has shed to the in-memory ring
+// after a disk failure.
+func (j *Journal) Degraded() bool { return j.degraded.Load() }
+
+// Health renders the journal's liveness for a /healthz subsystem probe.
+func (j *Journal) Health() (ok bool, detail string) {
+	if !j.degraded.Load() {
+		return true, fmt.Sprintf("chain head seq %d", j.NextSeq()-1)
+	}
+	c := j.Counters()
+	msg := fmt.Sprintf("degraded: %d records shed to ring (%d dropped)", c.Shed, c.RingDropped)
+	if p := j.lastErr.Load(); p != nil {
+		msg += ": " + (*p).Error()
+	}
+	return false, msg
+}
+
+// Counters snapshots the journal's accounting.
+func (j *Journal) Counters() Counters {
+	return Counters{
+		Appended:    j.c.appended.Load(),
+		Rotated:     j.c.rotated.Load(),
+		Recovered:   j.c.recovered.Load(),
+		Truncated:   j.c.truncated.Load(),
+		ChainBreaks: j.c.chainBreaks.Load(),
+		Quarantined: j.c.quarantined.Load(),
+		Shed:        j.c.shed.Load(),
+		RingDropped: j.c.ringDropped.Load(),
+		WriteErrors: j.c.writeErrors.Load(),
+		Fsyncs:      j.c.fsyncs.Load(),
+	}
+}
+
+// NextSeq returns the sequence number the next appended record gets.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
+}
+
+// Head returns the chain head hash (zero before the first record).
+func (j *Journal) Head() [32]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.head
+}
+
+// Ring returns a copy of the degraded-mode ring, oldest first.
+func (j *Journal) Ring() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.ring))
+	copy(out, j.ring)
+	return out
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// SealedSegments returns the count of sealed (rotation-retired)
+// segments.
+func (j *Journal) SealedSegments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.sealed)
+}

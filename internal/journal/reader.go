@@ -1,0 +1,38 @@
+package journal
+
+// ScanReport is the outcome of a read-only chain validation pass: the
+// validated record prefix plus an explicit account of any damage. A
+// replay tool must distinguish "clean", "clean but for a torn tail"
+// (crash artifact, nothing acknowledged was lost) and "chain break"
+// (evidence was altered or removed).
+type ScanReport struct {
+	Records  []Record
+	Segments int
+	// Torn is non-nil when the final segment ends in a truncatable
+	// partial record.
+	Torn *TornTail
+	// Break is non-nil when the chain is damaged beyond a torn tail.
+	// Records still holds the validated prefix before the break.
+	Break *ChainError
+}
+
+// ScanDir validates the journal chain under dir without opening it for
+// writing and without mutating anything on disk — no truncation, no
+// quarantine, no manifest rewrite. This is the replay and audit entry
+// point; a journal being actively written by a gateway should be read
+// after the gateway seals it.
+func ScanDir(fsys FS, dir string) (ScanReport, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	res, err := scan(fsys, dir)
+	if err != nil {
+		return ScanReport{}, err
+	}
+	return ScanReport{
+		Records:  res.records,
+		Segments: len(res.names),
+		Torn:     res.torn,
+		Break:    res.breakErr,
+	}, nil
+}

@@ -1,0 +1,266 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"raptrack/internal/verify"
+)
+
+// Kind classifies a journal record.
+type Kind uint8
+
+const (
+	// KindVerdict is one session outcome plus its complete evidence
+	// (attest.EncodeEvidence bytes: the challenge and signed report
+	// chain), sufficient for a later bit-for-bit re-verification.
+	KindVerdict Kind = iota + 1
+	// KindDict is one live-dictionary version (speccfa wire encoding),
+	// journaled at registration and on every mining promotion so replay
+	// can expand each session's evidence with exactly the dictionary its
+	// prover compressed with.
+	KindDict
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVerdict:
+		return "verdict"
+	case KindDict:
+		return "dict"
+	}
+	return "invalid-kind"
+}
+
+// Outcome classifies a journaled session verdict.
+type Outcome uint8
+
+const (
+	OutcomeOK           Outcome = iota // accepted
+	OutcomeAttack                      // rejected (typed ReasonCode)
+	OutcomeInconclusive                // attested capture loss; re-attest
+	OutcomeError                       // malformed or inauthentic evidence
+
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"ok", "attack", "inconclusive", "error"}
+
+func (o Outcome) String() string {
+	if o < numOutcomes {
+		return outcomeNames[o]
+	}
+	return "invalid-outcome"
+}
+
+// Entry is the caller-supplied content of one journal record; the
+// journal assigns sequencing and chain hashes on Append.
+type Entry struct {
+	Kind   Kind
+	Time   time.Time
+	App    string
+	Device string // session peer (remote address); "" for dict records
+
+	Outcome     Outcome
+	Code        verify.ReasonCode
+	Detail      string
+	DictVersion uint64
+
+	// Payload carries the evidence (KindVerdict: attest.EncodeEvidence
+	// bytes) or the dictionary encoding (KindDict).
+	Payload []byte
+}
+
+// Record is one committed journal entry. Hash = SHA-256 of the encoded
+// body, which itself contains PrevHash — so every record seals the full
+// history before it, and altering any stored byte breaks the chain at
+// the next link (the paper's tamper-evidence argument for reports,
+// applied to storage).
+type Record struct {
+	Entry
+	Seq      uint64
+	PrevHash [32]byte
+	Hash     [32]byte
+}
+
+// Record frame layout inside a segment:
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//
+// body:
+//
+//	u64 seq | i64 unixNano | prevHash[32] | u8 kind | u8 outcome |
+//	u8 code | u64 dictVersion | u16 appLen | app | u16 deviceLen |
+//	device | u32 detailLen | detail | u32 payloadLen | payload
+//
+// The CRC detects torn tails and cold bit flips cheaply; the hash chain
+// makes deliberate tampering detectable even when the CRC is fixed up.
+const (
+	frameHeaderSize = 8
+	recordBodyMin   = 8 + 8 + 32 + 3 + 8 + 2 + 2 + 4 + 4
+	// MaxRecordBody bounds one record body (a report chain plus slack).
+	MaxRecordBody = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadRecord is returned for structurally invalid record bytes.
+var ErrBadRecord = errors.New("journal: malformed record")
+
+// appendBody serializes r's body (everything under the CRC and hash).
+func (r *Record) appendBody(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, r.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Time.UnixNano()))
+	b = append(b, r.PrevHash[:]...)
+	b = append(b, byte(r.Kind), byte(r.Outcome), byte(r.Code))
+	b = binary.LittleEndian.AppendUint64(b, r.DictVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.App)))
+	b = append(b, r.App...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Device)))
+	b = append(b, r.Device...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Detail)))
+	b = append(b, r.Detail...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Payload)))
+	b = append(b, r.Payload...)
+	return b
+}
+
+// encode seals the record: computes Hash over the body and returns the
+// complete frame (len | crc | body).
+func (r *Record) encode() ([]byte, error) {
+	if r.Kind == 0 || r.Kind >= numKinds {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadRecord, r.Kind)
+	}
+	if r.Outcome >= numOutcomes {
+		return nil, fmt.Errorf("%w: outcome %d", ErrBadRecord, r.Outcome)
+	}
+	if len(r.App) > 0xffff || len(r.Device) > 0xffff {
+		return nil, fmt.Errorf("%w: name too long", ErrBadRecord)
+	}
+	body := r.appendBody(make([]byte, 0, recordBodyMin+len(r.App)+len(r.Device)+len(r.Detail)+len(r.Payload)))
+	if len(body) > MaxRecordBody {
+		return nil, fmt.Errorf("%w: %d-byte body exceeds limit", ErrBadRecord, len(body))
+	}
+	r.Hash = sha256.Sum256(body)
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, crcTable))
+	return append(frame, body...), nil
+}
+
+// decodeRecordBody parses one CRC-validated body into a Record,
+// recomputing Hash. Chain linkage (PrevHash, Seq continuity) is the
+// scanner's job.
+func decodeRecordBody(body []byte) (Record, error) {
+	var r Record
+	if len(body) < recordBodyMin {
+		return r, fmt.Errorf("%w: %d-byte body", ErrBadRecord, len(body))
+	}
+	r.Seq = binary.LittleEndian.Uint64(body[0:])
+	r.Time = time.Unix(0, int64(binary.LittleEndian.Uint64(body[8:])))
+	copy(r.PrevHash[:], body[16:48])
+	r.Kind = Kind(body[48])
+	r.Outcome = Outcome(body[49])
+	r.Code = verify.ReasonCode(body[50])
+	r.DictVersion = binary.LittleEndian.Uint64(body[51:])
+	if r.Kind == 0 || r.Kind >= numKinds || r.Outcome >= numOutcomes || !r.Code.Valid() {
+		return r, fmt.Errorf("%w: invalid enums", ErrBadRecord)
+	}
+	rest := body[59:]
+	takeStr16 := func() (string, bool) {
+		if len(rest) < 2 {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return "", false
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, true
+	}
+	takeBytes32 := func() ([]byte, bool) {
+		if len(rest) < 4 {
+			return nil, false
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return nil, false
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, true
+	}
+	var ok bool
+	if r.App, ok = takeStr16(); !ok {
+		return r, fmt.Errorf("%w: truncated app", ErrBadRecord)
+	}
+	if r.Device, ok = takeStr16(); !ok {
+		return r, fmt.Errorf("%w: truncated device", ErrBadRecord)
+	}
+	detail, ok := takeBytes32()
+	if !ok {
+		return r, fmt.Errorf("%w: truncated detail", ErrBadRecord)
+	}
+	r.Detail = string(detail)
+	if r.Payload, ok = takeBytes32(); !ok {
+		return r, fmt.Errorf("%w: truncated payload", ErrBadRecord)
+	}
+	r.Payload = append([]byte(nil), r.Payload...)
+	if len(rest) != 0 {
+		return r, fmt.Errorf("%w: %d trailing body bytes", ErrBadRecord, len(rest))
+	}
+	r.Hash = sha256.Sum256(body)
+	return r, nil
+}
+
+// parseFrame reads one frame at data[off:]. It distinguishes the three
+// outcomes the recovery scan keys on:
+//
+//	complete  — CRC-valid frame; rec holds the decoded record
+//	torn      — the frame cannot be complete at this offset (short
+//	            header, length past EOF): the signature of an
+//	            interrupted append at the tail
+//	corrupt   — a complete frame whose CRC or structure is wrong: bytes
+//	            were altered in place, not cut short
+type frameState uint8
+
+const (
+	frameComplete frameState = iota
+	frameTorn
+	frameCorrupt
+)
+
+func parseFrame(data []byte, off int) (rec Record, next int, state frameState, err error) {
+	if off+frameHeaderSize > len(data) {
+		return rec, len(data), frameTorn, fmt.Errorf("%w: short frame header", ErrBadRecord)
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(data[off:]))
+	if bodyLen < recordBodyMin || bodyLen > MaxRecordBody {
+		// An insane length field: either a partially written header
+		// (torn) or a flipped bit in a cold length field (corrupt).
+		// The caller disambiguates by looking for valid frames beyond.
+		return rec, len(data), frameTorn, fmt.Errorf("%w: implausible body length %d", ErrBadRecord, bodyLen)
+	}
+	end := off + frameHeaderSize + bodyLen
+	if end > len(data) {
+		return rec, len(data), frameTorn, fmt.Errorf("%w: %d-byte body cut short", ErrBadRecord, bodyLen)
+	}
+	body := data[off+frameHeaderSize : end]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(data[off+4:]) {
+		return rec, end, frameCorrupt, fmt.Errorf("%w: CRC mismatch", ErrBadRecord)
+	}
+	rec, err = decodeRecordBody(body)
+	if err != nil {
+		return rec, end, frameCorrupt, err
+	}
+	return rec, end, frameComplete, nil
+}

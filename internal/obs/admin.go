@@ -4,8 +4,52 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 )
+
+// HealthLevel grades one subsystem for the /healthz probe.
+type HealthLevel string
+
+const (
+	// HealthOK: the subsystem is fully functional.
+	HealthOK HealthLevel = "ok"
+	// HealthDegraded: the subsystem lost capability but the gateway is
+	// still serving — /healthz stays 200 so orchestrators do not kill a
+	// live verifier over, say, its evidence plane shedding to memory.
+	HealthDegraded HealthLevel = "degraded"
+	// HealthDown: the subsystem is gone and the process should be
+	// restarted; /healthz turns 503.
+	HealthDown HealthLevel = "down"
+)
+
+// HealthStatus is one subsystem's probe result.
+type HealthStatus struct {
+	Level  HealthLevel `json:"level"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// AdminOption extends AdminHandler with subsystem health probes and
+// extra routes.
+type AdminOption func(*adminConfig)
+
+type adminConfig struct {
+	health map[string]func() HealthStatus
+	routes map[string]http.Handler
+}
+
+// WithHealth registers a named subsystem probe, evaluated on every
+// /healthz request. The overall status is the worst subsystem level;
+// only HealthDown flips the HTTP status to 503.
+func WithHealth(name string, probe func() HealthStatus) AdminOption {
+	return func(c *adminConfig) { c.health[name] = probe }
+}
+
+// WithRoute mounts an extra handler on the admin mux (e.g. the journal's
+// /debug/journal audit queries).
+func WithRoute(pattern string, h http.Handler) AdminOption {
+	return func(c *adminConfig) { c.routes[pattern] = h }
+}
 
 // AdminHandler serves the observability surface of one Observer:
 //
@@ -13,12 +57,22 @@ import (
 //	/debug/sessions   JSON dump of recent session traces
 //	                  (?app=<name> to filter, ?n=<count> per app, default 16)
 //	/debug/pprof/     the standard net/http/pprof handlers
-//	/healthz          liveness probe ("ok")
+//	/healthz          structured liveness probe: JSON status plus
+//	                  per-subsystem levels; 503 only when a subsystem
+//	                  reports down
 //
-// The handler is read-only and safe to serve concurrently with a live
-// gateway: scrapes read atomics and take only the short ring and
-// registration mutexes.
-func AdminHandler(o *Observer) http.Handler {
+// plus any routes mounted via [WithRoute]. The handler is read-only and
+// safe to serve concurrently with a live gateway: scrapes read atomics
+// and take only the short ring and registration mutexes.
+func AdminHandler(o *Observer, opts ...AdminOption) http.Handler {
+	cfg := adminConfig{
+		health: make(map[string]func() HealthStatus),
+		routes: make(map[string]http.Handler),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,16 +105,49 @@ func AdminHandler(o *Observer) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
+		overall := HealthOK
+		subsystems := make(map[string]HealthStatus, len(cfg.health))
+		for name, probe := range cfg.health {
+			st := probe()
+			if st.Level == "" {
+				st.Level = HealthOK
+			}
+			subsystems[name] = st
+			switch st.Level {
+			case HealthDown:
+				overall = HealthDown
+			case HealthDegraded:
+				if overall == HealthOK {
+					overall = HealthDegraded
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if overall == HealthDown {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"status": overall, "subsystems": subsystems})
 	})
+
+	index := []string{"/metrics", "/debug/sessions", "/debug/pprof/", "/healthz"}
+	for pattern, h := range cfg.routes {
+		mux.Handle(pattern, h)
+		index = append(index, pattern)
+	}
+	sort.Strings(index[4:])
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("raptrack admin endpoint\n\n/metrics\n/debug/sessions\n/debug/pprof/\n/healthz\n"))
+		body := "raptrack admin endpoint\n\n"
+		for _, p := range index {
+			body += p + "\n"
+		}
+		_, _ = w.Write([]byte(body))
 	})
 	return mux
 }

@@ -76,10 +76,77 @@ func TestAdminEndpoints(t *testing.T) {
 	if code, body, _ := adminGet(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: status %d", code)
 	}
-	if code, body, _ := adminGet(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
-		t.Errorf("healthz: %d %q", code, body)
+	code, body, hdr = adminGet(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Errorf("healthz: %d %q", code, hdr.Get("Content-Type"))
+	}
+	var health struct {
+		Status     string                  `json:"status"`
+		Subsystems map[string]HealthStatus `json:"subsystems"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" || len(health.Subsystems) != 0 {
+		t.Errorf("healthz payload = %+v", health)
 	}
 	if code, _, _ := adminGet(t, srv, "/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+func TestAdminHealthSubsystems(t *testing.T) {
+	o := NewObserver(nil, 8)
+	level := HealthOK
+	extraHit := false
+	srv := httptest.NewServer(AdminHandler(o,
+		WithHealth("journal", func() HealthStatus {
+			return HealthStatus{Level: level, Detail: "chain head seq 7"}
+		}),
+		WithRoute("/debug/journal", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			extraHit = true
+			w.Write([]byte("{}"))
+		})),
+	))
+	defer srv.Close()
+
+	decode := func(body string) (string, map[string]HealthStatus) {
+		t.Helper()
+		var h struct {
+			Status     string                  `json:"status"`
+			Subsystems map[string]HealthStatus `json:"subsystems"`
+		}
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatalf("healthz JSON: %v\n%s", err, body)
+		}
+		return h.Status, h.Subsystems
+	}
+
+	code, body, _ := adminGet(t, srv, "/healthz")
+	status, subs := decode(body)
+	if code != http.StatusOK || status != "ok" || subs["journal"].Level != HealthOK {
+		t.Errorf("ok probe: %d %s %+v", code, status, subs)
+	}
+
+	// Degraded keeps the 200: a gateway shedding evidence to memory is
+	// impaired, not dead, and must not be restart-looped.
+	level = HealthDegraded
+	code, body, _ = adminGet(t, srv, "/healthz")
+	if status, subs = decode(body); code != http.StatusOK || status != "degraded" ||
+		subs["journal"].Level != HealthDegraded {
+		t.Errorf("degraded probe: %d %s %+v", code, status, subs)
+	}
+
+	level = HealthDown
+	code, body, _ = adminGet(t, srv, "/healthz")
+	if status, _ = decode(body); code != http.StatusServiceUnavailable || status != "down" {
+		t.Errorf("down probe: %d %s", code, status)
+	}
+
+	if code, _, _ := adminGet(t, srv, "/debug/journal"); code != http.StatusOK || !extraHit {
+		t.Errorf("extra route: status %d, hit %v", code, extraHit)
+	}
+	if _, body, _ := adminGet(t, srv, "/"); !strings.Contains(body, "/debug/journal") {
+		t.Errorf("index missing mounted route:\n%s", body)
 	}
 }

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"raptrack/internal/attest"
+	"raptrack/internal/journal"
+	"raptrack/internal/verify"
+)
+
+// journalVerdict commits one completed verification to the evidence
+// plane: the outcome classification plus the complete evidence bytes
+// (challenge and signed report chain), enough for a bit-for-bit replay.
+// Runs on the worker goroutine after the session has its result — the
+// session never waits on storage — and swallows journal errors by
+// design: the journal degrades internally, it never fails a session.
+func (g *Gateway) journalVerdict(job verifyJob, res verifyResult) {
+	j := g.cfg.Journal
+	if j == nil {
+		return
+	}
+	e := journal.Entry{
+		Kind:        journal.KindVerdict,
+		App:         job.app.name,
+		Device:      job.device,
+		DictVersion: job.dictVersion,
+		Payload:     attest.EncodeEvidence(job.chal, job.reports),
+	}
+	switch {
+	case res.err != nil:
+		e.Outcome = journal.OutcomeError
+		e.Detail = res.err.Error()
+	case res.verdict.OK:
+		e.Outcome = journal.OutcomeOK
+	case res.verdict.Code == verify.ReasonInconclusive:
+		e.Outcome = journal.OutcomeInconclusive
+		e.Code = res.verdict.Code
+		e.Detail = res.verdict.Detail
+	default:
+		e.Outcome = journal.OutcomeAttack
+		e.Code = res.verdict.Code
+		e.Detail = res.verdict.Detail
+	}
+	_ = j.Append(e)
+}
+
+// journalDict commits one live dictionary version (the registration seed
+// or a mining promotion). Replay depends on these: each journaled
+// verdict names its dictVersion, and the replay verifier expands its
+// evidence with the matching journaled encoding.
+func (g *Gateway) journalDict(app string, version uint64, encoded []byte) {
+	j := g.cfg.Journal
+	if j == nil {
+		return
+	}
+	_ = j.Append(journal.Entry{
+		Kind:        journal.KindDict,
+		App:         app,
+		DictVersion: version,
+		Payload:     encoded,
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"raptrack/internal/journal"
 	"raptrack/internal/obs"
 	"raptrack/internal/speccfa"
 )
@@ -67,6 +68,13 @@ type config struct {
 	// MaxDictPaths caps the live dictionary a mining promotion may grow to
 	// (default 32; hard limit speccfa.MaxPaths).
 	MaxDictPaths int
+
+	// Journal, when non-nil, is the durable evidence plane: every session
+	// verdict (with its complete evidence) and every live dictionary
+	// version is committed through it. Journal failure never fails a
+	// session — the journal degrades internally and the gateway keeps
+	// serving.
+	Journal *journal.Journal
 
 	// DisableAutomaton turns off the compiled table-driven verifier core
 	// for all sessions: every job runs the interpretive pushdown search.
@@ -215,6 +223,19 @@ func WithFaults(verifyHook func(app string), dictFault func([]byte) []byte) Opti
 // same observer panics on the duplicate metric names.
 func WithObserver(o *obs.Observer) Option {
 	return func(s *settings) { s.obs = o }
+}
+
+// WithJournal attaches the durable evidence plane: every session verdict
+// — acceptance, rejection with its typed reason, or evidence error — is
+// committed to j together with the complete evidence bytes, and every
+// live dictionary version (registration seed and each mining promotion)
+// is journaled so a later replay expands each session with exactly the
+// dictionary its prover compressed with. The gateway never blocks a
+// session on the journal and never dies on journal failure: a broken
+// disk degrades the journal (Health reports it; records shed to its
+// bounded ring) while sessions keep verifying.
+func WithJournal(j *journal.Journal) Option {
+	return func(s *settings) { s.cfg.Journal = j }
 }
 
 // WithSessionErrorHandler observes per-session failures (diagnostics;

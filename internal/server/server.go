@@ -107,12 +107,14 @@ type dictState struct {
 
 // verifyJob is one reconstruction request handed to the worker pool.
 type verifyJob struct {
-	app     *appState
-	chal    attest.Challenge
-	reports []*attest.Report
-	dict    *speccfa.Dictionary // session dictionary snapshot
-	aut     *verify.Automaton   // machine compiled for dict (nil: interpreter)
-	resp    chan verifyResult   // buffered(1): workers never block on delivery
+	app         *appState
+	device      string // session peer address (journal attribution)
+	chal        attest.Challenge
+	reports     []*attest.Report
+	dict        *speccfa.Dictionary // session dictionary snapshot
+	dictVersion uint64              // snapshot version (journal attribution)
+	aut         *verify.Automaton   // machine compiled for dict (nil: interpreter)
+	resp        chan verifyResult   // buffered(1): workers never block on delivery
 }
 
 type verifyResult struct {
@@ -195,10 +197,14 @@ func (g *Gateway) Register(app string, v *verify.Verifier) {
 		autCtrs:  &verify.AutomatonCounters{},
 		brk:      breaker{threshold: g.cfg.BreakerThreshold, cooldown: g.cfg.BreakerCooldown},
 	}
-	st.dict.Store(st.newDictState(0, v.Speculation()))
+	ds := st.newDictState(0, v.Speculation())
+	st.dict.Store(ds)
 	g.mu.Lock()
 	g.apps[app] = st
 	g.mu.Unlock()
+	if len(ds.encoded) > 0 {
+		g.journalDict(app, ds.version, ds.encoded)
+	}
 }
 
 // newDictState freezes one immutable dictionary version for the app,
@@ -472,7 +478,7 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 
 	verifyOffset := time.Since(tr.Began)
 	stageStart = time.Now()
-	verdict, sent, err := g.verify(st, chal, reports, ds, deadline)
+	verdict, sent, err := g.verify(st, tc.RemoteAddr().String(), chal, reports, ds, deadline)
 	enqueued = sent
 	if err != nil {
 		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
@@ -518,8 +524,9 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 // backpressure here, not in the accept or read loops. enqueued reports
 // whether the job reached the pool (every enqueued job is recorded by the
 // app's circuit breaker exactly once, even if this session stops waiting).
-func (g *Gateway) verify(st *appState, chal attest.Challenge, reports []*attest.Report, ds *dictState, deadline time.Time) (vd *verify.Verdict, enqueued bool, err error) {
-	job := verifyJob{app: st, chal: chal, reports: reports, dict: ds.dict, aut: ds.aut, resp: make(chan verifyResult, 1)}
+func (g *Gateway) verify(st *appState, device string, chal attest.Challenge, reports []*attest.Report, ds *dictState, deadline time.Time) (vd *verify.Verdict, enqueued bool, err error) {
+	job := verifyJob{app: st, device: device, chal: chal, reports: reports,
+		dict: ds.dict, dictVersion: ds.version, aut: ds.aut, resp: make(chan verifyResult, 1)}
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
@@ -595,6 +602,10 @@ func (g *Gateway) runJob(job verifyJob) {
 		g.m.breakerCloses.Inc()
 	}
 	job.resp <- res
+	// Evidence-plane commit after delivery: the session never waits on
+	// storage, and every outcome — acceptance, typed rejection, or
+	// evidence error — leaves a hash-chained record.
+	g.journalVerdict(job, res)
 	if res.err == nil && res.verdict.OK {
 		// Mine after delivery: the session is not kept waiting on
 		// dictionary work.
@@ -651,6 +662,7 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 	// version ships as a consistent dictionary+machine pair.
 	st.dict.Store(&dictState{version: cur.version + 1, dict: checked, encoded: encoded, aut: st.compileAut(checked)})
 	g.m.dictPromotions.Add(uint64(added))
+	g.journalDict(st.name, cur.version+1, encoded)
 }
 
 // ObserveProverRetries folds prover-side retry counts into the gateway
