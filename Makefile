@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos journal-chaos replay-selftest obs bench bench-smoke bench-verify serve-selftest metrics-scrape
+.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos journal-chaos replay-selftest obs bench bench-smoke bench-verify bench-fleet serve-selftest metrics-scrape
 
 check: vet staticcheck build test race fuzz chaos journal-chaos
 
@@ -29,7 +29,7 @@ race:
 # Execute the fuzz seed corpora as regression tests (no fuzzing time;
 # use `go test -fuzz FuzzReadFrame ./internal/remote` to actually fuzz).
 fuzz:
-	$(GO) test -run Fuzz ./internal/remote ./internal/attest ./internal/core ./internal/trace/pipeline
+	$(GO) test -run Fuzz ./internal/remote ./internal/attest ./internal/core ./internal/trace/pipeline ./internal/router
 
 # Short coverage-guided fuzzing of every target (one at a time: the Go
 # fuzzer allows a single -fuzz pattern per package invocation). 30s per
@@ -44,6 +44,7 @@ fuzz-smoke: fuzz
 	$(GO) test -run xxx -fuzz FuzzDecodeChallenge -fuzztime $(FUZZTIME) ./internal/attest
 	$(GO) test -run xxx -fuzz FuzzAutomatonDifferential -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzPipelineDecode -fuzztime $(FUZZTIME) ./internal/trace/pipeline
+	$(GO) test -run xxx -fuzz FuzzRouterHello -fuzztime $(FUZZTIME) ./internal/router
 
 # Regenerate the checked-in seed corpora under testdata/fuzz/.
 fuzz-corpus:
@@ -99,6 +100,14 @@ bench-smoke:
 # uploads it so verifier-core regressions are visible per-PR.
 bench-verify:
 	$(GO) run ./cmd/benchsuite -fig verify -out BENCH_verify.json
+
+# Fleet-scale attestation plane benchmark: differential (sharded vs
+# single-gateway verdicts bit-identical), capacity scaling at 1/2/4
+# shards, a 10k-prover diurnal wave + firmware-push herd, and a
+# cross-shard cache-warming probe. The pinned -smoke profile finishes
+# inside a minute on one core; CI uploads BENCH_fleet.json per-PR.
+bench-fleet:
+	$(GO) run ./cmd/fleetsim -smoke -out BENCH_fleet.json
 
 # One-command load check of the gateway networking path.
 serve-selftest:

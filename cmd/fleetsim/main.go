@@ -1,0 +1,637 @@
+// Command fleetsim drives the sharded attestation plane end-to-end with
+// a synthetic prover fleet and writes BENCH_fleet.json.
+//
+// Four phases, each against a fresh topology:
+//
+//  1. differential — the same session corpus (honest devices plus
+//     protocol-error classes) against a bare single gateway and a
+//     4-shard router; every gateway->device frame sequence must be
+//     bit-identical (the random challenge nonce is the one masked
+//     field). The router must be a pure capacity layer.
+//  2. scaling — closed-loop load at 1, 2 and 4 shards with a fixed
+//     per-replica session-slot budget over latency-shaped device
+//     links: aggregate sessions/s must scale with shard count on the
+//     same machine (slots x replicas is the capacity unit; per-session
+//     CPU stays far below one core).
+//  3. wave — the full fleet (>= 10k provers) under a diurnal arrival
+//     wave followed by a thundering herd after a simulated firmware
+//     push, with straggler devices on slow lossy links, online mining
+//     feeding the fleet dictionary bus, and periodic cross-shard cache
+//     warming. Reports p50/p99 verdict latency, shed/retry volume,
+//     shard balance and dictionary propagation.
+//  4. warm probe — quantifies cross-shard verify-cache warming: a
+//     verdict computed on one shard short-circuits the same evidence
+//     arriving on another shard after a WarmCaches sweep.
+//
+// The run is seeded; `-smoke` selects the pinned CI profile (finishes
+// well under a minute on one core).
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raptrack/internal/faults"
+	"raptrack/internal/obs"
+	"raptrack/internal/remote"
+	"raptrack/internal/router"
+	"raptrack/internal/server"
+)
+
+// benchDoc is the BENCH_fleet.json schema.
+type benchDoc struct {
+	Suite        string          `json:"suite"`
+	Seed         uint64          `json:"seed"`
+	Smoke        bool            `json:"smoke"`
+	Apps         []string        `json:"apps"`
+	Provers      int             `json:"provers"`
+	ElapsedSec   float64         `json:"elapsed_sec"`
+	Differential differentialDoc `json:"differential"`
+	Scaling      scalingDoc      `json:"scaling"`
+	Wave         waveDoc         `json:"wave"`
+	WarmProbe    warmDoc         `json:"warm_probe"`
+}
+
+type differentialDoc struct {
+	Sessions  int  `json:"sessions"`
+	Identical bool `json:"identical"`
+	ShardsHit int  `json:"shards_hit"`
+}
+
+type legDoc struct {
+	Shards         int      `json:"shards"`
+	Sessions       int      `json:"sessions"`
+	OK             int      `json:"ok"`
+	SessionsPerSec float64  `json:"sessions_per_sec"`
+	P50Ms          float64  `json:"p50_ms"`
+	P99Ms          float64  `json:"p99_ms"`
+	ShardSessions  []uint64 `json:"shard_sessions"`
+}
+
+type scalingDoc struct {
+	SlotsPerShard int      `json:"slots_per_shard"`
+	LinkLatencyMs float64  `json:"link_latency_ms"`
+	DurationSec   float64  `json:"leg_duration_sec"`
+	Legs          []legDoc `json:"legs"`
+	Speedup4x     float64  `json:"speedup_4x"`
+	Target3xMet   bool     `json:"target_3x_met"`
+}
+
+type waveDoc struct {
+	Shards         int               `json:"shards"`
+	Provers        int               `json:"provers"`
+	Stragglers     int               `json:"stragglers"`
+	Sessions       int               `json:"sessions"`
+	OK             int               `json:"ok"`
+	Rejected       int               `json:"rejected"`
+	Failed         int               `json:"failed"`
+	BusyRetries    int               `json:"busy_retries"`
+	GatewaySheds   uint64            `json:"gateway_sheds"`
+	ElapsedSec     float64           `json:"elapsed_sec"`
+	SessionsPerSec float64           `json:"sessions_per_sec"`
+	P50Ms          float64           `json:"p50_ms"`
+	P99Ms          float64           `json:"p99_ms"`
+	ShardSessions  []uint64          `json:"shard_sessions"`
+	BalanceSpread  float64           `json:"balance_max_over_min"`
+	DictEpochs     map[string]uint64 `json:"dict_epochs"`
+	DictProps      uint64            `json:"dict_propagations"`
+	DictLagP99Ms   float64           `json:"dict_lag_p99_ms"`
+	WarmSweeps     int               `json:"warm_sweeps"`
+	WarmMoved      int               `json:"warm_entries_moved"`
+}
+
+type warmDoc struct {
+	EntriesMoved int     `json:"entries_moved"`
+	Sessions     int     `json:"sessions"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_fleet.json", "output report path")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		appsFlag = flag.String("apps", "prime", "comma-separated workload apps")
+		provers  = flag.Int("provers", 10000, "simulated fleet size")
+		shards   = flag.Int("shards", 4, "wave-phase shard count")
+		slots    = flag.Int("slots", 8, "session slots per shard replica")
+		baseLat  = flag.Duration("link-latency", time.Millisecond, "base device uplink latency per write")
+		legDur   = flag.Duration("leg-duration", 8*time.Second, "measurement window per scaling leg")
+		diurnal  = flag.Duration("diurnal", 12*time.Second, "wave-phase diurnal window")
+		herd     = flag.Duration("herd-spread", 4*time.Second, "firmware-push herd arrival spread")
+		smoke    = flag.Bool("smoke", false, "pinned CI profile: shorter windows, same fleet size")
+	)
+	flag.Parse()
+	if *smoke {
+		*legDur = 2500 * time.Millisecond
+		*diurnal = 4 * time.Second
+		*herd = 2500 * time.Millisecond
+	}
+
+	begin := time.Now()
+	names := strings.Split(*appsFlag, ",")
+	specs := make([]*appSpec, 0, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		t0 := time.Now()
+		s, err := loadApp(n)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, s)
+		fmt.Printf("provisioned %-12s (offline link %.1fs)\n", n, time.Since(t0).Seconds())
+	}
+	ts := newTemplateStore(specs)
+	for _, s := range specs {
+		t0 := time.Now()
+		if _, err := ts.get(s.name, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded  %-12s base template (%.1fs)\n", s.name, time.Since(t0).Seconds())
+	}
+	rng := rand.New(rand.NewSource(int64(*seed)))
+	fleet := buildFleet(*provers, specs, *baseLat, 5, rng)
+
+	doc := benchDoc{
+		Suite:   "fleet",
+		Seed:    *seed,
+		Smoke:   *smoke,
+		Apps:    names,
+		Provers: len(fleet),
+	}
+
+	doc.Differential = runDifferential(specs, ts, fleet)
+	doc.Scaling = runScaling(specs, ts, fleet, *slots, *baseLat, *legDur)
+	doc.Wave = runWave(specs, ts, fleet, *shards, *slots, *diurnal, *herd, *seed, rng)
+	doc.WarmProbe = runWarmProbe(specs, ts, fleet)
+	doc.ElapsedSec = round2(time.Since(begin).Seconds())
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%.1fs total)\n", *out, doc.ElapsedSec)
+	if !doc.Differential.Identical {
+		fmt.Fprintln(os.Stderr, "fleetsim: FAIL: sharded responses diverged from the single gateway")
+		os.Exit(1)
+	}
+	if !doc.Scaling.Target3xMet {
+		fmt.Fprintf(os.Stderr, "fleetsim: warning: 4-shard speedup %.2fx below the 3x target\n", doc.Scaling.Speedup4x)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// --- phase 1: differential ---------------------------------------------
+
+// recordConn captures every byte the gateway side sends us.
+type recordConn struct {
+	io.ReadWriter
+	in bytes.Buffer
+}
+
+func (r *recordConn) Read(p []byte) (int, error) {
+	n, err := r.ReadWriter.Read(p)
+	if n > 0 {
+		r.in.Write(p[:n])
+	}
+	return n, err
+}
+
+// fingerprint renders the captured gateway->device stream as one token
+// per frame, masking only the challenge payload (random nonce).
+func fingerprint(raw []byte) []string {
+	var out []string
+	for i := 0; len(raw)-i >= remote.FrameHeaderSize; {
+		typ := raw[i]
+		n := int(binary.LittleEndian.Uint32(raw[i+1 : i+5]))
+		i += remote.FrameHeaderSize
+		if n < 0 || len(raw)-i < n {
+			out = append(out, "truncated")
+			break
+		}
+		if typ == remote.FrameChal {
+			out = append(out, fmt.Sprintf("chal[%d]", n))
+		} else {
+			out = append(out, fmt.Sprintf("t%d:%x", typ, raw[i:i+n]))
+		}
+		i += n
+	}
+	return out
+}
+
+// diffCase is one differential corpus entry: honest template sessions
+// or a raw first frame (protocol-error classes).
+type diffCase struct {
+	dev *device // honest when non-nil
+	typ byte    // raw frame otherwise
+	raw []byte
+}
+
+// play runs the case against one serving function and returns the
+// response fingerprint.
+func (dc *diffCase) play(ts *templateStore, serve func(net.Conn)) []string {
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() { serve(sc); close(done) }()
+	rc := &recordConn{ReadWriter: cc}
+	if dc.dev != nil {
+		_, _ = ts.attest(rc, dc.dev.app, dc.dev.id)
+	} else {
+		_ = remote.WriteFrame(rc, dc.typ, dc.raw)
+		_, _ = io.Copy(io.Discard, rc)
+	}
+	cc.Close()
+	<-done
+	return fingerprint(rc.in.Bytes())
+}
+
+func runDifferential(specs []*appSpec, ts *templateStore, fleet []*device) differentialDoc {
+	mk := newShardFactory(specs, func() []server.Option {
+		return []server.Option{server.WithMining(-1, 0, 0)}
+	})
+	single, err := mk(0)
+	if err != nil {
+		fatal(err)
+	}
+	defer single.Close()
+	rt, err := router.New(router.Config{Shards: 4, NewShard: mk})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	cases := make([]*diffCase, 0, 20)
+	for i := 0; i < 16 && i < len(fleet); i++ {
+		cases = append(cases, &diffCase{dev: fleet[i]})
+	}
+	cases = append(cases,
+		&diffCase{typ: remote.FrameHello, raw: remote.EncodeHelloID("no-such-app", "device-x")},
+		&diffCase{typ: remote.FrameHello, raw: []byte{0x01, 'p'}},
+		&diffCase{typ: remote.FrameHello, raw: nil},
+		&diffCase{typ: remote.FrameChal, raw: []byte("not a hello")},
+	)
+
+	shardsHit := map[int]bool{}
+	identical := true
+	for _, dc := range cases {
+		a := dc.play(ts, func(c net.Conn) { _ = single.ServeConn(c) })
+		b := dc.play(ts, func(c net.Conn) { _ = rt.ServeConn(c) })
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "differential mismatch: single=%v sharded=%v\n", a, b)
+		}
+		if dc.dev != nil {
+			shardsHit[rt.Locate(dc.dev.app, dc.dev.id)] = true
+		}
+	}
+	fmt.Printf("differential: %d sessions, identical=%v, %d shards exercised\n",
+		len(cases), identical, len(shardsHit))
+	return differentialDoc{Sessions: len(cases), Identical: identical, ShardsHit: len(shardsHit)}
+}
+
+// --- phase 2: scaling --------------------------------------------------
+
+// collector aggregates session results across driver goroutines.
+type collector struct {
+	mu       sync.Mutex
+	lats     []time.Duration
+	ok       int
+	rejected int
+	failed   int
+	busy     int
+}
+
+func (c *collector) add(r sessionResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy += r.busy
+	switch {
+	case r.err != nil:
+		c.failed++
+	case r.ok:
+		c.ok++
+		c.lats = append(c.lats, r.latency)
+	default:
+		c.rejected++
+	}
+}
+
+func runScaling(specs []*appSpec, ts *templateStore, fleet []*device, slots int, baseLat, legDur time.Duration) scalingDoc {
+	// A capacity benchmark wants steady links: exclude stragglers and
+	// cap the rotating corpus so each leg reuses warm verify caches.
+	corpus := make([]*device, 0, 4000)
+	for _, d := range fleet {
+		if !d.straggler {
+			corpus = append(corpus, d)
+		}
+		if len(corpus) == cap(corpus) {
+			break
+		}
+	}
+	doc := scalingDoc{
+		SlotsPerShard: slots,
+		LinkLatencyMs: float64(baseLat) / float64(time.Millisecond),
+		DurationSec:   round2(legDur.Seconds()),
+	}
+	rates := map[int]float64{}
+	for _, n := range []int{1, 2, 4} {
+		leg := runScalingLeg(specs, ts, corpus, n, slots, legDur)
+		rates[n] = leg.SessionsPerSec
+		doc.Legs = append(doc.Legs, leg)
+		fmt.Printf("scaling: %d shard(s) -> %.0f sessions/s (p50 %.1fms p99 %.1fms)\n",
+			n, leg.SessionsPerSec, leg.P50Ms, leg.P99Ms)
+	}
+	if rates[1] > 0 {
+		doc.Speedup4x = round2(rates[4] / rates[1])
+	}
+	doc.Target3xMet = doc.Speedup4x >= 3
+	return doc
+}
+
+func runScalingLeg(specs []*appSpec, ts *templateStore, corpus []*device, nShards, slots int, dur time.Duration) legDoc {
+	mk := newShardFactory(specs, func() []server.Option {
+		return []server.Option{
+			server.WithMining(-1, 0, 0),
+			server.WithSessionSlots(slots),
+			server.WithBusyRetryAfter(10 * time.Millisecond),
+		}
+	})
+	rt, err := router.New(router.Config{Shards: nShards, NewShard: mk})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	// Per-shard device queues: each driver set saturates exactly its
+	// shard's slot budget, so measured throughput is capacity, not
+	// contention between drivers racing for the same replica.
+	queues := make([][]*device, nShards)
+	for _, d := range corpus {
+		s := rt.Locate(d.app, d.id)
+		queues[s] = append(queues[s], d)
+	}
+	prof := retryProfile{maxAttempts: 4, backoffStep: 2 * time.Millisecond, backoffCap: 10 * time.Millisecond}
+	coll := &collector{}
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		q := queues[s]
+		if len(q) == 0 {
+			continue
+		}
+		var next atomic.Int64
+		for w := 0; w < slots; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					d := q[int(next.Add(1)-1)%len(q)]
+					coll.add(runSession(rt, ts, d, nil, prof))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	leg := legDoc{Shards: nShards, Sessions: coll.ok + coll.rejected + coll.failed, OK: coll.ok}
+	leg.SessionsPerSec = round2(float64(coll.ok) / elapsed.Seconds())
+	leg.P50Ms, leg.P99Ms = quantiles(coll.lats)
+	leg.P50Ms, leg.P99Ms = round2(leg.P50Ms), round2(leg.P99Ms)
+	for i := 0; i < nShards; i++ {
+		leg.ShardSessions = append(leg.ShardSessions, rt.Shard(i).Snapshot().SessionsAccepted)
+	}
+	return leg
+}
+
+// --- phase 3: wave -----------------------------------------------------
+
+type arrival struct {
+	at  time.Duration
+	dev *device
+}
+
+func runWave(specs []*appSpec, ts *templateStore, fleet []*device, nShards, slots int, diurnal, herdSpread time.Duration, seed uint64, rng *rand.Rand) waveDoc {
+	mk := newShardFactory(specs, func() []server.Option {
+		return []server.Option{
+			server.WithMining(32, 8, 32),
+			server.WithSessionSlots(slots),
+			server.WithBusyRetryAfter(40 * time.Millisecond),
+		}
+	})
+	rt, err := router.New(router.Config{Shards: nShards, NewShard: mk})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	// Arrival schedule: a sin^2-shaped diurnal window in which a fifth
+	// of the fleet checks in, then the firmware push — every device
+	// re-attests within the herd spread.
+	sched := make([]arrival, 0, len(fleet)+len(fleet)/5)
+	for i, d := range fleet {
+		if i%5 == 0 {
+			for {
+				x := rng.Float64()
+				s := math.Sin(math.Pi * x)
+				if rng.Float64() < s*s {
+					sched = append(sched, arrival{time.Duration(float64(diurnal) * x), d})
+					break
+				}
+			}
+		}
+		sched = append(sched, arrival{diurnal + time.Duration(rng.Int63n(int64(herdSpread))), d})
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].at < sched[j].at })
+
+	// Stragglers speak over lossy links: a per-device forked injector
+	// keeps the fault schedule deterministic under concurrency.
+	master := faults.New(seed, faults.Plan{WriteFlip: 0.002, ReadFlip: 0.001})
+	wrapFor := func(d *device) func(net.Conn) io.ReadWriter {
+		if !d.straggler {
+			return nil
+		}
+		inj := master.Fork(d.id)
+		return func(c net.Conn) io.ReadWriter { return inj.WrapConn(c) }
+	}
+
+	// Periodic cross-shard cache warming while the wave runs.
+	sweepStop := make(chan struct{})
+	var sweeps, swept int
+	var sweepMu sync.Mutex
+	go func() {
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sweepStop:
+				return
+			case <-tick.C:
+				n := rt.WarmCaches(8)
+				sweepMu.Lock()
+				sweeps++
+				swept += n
+				sweepMu.Unlock()
+			}
+		}
+	}()
+
+	prof := retryProfile{maxAttempts: 150, backoffStep: 30 * time.Millisecond, backoffCap: 1200 * time.Millisecond}
+	coll := &collector{}
+	stragglers := 0
+	for _, d := range fleet {
+		if d.straggler {
+			stragglers++
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, a := range sched {
+		if wait := a.at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(d *device) {
+			defer wg.Done()
+			coll.add(runSession(rt, ts, d, wrapFor(d), prof))
+		}(a.dev)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(sweepStop)
+
+	doc := waveDoc{
+		Shards:      nShards,
+		Provers:     len(fleet),
+		Stragglers:  stragglers,
+		Sessions:    len(sched),
+		OK:          coll.ok,
+		Rejected:    coll.rejected,
+		Failed:      coll.failed,
+		BusyRetries: coll.busy,
+		ElapsedSec:  round2(elapsed.Seconds()),
+	}
+	doc.SessionsPerSec = round2(float64(coll.ok) / elapsed.Seconds())
+	doc.P50Ms, doc.P99Ms = quantiles(coll.lats)
+	doc.P50Ms, doc.P99Ms = round2(doc.P50Ms), round2(doc.P99Ms)
+	var minS, maxS uint64
+	for i := 0; i < nShards; i++ {
+		n := rt.Shard(i).Snapshot().SessionsAccepted
+		doc.ShardSessions = append(doc.ShardSessions, n)
+		if i == 0 || n < minS {
+			minS = n
+		}
+		if n > maxS {
+			maxS = n
+		}
+	}
+	if minS > 0 {
+		doc.BalanceSpread = round2(float64(maxS) / float64(minS))
+	}
+	doc.GatewaySheds = rt.Snapshot().SessionsRejected
+	props, epochs, lag := rt.DictPropagation()
+	doc.DictProps = props
+	doc.DictEpochs = epochs
+	doc.DictLagP99Ms = round2(histP99(lag) * 1000)
+	sweepMu.Lock()
+	doc.WarmSweeps, doc.WarmMoved = sweeps, swept
+	sweepMu.Unlock()
+	fmt.Printf("wave: %d sessions over %d provers in %.1fs -> %d ok, %d rejected, %d failed; %d busy retries, %d gateway sheds; dict epochs %v\n",
+		doc.Sessions, doc.Provers, doc.ElapsedSec, doc.OK, doc.Rejected, doc.Failed, doc.BusyRetries, doc.GatewaySheds, doc.DictEpochs)
+	return doc
+}
+
+// histP99 returns the p99 upper bucket bound in seconds (the last
+// finite bound if the quantile lands in the overflow bucket).
+func histP99(s obs.HistogramSnapshot) float64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(0.99 * float64(total)))
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			break
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// --- phase 4: warm probe -----------------------------------------------
+
+func runWarmProbe(specs []*appSpec, ts *templateStore, fleet []*device) warmDoc {
+	mk := newShardFactory(specs, func() []server.Option {
+		return []server.Option{server.WithMining(-1, 0, 0)}
+	})
+	rt, err := router.New(router.Config{Shards: 2, NewShard: mk})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	app := specs[0].name
+	pinned := func(shard, n int) []*device {
+		var out []*device
+		for _, d := range fleet {
+			if d.app == app && rt.Locate(d.app, d.id) == shard {
+				out = append(out, d)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		return out
+	}
+	prof := retryProfile{maxAttempts: 3, backoffStep: 5 * time.Millisecond, backoffCap: 20 * time.Millisecond}
+	seeders, probes := pinned(0, 1), pinned(1, 16)
+	if len(seeders) == 0 || len(probes) == 0 {
+		return warmDoc{}
+	}
+	runSession(rt, ts, seeders[0], nil, prof)
+	moved := rt.WarmCaches(0)
+	before := rt.Shard(1).Snapshot().CacheHits
+	ok := 0
+	for _, d := range probes {
+		if runSession(rt, ts, d, nil, prof).ok {
+			ok++
+		}
+	}
+	hits := rt.Shard(1).Snapshot().CacheHits - before
+	doc := warmDoc{EntriesMoved: moved, Sessions: len(probes)}
+	if len(probes) > 0 {
+		doc.HitRate = round2(float64(hits) / float64(len(probes)))
+	}
+	fmt.Printf("warm probe: %d entries moved, %d/%d probe sessions hit warm cache\n", moved, hits, len(probes))
+	return doc
+}

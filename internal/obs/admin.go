@@ -74,10 +74,14 @@ func AdminHandler(o *Observer, opts ...AdminOption) http.Handler {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = o.Registry().WritePrometheus(w)
-	})
+	if _, override := cfg.routes["/metrics"]; !override {
+		// A route mounted on /metrics (e.g. WithComposite) replaces the
+		// default single-registry exposition instead of double-registering.
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = o.Registry().WritePrometheus(w)
+		})
+	}
 	mux.HandleFunc("/debug/sessions", func(w http.ResponseWriter, r *http.Request) {
 		n := 16
 		if s := r.URL.Query().Get("n"); s != "" {
@@ -134,7 +138,9 @@ func AdminHandler(o *Observer, opts ...AdminOption) http.Handler {
 	index := []string{"/metrics", "/debug/sessions", "/debug/pprof/", "/healthz"}
 	for pattern, h := range cfg.routes {
 		mux.Handle(pattern, h)
-		index = append(index, pattern)
+		if pattern != "/metrics" {
+			index = append(index, pattern)
+		}
 	}
 	sort.Strings(index[4:])
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+)
+
+// Part names one registry's slice of a composite exposition: every
+// sample from Registry is emitted with the composite's label set to
+// Value (e.g. shard="2"). An empty Value omits the label for that part,
+// which is how router-level families sit beside per-shard ones in the
+// same document.
+type Part struct {
+	Value    string
+	Registry *Registry
+}
+
+// WriteComposite renders several registries as one Prometheus text
+// exposition document. The gateway registers every family eagerly at
+// construction, so N replicas mean N registries carrying the same
+// family names — a naive concatenation would repeat HELP/TYPE blocks
+// and emit indistinguishable duplicate series, and real scrapers reject
+// both. WriteComposite instead groups families by name across parts
+// (first-seen order), emits each HELP/TYPE header once, and injects
+// `label="<part.Value>"` into every sample line so per-shard series
+// stay distinct. Families whose declared types disagree across parts
+// keep the first part's header; their samples still carry the part
+// label, so nothing is silently dropped.
+func WriteComposite(w io.Writer, label string, parts []Part) error {
+	type slice struct {
+		f     *family
+		value string
+	}
+	var order []string
+	byName := make(map[string][]slice)
+	for _, p := range parts {
+		if p.Registry == nil {
+			continue
+		}
+		p.Registry.mu.Lock()
+		fams := make([]*family, len(p.Registry.fams))
+		copy(fams, p.Registry.fams)
+		p.Registry.mu.Unlock()
+		for _, f := range fams {
+			if _, seen := byName[f.name]; !seen {
+				order = append(order, f.name)
+			}
+			byName[f.name] = append(byName[f.name], slice{f: f, value: p.Value})
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		slices := byName[name]
+		writeHeader(bw, slices[0].f)
+		for _, s := range slices {
+			if s.value == "" {
+				s.f.writeSamples(bw)
+			} else {
+				s.f.writeSamples(bw, label, s.value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WithComposite replaces the admin handler's /metrics route with a
+// composite exposition over the given parts. The router uses it so one
+// scrape covers the router's own registry plus every shard's, with a
+// shard label keeping the series apart.
+func WithComposite(label string, parts []Part) AdminOption {
+	return WithRoute("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteComposite(w, label, parts)
+	}))
+}

@@ -385,34 +385,96 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// labelPairs renders {a="x",b="y"}; extra appends one more pair (le for
-// histogram buckets). Returns "" for no labels.
-func labelPairs(names, values []string, extraName, extraValue string) string {
-	if len(names) == 0 && extraName == "" {
+// labelPairs renders {a="x",b="y"}; extras appends further pairs as
+// alternating name/value strings (the injected shard label in composite
+// expositions, le for histogram buckets). Pairs with an empty name are
+// skipped. Returns "" when no pair survives.
+func labelPairs(names, values []string, extras ...string) string {
+	extra := 0
+	for i := 0; i+1 < len(extras); i += 2 {
+		if extras[i] != "" {
+			extra++
+		}
+	}
+	if len(names) == 0 && extra == 0 {
 		return ""
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, n := range names {
-		if i > 0 {
+	wrote := false
+	emit := func(n, v string) {
+		if wrote {
 			b.WriteByte(',')
 		}
 		b.WriteString(n)
 		b.WriteString(`="`)
-		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(escapeLabel(v))
 		b.WriteByte('"')
+		wrote = true
 	}
-	if extraName != "" {
-		if len(names) > 0 {
-			b.WriteByte(',')
+	for i, n := range names {
+		emit(n, values[i])
+	}
+	for i := 0; i+1 < len(extras); i += 2 {
+		if extras[i] != "" {
+			emit(extras[i], extras[i+1])
 		}
-		b.WriteString(extraName)
-		b.WriteString(`="`)
-		b.WriteString(extraValue)
-		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// writeHeader emits the HELP/TYPE comment block for one family.
+func writeHeader(bw *bufio.Writer, f *family) {
+	if f.help != "" {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+}
+
+// writeSamples renders one family's sample lines (no header), appending
+// the given extra label pairs (alternating name/value) to every line —
+// the hook composite expositions use to inject a shard label.
+func (f *family) writeSamples(bw *bufio.Writer, extras ...string) {
+	if f.collect != nil {
+		for _, s := range f.collect() {
+			fmt.Fprintf(bw, "%s%s %s\n", f.name, labelPairs(f.labels, s.Labels, extras...), formatFloat(s.Value))
+		}
+		return
+	}
+	m := f.children.Load()
+	if m == nil {
+		return
+	}
+	kids := make([]*child, 0, len(*m))
+	for _, c := range *m {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		return labelKey(kids[i].values) < labelKey(kids[j].values)
+	})
+	for _, c := range kids {
+		switch metric := c.metric.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPairs(f.labels, c.values, extras...), metric.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPairs(f.labels, c.values, extras...), metric.Value())
+		case *Histogram:
+			s := metric.Snapshot()
+			var cum uint64
+			for i, cnt := range s.Counts {
+				cum += cnt
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				withLe := append(append(make([]string, 0, len(extras)+2), extras...), "le", le)
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, c.values, withLe...), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelPairs(f.labels, c.values, extras...), formatFloat(s.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelPairs(f.labels, c.values, extras...), cum)
+		}
+	}
 }
 
 // WritePrometheus renders every registered family in text exposition
@@ -427,48 +489,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
-		if f.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
-		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
-		if f.collect != nil {
-			for _, s := range f.collect() {
-				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelPairs(f.labels, s.Labels, "", ""), formatFloat(s.Value))
-			}
-			continue
-		}
-		m := f.children.Load()
-		if m == nil {
-			continue
-		}
-		kids := make([]*child, 0, len(*m))
-		for _, c := range *m {
-			kids = append(kids, c)
-		}
-		sort.Slice(kids, func(i, j int) bool {
-			return labelKey(kids[i].values) < labelKey(kids[j].values)
-		})
-		for _, c := range kids {
-			switch metric := c.metric.(type) {
-			case *Counter:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPairs(f.labels, c.values, "", ""), metric.Value())
-			case *Gauge:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPairs(f.labels, c.values, "", ""), metric.Value())
-			case *Histogram:
-				s := metric.Snapshot()
-				var cum uint64
-				for i, cnt := range s.Counts {
-					cum += cnt
-					le := "+Inf"
-					if i < len(s.Bounds) {
-						le = formatFloat(s.Bounds[i])
-					}
-					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, c.values, "le", le), cum)
-				}
-				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelPairs(f.labels, c.values, "", ""), formatFloat(s.Sum))
-				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelPairs(f.labels, c.values, "", ""), cum)
-			}
-		}
+		writeHeader(bw, f)
+		f.writeSamples(bw)
 	}
 	return bw.Flush()
 }

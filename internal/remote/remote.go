@@ -75,16 +75,44 @@ func EncodeHello(app string) []byte {
 	return append([]byte{ProtocolVersion}, app...)
 }
 
+// EncodeHelloID builds a HELO payload announcing app together with a
+// stable device identity. The device rides after a NUL separator —
+// `u8 version | app | 0x00 | device` — which no application name
+// contains, so the frame stays a valid v2 HELO: endpoints that only
+// care about the app (ParseHello) keep working, while a shard router
+// pins the session by (app, device). An empty device encodes exactly
+// like EncodeHello.
+func EncodeHelloID(app, device string) []byte {
+	p := append([]byte{ProtocolVersion}, app...)
+	if device != "" {
+		p = append(p, 0)
+		p = append(p, device...)
+	}
+	return p
+}
+
 // ParseHello validates a HELO payload's version byte and returns the
 // announced application name.
 func ParseHello(payload []byte) (string, error) {
+	app, _, err := ParseHelloID(payload)
+	return app, err
+}
+
+// ParseHelloID validates a HELO payload's version byte and returns the
+// announced application name plus the optional device identity (empty
+// when the prover sent a plain EncodeHello).
+func ParseHelloID(payload []byte) (app, device string, err error) {
 	if len(payload) == 0 {
-		return "", fmt.Errorf("%w: empty HELO", ErrProtocolMismatch)
+		return "", "", fmt.Errorf("%w: empty HELO", ErrProtocolMismatch)
 	}
 	if payload[0] != ProtocolVersion {
-		return "", fmt.Errorf("%w: peer speaks v%d, want v%d", ErrProtocolMismatch, payload[0], ProtocolVersion)
+		return "", "", fmt.Errorf("%w: peer speaks v%d, want v%d", ErrProtocolMismatch, payload[0], ProtocolVersion)
 	}
-	return string(payload[1:]), nil
+	rest := payload[1:]
+	if i := strings.IndexByte(string(rest), 0); i >= 0 {
+		return string(rest[:i]), string(rest[i+1:]), nil
+	}
+	return string(rest), "", nil
 }
 
 // MaxFrame bounds a frame payload (a report window plus headers).
@@ -433,8 +461,16 @@ func DecodeVerdict(b []byte) (GatewayVerdict, error) {
 // reports, and returns the gateway's verdict. ErrBusy reports a shed
 // session; ErrSessionTruncated a gateway that died mid-protocol.
 func (p *ProverEndpoint) AttestTo(conn io.ReadWriter, app string) (GatewayVerdict, error) {
+	return p.AttestToAs(conn, app, "")
+}
+
+// AttestToAs is AttestTo with a stable device identity in the HELO: a
+// shard router (internal/router) pins the session by (app, device), so
+// fleet devices that announce themselves land on a consistent replica
+// and reuse its warmed caches. An empty device sends a plain HELO.
+func (p *ProverEndpoint) AttestToAs(conn io.ReadWriter, app, device string) (GatewayVerdict, error) {
 	var gv GatewayVerdict
-	if err := WriteFrame(conn, FrameHello, EncodeHello(app)); err != nil {
+	if err := WriteFrame(conn, FrameHello, EncodeHelloID(app, device)); err != nil {
 		return gv, fmt.Errorf("remote: announcing app: %w", err)
 	}
 	typ, payload, err := ReadFrame(conn)

@@ -1,0 +1,114 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"raptrack/internal/server"
+	"raptrack/internal/speccfa"
+)
+
+// fleetBus assigns fleet epochs to mined dictionary promotions and
+// distributes the canonical result to every replica. It implements
+// [server.DictBus]: a gateway with the bus attached stops installing
+// promotions locally and Proposes its self-checked candidate instead;
+// the bus merges the candidate into the fleet-canonical dictionary,
+// bumps the app's epoch, and delivers the exact merged bytes back
+// through AdoptDictionary on all shards — the proposer included — so
+// replicas converge on one monotonic (epoch, bytes) sequence even when
+// several shards mine divergent candidates concurrently.
+type fleetBus struct {
+	rt *Router
+}
+
+// fleetDict is one fleet-canonical dictionary version for an app.
+type fleetDict struct {
+	dict    *speccfa.Dictionary
+	epoch   uint64
+	encoded []byte
+}
+
+// fleetApp holds an app's current fleet dictionary. Its mutex
+// serializes proposals per app: each epoch's bytes are decided and
+// installed fleet-wide before the next proposal is considered, so no
+// replica can ever hold bytes for an epoch that differ from another
+// replica's bytes for the same epoch.
+type fleetApp struct {
+	mu    sync.Mutex
+	state fleetDict
+}
+
+// Propose merges one shard's self-checked candidate into the fleet
+// dictionary and, if anything new was learned, distributes the next
+// epoch to every live shard. Duplicate proposals (the same sub-paths
+// mined independently on two shards) merge to zero additions and
+// produce no epoch. Called from gateway session goroutines, outside
+// any gateway dictionary mutex.
+func (b *fleetBus) Propose(app string, encoded []byte) {
+	candidate, err := speccfa.DecodeDictionary(encoded)
+	if err != nil {
+		return // the gateway self-check passed, so this cannot happen
+	}
+	start := time.Now()
+	rt := b.rt
+
+	fd := rt.fleetDictFor(app)
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	merged, added, err := speccfa.Merge(fd.state.dict, candidate, rt.cfg.MaxDictPaths)
+	if err != nil || added == 0 {
+		return
+	}
+	next := fleetDict{dict: merged, epoch: fd.state.epoch + 1, encoded: merged.Encode()}
+	fd.state = next
+	rt.installEpoch(app, next)
+	rt.m.dictProps.Inc()
+	rt.m.dictLag.ObserveDuration(time.Since(start))
+	rt.m.dictEpoch.With(app).Set(int64(next.epoch))
+}
+
+// fleetDictFor returns (creating on first use) app's fleet dictionary
+// holder.
+func (rt *Router) fleetDictFor(app string) *fleetApp {
+	rt.fleetMu.Lock()
+	defer rt.fleetMu.Unlock()
+	fd, ok := rt.fleet[app]
+	if !ok {
+		fd = &fleetApp{}
+		rt.fleet[app] = fd
+	}
+	return fd
+}
+
+// installEpoch pushes one (epoch, bytes) pair to every live shard.
+// AdoptDictionary ignores stale versions, so a replica that was synced
+// ahead of this call is left untouched.
+func (rt *Router) installEpoch(app string, fd fleetDict) {
+	for _, slot := range rt.slots {
+		if gw := slot.gateway(); gw != nil {
+			_ = gw.AdoptDictionary(app, fd.epoch, fd.encoded)
+		}
+	}
+}
+
+// syncDictionaries replays the current fleet epochs onto one gateway —
+// the restart path: a replacement replica comes up with empty version-0
+// dictionaries and must rejoin the fleet sequence before serving.
+func (rt *Router) syncDictionaries(gw *server.Gateway) {
+	rt.fleetMu.Lock()
+	apps := make([]*fleetApp, 0, len(rt.fleet))
+	names := make([]string, 0, len(rt.fleet))
+	for name, fd := range rt.fleet {
+		names = append(names, name)
+		apps = append(apps, fd)
+	}
+	rt.fleetMu.Unlock()
+	for i, fd := range apps {
+		fd.mu.Lock()
+		st := fd.state
+		fd.mu.Unlock()
+		if st.epoch > 0 {
+			_ = gw.AdoptDictionary(names[i], st.epoch, st.encoded)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package router
+
+import (
+	"strconv"
+
+	"raptrack/internal/obs"
+)
+
+// routerMetrics is the router's slice of the obs registry. Session and
+// shed counters are pre-resolved per shard at construction so the
+// accept path never touches the label map.
+type routerMetrics struct {
+	sessions      []*obs.Counter // raptrack_router_sessions_total{shard="i"}
+	shedDead      []*obs.Counter // raptrack_router_sheds_total{cause="shard_down",shard}
+	shedNoHello   *obs.Counter   // ...{cause="bad_hello",shard="none"}
+	shedClosed    *obs.Counter   // ...{cause="router_closed",shard="none"}
+	dictProps     *obs.Counter
+	dictLag       *obs.Histogram
+	dictEpoch     *obs.GaugeVec
+	warmMoved     *obs.Counter
+	shardRestarts *obs.Counter
+}
+
+// dictLagBounds buckets propagation lag (seconds): an in-process bus
+// lands in the sub-millisecond buckets; anything past 100ms means the
+// bus was stuck behind a slow replica install.
+var dictLagBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+
+func registerRouterMetrics(reg *obs.Registry, shards int, live func() float64) routerMetrics {
+	sessions := reg.CounterVec("raptrack_router_sessions_total",
+		"Sessions routed, by destination shard.", "shard")
+	sheds := reg.CounterVec("raptrack_router_sheds_total",
+		"Sessions shed at the router, by cause and shard.", "cause", "shard")
+	m := routerMetrics{
+		sessions:    make([]*obs.Counter, shards),
+		shedDead:    make([]*obs.Counter, shards),
+		shedNoHello: sheds.With("bad_hello", "none"),
+		shedClosed:  sheds.With("router_closed", "none"),
+		dictProps: reg.Counter("raptrack_router_dict_propagations_total",
+			"Fleet dictionary epochs distributed to all live shards."),
+		dictLag: reg.Histogram("raptrack_router_dict_propagation_seconds",
+			"Lag from a shard's promotion proposal to fleet-wide installation.",
+			dictLagBounds),
+		dictEpoch: reg.GaugeVec("raptrack_router_dict_epoch",
+			"Current fleet dictionary epoch, per app.", "app"),
+		warmMoved: reg.Counter("raptrack_router_warm_entries_total",
+			"Verification-cache entries moved between shards by warming sweeps."),
+		shardRestarts: reg.Counter("raptrack_router_shard_restarts_total",
+			"Shard replicas restarted after a kill."),
+	}
+	for i := 0; i < shards; i++ {
+		s := strconv.Itoa(i)
+		m.sessions[i] = sessions.With(s)
+		m.shedDead[i] = sheds.With("shard_down", s)
+	}
+	reg.GaugeFunc("raptrack_router_shards_live", "Shard replicas currently serving.", live)
+	return m
+}

@@ -1,0 +1,97 @@
+// Package router is the horizontal scaling layer of the attestation
+// plane: a [Router] fronts N in-process gateway replicas, peeks each
+// session's HELO frame, and pins the session to a shard by consistent
+// hashing on (app, device-id). Attestation state that amortizes across
+// devices — SpecCFA dictionary promotions, verification-cache entries —
+// is fleet property, so the router also runs the distribution bus that
+// stamps mined promotions with a monotonic fleet epoch and installs
+// them on every replica, plus a cache-warming sweep that moves
+// relocatable verdict/segment summaries between shards.
+//
+// The per-session-snapshot invariant survives distribution: a gateway
+// session loads its dictionary state exactly once, and the bus only
+// ever installs complete (version, bytes, automaton) tuples through
+// [server.Gateway.AdoptDictionary], so no session observes a torn
+// version no matter how propagation interleaves with traffic.
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard indices. Each shard
+// contributes vnodes points derived from sha256 of its (shard, replica)
+// pair, so the point set for shard i is a stable function of i alone:
+// growing the topology from N to N+1 shards adds only shard N's points
+// and remaps ~1/(N+1) of the key space. Lookups binary-search the
+// sorted point list — no locks, the ring is immutable once built.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// defaultVNodes balances shard load to within a few percent at fleet
+// key counts while keeping the ring small enough to rebuild at will.
+const defaultVNodes = 128
+
+// newRing builds a ring over shards 0..shards-1 with the given number
+// of virtual nodes per shard (defaultVNodes when vnodes <= 0).
+func newRing(shards, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on shard index so the ring order is total and
+		// identical everywhere, whatever order points were inserted.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// pointHash derives the ring position of one virtual node.
+func pointHash(shard, vnode int) uint64 {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:8], uint64(shard))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(vnode))
+	sum := sha256.Sum256(b[:])
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a session key on the ring. The NUL separator keeps
+// ("ab","c") and ("a","bc") distinct, mirroring the HELO wire encoding.
+func keyHash(app, device string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(app))
+	h.Write([]byte{0})
+	h.Write([]byte(device))
+	return binary.LittleEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// lookup returns the shard owning (app, device): the first ring point
+// clockwise from the key's hash. Returns -1 on an empty ring.
+func (r *ring) lookup(app, device string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := keyHash(app, device)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,123 @@
+// Ring property tests: shard balance over a fleet-sized device corpus
+// and the consistent-hashing stability contract — growing or shrinking
+// the topology by one shard remaps only that shard's ~1/N share of the
+// key space, and every remapped key moves to (or from) exactly the
+// shard that changed.
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"raptrack/internal/remote"
+)
+
+// corpus returns a fixed 10k-device fleet spread over a few apps.
+func corpus() [][2]string {
+	apps := []string{"prime", "quicksort", "gps", "syringe"}
+	keys := make([][2]string, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, [2]string{apps[i%len(apps)], fmt.Sprintf("device-%05d", i)})
+	}
+	return keys
+}
+
+func TestRingBalance(t *testing.T) {
+	keys := corpus()
+	for _, shards := range []int{1, 2, 4, 8} {
+		r := newRing(shards, 0)
+		counts := make([]int, shards)
+		for _, k := range keys {
+			s := r.lookup(k[0], k[1])
+			if s < 0 || s >= shards {
+				t.Fatalf("lookup(%q,%q) = %d out of range [0,%d)", k[0], k[1], s, shards)
+			}
+			counts[s]++
+		}
+		ideal := len(keys) / shards
+		for s, n := range counts {
+			if n < ideal/2 || n > ideal*2 {
+				t.Errorf("%d shards: shard %d owns %d devices, ideal %d (out of 2x band)", shards, s, n, ideal)
+			}
+		}
+	}
+}
+
+func TestRingRemapStability(t *testing.T) {
+	keys := corpus()
+	owner := func(r *ring) []int {
+		out := make([]int, len(keys))
+		for i, k := range keys {
+			out[i] = r.lookup(k[0], k[1])
+		}
+		return out
+	}
+	r3, r4, r5 := newRing(3, 0), newRing(4, 0), newRing(5, 0)
+	o3, o4, o5 := owner(r3), owner(r4), owner(r5)
+
+	// Growing 4 -> 5: a key may move only TO the new shard (shards 0..3
+	// keep their ring points), and roughly 1/5 of the corpus moves.
+	moved := 0
+	for i := range keys {
+		if o5[i] != o4[i] {
+			if o5[i] != 4 {
+				t.Fatalf("grow: key %v moved %d -> %d, not to the new shard", keys[i], o4[i], o5[i])
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("grow 4->5 remapped %.1f%% of devices, want ~20%%", 100*frac)
+	}
+
+	// Shrinking 4 -> 3: exactly the keys shard 3 owned move (to survivors);
+	// every other key keeps its owner.
+	moved = 0
+	for i := range keys {
+		switch {
+		case o4[i] == 3:
+			if o3[i] == 3 || o3[i] == o4[i] {
+				t.Fatalf("shrink: key %v still on removed shard", keys[i])
+			}
+			moved++
+		case o3[i] != o4[i]:
+			t.Fatalf("shrink: key %v moved %d -> %d though its shard survived", keys[i], o4[i], o3[i])
+		}
+	}
+	frac = float64(moved) / float64(len(keys))
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("shrink 4->3 remapped %.1f%% of devices, want ~25%%", 100*frac)
+	}
+}
+
+// FuzzRouterHello drives the HELO-peek/shard-pin decision with
+// arbitrary payloads: parsing must never panic, the pinned shard must
+// be a valid index, and the decision must be a pure function of the
+// payload (the replay-determinism the chaos harness leans on). Seeds
+// live in testdata/fuzz/FuzzRouterHello (tools/fuzzcorpus).
+func FuzzRouterHello(f *testing.F) {
+	f.Add([]byte(remote.EncodeHelloID("prime", "device-00042")))
+	f.Add([]byte(remote.EncodeHelloID("prime", "")))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'g', 'p', 's'})           // stale protocol version
+	f.Add([]byte{0x02, 0x00, 'd', 'e', 'v'})     // empty app, device only
+	f.Add([]byte{0x02, 'a', 0x00, 'b', 0x00, 0}) // NULs inside the device field
+	r := newRing(4, 0)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		app, device, err := remote.ParseHelloID(payload)
+		var s1, s2 int
+		if err == nil {
+			s1, s2 = r.lookup(app, device), r.lookup(app, device)
+		} else {
+			// The router's fallback pin for unparsable identities.
+			s1, s2 = r.lookup("", string(payload)), r.lookup("", string(payload))
+		}
+		if s1 != s2 {
+			t.Fatalf("shard pin not deterministic: %d then %d", s1, s2)
+		}
+		if s1 < 0 || s1 >= 4 {
+			t.Fatalf("shard %d out of range", s1)
+		}
+	})
+}

@@ -1,0 +1,489 @@
+package router
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raptrack/internal/obs"
+	"raptrack/internal/remote"
+	"raptrack/internal/server"
+)
+
+// Config sizes a Router. NewShard is the replica factory — the router
+// owns replica lifecycle (construction, kill, restart), the factory
+// owns replica configuration (registered apps, worker pools, journal
+// hooks, its own obs.Observer so metric names never collide).
+type Config struct {
+	// Shards is the replica count (>= 1). The consistent-hash ring is
+	// built over exactly this many shard indices and never changes for
+	// the router's lifetime; a killed shard sheds rather than failing
+	// over, preserving session pinning.
+	Shards int
+	// VNodes is the virtual-node count per shard on the ring
+	// (defaultVNodes when 0).
+	VNodes int
+	// NewShard builds replica i. Called Shards times at construction and
+	// again on each RestartShard.
+	NewShard func(i int) (*server.Gateway, error)
+	// MaxDictPaths caps the fleet-canonical dictionary, matching the
+	// per-gateway mining cap (default 32, as in server defaults).
+	MaxDictPaths int
+	// HelloTimeout bounds the HELO peek (default 2s) so a silent
+	// connection cannot pin an accept goroutine.
+	HelloTimeout time.Duration
+	// RetryAfter is the hint carried in BUSY sheds for dead shards
+	// (default 1s).
+	RetryAfter time.Duration
+	// Registry receives the raptrack_router_* families; the router makes
+	// its own when nil.
+	Registry *obs.Registry
+}
+
+// shardSlot holds one replica position. The gateway pointer is nil
+// while the shard is dead; route goroutines load it exactly once per
+// session, so a kill that races an in-flight load is caught by
+// ServeConn's own closed check.
+type shardSlot struct {
+	gw atomic.Pointer[server.Gateway]
+}
+
+func (s *shardSlot) gateway() *server.Gateway { return s.gw.Load() }
+
+// Router fronts N in-process gateway replicas behind one listener,
+// pinning each session to a shard by consistent hashing on the peeked
+// HELO identity, and runs the fleet dictionary bus and cache-warming
+// sweeps across them.
+type Router struct {
+	cfg  Config
+	reg  *obs.Registry
+	m    routerMetrics
+	ring *ring
+	bus  *fleetBus
+
+	slots []*shardSlot
+	live  atomic.Int64
+
+	fleetMu sync.Mutex
+	fleet   map[string]*fleetApp
+
+	mu        sync.Mutex
+	closed    bool
+	final     server.Stats // merged shard stats captured at Close
+	listeners []net.Listener
+	sessions  sync.WaitGroup
+}
+
+// ErrClosed is returned by Serve/ServeConn on a closed router.
+var ErrClosed = errors.New("router: closed")
+
+// New builds the shard fleet and the routing ring. Every replica gets
+// the fleet bus attached, so mining anywhere becomes fleet property.
+func New(cfg Config) (*Router, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("router: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.NewShard == nil {
+		return nil, errors.New("router: Config.NewShard is required")
+	}
+	if cfg.MaxDictPaths <= 0 {
+		cfg.MaxDictPaths = 32
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 2 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &Router{
+		cfg:   cfg,
+		reg:   reg,
+		ring:  newRing(cfg.Shards, cfg.VNodes),
+		fleet: make(map[string]*fleetApp),
+		slots: make([]*shardSlot, cfg.Shards),
+	}
+	rt.m = registerRouterMetrics(reg, cfg.Shards, func() float64 { return float64(rt.live.Load()) })
+	rt.bus = &fleetBus{rt: rt}
+	for i := range rt.slots {
+		rt.slots[i] = &shardSlot{}
+		gw, err := cfg.NewShard(i)
+		if err != nil {
+			for _, s := range rt.slots[:i] {
+				if g := s.gateway(); g != nil {
+					_ = g.Close()
+				}
+			}
+			return nil, fmt.Errorf("router: building shard %d: %w", i, err)
+		}
+		gw.SetDictBus(rt.bus)
+		rt.slots[i].gw.Store(gw)
+		rt.live.Add(1)
+	}
+	return rt, nil
+}
+
+// Registry returns the router's own metric registry (the
+// raptrack_router_* families; shard gateways keep their own).
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Shards returns the configured replica count.
+func (rt *Router) Shards() int { return len(rt.slots) }
+
+// LiveShards returns how many replicas are currently serving.
+func (rt *Router) LiveShards() int { return int(rt.live.Load()) }
+
+// Shard returns replica i's gateway, or nil while it is dead.
+func (rt *Router) Shard(i int) *server.Gateway {
+	if i < 0 || i >= len(rt.slots) {
+		return nil
+	}
+	return rt.slots[i].gateway()
+}
+
+// Locate returns the shard index owning (app, device) — exported for
+// tests and the fuzz target; the routing decision itself.
+func (rt *Router) Locate(app, device string) int { return rt.ring.lookup(app, device) }
+
+// Serve accepts sessions on l and routes each on its own goroutine
+// until the listener fails or the router closes. Like
+// server.Gateway.Serve, a closed router returns nil.
+func (rt *Router) Serve(l net.Listener) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrClosed
+	}
+	rt.listeners = append(rt.listeners, l)
+	rt.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if rt.isClosed() {
+				return nil
+			}
+			return err
+		}
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		rt.sessions.Add(1)
+		rt.mu.Unlock()
+		go func() {
+			defer rt.sessions.Done()
+			rt.route(conn)
+		}()
+	}
+}
+
+// ServeConn routes one already-accepted connection synchronously — the
+// handoff used by fleetsim and the chaos harness to drive the router
+// over in-memory pipes.
+func (rt *Router) ServeConn(conn net.Conn) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		conn.Close()
+		rt.m.shedClosed.Inc()
+		return ErrClosed
+	}
+	rt.sessions.Add(1)
+	rt.mu.Unlock()
+	defer rt.sessions.Done()
+	rt.route(conn)
+	return nil
+}
+
+// route peeks the first frame, pins the session, and replays the
+// consumed bytes into the shard gateway so its protocol path is
+// byte-identical to a directly dialed session. Any readable first
+// frame — malformed HELO included — is forwarded and the gateway
+// produces its canonical response (FAIL frames for protocol errors);
+// the router itself sheds only when no frame arrives at all, or when
+// the pinned shard is dead (one BUSY with a retry-after hint, exactly
+// the gateway's own shedding idiom).
+func (rt *Router) route(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(rt.cfg.HelloTimeout))
+	typ, payload, err := remote.ReadFrame(conn)
+	if err != nil {
+		rt.m.shedNoHello.Inc()
+		conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	var shard int
+	if typ == remote.FrameHello {
+		app, device, perr := remote.ParseHelloID(payload)
+		if perr != nil {
+			// Unroutable identity: still deterministic — hash the raw
+			// payload so replays land on the same shard's FAIL path.
+			shard = rt.ring.lookup("", string(payload))
+		} else {
+			shard = rt.ring.lookup(app, device)
+		}
+	} else {
+		shard = rt.ring.lookup("", string(payload))
+	}
+
+	gw := rt.slots[shard].gateway()
+	if gw != nil {
+		rt.m.sessions[shard].Inc()
+		if rt.serveOn(gw, conn, typ, payload) {
+			return
+		}
+		// Lost the race with KillShard: the gateway refused the
+		// connection, fall through to the dead-shard shed. The replay
+		// conn was not touched, so the BUSY below is still frame-aligned.
+	}
+	rt.m.shedDead[shard].Inc()
+	_ = conn.SetWriteDeadline(time.Now().Add(rt.cfg.HelloTimeout))
+	_ = remote.WriteFrame(conn, remote.FrameBusy, remote.EncodeBusy(rt.cfg.RetryAfter))
+	conn.Close()
+}
+
+// serveOn replays the peeked frame into gw. False means the gateway was
+// already closed and never read a byte.
+func (rt *Router) serveOn(gw *server.Gateway, conn net.Conn, typ byte, payload []byte) bool {
+	hdr := make([]byte, remote.FrameHeaderSize, remote.FrameHeaderSize+len(payload))
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	replay := append(hdr, payload...)
+	pc := &prefixConn{Conn: conn, r: io.MultiReader(bytes.NewReader(replay), conn)}
+	return !errors.Is(gw.ServeConn(pc), server.ErrClosed)
+}
+
+// prefixConn is a net.Conn whose reads drain a replay buffer before the
+// underlying connection — how the consumed HELO bytes reach the shard.
+type prefixConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (p *prefixConn) Read(b []byte) (int, error) { return p.r.Read(b) }
+
+// KillShard closes replica i and marks it dead: its in-flight sessions
+// drain, new sessions pinned to it shed with BUSY. No-op on an already
+// dead shard.
+func (rt *Router) KillShard(i int) error {
+	if i < 0 || i >= len(rt.slots) {
+		return fmt.Errorf("router: no shard %d", i)
+	}
+	gw := rt.slots[i].gw.Swap(nil)
+	if gw == nil {
+		return nil
+	}
+	rt.live.Add(-1)
+	return gw.Close()
+}
+
+// RestartShard builds a replacement replica for a dead slot and rejoins
+// it to the fleet: the bus is re-attached and the current fleet
+// dictionary epochs are replayed onto it before it serves its first
+// session, so a restart can never regress the fleet's dictionary
+// version sequence.
+func (rt *Router) RestartShard(i int) error {
+	if i < 0 || i >= len(rt.slots) {
+		return fmt.Errorf("router: no shard %d", i)
+	}
+	if rt.slots[i].gateway() != nil {
+		return nil
+	}
+	gw, err := rt.cfg.NewShard(i)
+	if err != nil {
+		return fmt.Errorf("router: restarting shard %d: %w", i, err)
+	}
+	gw.SetDictBus(rt.bus)
+	rt.syncDictionaries(gw)
+	rt.slots[i].gw.Store(gw)
+	rt.live.Add(1)
+	rt.m.shardRestarts.Inc()
+	return nil
+}
+
+// WarmCaches sweeps relocatable verification-cache records between
+// shards: every live replica's top entries (up to maxPerApp per app)
+// are offered to every other live replica. Entries are keyed on
+// content (H_MEM and expanded evidence), not on device or challenge,
+// so a verdict computed for a device pinned to shard A short-circuits
+// the same firmware path arriving on shard B. Returns how many entries
+// were newly admitted somewhere.
+func (rt *Router) WarmCaches(maxPerApp int) int {
+	live := make([]*server.Gateway, 0, len(rt.slots))
+	idx := make([]int, 0, len(rt.slots))
+	for i, s := range rt.slots {
+		if gw := s.gateway(); gw != nil {
+			live = append(live, gw)
+			idx = append(idx, i)
+		}
+	}
+	if len(live) < 2 {
+		return 0
+	}
+	apps := map[string]bool{}
+	for _, gw := range live {
+		for _, a := range gw.Apps() {
+			apps[a] = true
+		}
+	}
+	moved := 0
+	for app := range apps {
+		for i, src := range live {
+			recs := src.WarmExport(app, maxPerApp)
+			if len(recs) == 0 {
+				continue
+			}
+			for j, dst := range live {
+				if idx[j] == idx[i] {
+					continue
+				}
+				moved += dst.WarmImport(app, recs)
+			}
+		}
+	}
+	if moved > 0 {
+		rt.m.warmMoved.Add(uint64(moved))
+	}
+	return moved
+}
+
+// Snapshot merges the live replicas' gateway snapshots into one
+// fleet-level Stats value (dead replicas' counters left the fleet with
+// them; the router's own raptrack_router_* families cover shedding and
+// distribution).
+func (rt *Router) Snapshot() server.Stats {
+	rt.mu.Lock()
+	if rt.closed {
+		final := rt.final
+		rt.mu.Unlock()
+		return final
+	}
+	rt.mu.Unlock()
+	parts := make([]server.Stats, 0, len(rt.slots))
+	for _, s := range rt.slots {
+		if gw := s.gateway(); gw != nil {
+			parts = append(parts, gw.Snapshot())
+		}
+	}
+	return server.MergeStats(parts...)
+}
+
+// DictPropagation reports the fleet bus's distribution activity —
+// epochs distributed, the current epoch per app, and the lag histogram
+// (proposal to fleet-wide installation). Benchmarks read this directly
+// instead of scraping the exposition text.
+func (rt *Router) DictPropagation() (props uint64, epochs map[string]uint64, lag obs.HistogramSnapshot) {
+	rt.fleetMu.Lock()
+	apps := make(map[string]*fleetApp, len(rt.fleet))
+	for name, fd := range rt.fleet {
+		apps[name] = fd
+	}
+	rt.fleetMu.Unlock()
+	epochs = make(map[string]uint64, len(apps))
+	for name, fd := range apps {
+		fd.mu.Lock()
+		epochs[name] = fd.state.epoch
+		fd.mu.Unlock()
+	}
+	return rt.m.dictProps.Value(), epochs, rt.m.dictLag.Snapshot()
+}
+
+// MetricsParts assembles the composite exposition: the router's own
+// registry unlabeled, each live shard's registry under shard="i".
+// Reassembled per call so restarts (which swap registries) are picked
+// up.
+func (rt *Router) MetricsParts() []obs.Part {
+	parts := []obs.Part{{Registry: rt.reg}}
+	for i, s := range rt.slots {
+		if gw := s.gateway(); gw != nil {
+			parts = append(parts, obs.Part{Value: strconv.Itoa(i), Registry: gw.Observer().Registry()})
+		}
+	}
+	return parts
+}
+
+// WriteMetrics renders the composite exposition document — what
+// `raptrack serve -shards N -metrics-out` persists: one document,
+// router families plus every shard's, no clobbering.
+func (rt *Router) WriteMetrics(w io.Writer) error {
+	return obs.WriteComposite(w, "shard", rt.MetricsParts())
+}
+
+// MetricsHandler serves WriteMetrics — mounted over the admin /metrics
+// route via obs.WithRoute.
+func (rt *Router) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rt.WriteMetrics(w)
+	})
+}
+
+// HealthProbe returns shard i's /healthz probe: ok while serving,
+// degraded while dead (the router still serves other shards, so the
+// process must not be killed over one replica).
+func (rt *Router) HealthProbe(i int) func() obs.HealthStatus {
+	return func() obs.HealthStatus {
+		if rt.Shard(i) != nil {
+			return obs.HealthStatus{Level: obs.HealthOK}
+		}
+		return obs.HealthStatus{
+			Level:  obs.HealthDegraded,
+			Detail: "replica down; pinned sessions shed with retry-after",
+		}
+	}
+}
+
+func (rt *Router) isClosed() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.closed
+}
+
+// Close stops accepting, waits for routed sessions, and closes every
+// live replica. Idempotent.
+func (rt *Router) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	ls := rt.listeners
+	rt.listeners = nil
+	rt.mu.Unlock()
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	rt.sessions.Wait()
+	var first error
+	parts := make([]server.Stats, 0, len(rt.slots))
+	for _, s := range rt.slots {
+		if gw := s.gw.Swap(nil); gw != nil {
+			rt.live.Add(-1)
+			if err := gw.Close(); err != nil && first == nil {
+				first = err
+			}
+			// Snapshot after Close so drained in-flight sessions are counted;
+			// retained so Snapshot() stays meaningful on a closed router.
+			parts = append(parts, gw.Snapshot())
+		}
+	}
+	rt.mu.Lock()
+	rt.final = server.MergeStats(parts...)
+	rt.mu.Unlock()
+	return first
+}

@@ -1,0 +1,628 @@
+// Router behavior tests:
+//
+//   - the acceptance differential: every session class — honest devices
+//     across apps, unknown apps, malformed and non-HELO first frames —
+//     produces a bit-identical frame sequence through a 4-shard router
+//     and a single directly-driven gateway;
+//   - concurrent DICT propagation vs. in-flight sessions under -race:
+//     no shard's version ever regresses, all replicas converge on one
+//     (epoch, bytes) pair, and every session still verifies OK;
+//   - cross-shard cache warming: a verdict computed on one shard
+//     short-circuits the same evidence arriving on another;
+//   - shard-kill/restart chaos in the PR 3 harness shape: seeded kill
+//     schedule, BUSY retry-after shedding, recovery, zero false accepts.
+//
+// All must pass under -race.
+package router_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/faults"
+	"raptrack/internal/linker"
+	"raptrack/internal/remote"
+	"raptrack/internal/router"
+	"raptrack/internal/server"
+)
+
+const routerChaosSeed = 0xF1EE7C4A
+
+type appFixture struct {
+	name string
+	link *linker.Output
+	key  *attest.HMACKey
+	app  apps.App
+}
+
+var (
+	fixturesMu sync.Mutex
+	fixtures   = map[string]*appFixture{}
+)
+
+func fixture(t testing.TB, name string) *appFixture {
+	t.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if f, ok := fixtures[name]; ok {
+		return f
+	}
+	a, err := apps.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &appFixture{name: name, link: link, key: key, app: a}
+	fixtures[name] = f
+	return f
+}
+
+func (f *appFixture) provision(ep *remote.ProverEndpoint) {
+	ep.Provision(f.name, func() (*core.Prover, error) {
+		return core.NewProver(f.link, f.key, core.ProverConfig{SetupMem: f.app.SetupMem()})
+	})
+}
+
+// shardFactory builds identical replicas serving the given fixtures —
+// the NewShard hook for every router in this file.
+func shardFactory(fs []*appFixture, opts ...server.Option) func(int) (*server.Gateway, error) {
+	return func(int) (*server.Gateway, error) {
+		g := server.New(opts...)
+		for _, f := range fs {
+			g.Register(f.name, core.NewVerifier(f.link, f.key))
+		}
+		return g, nil
+	}
+}
+
+// recordConn captures every byte the gateway side sends, so a test can
+// compare the exact frame sequence two topologies produced.
+type recordConn struct {
+	net.Conn
+	in bytes.Buffer
+}
+
+func (r *recordConn) Read(p []byte) (int, error) {
+	n, err := r.Conn.Read(p)
+	r.in.Write(p[:n])
+	return n, err
+}
+
+// fingerprint renders a recorded gateway byte stream as one string per
+// frame: the frame type plus the exact payload bytes, except CHAL
+// payloads, which carry a fresh random nonce per session and are
+// reduced to their length. Everything else must match bit-for-bit.
+func fingerprint(t *testing.T, recorded []byte) []string {
+	t.Helper()
+	var out []string
+	r := bytes.NewReader(recorded)
+	for {
+		typ, payload, err := remote.ReadFrame(r)
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("recorded stream does not parse as frames: %v", err)
+		}
+		if typ == remote.FrameChal {
+			out = append(out, fmt.Sprintf("chal[%d]", len(payload)))
+			continue
+		}
+		out = append(out, fmt.Sprintf("t%d:%x", typ, payload))
+	}
+}
+
+// drive runs one client session against serve over an in-memory pipe
+// and returns the recorded gateway byte stream. client speaks the
+// prover's side on the recording connection.
+func drive(t *testing.T, serve func(net.Conn), client func(*recordConn)) []byte {
+	t.Helper()
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		serve(sc)
+		close(done)
+	}()
+	rec := &recordConn{Conn: cc}
+	client(rec)
+	cc.Close()
+	<-done
+	return rec.in.Bytes()
+}
+
+// differentialCorpus drives every session class against serve and
+// returns each class's frame fingerprint.
+func differentialCorpus(t *testing.T, serve func(net.Conn)) map[string][]string {
+	t.Helper()
+	out := map[string][]string{}
+	prime, quick := fixture(t, "prime"), fixture(t, "quicksort")
+	ep := remote.NewProverEndpoint()
+	prime.provision(ep)
+	quick.provision(ep)
+
+	for i := 0; i < 12; i++ {
+		app := "prime"
+		if i%2 == 1 {
+			app = "quicksort"
+		}
+		device := fmt.Sprintf("device-%05d", i)
+		rec := drive(t, serve, func(rc *recordConn) {
+			gv, err := ep.AttestToAs(rc, app, device)
+			if err != nil {
+				t.Errorf("%s/%s: %v", app, device, err)
+			} else if !gv.OK {
+				t.Errorf("%s/%s verdict: %s", app, device, gv.Reason())
+			}
+		})
+		out[app+"/"+device] = fingerprint(t, rec)
+	}
+
+	// Sessions the gateway answers with its canonical FAIL behavior: the
+	// router must neither swallow nor rewrite them.
+	raw := func(name string, typ byte, payload []byte) {
+		rec := drive(t, serve, func(rc *recordConn) {
+			if err := remote.WriteFrame(rc, typ, payload); err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, rc) // recordConn captures the bytes
+		})
+		out[name] = fingerprint(t, rec)
+	}
+	raw("unknown-app", remote.FrameHello, remote.EncodeHelloID("ghost", "device-x"))
+	raw("bad-version", remote.FrameHello, []byte{0x7f, 'p', 'r', 'i', 'm', 'e'})
+	raw("not-hello", remote.FrameChal, []byte("zzzz"))
+	raw("empty-hello", remote.FrameHello, nil)
+	return out
+}
+
+// TestRouterDifferentialBitIdentical is the acceptance check: for
+// identical evidence, a 4-shard router must produce frame sequences
+// bit-identical to a single gateway (modulo each session's random
+// challenge nonce, which no topology can pin).
+func TestRouterDifferentialBitIdentical(t *testing.T) {
+	fs := []*appFixture{fixture(t, "prime"), fixture(t, "quicksort")}
+	miningOff := []server.Option{server.WithMining(-1, 0, 0)}
+
+	single, err := shardFactory(fs, miningOff...)(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	base := differentialCorpus(t, func(c net.Conn) { _ = single.ServeConn(c) })
+
+	rt, err := router.New(router.Config{Shards: 4, NewShard: shardFactory(fs, miningOff...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	sharded := differentialCorpus(t, func(c net.Conn) { _ = rt.ServeConn(c) })
+
+	if len(base) != len(sharded) {
+		t.Fatalf("corpus mismatch: %d vs %d session classes", len(base), len(sharded))
+	}
+	identical := 0
+	for name, want := range base {
+		got, ok := sharded[name]
+		if !ok {
+			t.Errorf("%s: missing from sharded run", name)
+			continue
+		}
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Errorf("%s: frame divergence\n single: %v\nsharded: %v", name, want, got)
+			continue
+		}
+		identical++
+	}
+	if identical != len(base) {
+		t.Errorf("only %d/%d session classes bit-identical", identical, len(base))
+	}
+
+	// The corpus must actually have spread across shards, or the
+	// differential proved nothing about routing.
+	shardsSeen := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		app := "prime"
+		if i%2 == 1 {
+			app = "quicksort"
+		}
+		shardsSeen[rt.Locate(app, fmt.Sprintf("device-%05d", i))] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("differential corpus landed on %d shard(s); widen the device set", len(shardsSeen))
+	}
+}
+
+// TestRouterDictPropagationRace runs aggressive mining on every shard
+// under concurrent traffic and asserts the fleet-epoch invariants: all
+// sessions verify OK while dictionaries move, no shard's version ever
+// regresses, and every replica converges on identical (version, bytes).
+func TestRouterDictPropagationRace(t *testing.T) {
+	f := fixture(t, "prime")
+	rt, err := router.New(router.Config{
+		Shards:       3,
+		NewShard:     shardFactory([]*appFixture{f}, server.WithMining(1, 0, 0)),
+		MaxDictPaths: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Version monitor: polls every shard's snapshot concurrently with
+	// traffic; a torn or regressing version fails the test.
+	stop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		last := make([]uint64, rt.Shards())
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < rt.Shards(); i++ {
+				gw := rt.Shard(i)
+				if gw == nil {
+					continue
+				}
+				v, enc := gw.DictSnapshot("prime")
+				if v < last[i] {
+					t.Errorf("shard %d: dictionary version regressed %d -> %d", i, last[i], v)
+				}
+				if v > 0 && len(enc) == 0 {
+					t.Errorf("shard %d: version %d with empty encoded bytes (torn install)", i, v)
+				}
+				last[i] = v
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const sessions = 36
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ep := remote.NewProverEndpoint()
+			f.provision(ep)
+			device := fmt.Sprintf("device-%05d", i)
+			rec := drive(t, func(c net.Conn) { _ = rt.ServeConn(c) }, func(rc *recordConn) {
+				gv, err := ep.AttestToAs(rc, "prime", device)
+				if err != nil {
+					t.Errorf("session %d: %v", i, err)
+				} else if !gv.OK {
+					t.Errorf("session %d verdict: %s", i, gv.Reason())
+				}
+			})
+			_ = rec
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	monWG.Wait()
+
+	v0, enc0 := rt.Shard(0).DictSnapshot("prime")
+	if v0 == 0 || len(enc0) == 0 {
+		t.Fatalf("no fleet epoch distributed after %d mined sessions", sessions)
+	}
+	for i := 1; i < rt.Shards(); i++ {
+		v, enc := rt.Shard(i).DictSnapshot("prime")
+		if v != v0 || !bytes.Equal(enc, enc0) {
+			t.Errorf("shard %d: (version %d, %d bytes) diverges from shard 0 (version %d, %d bytes)",
+				i, v, len(enc), v0, len(enc0))
+		}
+	}
+}
+
+// TestRouterWarmCachesCrossShard: a verdict cached on one shard, moved
+// by the warming sweep, must hit on first arrival at another shard.
+func TestRouterWarmCachesCrossShard(t *testing.T) {
+	f := fixture(t, "prime")
+	rt, err := router.New(router.Config{
+		Shards:   2,
+		NewShard: shardFactory([]*appFixture{f}, server.WithMining(-1, 0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Two devices pinned to different shards.
+	devOn := func(shard int) string {
+		for i := 0; ; i++ {
+			d := fmt.Sprintf("device-%05d", i)
+			if rt.Locate("prime", d) == shard {
+				return d
+			}
+		}
+	}
+	devA, devB := devOn(0), devOn(1)
+
+	attest := func(device string) {
+		ep := remote.NewProverEndpoint()
+		f.provision(ep)
+		drive(t, func(c net.Conn) { _ = rt.ServeConn(c) }, func(rc *recordConn) {
+			gv, err := ep.AttestToAs(rc, "prime", device)
+			if err != nil {
+				t.Fatalf("%s: %v", device, err)
+			}
+			if !gv.OK {
+				t.Fatalf("%s verdict: %s", device, gv.Reason())
+			}
+		})
+	}
+
+	attest(devA) // populates shard 0's cache
+	if moved := rt.WarmCaches(0); moved == 0 {
+		t.Fatal("warming sweep moved no entries though shard 0 has a populated cache")
+	}
+	before := rt.Shard(1).Snapshot()
+	attest(devB) // identical evidence, different device, different shard
+	after := rt.Shard(1).Snapshot()
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("no cache hit on the warmed shard: before=%d after=%d (entries=%d)",
+			before.CacheHits, after.CacheHits, after.CacheEntries)
+	}
+}
+
+// TestRouterShardKillChaos is the PR 3 harness shape at fleet scope: a
+// seeded schedule kills and restarts shards under live traffic with
+// hardware faults attached to every prover. Invariants: sessions shed
+// by a dead shard carry BUSY retry-after hints and recover via retry,
+// the fleet returns to full strength, and no accepted verdict ever
+// comes from perturbed evidence.
+func TestRouterShardKillChaos(t *testing.T) {
+	sessions := 60
+	if testing.Short() {
+		sessions = 16
+	}
+	f := fixture(t, "prime")
+	master := faults.New(routerChaosSeed, faults.Plan{
+		PacketCorrupt: 0.00006,
+		ShardKill:     0.05,
+		ShardDownFor:  40 * time.Millisecond,
+	})
+	const retryAfter = 15 * time.Millisecond
+	rt, err := router.New(router.Config{
+		Shards:     3,
+		NewShard:   shardFactory([]*appFixture{f}, server.WithSessionSlots(64)),
+		RetryAfter: retryAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rt.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// Kill scheduler: one deterministic schedule, at most one shard down
+	// at a time, always restarted before the next kill is considered.
+	killer := master.Fork("shard-killer")
+	stop := make(chan struct{})
+	var killWG sync.WaitGroup
+	var kills int
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		tick := time.NewTicker(3 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if !killer.RollShardKill() {
+					continue
+				}
+				target := kills % rt.Shards()
+				kills++
+				if err := rt.KillShard(target); err != nil {
+					t.Errorf("kill shard %d: %v", target, err)
+				}
+				time.Sleep(killer.ShardDownFor())
+				if err := rt.RestartShard(target); err != nil {
+					t.Errorf("restart shard %d: %v", target, err)
+				}
+			}
+		}
+	}()
+
+	retryPolicy := remote.RetryPolicy{
+		MaxAttempts:    10,
+		AttemptTimeout: 2 * time.Second,
+		Sleep:          time.Sleep, // honor BUSY hints for real: they are short
+	}
+	var (
+		mu              sync.Mutex
+		okN, rejN, errN int
+		busyHints       int
+	)
+	type provers struct {
+		mu   sync.Mutex
+		last *core.Prover
+	}
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inj := master.Fork(fmt.Sprintf("session-%04d", i))
+			pl := &provers{}
+			ep := remote.NewProverEndpoint()
+			ep.Provision("prime", func() (*core.Prover, error) {
+				p, err := core.NewProver(f.link, f.key, core.ProverConfig{SetupMem: f.app.SetupMem()})
+				if err != nil {
+					return nil, err
+				}
+				inj.InstrumentMTB(p.Engine.MTB)
+				pl.mu.Lock()
+				pl.last = p
+				pl.mu.Unlock()
+				return p, nil
+			})
+			dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+			gv, rst, err := ep.AttestWithRetry("prime", dial, retryPolicy)
+
+			mu.Lock()
+			defer mu.Unlock()
+			busyHints += rst.BusyHints
+			switch {
+			case err != nil:
+				errN++
+				if !strings.Contains(err.Error(), "gave up") && remote.Classify(err) != remote.ClassFatal {
+					t.Errorf("session %d: unexpected terminal error: %v", i, err)
+				}
+			case gv.OK:
+				okN++
+				pl.mu.Lock()
+				m := pl.last.Engine.MTB
+				pl.mu.Unlock()
+				if m.InjectedCorruptions > 0 || m.Wraps > 0 {
+					t.Errorf("session %d: FALSE ACCEPT: corruptions=%d wraps=%d", i, m.InjectedCorruptions, m.Wraps)
+				}
+			default:
+				rejN++
+				if inj.Counts().Hardware() == 0 {
+					t.Errorf("session %d: rejected with no injected faults: %s", i, gv.Reason())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	killWG.Wait()
+
+	// Deterministic shed/recover coda: kill the shard owning a known
+	// device, attest once (must shed BUSY with the router's hint), then
+	// restart and attest again (must verify OK).
+	device := "device-coda"
+	target := rt.Locate("prime", device)
+	if err := rt.KillShard(target); err != nil {
+		t.Fatal(err)
+	}
+	ep := remote.NewProverEndpoint()
+	f.provision(ep)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aerr := ep.AttestToAs(conn, "prime", device)
+	conn.Close()
+	var busy *remote.BusyError
+	if !errors.As(aerr, &busy) {
+		t.Fatalf("dead shard: got %v, want a BUSY shed", aerr)
+	}
+	if busy.RetryAfter != retryAfter {
+		t.Errorf("BUSY hint = %v, want the router's %v", busy.RetryAfter, retryAfter)
+	}
+	if err := rt.RestartShard(target); err != nil {
+		t.Fatal(err)
+	}
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, err := ep.AttestToAs(conn, "prime", device)
+	conn.Close()
+	if err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	if !gv.OK {
+		t.Fatalf("after restart verdict: %s", gv.Reason())
+	}
+
+	if rt.LiveShards() != rt.Shards() {
+		t.Errorf("fleet not back to full strength: %d/%d live", rt.LiveShards(), rt.Shards())
+	}
+	if got := killer.Counts().ShardKills; got == 0 {
+		t.Error("kill schedule never fired; raise ShardKill or the tick rate")
+	}
+	if okN+rejN+errN != sessions {
+		t.Errorf("outcome accounting: %d+%d+%d != %d", okN, rejN, errN, sessions)
+	}
+	if okN < sessions/2 {
+		t.Errorf("only %d/%d sessions reached OK — retry is not recovering shard kills", okN, sessions)
+	}
+	t.Logf("shard-kill chaos: %d sessions -> %d ok, %d rejected, %d failed; %d kills, %d busy hints",
+		sessions, okN, rejN, errN, killer.Counts().ShardKills, busyHints)
+
+	if err := rt.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// TestRouterMetricsComposite: the composite exposition must contain the
+// router families once and every shard's gateway families under
+// distinct shard labels — the -metrics-out clobbering fix.
+func TestRouterMetricsComposite(t *testing.T) {
+	f := fixture(t, "prime")
+	rt, err := router.New(router.Config{Shards: 2, NewShard: shardFactory([]*appFixture{f})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	ep := remote.NewProverEndpoint()
+	f.provision(ep)
+	drive(t, func(c net.Conn) { _ = rt.ServeConn(c) }, func(rc *recordConn) {
+		if _, err := ep.AttestToAs(rc, "prime", "device-00000"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var buf bytes.Buffer
+	if err := rt.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"raptrack_router_sessions_total",
+		"raptrack_router_shards_live 2",
+		`raptrack_sessions_started_total{shard="0"}`,
+		`raptrack_sessions_started_total{shard="1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("composite exposition missing %q", want)
+		}
+	}
+	if n := strings.Count(text, "# TYPE raptrack_sessions_started_total counter"); n != 1 {
+		t.Errorf("TYPE header emitted %d times, want once", n)
+	}
+	st := rt.Snapshot()
+	if st.SessionsAccepted != 1 || st.VerdictOK != 1 {
+		t.Errorf("merged snapshot = %+v, want the one session", st)
+	}
+}

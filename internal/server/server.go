@@ -137,8 +137,37 @@ type Gateway struct {
 	slots chan struct{} // session slot semaphore (cap MaxSessions)
 	jobs  chan verifyJob
 
+	// dictBus, when set, receives mined dictionary promotions for
+	// fleet-wide distribution instead of local installation (SetDictBus).
+	dictBus atomic.Pointer[DictBus]
+
 	sessions sync.WaitGroup
 	workers  sync.WaitGroup
+}
+
+// DictBus receives locally mined, self-checked dictionary candidates for
+// fleet-wide distribution. A gateway with a bus attached (SetDictBus)
+// never installs its own promotions: the bus assigns a monotonic fleet
+// epoch and installs the canonical merged dictionary on every replica —
+// this gateway included — through AdoptDictionary, so all replicas step
+// through one coherent version sequence. internal/router implements it.
+type DictBus interface {
+	// Propose offers the encoded candidate (already merged with this
+	// gateway's live dictionary and round-trip self-checked against the
+	// mined session's evidence). It may be called from verify-worker
+	// goroutines and must not block on session work.
+	Propose(app string, encoded []byte)
+}
+
+// SetDictBus attaches (or, with nil, detaches) the fleet dictionary
+// distribution bus. Safe to call while serving; sessions in flight keep
+// their dictionary snapshots either way.
+func (g *Gateway) SetDictBus(bus DictBus) {
+	if bus == nil {
+		g.dictBus.Store(nil)
+		return
+	}
+	g.dictBus.Store(&bus)
 }
 
 // New builds a gateway from functional options (see Option) and starts
@@ -285,6 +314,106 @@ func (g *Gateway) Serve(l net.Listener) error {
 	}
 }
 
+// ServeConn serves one already-accepted connection synchronously,
+// running the same admission, deadline, and tracing path as connections
+// from Serve's accept loop. It is how a shard router (internal/router)
+// hands a peeked session to its pinned replica: the router re-plays the
+// consumed HELO bytes through a prefix reader, so the gateway's protocol
+// path is byte-identical to a directly dialed session. On a closed
+// gateway the connection is dropped and ErrClosed returned.
+func (g *Gateway) ServeConn(conn net.Conn) error {
+	// The session WaitGroup Add and the Close flag share the mutex,
+	// exactly as in Serve: either this Add happens before Close's Wait,
+	// or Close already ran and the connection is dropped.
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	g.sessions.Add(1)
+	g.mu.Unlock()
+	defer g.sessions.Done()
+	g.handleConn(conn)
+	return nil
+}
+
+// Apps returns the registered application names (sorted), the corpus a
+// router sweeps for dictionary distribution and cache warming.
+func (g *Gateway) Apps() []string {
+	g.mu.Lock()
+	names := make([]string, 0, len(g.apps))
+	for name := range g.apps {
+		names = append(names, name)
+	}
+	g.mu.Unlock()
+	slices.Sort(names)
+	return names
+}
+
+// AdoptDictionary installs an externally distributed dictionary version
+// for app: the fleet bus calls it on every replica when a promotion is
+// assigned its fleet epoch. The exact encoded bytes are stored for the
+// DICT handshake — every replica ships bit-identical frames — and the
+// automaton is recompiled against the decoded dictionary, so the version
+// arrives as a consistent dictionary+machine pair. Versions are
+// monotonic: an epoch at or below the app's current version is a stale
+// delivery and is ignored (nil error). Sessions in flight keep their
+// snapshots (the per-session-snapshot invariant survives distribution).
+func (g *Gateway) AdoptDictionary(app string, version uint64, encoded []byte) error {
+	st := g.app(app)
+	if st == nil {
+		return fmt.Errorf("server: unknown application %q", app)
+	}
+	dict, err := speccfa.DecodeDictionary(encoded)
+	if err != nil {
+		return fmt.Errorf("server: adopting dictionary for %s: %w", app, err)
+	}
+	st.dictMu.Lock()
+	defer st.dictMu.Unlock()
+	if version <= st.dict.Load().version {
+		return nil
+	}
+	enc := append([]byte(nil), encoded...)
+	st.dict.Store(&dictState{version: version, dict: dict, encoded: enc, aut: st.compileAut(dict)})
+	g.journalDict(app, version, enc)
+	return nil
+}
+
+// DictSnapshot returns app's current live dictionary version and its
+// encoded DICT-frame bytes (nil when the dictionary is empty or the app
+// is unknown). The pair is one atomic snapshot.
+func (g *Gateway) DictSnapshot(app string) (version uint64, encoded []byte) {
+	st := g.app(app)
+	if st == nil {
+		return 0, nil
+	}
+	ds := st.dict.Load()
+	return ds.version, ds.encoded
+}
+
+// WarmExport dumps up to max relocatable verification-cache records for
+// app (verdicts and segment summaries; see verify.Cache.WarmDump). Nil
+// when the app is unknown or caching is disabled.
+func (g *Gateway) WarmExport(app string, max int) []verify.WarmEntry {
+	st := g.app(app)
+	if st == nil {
+		return nil
+	}
+	return st.cache.WarmDump(max)
+}
+
+// WarmImport loads another replica's WarmExport records into app's
+// cache, returning how many were admitted (already-resident keys are
+// skipped). The gateway's ordinary cache budget and eviction apply.
+func (g *Gateway) WarmImport(app string, entries []verify.WarmEntry) int {
+	st := g.app(app)
+	if st == nil {
+		return 0
+	}
+	return st.cache.WarmLoad(entries)
+}
+
 func (g *Gateway) isClosed() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -409,10 +538,15 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 		_ = g.writeFrame(tc, remote.FrameFail, []byte("expected hello frame"))
 		return fmt.Errorf("server: expected hello frame, got type %d", typ)
 	}
-	app, err := remote.ParseHello(payload)
+	app, device, err := remote.ParseHelloID(payload)
 	if err != nil {
 		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
 		return fmt.Errorf("server: %w", err)
+	}
+	// Journal attribution prefers the announced device identity — stable
+	// across reconnects — over the ephemeral transport address.
+	if device == "" {
+		device = tc.RemoteAddr().String()
 	}
 	tr.SetApp(app)
 	g.span(tr, obs.StageHelo, -1, time.Since(stageStart))
@@ -478,7 +612,7 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 
 	verifyOffset := time.Since(tr.Began)
 	stageStart = time.Now()
-	verdict, sent, err := g.verify(st, tc.RemoteAddr().String(), chal, reports, ds, deadline)
+	verdict, sent, err := g.verify(st, device, chal, reports, ds, deadline)
 	enqueued = sent
 	if err != nil {
 		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
@@ -630,6 +764,19 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 	if err != nil || mined.Len() == 0 {
 		return
 	}
+	if propose, ok := g.mineCandidate(st, mined, vd); ok {
+		// Propose outside dictMu: the bus delivers the epoch-stamped
+		// canonical version back through AdoptDictionary, which takes the
+		// same mutex on this very gateway.
+		propose()
+	}
+}
+
+// mineCandidate runs the promotion critical section for one mined
+// dictionary: merge, self-check, and either local installation or — with
+// a fleet bus attached — a deferred Propose for the caller to run after
+// the dictionary mutex is released.
+func (g *Gateway) mineCandidate(st *appState, mined *speccfa.Dictionary, vd *verify.Verdict) (propose func(), ok bool) {
 	st.dictMu.Lock()
 	defer st.dictMu.Unlock()
 	cur := st.dict.Load()
@@ -656,6 +803,16 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 		g.m.dictQuarantines.Inc()
 		return
 	}
+	// With a fleet bus attached the checked candidate goes out for
+	// distribution instead of installing locally: the bus assigns the
+	// fleet epoch and delivers the canonical merged version back through
+	// AdoptDictionary on every replica, this gateway included, keeping
+	// all replicas on one monotonic version sequence.
+	if bus := g.dictBus.Load(); bus != nil {
+		g.m.dictPromotions.Add(uint64(added))
+		b := *bus
+		return func() { b.Propose(st.name, encoded) }, true
+	}
 	// Store the dictionary decoded FROM the checked bytes: provers (DICT
 	// frame) and the verifier (expansion) derive from identical bits. The
 	// automaton is recompiled against the checked dictionary so the new
@@ -663,6 +820,7 @@ func (g *Gateway) maybeMine(st *appState, vd *verify.Verdict) {
 	st.dict.Store(&dictState{version: cur.version + 1, dict: checked, encoded: encoded, aut: st.compileAut(checked)})
 	g.m.dictPromotions.Add(uint64(added))
 	g.journalDict(st.name, cur.version+1, encoded)
+	return nil, false
 }
 
 // ObserveProverRetries folds prover-side retry counts into the gateway

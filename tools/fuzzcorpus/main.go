@@ -125,6 +125,18 @@ func main() {
 			"seed-empty":   {},
 			"seed-garbage": bytes.Repeat([]byte{0xff}, attest.NonceSize+4),
 		},
+		// FuzzRouterHello inputs: a raw HELO payload (not framed) — the
+		// bytes the router peeks at before pinning a session to a shard.
+		"internal/router/testdata/fuzz/FuzzRouterHello": {
+			"seed-full-id":   remote.EncodeHelloID("prime", "device-00042"),
+			"seed-app-only":  remote.EncodeHello("gps"),
+			"seed-no-sep":    {0x02, 'p', 'r', 'i', 'm', 'e'},
+			"seed-sep-only":  {0x02, 0x00},
+			"seed-stale-ver": {0x01, 'p'},
+			"seed-long-dev":  remote.EncodeHelloID("crc32", string(bytes.Repeat([]byte{'d'}, 200))),
+			"seed-utf8-dev":  remote.EncodeHelloID("prime", "dévice-π"),
+			"seed-empty":     {},
+		},
 		// FuzzPipelineDecode inputs: a leading format-selector byte
 		// (even: MTB, odd: TRACES) followed by the stream bytes.
 		"internal/trace/pipeline/testdata/fuzz/FuzzPipelineDecode": {
