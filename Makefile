@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make check` is what CI runs.
 GO ?= go
 
-.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos journal-chaos replay-selftest obs bench bench-smoke bench-verify bench-fleet serve-selftest metrics-scrape
+.PHONY: check vet staticcheck build test race fuzz fuzz-smoke fuzz-corpus chaos journal-chaos stream-chaos replay-selftest obs bench bench-smoke bench-verify bench-fleet bench-stream serve-selftest metrics-scrape
 
 check: vet staticcheck build test race fuzz chaos journal-chaos
 
@@ -65,6 +65,14 @@ journal-chaos:
 	$(GO) test -race -run 'Journal|Recovery|DiskFaults' -count=2 \
 		./internal/journal ./internal/faults ./internal/server
 
+# Streaming chaos: hostile slice schedules (loss, reorder, duplication,
+# truncation, dropped heal acks) against the gateway's streaming plane,
+# plus the heal lifecycle under -race. Zero false accepts is the
+# invariant; seeds are pinned, -count=2 shakes goroutine schedules.
+stream-chaos:
+	$(GO) test -race -run 'StreamChaos|StreamingHeal|StreamingRoundTrip|StreamingMatchesBatch|StreamingJournalReplay' \
+		-count=2 ./internal/server
+
 # End-to-end evidence audit: run a journaling selftest, then re-verify
 # every journaled verdict bit-for-bit from the evidence alone. Any diff
 # (or chain break) fails the build.
@@ -108,6 +116,13 @@ bench-verify:
 # inside a minute on one core; CI uploads BENCH_fleet.json per-PR.
 bench-fleet:
 	$(GO) run ./cmd/fleetsim -smoke -out BENCH_fleet.json
+
+# Streaming attestation plane: slices-to-detect distribution for a
+# mid-run compromise plus honest streamed-session overhead vs the batch
+# path (must stay under 10%). Writes BENCH_stream.json; CI uploads it so
+# detection-latency regressions are visible per-PR.
+bench-stream:
+	$(GO) run ./cmd/benchsuite -fig stream -out BENCH_stream.json
 
 # One-command load check of the gateway networking path.
 serve-selftest:

@@ -19,6 +19,7 @@ package raptrack
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -35,6 +36,12 @@ import (
 	"raptrack/internal/trace"
 	"raptrack/internal/verify"
 )
+
+// attest runs one batch attestation session through the unified client
+// API (remote.Client).
+func attestApp(ep *remote.ProverEndpoint, conn io.ReadWriter, app string) (remote.GatewayVerdict, error) {
+	return remote.NewClient(ep).Attest(conn, app)
+}
 
 func evalApps(b *testing.B) []apps.App {
 	b.Helper()
@@ -477,7 +484,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 									errs <- err
 									return
 								}
-								gv, err := ep.AttestTo(conn, appName)
+								gv, err := attestApp(ep, conn, appName)
 								conn.Close()
 								if errors.Is(err, remote.ErrBusy) {
 									continue

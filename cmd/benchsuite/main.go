@@ -1,13 +1,16 @@
 // Command benchsuite regenerates every table and figure of the paper's
 // evaluation (Fig. 1a, 1b, 8, 9, 10, plus the footprint table and the
-// ablation studies) on the simulated platform, and benchmarks the
-// verifier core itself (interpreter vs compiled automaton, cache off/on).
+// ablation studies) on the simulated platform, benchmarks the verifier
+// core itself (interpreter vs compiled automaton, cache off/on), and
+// measures the streaming attestation plane (slices-to-detect and honest
+// streamed-session overhead).
 //
 // Usage:
 //
 //	benchsuite                                # all figures
 //	benchsuite -fig 8                         # one figure: 1a, 1b, 8, 9, 10, footprint, ablation
 //	benchsuite -fig verify -out BENCH_verify.json
+//	benchsuite -fig stream -out BENCH_stream.json
 package main
 
 import (
@@ -21,9 +24,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 8, 9, 10, footprint, ablation, verify, all")
-	out := flag.String("out", "", "with -fig verify: also write the result matrix as JSON to this path")
-	budget := flag.Duration("budget", 0, "with -fig verify: minimum measured wall time per matrix cell (default 300ms)")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 8, 9, 10, footprint, ablation, verify, stream, all")
+	out := flag.String("out", "", "with -fig verify/stream: also write the result matrix as JSON to this path")
+	budget := flag.Duration("budget", 0, "with -fig verify/stream: minimum measured wall time per matrix cell (default 300ms)")
 	flag.Parse()
 
 	if err := run(*fig, *out, *budget); err != nil {
@@ -58,9 +61,38 @@ func verifyBench(out string, budget time.Duration) error {
 	return nil
 }
 
+// streamBench runs the streaming-plane benchmark, prints the table, and
+// optionally persists the JSON artifact (BENCH_stream.json in CI).
+func streamBench(out string, budget time.Duration) error {
+	rs, err := report.StreamBench(report.StreamBenchApps, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.StreamBenchTable(rs))
+	if out == "" {
+		return nil
+	}
+	doc := report.StreamBenchReport{Suite: "stream-attest", Budget: budget.String(), Results: rs}
+	if doc.Budget == "0s" {
+		doc.Budget = "300ms"
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 func run(fig, out string, budget time.Duration) error {
 	if fig == "verify" {
 		return verifyBench(out, budget)
+	}
+	if fig == "stream" {
+		return streamBench(out, budget)
 	}
 	needMeasure := fig != "ablation"
 	var ms []*report.Measurement
@@ -99,7 +131,7 @@ func run(fig, out string, budget time.Duration) error {
 		}
 		fmt.Print(s)
 	default:
-		return fmt.Errorf("unknown figure %q (have 1a, 1b, 8, 9, 10, footprint, ablation, verify, all)", fig)
+		return fmt.Errorf("unknown figure %q (have 1a, 1b, 8, 9, 10, footprint, ablation, verify, stream, all)", fig)
 	}
 	return nil
 }

@@ -303,10 +303,11 @@ type retryProfile struct {
 }
 
 func (p retryProfile) sleep(d *device, attempt int, hint time.Duration) time.Duration {
-	// Clamp the gateway's hint like real device firmware would: on a
+	// Sanitize the gateway's hint like real device firmware would: on a
 	// lossy link a bit flip in the BUSY frame's u32 milliseconds field
-	// can ask for a 2^31 ms (= 24-day) pause.
-	if hint <= 0 || hint > 2*time.Second {
+	// can ask for a 2^31 ms (= 24-day) pause. The clamp itself lives in
+	// remote.ClampBusyHint so every hint consumer shares one ceiling.
+	if hint = remote.ClampBusyHint(hint); hint == 0 {
 		hint = 5 * time.Millisecond
 	}
 	back := time.Duration(attempt) * p.backoffStep
@@ -332,7 +333,7 @@ func keyHashJitter(id string, attempt int) uint64 {
 }
 
 // runSession attests d against rt with BUSY-aware retry (the template
-// path cannot use remote.AttestWithRetry, which builds real provers).
+// path cannot use remote.Client.AttestDial, which builds real provers).
 func runSession(rt *router.Router, ts *templateStore, d *device, wrap func(net.Conn) io.ReadWriter, prof retryProfile) sessionResult {
 	start := time.Now()
 	res := sessionResult{}

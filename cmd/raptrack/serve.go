@@ -398,7 +398,7 @@ func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, name
 		if err != nil {
 			return fmt.Errorf("warmup %s: dial: %w", app, err)
 		}
-		gv, err := ep.AttestTo(conn, app)
+		gv, err := remote.NewClient(ep).Attest(conn, app)
 		conn.Close()
 		if err != nil {
 			return fmt.Errorf("warmup %s: %w", app, err)
@@ -423,7 +423,7 @@ func runSelftest(g *server.Gateway, ep *remote.ProverEndpoint, addr string, name
 			defer wg.Done()
 			app := names[i%len(names)]
 			dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
-			gv, st, err := ep.AttestWithRetry(app, dial, remote.RetryPolicy{})
+			gv, st, err := remote.NewClient(ep, remote.WithRetry(remote.RetryPolicy{})).AttestDial(app, dial)
 			retries.Add(uint64(st.Retries))
 			if err != nil {
 				errs <- fmt.Errorf("session %d (%s): %w", i, app, err)

@@ -1,12 +1,18 @@
-// Partial reports: constrained CFLog memory forces the Prover to stream
-// evidence in authenticated chunks (paper §IV-E).
+// Partial reports, streamed: constrained CFLog memory forces the Prover
+// to emit evidence in authenticated slices (paper §IV-E), and the
+// gateway verifies each slice as it arrives instead of waiting for the
+// final report — bounded detection latency plus a device-healing
+// round-trip when a slice raises an alarm.
 //
-// The GPS parser generates more trace packets than a small MTB watermark
-// allows, so the engine emits partial reports whenever MTB_FLOW fires,
-// rewinds the buffer, and resumes the application. The verifier
-// authenticates the whole chain (nonce, sequence numbers, final flag),
-// concatenates the windows, and reconstructs the full path — and any
-// dropped or reordered chunk is rejected.
+// The demo stands up a real gateway on a loopback listener and runs
+// three sessions against it over TCP:
+//
+//  1. an honest device streams the GPS run slice by slice and seals OK;
+//  2. a tampered device (firmware linked with different padding, so
+//     H_MEM disagrees with the golden image) streams the same run — the
+//     gateway alarms mid-stream and pushes a HEAL re-provision
+//     directive to the device before the run even finishes;
+//  3. the remediated device re-attests honestly and is healed.
 //
 //	go run ./examples/partial_reports
 package main
@@ -14,11 +20,22 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	"raptrack/internal/apps"
 	"raptrack/internal/attest"
 	"raptrack/internal/core"
+	"raptrack/internal/remote"
+	"raptrack/internal/server"
 )
+
+// watermark slices the GPS run into a handful of partial reports: the
+// engine pauses the parser and emits a slice whenever 64 packets (512
+// bytes) accumulate in the MTB.
+const watermark = 512
+
+const device = "field-unit-7"
 
 func main() {
 	app, err := apps.Get("gps")
@@ -34,54 +51,95 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A 512-byte watermark: the engine must pause the parser and transmit
-	// whenever 64 packets accumulate.
-	prover, err := core.NewProver(link, key, core.ProverConfig{
-		SetupMem:  app.SetupMem(),
-		Watermark: 512,
+	// The gateway holds the golden image and the device key; Serve runs
+	// sessions on a loopback listener exactly as in production.
+	gw := server.New()
+	gw.Register(app.Name, core.NewVerifier(link, key))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := gw.Serve(ln); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	defer gw.Close()
+	addr := ln.Addr().String()
+
+	// --- 1. Honest device: slices stream, session seals OK. ------------
+	fmt.Println("honest device streams the GPS run:")
+	honest := remote.NewProverEndpoint()
+	honest.Provision(app.Name, func() (*core.Prover, error) {
+		return core.NewProver(link, key, core.ProverConfig{
+			SetupMem:  app.SetupMem(),
+			Watermark: watermark,
+		})
 	})
+	cli := remote.NewClient(honest,
+		remote.WithDevice(device), remote.WithStreaming(nil))
+	gv, err := cli.Attest(dial(addr), app.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	chal, err := attest.NewChallenge(app.Name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	reports, stats, err := prover.Attest(chal)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("evidence: %d bytes across %d reports (%d partial + 1 final)\n",
-		stats.CFLogBytes, len(reports), stats.Partials)
-	fmt.Printf("application stalled %d cycles for report emission\n\n", stats.PauseCycles)
-	for _, r := range reports {
-		fmt.Printf("  report seq=%d final=%-5v window=%4d bytes auth=%x...\n",
-			r.Seq, r.Final, len(r.CFLog), r.Auth[:8])
-	}
+	st := gw.Snapshot()
+	fmt.Printf("  %d slice(s) fed, verdict accepted=%v, heal state %q\n\n",
+		st.StreamSlices, gv.OK, gw.HealState(app.Name, device))
 
-	verifier := core.NewVerifier(link, key)
-	verdict, err := verifier.Verify(chal, reports)
+	// --- 2. Tampered device: mid-stream alarm + HEAL round-trip. --------
+	// The firmware is re-linked with one extra padding NOP: the report
+	// chain still authenticates, but H_MEM disagrees with the gateway's
+	// golden image — a firmware-substitution attack the streaming
+	// verifier flags on the first slice, not at the end of the run.
+	fmt.Println("tampered device (one flipped padding word in firmware):")
+	badOpts := core.DefaultLinkOptions()
+	badOpts.NopPad++
+	badLink, err := core.LinkForCFA(app.Build(), badOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nfull chain: accepted=%v (%d transfers reconstructed)\n", verdict.OK, verdict.Transfers)
+	tampered := remote.NewProverEndpoint()
+	tampered.Provision(app.Name, func() (*core.Prover, error) {
+		return core.NewProver(badLink, key, core.ProverConfig{
+			SetupMem:  app.SetupMem(),
+			Watermark: watermark,
+		})
+	})
+	onHeal := func(h remote.Heal) {
+		fmt.Printf("  mid-stream HEAL pushed at slice %d: %s (%s)\n",
+			h.Seq, h.Directive, h.Detail)
+	}
+	bad := remote.NewClient(tampered,
+		remote.WithDevice(device), remote.WithStreaming(onHeal))
+	gv, err = bad.Attest(dial(addr), app.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  sealed verdict: accepted=%v (%s)\n", gv.OK, gv.Reason())
+	// The prover's HEALACK rides the same connection but lands
+	// asynchronously; once processed it commits the device to
+	// remediation — "healing" rather than "quarantined".
+	for gw.Snapshot().HealAcks == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("  heal state after ack: %q\n\n", gw.HealState(app.Name, device))
 
-	// Tampering with the chain must be caught by the Verifier.
-	fmt.Println("\nadversarial chain manipulations:")
-	drop := append(append([]*attest.Report{}, reports[:1]...), reports[2:]...)
-	if _, err := verifier.Verify(chal, drop); err != nil {
-		fmt.Printf("  dropping a window:   rejected (%v)\n", err)
-	}
-	swapped := append([]*attest.Report{}, reports...)
-	swapped[0], swapped[1] = swapped[1], swapped[0]
-	if _, err := verifier.Verify(chal, swapped); err != nil {
-		fmt.Printf("  reordering windows:  rejected (%v)\n", err)
-	}
-	stale, err := attest.NewChallenge(app.Name)
+	// --- 3. Remediated device re-attests and is healed. -----------------
+	fmt.Println("device re-provisioned with golden firmware, re-attesting:")
+	gv, err = cli.Attest(dial(addr), app.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := verifier.Verify(stale, reports); err != nil {
-		fmt.Printf("  replaying the chain: rejected (%v)\n", err)
+	st = gw.Snapshot()
+	fmt.Printf("  verdict accepted=%v, heal state %q\n", gv.OK, gw.HealState(app.Name, device))
+	fmt.Printf("\ngateway totals: %d streamed session(s), %d slice(s), %d alarm(s), %d heal directive(s), %d ack(s)\n",
+		st.StreamSessions, st.StreamSlices, st.StreamAlarms, st.HealDirectives, st.HealAcks)
+}
+
+func dial(addr string) net.Conn {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
 	}
+	return conn
 }

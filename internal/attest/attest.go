@@ -7,7 +7,6 @@
 package attest
 
 import (
-	"bytes"
 	"crypto/ed25519"
 	"crypto/hmac"
 	"crypto/rand"
@@ -281,35 +280,16 @@ type ChainError struct{ Reason string }
 func (e *ChainError) Error() string { return "attest: report chain: " + e.Reason }
 
 // AssembleChain authenticates and orders a partial-report chain against a
-// challenge, returning the concatenated CFLog and the common H_MEM.
+// challenge, returning the concatenated CFLog and the common H_MEM. It is
+// the whole-chain form of [ChainAssembler]; streaming verifiers feed the
+// assembler directly and get identical errors at the earliest slice that
+// can prove them.
 func AssembleChain(reports []*Report, chal Challenge, a Authenticator) ([]byte, [sha256.Size]byte, error) {
-	var hmem [sha256.Size]byte
-	if len(reports) == 0 {
-		return nil, hmem, &ChainError{Reason: "empty"}
+	ca := NewChainAssembler(chal, a)
+	for _, r := range reports {
+		if err := ca.Add(r); err != nil {
+			return nil, [sha256.Size]byte{}, err
+		}
 	}
-	var log []byte
-	for i, r := range reports {
-		if !VerifyReport(r, a) {
-			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: bad authenticator", i)}
-		}
-		if r.App != chal.App {
-			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: app %q != challenge app %q", i, r.App, chal.App)}
-		}
-		if r.Nonce != chal.Nonce {
-			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: nonce mismatch (replay?)", i)}
-		}
-		if r.Seq != uint32(i) {
-			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: sequence %d out of order", i, r.Seq)}
-		}
-		if i == 0 {
-			hmem = r.HMem
-		} else if !bytes.Equal(hmem[:], r.HMem[:]) {
-			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: H_MEM changed mid-session", i)}
-		}
-		if r.Final != (i == len(reports)-1) {
-			return nil, hmem, &ChainError{Reason: fmt.Sprintf("report %d: misplaced final flag", i)}
-		}
-		log = append(log, r.CFLog...)
-	}
-	return log, hmem, nil
+	return ca.Finish()
 }

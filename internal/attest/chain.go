@@ -1,0 +1,99 @@
+package attest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+)
+
+// ChainAssembler authenticates and orders a partial-report chain
+// incrementally: a streaming Verifier feeds it one report per evidence
+// slice and learns about a broken chain at the first report that breaks
+// it, instead of after the final report has landed.
+//
+// The checks, their order, and the ChainError texts are exactly those of
+// [AssembleChain] — which is itself implemented on top of this type — so
+// a streamed session and a whole-chain verification reject identically.
+// The only check that cannot be decided at Add time is the final-flag
+// placement: a mid-chain report carrying Final is only provably misplaced
+// once a successor arrives, so Add reports it on the *next* call (before
+// looking at the new report, as the batch loop never reaches it either),
+// and Finish reports a missing final flag on the last report.
+type ChainAssembler struct {
+	chal Challenge
+	auth Authenticator
+
+	n       int // reports accepted so far
+	finalAt int // index of the report that carried Final (-1: none yet)
+	hmem    [sha256.Size]byte
+	log     []byte
+}
+
+// NewChainAssembler starts an empty chain for chal, authenticated by a.
+func NewChainAssembler(chal Challenge, a Authenticator) *ChainAssembler {
+	return &ChainAssembler{chal: chal, auth: a, finalAt: -1}
+}
+
+// Add authenticates r as the next report in the chain. A non-nil error is
+// a *ChainError identical to what AssembleChain would return for the same
+// prefix; the assembler is then poisoned only in the sense that the caller
+// should stop feeding it (Add does not track poisoning itself).
+func (ca *ChainAssembler) Add(r *Report) error {
+	if ca.finalAt >= 0 {
+		// The batch loop fails the earlier report's final-flag check before
+		// ever examining this one.
+		return &ChainError{Reason: fmt.Sprintf("report %d: misplaced final flag", ca.finalAt)}
+	}
+	i := ca.n
+	if !VerifyReport(r, ca.auth) {
+		return &ChainError{Reason: fmt.Sprintf("report %d: bad authenticator", i)}
+	}
+	if r.App != ca.chal.App {
+		return &ChainError{Reason: fmt.Sprintf("report %d: app %q != challenge app %q", i, r.App, ca.chal.App)}
+	}
+	if r.Nonce != ca.chal.Nonce {
+		return &ChainError{Reason: fmt.Sprintf("report %d: nonce mismatch (replay?)", i)}
+	}
+	if r.Seq != uint32(i) {
+		return &ChainError{Reason: fmt.Sprintf("report %d: sequence %d out of order", i, r.Seq)}
+	}
+	if i == 0 {
+		ca.hmem = r.HMem
+	} else if !bytes.Equal(ca.hmem[:], r.HMem[:]) {
+		return &ChainError{Reason: fmt.Sprintf("report %d: H_MEM changed mid-session", i)}
+	}
+	if r.Final {
+		ca.finalAt = i
+	}
+	ca.log = append(ca.log, r.CFLog...)
+	ca.n++
+	return nil
+}
+
+// Finish closes the chain, returning the concatenated CFLog and the
+// common H_MEM. It fails on an empty chain and on a chain whose last
+// report did not carry the final flag, with the same errors AssembleChain
+// produces.
+func (ca *ChainAssembler) Finish() ([]byte, [sha256.Size]byte, error) {
+	var zero [sha256.Size]byte
+	if ca.n == 0 {
+		return nil, zero, &ChainError{Reason: "empty"}
+	}
+	if ca.finalAt != ca.n-1 {
+		return nil, zero, &ChainError{Reason: fmt.Sprintf("report %d: misplaced final flag", ca.n-1)}
+	}
+	return ca.log, ca.hmem, nil
+}
+
+// Len returns the number of reports accepted so far.
+func (ca *ChainAssembler) Len() int { return ca.n }
+
+// Sealed reports whether a Final report has been accepted.
+func (ca *ChainAssembler) Sealed() bool { return ca.finalAt >= 0 }
+
+// HMem returns the chain's common H_MEM (meaningful once Len() > 0).
+func (ca *ChainAssembler) HMem() [sha256.Size]byte { return ca.hmem }
+
+// Log returns the CFLog concatenated so far. The slice aliases the
+// assembler's buffer; treat as read-only.
+func (ca *ChainAssembler) Log() []byte { return ca.log }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/linker"
+	"raptrack/internal/verify"
+)
+
+// Streaming differential conformance: a gateway-style Begin/Feed/Seal
+// session (per-slice checks on) against the whole-report Verify entry
+// point, over the evaluation workloads, watermark-varied cut schedules,
+// report-level corruption classes, and the cache-on/off × automaton-
+// on/off configuration matrix. The sealed (Verdict, error) pair must be
+// bit-identical — only wall-clock Timing is excluded — because the
+// server journals streamed sessions for `raptrack replay`, which re-runs
+// them through the batch path.
+
+// streamedRun attests app through a prover cut at the given MTB
+// watermark and returns the linked artifact, key, challenge and report
+// chain. Smaller watermarks cut the same execution into more slices.
+func streamedRun(t *testing.T, app apps.App, watermark int) (*linker.Output, attest.Authenticator, attest.Challenge, []*attest.Report) {
+	t.Helper()
+	out, err := LinkForCFA(app.Build(), DefaultLinkOptions())
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(out, key, ProverConfig{SetupMem: app.SetupMem(), Watermark: watermark})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chal := mustChal(t, app.Name)
+	reports, _, err := prover.Attest(chal)
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+	return out, key, chal, reports
+}
+
+// cloneReports deep-copies a report chain so mutations cannot leak
+// between corruption classes.
+func cloneReports(reports []*attest.Report) []*attest.Report {
+	out := make([]*attest.Report, len(reports))
+	for i, r := range reports {
+		cp := *r
+		cp.CFLog = append([]byte(nil), r.CFLog...)
+		cp.Auth = append([]byte(nil), r.Auth...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// reportCorruptions is the report-level rejection space: forged
+// authenticators, tampered evidence payloads, and every transport-shaped
+// chain break (drop, reorder, duplicate, truncation, empty).
+func reportCorruptions(reports []*attest.Report) map[string][]*attest.Report {
+	mut := map[string][]*attest.Report{"benign": cloneReports(reports)}
+	if len(reports) < 2 {
+		return mut
+	}
+	mid := len(reports) / 2
+
+	m := cloneReports(reports)
+	m[mid].Auth[0] ^= 0x40
+	mut["tamper-auth"] = m
+
+	m = cloneReports(reports)
+	if len(m[mid].CFLog) > 0 {
+		m[mid].CFLog[0] ^= 0x04
+		mut["tamper-log"] = m
+	}
+
+	mut["drop-mid"] = append(cloneReports(reports)[:mid], cloneReports(reports)[mid+1:]...)
+
+	m = cloneReports(reports)
+	m[mid-1], m[mid] = m[mid], m[mid-1]
+	mut["swap-adjacent"] = m
+
+	m = cloneReports(reports)
+	mut["dup-mid"] = append(append(m[:mid+1:mid+1], m[mid]), m[mid+1:]...)
+
+	mut["truncate-tail"] = cloneReports(reports)[:mid]
+	mut["empty"] = nil
+	return mut
+}
+
+// diffStream seals reports through a slice-checking session and fails
+// the test unless the (Verdict, error) pair matches the batch Verify
+// path bit for bit. Along the way the per-slice judgments are held to
+// their contract: a chain-level SliceReject must surface as a seal
+// error, and an H_MEM SliceReject as a rejecting sealed verdict.
+func diffStream(t *testing.T, v *verify.Verifier, chal attest.Challenge, reports []*attest.Report, label string) {
+	t.Helper()
+	bv, berr := v.Verify(chal, cloneReports(reports))
+
+	sess := v.Begin(chal)
+	var chainCut, hmemCut bool
+	for _, r := range cloneReports(reports) {
+		sv := sess.Feed(r)
+		if sv.Status == verify.SliceReject {
+			switch sv.Code {
+			case verify.ReasonNone:
+				chainCut = true
+			case verify.ReasonHMemMismatch:
+				hmemCut = true
+			}
+		}
+	}
+	sv, serr := sess.Seal()
+
+	if (berr == nil) != (serr == nil) {
+		t.Errorf("%s: error presence diverges: batch=%v stream=%v", label, berr, serr)
+		return
+	}
+	if berr != nil {
+		if berr.Error() != serr.Error() {
+			t.Errorf("%s: error text diverges:\n  batch:  %v\n  stream: %v", label, berr, serr)
+		}
+		// No converse check: truncated and empty chains authenticate
+		// slice by slice and only break at Seal (missing final report),
+		// so a seal error without a per-slice reject is legitimate.
+		return
+	}
+	if chainCut {
+		t.Errorf("%s: a slice raised a chain-level SliceReject but Seal returned a verdict", label)
+	}
+	if hmemCut && (sv.OK || sv.Code != verify.ReasonHMemMismatch) {
+		t.Errorf("%s: H_MEM slice alarm not confirmed by sealed verdict %+v", label, sv)
+	}
+	a, b := *bv, *sv
+	a.Timing, b.Timing = verify.PhaseTiming{}, verify.PhaseTiming{}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: sealed verdict diverges from batch\n  batch:  ok=%v code=%v detail=%q packets=%d/%d transfers=%d path=%d\n  stream: ok=%v code=%v detail=%q packets=%d/%d transfers=%d path=%d",
+			label,
+			a.OK, a.Code, a.Detail, a.PacketsUsed, a.Packets, a.Transfers, len(a.Path),
+			b.OK, b.Code, b.Detail, b.PacketsUsed, b.Packets, b.Transfers, len(b.Path))
+	}
+}
+
+// streamMatrix runs every corruption class through the four
+// cache × automaton configurations. Cached cells warm the verdict cache
+// with one benign batch pass first, so streamed seals must agree with
+// batch even when one side of a comparison is served from cache.
+func streamMatrix(t *testing.T, out *linker.Output, key attest.Authenticator, chal attest.Challenge, reports []*attest.Report) {
+	t.Helper()
+	cells := []struct {
+		name      string
+		automaton bool
+		cached    bool
+	}{
+		{"automaton", true, false},
+		{"interpreter", false, false},
+		{"automaton-cached", true, true},
+		{"interpreter-cached", false, true},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			opts := []verify.Option{verify.WithAutomaton(cell.automaton)}
+			if !cell.automaton {
+				opts = append(opts, verify.WithMaxInstrs(50_000_000))
+			}
+			if cell.cached {
+				opts = append(opts, verify.WithCache(verify.NewCache(1<<20)))
+			}
+			v := NewVerifier(out, key, opts...)
+			if cell.cached {
+				if _, err := v.Verify(chal, cloneReports(reports)); err != nil {
+					t.Fatalf("cache warmup: %v", err)
+				}
+			}
+			for name, mrep := range reportCorruptions(reports) {
+				diffStream(t, v, chal, mrep, name)
+			}
+		})
+	}
+}
+
+// TestStreamConformanceApps: every evaluation workload, streamed at the
+// default gateway watermark, across the full configuration matrix.
+func TestStreamConformanceApps(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			// Short workloads fill the MTB slowly; tighten the watermark
+			// until the run cuts into enough slices for every corruption
+			// class (ideally >= 3 reports; >= 2 still covers every class).
+			var (
+				out     *linker.Output
+				key     attest.Authenticator
+				chal    attest.Challenge
+				reports []*attest.Report
+			)
+			for _, wm := range []int{512, 128, 32, 8} {
+				out, key, chal, reports = streamedRun(t, a, wm)
+				if len(reports) >= 3 {
+					break
+				}
+			}
+			if len(reports) < 2 {
+				t.Fatalf("no watermark cut %s into >= 2 reports (got %d)", a.Name, len(reports))
+			}
+			streamMatrix(t, out, key, chal, reports)
+		})
+	}
+}
+
+// TestStreamConformanceCutSchedules: the same execution cut at different
+// MTB watermarks — more, smaller slices must never change the sealed
+// verdict relative to batch.
+func TestStreamConformanceCutSchedules(t *testing.T) {
+	watermarks := []int{256, 1024, 4096}
+	if testing.Short() {
+		watermarks = watermarks[:1]
+	}
+	app := apps.All()[0]
+	for _, wm := range watermarks {
+		wm := wm
+		t.Run(fmt.Sprintf("watermark%d", wm), func(t *testing.T) {
+			out, key, chal, reports := streamedRun(t, app, wm)
+			streamMatrix(t, out, key, chal, reports)
+		})
+	}
+}
+
+// TestStreamConformanceHMem: an honest run of a tampered image — the
+// firmware-measurement reject must stream identically to batch, with the
+// H_MEM slice alarm firing on the very first Feed.
+func TestStreamConformanceHMem(t *testing.T) {
+	app := apps.All()[0]
+	clean, err := LinkForCFA(app.Build(), DefaultLinkOptions())
+	if err != nil {
+		t.Fatalf("link clean: %v", err)
+	}
+	topts := DefaultLinkOptions()
+	topts.NopPad++
+	tampered, err := LinkForCFA(app.Build(), topts)
+	if err != nil {
+		t.Fatalf("link tampered: %v", err)
+	}
+	key, err := attest.GenerateHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(tampered, key, ProverConfig{SetupMem: app.SetupMem(), Watermark: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chal := mustChal(t, app.Name)
+	reports, _, err := prover.Attest(chal)
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+
+	v := NewVerifier(clean, key)
+	first := v.Begin(chal).Feed(cloneReports(reports)[0])
+	if first.Status != verify.SliceReject || first.Code != verify.ReasonHMemMismatch {
+		t.Fatalf("first slice of tampered image = %+v, want H_MEM SliceReject", first)
+	}
+	streamMatrix(t, clean, key, chal, reports)
+}

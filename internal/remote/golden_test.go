@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"raptrack/internal/attest"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
 	"raptrack/internal/verify"
@@ -43,6 +44,21 @@ func goldenDict(t *testing.T) *speccfa.Dictionary {
 		t.Fatal(err)
 	}
 	return d
+}
+
+// goldenSlice is a fixed streaming slice wrapping a deterministic
+// report, its tag chained from the report's nonce and authenticator.
+func goldenSlice() Slice {
+	rep := testReport(3, true)
+	var nonce [attest.NonceSize]byte
+	copy(nonce[:], rep.Nonce[:])
+	return Slice{
+		Seq:    3,
+		Mark:   0x40,
+		Final:  true,
+		Tag:    SliceTagNext(SliceTagInit(nonce), rep.Auth),
+		Report: rep.Encode(),
+	}
 }
 
 func TestGoldenFrames(t *testing.T) {
@@ -114,6 +130,40 @@ func TestGoldenFrames(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "slice", typ: FrameSlice, payload: EncodeSlice(goldenSlice()),
+			check: func(t *testing.T, p []byte) {
+				sl, err := DecodeSlice(p)
+				if err != nil {
+					t.Fatalf("DecodeSlice: %v", err)
+				}
+				want := goldenSlice()
+				if sl.Seq != want.Seq || sl.Mark != want.Mark || !sl.Final || sl.Tag != want.Tag {
+					t.Errorf("DecodeSlice = %+v", sl)
+				}
+				if rp, err := attest.DecodeReport(sl.Report); err != nil || rp.Seq != 3 || !rp.Final {
+					t.Errorf("wrapped report = %+v, %v", rp, err)
+				}
+			},
+		},
+		{
+			name: "heal", typ: FrameHeal, payload: EncodeHeal(Heal{Directive: HealQuarantine, Seq: 3, Detail: "rop: return destination mismatch"}),
+			check: func(t *testing.T, p []byte) {
+				h, err := DecodeHeal(p)
+				if err != nil || h.Directive != HealQuarantine || h.Seq != 3 || h.Detail != "rop: return destination mismatch" {
+					t.Errorf("DecodeHeal = %+v, %v", h, err)
+				}
+			},
+		},
+		{
+			name: "healack", typ: FrameHealAck, payload: EncodeHealAck(Heal{Directive: HealQuarantine, Seq: 3}),
+			check: func(t *testing.T, p []byte) {
+				h, err := DecodeHealAck(p)
+				if err != nil || h.Directive != HealQuarantine || h.Seq != 3 {
+					t.Errorf("DecodeHealAck = %+v, %v", h, err)
+				}
+			},
+		},
 	}
 
 	for _, c := range cases {
@@ -168,6 +218,7 @@ func TestGoldenFixturesComplete(t *testing.T) {
 		"helo-v2.hex": true, "dict.hex": true,
 		"busy-nohint.hex": true, "busy-hint.hex": true,
 		"vrdt-ok.hex": true, "vrdt-reject.hex": true,
+		"slice.hex": true, "heal.hex": true, "healack.hex": true,
 	}
 	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
 	if err != nil {

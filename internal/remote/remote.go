@@ -25,6 +25,16 @@
 //	                         same speculation set the gateway expands with
 //	VRDT (Verifier->Prover): gateway verdict summary (ok flag + typed
 //	                         reason code + detail)
+//	SLICE (Prover->Verifier): streaming evidence slice — a partial report
+//	                         wrapped with its sequence number, MTB
+//	                         watermark position, running-auth tag and
+//	                         final-slice bit (see stream.go); the gateway
+//	                         verifies it immediately instead of buffering
+//	                         to report-end
+//	HEAL (Verifier->Prover): typed remediation directive pushed mid-run
+//	                         (quarantine-app / re-provision-H_MEM /
+//	                         force-reattest), acknowledged by HEALACK
+//	HEALACK (Prover->Verifier): acknowledges one HEAL directive
 //
 // Evidence integrity does not depend on the transport: a man in the
 // middle can drop the session but any modification is caught by the
@@ -57,6 +67,9 @@ const (
 	FrameBusy    byte = 5 // Verifier->Prover: session shed at capacity
 	FrameVerdict byte = 6 // Verifier->Prover: session verdict summary
 	FrameDict    byte = 7 // Verifier->Prover: session SpecCFA dictionary
+	FrameSlice   byte = 8 // Prover->Verifier: streaming evidence slice
+	FrameHeal    byte = 9 // Verifier->Prover: remediation directive
+	FrameHealAck byte = 10 // Prover->Verifier: HEAL acknowledgement
 )
 
 // ProtocolVersion is negotiated in the HELO frame's leading byte. v2
@@ -455,20 +468,30 @@ func DecodeVerdict(b []byte) (GatewayVerdict, error) {
 	return GatewayVerdict{OK: ok, Code: code, Detail: string(b[2:])}, nil
 }
 
-// AttestTo drives the prover side of one gateway session on conn: it
-// announces app with a versioned HELO frame, adopts the gateway's session
-// dictionary if one is delivered, answers the challenge while streaming
-// reports, and returns the gateway's verdict. ErrBusy reports a shed
-// session; ErrSessionTruncated a gateway that died mid-protocol.
+// AttestTo drives the prover side of one gateway session on conn.
+//
+// Deprecated: use NewClient(p).Attest(conn, app). This shim survives one
+// release for migration and then goes away.
 func (p *ProverEndpoint) AttestTo(conn io.ReadWriter, app string) (GatewayVerdict, error) {
-	return p.AttestToAs(conn, app, "")
+	return p.attestBatch(conn, app, "")
 }
 
-// AttestToAs is AttestTo with a stable device identity in the HELO: a
-// shard router (internal/router) pins the session by (app, device), so
-// fleet devices that announce themselves land on a consistent replica
-// and reuse its warmed caches. An empty device sends a plain HELO.
+// AttestToAs is AttestTo with a stable device identity in the HELO.
+//
+// Deprecated: use NewClient(p, WithDevice(device)).Attest(conn, app).
+// This shim survives one release for migration and then goes away.
 func (p *ProverEndpoint) AttestToAs(conn io.ReadWriter, app, device string) (GatewayVerdict, error) {
+	return p.attestBatch(conn, app, device)
+}
+
+// attestBatch drives the prover side of one report-at-end gateway session
+// on conn: it announces app (and the optional stable device identity a
+// shard router pins sessions by) with a versioned HELO frame, adopts the
+// gateway's session dictionary if one is delivered, answers the challenge
+// while streaming RPRT frames, and returns the gateway's verdict. ErrBusy
+// reports a shed session; ErrSessionTruncated a gateway that died
+// mid-protocol.
+func (p *ProverEndpoint) attestBatch(conn io.ReadWriter, app, device string) (GatewayVerdict, error) {
 	var gv GatewayVerdict
 	if err := WriteFrame(conn, FrameHello, EncodeHelloID(app, device)); err != nil {
 		return gv, fmt.Errorf("remote: announcing app: %w", err)
@@ -522,28 +545,12 @@ func RequestAttestation(conn io.ReadWriter, app string, verifier *verify.Verifie
 	return RequestWithChallenge(conn, chal, verifier)
 }
 
-// RequestWithChallenge is RequestAttestation with a caller-supplied
-// challenge (tests use it to control nonces).
-func RequestWithChallenge(conn io.ReadWriter, chal attest.Challenge, verifier *verify.Verifier) (*SessionResult, error) {
-	if err := WriteFrame(conn, FrameChal, chal.Encode()); err != nil {
-		return nil, fmt.Errorf("remote: sending challenge: %w", err)
-	}
-	reports, err := CollectReports(conn)
-	if err != nil {
-		return nil, err
-	}
-	verdict, err := verifier.Verify(chal, reports)
-	if err != nil {
-		return nil, err
-	}
-	return &SessionResult{Verdict: verdict, Reports: reports}, nil
-}
-
-// CollectReports reads the Prover's report stream from r until the final
-// report, returning the ordered chain. A stream that ends early maps to
-// ErrSessionTruncated; a FAIL frame surfaces the Prover's error. The
-// chain is NOT authenticated here — pass it to verify.Verifier.Verify.
-func CollectReports(r io.Reader) ([]*attest.Report, error) {
+// ReadReportStream reads the Prover's report stream from r until the
+// final report, returning the ordered chain. A stream that ends early
+// maps to ErrSessionTruncated; a FAIL frame surfaces the Prover's error.
+// The chain is NOT authenticated here — pass it to verify.Verifier.Verify
+// (or feed the reports one by one into a verify.Session).
+func ReadReportStream(r io.Reader) ([]*attest.Report, error) {
 	var reports []*attest.Report
 	for {
 		typ, payload, err := ReadFrame(r)
@@ -566,4 +573,30 @@ func CollectReports(r io.Reader) ([]*attest.Report, error) {
 			return nil, fmt.Errorf("remote: unexpected frame type %d in report stream", typ)
 		}
 	}
+}
+
+// RequestWithChallenge is RequestAttestation with a caller-supplied
+// challenge (tests use it to control nonces).
+func RequestWithChallenge(conn io.ReadWriter, chal attest.Challenge, verifier *verify.Verifier) (*SessionResult, error) {
+	if err := WriteFrame(conn, FrameChal, chal.Encode()); err != nil {
+		return nil, fmt.Errorf("remote: sending challenge: %w", err)
+	}
+	reports, err := CollectReports(conn)
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := verifier.Verify(chal, reports)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionResult{Verdict: verdict, Reports: reports}, nil
+}
+
+// CollectReports reads the Prover's report stream from r until the final
+// report, returning the ordered chain.
+//
+// Deprecated: use ReadReportStream. This shim survives one release for
+// migration and then goes away.
+func CollectReports(r io.Reader) ([]*attest.Report, error) {
+	return ReadReportStream(r)
 }

@@ -417,7 +417,7 @@ func TestRemoteDictionaryDelivery(t *testing.T) {
 	if err := WriteFrame(cli, FrameChal, chal.Encode()); err != nil {
 		t.Fatal(err)
 	}
-	reports, err := CollectReports(cli)
+	reports, err := ReadReportStream(cli)
 	if err != nil {
 		t.Fatal(err)
 	}

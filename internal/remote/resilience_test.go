@@ -1,6 +1,6 @@
 // Transport-resilience tests: exhaustive truncation mapping, the BUSY
 // retry-after extension, transient/fatal classification, and the
-// AttestWithRetry loop against scripted gateways.
+// Client retry loop (AttestDial) against scripted gateways.
 package remote
 
 import (
@@ -148,7 +148,7 @@ func TestClassify(t *testing.T) {
 	}
 }
 
-// scriptedDialer hands AttestWithRetry one net.Pipe per attempt, serving
+// scriptedDialer hands the retrying client one net.Pipe per attempt, serving
 // each with the script selected by attempt number (1-based); scripts
 // beyond the list reuse the last one.
 func scriptedDialer(t *testing.T, scripts ...func(conn net.Conn)) func() (io.ReadWriteCloser, error) {
@@ -185,7 +185,7 @@ func gatewayOK(t *testing.T, v *verify.Verifier) func(conn net.Conn) {
 		if err := WriteFrame(conn, FrameChal, chal.Encode()); err != nil {
 			return
 		}
-		reports, err := CollectReports(conn)
+		reports, err := ReadReportStream(conn)
 		if err != nil {
 			return
 		}
@@ -205,7 +205,7 @@ func busyScript(hint time.Duration) func(conn net.Conn) {
 	}
 }
 
-func TestAttestWithRetryRecoversFromBusy(t *testing.T) {
+func TestClientRetryRecoversFromBusy(t *testing.T) {
 	ep, v, _ := testSetup(t, "prime", 0)
 	var slept []time.Duration
 	pol := RetryPolicy{
@@ -218,7 +218,7 @@ func TestAttestWithRetryRecoversFromBusy(t *testing.T) {
 		busyScript(0),
 		gatewayOK(t, v),
 	)
-	gv, st, err := ep.AttestWithRetry("prime", dial, pol)
+	gv, st, err := NewClient(ep, WithRetry(pol)).AttestDial("prime", dial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,18 +244,18 @@ func TestAttestWithRetryRecoversFromBusy(t *testing.T) {
 	}
 }
 
-// TestAttestWithRetryFatalConfirmedAborts: a repeating fatal error is
+// TestClientRetryFatalConfirmedAborts: a repeating fatal error is
 // confirmed by exactly one (cheap, pre-run) extra attempt, then surfaces
 // as the cause itself — not as budget exhaustion.
-func TestAttestWithRetryFatalConfirmedAborts(t *testing.T) {
+func TestClientRetryFatalConfirmedAborts(t *testing.T) {
 	ep, _, _ := testSetup(t, "prime", 0)
 	dial := scriptedDialer(t, func(conn net.Conn) {
 		_, _, _ = ReadFrame(conn)
 		_ = WriteFrame(conn, FrameFail, []byte(`unknown application "prime"`))
 	})
-	_, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{
+	_, st, err := NewClient(ep, WithRetry(RetryPolicy{
 		Sleep: func(time.Duration) {},
-	})
+	})).AttestDial("prime", dial)
 	if err == nil || Classify(err) != ClassFatal {
 		t.Fatalf("err = %v", err)
 	}
@@ -267,11 +267,11 @@ func TestAttestWithRetryFatalConfirmedAborts(t *testing.T) {
 	}
 }
 
-// TestAttestWithRetrySpuriousFatalRecovers: one attempt *reads* as fatal
+// TestClientRetrySpuriousFatalRecovers: one attempt *reads* as fatal
 // (a corrupted HELO answered with unknown-application), the next is
 // healthy — the retry loop must treat the unconfirmed fatal as transient
 // and complete the session.
-func TestAttestWithRetrySpuriousFatalRecovers(t *testing.T) {
+func TestClientRetrySpuriousFatalRecovers(t *testing.T) {
 	ep, v, _ := testSetup(t, "prime", 0)
 	dial := scriptedDialer(t,
 		func(conn net.Conn) {
@@ -280,7 +280,7 @@ func TestAttestWithRetrySpuriousFatalRecovers(t *testing.T) {
 		},
 		gatewayOK(t, v),
 	)
-	gv, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{Sleep: func(time.Duration) {}})
+	gv, st, err := NewClient(ep, WithRetry(RetryPolicy{Sleep: func(time.Duration) {}})).AttestDial("prime", dial)
 	if err != nil || !gv.OK {
 		t.Fatalf("gv=%+v err=%v", gv, err)
 	}
@@ -289,11 +289,11 @@ func TestAttestWithRetrySpuriousFatalRecovers(t *testing.T) {
 	}
 }
 
-// TestAttestWithRetryAttemptTimeout: a peer that promises a payload it
+// TestClientRetryAttemptTimeout: a peer that promises a payload it
 // never sends cannot pin the prover forever — the attempt deadline
 // force-closes the connection, the attempt fails transient, and the next
 // one succeeds.
-func TestAttestWithRetryAttemptTimeout(t *testing.T) {
+func TestClientRetryAttemptTimeout(t *testing.T) {
 	ep, v, _ := testSetup(t, "prime", 0)
 	hang := make(chan struct{})
 	defer close(hang)
@@ -310,10 +310,10 @@ func TestAttestWithRetryAttemptTimeout(t *testing.T) {
 	start := time.Now()
 	// 500ms: long enough for a full healthy session even under -race,
 	// short enough that the hung attempt visibly cannot stall the test.
-	gv, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{
+	gv, st, err := NewClient(ep, WithRetry(RetryPolicy{
 		AttemptTimeout: 500 * time.Millisecond,
 		Sleep:          func(time.Duration) {},
-	})
+	})).AttestDial("prime", dial)
 	if err != nil || !gv.OK {
 		t.Fatalf("gv=%+v err=%v", gv, err)
 	}
@@ -325,15 +325,15 @@ func TestAttestWithRetryAttemptTimeout(t *testing.T) {
 	}
 }
 
-func TestAttestWithRetryExhaustsBudget(t *testing.T) {
+func TestClientRetryExhaustsBudget(t *testing.T) {
 	ep, _, _ := testSetup(t, "prime", 0)
 	dial := scriptedDialer(t, func(conn net.Conn) {
 		_, _, _ = ReadFrame(conn) // read HELO, then vanish mid-session
 	})
-	_, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{
+	_, st, err := NewClient(ep, WithRetry(RetryPolicy{
 		MaxAttempts: 3,
 		Sleep:       func(time.Duration) {},
-	})
+	})).AttestDial("prime", dial)
 	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
 		t.Fatalf("err = %v", err)
 	}
@@ -345,7 +345,7 @@ func TestAttestWithRetryExhaustsBudget(t *testing.T) {
 	}
 }
 
-func TestAttestWithRetryRecoversFromDialError(t *testing.T) {
+func TestClientRetryRecoversFromDialError(t *testing.T) {
 	ep, v, _ := testSetup(t, "prime", 0)
 	ok := scriptedDialer(t, gatewayOK(t, v))
 	first := true
@@ -356,7 +356,7 @@ func TestAttestWithRetryRecoversFromDialError(t *testing.T) {
 		}
 		return ok()
 	}
-	gv, st, err := ep.AttestWithRetry("prime", dial, RetryPolicy{Sleep: func(time.Duration) {}})
+	gv, st, err := NewClient(ep, WithRetry(RetryPolicy{Sleep: func(time.Duration) {}})).AttestDial("prime", dial)
 	if err != nil || !gv.OK {
 		t.Fatalf("gv=%+v err=%v", gv, err)
 	}

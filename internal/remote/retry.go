@@ -1,7 +1,8 @@
 // Prover-side resilience: typed transient-vs-fatal classification of
-// session failures, and AttestWithRetry — exponential backoff with
-// jitter, a fresh session (and therefore a fresh gateway challenge) per
-// attempt, and BUSY retry-after hints honored as the backoff floor.
+// session failures, and the retry loop behind Client.AttestDial —
+// exponential backoff with jitter, a fresh session (and therefore a
+// fresh gateway challenge) per attempt, and sanitized BUSY retry-after
+// hints honored as the backoff floor.
 package remote
 
 import (
@@ -112,18 +113,40 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// MaxBusyHint is the ceiling on a BUSY retry-after hint a prover will
+// honor. The hint rides the wire as a u32 millisecond count, so a
+// corrupted frame can promise a ~49-day backoff; any hint beyond this
+// ceiling is treated as corrupted and discarded rather than letting a
+// flipped bit stall the prover.
+const MaxBusyHint = 2 * time.Second
+
+// ClampBusyHint sanitizes a parsed BUSY retry-after hint: values that
+// are non-positive or implausibly large (beyond MaxBusyHint — a
+// corrupted u32 on the wire) collapse to 0, meaning "no usable hint".
+// This is the single clamp every hint consumer shares (RetryPolicy
+// here, the fleet simulator's retry profiles).
+func ClampBusyHint(hint time.Duration) time.Duration {
+	if hint <= 0 || hint > MaxBusyHint {
+		return 0
+	}
+	return hint
+}
+
 // delay computes the backoff before retrying after the given 1-based
-// failed attempt, honoring a BUSY retry-after hint as the floor.
+// failed attempt, honoring a (sanitized) BUSY retry-after hint as the
+// backoff floor.
 func (p RetryPolicy) delay(attempt int, err error) (d time.Duration, hinted bool) {
 	d = p.BaseDelay << (attempt - 1)
 	if d > p.MaxDelay || d <= 0 { // <=0: shift overflow
 		d = p.MaxDelay
 	}
 	var be *BusyError
-	if errors.As(err, &be) && be.RetryAfter > 0 {
-		hinted = true
-		if be.RetryAfter > d {
-			d = be.RetryAfter
+	if errors.As(err, &be) {
+		if hint := ClampBusyHint(be.RetryAfter); hint > 0 {
+			hinted = true
+			if hint > d {
+				d = hint
+			}
 		}
 	}
 	if p.Rand != nil && p.Jitter > 0 {
@@ -142,12 +165,23 @@ type RetryStats struct {
 }
 
 // AttestWithRetry drives gateway sessions for app until one completes,
-// a fatal error is hit, or the attempt budget runs out. Each attempt
-// dials a fresh connection and runs a full session — the gateway issues
-// a fresh challenge per session, so no nonce is ever reused across
-// retries — with exponential backoff (plus optional jitter) in between.
-// A BUSY shed whose frame carries a retry-after hint floors the next
-// delay at the hint.
+// a fatal error is hit, or the attempt budget runs out.
+//
+// Deprecated: use NewClient(p, WithRetry(pol)).AttestDial(app, dial).
+// This shim survives one release for migration and then goes away.
+func (p *ProverEndpoint) AttestWithRetry(app string, dial func() (io.ReadWriteCloser, error), pol RetryPolicy) (GatewayVerdict, RetryStats, error) {
+	return p.attestRetry(dial, pol, func(conn io.ReadWriter) (GatewayVerdict, error) {
+		return p.attestBatch(conn, app, "")
+	})
+}
+
+// attestRetry drives gateway sessions until one completes, a fatal error
+// is hit, or the attempt budget runs out. Each attempt dials a fresh
+// connection and runs session on it — the gateway issues a fresh
+// challenge per session, so no nonce is ever reused across retries —
+// with exponential backoff (plus optional jitter) in between. A BUSY
+// shed whose frame carries a plausible retry-after hint floors the next
+// delay at the hint (see ClampBusyHint).
 //
 // A fatal classification (see Classify) aborts only once *confirmed* by a
 // second consecutive fatal attempt. A genuinely unprovisioned app or
@@ -159,8 +193,8 @@ type RetryStats struct {
 //
 // The returned GatewayVerdict may still report a rejection; "the session
 // completed" and "the evidence attested a benign path" stay as separate
-// concerns, exactly as in AttestTo.
-func (p *ProverEndpoint) AttestWithRetry(app string, dial func() (io.ReadWriteCloser, error), pol RetryPolicy) (GatewayVerdict, RetryStats, error) {
+// concerns, exactly as in Client.Attest.
+func (p *ProverEndpoint) attestRetry(dial func() (io.ReadWriteCloser, error), pol RetryPolicy, session func(io.ReadWriter) (GatewayVerdict, error)) (GatewayVerdict, RetryStats, error) {
 	pol = pol.withDefaults()
 	var st RetryStats
 	if pol.Observe != nil {
@@ -178,7 +212,7 @@ func (p *ProverEndpoint) AttestWithRetry(app string, dial func() (io.ReadWriteCl
 				timer = time.AfterFunc(pol.AttemptTimeout, func() { conn.Close() })
 			}
 			var gv GatewayVerdict
-			gv, err = p.AttestTo(conn, app)
+			gv, err = session(conn)
 			if timer != nil {
 				timer.Stop()
 			}

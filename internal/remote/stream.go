@@ -1,0 +1,360 @@
+// Streaming attestation (ACFA-style): instead of buffering the session's
+// reports behind RPRT frames and learning the verdict at report-end, the
+// prover wraps each partial report in a SLICE frame as the MTB watermark
+// fires, and the gateway verifies slice-by-slice against a resumable
+// verify.Session — bounding detection latency by the slice size rather
+// than the run length. On a suspect or rejected slice the gateway pushes
+// a typed HEAL directive mid-run (quarantine the app, re-provision
+// H_MEM, force re-attestation), which the prover acknowledges.
+//
+// Transport-integrity for the slice sequence rides a running
+// authentication tag: tag_0 = SHA-256(domain || nonce), tag_i =
+// SHA-256(tag_{i-1} || Auth_i). Report authenticators already bind all
+// evidence cryptographically; the running tag additionally binds slice
+// ORDER and COUNT to the session, so a middlebox dropping, duplicating
+// or reordering slices is detected at the frame layer with one hash,
+// before report authentication runs.
+package remote
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/speccfa"
+)
+
+// sliceTagDomain separates the slice-chain hash from every other SHA-256
+// use in the protocol.
+const sliceTagDomain = "raptrack-slice-v1"
+
+// SliceTagSize is the running-auth tag size in bytes.
+const SliceTagSize = sha256.Size
+
+// SliceTagInit derives the session's initial running tag from the
+// challenge nonce.
+func SliceTagInit(nonce [attest.NonceSize]byte) [SliceTagSize]byte {
+	h := sha256.New()
+	h.Write([]byte(sliceTagDomain))
+	h.Write(nonce[:])
+	var tag [SliceTagSize]byte
+	h.Sum(tag[:0])
+	return tag
+}
+
+// SliceTagNext chains the running tag over one report authenticator.
+func SliceTagNext(prev [SliceTagSize]byte, auth []byte) [SliceTagSize]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(auth)
+	var tag [SliceTagSize]byte
+	h.Sum(tag[:0])
+	return tag
+}
+
+// Slice is one SLICE frame: a partial report plus its streaming envelope.
+type Slice struct {
+	// Seq numbers slices from zero; it mirrors the wrapped report's Seq
+	// (the gateway checks both independently — Seq at the frame layer,
+	// report ordering in the chain).
+	Seq uint32
+	// Mark is the prover's MTB watermark position: cumulative CFLog bytes
+	// emitted through this slice.
+	Mark uint32
+	// Final marks the session's last slice.
+	Final bool
+	// Tag is the running authentication tag through this slice.
+	Tag [SliceTagSize]byte
+	// Report is the wrapped attest.Report encoding.
+	Report []byte
+}
+
+// sliceHeaderSize is the fixed `u32 seq | u32 mark | u8 final` prefix
+// before the tag.
+const sliceHeaderSize = 4 + 4 + 1
+
+// EncodeSlice serializes a SLICE frame payload:
+// `u32 seq | u32 mark | u8 final | tag[32] | report encoding`.
+func EncodeSlice(s Slice) []byte {
+	b := make([]byte, 0, sliceHeaderSize+SliceTagSize+len(s.Report))
+	b = binary.LittleEndian.AppendUint32(b, s.Seq)
+	b = binary.LittleEndian.AppendUint32(b, s.Mark)
+	if s.Final {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, s.Tag[:]...)
+	return append(b, s.Report...)
+}
+
+// ErrBadSlice is returned for malformed SLICE frame payloads.
+var ErrBadSlice = errors.New("remote: malformed slice frame")
+
+// DecodeSlice parses a SLICE frame payload. The wrapped report encoding
+// is returned undecoded (attest.DecodeReport judges it separately).
+func DecodeSlice(b []byte) (Slice, error) {
+	if len(b) < sliceHeaderSize+SliceTagSize {
+		return Slice{}, fmt.Errorf("%w: %d bytes", ErrBadSlice, len(b))
+	}
+	var s Slice
+	s.Seq = binary.LittleEndian.Uint32(b)
+	s.Mark = binary.LittleEndian.Uint32(b[4:])
+	switch b[8] {
+	case 0:
+	case 1:
+		s.Final = true
+	default:
+		return Slice{}, fmt.Errorf("%w: non-canonical final flag %d", ErrBadSlice, b[8])
+	}
+	copy(s.Tag[:], b[sliceHeaderSize:])
+	s.Report = append([]byte(nil), b[sliceHeaderSize+SliceTagSize:]...)
+	return s, nil
+}
+
+// HealDirective is the gateway's typed remediation order.
+type HealDirective uint8
+
+const (
+	// HealQuarantine: stop scheduling the application until re-provisioned
+	// (evidence attests a disallowed execution).
+	HealQuarantine HealDirective = 1
+	// HealReprovision: the measured firmware does not match the golden
+	// image; re-provision program memory and its H_MEM.
+	HealReprovision HealDirective = 2
+	// HealReattest: evidence was inconclusive (detectable trace loss) or
+	// the session broke; run a fresh attestation session.
+	HealReattest HealDirective = 3
+)
+
+func (d HealDirective) String() string {
+	switch d {
+	case HealQuarantine:
+		return "quarantine-app"
+	case HealReprovision:
+		return "re-provision-hmem"
+	case HealReattest:
+		return "force-reattest"
+	default:
+		return fmt.Sprintf("invalid-heal-%d", uint8(d))
+	}
+}
+
+// Valid reports whether d is a defined directive (wire decoding guard).
+func (d HealDirective) Valid() bool {
+	return d >= HealQuarantine && d <= HealReattest
+}
+
+// Heal is one HEAL frame: a remediation directive pushed by the gateway,
+// during the run (reacting to a slice) or with the final verdict. The
+// prover echoes directive and seq back in a HEALACK frame.
+type Heal struct {
+	Directive HealDirective
+	// Seq is the slice that triggered the directive.
+	Seq uint32
+	// Detail is the gateway's human-readable reason.
+	Detail string
+}
+
+// ErrBadHeal is returned for malformed HEAL/HEALACK frame payloads.
+var ErrBadHeal = errors.New("remote: malformed heal frame")
+
+// EncodeHeal serializes a HEAL frame payload:
+// `u8 directive | u32 seq | detail`.
+func EncodeHeal(h Heal) []byte {
+	b := make([]byte, 0, 5+len(h.Detail))
+	b = append(b, byte(h.Directive))
+	b = binary.LittleEndian.AppendUint32(b, h.Seq)
+	return append(b, h.Detail...)
+}
+
+// DecodeHeal parses a HEAL frame payload.
+func DecodeHeal(b []byte) (Heal, error) {
+	if len(b) < 5 {
+		return Heal{}, fmt.Errorf("%w: %d bytes", ErrBadHeal, len(b))
+	}
+	h := Heal{
+		Directive: HealDirective(b[0]),
+		Seq:       binary.LittleEndian.Uint32(b[1:]),
+		Detail:    string(b[5:]),
+	}
+	if !h.Directive.Valid() {
+		return Heal{}, fmt.Errorf("%w: unknown directive %d", ErrBadHeal, b[0])
+	}
+	return h, nil
+}
+
+// EncodeHealAck serializes a HEALACK payload: the acknowledged
+// directive and slice, `u8 directive | u32 seq`.
+func EncodeHealAck(h Heal) []byte {
+	b := make([]byte, 0, 5)
+	b = append(b, byte(h.Directive))
+	return binary.LittleEndian.AppendUint32(b, h.Seq)
+}
+
+// DecodeHealAck parses a HEALACK payload.
+func DecodeHealAck(b []byte) (Heal, error) {
+	if len(b) != 5 {
+		return Heal{}, fmt.Errorf("%w: ack of %d bytes", ErrBadHeal, len(b))
+	}
+	h := Heal{Directive: HealDirective(b[0]), Seq: binary.LittleEndian.Uint32(b[1:])}
+	if !h.Directive.Valid() {
+		return Heal{}, fmt.Errorf("%w: unknown directive %d", ErrBadHeal, b[0])
+	}
+	return h, nil
+}
+
+// attestStream drives the prover side of one streaming gateway session:
+// HELO, adopt DICT, answer the challenge while wrapping every partial
+// report in a SLICE frame (running tag included), acknowledge HEAL
+// directives as they land mid-run, and return the gateway's verdict.
+//
+// conn must support one concurrent reader alongside one writer
+// (net.Conn and net.Pipe both do): HEAL directives and an early-cut
+// verdict arrive while the attested run is still streaming slices.
+func (p *ProverEndpoint) attestStream(conn io.ReadWriter, app, device string, onHeal func(Heal)) (GatewayVerdict, error) {
+	var gv GatewayVerdict
+	if err := WriteFrame(conn, FrameHello, EncodeHelloID(app, device)); err != nil {
+		return gv, fmt.Errorf("remote: announcing app: %w", err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return gv, fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
+	}
+	var dict *speccfa.Dictionary
+	if typ == FrameDict {
+		dict, err = speccfa.DecodeDictionary(payload)
+		if err != nil {
+			return gv, fmt.Errorf("remote: decoding session dictionary: %w", err)
+		}
+		typ, payload, err = ReadFrame(conn)
+		if err != nil {
+			return gv, fmt.Errorf("remote: reading challenge: %w", mapTruncation(err))
+		}
+	}
+	switch typ {
+	case FrameChal:
+	case FrameBusy:
+		ra, _ := ParseBusy(payload)
+		return gv, &BusyError{RetryAfter: ra}
+	case FrameFail:
+		return gv, &PeerFailError{Context: "verifier rejected session", Msg: string(payload)}
+	default:
+		return gv, fmt.Errorf("remote: expected challenge frame, got type %d", typ)
+	}
+	chal, err := attest.DecodeChallenge(payload)
+	if err != nil {
+		return gv, err
+	}
+	factory, ok := p.factory(chal.App)
+	if !ok {
+		_ = WriteFrame(conn, FrameFail, []byte(fmt.Sprintf("unknown application %q", chal.App)))
+		return gv, fmt.Errorf("remote: unknown application %q", chal.App)
+	}
+	prover, err := factory()
+	if err != nil {
+		_ = WriteFrame(conn, FrameFail, []byte("prover construction failed"))
+		return gv, err
+	}
+	if dict != nil {
+		if err := prover.Engine.SetSpeculation(dict); err != nil {
+			_ = WriteFrame(conn, FrameFail, []byte("dictionary provisioning failed"))
+			return gv, fmt.Errorf("remote: provisioning dictionary: %w", err)
+		}
+	}
+
+	// The writer mutex serializes slice frames (attested-run goroutine)
+	// with HEALACK frames (reader goroutine).
+	var wmu sync.Mutex
+	var sendErr error
+	tag := SliceTagInit(chal.Nonce)
+	var seq, mark uint32
+	prover.Engine.OnReport = func(r *attest.Report) {
+		tag = SliceTagNext(tag, r.Auth)
+		mark += uint32(len(r.CFLog))
+		sl := Slice{Seq: seq, Mark: mark, Final: r.Final, Tag: tag, Report: r.Encode()}
+		seq++
+		wmu.Lock()
+		if sendErr == nil {
+			sendErr = WriteFrame(conn, FrameSlice, EncodeSlice(sl))
+		}
+		wmu.Unlock()
+	}
+
+	// Reader: acknowledge HEAL directives mid-run, terminate on the
+	// verdict (which an early-cutting gateway may deliver while the run
+	// is still executing).
+	type outcome struct {
+		gv  GatewayVerdict
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		for {
+			typ, payload, err := ReadFrame(conn)
+			if err != nil {
+				done <- outcome{err: fmt.Errorf("remote: reading verdict: %w", mapTruncation(err))}
+				return
+			}
+			switch typ {
+			case FrameHeal:
+				h, herr := DecodeHeal(payload)
+				if herr != nil {
+					done <- outcome{err: herr}
+					return
+				}
+				if onHeal != nil {
+					onHeal(h)
+				}
+				wmu.Lock()
+				aerr := WriteFrame(conn, FrameHealAck, EncodeHealAck(h))
+				wmu.Unlock()
+				if aerr != nil {
+					done <- outcome{err: fmt.Errorf("remote: acknowledging heal: %w", aerr)}
+					return
+				}
+			case FrameVerdict:
+				v, verr := DecodeVerdict(payload)
+				done <- outcome{gv: v, err: verr}
+				return
+			case FrameFail:
+				done <- outcome{err: &PeerFailError{Context: "gateway reported failure", Msg: string(payload)}}
+				return
+			default:
+				done <- outcome{err: fmt.Errorf("remote: unexpected frame type %d awaiting verdict", typ)}
+				return
+			}
+		}
+	}()
+
+	runErr := func() error {
+		if _, _, err := prover.Attest(chal); err != nil {
+			wmu.Lock()
+			_ = WriteFrame(conn, FrameFail, []byte(err.Error()))
+			wmu.Unlock()
+			return fmt.Errorf("remote: attested run: %w", err)
+		}
+		return nil
+	}()
+
+	out := <-done
+	if out.err == nil {
+		// A delivered verdict settles the session even if a late slice
+		// write raced the gateway's early cut.
+		return out.gv, nil
+	}
+	if runErr != nil {
+		return gv, runErr
+	}
+	wmu.Lock()
+	se := sendErr
+	wmu.Unlock()
+	if se != nil {
+		return gv, fmt.Errorf("remote: streaming slices: %w", se)
+	}
+	return gv, out.err
+}

@@ -1,0 +1,297 @@
+package report
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"raptrack/internal/apps"
+	"raptrack/internal/attest"
+	"raptrack/internal/core"
+	"raptrack/internal/verify"
+)
+
+// StreamBenchApps is the workload subset the streaming benchmark covers
+// by default: the gateway selftest workloads plus the longest evaluation
+// stream, all of which cut into enough slices at the bench watermark for
+// a meaningful detection-latency distribution.
+var StreamBenchApps = []string{"fibcall", "prime", "gps", "crc32"}
+
+// streamBenchWatermark is the MTB watermark the streaming benchmark
+// attests at — the same default the gateway's streaming tests pin, small
+// enough that every bench workload yields tens of slices.
+const streamBenchWatermark = 512
+
+// StreamBenchResult is one workload's row of the BENCH_stream.json
+// artifact: the slices-to-detect distribution for a mid-run compromise,
+// and the honest streamed-session throughput next to the batch path it
+// must stay within 10% of.
+type StreamBenchResult struct {
+	App    string `json:"app"`
+	Slices int    `json:"slices"`
+
+	// Detection latency, in slices, from the first compromised slice to
+	// the first definitive per-slice alarm. One trial per interior
+	// injection point: a hijacked edge is planted in the injected slice's
+	// CFLog and the report re-signed (the compromised-device model —
+	// authentication passes, the attested path does not), so detection
+	// exercises the streaming prefix checker rather than the MAC.
+	Trials            int     `json:"trials"`
+	P50SlicesToDetect float64 `json:"p50_slices_to_detect"`
+	P99SlicesToDetect float64 `json:"p99_slices_to_detect"`
+	MaxSlicesToDetect int     `json:"max_slices_to_detect"`
+	// SealDetections counts trials only caught by the final Seal — each
+	// is a detection-latency outlier equal to the remaining stream.
+	SealDetections int `json:"seal_detections"`
+	// Undetected counts trials where the perturbed stream still sealed
+	// OK (the flip landed on an execution-equivalent encoding); such
+	// trials carry no latency sample. Always 0 in practice.
+	Undetected int `json:"undetected"`
+
+	// Honest-session throughput, uncached: batch Verify vs a streamed
+	// Begin/Feed/Seal session with per-slice checks on.
+	BatchNsPerOp  int64   `json:"batch_ns_per_op"`
+	StreamNsPerOp int64   `json:"stream_ns_per_op"`
+	RegressionPct float64 `json:"regression_pct"`
+}
+
+// StreamBenchReport is the top-level BENCH_stream.json document.
+type StreamBenchReport struct {
+	Suite   string              `json:"suite"`
+	Budget  string              `json:"budget_per_cell"`
+	Results []StreamBenchResult `json:"results"`
+}
+
+// StreamBench measures the streaming verification plane for each named
+// workload: detection latency in slices for a mid-run compromise, and
+// the throughput cost of per-slice checking on honest sessions. budget
+// is the minimum measured wall time per throughput cell; <= 0 picks the
+// CI default (300ms).
+func StreamBench(names []string, budget time.Duration) ([]StreamBenchResult, error) {
+	if budget <= 0 {
+		budget = 300 * time.Millisecond
+	}
+	var out []StreamBenchResult
+	for _, name := range names {
+		a, err := apps.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		link, err := core.LinkForCFA(a.Build(), core.DefaultLinkOptions())
+		if err != nil {
+			return nil, fmt.Errorf("report: %s link: %w", name, err)
+		}
+		key, err := attest.GenerateHMACKey()
+		if err != nil {
+			return nil, err
+		}
+		prover, err := core.NewProver(link, key, core.ProverConfig{
+			SetupMem:  a.SetupMem(),
+			MaxSteps:  a.MaxSteps,
+			Watermark: streamBenchWatermark,
+		})
+		if err != nil {
+			return nil, err
+		}
+		chal, err := attest.NewChallenge(name)
+		if err != nil {
+			return nil, err
+		}
+		reports, _, err := prover.Attest(chal)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s attest: %w", name, err)
+		}
+		if len(reports) < 3 {
+			return nil, fmt.Errorf("report: %s cut into only %d slices at watermark %d", name, len(reports), streamBenchWatermark)
+		}
+
+		v := core.NewVerifier(link, key)
+		r := StreamBenchResult{App: name, Slices: len(reports)}
+		if err := measureDetection(v, key, chal, reports, &r); err != nil {
+			return nil, fmt.Errorf("report: %s detection: %w", name, err)
+		}
+		if err := measureStreamThroughput(v, chal, reports, budget, &r); err != nil {
+			return nil, fmt.Errorf("report: %s throughput: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// compromiseAt deep-copies reports and plants a hijacked edge in slice
+// i's evidence — a transfer from an address the program image does not
+// instrument, the footprint of a code-reuse gadget — re-signing the
+// report so the chain still authenticates (the compromised-device model:
+// the MAC passes, the attested path does not).
+func compromiseAt(reports []*attest.Report, i int, key attest.Signer) ([]*attest.Report, error) {
+	out := make([]*attest.Report, len(reports))
+	for j, r := range reports {
+		cp := *r
+		cp.CFLog = append([]byte(nil), r.CFLog...)
+		cp.Auth = append([]byte(nil), r.Auth...)
+		out[j] = &cp
+	}
+	log := out[i].CFLog
+	if len(log) < 8 {
+		return nil, fmt.Errorf("slice %d has no whole packet to hijack", i)
+	}
+	off := (len(log) / 2 / 8) * 8
+	binary.LittleEndian.PutUint32(log[off:], 0xdeadbee0)   // gadget source
+	binary.LittleEndian.PutUint32(log[off+4:], 0xdeadbee4) // gadget target
+	if err := attest.SignReport(out[i], key); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// measureDetection runs one trial per interior injection point: stream
+// the compromised chain through a slice-checking session and record how
+// many slices past the injection the first definitive alarm lands.
+func measureDetection(v *verify.Verifier, key attest.Signer, chal attest.Challenge, reports []*attest.Report, r *StreamBenchResult) error {
+	var latencies []int
+	for i := 1; i < len(reports)-1; i++ {
+		mrep, err := compromiseAt(reports, i, key)
+		if err != nil {
+			return err
+		}
+		sess := v.Begin(chal)
+		detected := -1
+		for j, rep := range mrep {
+			if sv := sess.Feed(rep); detected < 0 && sv.Status.Definitive() {
+				detected = j
+			}
+		}
+		vd, err := sess.Seal()
+		r.Trials++
+		switch {
+		case detected >= 0:
+			latencies = append(latencies, detected-i)
+		case err != nil || !vd.OK:
+			// Only the whole-stream seal caught it: latency is the whole
+			// remaining stream.
+			r.SealDetections++
+			latencies = append(latencies, len(reports)-1-i)
+		default:
+			r.Undetected++
+		}
+	}
+	if len(latencies) == 0 {
+		return fmt.Errorf("no trial detected the compromise")
+	}
+	sort.Ints(latencies)
+	r.P50SlicesToDetect = percentile(latencies, 50)
+	r.P99SlicesToDetect = percentile(latencies, 99)
+	r.MaxSlicesToDetect = latencies[len(latencies)-1]
+	return nil
+}
+
+// percentile returns the p-th percentile of sorted samples by
+// nearest-rank.
+func percentile(sorted []int, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1])
+}
+
+// measureStreamThroughput times the honest evidence stream through the
+// batch path and through a slice-checking streamed session, both
+// uncached, and records the streamed path's relative cost. The two paths
+// are timed in alternating rounds and summarized by the median round, so
+// a GC pause or a noisy neighbor perturbs both sides alike instead of
+// landing wholly in whichever path's contiguous window it hit.
+func measureStreamThroughput(v *verify.Verifier, chal attest.Challenge, reports []*attest.Report, budget time.Duration, r *StreamBenchResult) error {
+	batch := func() error {
+		vd, err := v.Verify(chal, reports)
+		if err != nil {
+			return err
+		}
+		if !vd.OK {
+			return fmt.Errorf("benign stream rejected: %s", vd.Reason())
+		}
+		return nil
+	}
+	stream := func() error {
+		sess := v.Begin(chal)
+		for _, rep := range reports {
+			sess.Feed(rep)
+		}
+		vd, err := sess.Seal()
+		if err != nil {
+			return err
+		}
+		if !vd.OK {
+			return fmt.Errorf("benign stream rejected: %s", vd.Reason())
+		}
+		return nil
+	}
+	// One untimed warm-up of each path validates the operations.
+	if err := batch(); err != nil {
+		return err
+	}
+	if err := stream(); err != nil {
+		return err
+	}
+	const opsPerRound = 4
+	round := func(op func() error) (int64, error) {
+		t0 := time.Now()
+		for i := 0; i < opsPerRound; i++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0).Nanoseconds() / opsPerRound, nil
+	}
+	var bs, ss []int64
+	start := time.Now()
+	for len(bs) == 0 || time.Since(start) < 2*budget {
+		b, err := round(batch)
+		if err != nil {
+			return err
+		}
+		s, err := round(stream)
+		if err != nil {
+			return err
+		}
+		bs = append(bs, b)
+		ss = append(ss, s)
+	}
+	r.BatchNsPerOp = medianNs(bs)
+	r.StreamNsPerOp = medianNs(ss)
+	if r.BatchNsPerOp > 0 {
+		r.RegressionPct = 100 * (float64(r.StreamNsPerOp) - float64(r.BatchNsPerOp)) / float64(r.BatchNsPerOp)
+	}
+	return nil
+}
+
+// medianNs returns the median of the samples (ties split low).
+func medianNs(samples []int64) int64 {
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// StreamBenchTable renders the streaming matrix for terminal
+// consumption: the detection-latency distribution and the streamed
+// honest-session overhead per workload.
+func StreamBenchTable(rs []StreamBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Streaming attestation: slices-to-detect and honest-session overhead\n")
+	fmt.Fprintf(&b, "%-12s %7s %7s %10s %10s %6s %14s %14s %10s\n",
+		"app", "slices", "trials", "p50 detect", "p99 detect", "seal", "batch ns/op", "stream ns/op", "overhead")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-12s %7d %7d %10.0f %10.0f %6d %14d %14d %9.1f%%\n",
+			r.App, r.Slices, r.Trials, r.P50SlicesToDetect, r.P99SlicesToDetect,
+			r.SealDetections, r.BatchNsPerOp, r.StreamNsPerOp, r.RegressionPct)
+	}
+	return b.String()
+}

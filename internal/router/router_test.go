@@ -38,6 +38,12 @@ import (
 
 const routerChaosSeed = 0xF1EE7C4A
 
+// attestAs runs one batch attestation session announcing a device
+// identity, through the unified client API (remote.Client).
+func attestAs(ep *remote.ProverEndpoint, conn io.ReadWriter, app, device string) (remote.GatewayVerdict, error) {
+	return remote.NewClient(ep, remote.WithDevice(device)).Attest(conn, app)
+}
+
 type appFixture struct {
 	name string
 	link *linker.Output
@@ -164,7 +170,7 @@ func differentialCorpus(t *testing.T, serve func(net.Conn)) map[string][]string 
 		}
 		device := fmt.Sprintf("device-%05d", i)
 		rec := drive(t, serve, func(rc *recordConn) {
-			gv, err := ep.AttestToAs(rc, app, device)
+			gv, err := attestAs(ep, rc, app, device)
 			if err != nil {
 				t.Errorf("%s/%s: %v", app, device, err)
 			} else if !gv.OK {
@@ -310,7 +316,7 @@ func TestRouterDictPropagationRace(t *testing.T) {
 			f.provision(ep)
 			device := fmt.Sprintf("device-%05d", i)
 			rec := drive(t, func(c net.Conn) { _ = rt.ServeConn(c) }, func(rc *recordConn) {
-				gv, err := ep.AttestToAs(rc, "prime", device)
+				gv, err := attestAs(ep, rc, "prime", device)
 				if err != nil {
 					t.Errorf("session %d: %v", i, err)
 				} else if !gv.OK {
@@ -365,7 +371,7 @@ func TestRouterWarmCachesCrossShard(t *testing.T) {
 		ep := remote.NewProverEndpoint()
 		f.provision(ep)
 		drive(t, func(c net.Conn) { _ = rt.ServeConn(c) }, func(rc *recordConn) {
-			gv, err := ep.AttestToAs(rc, "prime", device)
+			gv, err := attestAs(ep, rc, "prime", device)
 			if err != nil {
 				t.Fatalf("%s: %v", device, err)
 			}
@@ -491,7 +497,7 @@ func TestRouterShardKillChaos(t *testing.T) {
 				return p, nil
 			})
 			dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
-			gv, rst, err := ep.AttestWithRetry("prime", dial, retryPolicy)
+			gv, rst, err := remote.NewClient(ep, remote.WithRetry(retryPolicy)).AttestDial("prime", dial)
 
 			mu.Lock()
 			defer mu.Unlock()
@@ -536,7 +542,7 @@ func TestRouterShardKillChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, aerr := ep.AttestToAs(conn, "prime", device)
+	_, aerr := attestAs(ep, conn, "prime", device)
 	conn.Close()
 	var busy *remote.BusyError
 	if !errors.As(aerr, &busy) {
@@ -552,7 +558,7 @@ func TestRouterShardKillChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gv, err := ep.AttestToAs(conn, "prime", device)
+	gv, err := attestAs(ep, conn, "prime", device)
 	conn.Close()
 	if err != nil {
 		t.Fatalf("after restart: %v", err)
@@ -598,7 +604,7 @@ func TestRouterMetricsComposite(t *testing.T) {
 	ep := remote.NewProverEndpoint()
 	f.provision(ep)
 	drive(t, func(c net.Conn) { _ = rt.ServeConn(c) }, func(rc *recordConn) {
-		if _, err := ep.AttestToAs(rc, "prime", "device-00000"); err != nil {
+		if _, err := attestAs(ep, rc, "prime", "device-00000"); err != nil {
 			t.Fatal(err)
 		}
 	})

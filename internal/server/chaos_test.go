@@ -176,7 +176,7 @@ func TestChaosMixedFaultSchedule(t *testing.T) {
 
 			inj := master.Fork(fmt.Sprintf("session-%04d", i))
 			ep, plog := chaosEndpoint(f, inj, 0, 0)
-			gv, rst, err := ep.AttestWithRetry("prime", chaosDialer(addr, inj), chaosRetry(6))
+			gv, rst, err := remote.NewClient(ep, remote.WithRetry(chaosRetry(6))).AttestDial("prime", chaosDialer(addr, inj))
 			c := inj.Counts()
 
 			mu.Lock()
@@ -277,7 +277,7 @@ func TestChaosMixedFaultSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gv, err := cleanEP.AttestTo(conn, "prime")
+	gv, err := attestApp(cleanEP, conn, "prime")
 	conn.Close()
 	if err != nil || !gv.OK {
 		t.Fatalf("post-chaos clean session: %+v, %v", gv, err)
@@ -336,7 +336,7 @@ func TestChaosWireFaultsRecoverWithRetry(t *testing.T) {
 
 			inj := master.Fork(fmt.Sprintf("wire-%04d", i))
 			ep, _ := chaosEndpoint(f, inj, 0, 0)
-			gv, rst, err := ep.AttestWithRetry("prime", chaosDialer(addr, inj), chaosRetry(10))
+			gv, rst, err := remote.NewClient(ep, remote.WithRetry(chaosRetry(10))).AttestDial("prime", chaosDialer(addr, inj))
 
 			mu.Lock()
 			defer mu.Unlock()
@@ -385,7 +385,7 @@ func TestChaosOverflowIsInconclusive(t *testing.T) {
 	for i := 0; i < sessions; i++ {
 		inj := master.Fork(fmt.Sprintf("overflow-%02d", i))
 		ep, plog := chaosEndpoint(f, inj, 256, 128) // 32-packet buffer: prime overruns it
-		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		gv, err := attestApp(ep, dial(t, addr), "prime")
 		if err != nil {
 			t.Fatalf("session %d: %v", i, err)
 		}

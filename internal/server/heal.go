@@ -1,0 +1,186 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"raptrack/internal/remote"
+	"raptrack/internal/verify"
+)
+
+// HealState is one device's position in the gateway's healing state
+// machine. Streaming sessions drive the transitions:
+//
+//	healthy ──(definitive slice alarm / sealed reject)──▶ suspect
+//	suspect ──(sealed attack verdict)──▶ quarantined
+//	suspect|quarantined ──(HEAL acknowledged)──▶ healing
+//	healing|suspect ──(sealed accepted session)──▶ healthy
+//
+// Healthy devices are not tracked at all — absence from the registry is
+// the healthy state — so the registry's size is bounded by the number of
+// currently-unhealthy devices, not the fleet.
+type HealState uint8
+
+const (
+	// HealHealthy: no unresolved alarm (untracked).
+	HealHealthy HealState = iota
+	// HealSuspect: a definitive mid-stream alarm (suspect, inconclusive,
+	// or chain-level reject slice) fired; a HEAL directive is in flight.
+	HealSuspect
+	// HealQuarantined: the sealed verdict confirmed an attack; the device
+	// stays quarantined until it acknowledges remediation.
+	HealQuarantined
+	// HealHealing: the device acknowledged its HEAL directive and is
+	// expected to remediate and re-attest; the next accepted session
+	// returns it to healthy.
+	HealHealing
+)
+
+var healStateNames = [...]string{
+	HealHealthy:     "healthy",
+	HealSuspect:     "suspect",
+	HealQuarantined: "quarantined",
+	HealHealing:     "healing",
+}
+
+func (s HealState) String() string {
+	if int(s) < len(healStateNames) {
+		return healStateNames[s]
+	}
+	return "invalid"
+}
+
+// healEntry is one tracked (unhealthy) device.
+type healEntry struct {
+	state     HealState
+	directive remote.HealDirective // last directive pushed
+	seq       uint32               // slice that triggered it
+	since     time.Time            // entering the current state
+}
+
+// healKey scopes healing state by (app, device): the same physical
+// device attesting two apps heals each independently. The NUL separator
+// cannot appear in an app name (the HELO wire format guarantees it).
+func healKey(app, device string) string { return app + "\x00" + device }
+
+// healRegistry is the gateway's per-device healing state machine. All
+// methods are safe for concurrent sessions.
+type healRegistry struct {
+	mu      sync.Mutex
+	devices map[string]*healEntry
+}
+
+func newHealRegistry() *healRegistry {
+	return &healRegistry{devices: make(map[string]*healEntry)}
+}
+
+// suspect records a definitive mid-stream alarm and the directive pushed
+// for it. A quarantined device stays quarantined (the stronger state);
+// anything else becomes suspect.
+func (h *healRegistry) suspect(key string, d remote.HealDirective, seq uint32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.devices[key]
+	if e == nil {
+		e = &healEntry{}
+		h.devices[key] = e
+	}
+	e.directive, e.seq = d, seq
+	if e.state != HealQuarantined {
+		e.state = HealSuspect
+		e.since = time.Now()
+	}
+}
+
+// quarantine records a sealed attack verdict. A device already healing
+// under the same directive keeps that state — the seal confirms the very
+// compromise the device committed to remediate, it is not new evidence
+// against the remediation.
+func (h *healRegistry) quarantine(key string, d remote.HealDirective) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.devices[key]
+	if e == nil {
+		e = &healEntry{}
+		h.devices[key] = e
+	}
+	if e.state == HealHealing && e.directive == d {
+		return
+	}
+	e.directive = d
+	e.state = HealQuarantined
+	e.since = time.Now()
+}
+
+// acked records the device's HEALACK for the directive it was pushed:
+// the device committed to remediate, so it moves to healing. An ack for
+// a directive the registry never pushed (replay, confusion) is ignored.
+func (h *healRegistry) acked(key string, d remote.HealDirective) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.devices[key]
+	if e == nil || e.directive != d {
+		return false
+	}
+	e.state = HealHealing
+	e.since = time.Now()
+	return true
+}
+
+// accepted records a sealed accepted session: whatever the device's
+// prior state, fresh authenticated evidence of a benign run returns it
+// to healthy (untracked).
+func (h *healRegistry) accepted(key string) {
+	h.mu.Lock()
+	delete(h.devices, key)
+	h.mu.Unlock()
+}
+
+// state reports the device's current state (healthy when untracked).
+func (h *healRegistry) state(key string) HealState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e := h.devices[key]; e != nil {
+		return e.state
+	}
+	return HealHealthy
+}
+
+// counts sizes the registry by state (healthy is omitted: untracked).
+func (h *healRegistry) counts() map[HealState]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := make(map[HealState]int, 3)
+	for _, e := range h.devices {
+		c[e.state]++
+	}
+	return c
+}
+
+// healDirectiveForSlice maps a definitive slice alarm to the directive
+// pushed mid-run: attested trace loss asks for a fresh session, a
+// firmware-measurement mismatch for re-provisioning, and everything else
+// (chain violations, no-benign-derivation alarms) for quarantine.
+func healDirectiveForSlice(sv verify.SliceVerdict) remote.HealDirective {
+	switch {
+	case sv.Status == verify.SliceInconclusive:
+		return remote.HealReattest
+	case sv.Code == verify.ReasonHMemMismatch:
+		return remote.HealReprovision
+	default:
+		return remote.HealQuarantine
+	}
+}
+
+// healDirectiveForVerdict maps a sealed non-OK verdict to a directive,
+// for sessions whose first definitive judgment only lands at Seal.
+func healDirectiveForVerdict(code verify.ReasonCode) remote.HealDirective {
+	switch code {
+	case verify.ReasonHMemMismatch, verify.ReasonBadImage:
+		return remote.HealReprovision
+	case verify.ReasonInconclusive:
+		return remote.HealReattest
+	default:
+		return remote.HealQuarantine
+	}
+}

@@ -43,7 +43,7 @@ func TestGatewayJournalsEveryVerdict(t *testing.T) {
 	g, addr, ep := startGateway(t, []server.Option{server.WithJournal(j)}, "prime")
 	const sessions = 6
 	for i := 0; i < sessions; i++ {
-		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		gv, err := attestApp(ep, dial(t, addr), "prime")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func TestGatewayJournalFsyncStormNeverFailsSessions(t *testing.T) {
 	const sessions = 8
 	for i := 0; i < sessions; i++ {
 		// The journal's disk is on fire; devices must not notice.
-		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		gv, err := attestApp(ep, dial(t, addr), "prime")
 		if err != nil {
 			t.Fatalf("session %d failed during fsync storm: %v", i, err)
 		}

@@ -21,7 +21,7 @@ var stageBounds = []float64{0.0001, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
 var verifyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
 
 // frameNames maps remote frame type bytes to metric label values.
-var frameNames = [8]string{
+var frameNames = [11]string{
 	remote.FrameChal:    "chal",
 	remote.FrameRprt:    "rprt",
 	remote.FrameFail:    "fail",
@@ -29,6 +29,9 @@ var frameNames = [8]string{
 	remote.FrameBusy:    "busy",
 	remote.FrameVerdict: "vrdt",
 	remote.FrameDict:    "dict",
+	remote.FrameSlice:   "slice",
+	remote.FrameHeal:    "heal",
+	remote.FrameHealAck: "healack",
 }
 
 // phase indices into gatewayMetrics.phase.
@@ -66,6 +69,15 @@ type gatewayMetrics struct {
 	verifySeconds *obs.Histogram
 	phase         [numPhases]*obs.Histogram
 	stage         [obs.NumStages]*obs.Histogram
+
+	streamSessions  *obs.Counter
+	streamSlices    *obs.Counter
+	streamAlarms    [5]*obs.Counter // by verify.SliceStatus (definitive classes only)
+	streamEarlyCuts *obs.Counter
+	streamTagBreaks *obs.Counter
+	sliceSeconds    *obs.Histogram
+	healDirectives  [4]*obs.Counter // by remote.HealDirective
+	healAcks        *obs.Counter
 
 	minedSessions   *obs.Counter
 	dictPromotions  *obs.Counter
@@ -149,6 +161,43 @@ func (g *Gateway) registerMetrics() *gatewayMetrics {
 	for s := obs.Stage(0); s < obs.NumStages; s++ {
 		m.stage[s] = stages.With(s.String())
 	}
+
+	m.streamSessions = r.Counter("raptrack_stream_sessions_total",
+		"Sessions delivering evidence as SLICE frames (streaming attestation).")
+	m.streamSlices = r.Counter("raptrack_stream_slices_total",
+		"Evidence slices fed through streaming verification.")
+	alarms := r.CounterVec("raptrack_stream_alarms_total",
+		"Definitive non-OK slice judgments raised mid-stream, by class.", "class")
+	for _, st := range []verify.SliceStatus{verify.SliceInconclusive, verify.SliceSuspect, verify.SliceReject} {
+		m.streamAlarms[st] = alarms.With(st.String())
+	}
+	m.streamEarlyCuts = r.Counter("raptrack_stream_early_cuts_total",
+		"Streaming sessions sealed before their final slice (chain-level rejects).")
+	m.streamTagBreaks = r.Counter("raptrack_stream_tag_breaks_total",
+		"SLICE frames whose running authentication tag broke the session chain.")
+	m.sliceSeconds = r.Histogram("raptrack_stream_slice_verify_seconds",
+		"Worker-pool wall time of one slice feed (incremental auth + prefix walk).",
+		stageBounds)
+	heals := r.CounterVec("raptrack_heal_directives_total",
+		"HEAL directives pushed to devices, by directive.", "directive")
+	for d := remote.HealQuarantine; d <= remote.HealReattest; d++ {
+		m.healDirectives[d] = heals.With(d.String())
+	}
+	m.healAcks = r.Counter("raptrack_heal_acks_total",
+		"HEAL directives acknowledged by devices.")
+	r.GaugeVecFunc("raptrack_heal_devices",
+		"Devices currently tracked by the healing state machine, by state.",
+		[]string{"state"}, func() []obs.Sample {
+			counts := g.heals.counts()
+			samples := make([]obs.Sample, 0, 3)
+			for st := HealSuspect; st <= HealHealing; st++ {
+				samples = append(samples, obs.Sample{
+					Labels: []string{st.String()},
+					Value:  float64(counts[st]),
+				})
+			}
+			return samples
+		})
 
 	m.minedSessions = r.Counter("raptrack_mined_sessions_total",
 		"Accepted sessions whose evidence was mined for hot sub-paths.")

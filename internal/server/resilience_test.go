@@ -58,7 +58,7 @@ func TestFaultsVerifyPanicRecovered(t *testing.T) {
 		}, nil),
 	}, "prime")
 
-	_, err := ep.AttestTo(dial(t, addr), "prime")
+	_, err := attestApp(ep, dial(t, addr), "prime")
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("poisoned session err = %v, want a reported panic", err)
 	}
@@ -70,7 +70,7 @@ func TestFaultsVerifyPanicRecovered(t *testing.T) {
 	}
 
 	boom.Store(false)
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil || !gv.OK {
 		t.Fatalf("post-panic session: %+v, %v", gv, err)
 	}
@@ -97,7 +97,7 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 	}, "prime")
 
 	for i := 0; i < 2; i++ {
-		if _, err := ep.AttestTo(dial(t, addr), "prime"); err == nil {
+		if _, err := attestApp(ep, dial(t, addr), "prime"); err == nil {
 			t.Fatalf("session %d: poisoned verify succeeded", i)
 		}
 	}
@@ -105,7 +105,7 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 
 	// Open: the app's sessions are shed gracefully, with a hint bounded by
 	// the cooldown, and no verification work is spent on them.
-	_, err := ep.AttestTo(dial(t, addr), "prime")
+	_, err := attestApp(ep, dial(t, addr), "prime")
 	var be *remote.BusyError
 	if !errors.As(err, &be) || !errors.Is(err, remote.ErrBusy) {
 		t.Fatalf("open-breaker session err = %v, want BusyError", err)
@@ -122,7 +122,7 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 	// half-open probe, and its success closes the breaker for everyone.
 	boom.Store(false)
 	time.Sleep(cooldown + 50*time.Millisecond)
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil || !gv.OK {
 		t.Fatalf("probe session: %+v, %v", gv, err)
 	}
@@ -130,7 +130,7 @@ func TestFaultsBreakerOpensShedsRecovers(t *testing.T) {
 	if st.BreakerHalfOpens != 1 || st.VerdictOK != 1 {
 		t.Errorf("stats = %+v", st)
 	}
-	gv, err = ep.AttestTo(dial(t, addr), "prime")
+	gv, err = attestApp(ep, dial(t, addr), "prime")
 	if err != nil || !gv.OK {
 		t.Fatalf("post-close session: %+v, %v", gv, err)
 	}
@@ -153,7 +153,7 @@ func TestFaultsDictQuarantine(t *testing.T) {
 
 	const sessions = 3
 	for i := 0; i < sessions; i++ {
-		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		gv, err := attestApp(ep, dial(t, addr), "prime")
 		if err != nil || !gv.OK {
 			t.Fatalf("session %d under quarantine: %+v, %v", i, gv, err)
 		}
@@ -261,7 +261,7 @@ func TestGatewayCloseReleasesGoroutines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gv, err := ep.AttestTo(conn, "prime")
+		gv, err := attestApp(ep, conn, "prime")
 		conn.Close()
 		if err != nil || !gv.OK {
 			t.Fatalf("session %d: %+v, %v", i, gv, err)

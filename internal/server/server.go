@@ -4,7 +4,7 @@
 // fleet-auditing deployment that CFA papers (TRACES, ACFA) frame and that
 // a single blocking RequestAttestation cannot serve.
 //
-// Session flow (device side speaks remote.AttestTo):
+// Session flow (device side speaks remote.Client.Attest):
 //
 //	device  -> HELO v|app      announce protocol version + provisioned app
 //	gateway -> [DICT] CHAL     live SpecCFA dictionary (when non-empty),
@@ -115,6 +115,16 @@ type verifyJob struct {
 	dictVersion uint64              // snapshot version (journal attribution)
 	aut         *verify.Automaton   // machine compiled for dict (nil: interpreter)
 	resp        chan verifyResult   // buffered(1): workers never block on delivery
+
+	// exec, when set, replaces the default whole-evidence verification on
+	// the worker (streaming sessions enqueue slice feeds and the seal this
+	// way); it runs under the same panic guard and VerifyHook.
+	exec func() verifyResult
+	// finalize marks a job whose result is a session's authoritative
+	// verdict: it gets the verify histograms, decode classification,
+	// breaker record, journal commit, and mining treatment. Slice-feed
+	// jobs are not finalize — only their session's seal is.
+	finalize bool
 }
 
 type verifyResult struct {
@@ -136,6 +146,7 @@ type Gateway struct {
 
 	slots chan struct{} // session slot semaphore (cap MaxSessions)
 	jobs  chan verifyJob
+	heals *healRegistry // per-device healing state machine (streaming)
 
 	// dictBus, when set, receives mined dictionary promotions for
 	// fleet-wide distribution instead of local installation (SetDictBus).
@@ -194,6 +205,7 @@ func newGateway(s settings) *Gateway {
 		apps:  make(map[string]*appState),
 		slots: make(chan struct{}, cfg.MaxSessions),
 		jobs:  make(chan verifyJob, cfg.VerifyQueue),
+		heals: newHealRegistry(),
 	}
 	g.m = g.registerMetrics()
 	g.workers.Add(cfg.VerifyWorkers)
@@ -602,12 +614,23 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 	if err := g.writeFrame(tc, remote.FrameChal, chal.Encode()); err != nil {
 		return fmt.Errorf("server: sending challenge: %w", err)
 	}
-	reports, err := remote.CollectReports(tc)
+	// The first evidence frame decides the session's delivery mode: a
+	// SLICE frame opens a streaming session (slice-by-slice verification
+	// with mid-run HEAL directives), anything else is the batch report
+	// stream.
+	typ, payload, err = g.readFrame(tc)
+	if err != nil {
+		return fmt.Errorf("server: reading evidence: %w", truncated(err))
+	}
+	if typ == remote.FrameSlice {
+		sent, err := g.streamSession(tc, tr, st, device, chal, ds, deadline, payload, stageStart)
+		enqueued = sent
+		return err
+	}
+	reports, err := g.collectReports(tc, typ, payload)
 	if err != nil {
 		return err
 	}
-	// CollectReports reads its frames internally: one RPRT per report.
-	g.m.framesIn[remote.FrameRprt].Add(uint64(len(reports)))
 	g.span(tr, obs.StageCollect, -1, time.Since(stageStart))
 
 	verifyOffset := time.Since(tr.Began)
@@ -626,6 +649,17 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 		g.span(tr, obs.StageExpand, verifyOffset+tm.Auth, tm.Expand)
 	}
 
+	// Fresh authenticated evidence of a benign run resolves any healing
+	// state the device carried, whichever delivery mode it re-attested by.
+	if verdict.OK {
+		g.heals.accepted(healKey(app, device))
+	}
+	return g.deliverVerdict(tc, tr, verdict)
+}
+
+// deliverVerdict counts the verdict class, writes the VRDT frame, and
+// finishes the trace — the shared tail of batch and streaming sessions.
+func (g *Gateway) deliverVerdict(tc *timedConn, tr *obs.Trace, verdict *verify.Verdict) error {
 	switch {
 	case verdict.OK:
 		g.m.verdictOK.Inc()
@@ -640,7 +674,7 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 			g.m.rejections[verdict.Code].Inc()
 		}
 	}
-	stageStart = time.Now()
+	stageStart := time.Now()
 	if err := g.writeFrame(tc, remote.FrameVerdict, remote.EncodeVerdict(verdict.OK, verdict.Code, verdict.Detail)); err != nil {
 		return fmt.Errorf("server: sending verdict: %w", err)
 	}
@@ -660,24 +694,36 @@ func (g *Gateway) session(tc *timedConn, deadline time.Time, tr *obs.Trace) erro
 // app's circuit breaker exactly once, even if this session stops waiting).
 func (g *Gateway) verify(st *appState, device string, chal attest.Challenge, reports []*attest.Report, ds *dictState, deadline time.Time) (vd *verify.Verdict, enqueued bool, err error) {
 	job := verifyJob{app: st, device: device, chal: chal, reports: reports,
-		dict: ds.dict, dictVersion: ds.version, aut: ds.aut, resp: make(chan verifyResult, 1)}
+		dict: ds.dict, dictVersion: ds.version, aut: ds.aut,
+		finalize: true, resp: make(chan verifyResult, 1)}
+	r, enqueued, err := g.enqueue(job, deadline)
+	if err != nil {
+		return nil, enqueued, err
+	}
+	if r.err != nil {
+		return nil, true, fmt.Errorf("server: malformed or inauthentic evidence: %w", r.err)
+	}
+	return r.verdict, true, nil
+}
+
+// enqueue hands one job to the worker pool and waits for its result, but
+// never past the session deadline. enqueued reports whether the job
+// reached the pool even when the wait itself times out.
+func (g *Gateway) enqueue(job verifyJob, deadline time.Time) (res verifyResult, enqueued bool, err error) {
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case g.jobs <- job:
 	case <-timer.C:
-		return nil, false, errors.New("server: verification queue full past session deadline")
+		return verifyResult{}, false, errors.New("server: verification queue full past session deadline")
 	}
 	select {
 	case r := <-job.resp:
-		if r.err != nil {
-			return nil, true, fmt.Errorf("server: malformed or inauthentic evidence: %w", r.err)
-		}
-		return r.verdict, true, nil
+		return r, true, nil
 	case <-timer.C:
 		// The worker finishes and delivers into the buffered channel;
 		// only this session stops waiting.
-		return nil, true, errors.New("server: verification exceeded session deadline")
+		return verifyResult{}, true, errors.New("server: verification exceeded session deadline")
 	}
 }
 
@@ -691,8 +737,9 @@ func (g *Gateway) worker() {
 // runJob verifies one session's evidence on a worker goroutine. A panic
 // out of the verifier (or an injected VerifyHook fault) is recovered into
 // an ordinary verify error: one poisoned session must not take down a
-// pool worker and with it the gateway's verification capacity. Every job
-// is delivered and breaker-recorded exactly once.
+// pool worker and with it the gateway's verification capacity. Every
+// finalize job is delivered and breaker-recorded exactly once; slice-feed
+// jobs are delivered only (their session's seal job does the recording).
 func (g *Gateway) runJob(job verifyJob) {
 	start := time.Now()
 	var res verifyResult
@@ -706,8 +753,21 @@ func (g *Gateway) runJob(job verifyJob) {
 		if h := g.cfg.VerifyHook; h != nil {
 			h(job.app.name)
 		}
-		res.verdict, res.err = job.app.verifier.VerifyWithAutomaton(job.chal, job.reports, job.dict, job.aut)
+		if job.exec != nil {
+			res = job.exec()
+		} else {
+			res.verdict, res.err = job.app.verifier.VerifyWithAutomaton(job.chal, job.reports, job.dict, job.aut)
+		}
 	}()
+	// A non-finalize job is one slice feed of a streaming session: its
+	// result is advisory, so it gets the slice histogram and delivery,
+	// nothing else — the session's seal job carries the authoritative
+	// verdict through the full accounting below.
+	if !job.finalize {
+		g.m.sliceSeconds.ObserveDuration(time.Since(start))
+		job.resp <- res
+		return
+	}
 	g.m.verifySeconds.ObserveDuration(time.Since(start))
 	// Decode-failure classification: malformed evidence surfaces as a
 	// typed pipeline error, attested capture loss as an Inconclusive
@@ -825,7 +885,8 @@ func (g *Gateway) mineCandidate(st *appState, mined *speccfa.Dictionary, vd *ver
 
 // ObserveProverRetries folds prover-side retry counts into the gateway
 // registry — deployments (and the serve selftest) report how many extra
-// attempts their AttestWithRetry loops spent reaching a verdict.
+// attempts their client retry loops (remote.Client.AttestDial) spent
+// reaching a verdict.
 func (g *Gateway) ObserveProverRetries(n uint64) {
 	if n > 0 {
 		g.m.proverRetries.Add(n)

@@ -6,6 +6,7 @@ package server_test
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -96,6 +97,12 @@ func startGateway(t *testing.T, opts []server.Option, names ...string) (*server.
 	return g, ln.Addr().String(), ep
 }
 
+// attest runs one batch attestation session through the unified client
+// API (remote.Client).
+func attestApp(ep *remote.ProverEndpoint, conn io.ReadWriter, app string) (remote.GatewayVerdict, error) {
+	return remote.NewClient(ep).Attest(conn, app)
+}
+
 func dial(t *testing.T, addr string) net.Conn {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
@@ -124,7 +131,7 @@ func waitStats(t *testing.T, g *server.Gateway, pred func(server.Stats) bool) se
 
 func TestGatewayRoundTrip(t *testing.T) {
 	g, addr, ep := startGateway(t, nil, "prime")
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +149,7 @@ func TestGatewayRoundTrip(t *testing.T) {
 
 func TestGatewayUnknownApp(t *testing.T) {
 	g, addr, ep := startGateway(t, nil, "prime")
-	_, err := ep.AttestTo(dial(t, addr), "nonexistent")
+	_, err := attestApp(ep, dial(t, addr), "nonexistent")
 	if err == nil || !strings.Contains(err.Error(), "unknown application") {
 		t.Fatalf("err = %v", err)
 	}
@@ -171,7 +178,7 @@ func TestGatewayDetectsMismatchedImage(t *testing.T) {
 		return core.NewProver(otherLink, f.key, core.ProverConfig{SetupMem: f.app.SetupMem()})
 	})
 
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +210,7 @@ func TestGatewayShedsAtCapacity(t *testing.T) {
 	}
 
 	// Shed: the gateway is provably inside the holder's session now.
-	_, err := ep.AttestTo(dial(t, addr), "prime")
+	_, err := attestApp(ep, dial(t, addr), "prime")
 	if !errors.Is(err, remote.ErrBusy) {
 		t.Fatalf("errors.Is(err, remote.ErrBusy) = false; err = %v", err)
 	}
@@ -216,7 +223,7 @@ func TestGatewayShedsAtCapacity(t *testing.T) {
 	// nothing wedged).
 	holder.Close()
 	waitStats(t, g, func(s server.Stats) bool { return s.ActiveSessions == 0 })
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil || !gv.OK {
 		t.Fatalf("post-shed session: %+v, %v", gv, err)
 	}
@@ -250,7 +257,7 @@ func TestGatewayStalledClientTimesOut(t *testing.T) {
 	}
 
 	// The sole slot must be available again.
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil || !gv.OK {
 		t.Fatalf("post-stall session: %+v, %v", gv, err)
 	}
@@ -317,7 +324,7 @@ func TestGatewayServeAfterCloseFails(t *testing.T) {
 
 func TestStatsString(t *testing.T) {
 	g, addr, ep := startGateway(t, nil, "prime")
-	if _, err := ep.AttestTo(dial(t, addr), "prime"); err != nil {
+	if _, err := attestApp(ep, dial(t, addr), "prime"); err != nil {
 		t.Fatal(err)
 	}
 	st := waitStats(t, g, func(s server.Stats) bool { return s.Verifications == 1 })
@@ -358,7 +365,7 @@ func TestGatewayBackpressureQueue(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			gv, err := ep.AttestTo(conn, "prime")
+			gv, err := attestApp(ep, conn, "prime")
 			if err != nil {
 				errs <- err
 				return
@@ -388,7 +395,7 @@ func TestGatewayFastPath(t *testing.T) {
 
 	const sessions = 4
 	for i := 0; i < sessions; i++ {
-		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		gv, err := attestApp(ep, dial(t, addr), "prime")
 		if err != nil {
 			t.Fatalf("session %d: %v", i, err)
 		}
@@ -417,7 +424,7 @@ func TestGatewayFastPath(t *testing.T) {
 func TestGatewayFastPathDisabled(t *testing.T) {
 	g, addr, ep := startGateway(t, []server.Option{server.WithCache(-1), server.WithMining(-1, 0, 0)}, "prime")
 	for i := 0; i < 2; i++ {
-		gv, err := ep.AttestTo(dial(t, addr), "prime")
+		gv, err := attestApp(ep, dial(t, addr), "prime")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -451,7 +458,7 @@ func TestGatewayRejectionBuckets(t *testing.T) {
 		return core.NewProver(otherLink, f.key, core.ProverConfig{SetupMem: f.app.SetupMem()})
 	})
 
-	gv, err := ep.AttestTo(dial(t, addr), "prime")
+	gv, err := attestApp(ep, dial(t, addr), "prime")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,15 @@ type Stats struct {
 	AutomatonRescues   uint64
 	AutomatonCompiles  uint64 // table compilations, incl. DICT-bump rebinds
 
+	// Streaming attestation (SLICE delivery) and device healing.
+	StreamSessions  uint64 // sessions delivering evidence as SLICE frames
+	StreamSlices    uint64 // slices fed through streaming verification
+	StreamAlarms    uint64 // definitive mid-stream alarms (all classes)
+	StreamEarlyCuts uint64 // streamed sessions sealed before their final slice
+	StreamTagBreaks uint64 // slices whose running auth tag broke the chain
+	HealDirectives  uint64 // HEAL directives pushed to devices
+	HealAcks        uint64 // HEAL directives acknowledged
+
 	// Resilience instrumentation.
 	PanicsRecovered  uint64 // session/worker panics caught and converted to errors
 	BreakerOpens     uint64 // circuit-breaker closed/half-open -> open transitions
@@ -107,6 +116,12 @@ func (g *Gateway) Snapshot() Stats {
 		DictQuarantines: m.dictQuarantines.Value(),
 		DictPaths:       g.dictPaths(),
 
+		StreamSessions:  m.streamSessions.Value(),
+		StreamSlices:    m.streamSlices.Value(),
+		StreamEarlyCuts: m.streamEarlyCuts.Value(),
+		StreamTagBreaks: m.streamTagBreaks.Value(),
+		HealAcks:        m.healAcks.Value(),
+
 		PanicsRecovered:  m.panicsRecovered.Value(),
 		BreakerOpens:     m.breakerOpens.Value(),
 		BreakerHalfOpens: m.breakerHalfOpens.Value(),
@@ -116,6 +131,16 @@ func (g *Gateway) Snapshot() Stats {
 	}
 	for i := range s.Rejections {
 		s.Rejections[i] = m.rejections[i].Value()
+	}
+	for _, c := range m.streamAlarms {
+		if c != nil {
+			s.StreamAlarms += c.Value()
+		}
+	}
+	for _, c := range m.healDirectives {
+		if c != nil {
+			s.HealDirectives += c.Value()
+		}
 	}
 	hs := m.verifySeconds.Snapshot()
 	s.Verifications = hs.Count
@@ -185,6 +210,13 @@ func MergeStats(ss ...Stats) Stats {
 		out.AutomatonFallbacks += s.AutomatonFallbacks
 		out.AutomatonRescues += s.AutomatonRescues
 		out.AutomatonCompiles += s.AutomatonCompiles
+		out.StreamSessions += s.StreamSessions
+		out.StreamSlices += s.StreamSlices
+		out.StreamAlarms += s.StreamAlarms
+		out.StreamEarlyCuts += s.StreamEarlyCuts
+		out.StreamTagBreaks += s.StreamTagBreaks
+		out.HealDirectives += s.HealDirectives
+		out.HealAcks += s.HealAcks
 		out.PanicsRecovered += s.PanicsRecovered
 		out.BreakerOpens += s.BreakerOpens
 		out.BreakerHalfOpens += s.BreakerHalfOpens
@@ -253,6 +285,10 @@ func (s Stats) String() string {
 		s.MinedSessions, s.DictPromotions, s.DictPaths, s.DictQuarantines)
 	fmt.Fprintf(&b, "automaton:     %d decodes (%d accepts, %d no-path, %d fallbacks, %d rescued), %d compiles\n",
 		s.AutomatonDecodes, s.AutomatonAccepts, s.AutomatonNoPaths, s.AutomatonFallbacks, s.AutomatonRescues, s.AutomatonCompiles)
+	if s.StreamSessions > 0 {
+		fmt.Fprintf(&b, "streaming:     %d sessions, %d slices, %d alarms, %d early cuts, %d tag breaks, heal %d pushed/%d acked\n",
+			s.StreamSessions, s.StreamSlices, s.StreamAlarms, s.StreamEarlyCuts, s.StreamTagBreaks, s.HealDirectives, s.HealAcks)
+	}
 	fmt.Fprintf(&b, "resilience:    %d panics recovered, breaker %d opens/%d probes/%d closes/%d sheds, %d prover retries\n",
 		s.PanicsRecovered, s.BreakerOpens, s.BreakerHalfOpens, s.BreakerCloses, s.BreakerSheds, s.ProverRetries)
 	return b.String()

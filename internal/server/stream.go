@@ -1,0 +1,292 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"raptrack/internal/attest"
+	"raptrack/internal/obs"
+	"raptrack/internal/remote"
+	"raptrack/internal/verify"
+)
+
+// This file is the gateway side of streaming attestation (ACFA-style
+// slice delivery): evidence arrives as SLICE frames and is verified
+// slice-by-slice on the worker pool through a verify.Session, so a
+// compromise is detected within a bounded number of slices instead of at
+// end-of-run, and the gateway can push a HEAL directive at the prover
+// while its workload is still executing. The sealed verdict is
+// bit-identical to the batch path (Session.Seal IS the whole-chain
+// verification), and the sealed session is journaled over the exact
+// report chain fed on the wire, so `raptrack replay` re-verifies sliced
+// sessions exactly as batch ones.
+
+// truncated maps a premature end-of-stream onto the
+// remote.ErrSessionTruncated sentinel (mirroring the remote package's
+// own mapping) so operators can classify mid-evidence hangups.
+func truncated(err error) error {
+	if errors.Is(err, remote.ErrSessionTruncated) {
+		return err
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return fmt.Errorf("%w (%v)", remote.ErrSessionTruncated, err)
+	}
+	return err
+}
+
+// collectReports drains a batch report stream whose first frame is
+// already in hand (session reads it to dispatch on the delivery mode),
+// counting every subsequent frame through g.readFrame.
+func (g *Gateway) collectReports(tc *timedConn, typ byte, payload []byte) ([]*attest.Report, error) {
+	var reports []*attest.Report
+	for {
+		switch typ {
+		case remote.FrameRprt:
+			rp, err := attest.DecodeReport(payload)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, rp)
+			if rp.Final {
+				return reports, nil
+			}
+		case remote.FrameFail:
+			return nil, &remote.PeerFailError{Context: "prover reported failure", Msg: string(payload)}
+		default:
+			return nil, fmt.Errorf("server: unexpected frame type %d in report stream", typ)
+		}
+		var err error
+		typ, payload, err = g.readFrame(tc)
+		if err != nil {
+			return nil, fmt.Errorf("server: reading report stream: %w", truncated(err))
+		}
+	}
+}
+
+// pushHeal writes one HEAL directive frame and counts it; a false return
+// means the device never saw the directive (dead transport).
+func (g *Gateway) pushHeal(tc *timedConn, d remote.HealDirective, seq uint32, detail string) bool {
+	h := remote.Heal{Directive: d, Seq: seq, Detail: detail}
+	if g.writeFrame(tc, remote.FrameHeal, remote.EncodeHeal(h)) != nil {
+		return false
+	}
+	g.m.healDirectives[d].Inc()
+	return true
+}
+
+// feedSlice runs one Session.Feed on the worker pool, so the CPU-heavy
+// incremental work (chain HMAC, prefix walk) respects the same
+// backpressure as whole-chain verification. The session goroutine waits
+// for each feed before reading the next slice, so the single-use Session
+// never sees concurrent use (the resp channel orders the worker handoffs).
+func (g *Gateway) feedSlice(st *appState, sess *verify.Session, device string, chal attest.Challenge, ds *dictState, rep *attest.Report, deadline time.Time) (verify.SliceVerdict, error) {
+	var sv verify.SliceVerdict
+	job := verifyJob{app: st, device: device, chal: chal,
+		dict: ds.dict, dictVersion: ds.version, aut: ds.aut,
+		resp: make(chan verifyResult, 1),
+		exec: func() verifyResult {
+			sv = sess.Feed(rep)
+			return verifyResult{}
+		}}
+	r, _, err := g.enqueue(job, deadline)
+	if err == nil && r.err != nil {
+		err = fmt.Errorf("server: slice verification: %w", r.err)
+	}
+	return sv, err
+}
+
+// streamSession speaks the streaming leg of one session: the challenge
+// is already out and the first SLICE frame (first) already read. It
+// validates each slice's transport integrity (sequence order, running
+// tag chain, final-flag consistency), feeds it through the session's
+// resumable verifier on the worker pool, pushes a HEAL directive on the
+// first definitive alarm, and seals — early on a chain-level reject,
+// at the final slice otherwise. Returns whether the seal job reached the
+// pool (the breaker-probe contract verify() has on the batch path).
+func (g *Gateway) streamSession(tc *timedConn, tr *obs.Trace, st *appState, device string, chal attest.Challenge, ds *dictState, deadline time.Time, first []byte, collectStart time.Time) (enqueued bool, err error) {
+	g.m.streamSessions.Inc()
+	key := healKey(st.name, device)
+	sess := st.verifier.Begin(chal,
+		verify.SessionDictionary(ds.dict), verify.SessionAutomaton(ds.aut))
+
+	var (
+		// fed retains every report decoded from the wire — including one
+		// the chain rejects (Session.Reports drops it, but replay must
+		// re-feed the exact wire chain to reproduce the sealed outcome
+		// bit-for-bit).
+		fed     []*attest.Report
+		tag     = remote.SliceTagInit(chal.Nonce)
+		nextSeq uint32
+		lastSeq uint32
+		healed  bool   // a HEAL directive reached the transport
+		healSeq uint32 // slice it was pushed for
+		acked   bool
+		alarmed bool // first definitive alarm already counted
+		cut     bool // sealing before the final slice
+	)
+	handleAck := func(payload []byte) {
+		h, err := remote.DecodeHealAck(payload)
+		if err != nil || !healed || h.Seq != healSeq {
+			return
+		}
+		if g.heals.acked(key, h.Directive) {
+			acked = true
+			g.m.healAcks.Inc()
+		}
+	}
+
+	typ, payload := remote.FrameSlice, first
+collect:
+	for {
+		switch typ {
+		case remote.FrameHealAck:
+			handleAck(payload)
+		case remote.FrameFail:
+			return enqueued, &remote.PeerFailError{Context: "prover reported failure", Msg: string(payload)}
+		case remote.FrameSlice:
+			sl, err := remote.DecodeSlice(payload)
+			if err != nil {
+				_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
+				return enqueued, err
+			}
+			if sl.Seq != nextSeq {
+				_ = g.writeFrame(tc, remote.FrameFail, []byte("slice out of order"))
+				return enqueued, fmt.Errorf("server: slice %d out of order (want %d)", sl.Seq, nextSeq)
+			}
+			rep, err := attest.DecodeReport(sl.Report)
+			if err != nil {
+				_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
+				return enqueued, err
+			}
+			// The running tag chain binds slice order and count to the
+			// session nonce at the frame layer: a middle box dropping,
+			// duplicating, or reordering slices breaks it before any
+			// report cryptography runs.
+			tag = remote.SliceTagNext(tag, rep.Auth)
+			if sl.Tag != tag {
+				g.m.streamTagBreaks.Inc()
+				_ = g.writeFrame(tc, remote.FrameFail, []byte("slice tag chain broken"))
+				return enqueued, fmt.Errorf("server: slice %d: authentication tag chain broken", sl.Seq)
+			}
+			if sl.Final != rep.Final {
+				_ = g.writeFrame(tc, remote.FrameFail, []byte("slice final flag disagrees with report"))
+				return enqueued, fmt.Errorf("server: slice %d: final flag disagrees with report", sl.Seq)
+			}
+			nextSeq++
+			lastSeq = sl.Seq
+			g.m.streamSlices.Inc()
+			fed = append(fed, rep)
+			sv, ferr := g.feedSlice(st, sess, device, chal, ds, rep, deadline)
+			if ferr != nil {
+				_ = g.writeFrame(tc, remote.FrameFail, []byte(ferr.Error()))
+				return enqueued, ferr
+			}
+			if sv.Status.Definitive() && !alarmed {
+				alarmed = true
+				g.m.streamAlarms[sv.Status].Inc()
+				d := healDirectiveForSlice(sv)
+				g.heals.suspect(key, d, sl.Seq)
+				if g.pushHeal(tc, d, sl.Seq, sv.Detail) {
+					healed, healSeq = true, sl.Seq
+				}
+				// A chain-level reject is exact and final: no later slice
+				// can change the sealed outcome, so stop reading and seal
+				// now. Advisory alarms (suspect, inconclusive, H_MEM) keep
+				// collecting — Seal renders the authoritative code and
+				// detail over the complete chain, exactly as batch would.
+				if sv.Status == verify.SliceReject && sv.Code == verify.ReasonNone {
+					cut = true
+					g.m.streamEarlyCuts.Inc()
+				}
+			}
+			if sl.Final || cut {
+				break collect
+			}
+		default:
+			_ = g.writeFrame(tc, remote.FrameFail, []byte("unexpected frame in slice stream"))
+			return enqueued, fmt.Errorf("server: unexpected frame type %d in slice stream", typ)
+		}
+		typ, payload, err = g.readFrame(tc)
+		if err != nil {
+			return enqueued, fmt.Errorf("server: reading slice stream: %w", truncated(err))
+		}
+	}
+	g.span(tr, obs.StageCollect, -1, time.Since(collectStart))
+
+	// Seal on the worker pool as the session's finalize job: it carries
+	// the full verify accounting (histograms, breaker, journal, mining),
+	// and journals over the wire-fed chain so replay is bit-identical.
+	verifyOffset := time.Since(tr.Began)
+	stageStart := time.Now()
+	job := verifyJob{app: st, device: device, chal: chal, reports: fed,
+		dict: ds.dict, dictVersion: ds.version, aut: ds.aut,
+		finalize: true, resp: make(chan verifyResult, 1),
+		exec: func() verifyResult {
+			vd, err := sess.Seal()
+			return verifyResult{verdict: vd, err: err}
+		}}
+	r, sent, err := g.enqueue(job, deadline)
+	enqueued = sent
+	if err == nil && r.err != nil {
+		err = fmt.Errorf("server: malformed or inauthentic evidence: %w", r.err)
+	}
+	if err != nil {
+		_ = g.writeFrame(tc, remote.FrameFail, []byte(err.Error()))
+		return enqueued, err
+	}
+	verdict := r.verdict
+	g.span(tr, obs.StageVerify, -1, time.Since(stageStart))
+	if tm := verdict.Timing; tm.Expand > 0 {
+		g.span(tr, obs.StageExpand, verifyOffset+tm.Auth, tm.Expand)
+	}
+
+	// Healing transitions from the sealed authoritative verdict. A HEAL
+	// for a session whose first definitive judgment only lands at Seal
+	// (per-slice checking unavailable) goes out here, before the verdict,
+	// so the device always hears the directive before the summary.
+	switch {
+	case verdict.OK:
+		g.heals.accepted(key)
+	case verdict.Code == verify.ReasonInconclusive:
+		if !healed {
+			g.heals.suspect(key, remote.HealReattest, lastSeq)
+			if g.pushHeal(tc, remote.HealReattest, lastSeq, verdict.Detail) {
+				healed, healSeq = true, lastSeq
+			}
+		}
+	default:
+		d := healDirectiveForVerdict(verdict.Code)
+		if !healed {
+			if g.pushHeal(tc, d, lastSeq, verdict.Detail) {
+				healed, healSeq = true, lastSeq
+			}
+		}
+		g.heals.quarantine(key, d)
+	}
+
+	if err := g.deliverVerdict(tc, tr, verdict); err != nil {
+		return enqueued, err
+	}
+	// The device may still owe a HEALACK (for a directive pushed with the
+	// last slices or alongside the verdict). Drain a bounded number of
+	// frames so the ack lands in the healing registry before the session
+	// closes; a device that just hangs up ends the drain immediately.
+	for i := 0; i < 4 && healed && !acked; i++ {
+		typ, payload, err := g.readFrame(tc)
+		if err != nil {
+			break
+		}
+		if typ == remote.FrameHealAck {
+			handleAck(payload)
+		}
+	}
+	return enqueued, nil
+}
+
+// HealState reports the healing state machine's view of one (app,
+// device) pair — healthy when the device has no unresolved alarm.
+func (g *Gateway) HealState(app, device string) HealState {
+	return g.heals.state(healKey(app, device))
+}

@@ -70,7 +70,7 @@ func TestGatewayStressConcurrent(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			gv, err := tk.ep.AttestTo(conn, tk.app)
+			gv, err := attestApp(tk.ep, conn, tk.app)
 			switch {
 			case tk.wantErr != "":
 				if err == nil || !strings.Contains(err.Error(), tk.wantErr) {
@@ -122,7 +122,7 @@ func TestGatewayStressConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	gv, err := ep.AttestTo(conn, "prime")
+	gv, err := attestApp(ep, conn, "prime")
 	if err != nil || !gv.OK {
 		t.Fatalf("post-stress session: %+v, %v", gv, err)
 	}
@@ -212,7 +212,7 @@ func TestGatewayMetricsScrapeUnderLoad(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			gv, err := tep.AttestTo(conn, app)
+			gv, err := attestApp(tep, conn, app)
 			switch {
 			case wantErr != "":
 				if err == nil || !strings.Contains(err.Error(), wantErr) {

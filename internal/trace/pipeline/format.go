@@ -181,6 +181,31 @@ func DecodeMTB(b []byte) ([]trace.Packet, *Error) {
 	return Packets(recs), nil
 }
 
+// AppendMTB decodes an MTB chunk directly onto dst, skipping the record
+// intermediate — the per-slice hot path of a streaming verifier, where a
+// fresh allocation per slice would dominate the decode itself. The chunk
+// must be whole packets; a trailing fragment yields the same error
+// DecodeMTB reports, with offsets relative to the chunk.
+func AppendMTB(dst []trace.Packet, b []byte) ([]trace.Packet, *Error) {
+	n := len(b) / trace.PacketSize
+	for i := 0; i < n; i++ {
+		off := i * trace.PacketSize
+		dst = append(dst, trace.Packet{
+			Src: binary.LittleEndian.Uint32(b[off:]),
+			Dst: binary.LittleEndian.Uint32(b[off+4:]),
+		})
+	}
+	switch rem := len(b) % trace.PacketSize; {
+	case rem%4 != 0:
+		return dst, errf(Misaligned, FormatMTB, len(b)-rem%4,
+			"%d stray byte(s) below word granularity", rem%4)
+	case rem != 0:
+		return dst, errf(Truncated, FormatMTB, n*trace.PacketSize,
+			"stream ends mid-packet (source word without destination)")
+	}
+	return dst, nil
+}
+
 // EncodeTRACES serializes a TRACES destination log.
 func EncodeTRACES(words []uint32) []byte {
 	out := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+4*len(words)), uint32(len(words)))

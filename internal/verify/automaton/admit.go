@@ -1,0 +1,111 @@
+package automaton
+
+import (
+	"raptrack/internal/speccfa"
+	"raptrack/internal/trace"
+)
+
+// The admissibility index answers, per evidence packet, whether ANY row
+// of the compiled table could ever consume it. A packet no row can take
+// is a static contradiction: an accepting walk must consume the whole
+// stream, so its mere presence makes every extension of the prefix dead.
+// StreamDecoder screens each fed packet against the index, which is what
+// turns an authentic-but-fabricated edge (a compromised device signing
+// evidence of a transfer the program cannot make) into an immediate
+// StreamDead alarm instead of a whole-walk fallback — the walk's own
+// NoPath proof is usually unavailable once its checkpoint ring has
+// dropped an alternative.
+//
+// Soundness: the index over-approximates consumability. For each
+// evidence-consuming opcode it admits the union of destinations any
+// instance could match — exact static targets (opCond/opCondFwd), every
+// call-site successor plus the halt sentinel (opRet), the function-entry
+// policy set (opICall), the containing function range (opIJump), and any
+// destination at all for trip-count records (opLoopLog). Admissible
+// therefore never understates the walk; inadmissible is a proof.
+
+// admitEntry is the destination admission set for one record (source)
+// address, unioned over every row consuming that record.
+type admitEntry struct {
+	exact  map[uint32]struct{} // static taken targets
+	any    bool                // opLoopLog: destination is trip evidence
+	ret    bool                // opRet: any call-site successor / sentinel
+	entry  bool                // opICall: any function entry
+	ranges [][2]uint32         // opIJump: containing function [lo, hi)
+}
+
+// admitIndex is the dictionary-independent packet screen for one
+// compiled core, built lazily on first streaming use.
+type admitIndex struct {
+	recs     map[uint32]*admitEntry
+	retSites map[uint32]struct{}
+}
+
+func (c *core) admitIndex() *admitIndex {
+	c.admitOnce.Do(func() {
+		idx := &admitIndex{
+			recs:     make(map[uint32]*admitEntry),
+			retSites: map[uint32]struct{}{retToHaltSentinel: {}},
+		}
+		at := func(rec uint32) *admitEntry {
+			e := idx.recs[rec]
+			if e == nil {
+				e = &admitEntry{exact: make(map[uint32]struct{})}
+				idx.recs[rec] = e
+			}
+			return e
+		}
+		for i := range c.nodes {
+			n := &c.nodes[i]
+			switch n.op {
+			case opCond, opCondFwd:
+				at(n.record).exact[n.target] = struct{}{}
+			case opRet:
+				at(n.record).ret = true
+			case opICall:
+				at(n.record).entry = true
+				idx.retSites[n.next] = struct{}{}
+			case opIJump:
+				at(n.record).ranges = append(at(n.record).ranges, [2]uint32{n.lo, n.hi})
+			case opLoopLog:
+				at(n.record).any = true
+			case opCall:
+				idx.retSites[n.next] = struct{}{}
+			}
+		}
+		c.admit = idx
+	})
+	return c.admit
+}
+
+// Admissible reports whether some row of the table could consume p. In
+// marker mode (a dictionary is bound) marker-range packets are admitted
+// iff the dictionary defines their path id — their expansion is screened
+// when the expanded packets are walked, not here.
+func (m *Machine) Admissible(p trace.Packet) bool {
+	if p.Src >= speccfa.MarkerBase {
+		return m.dict.Len() > 0 && m.markers[p.Src&0xff] != nil
+	}
+	idx := m.core.admitIndex()
+	e := idx.recs[p.Src]
+	if e == nil {
+		return false
+	}
+	if e.any || e.entry && m.core.isEntry(p.Dst) {
+		return true
+	}
+	if _, ok := e.exact[p.Dst]; ok {
+		return true
+	}
+	if e.ret {
+		if _, ok := idx.retSites[p.Dst]; ok {
+			return true
+		}
+	}
+	for _, r := range e.ranges {
+		if p.Dst >= r[0] && p.Dst < r[1] {
+			return true
+		}
+	}
+	return false
+}

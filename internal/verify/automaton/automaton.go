@@ -186,6 +186,11 @@ type core struct {
 	states  int      // populated rows, for Stats
 
 	pool sync.Pool // *decodeState
+
+	// admit is the lazily built packet-admissibility screen (admit.go);
+	// dictionary recompiles share it through the shared core.
+	admitOnce sync.Once
+	admit     *admitIndex
 }
 
 // Dictionary returns the bound dictionary (nil when compiled without one).

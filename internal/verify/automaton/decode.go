@@ -18,6 +18,15 @@ const (
 	maxLiveCheckpoints = 1024
 	trailCompactMin    = 8192
 	maxExpanded        = 1 << 24 // mirrors speccfa.Decompress
+
+	// streamMaxBacktracks caps a stream-mode walk far below the batch
+	// budget. The streaming walk is advisory — a fallback only costs the
+	// per-slice walk-backed judgment (the admissibility screen keeps
+	// running, and Seal re-decodes with the full budget and the rescue
+	// pass) — so burning the whole budget on recursion-shaped evidence
+	// would buy nothing and the session would pay for the doomed walk
+	// twice: once streaming, once at Seal.
+	streamMaxBacktracks = 8
 )
 
 // Decode runs the automaton over an already-expanded packet stream.
@@ -230,6 +239,16 @@ type decodeState struct {
 	gen       uint64 // current undo-trail interval (monotonic across decodes)
 	committed bool   // ring overflow or backjump dropped an alternative
 
+	// streamMode suspends instead of deciding whenever the walk runs off
+	// the end of the evidence: the stream is a growing prefix (see
+	// StreamDecoder) and the missing packet may arrive in a later slice.
+	// pausePC/pauseEOS record where to resume — the row about to consume
+	// (row execution is idempotent up to its first consume, which is
+	// exactly where the pause fired), or the end-of-stream accept check.
+	streamMode bool
+	pausePC    uint32
+	pauseEOS   bool
+
 	pathCap                                            int
 	maxWork                                            uint64
 	work, steps, nonProd, transfers, loops, backtracks uint64
@@ -267,6 +286,9 @@ func (d *decodeState) reset(m *Machine, stream []trace.Packet, expand bool, path
 	// a fallback (the oracle was wrong), never an authoritative no-path.
 	d.committed = d.oracle != nil
 	d.oraclePos = 0
+	d.streamMode = false
+	d.pausePC = 0
+	d.pauseEOS = false
 	d.blindLow = 1
 	d.pathCap = pathCap
 	d.maxWork = maxWork
@@ -449,6 +471,72 @@ func (d *decodeState) result() Result {
 	return Result{Work: d.work, Steps: d.steps, Backtracks: d.backtracks}
 }
 
+// statusPaused is the internal fourth outcome of a stream-mode walk: the
+// current branch needs evidence that has not arrived. It never escapes
+// the package — StreamDecoder translates it into "prefix still viable".
+const statusPaused Status = 0xff
+
+// pause suspends a stream-mode walk at pc (see decodeState.streamMode).
+// The row's entry accounting (steps, work, non-progress) is undone: the
+// resume re-executes the row from the top, and the sealed counters must
+// describe each visit once, exactly as a batch walk over the whole
+// stream would. Undoing nonProd also keeps the cycle prune honest — a
+// row paused across many slices is suspended, not looping.
+func (d *decodeState) pause(pc uint32) (Result, Status) {
+	if pc >= d.c.base && pc < d.c.limit && (pc-d.c.base)&1 == 0 {
+		n := &d.c.nodes[(pc-d.c.base)>>1]
+		d.steps--
+		d.work -= uint64(n.cost)
+		d.nonProd--
+	}
+	d.pausePC = pc
+	d.pauseEOS = false
+	return d.result(), statusPaused
+}
+
+// eosOutcome evaluates a completion point: the frame structure admits
+// termination here, so the walk accepts iff the stream is exhausted.
+// settled == false means unconsumed evidence remains and the caller must
+// prune this branch. A stream-mode walk pauses instead of accepting — the
+// next slice may extend the evidence, and this completion point is
+// re-evaluated on resume.
+func (d *decodeState) eosOutcome() (Result, Status, bool) {
+	if _, more := d.rd.peek(); more {
+		return Result{}, 0, false
+	}
+	if d.rd.failed {
+		return d.result(), StatusFallback, true
+	}
+	if d.streamMode {
+		d.pauseEOS = true
+		return d.result(), statusPaused, true
+	}
+	res := d.result()
+	res.Transfers = d.transfers
+	res.LoopsReplayed = d.loops
+	res.PacketsUsed = d.rd.delivered
+	if d.pathCap > 0 {
+		res.Path = append([]Edge(nil), d.edges...)
+	}
+	return res, StatusAccept, true
+}
+
+// pruneStep abandons the current branch: rewind to the newest unexplored
+// alternative, or settle the decode when none remain. done == true
+// carries the terminal outcome; otherwise npc is the resume pc.
+func (d *decodeState) pruneStep() (npc uint32, res Result, st Status, done bool) {
+	if d.backtracks >= maxBacktracks || (d.streamMode && d.backtracks >= streamMaxBacktracks) {
+		return 0, d.result(), StatusFallback, true
+	}
+	if npc, ok := d.backtrack(); ok {
+		return npc, Result{}, 0, false
+	}
+	if d.committed {
+		return 0, d.result(), StatusFallback, true
+	}
+	return 0, d.result(), StatusNoPath, true
+}
+
 // oracleNext consumes the next replay choice bit. Exhaustion answers
 // false — the replay then contradicts and falls back, as with any other
 // oracle mismatch.
@@ -480,6 +568,12 @@ func (d *decodeState) takeDead(target uint32) bool {
 	d.rd.restore(mk)
 	if d.rd.failed {
 		return false // poisoned stream: let the main loop report fallback
+	}
+	if d.streamMode && !ok2 {
+		// The lookahead ran off the unsealed stream: the packet it would
+		// have contradicted may simply not have arrived yet, so nothing is
+		// provably dead. (Every kill below judges the take against p2.)
+		return false
 	}
 	vf := d.framesLen
 	q := target
@@ -545,9 +639,28 @@ func (d *decodeState) takeDead(target uint32) bool {
 // verify's advance/evaluate, in the same order.
 func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pathCap int, maxWork uint64) (Result, Status) {
 	d.reset(m, stream, expand, pathCap, maxWork)
+	return d.run(d.c.entry, false)
+}
+
+// run executes the walk from pc (or from a suspended end-of-stream accept
+// check when atEOS is set — the StreamDecoder resume path; batch decodes
+// always enter at the automaton entry). It returns a terminal status, or
+// statusPaused in stream mode with the resume point latched in
+// pausePC/pauseEOS.
+func (d *decodeState) run(pc uint32, atEOS bool) (Result, Status) {
 	c := d.c
 	base, limit := c.base, c.limit
-	pc := c.entry
+	if atEOS {
+		res, st, settled := d.eosOutcome()
+		if settled {
+			return res, st
+		}
+		npc, pres, pst, done := d.pruneStep()
+		if done {
+			return pres, pst
+		}
+		pc = npc
+	}
 
 	for {
 		if pc < base || pc >= limit || (pc-base)&1 != 0 {
@@ -584,7 +697,8 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				// The taken direction requires the matching packet (source
 				// AND static destination, as in evaluate); the fall-through
 				// is always structurally possible.
-				if p, ok := d.rd.peek(); ok && p.Src == n.record && p.Dst == n.target {
+				p, ok := d.rd.peek()
+				if ok && p.Src == n.record && p.Dst == n.target {
 					if d.oracle != nil {
 						if !d.oracleNext() {
 							pc = n.next
@@ -607,8 +721,15 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 					pc = n.target
 					continue
 				}
-				if d.rd.failed {
-					return d.result(), StatusFallback
+				if !ok {
+					if d.rd.failed {
+						return d.result(), StatusFallback
+					}
+					if d.streamMode {
+						// A matching packet may yet arrive; the fall-through
+						// guess must not be locked in before the evidence is.
+						return d.pause(pc)
+					}
 				}
 				pc = n.next
 				continue
@@ -619,7 +740,13 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				if d.rd.failed {
 					return d.result(), StatusFallback
 				}
-				if !ok || p.Src != n.record || p.Dst != n.target {
+				if !ok {
+					if d.streamMode {
+						return d.pause(pc)
+					}
+					goto prune
+				}
+				if p.Src != n.record || p.Dst != n.target {
 					goto prune
 				}
 				d.rd.advance()
@@ -633,7 +760,8 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				// Forward-loop guard: continue-first (into the logging
 				// branch, which consumes), exit checkpointed. Without the
 				// gating packet only the exit exists.
-				if p, ok := d.rd.peek(); ok && p.Src == n.record {
+				p, ok := d.rd.peek()
+				if ok && p.Src == n.record {
 					if d.oracle != nil {
 						if d.oracleNext() {
 							pc = n.next
@@ -650,8 +778,15 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 					pc = n.next
 					continue
 				}
-				if d.rd.failed {
-					return d.result(), StatusFallback
+				if !ok {
+					if d.rd.failed {
+						return d.result(), StatusFallback
+					}
+					if d.streamMode {
+						// The gating packet may arrive in a later slice:
+						// committing to the exit now would be a guess.
+						return d.pause(pc)
+					}
 				}
 				d.emit(Edge{Src: pc, Dst: n.target, Kind: isa.KindCond})
 				pc = n.target
@@ -662,7 +797,13 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				if d.rd.failed {
 					return d.result(), StatusFallback
 				}
-				if !ok || p.Src != n.record {
+				if !ok {
+					if d.streamMode {
+						return d.pause(pc)
+					}
+					goto prune
+				}
+				if p.Src != n.record {
 					goto prune
 				}
 				if d.framesLen == 1 {
@@ -714,6 +855,11 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 						if d.rd.failed {
 							return d.result(), StatusFallback
 						}
+						if d.streamMode {
+							// Whether the callee's first consumption can take
+							// the next packet is not yet decidable.
+							return d.pause(pc)
+						}
 						if !n.first.eps {
 							goto prune
 						}
@@ -735,7 +881,13 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				if d.rd.failed {
 					return d.result(), StatusFallback
 				}
-				if !ok || p.Src != n.record {
+				if !ok {
+					if d.streamMode {
+						return d.pause(pc)
+					}
+					goto prune
+				}
+				if p.Src != n.record {
 					goto prune
 				}
 				if !c.isEntry(p.Dst) {
@@ -756,7 +908,13 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				if d.rd.failed {
 					return d.result(), StatusFallback
 				}
-				if !ok || p.Src != n.record {
+				if !ok {
+					if d.streamMode {
+						return d.pause(pc)
+					}
+					goto prune
+				}
+				if p.Src != n.record {
 					goto prune
 				}
 				if p.Dst < n.lo || p.Dst >= n.hi {
@@ -816,7 +974,13 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 				if d.rd.failed {
 					return d.result(), StatusFallback
 				}
-				if !ok || p.Src != n.record {
+				if !ok {
+					if d.streamMode {
+						return d.pause(pc)
+					}
+					goto prune
+				}
+				if p.Src != n.record {
 					goto prune
 				}
 				trips, err := n.loop.TripCount(p.Dst)
@@ -841,49 +1005,26 @@ func (d *decodeState) decode(m *Machine, stream []trace.Packet, expand bool, pat
 	eosCheck:
 		// Frame structure admits completion here; accepted iff the stream
 		// is exhausted (every packet explained).
-		if _, more := d.rd.peek(); more {
-			goto prune
-		}
-		if d.rd.failed {
-			return d.result(), StatusFallback
-		}
 		{
-			res := d.result()
-			res.Transfers = d.transfers
-			res.LoopsReplayed = d.loops
-			res.PacketsUsed = d.rd.delivered
-			if d.pathCap > 0 {
-				res.Path = append([]Edge(nil), d.edges...)
+			res, st, settled := d.eosOutcome()
+			if settled {
+				return res, st
 			}
-			return res, StatusAccept
+			goto prune
 		}
 
 	prune:
-		if d.backtracks >= maxBacktracks {
-			return d.result(), StatusFallback
-		}
-		if npc, ok := d.backtrack(); ok {
-			pc = npc
-			continue
-		}
-		if d.committed {
-			return d.result(), StatusFallback
-		}
-		return d.result(), StatusNoPath
-
 	divePrune:
-		// Blind-recursion prune: flip the oldest open guess (see backjump).
-		if d.backtracks >= maxBacktracks {
-			return d.result(), StatusFallback
-		}
-		if npc, ok := d.backtrack(); ok {
+		// Dead branch (divePrune: blind recursion — flip the oldest open
+		// guess, see backjump): rewind to the newest alternative or settle.
+		{
+			npc, res, st, done := d.pruneStep()
+			if done {
+				return res, st
+			}
 			pc = npc
 			continue
 		}
-		if d.committed {
-			return d.result(), StatusFallback
-		}
-		return d.result(), StatusNoPath
 	}
 }
 

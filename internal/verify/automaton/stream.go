@@ -1,0 +1,224 @@
+package automaton
+
+import "raptrack/internal/trace"
+
+// StreamStatus classifies the viability of a growing evidence prefix.
+type StreamStatus uint8
+
+const (
+	// StreamViable: at least one benign derivation is consistent with the
+	// prefix so far (or the walk is suspended awaiting more evidence on
+	// such a derivation). The authoritative verdict still requires Seal.
+	StreamViable StreamStatus = iota
+	// StreamDead: every speculative alternative contradicted evidence that
+	// has already arrived. Each contradiction is against packets in hand,
+	// so NO extension of the prefix can be accepted — an early, sound
+	// compromise alarm (the sealed whole-stream verdict renders the
+	// authoritative code and detail).
+	StreamDead
+	// StreamFallback: the incremental walk gave up (backtrack/frame/work
+	// limits, dropped alternatives, expansion failure) without exhausting
+	// the space. Prefix checking is unavailable for the rest of the
+	// session; only Seal decides.
+	StreamFallback
+)
+
+func (s StreamStatus) String() string {
+	switch s {
+	case StreamViable:
+		return "viable"
+	case StreamDead:
+		return "dead"
+	default:
+		return "fallback"
+	}
+}
+
+// StreamDecoder is a resumable prefix walk over a growing evidence
+// stream: a streaming Verifier feeds it the packets of each slice as it
+// arrives and learns immediately whether any benign derivation is still
+// consistent with the prefix. Internally it is the exact speculative
+// decode of Machine.Decode run in stream mode — same tables, same
+// checkpoint ring, same loop registers and undo trail — except that
+// running off the end of the evidence suspends the walk (latching the
+// resume point) instead of deciding, and the lookahead pruner never
+// judges against packets that have not arrived.
+//
+// Soundness of the early alarm: a stream-mode walk only prunes a branch
+// against evidence already in hand (a mismatching packet, a structural
+// contradiction, or a provably non-productive cycle), never against the
+// missing suffix — those sites pause instead. StreamDead therefore means
+// every derivation of every extension is contradicted. Conversely the
+// decoder never renders an accept: completion points pause until Seal, so
+// verdict authority stays with the sealed whole-stream verification.
+//
+// A StreamDecoder is single-session scratch: not safe for concurrent use.
+// The decode state is borrowed from the core's shared pool on first use
+// and returned the moment the walk settles or seals, so honest streamed
+// sessions reuse the same warmed buffers batch decodes do — a session
+// abandoned mid-stream simply lets the garbage collector reclaim its
+// loan. Packets handed to Feed are retained.
+type StreamDecoder struct {
+	m    *Machine
+	d    *decodeState // nil before the first walk and after release
+	pkts []trace.Packet
+
+	pathCap int
+	maxWork uint64
+	expand  bool
+
+	// admitPk/admitOK are a direct-mapped cache of recently admitted
+	// packets: evidence streams are loop-dominated, so the same few
+	// (src, dst) pairs recur and the per-packet screen can skip the
+	// admissibility index lookups almost every time. Negative results are
+	// never cached — an inadmissible packet settles the decoder for good.
+	admitPk [64]trace.Packet
+	admitOK [64]bool
+
+	started bool
+	sealed  bool
+	settled bool // reached a terminal status
+	res     Result
+	st      Status
+}
+
+// Stream starts a resumable prefix walk. The decoder consumes the stream
+// exactly as DecodeCompressed would: marker packets are opened through the
+// bound dictionary when one is attached, so the caller feeds the raw
+// (possibly compressed) CFLog packets of each slice. pathCap and maxWork
+// carry Decode's meaning; maxWork bounds the whole session's walk.
+func (m *Machine) Stream(pathCap int, maxWork uint64) *StreamDecoder {
+	return &StreamDecoder{
+		m:       m,
+		pathCap: pathCap,
+		maxWork: maxWork,
+		expand:  m.dict.Len() > 0,
+	}
+}
+
+// acquire borrows a warmed decode state from the core's pool and resets
+// it over the packets accumulated so far.
+func (s *StreamDecoder) acquire() {
+	s.d = s.m.core.pool.Get().(*decodeState)
+	s.d.oracle = nil
+	s.d.reset(s.m, s.pkts, s.expand, s.pathCap, s.maxWork)
+}
+
+// release returns the borrowed decode state. Safe once the walk has
+// settled: Result copies its witness path out of the state on accept.
+func (s *StreamDecoder) release() {
+	if s.d != nil {
+		s.m.core.pool.Put(s.d)
+		s.d = nil
+	}
+}
+
+// Feed appends the slice's packets and advances the walk until it either
+// suspends on missing evidence (StreamViable) or settles. Feeding after a
+// dead status returns it unchanged.
+//
+// Every incoming packet is first screened against the admissibility
+// index (admit.go): a packet no table row could ever consume is a static
+// contradiction, so the decoder settles StreamDead immediately — the
+// walk itself often cannot render that proof once its checkpoint ring
+// has dropped an alternative. The screen outlives the walk: after a
+// fallback the decoder keeps screening each slice (the index needs no
+// walk state), so a hijacked edge still raises the early alarm even on
+// evidence the speculative walk gave up on.
+func (s *StreamDecoder) Feed(pk []trace.Packet) StreamStatus {
+	if s.sealed || (s.settled && s.st == StatusNoPath) {
+		return s.Status()
+	}
+	s.pkts = append(s.pkts, pk...)
+	for _, p := range pk {
+		h := (p.Src ^ p.Dst*0x9e3779b1) & 63
+		if s.admitOK[h] && s.admitPk[h] == p {
+			continue
+		}
+		if s.m.Admissible(p) {
+			s.admitPk[h], s.admitOK[h] = p, true
+			continue
+		}
+		if !s.settled {
+			s.settled = true
+			if s.d != nil {
+				s.res = s.d.result()
+			}
+		}
+		s.st = StatusNoPath
+		s.release()
+		return s.Status()
+	}
+	if s.settled { // fallback: the walk is done, only the screen runs
+		return s.Status()
+	}
+	if !s.started {
+		s.started = true
+		s.acquire()
+		s.d.streamMode = true
+		s.step(s.m.core.entry, false)
+		return s.Status()
+	}
+	if len(pk) == 0 {
+		return s.Status()
+	}
+	// The stream is append-only, so every checkpointed reader mark (an
+	// index into it) survives the extension; only the backing slice moves.
+	s.d.rd.stream = s.pkts
+	s.step(s.d.pausePC, s.d.pauseEOS)
+	return s.Status()
+}
+
+// Seal marks the end of the evidence and runs the walk to a terminal
+// status with batch semantics — from here on a missing packet is a
+// missing packet, so suspended decision points resolve exactly as
+// Machine.Decode would on the whole stream.
+func (s *StreamDecoder) Seal() (Result, Status) {
+	if s.settled {
+		return s.res, s.st
+	}
+	s.sealed = true
+	if !s.started {
+		s.started = true
+		s.acquire()
+		s.step(s.m.core.entry, false)
+	} else {
+		s.d.streamMode = false
+		s.step(s.d.pausePC, s.d.pauseEOS)
+	}
+	return s.res, s.st
+}
+
+func (s *StreamDecoder) step(pc uint32, atEOS bool) {
+	res, st := s.d.run(pc, atEOS)
+	if st != statusPaused {
+		s.settled = true
+		s.res, s.st = res, st
+		s.release()
+	}
+}
+
+// Status reports the current prefix viability.
+func (s *StreamDecoder) Status() StreamStatus {
+	if !s.settled {
+		return StreamViable
+	}
+	switch s.st {
+	case StatusNoPath:
+		return StreamDead
+	case StatusAccept:
+		return StreamViable // only reachable after Seal
+	default:
+		return StreamFallback
+	}
+}
+
+// Packets returns the total packets fed so far (compressed count when a
+// dictionary is bound).
+func (s *StreamDecoder) Packets() int { return len(s.pkts) }
+
+// Evidence returns the accumulated packet stream. After a sealed accept it
+// is exactly what a whole-stream decode of the same bytes would produce,
+// so the caller can reuse it as the verdict's evidence instead of decoding
+// the log a second time. Aliases internal state; treat as read-only.
+func (s *StreamDecoder) Evidence() []trace.Packet { return s.pkts }

@@ -1,12 +1,9 @@
 package verify
 
 import (
-	"time"
-
 	"raptrack/internal/attest"
 	"raptrack/internal/speccfa"
 	"raptrack/internal/trace"
-	"raptrack/internal/trace/pipeline"
 	"raptrack/internal/verify/automaton"
 )
 
@@ -82,106 +79,17 @@ func (v *Verifier) reconcileAutomaton() {
 // ReasonWorkBudget can instead be accepted if the walk fits the budget —
 // the same engine-dependence the verdict cache already has (budget
 // verdicts are never cached for exactly that reason).
+// VerifyWithAutomaton is a thin Begin/Feed/Seal loop over [Session]: the
+// whole chain is fed with per-slice checking disabled, so the only work is
+// the incremental chain authentication (identical to AssembleChain) and
+// the sealed whole-stream verification. Streamed sessions run the same
+// Seal, which is what keeps their verdicts bit-identical to this path.
 func (v *Verifier) VerifyWithAutomaton(chal attest.Challenge, reports []*attest.Report, dict *speccfa.Dictionary, aut *Automaton) (*Verdict, error) {
-	var tm PhaseTiming
-	phase := time.Now()
-	log, hmem, err := attest.AssembleChain(reports, chal, v.auth)
-	tm.Auth = time.Since(phase)
-	if err != nil {
-		return nil, err
-	}
-	if hmem != v.hmem {
-		return v.hmemMismatch(hmem, tm), nil
-	}
-	var wraps, dropped uint64
+	s := v.Begin(chal, SessionDictionary(dict), SessionAutomaton(aut), SessionSliceChecks(false))
 	for _, r := range reports {
-		wraps += uint64(r.Wraps)
-		dropped += uint64(r.Dropped)
+		s.Feed(r)
 	}
-	packets, derr := pipeline.New(pipeline.MTBChain(log, wraps, dropped), pipeline.FailOnLoss()).Packets()
-	if derr != nil {
-		if derr.Code == pipeline.WrapLoss {
-			// The signed reports themselves attest detectable trace loss:
-			// the MTB wrapped past the watermark or dropped packets while
-			// arming. The stream cannot be losslessly reconstructed, so
-			// reconstruction would produce a *false* reject; render an
-			// Inconclusive verdict instead. Never OK — an adversary
-			// fabricating loss evidence only downgrades its own session
-			// from "attack detected" to "re-attest".
-			return &Verdict{OK: false, Code: ReasonInconclusive, Detail: derr.Detail, Timing: tm}, nil
-		}
-		return nil, derr
-	}
-	if !v.opts.automaton {
-		aut = nil
-	}
-
-	// Compressed fast path: decode the marker stream directly, opening
-	// dictionary sub-paths as precomputed jumps instead of materializing
-	// the expansion up front. Requires the machine bound to this session's
-	// dictionary snapshot, and no verdict cache (its keys cover the
-	// expanded stream). On accept the expansion is still materialized once
-	// for Verdict.Evidence — exactly what the reference pipeline exposes.
-	if aut != nil && v.opts.cache == nil && dict.Len() > 0 && aut.Dictionary() == dict {
-		phase = time.Now()
-		res, st := aut.DecodeCompressed(packets, v.opts.pathCap, v.opts.maxInstrs)
-		tm.Search = time.Since(phase)
-		if st == automaton.StatusAccept {
-			phase = time.Now()
-			expanded, derr := pipeline.Expand(dict, packets)
-			tm.Expand = time.Since(phase)
-			if derr == nil {
-				vd := acceptVerdict(&res)
-				vd.Evidence = expanded
-				vd.Timing = tm
-				return vd, nil
-			}
-			// An accept consumed the stream through the same tables and
-			// limits Decompress applies, so derr cannot happen; fall
-			// through defensively and let the reference pipeline report.
-		}
-		// Non-accept: the interpreter renders the verdict. Do not retry
-		// the automaton on the expanded stream — the derivation space is
-		// identical, so it would fail the same way.
-		aut = nil
-	}
-
-	if dict.Len() > 0 {
-		phase = time.Now()
-		expanded, derr := pipeline.Expand(dict, packets)
-		tm.Expand += time.Since(phase)
-		if derr != nil {
-			return nil, derr
-		}
-		packets = expanded
-	}
-	if c := v.opts.cache; c != nil {
-		if vd, ok := c.lookupVerdict(v.hmem, packets); ok {
-			// lookupVerdict returned a private copy, so stamping this
-			// session's evidence and timing never races other sessions.
-			vd.Evidence = packets
-			tm.CacheHit = true
-			vd.Timing = tm
-			return vd, nil
-		}
-	}
-	phase = time.Now()
-	var vd *Verdict
-	if aut != nil {
-		if res, st := aut.Decode(packets, v.opts.pathCap, v.opts.maxInstrs); st == automaton.StatusAccept {
-			vd = acceptVerdict(&res)
-		}
-	}
-	if vd == nil {
-		vd = v.reconstruct(packets)
-	}
-	tm.Search += time.Since(phase)
-	vd.Evidence = packets
-	vd.Timing = tm
-	if c := v.opts.cache; c != nil {
-		c.storeVerdict(v.hmem, packets, vd)
-	}
-	return vd, nil
+	return s.Seal()
 }
 
 // ReplayPacketsAutomaton is ReplayPackets through the fast path: the
